@@ -1,0 +1,87 @@
+"""Ablation (§3.3): fixed resource requirements (floors).
+
+Sweeps a pairwise-bandwidth floor on a mixed network and reports the CPU
+quality of the best feasible selection at each floor — the exact trade-off
+curve the constrained procedures navigate — plus the dual (CPU floor,
+maximize bandwidth).  Report: benchmarks/out/ablation_floors.txt.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.core import (
+    NoFeasibleSelection,
+    select_with_bandwidth_floor,
+    select_with_cpu_floor,
+)
+from repro.topology import random_tree
+from repro.units import Mbps
+
+
+def mixed_tree(seed=5):
+    rng = np.random.default_rng(seed)
+    g = random_tree(16, 6, rng)
+    # Idle nodes tend to sit behind congested links (anticorrelated), so
+    # floors force real trade-offs.
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 3))
+    for link in g.links():
+        host_end = [e for e in (link.u, link.v) if e.startswith("c")]
+        if host_end and g.node(host_end[0]).load_average < 1.0:
+            link.set_available(float(rng.uniform(5, 40)) * Mbps)
+        else:
+            link.set_available(float(rng.uniform(60, 100)) * Mbps)
+    return g
+
+
+def test_bandwidth_floor_tradeoff_curve(benchmark):
+    g = mixed_tree()
+    rows = []
+    cpu_at_floor = {}
+    for floor in (0, 10, 20, 40, 60, 80):
+        try:
+            sel = select_with_bandwidth_floor(g, 4, floor * Mbps)
+            cpu_at_floor[floor] = sel.objective
+            rows.append([
+                floor,
+                f"{sel.objective:.3f}",
+                f"{sel.min_bw_bps / Mbps:.0f}",
+                ", ".join(sel.nodes),
+            ])
+        except NoFeasibleSelection:
+            cpu_at_floor[floor] = None
+            rows.append([floor, "infeasible", "-", "-"])
+    report = format_table(
+        ["bw floor (Mbps)", "min cpu fraction", "achieved bw", "nodes"],
+        rows,
+        title="§3.3 bandwidth floor vs achievable CPU quality",
+    )
+    write_report("ablation_floors.txt", report)
+
+    feasible = [(f, c) for f, c in cpu_at_floor.items() if c is not None]
+    assert feasible, "zero floor must always be feasible"
+    # Tightening the floor can only lower the achievable CPU quality.
+    for (f1, c1), (f2, c2) in zip(feasible, feasible[1:]):
+        assert c2 <= c1 + 1e-9, (f1, f2)
+    # Every feasible answer actually meets its floor.
+    for floor, cpu in feasible:
+        sel = select_with_bandwidth_floor(g, 4, floor * Mbps)
+        assert sel.min_bw_bps >= floor * Mbps - 1e-6
+
+    benchmark(select_with_bandwidth_floor, g, 4, 20 * Mbps)
+
+
+def test_cpu_floor_dual(benchmark):
+    g = mixed_tree()
+    prev_bw = float("inf")
+    for floor in (0.0, 0.3, 0.5):
+        sel = select_with_cpu_floor(g, 4, floor)
+        assert sel.min_cpu_fraction >= floor - 1e-9
+        # Raising the CPU floor shrinks the candidate pool: bandwidth can
+        # only get worse.
+        assert sel.min_bw_bps <= prev_bw + 1e-6
+        prev_bw = sel.min_bw_bps
+
+    benchmark(select_with_cpu_floor, g, 4, 0.3)

@@ -1,0 +1,128 @@
+"""Ablation (§3.3): dynamic migration for long-running jobs.
+
+A long compute-bound job starts on a good placement; midway, heavy external
+load lands on exactly those nodes.  We compare completion times with the
+job pinned (no migration) vs advised by :class:`MigrationAdvisor` (with
+self-load discounting and hysteresis), and check the hysteresis prevents
+thrashing when the disturbance is marginal.
+Report: benchmarks/out/ablation_migration.txt.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.core import (
+    ApplicationSpec,
+    MigrationAdvisor,
+    NodeSelector,
+    SelfFootprint,
+)
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.testbed import cmu_testbed
+
+JOB_OPS = 300.0          # 300 s of dedicated CPU per node
+DISTURB_AT = 60.0        # external load lands here
+EXTERNAL_JOBS = 3        # competing processes per disturbed node
+
+
+def run_job(migrate: bool, check_every: float = 30.0) -> tuple[float, int]:
+    """Run the job; return (completion time, migrations performed)."""
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0, load_tau=20.0)
+    placement = ["m-1", "m-2", "m-3", "m-4"]
+    spec = ApplicationSpec(num_nodes=4)
+    advisor = MigrationAdvisor(NodeSelector(cluster), hysteresis=0.25)
+    migrations = 0
+
+    def disturb(sim, cluster):
+        yield sim.timeout(DISTURB_AT)
+        for node in ("m-1", "m-2", "m-3", "m-4"):
+            for _ in range(EXTERNAL_JOBS):
+                cluster.compute(node, 1e12)
+
+    sim.process(disturb(sim, cluster))
+
+    def job(sim, cluster):
+        nonlocal placement, migrations
+        remaining = {node: JOB_OPS for node in placement}
+        while max(remaining.values()) > 1e-6:
+            tasks = {
+                node: cluster.compute(node, ops)
+                for node, ops in remaining.items() if ops > 1e-6
+            }
+            slice_end = sim.timeout(check_every)
+            yield sim.any_of([t.done for t in tasks.values()] + [slice_end])
+            # Account for progress and abort any unfinished slice work.
+            for node, task in tasks.items():
+                if task.finished:
+                    remaining[node] = 0.0
+                else:
+                    remaining[node] = task.pending_ops()
+                    task.abort()
+            if max(remaining.values()) <= 1e-6:
+                break
+            if migrate:
+                footprint = SelfFootprint.uniform(placement, load_per_node=1.0)
+                decision = advisor.evaluate(spec, placement, footprint)
+                if decision.migrate:
+                    migrations += 1
+                    old = dict(zip(placement, remaining.values()))
+                    placement = decision.candidate.nodes
+                    remaining = dict(zip(placement, old.values()))
+        return sim.now
+
+    done = sim.process(job(sim, cluster))
+    return sim.run(until=done), migrations
+
+
+def test_migration_beats_staying_put(benchmark):
+    pinned, _ = run_job(migrate=False)
+    mobile, moves = run_job(migrate=True)
+
+    report = format_table(
+        ["strategy", "completion (s)", "migrations"],
+        [["pinned", f"{pinned:.0f}", 0],
+         ["advised", f"{mobile:.0f}", moves]],
+        title=(
+            f"§3.3 dynamic migration: {EXTERNAL_JOBS} external jobs land on "
+            f"the placement at t={DISTURB_AT:.0f}s"
+        ),
+    )
+    write_report("ablation_migration.txt", report)
+
+    assert moves >= 1
+    # Pinned: ~60s clean + remaining at 1/4 speed. Advised: one hop to
+    # idle nodes. The advised run must recover most of the slowdown.
+    assert mobile < pinned * 0.6
+
+    benchmark.pedantic(run_job, args=(True,), rounds=2, iterations=1)
+
+
+def test_hysteresis_prevents_thrashing(benchmark):
+    """With no disturbance, the advisor must never move the job."""
+
+    def run_quiet():
+        sim = Simulator()
+        cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+        placement = ["m-1", "m-2", "m-3", "m-4"]
+        advisor = MigrationAdvisor(NodeSelector(cluster), hysteresis=0.25)
+        spec = ApplicationSpec(num_nodes=4)
+        tasks = [cluster.compute(n, 100.0) for n in placement]
+        moves = 0
+
+        def checker(sim):
+            nonlocal moves
+            while sim.now < 90.0:
+                yield sim.timeout(15.0)
+                fp = SelfFootprint.uniform(placement, load_per_node=1.0)
+                if advisor.evaluate(spec, placement, fp).migrate:
+                    moves += 1
+
+        done = sim.process(checker(sim))
+        sim.run(until=done)
+        return moves
+
+    moves = benchmark(run_quiet)
+    assert moves == 0

@@ -1,0 +1,95 @@
+"""Ablation (§5/related work): forecast policy for Remos measurements.
+
+The paper "simply uses the most recent measurements as a forecast" and
+defers better forecasting to NWS-style work.  We quantify what that
+leaves on the table: each predictor drives node selection for the FFT on
+the loaded testbed; we compare execution times and the predictors' own
+load-forecast error.  Report: benchmarks/out/ablation_predictor.txt.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table, summarize
+from repro.apps import FFT2D
+from repro.core import ApplicationSpec, NodeSelector
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.remos import Collector, Ewma, LastValue, RemosAPI, SlidingMean
+from repro.testbed import cmu_testbed, default_load_config
+from repro.workloads import LoadGenerator
+
+PREDICTORS = {
+    "last-value (paper)": LastValue,
+    "sliding-mean-30s": lambda: SlidingMean(window=30.0),
+    "ewma-0.3": lambda: Ewma(alpha=0.3),
+}
+
+
+def run_fft_with_predictor(predictor, seed):
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+    collector = Collector(cluster, period=5.0)
+    api = RemosAPI(collector, predictor=predictor)
+    LoadGenerator(
+        cluster, np.random.default_rng(seed), config=default_load_config()
+    )
+    sim.run(until=180.0)
+    app = FFT2D.paper_config()
+    selection = NodeSelector(api).select(app.spec())
+    done = app.launch(cluster, selection.nodes)
+    return sim.run(until=done)
+
+
+def forecast_errors(predictor_factory, seed, horizon=5.0):
+    """Mean |forecast - realized| of node load over a generator run."""
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0, load_tau=30.0)
+    collector = Collector(cluster, period=5.0)
+    LoadGenerator(
+        cluster, np.random.default_rng(seed), config=default_load_config()
+    )
+    predictor = predictor_factory()
+    errors = []
+
+    def prober(sim):
+        while sim.now < 600.0:
+            yield sim.timeout(horizon)
+            for host in ("m-1", "m-5", "m-9", "m-13"):
+                history = collector.load_history(host)
+                if len(history) < 3:
+                    continue
+                forecast = predictor.predict(history[:-1])
+                realized = history[-1][1]
+                errors.append(abs(forecast - realized))
+
+    done = sim.process(prober(sim))
+    sim.run(until=done)
+    return float(np.mean(errors))
+
+
+def test_predictor_comparison(benchmark):
+    rows = []
+    means = {}
+    for name, factory in PREDICTORS.items():
+        times = [run_fft_with_predictor(factory(), seed) for seed in range(5)]
+        err = forecast_errors(factory, seed=123)
+        s = summarize(times)
+        means[name] = s.mean
+        rows.append([name, f"{s.mean:.1f}", f"{s.std:.1f}", f"{err:.3f}"])
+    report = format_table(
+        ["predictor", "FFT mean (s)", "std", "load forecast MAE"],
+        rows,
+        title="Forecast policy ablation (FFT under load, auto selection)",
+    )
+    write_report("ablation_predictor.txt", report)
+
+    # All predictors must produce working selections in the same ballpark:
+    # the paper's last-value policy is not catastrophically worse.
+    best = min(means.values())
+    assert means["last-value (paper)"] <= best * 1.6
+
+    benchmark.pedantic(
+        run_fft_with_predictor, args=(LastValue(), 99), rounds=2, iterations=1
+    )

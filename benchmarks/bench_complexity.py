@@ -1,0 +1,101 @@
+"""§3.2 complexity claims: O(n) compute selection, O(n²) edge-peeling.
+
+Times the three fundamental algorithms across topology sizes, fits the
+empirical scaling exponent, and asserts it stays within the paper's
+bounds (compute ~ linear-ish, peeling algorithms at most ~ quadratic-ish
+in nodes+edges).  Report: benchmarks/out/complexity.txt.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.core import select_balanced, select_max_bandwidth, select_max_compute
+from repro.topology import random_tree
+from repro.units import Mbps
+
+SIZES = (32, 64, 128, 256, 512)
+
+
+def loaded_tree(n, seed=0):
+    rng = np.random.default_rng(seed)
+    g = random_tree(n, max(2, n // 3), rng)
+    for link in g.links():
+        link.set_available(float(rng.uniform(1, 100)) * Mbps)
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 3))
+    return g
+
+
+def _median_time(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _fit_exponent(sizes, times):
+    return float(np.polyfit(np.log(sizes), np.log(times), 1)[0])
+
+
+@pytest.fixture(scope="module")
+def scaling_report():
+    graphs = {n: loaded_tree(n) for n in SIZES}
+    results = {}
+    for name, fn in (
+        ("compute", select_max_compute),
+        ("bandwidth", select_max_bandwidth),
+        ("balanced", select_balanced),
+    ):
+        results[name] = [
+            _median_time(lambda n=n: fn(graphs[n], 8)) for n in SIZES
+        ]
+    rows = []
+    exponents = {}
+    for name, times in results.items():
+        exponents[name] = _fit_exponent(SIZES, times)
+        rows.append(
+            [name]
+            + [f"{t * 1e3:.2f}" for t in times]
+            + [f"{exponents[name]:.2f}"]
+        )
+    table = format_table(
+        ["algorithm"] + [f"n={n} (ms)" for n in SIZES] + ["exponent"],
+        rows,
+        title="Selection algorithm scaling (§3.2: O(n) / O(n^2))",
+    )
+    write_report("complexity.txt", table)
+    return exponents
+
+
+def test_complexity_exponents(benchmark, scaling_report):
+    exps = scaling_report
+    # Compute selection is (near-)linear; the peeling algorithms must stay
+    # at most roughly quadratic-and-a-bit in total nodes.
+    assert exps["compute"] < 1.6
+    assert exps["bandwidth"] < 3.0
+    assert exps["balanced"] < 3.0
+    # And the ordering the paper implies: compute is the cheap one.
+    assert exps["compute"] < exps["balanced"]
+
+    g = loaded_tree(256)
+    benchmark(select_max_compute, g, 8)
+
+
+@pytest.mark.parametrize("algorithm,fn", [
+    ("bandwidth", select_max_bandwidth),
+    ("balanced", select_balanced),
+])
+def test_complexity_largest_instance(benchmark, algorithm, fn):
+    """Absolute cost at n=512: must stay far below application runtimes
+    (the paper: 'insignificant in comparison with the execution times')."""
+    g = loaded_tree(512)
+    result = benchmark(fn, g, 8)
+    assert result.size == 8
+    stats = benchmark.stats
+    assert stats["mean"] < 5.0, "selection should take seconds at most"

@@ -1,0 +1,108 @@
+"""Validation of the §3.4 performance estimator against the simulator.
+
+The paper defers variable-node-count selection to "methods for performance
+estimation"; we built one (:mod:`repro.core.estimate`) and here validate
+it: across placements and load conditions, the predicted FFT runtime must
+track the simulated runtime closely (relative error and rank ordering),
+and the derived speedup model must pick sensible node counts.
+Report: benchmarks/out/estimator.txt.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.apps import FFT2D
+from repro.core import CommPattern, PhaseWorkload, estimate_runtime
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.testbed import cmu_testbed
+
+PLACEMENTS = [
+    ["m-1", "m-2", "m-3", "m-4"],        # one LAN
+    ["m-1", "m-2", "m-7", "m-8"],        # spans panama-suez
+    ["m-1", "m-7", "m-13", "m-14"],      # spans everything
+    ["m-13", "m-14", "m-15", "m-16"],    # gibraltar LAN
+]
+
+LOADS = [  # (node, competing processes) injected per scenario
+    {},
+    {"m-1": 2},
+    {"m-1": 1, "m-7": 3},
+]
+
+
+def fft_phases(app):
+    return [PhaseWorkload(
+        compute_seconds_total=app.compute_seconds_per_iteration,
+        comm_bytes_per_pair=2 * app.transpose_bytes_per_pair,
+        pattern=CommPattern.ALL_TO_ALL,
+        iterations=app.iterations,
+    )]
+
+
+def simulate(placement, loads):
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+    for node, k in loads.items():
+        for _ in range(k):
+            cluster.compute(node, 1e12)
+    app = FFT2D.paper_config()
+    return sim.run(until=app.launch(cluster, placement))
+
+
+def predict(placement, loads):
+    g = cmu_testbed()
+    for node, k in loads.items():
+        g.node(node).load_average = float(k)
+    return estimate_runtime(g, placement, fft_phases(FFT2D.paper_config()))
+
+
+def test_estimator_accuracy(benchmark):
+    rows = []
+    errors = []
+    pairs = []
+    for loads in LOADS:
+        for placement in PLACEMENTS:
+            relevant = {n: k for n, k in loads.items() if n in placement}
+            pred = predict(placement, loads)
+            actual = simulate(placement, loads)
+            err = abs(pred - actual) / actual
+            errors.append(err)
+            pairs.append((pred, actual))
+            rows.append([
+                "+".join(placement),
+                ";".join(f"{n}:{k}" for n, k in relevant.items()) or "idle",
+                f"{pred:.1f}", f"{actual:.1f}", f"{err * 100:.1f}%",
+            ])
+    report = format_table(
+        ["placement", "load on placement", "predicted (s)",
+         "simulated (s)", "rel err"],
+        rows,
+        title="§3.4 estimator: predicted vs simulated FFT runtime",
+    )
+    write_report("estimator.txt", report)
+
+    # Absolute accuracy: mean relative error under 10%.
+    assert float(np.mean(errors)) < 0.10
+    # Ordering accuracy: prediction ranks placements like the simulator.
+    preds, actuals = zip(*pairs)
+    rank_p = np.argsort(np.argsort(preds))
+    rank_a = np.argsort(np.argsort(actuals))
+    agreement = np.corrcoef(rank_p, rank_a)[0, 1]
+    assert agreement > 0.9
+
+    benchmark(predict, PLACEMENTS[1], LOADS[2])
+
+
+def test_estimator_cost_vs_simulation(benchmark):
+    """The estimator must be orders of magnitude cheaper than simulating."""
+    import time
+    t0 = time.perf_counter()
+    simulate(PLACEMENTS[0], LOADS[0])
+    sim_cost = time.perf_counter() - t0
+
+    result = benchmark(predict, PLACEMENTS[0], LOADS[0])
+    assert result > 0
+    assert benchmark.stats["mean"] < sim_cost

@@ -1,0 +1,60 @@
+"""Figure 1: the Remos logical topology graph of a simple network.
+
+Regenerates the figure as a DOT rendering (benchmarks/out/figure1.dot),
+checks the structural properties the paper's figure conveys (hosts behind
+shared segments, a bridging switch, per-link capacities), and benchmarks
+the topology query path an application pays at selection time: building a
+snapshot and answering path/bandwidth queries.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.topology import figure1_network, from_json, to_dot, to_json
+from repro.units import Mbps
+
+
+def test_figure1_rendering(benchmark):
+    g = figure1_network()
+    # Annotate some live state so the figure shows utilization like Remos.
+    g.node("host2").load_average = 1.0
+    g.link("host1", "seg-A").set_available(4 * Mbps)
+    dot = to_dot(g, title="figure1")
+    write_report("figure1.dot", dot)
+
+    assert g.is_acyclic() and g.is_connected()
+    assert len(g.compute_nodes()) == 4
+    # Cross-segment traffic transits the switch: the structural fact the
+    # logical topology exposes and pairwise probes cannot.
+    assert "switch" in g.path("host1", "host3")
+
+    benchmark(lambda: to_dot(figure1_network()))
+
+
+def test_figure1_snapshot_and_queries(benchmark):
+    """The per-selection cost of topology handling (copy + path queries)."""
+    g = figure1_network()
+    hosts = [n.name for n in g.compute_nodes()]
+
+    def snapshot_and_query():
+        snap = g.copy()
+        total = 0.0
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1:]:
+                total += snap.path_available_bandwidth(a, b)
+        return total
+
+    total = benchmark(snapshot_and_query)
+    assert total > 0
+
+
+def test_figure1_serialization_roundtrip(benchmark):
+    g = figure1_network()
+    text = to_json(g)
+
+    def roundtrip():
+        return from_json(text)
+
+    g2 = benchmark(roundtrip)
+    assert g2.num_nodes == g.num_nodes
+    assert g2.num_links == g.num_links

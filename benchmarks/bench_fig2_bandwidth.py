@@ -1,0 +1,83 @@
+"""Figure 2: the maximize-communication selection algorithm.
+
+Certifies optimality against brute force on randomized acyclic graphs,
+reports the achieved bottleneck bandwidth vs the random baseline across
+instance sizes (benchmarks/out/figure2.txt), and benchmarks the algorithm
+at realistic and large topology sizes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.core import (
+    min_pairwise_bandwidth,
+    select_exhaustive,
+    select_max_bandwidth,
+    select_random,
+)
+from repro.topology import random_tree
+from repro.units import Mbps
+
+
+def loaded_tree(num_compute, num_switches, seed):
+    rng = np.random.default_rng(seed)
+    g = random_tree(num_compute, num_switches, rng)
+    for link in g.links():
+        link.set_available(float(rng.uniform(1, 100)) * Mbps)
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 3))
+    return g, rng
+
+
+def test_fig2_optimality_certificate(benchmark):
+    """Greedy == exhaustive optimum on 25 random instances."""
+    for seed in range(25):
+        g, rng = loaded_tree(8, 4, seed)
+        m = int(rng.integers(2, 6))
+        greedy = select_max_bandwidth(g, m)
+        brute = select_exhaustive(g, m, objective="bandwidth")
+        assert greedy.objective == pytest.approx(brute.objective), seed
+
+    g, _ = loaded_tree(8, 4, 99)
+    benchmark(select_max_bandwidth, g, 4)
+
+
+def test_fig2_vs_random_baseline(benchmark):
+    """Report the bottleneck-bandwidth advantage over random placement."""
+    rows = []
+    for n_compute, n_switch in ((8, 4), (16, 8), (32, 12), (64, 24)):
+        ratios = []
+        for seed in range(10):
+            g, rng = loaded_tree(n_compute, n_switch, seed)
+            opt = select_max_bandwidth(g, 4)
+            rnd = select_random(g, 4, rng)
+            rnd_bw = min_pairwise_bandwidth(g, rnd.nodes)
+            if rnd_bw > 0:
+                ratios.append(opt.objective / rnd_bw)
+        rows.append([
+            f"{n_compute}+{n_switch}",
+            f"{np.mean(ratios):.2f}x",
+            f"{np.max(ratios):.2f}x",
+        ])
+    report = format_table(
+        ["graph (compute+switch)", "mean advantage", "max advantage"],
+        rows,
+        title="Figure 2 algorithm vs random placement (bottleneck bw)",
+    )
+    write_report("figure2.txt", report)
+
+    # The optimal bottleneck must never lose to random.
+    assert all(float(r[1][:-1]) >= 1.0 for r in rows)
+
+    g, _ = loaded_tree(64, 24, 3)
+    benchmark(select_max_bandwidth, g, 8)
+
+
+@pytest.mark.parametrize("size", [32, 128, 512])
+def test_fig2_scaling(benchmark, size):
+    """Wall time of the Figure 2 algorithm across topology sizes."""
+    g, _ = loaded_tree(size, max(2, size // 3), seed=1)
+    result = benchmark(select_max_bandwidth, g, 8)
+    assert result.size == 8

@@ -1,0 +1,86 @@
+"""Figure 3: the balanced computation + communication selection algorithm.
+
+Measures the greedy's quality against the exhaustive optimum (it should be
+optimal or near-optimal on small instances), shows it dominating both
+single-resource selectors on the exact ``minresource`` objective, and
+benchmarks it across sizes.  Report: benchmarks/out/figure3.txt.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.core import (
+    minresource,
+    select_balanced,
+    select_exhaustive,
+    select_max_bandwidth,
+    select_max_compute,
+)
+from repro.topology import random_tree
+from repro.units import Mbps
+
+
+def loaded_tree(num_compute, num_switches, seed):
+    rng = np.random.default_rng(seed + 31337)
+    g = random_tree(num_compute, num_switches, rng)
+    for link in g.links():
+        link.set_available(float(rng.uniform(1, 100)) * Mbps)
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 3))
+    return g
+
+
+def test_fig3_quality_vs_exhaustive(benchmark):
+    """Greedy achieves >= 95% of the brute-force optimum on average."""
+    gaps = []
+    for seed in range(25):
+        g = loaded_tree(8, 4, seed)
+        greedy = select_balanced(g, 4)
+        brute = select_exhaustive(g, 4, objective="balanced")
+        exact = minresource(g, greedy.nodes)
+        assert exact <= brute.objective + 1e-9
+        gaps.append(exact / brute.objective if brute.objective > 0 else 1.0)
+    assert np.mean(gaps) >= 0.95
+    assert np.min(gaps) >= 0.75
+
+    g = loaded_tree(8, 4, 99)
+    benchmark(select_balanced, g, 4)
+
+
+def test_fig3_dominates_single_resource_selectors(benchmark):
+    """On minresource, balanced >= max(compute-only, bandwidth-only)."""
+    rows = []
+    wins_cpu = wins_bw = 0
+    trials = 30
+    for seed in range(trials):
+        g = loaded_tree(12, 5, seed)
+        bal = minresource(g, select_balanced(g, 4).nodes)
+        cpu = minresource(g, select_max_compute(g, 4).nodes)
+        bw = minresource(g, select_max_bandwidth(g, 4).nodes)
+        assert bal >= cpu - 1e-9
+        assert bal >= max(cpu, bw) * 0.99 - 1e-9
+        wins_cpu += bal > cpu + 1e-9
+        wins_bw += bal > bw + 1e-9
+        if seed < 5:
+            rows.append([seed, f"{bal:.3f}", f"{cpu:.3f}", f"{bw:.3f}"])
+    report = format_table(
+        ["seed", "balanced", "compute-only", "bandwidth-only"],
+        rows,
+        title=(
+            f"Figure 3 minresource comparison (strict wins over cpu-only: "
+            f"{wins_cpu}/{trials}, over bw-only: {wins_bw}/{trials})"
+        ),
+    )
+    write_report("figure3.txt", report)
+
+    g = loaded_tree(12, 5, 7)
+    benchmark(select_balanced, g, 4)
+
+
+@pytest.mark.parametrize("size", [32, 128, 512])
+def test_fig3_scaling(benchmark, size):
+    g = loaded_tree(size, max(2, size // 3), seed=2)
+    result = benchmark(select_balanced, g, 8)
+    assert result.size == 8

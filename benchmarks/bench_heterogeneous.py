@@ -1,0 +1,100 @@
+"""§3.3 heterogeneity on a two-campus metacomputing scenario.
+
+The paper's §3.3 prescribes reference nodes and reference links for
+heterogeneous systems.  On a two-site network (fast Alphas on fast
+Ethernet vs slower x86 boxes on 10 Mbps), we compare reference-aware
+balancing against a naive fraction-only view, and validate by running
+the FFT on both placements on the simulated heterogeneous cluster.
+Report: benchmarks/out/heterogeneous.txt.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.apps import FFT2D
+from repro.core import References, select_balanced
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.topology import two_campus
+from repro.units import Mbps
+
+
+def scenario():
+    """Two-campus network; the fast campus is moderately loaded."""
+    g = two_campus(fast_hosts=6, slow_hosts=6,
+                   fast_capacity=1.0, slow_capacity=0.4)
+    for i in range(6):
+        g.node(f"a{i}").load_average = 1.0   # fast campus busy (cpu .5)
+    return g
+
+
+def run_fft(placement):
+    sim = Simulator()
+    cluster = Cluster(sim, scenario(), base_capacity=1.0)
+    # The background load as persistent competing processes.
+    for i in range(6):
+        cluster.compute(f"a{i}", 1e12)
+    app = FFT2D(num_nodes=4, iterations=16)
+    done = app.launch(cluster, placement)
+    return sim.run(until=done)
+
+
+def test_reference_scaling_changes_the_answer(benchmark):
+    g = scenario()
+    # Naive view: fractions against each element's own peak.  The idle
+    # 0.4x machines look perfect (cpu fraction 1.0 > loaded 0.5).
+    naive = select_balanced(g, 4)
+    # Reference view: capacities measured against a fast node and a fast
+    # link.  A loaded fast node delivers 0.5; an idle slow node only 0.4,
+    # and the slow LAN only 0.1 of the reference link.
+    refs = References(node_capacity=1.0, link_bandwidth=100 * Mbps)
+    aware = select_balanced(g, 4, refs)
+
+    naive_side = {n[0] for n in naive.nodes}
+    aware_side = {n[0] for n in aware.nodes}
+    naive_time = run_fft(naive.nodes)
+    aware_time = run_fft(aware.nodes)
+
+    report = format_table(
+        ["view", "nodes", "campus", "FFT time (s)"],
+        [
+            ["naive fractions", " ".join(naive.nodes),
+             "/".join(sorted(naive_side)), f"{naive_time:.1f}"],
+            ["§3.3 references", " ".join(aware.nodes),
+             "/".join(sorted(aware_side)), f"{aware_time:.1f}"],
+        ],
+        title="Heterogeneous two-campus selection "
+              "(fast campus loaded, slow campus idle)",
+    )
+    write_report("heterogeneous.txt", report)
+
+    assert naive_side == {"b"}, "naive view should chase the idle slow boxes"
+    assert aware_side == {"a"}, "reference view should keep the fast boxes"
+    # The reference-aware placement must actually run faster.
+    assert aware_time < naive_time * 0.9
+
+    benchmark(select_balanced, g, 4, refs)
+
+
+def test_reference_link_example(benchmark):
+    """§3.3's own numeric example as an end-to-end check: with a 100 Mbps
+    reference, 50% of a 155 Mbps link counts as 77.5 Mbps, not 50%."""
+    from repro.core import link_bandwidth_fraction
+    from repro.topology import TopologyGraph
+
+    g = TopologyGraph()
+    g.add_compute("x")
+    g.add_compute("y")
+    atm = g.add_link("x", "y", 155 * Mbps, available=77.5 * Mbps)
+    refs = References(link_bandwidth=100 * Mbps)
+
+    def fractions():
+        return (
+            link_bandwidth_fraction(atm),
+            link_bandwidth_fraction(atm, refs),
+        )
+
+    own, referenced = benchmark(fractions)
+    assert own == pytest.approx(0.5)
+    assert referenced == pytest.approx(0.775)

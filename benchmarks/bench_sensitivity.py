@@ -1,0 +1,110 @@
+"""§4.4: the sensitivity study the paper calls for.
+
+"More experimentation is needed to address ... sensitivity of automatic
+node selection to load and traffic on one hand, and application length and
+characteristics on the other."  This bench runs that study on the
+simulated testbed:
+
+1. **Load intensity sweep** — the selection benefit as offered load grows
+   from idle to heavy.  Finding: the benefit *grows monotonically* — even
+   past one competing job per node, the heavy-tailed lifetimes keep the
+   load spread uneven enough that dodging the worst nodes keeps paying
+   (at idle a small residual benefit remains from avoiding trunk-crossing
+   placements).
+2. **Application length sweep** — the benefit as the FFT's iteration count
+   grows (selection acts once at launch, so very long runs outlive the
+   conditions that informed the choice).
+
+Report: benchmarks/out/sensitivity.txt.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.analysis import format_table
+from repro.apps import FFT2D
+from repro.testbed import Policy, Scenario, run_campaign
+from repro.workloads import HarcholBalterLifetime
+from repro.workloads.load import LoadGeneratorConfig
+
+TRIALS = 6
+SEED = 11
+
+
+def load_config(rate):
+    return LoadGeneratorConfig(
+        arrival_rate=rate,
+        lifetime=HarcholBalterLifetime(
+            exp_mean=0.4, p_heavy=0.4, pareto_alpha=1.0,
+            pareto_xm=2.0, pareto_cap=200.0,
+        ),
+    )
+
+
+def benefit_at(app_factory, rate):
+    """Relative improvement of auto over random at one load intensity."""
+    means = {}
+    for policy in (Policy.RANDOM, Policy.AUTO):
+        sc = Scenario(
+            app_factory=app_factory, policy=policy,
+            load_on=rate > 0, load_config=load_config(max(rate, 1e-6)),
+        )
+        means[policy] = run_campaign(sc, trials=TRIALS, base_seed=SEED).mean
+    benefit = 1.0 - means[Policy.AUTO] / means[Policy.RANDOM]
+    return means[Policy.RANDOM], means[Policy.AUTO], benefit
+
+
+def test_sensitivity_to_load_intensity(benchmark):
+    rows = []
+    benefits = {}
+    for rate in (0.0, 0.05, 0.10, 0.30):
+        rnd, auto, benefit = benefit_at(FFT2D.paper_config, rate)
+        benefits[rate] = benefit
+        rows.append([
+            f"{rate:g}",
+            f"{load_config(max(rate, 1e-6)).offered_load * (rate > 0):.2f}",
+            f"{rnd:.1f}", f"{auto:.1f}", f"{benefit * 100:.1f}%",
+        ])
+    report = format_table(
+        ["arrival rate", "offered load", "random (s)", "auto (s)", "benefit"],
+        rows,
+        title="§4.4 sensitivity: selection benefit vs load intensity (FFT)",
+    )
+
+    # Idle testbed: only the placement-structure benefit remains (random
+    # spans trunks; auto co-locates) — small but non-zero.
+    assert 0.0 <= benefits[0.0] < 0.12
+    # Moderate load: a solid benefit.
+    assert benefits[0.10] > 0.08
+    # Heavy load: heavy-tailed imbalance keeps growing the benefit.
+    assert benefits[0.30] > benefits[0.10]
+
+    # Part 2: application length sweep at the sweet-spot load.
+    rows2 = []
+    short_benefit = long_benefit = None
+    for iters in (8, 32, 128):
+        factory = lambda iters=iters: FFT2D(num_nodes=4, iterations=iters)
+        rnd, auto, benefit = benefit_at(factory, 0.10)
+        if iters == 8:
+            short_benefit = benefit
+        if iters == 128:
+            long_benefit = benefit
+        rows2.append([
+            iters, f"{rnd:.1f}", f"{auto:.1f}", f"{benefit * 100:.1f}%",
+        ])
+    report2 = format_table(
+        ["FFT iterations", "random (s)", "auto (s)", "benefit"],
+        rows2,
+        title="§4.4 sensitivity: selection benefit vs application length",
+    )
+    write_report("sensitivity.txt", report + "\n\n" + report2)
+
+    # A one-shot launch decision decays as the run outlives the snapshot:
+    # the long run's benefit must not exceed the short run's by much.
+    assert long_benefit < short_benefit + 0.10
+
+    sc = Scenario(app_factory=FFT2D.paper_config, policy=Policy.AUTO,
+                  load_on=True, load_config=load_config(0.10))
+    from repro.testbed import run_trial
+    benchmark.pedantic(run_trial, args=(sc, 5), rounds=2, iterations=1)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures (see DESIGN.md's
+per-experiment index).  Heavy experiment matrices run once in session-scoped
+fixtures; the ``benchmark`` fixture then times a representative kernel so
+``pytest benchmarks/ --benchmark-only`` both *checks the science* (asserts
+the paper's qualitative claims) and reports performance.
+
+Each bench also writes its human-readable report to ``benchmarks/out/`` so
+the regenerated rows survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a bench's regenerated table under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text + "\n")
+    # Also echo to stdout for -s runs.
+    print(f"\n[{name}]\n{text}")

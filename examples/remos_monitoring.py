@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Watching a live network through the Remos query interface (paper §2.2).
+
+Drives the simulated CMU testbed with a bulk transfer and a compute job,
+then asks Remos the questions an application launcher would: node loads,
+link utilization, flow queries (with sharing), and the logical topology —
+including how stale answers are between collector polls.
+
+Run:  python examples/remos_monitoring.py
+"""
+
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.remos import Collector, RemosAPI
+from repro.testbed import cmu_testbed
+from repro.units import MB, Mbps
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0, load_tau=30.0)
+    collector = Collector(cluster, period=5.0)
+    api = RemosAPI(collector)
+
+    # Background activity: a long bulk stream m-16 -> m-18 (the Figure 4
+    # scenario) and a busy host m-2.
+    cluster.transfer("m-16", "m-18", 10_000 * MB)
+    cluster.compute("m-2", 1e12)
+
+    def report(sim):
+        yield sim.timeout(60.0)
+        print(f"t={sim.now:.0f}s — Remos answers:\n")
+
+        print(f"load(m-2)  = {api.node_load('m-2'):.2f}")
+        print(f"load(m-1)  = {api.node_load('m-1'):.2f}")
+
+        info = api.link_info("m-16", "gibraltar")
+        print(
+            f"\nlink m-16--gibraltar: capacity {info.capacity_bps / Mbps:.0f}"
+            f" Mbps, used {info.utilization_fwd_bps / Mbps:.0f} Mbps towards"
+            f" gibraltar (the bulk stream)"
+        )
+
+        q = api.flow_query("m-13", "m-14")
+        print(f"\nflow query m-13 -> m-14: {q / Mbps:.0f} Mbps available")
+        q = api.flow_query("m-15", "m-18")
+        print(f"flow query m-15 -> m-18: {q / Mbps:.0f} Mbps"
+              f"  (shares m-18's downlink with the stream)")
+        pair = api.flows_query([("m-1", "m-7"), ("m-2", "m-8")])
+        print(
+            f"two concurrent flows panama->suez: "
+            f"{pair[0] / Mbps:.0f} and {pair[1] / Mbps:.0f} Mbps"
+            f"  (they share the trunk)"
+        )
+
+        topo = api.topology()
+        busy = [
+            f"{l.u}--{l.v}"
+            for l in topo.links()
+            if l.bwfactor < 0.5
+        ]
+        print(f"\nlogical topology: links under 50% available: {busy}")
+        print(f"collector staleness right now: {collector.age():.1f}s")
+
+    done = sim.process(report(sim))
+    sim.run(until=done)
+
+
+if __name__ == "__main__":
+    main()

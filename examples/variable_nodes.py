@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Choosing the number *and* set of nodes (paper §3.4).
+
+The paper notes that deciding how many nodes to use requires coupling the
+selection procedures with performance estimation.  This example does the
+full loop: a phase-model estimator predicts the application's runtime at
+each candidate size, a speedup model derived from it drives the
+variable-m selector, and the chosen placement is validated by actually
+running a matching workload on the simulated testbed.
+
+Run:  python examples/variable_nodes.py
+"""
+
+from repro.core import (
+    ApplicationSpec,
+    CommPattern,
+    NodeSelector,
+    PhaseWorkload,
+    estimate_runtime,
+    speedup_model,
+)
+from repro.apps import FFT2D
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.testbed import cmu_testbed
+from repro.units import MB
+
+
+def main() -> None:
+    graph = cmu_testbed()
+    # Half the testbed is busy: growing into loaded nodes should not pay.
+    for i in range(10, 19):
+        graph.node(f"m-{i}").load_average = 4.0
+
+    # A communication-heavy iterative workload (FFT-like).
+    phases = [PhaseWorkload(
+        compute_seconds_total=4.0,
+        comm_bytes_per_pair=4 * MB,
+        pattern=CommPattern.ALL_TO_ALL,
+        iterations=32,
+    )]
+
+    print("predicted runtime by node count (on current conditions):")
+    for m in (2, 4, 6, 8, 10, 12):
+        spec = ApplicationSpec(num_nodes=m)
+        placement = NodeSelector(graph).select(spec).nodes
+        t = estimate_runtime(graph, placement, phases)
+        print(f"  m={m:2d}: {t:7.1f} s   on {placement}")
+
+    sp = speedup_model(graph, phases)
+    spec = ApplicationSpec(num_nodes_range=range(2, 13), speedup_model=sp)
+    sel = NodeSelector(graph).select(spec)
+    print(f"\nvariable-m selection: m={sel.size} -> {sel.nodes}")
+
+    # Validate the choice by running the matching application for real.
+    # (The FFT needs m | 1024, so validate at the largest power of two
+    # not exceeding the chosen size.)
+    m = 1 << (sel.size.bit_length() - 1)
+    m = max(m, 2)
+    placement = NodeSelector(graph).select(ApplicationSpec(num_nodes=m)).nodes
+    app = FFT2D(num_nodes=m, iterations=32,
+                compute_seconds_per_iteration=4.0)
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+    for i in range(10, 19):
+        for _ in range(4):
+            cluster.compute(f"m-{i}", 1e12)
+    done = app.launch(cluster, placement)
+    print(f"simulated runtime at m={m} on {placement}: "
+          f"{sim.run(until=done):.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of *Automatic Node Selection for High Performance
+Applications on Networks* (Subhlok, Lieu, Lowekamp; PPOPP 1999).
+
+The package provides the paper's node-selection framework end to end:
+
+- :mod:`repro.core` — the selection algorithms (Figures 2 and 3, the O(n)
+  compute selector, and the §3.3/§3.4 generalizations) behind the
+  :class:`~repro.core.NodeSelector` facade;
+- :mod:`repro.topology` — the Remos logical-topology graph model;
+- :mod:`repro.remos` — a faithful Remos substrate (SNMP agents, polling
+  collector, flow/topology queries, forecasting);
+- :mod:`repro.network` + :mod:`repro.des` — the simulated testbed
+  (flow-level network, processor-sharing hosts, DES kernel);
+- :mod:`repro.workloads` — the §4.2 load/traffic generators;
+- :mod:`repro.apps` — FFT / Airshed / MRI application models;
+- :mod:`repro.testbed` — the CMU testbed and the Table 1 experiments;
+- :mod:`repro.analysis` — statistics and report formatting.
+
+Quickstart::
+
+    from repro.core import ApplicationSpec, NodeSelector
+    from repro.topology import star
+
+    graph = star(8)                      # or a Remos API handle
+    graph.node("h3").load_average = 2.0  # someone is busy
+    selection = NodeSelector(graph).select(ApplicationSpec(num_nodes=4))
+    print(selection.nodes)
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, apps, core, des, network, remos, testbed, topology, workloads
+from .core import ApplicationSpec, NodeSelector, Selection
+
+__all__ = [
+    "ApplicationSpec",
+    "NodeSelector",
+    "Selection",
+    "__version__",
+    "analysis",
+    "apps",
+    "core",
+    "des",
+    "network",
+    "remos",
+    "testbed",
+    "topology",
+    "workloads",
+]

@@ -1,0 +1,23 @@
+"""Statistics and report formatting for experiment campaigns."""
+
+from .stats import (
+    Summary,
+    percent_change,
+    slowdown_percent,
+    summarize,
+    welch_t,
+)
+from .tables import format_percent, format_table
+from .timeseries import Recorder, Series
+
+__all__ = [
+    "Summary",
+    "Recorder",
+    "Series",
+    "format_percent",
+    "format_table",
+    "percent_change",
+    "slowdown_percent",
+    "summarize",
+    "welch_t",
+]

@@ -1,0 +1,116 @@
+"""Statistics helpers for experiment campaigns.
+
+The paper stresses that "since the activity on the network is changing
+continuously, a large number of measurements is necessary to have
+statistically relevant results."  These helpers summarize campaigns with
+confidence intervals and compare policies with Welch's t-test, so the
+benches can report not just means but whether differences are meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "welch_t",
+    "percent_change",
+    "slowdown_percent",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and a normal-approximation confidence interval."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_halfwidth(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Summary statistics with a CI on the mean.
+
+    Uses the normal approximation (z = 1.96 at 95%); with the trial counts
+    the campaigns use (≥10) this is adequate and avoids a scipy dependency
+    in the core path.
+    """
+    xs = np.asarray(list(values), dtype=float)
+    if xs.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(xs.mean())
+    std = float(xs.std(ddof=1)) if xs.size > 1 else 0.0
+    # Two-sided z for the requested confidence.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    half = z * std / math.sqrt(xs.size) if xs.size > 1 else 0.0
+    return Summary(
+        n=int(xs.size), mean=mean, std=std,
+        ci_low=mean - half, ci_high=mean + half,
+    )
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function (Winitzki's approximation, |err| < 6e-3)."""
+    a = 0.147
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), y
+    )
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> tuple[float, float]:
+    """Welch's t statistic and degrees of freedom for two samples.
+
+    Returns ``(t, dof)``; a |t| above ~2 with reasonable dof indicates the
+    means differ at the 95% level.  (The benches report t directly rather
+    than a p-value to avoid a scipy dependency.)
+    """
+    xs = np.asarray(list(a), dtype=float)
+    ys = np.asarray(list(b), dtype=float)
+    if xs.size < 2 or ys.size < 2:
+        raise ValueError("Welch's t needs at least two samples per group")
+    va, vb = xs.var(ddof=1), ys.var(ddof=1)
+    na, nb = xs.size, ys.size
+    se2 = va / na + vb / nb
+    if se2 == 0:
+        return (0.0 if xs.mean() == ys.mean() else math.inf, float(na + nb - 2))
+    t = (xs.mean() - ys.mean()) / math.sqrt(se2)
+    dof = se2**2 / (
+        (va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1)
+    )
+    return float(t), float(dof)
+
+
+def percent_change(new: float, reference: float) -> float:
+    """Relative change of ``new`` vs ``reference`` in percent.
+
+    The paper's Table 1 derives e.g. ``82.6 s (-23.8%)`` from the random
+    baseline; this is that computation.
+    """
+    if reference == 0:
+        raise ValueError("reference must be nonzero")
+    return 100.0 * (new - reference) / reference
+
+
+def slowdown_percent(loaded: float, unloaded: float) -> float:
+    """Increase in execution time due to load/traffic, in percent.
+
+    §4.3: "the FFT time went up from 48 to 142.6 seconds (201%)".
+    """
+    if unloaded <= 0:
+        raise ValueError("unloaded time must be positive")
+    return 100.0 * (loaded - unloaded) / unloaded

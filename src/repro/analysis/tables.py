@@ -1,0 +1,59 @@
+"""ASCII table formatting for experiment reports.
+
+Renders rows in the style of the paper's Table 1 so bench output can be
+eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """``-23.8%`` style formatting."""
+    sign = "+" if signed and value > 0 else ""
+    return f"{sign}{value:.1f}%"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width ASCII table with a header rule.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    cells = [[_cell(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Time-series recording of simulated quantities.
+
+A :class:`Recorder` samples arbitrary probe callables on a fixed period of
+simulated time (host load, link utilization, queue depths, ...) and
+provides the summary statistics experiments need: time averages, peaks,
+and threshold occupancy.  Used by tests, examples, and the benches to
+characterize generator behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..des.simulator import Simulator
+
+__all__ = ["Series", "Recorder"]
+
+
+@dataclass
+class Series:
+    """One sampled time series."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return self.values[-1]
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (uniform period ⇒ time average)."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return sum(self.values) / len(self.values)
+
+    def peak(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return max(self.values)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return sum(v > threshold for v in self.values) / len(self.values)
+
+    def window(self, start: float, end: float) -> "Series":
+        """The sub-series with ``start <= t <= end``."""
+        out = Series(self.name)
+        for t, v in zip(self.times, self.values):
+            if start <= t <= end:
+                out.times.append(t)
+                out.values.append(v)
+        return out
+
+
+class Recorder:
+    """Samples registered probes every ``period`` simulated seconds.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to sample on.
+    period:
+        Sampling period (seconds of simulated time).
+    start:
+        Start the sampling process immediately (default).
+
+    Examples
+    --------
+    >>> rec = Recorder(sim, period=1.0)                  # doctest: +SKIP
+    >>> rec.track("load-m1", lambda: cluster.host("m-1").load_average)
+    >>> sim.run(until=600)                               # doctest: +SKIP
+    >>> rec.series("load-m1").mean()                     # doctest: +SKIP
+    """
+
+    def __init__(self, sim: Simulator, period: float = 1.0, start: bool = True) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.period = float(period)
+        self._probes: dict[str, Callable[[], float]] = {}
+        self._series: dict[str, Series] = {}
+        self._running = False
+        if start:
+            self.start()
+
+    def track(self, name: str, probe: Callable[[], float]) -> Series:
+        """Register a probe; returns its (live) series."""
+        if name in self._probes:
+            raise ValueError(f"duplicate series name {name!r}")
+        self._probes[name] = probe
+        self._series[name] = Series(name)
+        return self._series[name]
+
+    def series(self, name: str) -> Series:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise KeyError(f"no series {name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._series)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._run(), name="recorder")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def sample_now(self) -> None:
+        """Take one sample of every probe immediately."""
+        now = self.sim.now
+        for name, probe in self._probes.items():
+            series = self._series[name]
+            series.times.append(now)
+            series.values.append(float(probe()))
+
+    def _run(self):
+        while self._running:
+            self.sample_now()
+            yield self.sim.timeout(self.period)

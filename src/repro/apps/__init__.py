@@ -1,0 +1,34 @@
+"""The application suite (paper §4.3) and its message-passing substrate.
+
+Three applications model the paper's benchmarks on the simulated testbed:
+
+- :class:`FFT2D` — loosely synchronous 2D FFT (4 nodes, 32 iterations);
+- :class:`Airshed` — multi-phase loosely synchronous pollution model
+  (5 nodes, 6 simulated hours);
+- :class:`MRI` — self-adapting master-slave image analysis (4 nodes).
+
+They run over :class:`Program`/:class:`RankContext`, a small virtual
+message-passing layer whose transfers are real flows on the simulated
+fabric, so communication performance emerges from topology and traffic.
+"""
+
+from .airshed import Airshed
+from .base import Application
+from .fft import FFT2D
+from .mri import MRI
+from .reference_fft import DistributedFFT2DResult, distributed_fft2d
+from .stream import StreamingService
+from .vmp import Message, Program, RankContext
+
+__all__ = [
+    "Airshed",
+    "Application",
+    "DistributedFFT2DResult",
+    "FFT2D",
+    "MRI",
+    "Message",
+    "Program",
+    "RankContext",
+    "StreamingService",
+    "distributed_fft2d",
+]

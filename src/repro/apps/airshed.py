@@ -1,0 +1,111 @@
+"""The Airshed pollution model (paper §4.3, 5 nodes, 6-hour simulation).
+
+Airshed [Subhlok et al., IPPS'98] alternates two phases per simulated hour:
+
+- **transport**: advection of pollutants on a 3-D grid — data-parallel
+  compute with nearest-neighbour boundary exchanges each step;
+- **chemistry**: independent per-cell reaction chemistry — the dominant,
+  embarrassingly parallel compute phase;
+
+The two phases want different data layouts (transport is distributed over
+horizontal slabs, chemistry over columns), so the HPF code performs an
+**array redistribution** — an all-to-all — between them, in both
+directions, plus an hourly concentration dump gathered to the master rank.  Like the
+FFT it is loosely synchronous: every step waits for the slowest node and
+the slowest boundary exchange, so external load/traffic hit hard (the
+paper's worst case: +253% on random nodes with both generators on).
+
+:meth:`Airshed.paper_config` is calibrated to ≈150 s unloaded at 5 nodes.
+"""
+
+from __future__ import annotations
+
+from ..core.spec import ApplicationSpec, CommPattern, Objective
+from ..units import MB
+from .base import Application
+from .vmp import RankContext
+
+__all__ = ["Airshed"]
+
+
+class Airshed(Application):
+    """Multi-phase loosely synchronous pollution model.
+
+    Parameters
+    ----------
+    num_nodes:
+        Ranks (the paper used 5).
+    hours:
+        Simulated hours (the paper ran a 6 hour simulation).
+    transport_steps:
+        Advection steps per hour, each ending in a boundary exchange.
+    transport_seconds_per_hour / chemistry_seconds_per_hour:
+        Aggregate dedicated-CPU seconds per simulated hour for each phase.
+    boundary_bytes:
+        Bytes exchanged with each ring neighbour per transport step.
+    redistribution_bytes:
+        Bytes shipped to each peer in the phase-boundary array
+        redistribution (all-to-all), run transport->chemistry and back.
+    dump_bytes:
+        Bytes each worker gathers to rank 0 at the end of every hour.
+    """
+
+    name = "Airshed"
+
+    def __init__(
+        self,
+        num_nodes: int = 5,
+        hours: int = 6,
+        transport_steps: int = 4,
+        transport_seconds_per_hour: float = 21.0,
+        chemistry_seconds_per_hour: float = 36.9,
+        boundary_bytes: float = 8 * MB,
+        redistribution_bytes: float = 4 * MB,
+        dump_bytes: float = 16 * MB,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("Airshed model needs at least 2 nodes")
+        if hours < 1:
+            raise ValueError("need at least one simulated hour")
+        if transport_steps < 1:
+            raise ValueError("need at least one transport step per hour")
+        self.num_nodes = num_nodes
+        self.hours = hours
+        self.transport_steps = transport_steps
+        self.transport_seconds_per_hour = transport_seconds_per_hour
+        self.chemistry_seconds_per_hour = chemistry_seconds_per_hour
+        self.boundary_bytes = boundary_bytes
+        self.redistribution_bytes = redistribution_bytes
+        self.dump_bytes = dump_bytes
+
+    @classmethod
+    def paper_config(cls) -> "Airshed":
+        """The paper's run: 5 nodes, 6 hours, ~150 s unloaded."""
+        return cls()
+
+    def spec(self) -> ApplicationSpec:
+        return ApplicationSpec(
+            num_nodes=self.num_nodes,
+            pattern=CommPattern.RING,
+            objective=Objective.BALANCED,
+        )
+
+    def rank_main(self, ctx: RankContext):
+        transport_ops = (
+            self.transport_seconds_per_hour
+            / (self.transport_steps * self.num_nodes)
+        )
+        chemistry_ops = self.chemistry_seconds_per_hour / self.num_nodes
+        for hour in range(self.hours):
+            for step in range(self.transport_steps):
+                yield ctx.compute(transport_ops)
+                yield ctx.ring_exchange(
+                    self.boundary_bytes, tag=f"h{hour}s{step}"
+                )
+            # Layout change for chemistry: slabs -> columns.
+            yield ctx.alltoall(self.redistribution_bytes, tag=f"r1.{hour}")
+            yield ctx.compute(chemistry_ops)
+            # ... and back for the next hour's transport.
+            yield ctx.alltoall(self.redistribution_bytes, tag=f"r2.{hour}")
+            yield ctx.gather(0, self.dump_bytes, tag=f"dump{hour}")
+            yield ctx.barrier(tag=f"hour{hour}")

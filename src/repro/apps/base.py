@@ -1,0 +1,60 @@
+"""Application harness shared by the benchmark suite (§4.3).
+
+An :class:`Application` bundles (a) the :class:`ApplicationSpec` it would
+hand the selection framework and (b) a message-passing program modelling
+its computation/communication structure, runnable on any placement.  The
+paper's three applications — 2D FFT, Airshed, MRI — subclass this.
+
+Calibration note: the simulated testbed uses ``base_capacity = 1.0``
+ops/second, so application compute demand is expressed directly in
+*dedicated-CPU seconds*; parameters are chosen so the unloaded runtimes on
+the CMU testbed model land on the paper's reference column (48 s / 150 s /
+540 s), which the application tests verify.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..core.spec import ApplicationSpec
+from ..des.process import Process
+from ..network.cluster import Cluster
+from .vmp import Program, RankContext
+
+__all__ = ["Application"]
+
+
+class Application(ABC):
+    """A runnable model of one benchmark application."""
+
+    #: Human-readable name used in tables.
+    name: str = "application"
+    #: Number of nodes the paper ran this application on.
+    num_nodes: int = 1
+
+    @abstractmethod
+    def spec(self) -> ApplicationSpec:
+        """The specification handed to the node-selection framework."""
+
+    @abstractmethod
+    def rank_main(self, ctx: RankContext):
+        """Generator executed by every rank (dispatch on ``ctx.rank``)."""
+
+    def launch(self, cluster: Cluster, placement: Sequence[str]) -> Process:
+        """Start the application on ``placement``.
+
+        Returns a process whose value is the elapsed execution time in
+        simulated seconds.  The placement length must match
+        :attr:`num_nodes` — selection produced it for exactly that size.
+        """
+        if len(placement) != self.num_nodes:
+            raise ValueError(
+                f"{self.name} needs {self.num_nodes} nodes, "
+                f"got placement of {len(placement)}"
+            )
+        program = Program(cluster, placement)
+        return program.run(self.rank_main, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} m={self.num_nodes}>"

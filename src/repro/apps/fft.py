@@ -1,0 +1,98 @@
+"""The 2D FFT application model (paper §4.3, "FFT (1K)", 4 nodes, 32 iters).
+
+A loosely synchronous data-parallel 2D FFT: each iteration performs
+
+1. row FFTs on the locally held slab of the N×N array,
+2. a transpose — the all-to-all exchange in which every rank ships
+   ``N²/m²`` points to every peer,
+3. column FFTs on the transposed slab,
+
+with an iteration barrier (the next iteration consumes the full result).
+Because every rank must finish both compute phases and the all-to-all
+before anyone proceeds, *any* loaded node or congested link becomes the
+iteration bottleneck — which is exactly why the paper sees a ~300% slowdown
+under load+traffic on random nodes (§4.3).
+
+:class:`FFT2D.paper_config` is calibrated so the unloaded runtime on the
+CMU testbed model is ≈48 s at 4 nodes, the paper's reference time.
+"""
+
+from __future__ import annotations
+
+from ..core.spec import ApplicationSpec, CommPattern, Objective
+from ..units import MB
+from .base import Application
+from .vmp import RankContext
+
+__all__ = ["FFT2D"]
+
+
+class FFT2D(Application):
+    """Loosely synchronous 2D FFT over an N×N complex array.
+
+    Parameters
+    ----------
+    num_nodes:
+        Ranks (= nodes; one rank per node).
+    iterations:
+        Outer iterations (the paper ran 32).
+    n:
+        Problem size per dimension (the paper's "1K" = 1024).
+    compute_seconds_per_iteration:
+        Aggregate dedicated-CPU seconds per iteration across all ranks,
+        split evenly between the row and column phases.
+    bytes_per_point:
+        Storage per array point (16 = double-precision complex).
+    """
+
+    name = "FFT (1K)"
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        iterations: int = 32,
+        n: int = 1024,
+        compute_seconds_per_iteration: float = 4.0,
+        bytes_per_point: int = 16,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("FFT model needs at least 2 nodes")
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        if n % num_nodes != 0:
+            raise ValueError(f"n={n} must be divisible by num_nodes={num_nodes}")
+        self.num_nodes = num_nodes
+        self.iterations = iterations
+        self.n = n
+        self.compute_seconds_per_iteration = compute_seconds_per_iteration
+        self.bytes_per_point = bytes_per_point
+
+    @classmethod
+    def paper_config(cls) -> "FFT2D":
+        """The paper's run: 1K points, 4 nodes, 32 iterations, ~48 s unloaded."""
+        return cls(num_nodes=4, iterations=32, n=1024,
+                   compute_seconds_per_iteration=4.0)
+
+    @property
+    def transpose_bytes_per_pair(self) -> float:
+        """Bytes each rank ships to each peer in one transpose."""
+        return self.n * self.n * self.bytes_per_point / self.num_nodes**2
+
+    def spec(self) -> ApplicationSpec:
+        return ApplicationSpec(
+            num_nodes=self.num_nodes,
+            pattern=CommPattern.ALL_TO_ALL,
+            objective=Objective.BALANCED,
+        )
+
+    def rank_main(self, ctx: RankContext):
+        per_phase_ops = (
+            self.compute_seconds_per_iteration / (2 * self.num_nodes)
+        )
+        pair_bytes = self.transpose_bytes_per_pair
+        for it in range(self.iterations):
+            yield ctx.compute(per_phase_ops)                   # row FFTs
+            yield ctx.alltoall(pair_bytes, tag=f"t{it}")        # transpose
+            yield ctx.compute(per_phase_ops)                   # column FFTs
+            yield ctx.alltoall(pair_bytes, tag=f"u{it}")        # transpose back
+            yield ctx.barrier(tag=f"b{it}")                    # loose synchrony

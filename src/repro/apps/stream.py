@@ -1,0 +1,107 @@
+"""A client-server streaming application (paper §1 motivation).
+
+"Client-server applications may have a choice of machines on which to run
+a client, or select from a set of distributed servers."  This model pairs
+with the group-placement selector (§3.4): rank 0 is a data server that
+streams chunks to every client concurrently; clients decode each chunk
+(light compute) and acknowledge.  Throughput is dominated by the
+server→client paths — exactly the quantity
+:func:`repro.core.select_client_server` optimizes — so placement quality
+shows up directly in completion time.
+"""
+
+from __future__ import annotations
+
+from ..core.spec import ApplicationSpec, CommPattern, GroupSpec, Objective
+from ..units import MB
+from .base import Application
+from .vmp import RankContext
+
+__all__ = ["StreamingService"]
+
+
+class StreamingService(Application):
+    """One server streaming ``chunks`` chunks to each of the clients.
+
+    Parameters
+    ----------
+    num_nodes:
+        1 server (rank 0) + ``num_nodes - 1`` clients.
+    chunks:
+        Chunks streamed to each client.
+    chunk_bytes:
+        Size of one chunk.
+    decode_seconds:
+        Client CPU per chunk (decode/render).
+    window:
+        Per-client pipelining depth: the server keeps up to this many
+        unacknowledged chunks in flight per client.
+    """
+
+    name = "Streaming"
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        chunks: int = 32,
+        chunk_bytes: float = 4 * MB,
+        decode_seconds: float = 0.05,
+        window: int = 2,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("need a server and at least one client")
+        if chunks < 1:
+            raise ValueError("need at least one chunk")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.num_nodes = num_nodes
+        self.chunks = chunks
+        self.chunk_bytes = chunk_bytes
+        self.decode_seconds = decode_seconds
+        self.window = window
+
+    def spec(self) -> ApplicationSpec:
+        """Declared as a two-group placement: server + clients."""
+        return ApplicationSpec(
+            pattern=CommPattern.MASTER_SLAVE,
+            objective=Objective.BALANCED,
+            groups=[
+                GroupSpec("server", size=1),
+                GroupSpec("clients", size=self.num_nodes - 1),
+            ],
+        )
+
+    def rank_main(self, ctx: RankContext):
+        if ctx.rank == 0:
+            yield from self._server(ctx)
+        else:
+            yield from self._client(ctx)
+
+    def _server(self, ctx: RankContext):
+        clients = list(range(1, ctx.size))
+        # One independent feeder per client, windowed by acknowledgements.
+        feeders = [
+            ctx.spawn(self._feed(ctx, client), name=f"feed[{client}]")
+            for client in clients
+        ]
+        yield ctx.sim.all_of(feeders)
+
+    def _feed(self, ctx: RankContext, client: int):
+        in_flight = 0
+        sent = 0
+        acked = 0
+        while acked < self.chunks:
+            while sent < self.chunks and in_flight < self.window:
+                yield ctx.send(client, self.chunk_bytes, tag=f"chunk{client}")
+                sent += 1
+                in_flight += 1
+            yield ctx.recv(src=client, tag=f"ack{client}")
+            acked += 1
+            in_flight -= 1
+
+    def _client(self, ctx: RankContext):
+        for _ in range(self.chunks):
+            yield ctx.recv(src=0, tag=f"chunk{ctx.rank}")
+            if self.decode_seconds > 0:
+                yield ctx.compute(self.decode_seconds)
+            yield ctx.send(0, 1024, tag=f"ack{ctx.rank}")

@@ -1,0 +1,259 @@
+"""Virtual message passing: an MPI-flavoured layer over the simulated cluster.
+
+The paper's applications are message-passing programs (an HPF/Fx FFT, the
+Airshed HPF code, a master-slave MRI pipeline).  To execute their
+*communication structure* on the simulated testbed we provide a small
+rank-based programming layer: a :class:`Program` places ``size`` ranks onto
+compute nodes; each rank is a generator receiving a :class:`RankContext`
+with ``compute`` / ``send`` / ``recv`` primitives and the collectives the
+applications need (barrier, all-to-all, broadcast, gather).
+
+Point-to-point semantics: ``send`` starts a flow on the fabric and delivers
+a message token into the destination rank's mailbox when the last byte
+lands (rendezvous-style bulk transfer, which is what these applications
+do); ``recv`` blocks until a matching token arrives.  Multiple transfers
+progress concurrently and share links max-min fairly, so collective
+performance emerges from the topology rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from ..des.events import Event
+from ..des.process import Process
+from ..des.resources import Store
+from ..network.cluster import Cluster
+
+__all__ = ["Message", "RankContext", "Program"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message token."""
+
+    src: int
+    tag: str
+    size_bytes: float
+
+
+class RankContext:
+    """The execution context handed to each rank's generator.
+
+    All methods return DES events (or processes, which are events), so rank
+    code composes them freely::
+
+        def worker(ctx):
+            yield ctx.compute(1.5e9)
+            yield ctx.send(0, 4 * MB, tag="result")
+            yield ctx.barrier()
+    """
+
+    def __init__(self, program: "Program", rank: int) -> None:
+        self.program = program
+        self.rank = rank
+        self._mailbox: Store = Store(program.cluster.sim)
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in the program."""
+        return self.program.size
+
+    @property
+    def node(self) -> str:
+        """The compute node this rank runs on."""
+        return self.program.placement[self.rank]
+
+    @property
+    def sim(self):
+        return self.program.cluster.sim
+
+    # -- primitives ------------------------------------------------------------
+    def compute(self, ops: float) -> Event:
+        """Execute ``ops`` operations on this rank's host (shared CPU)."""
+        return self.program.cluster.compute(self.node, ops).done
+
+    def elapsed(self, seconds: float) -> Event:
+        """Plain wall-clock delay (I/O, sleeps — not CPU-shared)."""
+        return self.sim.timeout(seconds)
+
+    def send(self, dst: int, size_bytes: float, tag: str = "") -> Event:
+        """Transfer ``size_bytes`` to rank ``dst``; fires on delivery.
+
+        Delivery also deposits a :class:`Message` in ``dst``'s mailbox so a
+        matching :meth:`recv` completes.
+        """
+        if not 0 <= dst < self.size:
+            raise ValueError(f"invalid destination rank {dst}")
+        dst_ctx = self.program.contexts[dst]
+        transfer = self.program.cluster.transfer(
+            self.node, dst_ctx.node, size_bytes
+        )
+        done = self.sim.event()
+
+        def _deliver(ev: Event) -> None:
+            if not ev.ok:
+                done.fail(ev._value)
+                return
+            dst_ctx._mailbox.put(Message(self.rank, tag, size_bytes))
+            done.succeed(ev.value)
+
+        transfer.callbacks.append(_deliver)
+        return done
+
+    def recv(self, src: Optional[int] = None, tag: Optional[str] = None) -> Event:
+        """Wait for a message (from ``src`` and/or with ``tag`` if given).
+
+        The event's value is the :class:`Message`.
+        """
+
+        def match(msg: Message) -> bool:
+            if src is not None and msg.src != src:
+                return False
+            if tag is not None and msg.tag != tag:
+                return False
+            return True
+
+        return self._mailbox.get(filter=match)
+
+    def spawn(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Run a helper generator as a concurrent sub-process."""
+        return self.sim.process(gen, name=name)
+
+    # -- collectives ----------------------------------------------------------
+    def barrier(self, tag: str = "__barrier__") -> Process:
+        """Synchronize all ranks (centralized gather + release at rank 0)."""
+
+        def _barrier():
+            if self.rank == 0:
+                for _ in range(self.size - 1):
+                    yield self.recv(tag=tag)
+                releases = [
+                    self.send(r, 0, tag=tag + "/go")
+                    for r in range(1, self.size)
+                ]
+                if releases:
+                    yield self.sim.all_of(releases)
+            else:
+                yield self.send(0, 0, tag=tag)
+                yield self.recv(src=0, tag=tag + "/go")
+
+        return self.spawn(_barrier(), name=f"barrier[{self.rank}]")
+
+    def alltoall(self, bytes_per_pair: float, tag: str = "__a2a__") -> Process:
+        """Exchange ``bytes_per_pair`` with every other rank, concurrently.
+
+        The transpose step of the 2D FFT and the paper's "all-to-all"
+        pattern; completes when this rank has sent to and received from all
+        peers.
+        """
+
+        def _a2a():
+            events = []
+            for peer in range(self.size):
+                if peer == self.rank:
+                    continue
+                events.append(self.send(peer, bytes_per_pair, tag=tag))
+                events.append(self.recv(src=peer, tag=tag))
+            if events:
+                yield self.sim.all_of(events)
+
+        return self.spawn(_a2a(), name=f"alltoall[{self.rank}]")
+
+    def bcast(self, root: int, size_bytes: float, tag: str = "__bcast__") -> Process:
+        """Root sends ``size_bytes`` to every other rank (flat tree)."""
+
+        def _bcast():
+            if self.rank == root:
+                sends = [
+                    self.send(r, size_bytes, tag=tag)
+                    for r in range(self.size)
+                    if r != root
+                ]
+                if sends:
+                    yield self.sim.all_of(sends)
+            else:
+                yield self.recv(src=root, tag=tag)
+
+        return self.spawn(_bcast(), name=f"bcast[{self.rank}]")
+
+    def gather(self, root: int, size_bytes: float, tag: str = "__gather__") -> Process:
+        """Every rank sends ``size_bytes`` to root."""
+
+        def _gather():
+            if self.rank == root:
+                for _ in range(self.size - 1):
+                    yield self.recv(tag=tag)
+            else:
+                yield self.send(root, size_bytes, tag=tag)
+
+        return self.spawn(_gather(), name=f"gather[{self.rank}]")
+
+    def ring_exchange(self, size_bytes: float, tag: str = "__ring__") -> Process:
+        """Exchange boundaries with both ring neighbours, concurrently."""
+
+        def _ring():
+            left = (self.rank - 1) % self.size
+            right = (self.rank + 1) % self.size
+            if self.size == 1:
+                return
+            events = [
+                self.send(left, size_bytes, tag=tag + "/l"),
+                self.send(right, size_bytes, tag=tag + "/r"),
+                self.recv(src=right, tag=tag + "/l"),
+                self.recv(src=left, tag=tag + "/r"),
+            ]
+            yield self.sim.all_of(events)
+
+        return self.spawn(_ring(), name=f"ring[{self.rank}]")
+
+
+RankFn = Callable[[RankContext], Generator]
+
+
+class Program:
+    """A placed message-passing program.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to run on.
+    placement:
+        Compute node name per rank (rank i runs on ``placement[i]``).
+        Nodes may repeat (co-located ranks share the host's CPU).
+    """
+
+    def __init__(self, cluster: Cluster, placement: Sequence[str]) -> None:
+        if not placement:
+            raise ValueError("placement must name at least one node")
+        for node in placement:
+            if node not in cluster.hosts:
+                raise KeyError(f"placement names unknown host {node!r}")
+        self.cluster = cluster
+        self.placement = list(placement)
+        self.contexts = [RankContext(self, r) for r in range(len(placement))]
+
+    @property
+    def size(self) -> int:
+        return len(self.placement)
+
+    def run(self, rank_fn: RankFn, name: str = "program") -> Process:
+        """Start every rank; the returned process fires with elapsed seconds.
+
+        ``rank_fn`` is called once per rank with its context.  The program
+        completes when all ranks return; a rank raising fails the program.
+        """
+        sim = self.cluster.sim
+        start = sim.now
+        procs = [
+            sim.process(rank_fn(ctx), name=f"{name}[{ctx.rank}]")
+            for ctx in self.contexts
+        ]
+
+        def _waiter():
+            yield sim.all_of(procs)
+            return sim.now - start
+
+        return sim.process(_waiter(), name=f"{name}-waiter")

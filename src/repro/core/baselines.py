@@ -1,0 +1,182 @@
+"""Baseline selection procedures used in the paper's evaluation (§4.3).
+
+- **Random selection**: the paper's experimental control.  "Random node
+  selection and node selection based on static network properties give
+  virtually identical performance on a small testbed with all high speed
+  links", so the random results also stand in for static procedures.
+- **Static selection**: chooses on *peak* capacities only (ignores current
+  load/traffic) — deterministic and reproducible.
+- **Exhaustive selection**: brute-force optimum under an exact objective.
+  Exponential; used by tests and benchmarks to certify the greedy
+  algorithms, never by the runtime framework.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..topology.graph import Node, TopologyGraph
+from .metrics import (
+    DEFAULT_REFERENCES,
+    References,
+    min_cpu_fraction,
+    min_pairwise_bandwidth,
+    min_pairwise_bandwidth_fraction,
+    minresource,
+)
+from .types import NoFeasibleSelection, Selection
+
+__all__ = ["select_random", "select_static", "select_exhaustive"]
+
+
+def _finish(graph: TopologyGraph, names: list[str], algorithm: str,
+            objective: float, refs: References, iterations: int = 0) -> Selection:
+    return Selection(
+        nodes=names,
+        objective=objective,
+        min_cpu_fraction=min_cpu_fraction(graph, names, refs),
+        min_bw_fraction=min_pairwise_bandwidth_fraction(graph, names, refs),
+        min_bw_bps=min_pairwise_bandwidth(graph, names),
+        algorithm=algorithm,
+        iterations=iterations,
+    )
+
+
+def _candidates(
+    graph: TopologyGraph, m: int, eligible: Optional[Callable[[Node], bool]]
+) -> list[Node]:
+    nodes = [
+        n for n in graph.compute_nodes()
+        if eligible is None or eligible(n)
+    ]
+    if len(nodes) < m:
+        raise NoFeasibleSelection(
+            f"need {m} eligible compute nodes, only {len(nodes)} exist"
+        )
+    return nodes
+
+
+def select_random(
+    graph: TopologyGraph,
+    m: int,
+    rng: np.random.Generator,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+    require_connected: bool = True,
+) -> Selection:
+    """Uniformly random ``m`` compute nodes (the paper's control arm).
+
+    With ``require_connected`` (default), resamples until the chosen nodes
+    can all reach each other — a disconnected placement cannot run the
+    application at all, and the paper's random runs were of course always
+    runnable.  Raises if no connected choice exists.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    nodes = _candidates(graph, m, eligible)
+    names = sorted(n.name for n in nodes)
+
+    def connected(subset: list[str]) -> bool:
+        comp = graph.component_of(subset[0])
+        return all(n in comp for n in subset[1:])
+
+    if require_connected:
+        feasible_exists = any(
+            sum(
+                1
+                for n in comp
+                if graph.node(n).is_compute
+                and (eligible is None or eligible(graph.node(n)))
+            ) >= m
+            for comp in graph.connected_components()
+        )
+        if not feasible_exists:
+            raise NoFeasibleSelection(
+                f"no connected component with {m} eligible compute nodes"
+            )
+        while True:
+            pick = sorted(rng.choice(names, size=m, replace=False).tolist())
+            if connected(pick):
+                break
+    else:
+        pick = sorted(rng.choice(names, size=m, replace=False).tolist())
+
+    return _finish(graph, pick, "random", float("nan"), refs)
+
+
+def select_static(
+    graph: TopologyGraph,
+    m: int,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Select on *peak* capacities, ignoring current load and traffic.
+
+    Nodes are ranked by peak compute capacity (name-tie-broken), which on a
+    homogeneous testbed degenerates to a fixed deterministic choice —
+    matching the paper's observation that static selection behaves like
+    random selection there.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    nodes = _candidates(graph, m, eligible)
+    ranked = sorted(nodes, key=lambda n: (-n.compute_capacity, n.name))
+    pick = [n.name for n in ranked[:m]]
+    return _finish(graph, pick, "static", float("nan"), refs)
+
+
+def select_exhaustive(
+    graph: TopologyGraph,
+    m: int,
+    objective: str = "balanced",
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Brute-force optimal selection under an exact objective.
+
+    Parameters
+    ----------
+    objective:
+        ``"bandwidth"`` — exact min pairwise available bandwidth (bps);
+        ``"compute"``  — min CPU fraction;
+        ``"balanced"`` — exact ``minresource`` (path-based, not the
+        conservative component bound the greedy uses).
+
+    Only sets whose nodes are mutually connected are considered.  Intended
+    for small graphs (tests/benchmarks); cost is C(n, m) objective
+    evaluations.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if objective not in ("bandwidth", "compute", "balanced"):
+        raise ValueError(f"unknown objective {objective!r}")
+    nodes = _candidates(graph, m, eligible)
+    names = sorted(n.name for n in nodes)
+
+    def score(subset: tuple[str, ...]) -> float:
+        comp = graph.component_of(subset[0])
+        if not all(n in comp for n in subset[1:]):
+            return float("-inf")
+        subset_l = list(subset)
+        if objective == "bandwidth":
+            return min_pairwise_bandwidth(graph, subset_l)
+        if objective == "compute":
+            return min_cpu_fraction(graph, subset_l, refs)
+        return minresource(graph, subset_l, refs)
+
+    best: Optional[tuple[str, ...]] = None
+    best_score = float("-inf")
+    for subset in combinations(names, m):
+        s = score(subset)
+        if s > best_score:
+            best, best_score = subset, s
+    if best is None or best_score == float("-inf"):
+        raise NoFeasibleSelection(
+            f"no connected subset of {m} eligible compute nodes"
+        )
+    return _finish(
+        graph, list(best), f"exhaustive-{objective}", best_score, refs
+    )

@@ -1,0 +1,95 @@
+"""Maximize-computation node selection (paper §3.2, first algorithm).
+
+For a homogeneous system, selecting for maximum available computation
+capacity reduces to choosing the ``m`` compute nodes with the highest
+``cpu = 1/(1+load)`` — linear time.  With a reference node capacity the
+same procedure runs on scaled fractions (§3.3 heterogeneity).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Optional
+
+from ..topology.graph import Node, TopologyGraph
+from .metrics import (
+    DEFAULT_REFERENCES,
+    References,
+    min_cpu_fraction,
+    min_pairwise_bandwidth,
+    min_pairwise_bandwidth_fraction,
+    node_compute_fraction,
+)
+from .types import NoFeasibleSelection, Selection
+
+__all__ = ["select_max_compute", "top_compute_nodes"]
+
+
+def top_compute_nodes(
+    candidates: Iterable[Node],
+    m: int,
+    refs: References = DEFAULT_REFERENCES,
+) -> list[Node]:
+    """The ``m`` compute nodes with the highest compute fraction.
+
+    Ties break by node name so results are reproducible.  This is the inner
+    primitive shared by the compute and balanced algorithms; ``heapq`` keeps
+    it O(n log m) — effectively the paper's O(n) for constant ``m``.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    compute = [c for c in candidates if c.is_compute]
+    if len(compute) < m:
+        raise NoFeasibleSelection(
+            f"need {m} compute nodes, only {len(compute)} available"
+        )
+    return heapq.nsmallest(
+        m, compute, key=lambda n: (-node_compute_fraction(n, refs), n.name)
+    )
+
+
+def select_max_compute(
+    graph: TopologyGraph,
+    m: int,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Select ``m`` nodes maximizing the minimum available CPU fraction.
+
+    Parameters
+    ----------
+    graph:
+        Topology snapshot (typically from a Remos query).
+    m:
+        Number of compute nodes required.
+    refs:
+        Reference capacities for heterogeneous systems.
+    eligible:
+        Optional predicate restricting candidate nodes (application
+        placement constraints, §2.1).
+
+    Returns
+    -------
+    Selection
+        ``objective`` is the minimum compute fraction of the chosen set.
+
+    Raises
+    ------
+    NoFeasibleSelection
+        If fewer than ``m`` eligible compute nodes exist.
+    """
+    candidates = graph.compute_nodes()
+    if eligible is not None:
+        candidates = [n for n in candidates if eligible(n)]
+    chosen = top_compute_nodes(candidates, m, refs)
+    names = [n.name for n in chosen]
+    mincpu = min_cpu_fraction(graph, names, refs)
+    return Selection(
+        nodes=names,
+        objective=mincpu,
+        min_cpu_fraction=mincpu,
+        min_bw_fraction=min_pairwise_bandwidth_fraction(graph, names, refs),
+        min_bw_bps=min_pairwise_bandwidth(graph, names),
+        algorithm="max-compute",
+        iterations=0,
+    )

@@ -1,0 +1,332 @@
+"""Generalized node selection (paper §3.3 and §3.4 extensions).
+
+The balanced algorithm already absorbs heterogeneity and prioritization via
+:class:`~repro.core.metrics.References`.  This module adds the remaining
+generalizations:
+
+- **Fixed requirements**: a hard bandwidth floor while maximizing CPU, or a
+  hard CPU floor while maximizing bandwidth ("the algorithm structure is
+  not modified and new constraints are added that define eligible node
+  sets").
+- **Cyclic topologies with static routing**: selection on the routed
+  overlay, falling back to a pairwise greedy when the overlay itself is
+  cyclic.
+- **Group/custom execution patterns** (§3.4, future work in the paper): a
+  first implementation for client–server style requirements.
+- **Variable number of execution nodes** (§3.4): couples selection with a
+  caller-supplied performance estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..topology.graph import Node, TopologyGraph
+from ..topology.routing import RoutedView, RoutingTable
+from .balanced import select_balanced
+from .bandwidth import select_max_bandwidth
+from .compute import select_max_compute, top_compute_nodes
+from .metrics import (
+    DEFAULT_REFERENCES,
+    References,
+    min_cpu_fraction,
+    min_pairwise_bandwidth,
+    min_pairwise_bandwidth_fraction,
+    node_compute_fraction,
+)
+from .types import NoFeasibleSelection, Selection
+
+__all__ = [
+    "select_with_bandwidth_floor",
+    "select_with_cpu_floor",
+    "select_routed",
+    "select_client_server",
+    "select_variable_nodes",
+]
+
+
+def select_with_bandwidth_floor(
+    graph: TopologyGraph,
+    m: int,
+    floor_bps: float,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Maximize CPU availability subject to a pairwise bandwidth floor.
+
+    §3.3: "satisfy a fixed bandwidth requirement (e.g. a minimum of 50 Mbps
+    between any selected nodes) and maximize processor availability under
+    that constraint".  Implementation: delete every edge whose available
+    bandwidth is below the floor — any surviving component guarantees the
+    floor between all of its nodes — then take the component whose best
+    ``m`` nodes have the highest minimum CPU fraction.
+    """
+    if floor_bps < 0:
+        raise ValueError(f"floor must be non-negative, got {floor_bps}")
+    work = graph.copy()
+    for link in list(work.links()):
+        if link.available < floor_bps:
+            work.remove_link(link.u, link.v)
+
+    best: Optional[tuple[float, list[str]]] = None
+    for comp in work.connected_components():
+        candidates = [
+            work.node(n) for n in comp
+            if work.node(n).is_compute
+            and (eligible is None or eligible(work.node(n)))
+        ]
+        if len(candidates) < m:
+            continue
+        chosen = top_compute_nodes(candidates, m, refs)
+        mincpu = min(node_compute_fraction(n, refs) for n in chosen)
+        names = [n.name for n in chosen]
+        if (
+            best is None
+            or mincpu > best[0]
+            or (mincpu == best[0] and names < best[1])
+        ):
+            best = (mincpu, names)
+    if best is None:
+        raise NoFeasibleSelection(
+            f"no component of {m} compute nodes meets a "
+            f"{floor_bps / 1e6:.1f} Mbps pairwise floor"
+        )
+    mincpu, names = best
+    return Selection(
+        nodes=names,
+        objective=mincpu,
+        min_cpu_fraction=min_cpu_fraction(graph, names, refs),
+        min_bw_fraction=min_pairwise_bandwidth_fraction(graph, names, refs),
+        min_bw_bps=min_pairwise_bandwidth(graph, names),
+        algorithm="bandwidth-floor",
+    )
+
+
+def select_with_cpu_floor(
+    graph: TopologyGraph,
+    m: int,
+    floor: float,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Maximize pairwise bandwidth subject to a per-node CPU-fraction floor.
+
+    The dual of :func:`select_with_bandwidth_floor`: nodes below the floor
+    are simply ineligible, and Figure 2 runs on the survivors.
+    """
+    if not 0 <= floor <= 1:
+        raise ValueError(f"cpu floor must be in [0, 1], got {floor}")
+
+    def ok(node: Node) -> bool:
+        if eligible is not None and not eligible(node):
+            return False
+        return node_compute_fraction(node, refs) >= floor
+
+    sel = select_max_bandwidth(graph, m, refs, eligible=ok)
+    sel.algorithm = "cpu-floor"
+    return sel
+
+
+def select_routed(
+    graph: TopologyGraph,
+    m: int,
+    routing: Optional[RoutingTable] = None,
+    objective: str = "balanced",
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Selection on a (possibly cyclic) statically routed topology (§3.3).
+
+    Builds the overlay of links actually used by routed paths between
+    candidate compute nodes.  If the overlay is acyclic — the common case
+    on LANs, where static routes form trees — the standard algorithms run
+    on it unchanged.  Otherwise a pairwise greedy operates directly on the
+    routed bottleneck-bandwidth matrix: starting from the best pair, grow
+    the set by the node maximizing the resulting objective.
+    """
+    if objective not in ("balanced", "bandwidth", "compute"):
+        raise ValueError(f"unknown objective {objective!r}")
+    routing = routing or RoutingTable(graph)
+    candidates = [
+        n.name for n in graph.compute_nodes()
+        if eligible is None or eligible(n)
+    ]
+    if len(candidates) < m:
+        raise NoFeasibleSelection(
+            f"need {m} eligible compute nodes, only {len(candidates)} exist"
+        )
+    view = RoutedView(graph, routing, compute_nodes=candidates)
+    overlay = view.overlay()
+
+    if overlay.is_acyclic():
+        if objective == "balanced":
+            sel = select_balanced(overlay, m, refs, eligible=eligible)
+        elif objective == "bandwidth":
+            sel = select_max_bandwidth(overlay, m, refs, eligible=eligible)
+        else:
+            sel = select_max_compute(overlay, m, refs, eligible=eligible)
+        sel.algorithm = f"routed-{sel.algorithm}"
+        return sel
+
+    # Cyclic overlay: pairwise greedy on the routed bandwidth matrix.
+    matrix = view.pair_bandwidth_matrix()
+
+    def pair_bw(a: str, b: str) -> float:
+        return min(matrix[(a, b)], matrix[(b, a)])
+
+    def cpu_frac(name: str) -> float:
+        return node_compute_fraction(graph.node(name), refs)
+
+    def set_score(names: Sequence[str]) -> float:
+        bw = min(
+            (pair_bw(a, b) for i, a in enumerate(names) for b in names[i + 1:]),
+            default=float("inf"),
+        )
+        bw_frac = bw / (refs.link_bandwidth or _max_capacity(graph))
+        cpu = min(cpu_frac(n) for n in names)
+        if objective == "bandwidth":
+            return bw
+        if objective == "compute":
+            return cpu
+        return min(refs.scale_cpu(cpu), refs.scale_bw(bw_frac))
+
+    def grow(seed: list[str]) -> list[str]:
+        out = list(seed)
+        while len(out) < m:
+            remaining = [c for c in candidates if c not in out]
+            nxt = max(remaining, key=lambda c: (set_score(out + [c]), c))
+            out.append(nxt)
+        return sorted(out)
+
+    # A single best-pair seed can trap the greedy inside a well-connected
+    # but poorly-expandable pocket (e.g. a congested pod whose two hosts
+    # talk fast to each other).  Grow from several of the best-scoring
+    # seed pairs and keep the best completed set.
+    if m == 1:
+        chosen = [max(candidates, key=lambda n: (cpu_frac(n), n))]
+    else:
+        pairs = sorted(
+            (
+                (set_score([a, b]), (a, b))
+                for i, a in enumerate(candidates)
+                for b in candidates[i + 1:]
+            ),
+            key=lambda t: (-t[0], t[1]),
+        )
+        max_seeds = min(len(pairs), max(8, len(candidates)))
+        grown = [grow(list(pair)) for _score, pair in pairs[:max_seeds]]
+        chosen = max(grown, key=lambda names: (set_score(names), names))
+
+    bw = min(
+        (pair_bw(a, b) for i, a in enumerate(chosen) for b in chosen[i + 1:]),
+        default=float("inf"),
+    )
+    return Selection(
+        nodes=chosen,
+        objective=set_score(chosen),
+        min_cpu_fraction=min_cpu_fraction(graph, chosen, refs),
+        min_bw_fraction=bw / (refs.link_bandwidth or _max_capacity(graph)),
+        min_bw_bps=bw,
+        algorithm=f"routed-pairwise-{objective}",
+    )
+
+
+def _max_capacity(graph: TopologyGraph) -> float:
+    return max((l.maxbw for l in graph.links()), default=1.0)
+
+
+def select_client_server(
+    graph: TopologyGraph,
+    num_clients: int,
+    num_servers: int = 1,
+    server_eligible: Optional[Callable[[Node], bool]] = None,
+    client_eligible: Optional[Callable[[Node], bool]] = None,
+    refs: References = DEFAULT_REFERENCES,
+) -> Selection:
+    """Client–server placement (§3.4 "custom execution patterns").
+
+    Servers get the nodes with the maximum available computation capacity
+    (among server-eligible nodes); clients are then chosen to maximize the
+    minimum available bandwidth *from the servers to the clients* — only
+    server→client communication is scored, per the paper's example.
+    """
+    if num_servers < 1 or num_clients < 1:
+        raise ValueError("need at least one server and one client")
+    server_nodes = [
+        n for n in graph.compute_nodes()
+        if server_eligible is None or server_eligible(n)
+    ]
+    servers = [
+        n.name for n in top_compute_nodes(server_nodes, num_servers, refs)
+    ]
+
+    def is_client_candidate(node: Node) -> bool:
+        if node.name in servers:
+            return False
+        return client_eligible is None or client_eligible(node)
+
+    candidates = [
+        n.name for n in graph.compute_nodes() if is_client_candidate(n)
+    ]
+    if len(candidates) < num_clients:
+        raise NoFeasibleSelection(
+            f"need {num_clients} client nodes, only {len(candidates)} eligible"
+        )
+
+    def client_bw(name: str) -> float:
+        # Only server->client direction matters.
+        return min(
+            graph.path_available_bandwidth(s, name) for s in servers
+        )
+
+    ranked = sorted(candidates, key=lambda n: (-client_bw(n), n))
+    clients = sorted(ranked[:num_clients])
+    worst_bw = min(client_bw(c) for c in clients)
+    if worst_bw == 0.0:
+        raise NoFeasibleSelection("some required client is unreachable from a server")
+    names = servers + clients
+    return Selection(
+        nodes=names,
+        objective=worst_bw,
+        min_cpu_fraction=min_cpu_fraction(graph, names, refs),
+        min_bw_fraction=min_pairwise_bandwidth_fraction(graph, names, refs),
+        min_bw_bps=min_pairwise_bandwidth(graph, names),
+        algorithm="client-server",
+        extras={"servers": servers, "clients": clients},
+    )
+
+
+def select_variable_nodes(
+    graph: TopologyGraph,
+    m_range: Sequence[int],
+    speedup: Callable[[int], float],
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Choose the number *and* set of nodes (§3.4 "variable number").
+
+    For each candidate ``m``, run the balanced selection and estimate
+    delivered performance as ``speedup(m) * minresource(m)`` — the paper
+    notes that its decision procedures must be coupled with a performance
+    estimation method; ``speedup`` is that method (e.g. an Amdahl model).
+    The ``m`` with the best estimate wins.
+    """
+    if not m_range:
+        raise ValueError("m_range must be non-empty")
+    best: Optional[tuple[float, Selection]] = None
+    for m in m_range:
+        try:
+            sel = select_balanced(graph, m, refs, eligible=eligible)
+        except NoFeasibleSelection:
+            continue
+        rate = speedup(m) * sel.objective
+        if best is None or rate > best[0]:
+            best = (rate, sel)
+    if best is None:
+        raise NoFeasibleSelection(
+            f"no feasible selection for any m in {list(m_range)}"
+        )
+    rate, sel = best
+    sel.algorithm = "variable-m"
+    sel.extras["estimated_rate"] = rate
+    return sel

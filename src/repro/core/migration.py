@@ -1,0 +1,148 @@
+"""Dynamic migration of long-running jobs (paper §3.3, "dynamic migration").
+
+The selection procedures apply directly to migration, with one crucial
+adjustment the paper calls out: *the load and traffic caused by the
+application itself must be captured separately* — the application's own
+footprint on its current nodes and links is not competing load and must be
+discounted before re-evaluating placements.
+
+:class:`MigrationAdvisor` implements this: given the application's own
+footprint (extra load average per occupied node, bandwidth per used link)
+it produces a *self-corrected* snapshot, re-runs selection, and recommends
+a move only when the improvement clears a hysteresis threshold (moving has
+real cost — checkpointing, restart — so marginal wins should not trigger
+migrations that thrash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..topology.graph import TopologyGraph
+from .metrics import DEFAULT_REFERENCES, References, minresource
+from .selector import NodeSelector
+from .spec import ApplicationSpec
+from .types import NoFeasibleSelection, Selection
+
+__all__ = ["SelfFootprint", "MigrationDecision", "MigrationAdvisor"]
+
+
+@dataclass
+class SelfFootprint:
+    """The running application's own resource usage.
+
+    ``node_load`` maps node name → load-average contribution of the app's
+    process on that node (1.0 for a fully busy single process).
+    ``link_traffic_bps`` maps an (undirected) node-name pair frozenset →
+    the app's own average traffic crossing that link.
+    """
+
+    node_load: dict[str, float] = field(default_factory=dict)
+    link_traffic_bps: dict[frozenset, float] = field(default_factory=dict)
+
+    @classmethod
+    def uniform(
+        cls,
+        nodes: Sequence[str],
+        load_per_node: float = 1.0,
+        links: Optional[Sequence[frozenset]] = None,
+        traffic_per_link_bps: float = 0.0,
+    ) -> "SelfFootprint":
+        """A simple footprint: same load on every node, same traffic per link."""
+        return cls(
+            node_load={n: load_per_node for n in nodes},
+            link_traffic_bps={
+                k: traffic_per_link_bps for k in (links or [])
+            },
+        )
+
+
+@dataclass
+class MigrationDecision:
+    """Outcome of one migration evaluation."""
+
+    migrate: bool
+    current_nodes: list[str]
+    candidate: Selection
+    current_score: float
+    candidate_score: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative improvement of the candidate over staying put."""
+        if self.current_score <= 0:
+            return float("inf") if self.candidate_score > 0 else 0.0
+        return self.candidate_score / self.current_score - 1.0
+
+
+class MigrationAdvisor:
+    """Decides whether a running application should move.
+
+    Parameters
+    ----------
+    selector:
+        The node selector to re-run (carries the topology provider).
+    hysteresis:
+        Minimum relative improvement required to recommend migration
+        (default 20%): ``candidate > (1 + hysteresis) * current``.
+    """
+
+    def __init__(self, selector: NodeSelector, hysteresis: float = 0.2) -> None:
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.selector = selector
+        self.hysteresis = hysteresis
+
+    def corrected_snapshot(
+        self, footprint: SelfFootprint, graph: Optional[TopologyGraph] = None
+    ) -> TopologyGraph:
+        """Topology snapshot with the app's own load/traffic removed."""
+        g = (graph if graph is not None else self.selector.snapshot()).copy()
+        for name, load in footprint.node_load.items():
+            if g.has_node(name):
+                node = g.node(name)
+                node.load_average = max(0.0, node.load_average - load)
+        for key, bps in footprint.link_traffic_bps.items():
+            names = tuple(key)
+            if len(names) == 2 and g.has_link(*names):
+                link = g.link(*names)
+                link.set_available(
+                    min(link.maxbw, link.available_fwd + bps), direction=link.v
+                )
+                link.set_available(
+                    min(link.maxbw, link.available_rev + bps), direction=link.u
+                )
+        return g
+
+    def evaluate(
+        self,
+        spec: ApplicationSpec,
+        current_nodes: Sequence[str],
+        footprint: SelfFootprint,
+        refs: References = DEFAULT_REFERENCES,
+    ) -> MigrationDecision:
+        """Compare staying on ``current_nodes`` against re-selection.
+
+        Both placements are scored with the exact balanced objective
+        (``minresource``) on the self-corrected snapshot, so the comparison
+        is apples-to-apples and the app's own footprint does not penalize
+        its current home.
+        """
+        g = self.corrected_snapshot(footprint)
+        current_score = minresource(g, list(current_nodes), refs)
+        candidate = self.selector.select(spec, graph=g)
+        candidate_score = minresource(g, candidate.nodes, refs)
+
+        same = set(candidate.nodes) == set(current_nodes)
+        migrate = (
+            not same
+            and candidate_score > current_score * (1.0 + self.hysteresis)
+        )
+        return MigrationDecision(
+            migrate=migrate,
+            current_nodes=list(current_nodes),
+            candidate=candidate,
+            current_score=current_score,
+            candidate_score=candidate_score,
+        )

@@ -1,0 +1,91 @@
+"""Node resource requirements (§2.1 / §3.4 "memory and disk availability").
+
+The application specification interface (§2.1) lets programs state hard
+per-node requirements — architecture, memory, disk, explicit host lists.
+This module turns such requirements into the ``eligible`` predicates every
+selection procedure accepts, so constraints compose uniformly with all
+algorithms.
+
+Node attributes used (all optional, set via ``Node.attrs``):
+
+- ``arch`` — architecture string (e.g. ``"alpha"``);
+- ``memory_bytes`` — installed memory;
+- ``free_disk_bytes`` — available scratch space;
+- arbitrary keys matched exactly through ``attrs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..topology.graph import Node
+
+__all__ = ["NodeRequirements"]
+
+
+@dataclass(frozen=True)
+class NodeRequirements:
+    """Hard per-node requirements, composable into an eligibility predicate.
+
+    Examples
+    --------
+    >>> reqs = NodeRequirements(arch="alpha", min_memory_bytes=256 << 20)
+    >>> sel = select_balanced(graph, 4, eligible=reqs.predicate())
+    ... # doctest: +SKIP
+    """
+
+    arch: Optional[str] = None
+    min_memory_bytes: Optional[float] = None
+    min_free_disk_bytes: Optional[float] = None
+    allowed_nodes: Optional[Sequence[str]] = None
+    forbidden_nodes: Sequence[str] = ()
+    attrs: dict[str, Any] = field(default_factory=dict)
+    #: Maximum acceptable load average (a soft-capacity requirement some
+    #: launchers impose on top of the optimizer).
+    max_load_average: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("min_memory_bytes", "min_free_disk_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} cannot be negative")
+        if self.max_load_average is not None and self.max_load_average < 0:
+            raise ValueError("max_load_average cannot be negative")
+
+    def admits(self, node: Node) -> bool:
+        """True if ``node`` satisfies every stated requirement."""
+        if self.allowed_nodes is not None and node.name not in self.allowed_nodes:
+            return False
+        if node.name in self.forbidden_nodes:
+            return False
+        if self.arch is not None and node.attrs.get("arch") != self.arch:
+            return False
+        if self.min_memory_bytes is not None:
+            if node.attrs.get("memory_bytes", 0) < self.min_memory_bytes:
+                return False
+        if self.min_free_disk_bytes is not None:
+            if node.attrs.get("free_disk_bytes", 0) < self.min_free_disk_bytes:
+                return False
+        if self.max_load_average is not None:
+            if node.load_average > self.max_load_average:
+                return False
+        for key, want in self.attrs.items():
+            if node.attrs.get(key) != want:
+                return False
+        return True
+
+    def predicate(
+        self, extra: Optional[Callable[[Node], bool]] = None
+    ) -> Callable[[Node], bool]:
+        """An ``eligible`` callable for the selection procedures.
+
+        ``extra`` composes an additional predicate with AND semantics.
+        """
+        if extra is None:
+            return self.admits
+        return lambda node: self.admits(node) and extra(node)
+
+    def __and__(self, other: "NodeRequirements") -> Callable[[Node], bool]:
+        """Conjunction of two requirement sets (as a predicate)."""
+        return lambda node: self.admits(node) and other.admits(node)

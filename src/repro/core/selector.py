@@ -1,0 +1,167 @@
+"""The NodeSelector facade: spec + network information → node set.
+
+This is the piece that ties the framework of §2 together: it accepts an
+:class:`~repro.core.spec.ApplicationSpec`, obtains the current logical
+topology (directly, or through a Remos query interface), and dispatches to
+the appropriate selection procedure of §3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from ..topology.graph import TopologyGraph
+from ..topology.routing import RoutingTable
+from .balanced import select_balanced
+from .bandwidth import select_max_bandwidth
+from .compute import select_max_compute
+from .generalized import (
+    select_client_server,
+    select_routed,
+    select_variable_nodes,
+    select_with_bandwidth_floor,
+    select_with_cpu_floor,
+)
+from .latency import select_with_latency_bound
+from .pattern_aware import select_pattern_aware
+from .metrics import References
+from .spec import ApplicationSpec, GroupSpec, Objective
+from .types import NoFeasibleSelection, Selection
+
+__all__ = ["NodeSelector", "TopologyProvider"]
+
+
+@runtime_checkable
+class TopologyProvider(Protocol):
+    """Anything that can produce a logical topology snapshot.
+
+    The Remos API (:class:`repro.remos.api.RemosAPI`) implements this; so
+    does a plain closure in tests.
+    """
+
+    def topology(self) -> TopologyGraph:  # pragma: no cover - protocol
+        ...
+
+
+class NodeSelector:
+    """Automatic node selection for one execution environment.
+
+    Parameters
+    ----------
+    provider:
+        A :class:`TopologyProvider` (e.g. a Remos API handle) queried for a
+        fresh snapshot at each :meth:`select` call, **or** a static
+        :class:`TopologyGraph` used as-is.
+
+    Examples
+    --------
+    >>> from repro.topology import star
+    >>> from repro.core import ApplicationSpec, NodeSelector
+    >>> sel = NodeSelector(star(8)).select(ApplicationSpec(num_nodes=4))
+    >>> len(sel.nodes)
+    4
+    """
+
+    def __init__(self, provider: TopologyProvider | TopologyGraph) -> None:
+        self._provider = provider
+
+    def snapshot(self) -> TopologyGraph:
+        """A fresh topology snapshot from the provider."""
+        if isinstance(self._provider, TopologyGraph):
+            return self._provider
+        return self._provider.topology()
+
+    def select(
+        self, spec: ApplicationSpec, graph: Optional[TopologyGraph] = None
+    ) -> Selection:
+        """Run the appropriate selection procedure for ``spec``.
+
+        ``graph`` overrides the provider snapshot (used by the migration
+        engine, which pre-adjusts the snapshot for self-load).
+        """
+        g = graph if graph is not None else self.snapshot()
+        refs = References(
+            compute_priority=spec.compute_priority,
+            comm_priority=spec.comm_priority,
+        )
+
+        if spec.groups:
+            return self._select_groups(g, spec, refs)
+
+        if spec.num_nodes_range is not None:
+            return select_variable_nodes(
+                g, spec.num_nodes_range, spec.speedup_model, refs,
+                eligible=spec.eligible,
+            )
+
+        m = spec.num_nodes
+        if spec.min_bandwidth_bps is not None:
+            return select_with_bandwidth_floor(
+                g, m, spec.min_bandwidth_bps, refs, eligible=spec.eligible
+            )
+        if spec.min_cpu_fraction is not None:
+            return select_with_cpu_floor(
+                g, m, spec.min_cpu_fraction, refs, eligible=spec.eligible
+            )
+        if spec.max_latency_s is not None:
+            return select_with_latency_bound(
+                g, m, spec.max_latency_s, refs, eligible=spec.eligible
+            )
+        if spec.account_simultaneous_streams:
+            return select_pattern_aware(
+                g, m, spec.pattern, refs, eligible=spec.eligible
+            )
+
+        if not g.is_acyclic():
+            # Cycles + static routing (§3.3): route-aware procedures.
+            return select_routed(
+                g, m, RoutingTable(g), objective=spec.objective, refs=refs,
+                eligible=spec.eligible,
+            )
+
+        if spec.objective == Objective.COMPUTE:
+            return select_max_compute(g, m, refs, eligible=spec.eligible)
+        if spec.objective == Objective.BANDWIDTH:
+            return select_max_bandwidth(g, m, refs, eligible=spec.eligible)
+        return select_balanced(g, m, refs, eligible=spec.eligible)
+
+    def _select_groups(
+        self, g: TopologyGraph, spec: ApplicationSpec, refs: References
+    ) -> Selection:
+        """Group placement: currently the client/server pattern (§3.4).
+
+        Supported shapes: exactly two groups, where one is the "server-like"
+        group (listed first) and the other holds the remaining workers.
+        Richer patterns raise ``NoFeasibleSelection`` so callers learn the
+        limitation explicitly rather than getting a silent wrong placement.
+        """
+        if len(spec.groups) != 2:
+            raise NoFeasibleSelection(
+                "group placement currently supports exactly two groups "
+                f"(got {len(spec.groups)})"
+            )
+        server, client = spec.groups
+
+        def server_ok(node):
+            if spec.eligible is not None and not spec.eligible(node):
+                return False
+            return server.admits(node)
+
+        def client_ok(node):
+            if spec.eligible is not None and not spec.eligible(node):
+                return False
+            return client.admits(node)
+
+        sel = select_client_server(
+            g,
+            num_clients=client.size,
+            num_servers=server.size,
+            server_eligible=server_ok,
+            client_eligible=client_ok,
+            refs=refs,
+        )
+        sel.extras["group_names"] = {
+            server.name: sel.extras["servers"],
+            client.name: sel.extras["clients"],
+        }
+        return sel

@@ -1,0 +1,158 @@
+"""The application specification interface (paper §2.1).
+
+The uniform external interface through which an (unmodified) application —
+or its launcher — tells the selection framework what it needs: how many
+nodes, the dominant communication pattern, the relative priority of
+computation and communication, node groups with their own requirements,
+and hard placement constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..topology.graph import Node
+
+__all__ = ["CommPattern", "GroupSpec", "ApplicationSpec", "Objective"]
+
+
+class CommPattern:
+    """Dominant communication patterns an application can declare."""
+
+    ALL_TO_ALL = "all-to-all"
+    MASTER_SLAVE = "master-slave"
+    RING = "ring"
+    PIPELINE = "pipeline"
+    NONE = "none"
+
+    ALL = (ALL_TO_ALL, MASTER_SLAVE, RING, PIPELINE, NONE)
+
+
+class Objective:
+    """What the selector should optimize for this application."""
+
+    COMPUTE = "compute"
+    BANDWIDTH = "bandwidth"
+    BALANCED = "balanced"
+
+    ALL = (COMPUTE, BANDWIDTH, BALANCED)
+
+
+@dataclass
+class GroupSpec:
+    """A named node group within an application (§2.1).
+
+    e.g. a server group that must run on Alpha machines::
+
+        GroupSpec(name="server", size=1, attr_constraints={"arch": "alpha"})
+    """
+
+    name: str
+    size: int
+    #: Node attributes that must match exactly (e.g. architecture).
+    attr_constraints: dict[str, Any] = field(default_factory=dict)
+    #: Specific machines this group must run on (subset chosen from these).
+    allowed_nodes: Optional[Sequence[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"group {self.name!r}: size must be >= 1")
+
+    def admits(self, node: Node) -> bool:
+        """True if ``node`` satisfies this group's placement constraints."""
+        if self.allowed_nodes is not None and node.name not in self.allowed_nodes:
+            return False
+        return all(
+            node.attrs.get(key) == want
+            for key, want in self.attr_constraints.items()
+        )
+
+
+@dataclass
+class ApplicationSpec:
+    """Everything the framework needs to know about an application.
+
+    Attributes
+    ----------
+    num_nodes:
+        Nodes required for execution (ignored when ``groups`` are given —
+        then the group sizes add up to the requirement).
+    pattern:
+        The main communication pattern (:class:`CommPattern`).
+    objective:
+        Which criterion to optimize (:class:`Objective`).  Defaults to
+        balanced, the paper's headline algorithm.
+    compute_priority / comm_priority:
+        Relative weighting (§3.3): ``compute_priority=2`` makes 50% CPU
+        equivalent to 25% communication.
+    min_bandwidth_bps / min_cpu_fraction:
+        Hard floors (§3.3 "fixed computation and communication
+        requirements"); at most one may be set.
+    max_latency_s:
+        Bound on the pairwise path latency between selected nodes (§3.4
+        "latency and other considerations" — implemented here).
+    account_simultaneous_streams:
+        If True, selection scores candidate sets by the *effective*
+        bandwidth of the declared pattern's concurrent flows instead of
+        independent pairwise availability (§3.4 "simultaneous traffic
+        streams" — implemented here).  Requires a concrete ``pattern``.
+    groups:
+        Node groups with their own requirements (client/server, §2.1).
+    eligible:
+        Global placement predicate applied to every candidate node.
+    num_nodes_range:
+        If set, the selector may choose the node count from this range
+        (§3.4 "variable number of execution nodes"), using
+        ``speedup_model``.
+    speedup_model:
+        Parallel speedup estimate ``m -> speedup`` for variable-m search.
+    """
+
+    num_nodes: int = 1
+    pattern: str = CommPattern.ALL_TO_ALL
+    objective: str = Objective.BALANCED
+    compute_priority: float = 1.0
+    comm_priority: float = 1.0
+    min_bandwidth_bps: Optional[float] = None
+    min_cpu_fraction: Optional[float] = None
+    max_latency_s: Optional[float] = None
+    account_simultaneous_streams: bool = False
+    groups: list[GroupSpec] = field(default_factory=list)
+    eligible: Optional[Callable[[Node], bool]] = None
+    num_nodes_range: Optional[Sequence[int]] = None
+    speedup_model: Optional[Callable[[int], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.pattern not in CommPattern.ALL:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.objective not in Objective.ALL:
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.compute_priority <= 0 or self.comm_priority <= 0:
+            raise ValueError("priorities must be positive")
+        if self.min_bandwidth_bps is not None and self.min_cpu_fraction is not None:
+            raise ValueError(
+                "set at most one of min_bandwidth_bps / min_cpu_fraction"
+            )
+        if self.min_cpu_fraction is not None and not 0 <= self.min_cpu_fraction <= 1:
+            raise ValueError("min_cpu_fraction must be in [0, 1]")
+        if self.max_latency_s is not None and self.max_latency_s < 0:
+            raise ValueError("max_latency_s cannot be negative")
+        if self.account_simultaneous_streams and self.pattern == CommPattern.NONE:
+            raise ValueError(
+                "account_simultaneous_streams needs a concrete pattern"
+            )
+        if self.num_nodes_range is not None and self.speedup_model is None:
+            raise ValueError("num_nodes_range requires a speedup_model")
+        names = [g.name for g in self.groups]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate group names in {names}")
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node requirement (sum of groups, or ``num_nodes``)."""
+        if self.groups:
+            return sum(g.size for g in self.groups)
+        return self.num_nodes

@@ -1,0 +1,63 @@
+"""Shared result types for the selection algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Selection", "NoFeasibleSelection"]
+
+
+class NoFeasibleSelection(Exception):
+    """Raised when no node set satisfying the request exists.
+
+    Examples: fewer than ``m`` compute nodes in the graph, no connected
+    component with ``m`` compute nodes, or constraints (floors, group
+    attributes) that no candidate set meets.
+    """
+
+
+@dataclass
+class Selection:
+    """The outcome of a node-selection run.
+
+    Attributes
+    ----------
+    nodes:
+        The selected compute node names (deterministic order).
+    objective:
+        Value of the criterion the algorithm maximized (semantics depend on
+        the algorithm: bps for pure-bandwidth, a fraction for balanced/CPU).
+    min_cpu_fraction:
+        Exact minimum CPU fraction over the selected set.
+    min_bw_fraction:
+        Exact minimum fractional bandwidth between selected pairs.
+    min_bw_bps:
+        Exact minimum absolute bandwidth (bps) between selected pairs.
+    algorithm:
+        Name of the procedure that produced the selection.
+    iterations:
+        Number of edge-removal iterations performed (0 for O(n) selection).
+    """
+
+    nodes: list[str]
+    objective: float
+    min_cpu_fraction: float = float("nan")
+    min_bw_fraction: float = float("nan")
+    min_bw_bps: float = float("nan")
+    algorithm: str = ""
+    iterations: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.nodes = list(self.nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    def __iter__(self):
+        return iter(self.nodes)

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel (from-scratch substrate).
+
+The paper's evaluation ran on a physical testbed; our reproduction replays
+it on a simulator.  This subpackage is the time engine underneath that
+simulator: a small, dependency-free, generator-coroutine DES kernel in the
+style of SimPy.
+
+Public API
+----------
+- :class:`Simulator` — clock, event queue, ``run``/``step``.
+- :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` — events.
+- :class:`Process`, :class:`Interrupt` — coroutine processes.
+- :class:`Resource`, :class:`Container`, :class:`Store` — shared resources.
+"""
+
+from .events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
+from .process import Process, ProcessGenerator
+from .resources import Container, Request, Resource, Store
+from .simulator import EmptySchedule, Simulator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "EmptySchedule",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessGenerator",
+    "Request",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,104 @@
+"""The simulated cluster: hosts + fabric behind one facade.
+
+This is our stand-in for the paper's physical testbed.  A
+:class:`Cluster` owns a :class:`~repro.network.host.Host` per compute node
+and a :class:`~repro.network.fabric.Fabric` for the links, all driven by a
+single DES kernel.  Applications, load/traffic generators, and the Remos
+collector all operate against this object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..des.events import Event
+from ..des.simulator import Simulator
+from ..topology.graph import TopologyGraph
+from ..topology.routing import RoutingTable
+from .fabric import Fabric
+from .host import ComputeTask, Host
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Hosts and network for one topology, on one simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    graph:
+        The physical topology.  Compute nodes become hosts whose peak rate
+        is ``node.compute_capacity * base_capacity`` ops/s.
+    base_capacity:
+        Ops/second of a capacity-1.0 node (calibration knob).
+    routing:
+        Static routes (defaults to shortest path).
+    load_tau:
+        Load-average damping constant passed to every host.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        graph: TopologyGraph,
+        base_capacity: float = 1.0,
+        routing: Optional[RoutingTable] = None,
+        load_tau: float = 60.0,
+    ) -> None:
+        self.sim = sim
+        self.graph = graph
+        self.routing = routing or RoutingTable(graph)
+        self.fabric = Fabric(sim, graph, self.routing)
+        self.hosts: dict[str, Host] = {
+            node.name: Host(
+                sim,
+                node.name,
+                capacity=node.compute_capacity * base_capacity,
+                load_tau=load_tau,
+            )
+            for node in graph.compute_nodes()
+        }
+
+    def host(self, name: str) -> Host:
+        """The host for compute node ``name``."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise KeyError(f"no compute host {name!r}") from None
+
+    def compute(self, name: str, ops: float) -> ComputeTask:
+        """Run ``ops`` operations on host ``name`` (processor-shared)."""
+        return self.host(name).run(ops)
+
+    def transfer(self, src: str, dst: str, size_bytes: float) -> Event:
+        """Move ``size_bytes`` from ``src`` to ``dst`` over the fabric."""
+        return self.fabric.transfer(src, dst, size_bytes)
+
+    def snapshot(self) -> TopologyGraph:
+        """Ground-truth topology snapshot (oracle, zero measurement lag).
+
+        Compute nodes carry the hosts' *instantaneous damped* load average;
+        links carry capacity minus the instantaneous flow allocation.  The
+        Remos substrate (:mod:`repro.remos`) provides the realistic,
+        measurement-based alternative — tests use this oracle to separate
+        algorithm behaviour from measurement noise.
+        """
+        g = self.graph.copy()
+        for name, host in self.hosts.items():
+            g.node(name).load_average = host.load_average
+        for link in g.links():
+            phys = self.graph.link(link.u, link.v)
+            if phys.attrs.get("duplex") == "half":
+                avail = self.fabric.available_bandwidth((phys.key, "shared"))
+                link.set_available(avail)
+            else:
+                for dst in (phys.u, phys.v):
+                    avail = self.fabric.available_bandwidth((phys.key, dst))
+                    link.set_available(avail, direction=dst)
+        return g
+
+    def topology(self) -> TopologyGraph:
+        """Alias so a Cluster satisfies the TopologyProvider protocol."""
+        return self.snapshot()

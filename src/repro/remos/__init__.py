@@ -1,0 +1,28 @@
+"""Remos — the network-information query substrate (paper §2.2).
+
+A faithful model of the Remos LAN implementation: simulated SNMP agents on
+every device export octet counters and host load; a polling collector turns
+counter deltas into utilization history; and :class:`RemosAPI` answers flow
+queries and logical-topology queries through a pluggable forecast policy.
+The selection framework (:class:`repro.core.NodeSelector`) consumes a
+``RemosAPI`` directly as its topology provider.
+"""
+
+from .api import LinkInfo, RemosAPI
+from .collector import Collector
+from .predictor import Ewma, LastValue, Predictor, SlidingMean
+from .snmp import HostAgent, InterfaceAgent, InterfaceRecord, build_agents
+
+__all__ = [
+    "Collector",
+    "Ewma",
+    "HostAgent",
+    "InterfaceAgent",
+    "InterfaceRecord",
+    "LastValue",
+    "LinkInfo",
+    "Predictor",
+    "RemosAPI",
+    "SlidingMean",
+    "build_agents",
+]

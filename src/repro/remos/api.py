@@ -1,0 +1,194 @@
+"""The Remos query API (paper §2.2).
+
+Remos exports network information at two levels of abstraction:
+
+- **Logical network topology** (:meth:`RemosAPI.topology`): a functional
+  snapshot of the network with current traffic on links and load on nodes —
+  the structural information the node-selection procedures exploit (§5
+  argues this is the key advantage over pairwise measurement systems).
+- **Flow queries** (:meth:`RemosAPI.flow_query` /
+  :meth:`RemosAPI.flows_query`): available bandwidth between node pairs,
+  accounting for the sharing of links by the queried flows themselves.
+
+All answers derive from the collector's measurement history — never from
+the simulator's hidden ground truth — passed through a configurable
+:class:`~repro.remos.predictor.Predictor` (§2.2: history window / current
+conditions / future estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..network.cluster import Cluster
+from ..network.fairshare import max_min_fair
+from ..topology.graph import TopologyGraph
+from .collector import Collector
+from .predictor import LastValue, Predictor
+
+__all__ = ["RemosAPI", "LinkInfo"]
+
+
+@dataclass(frozen=True)
+class LinkInfo:
+    """Per-link information exported by Remos (§2.2)."""
+
+    u: str
+    v: str
+    capacity_bps: float
+    utilization_fwd_bps: float  # traffic u -> v
+    utilization_rev_bps: float  # traffic v -> u
+    latency_s: float
+
+    @property
+    def available_fwd_bps(self) -> float:
+        return max(0.0, self.capacity_bps - self.utilization_fwd_bps)
+
+    @property
+    def available_rev_bps(self) -> float:
+        return max(0.0, self.capacity_bps - self.utilization_rev_bps)
+
+
+class RemosAPI:
+    """Query interface to (simulated) network resource information.
+
+    Parameters
+    ----------
+    collector:
+        The polling collector backing every answer.
+    predictor:
+        Forecast policy applied to measurement histories (default: the
+        paper's most-recent-measurement rule).
+    """
+
+    def __init__(
+        self,
+        collector: Collector,
+        predictor: Optional[Predictor] = None,
+    ) -> None:
+        self.collector = collector
+        self.predictor = predictor or LastValue()
+
+    @property
+    def cluster(self) -> Cluster:
+        return self.collector.cluster
+
+    # -- §2.2 query levels ---------------------------------------------------
+    def current(self) -> "RemosAPI":
+        """A view answering from *current* conditions (last measurement)."""
+        return RemosAPI(self.collector, predictor=LastValue())
+
+    def windowed(self, seconds: float) -> "RemosAPI":
+        """A view answering from a fixed window of history (mean)."""
+        from .predictor import SlidingMean
+        return RemosAPI(self.collector, predictor=SlidingMean(seconds))
+
+    def forecast(self, alpha: float = 0.3) -> "RemosAPI":
+        """A view answering with an EWMA estimate of future availability."""
+        from .predictor import Ewma
+        return RemosAPI(self.collector, predictor=Ewma(alpha))
+
+    # -- node-level queries ------------------------------------------------------
+    def node_load(self, name: str) -> float:
+        """Forecast load average of a compute node.
+
+        Returns 0.0 when no measurement exists yet (an unmonitored node
+        looks idle — exactly the optimistic error a fresh monitor makes).
+        """
+        history = self.collector.load_history(name)
+        if not history:
+            return 0.0
+        return max(0.0, self.predictor.predict(history))
+
+    # -- link-level queries ------------------------------------------------------
+    def _channel_utilization(self, channel) -> float:
+        history = self.collector.utilization_history(channel)
+        if not history:
+            return 0.0
+        return max(0.0, self.predictor.predict(history))
+
+    def link_info(self, u: str, v: str) -> LinkInfo:
+        """Capacity, measured utilization and latency for one link."""
+        graph = self.cluster.graph
+        link = graph.link(u, v)
+        fab = self.cluster.fabric
+        if link.attrs.get("duplex") == "half":
+            util = self._channel_utilization((link.key, "shared"))
+            fwd = rev = util
+        else:
+            fwd = self._channel_utilization((link.key, link.v))
+            rev = self._channel_utilization((link.key, link.u))
+        # Orient the answer to the argument order.
+        if (u, v) != (link.u, link.v):
+            fwd, rev = rev, fwd
+        return LinkInfo(
+            u=u,
+            v=v,
+            capacity_bps=link.maxbw,
+            utilization_fwd_bps=fwd,
+            utilization_rev_bps=rev,
+            latency_s=link.latency,
+        )
+
+    # -- the logical topology query ----------------------------------------------
+    def topology(self) -> TopologyGraph:
+        """The logical topology annotated with measured availability.
+
+        This is the graph the node-selection procedures run on: compute
+        nodes carry forecast load averages, links carry forecast available
+        bandwidth per direction.
+        """
+        g = self.cluster.graph.copy()
+        for name in self.cluster.hosts:
+            g.node(name).load_average = self.node_load(name)
+        for link in g.links():
+            info = self.link_info(link.u, link.v)
+            link.set_available(
+                min(link.maxbw, info.available_fwd_bps), direction=link.v
+            )
+            link.set_available(
+                min(link.maxbw, info.available_rev_bps), direction=link.u
+            )
+        return g
+
+    # -- flow queries --------------------------------------------------------------
+    def flow_query(self, src: str, dst: str) -> float:
+        """Available bandwidth (bps) for one new flow src → dst."""
+        return self.flows_query([(src, dst)])[0]
+
+    def flows_query(self, pairs: Sequence[tuple[str, str]]) -> list[float]:
+        """Available bandwidth for a *set* of prospective flows.
+
+        §2.2: flow queries "account for sharing of network links by
+        multiple flows" — if two requested flows cross the same link, each
+        is quoted its max-min fair share of the link's *remaining*
+        capacity.  Disconnected pairs are quoted 0.
+        """
+        topo = self.topology()
+        routing = self.cluster.routing
+        flows: dict[int, list] = {}
+        capacities: dict = {}
+        quotes: dict[int, float] = {}
+        for i, (src, dst) in enumerate(pairs):
+            if src == dst:
+                quotes[i] = float("inf")
+                continue
+            path = routing.route(src, dst)
+            if path is None:
+                quotes[i] = 0.0
+                continue
+            route = []
+            for a, b in zip(path, path[1:]):
+                link = topo.link(a, b)
+                if link.attrs.get("duplex") == "half":
+                    cid = (link.key, "shared")
+                else:
+                    cid = (link.key, b)
+                capacities[cid] = link.available_towards(b) if cid[1] != "shared" else link.available
+                route.append(cid)
+            flows[i] = route
+        if flows:
+            rates = max_min_fair(flows, capacities)
+            quotes.update(rates)
+        return [quotes[i] for i in range(len(pairs))]

@@ -1,0 +1,125 @@
+"""The Remos collector: periodic SNMP polling and measurement history.
+
+A DES process walks every agent each ``period`` seconds.  Link utilization
+is derived from octet-counter deltas between consecutive polls (exactly how
+SNMP-based monitors compute it), and a bounded history of utilization and
+load samples is retained so queries can be answered over "a fixed window of
+history, current network conditions, or an estimate of the future
+availability" (§2.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..network.cluster import Cluster
+from ..network.fabric import ChannelId
+from ..units import BITS_PER_BYTE
+from .snmp import build_agents
+
+__all__ = ["Collector"]
+
+Sample = tuple[float, float]
+
+
+class Collector:
+    """Polls SNMP agents and maintains per-resource measurement history.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to monitor.
+    period:
+        Poll period in seconds (the paper's Remos entailed "very low
+        overhead"; the period controls the staleness/overhead trade-off).
+    history:
+        Number of samples retained per resource.
+    start:
+        If True (default), the polling process starts immediately at
+        construction and runs for the life of the simulation.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        period: float = 5.0,
+        history: int = 120,
+        start: bool = True,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if history < 2:
+            raise ValueError(f"history must hold >= 2 samples, got {history}")
+        self.cluster = cluster
+        self.period = float(period)
+        self.history = history
+        self.iface_agents, self.host_agents = build_agents(cluster)
+        #: channel -> deque of (t, utilization_bps) derived samples
+        self._util: dict[ChannelId, deque[Sample]] = {}
+        #: channel -> last raw (t, octets) reading, for delta computation
+        self._raw: dict[ChannelId, tuple[float, float]] = {}
+        #: host -> deque of (t, load_average)
+        self._load: dict[str, deque[Sample]] = {
+            name: deque(maxlen=history) for name in self.host_agents
+        }
+        self.polls_completed = 0
+        if start:
+            cluster.sim.process(self._run(), name="remos-collector")
+
+    # -- polling --------------------------------------------------------------
+    def poll_once(self) -> None:
+        """One synchronous poll of every agent (also used by tests)."""
+        now = self.cluster.sim.now
+        seen: set[ChannelId] = set()
+        for agent in self.iface_agents.values():
+            for rec in agent.read():
+                if rec.channel in seen:
+                    continue  # half-duplex channels reported by both ends
+                seen.add(rec.channel)
+                prev = self._raw.get(rec.channel)
+                self._raw[rec.channel] = (rec.timestamp, rec.out_octets)
+                if prev is None:
+                    continue
+                t0, octets0 = prev
+                dt = rec.timestamp - t0
+                if dt <= 0:
+                    continue
+                util = (rec.out_octets - octets0) * BITS_PER_BYTE / dt
+                self._util.setdefault(
+                    rec.channel, deque(maxlen=self.history)
+                ).append((rec.timestamp, util))
+        for name, agent in self.host_agents.items():
+            t, load = agent.read()
+            self._load[name].append((t, load))
+        self.polls_completed += 1
+
+    def _run(self):
+        sim = self.cluster.sim
+        while True:
+            self.poll_once()
+            yield sim.timeout(self.period)
+
+    # -- query surface ----------------------------------------------------------
+    def utilization_history(self, channel: ChannelId) -> list[Sample]:
+        """(t, bps) utilization samples for a channel, oldest first."""
+        return list(self._util.get(channel, ()))
+
+    def load_history(self, host: str) -> list[Sample]:
+        """(t, load_average) samples for a compute node, oldest first."""
+        try:
+            return list(self._load[host])
+        except KeyError:
+            raise KeyError(f"no monitored host {host!r}") from None
+
+    def channels(self) -> list[ChannelId]:
+        """All channels with at least one derived utilization sample."""
+        return list(self._util)
+
+    def age(self) -> float:
+        """Seconds since the newest completed poll (staleness indicator)."""
+        newest = max(
+            (t for t, _o in self._raw.values()),
+            default=float("-inf"),
+        )
+        return self.cluster.sim.now - newest

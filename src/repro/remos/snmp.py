@@ -1,0 +1,99 @@
+"""Simulated SNMP agents.
+
+The real Remos LAN implementation gathers link statistics by polling SNMP
+daemons on network devices and host statistics from the compute nodes.  We
+model that layer honestly: an :class:`InterfaceAgent` per device exposes
+monotonically increasing per-interface octet counters read from the fabric
+(the equivalent of ``ifOutOctets``), and a :class:`HostAgent` exposes the
+host's damped load average.  The collector (:mod:`repro.remos.collector`)
+only ever sees these agents — never the fabric's instantaneous truth — so
+Remos queries inherit realistic measurement lag and quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..network.cluster import Cluster
+from ..network.fabric import ChannelId
+
+__all__ = ["InterfaceRecord", "InterfaceAgent", "HostAgent", "build_agents"]
+
+
+@dataclass(frozen=True)
+class InterfaceRecord:
+    """One interface counter reading (an SNMP GET response)."""
+
+    channel: ChannelId
+    speed_bps: float
+    out_octets: float
+    timestamp: float
+
+
+class InterfaceAgent:
+    """SNMP agent on one device, exporting counters for incident channels.
+
+    Each directional channel whose traffic *leaves* this device appears as
+    one interface.  (For half-duplex links the single shared channel is
+    reported by both endpoint agents; the collector deduplicates by channel
+    id.)
+    """
+
+    def __init__(self, cluster: Cluster, device: str) -> None:
+        self.cluster = cluster
+        self.device = device
+        self._channels: list[ChannelId] = []
+        graph = cluster.graph
+        for link in graph.incident_links(device):
+            if link.attrs.get("duplex") == "half":
+                self._channels.append((link.key, "shared"))
+            else:
+                # The outbound direction: towards the other endpoint.
+                self._channels.append((link.key, link.other(device)))
+
+    @property
+    def interfaces(self) -> list[ChannelId]:
+        """Channel ids of the interfaces this agent reports."""
+        return list(self._channels)
+
+    def read(self) -> list[InterfaceRecord]:
+        """Poll all interfaces (one SNMP walk)."""
+        fab = self.cluster.fabric
+        now = self.cluster.sim.now
+        return [
+            InterfaceRecord(
+                channel=cid,
+                speed_bps=fab.capacity(cid),
+                out_octets=fab.octet_counter(cid),
+                timestamp=now,
+            )
+            for cid in self._channels
+        ]
+
+
+class HostAgent:
+    """Per-host agent exporting the load average (rstat/host-MIB style)."""
+
+    def __init__(self, cluster: Cluster, host: str) -> None:
+        self.cluster = cluster
+        self.host = host
+
+    def read(self) -> tuple[float, float]:
+        """(timestamp, load_average) for the host."""
+        return (
+            self.cluster.sim.now,
+            self.cluster.host(self.host).load_average,
+        )
+
+
+def build_agents(
+    cluster: Cluster,
+) -> tuple[dict[str, InterfaceAgent], dict[str, HostAgent]]:
+    """One interface agent per device and one host agent per compute node."""
+    iface = {
+        node.name: InterfaceAgent(cluster, node.name)
+        for node in cluster.graph.nodes()
+    }
+    hosts = {name: HostAgent(cluster, name) for name in cluster.hosts}
+    return iface, hosts

@@ -1,0 +1,45 @@
+"""The CMU testbed model and the paper's experiment harness (§4).
+
+:func:`cmu_testbed` builds the Figure 4 topology; :class:`Scenario` /
+:func:`run_trial` / :func:`run_campaign` reproduce the evaluation
+methodology (warmed-up generators, policy-selected placement, averaged
+trials); :func:`generate_table1` regenerates Table 1.
+"""
+
+from .cmu import (
+    ATM_BW,
+    ETHERNET_BW,
+    HOSTS,
+    HOSTS_BY_ROUTER,
+    ROUTERS,
+    cmu_testbed,
+)
+from .experiment import CampaignResult, TrialResult, run_campaign, run_trial
+from .scenario import (
+    Policy,
+    Scenario,
+    default_load_config,
+    default_traffic_config,
+)
+from .table1 import APPLICATIONS, Table1Result, Table1Row, generate_table1
+
+__all__ = [
+    "APPLICATIONS",
+    "ATM_BW",
+    "CampaignResult",
+    "ETHERNET_BW",
+    "HOSTS",
+    "HOSTS_BY_ROUTER",
+    "Policy",
+    "ROUTERS",
+    "Scenario",
+    "Table1Result",
+    "Table1Row",
+    "TrialResult",
+    "cmu_testbed",
+    "default_load_config",
+    "default_traffic_config",
+    "generate_table1",
+    "run_campaign",
+    "run_trial",
+]

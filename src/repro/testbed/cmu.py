@@ -1,0 +1,67 @@
+"""The CMU networking testbed of the paper's Figure 4.
+
+18 DEC Alpha compute nodes (``m-1`` … ``m-18``) attached to three Cisco
+routers (``panama``, ``suez``, ``gibraltar``).  All links are 100 Mbps
+Ethernet except the ``gibraltar``–``suez`` link, a 155 Mbps ATM link.
+
+The paper's figure does not enumerate which hosts sit on which router; we
+assume contiguous blocks of six (``m-1..m-6`` on panama, ``m-7..m-12`` on
+suez, ``m-13..m-18`` on gibraltar) with the routers in a ``panama — suez —
+gibraltar`` chain.  This preserves every property the experiments use: three
+LAN segments, a distinguished faster trunk, and the Figure 4 scenario where
+a bulk stream from ``m-16`` to ``m-18`` congests links that automatic
+selection then avoids.
+"""
+
+from __future__ import annotations
+
+from ..topology.graph import TopologyGraph
+from ..units import Mbps
+
+__all__ = [
+    "ROUTERS",
+    "HOSTS",
+    "HOSTS_BY_ROUTER",
+    "ETHERNET_BW",
+    "ATM_BW",
+    "cmu_testbed",
+]
+
+#: Router names, in chain order.
+ROUTERS = ("panama", "suez", "gibraltar")
+
+#: All compute node names, m-1 … m-18.
+HOSTS = tuple(f"m-{i}" for i in range(1, 19))
+
+#: Host attachment (assumed contiguous blocks of six; see module docstring).
+HOSTS_BY_ROUTER = {
+    "panama": tuple(f"m-{i}" for i in range(1, 7)),
+    "suez": tuple(f"m-{i}" for i in range(7, 13)),
+    "gibraltar": tuple(f"m-{i}" for i in range(13, 19)),
+}
+
+#: 100 Mbps switched Ethernet.
+ETHERNET_BW = 100 * Mbps
+#: The 155 Mbps ATM link between gibraltar and suez.
+ATM_BW = 155 * Mbps
+#: LAN-scale one-hop latency.
+LINK_LATENCY = 100e-6
+
+
+def cmu_testbed() -> TopologyGraph:
+    """Build the Figure 4 testbed topology.
+
+    All compute nodes are idle DEC Alphas of equal capacity; availability
+    annotations start at the peaks (the live values come from the simulated
+    cluster / Remos, not from this static description).
+    """
+    g = TopologyGraph()
+    for router in ROUTERS:
+        g.add_network(router, vendor="cisco")
+    g.add_link("panama", "suez", ETHERNET_BW, LINK_LATENCY, medium="ethernet")
+    g.add_link("suez", "gibraltar", ATM_BW, LINK_LATENCY, medium="atm")
+    for router, hosts in HOSTS_BY_ROUTER.items():
+        for host in hosts:
+            g.add_compute(host, arch="alpha")
+            g.add_link(host, router, ETHERNET_BW, LINK_LATENCY, medium="ethernet")
+    return g

@@ -1,0 +1,144 @@
+"""Trial runner and experiment campaigns (paper §4).
+
+One *trial* = build a fresh simulated testbed, run the background
+generators through a warmup, select nodes under the scenario's policy, run
+the application, and record its execution time.  A *campaign* averages many
+seeded trials — the stand-in for the paper's "large number of measurements
+... spanning several hours" on the physical testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.baselines import select_random, select_static
+from ..core.selector import NodeSelector
+from ..core.types import Selection
+from ..des.simulator import Simulator
+from ..network.cluster import Cluster
+from ..remos.api import RemosAPI
+from ..remos.collector import Collector
+from ..workloads.load import LoadGenerator
+from ..workloads.traffic import TrafficGenerator
+from .cmu import cmu_testbed
+from .scenario import Policy, Scenario
+
+__all__ = ["TrialResult", "CampaignResult", "run_trial", "run_campaign"]
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial."""
+
+    scenario_label: str
+    seed: int
+    elapsed_seconds: float
+    selection: Selection
+    warmup_end: float
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over a campaign's trials."""
+
+    scenario_label: str
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([t.elapsed_seconds for t in self.trials])
+
+    @property
+    def mean(self) -> float:
+        return float(self.times.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.times.std(ddof=1)) if len(self.trials) > 1 else 0.0
+
+    @property
+    def n(self) -> int:
+        return len(self.trials)
+
+
+def _select(
+    scenario: Scenario,
+    spec,
+    api: RemosAPI,
+    cluster: Cluster,
+    rng: np.random.Generator,
+) -> Selection:
+    """Apply the scenario's selection policy."""
+    policy = scenario.policy
+    if policy == Policy.RANDOM:
+        return select_random(cluster.graph, spec.total_nodes, rng)
+    if policy == Policy.STATIC:
+        return select_static(cluster.graph, spec.total_nodes)
+    if policy == Policy.ORACLE:
+        return NodeSelector(cluster.snapshot()).select(spec)
+    if policy == Policy.COMPUTE:
+        from dataclasses import replace
+        return NodeSelector(api).select(replace(spec, objective="compute"))
+    if policy == Policy.BANDWIDTH:
+        from dataclasses import replace
+        return NodeSelector(api).select(replace(spec, objective="bandwidth"))
+    # Policy.AUTO: the paper's framework — Remos topology + balanced alg.
+    return NodeSelector(api).select(spec)
+
+
+def run_trial(scenario: Scenario, seed: int) -> TrialResult:
+    """Execute one seeded trial of ``scenario`` on a fresh testbed."""
+    seq = np.random.SeedSequence(seed)
+    load_rng, traffic_rng, select_rng = (
+        np.random.default_rng(s) for s in seq.spawn(3)
+    )
+
+    sim = Simulator()
+    graph = cmu_testbed()
+    cluster = Cluster(sim, graph, base_capacity=1.0, load_tau=60.0)
+    collector = Collector(cluster, period=scenario.remos_period)
+    api = RemosAPI(collector)
+
+    if scenario.load_on:
+        LoadGenerator(cluster, load_rng, config=scenario.load_config)
+    if scenario.traffic_on:
+        TrafficGenerator(cluster, traffic_rng, config=scenario.traffic_config)
+
+    if scenario.warmup > 0:
+        sim.run(until=scenario.warmup)
+
+    app = scenario.app_factory()
+    selection = _select(scenario, app.spec(), api, cluster, select_rng)
+    done = app.launch(cluster, selection.nodes)
+    elapsed = sim.run(until=done)
+
+    return TrialResult(
+        scenario_label=scenario.label,
+        seed=seed,
+        elapsed_seconds=elapsed,
+        selection=selection,
+        warmup_end=scenario.warmup,
+    )
+
+
+def run_campaign(
+    scenario: Scenario,
+    trials: int,
+    base_seed: int = 0,
+) -> CampaignResult:
+    """Run ``trials`` independent seeded trials and aggregate them.
+
+    Seeds are spawned from ``base_seed`` via ``SeedSequence`` so campaigns
+    are reproducible and trials statistically independent.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    result = CampaignResult(scenario_label=scenario.label)
+    children = np.random.SeedSequence(base_seed).spawn(trials)
+    for child in children:
+        seed = int(child.generate_state(1)[0])
+        result.trials.append(run_trial(scenario, seed))
+    return result

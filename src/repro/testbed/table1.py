@@ -1,0 +1,201 @@
+"""Regeneration of the paper's Table 1.
+
+For each application (FFT, Airshed, MRI) and each background condition
+(processor load / network traffic / both), run campaigns under random and
+automatic node selection, plus the unloaded reference, and print the same
+rows the paper reports — execution times, the percent change of automatic
+vs random, and the §4.3 derived slowdown-vs-unloaded comparison that yields
+the "increase in execution time ... approximately cut in half" headline.
+
+Run as a script (``python -m repro.testbed.table1``) or via the
+``repro-table1`` console entry point; the benchmark suite drives the same
+code through :func:`generate_table1`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..analysis.stats import percent_change, slowdown_percent, summarize
+from ..analysis.tables import format_percent, format_table
+from ..apps import MRI, Airshed, FFT2D, Application
+from .experiment import CampaignResult, run_campaign
+from .scenario import Policy, Scenario
+
+__all__ = ["Table1Row", "Table1Result", "generate_table1", "main", "APPLICATIONS"]
+
+#: The paper's application suite, with node counts from Table 1.
+APPLICATIONS: dict[str, Callable[[], Application]] = {
+    "FFT (1K)": FFT2D.paper_config,
+    "Airshed": Airshed.paper_config,
+    "MRI": MRI.paper_config,
+}
+
+#: Background-generator conditions, in the paper's column order.
+CONDITIONS = (
+    ("Processor Load", True, False),
+    ("Network Traffic", False, True),
+    ("Load+Traffic", True, True),
+)
+
+
+@dataclass
+class Table1Row:
+    """One application's worth of Table 1 measurements."""
+
+    app_name: str
+    num_nodes: int
+    random: dict[str, CampaignResult] = field(default_factory=dict)
+    auto: dict[str, CampaignResult] = field(default_factory=dict)
+    reference: Optional[CampaignResult] = None
+
+    def change_percent(self, condition: str) -> float:
+        """Automatic vs random percent change (negative = improvement)."""
+        return percent_change(
+            self.auto[condition].mean, self.random[condition].mean
+        )
+
+    def slowdown(self, condition: str, policy: str) -> float:
+        """Percent increase over the unloaded reference (§4.3)."""
+        res = self.random if policy == Policy.RANDOM else self.auto
+        return slowdown_percent(res[condition].mean, self.reference.mean)
+
+
+@dataclass
+class Table1Result:
+    """All rows plus shared campaign metadata."""
+
+    rows: list[Table1Row]
+    trials: int
+    base_seed: int
+
+    def headline_ratio(self, condition: str = "Load+Traffic") -> float:
+        """Mean over apps of (auto slowdown / random slowdown).
+
+        The paper's claim: "the increase in execution time due to traffic
+        and/or load is approximately cut in half with automatic node
+        selection" — i.e. this ratio ≈ 0.5.
+        """
+        ratios = []
+        for row in self.rows:
+            rnd = row.slowdown(condition, Policy.RANDOM)
+            auto = row.slowdown(condition, Policy.AUTO)
+            if rnd > 0:
+                ratios.append(auto / rnd)
+        return sum(ratios) / len(ratios)
+
+    def render(self) -> str:
+        """The Table-1-style report."""
+        headers = [
+            "Application", "Nodes",
+            "Rand Load", "Rand Traffic", "Rand L+T",
+            "Auto Load", "Auto Traffic", "Auto L+T",
+            "Unloaded",
+        ]
+        body = []
+        for row in self.rows:
+            body.append([
+                row.app_name,
+                row.num_nodes,
+                f"{row.random['Processor Load'].mean:.1f}",
+                f"{row.random['Network Traffic'].mean:.1f}",
+                f"{row.random['Load+Traffic'].mean:.1f}",
+                f"{row.auto['Processor Load'].mean:.1f} "
+                f"({format_percent(row.change_percent('Processor Load'))})",
+                f"{row.auto['Network Traffic'].mean:.1f} "
+                f"({format_percent(row.change_percent('Network Traffic'))})",
+                f"{row.auto['Load+Traffic'].mean:.1f} "
+                f"({format_percent(row.change_percent('Load+Traffic'))})",
+                f"{row.reference.mean:.1f}",
+            ])
+        out = [format_table(headers, body, title="Table 1 (reproduced)")]
+
+        slow_headers = ["Application", "Condition", "Random +%", "Auto +%", "Ratio"]
+        slow_rows = []
+        for row in self.rows:
+            for condition, *_ in CONDITIONS:
+                rnd = row.slowdown(condition, Policy.RANDOM)
+                auto = row.slowdown(condition, Policy.AUTO)
+                ratio = auto / rnd if rnd > 0 else float("nan")
+                slow_rows.append([
+                    row.app_name, condition,
+                    format_percent(rnd, signed=False),
+                    format_percent(auto, signed=False),
+                    f"{ratio:.2f}",
+                ])
+        out.append("")
+        out.append(
+            format_table(
+                slow_headers, slow_rows,
+                title="Slowdown vs unloaded reference (§4.3 derivation)",
+            )
+        )
+        out.append("")
+        out.append(
+            f"Headline (load+traffic slowdown ratio auto/random, mean over "
+            f"apps): {self.headline_ratio():.2f}  (paper: ~0.5)"
+        )
+        return "\n".join(out)
+
+
+def generate_table1(
+    trials: int = 10,
+    base_seed: int = 2026,
+    apps: Optional[dict[str, Callable[[], Application]]] = None,
+) -> Table1Result:
+    """Run the full Table 1 experiment matrix.
+
+    ``trials`` campaigns per cell; 2 policies × 3 conditions + 1 reference
+    per application.  With the default 10 trials this is 63 simulated runs.
+    """
+    rows = []
+    for app_name, factory in (apps or APPLICATIONS).items():
+        row = Table1Row(app_name=app_name, num_nodes=factory().num_nodes)
+        for condition, load_on, traffic_on in CONDITIONS:
+            for policy, bucket in (
+                (Policy.RANDOM, row.random),
+                (Policy.AUTO, row.auto),
+            ):
+                scenario = Scenario(
+                    app_factory=factory,
+                    policy=policy,
+                    load_on=load_on,
+                    traffic_on=traffic_on,
+                    label=f"{app_name}/{policy}/{condition}",
+                )
+                bucket[condition] = run_campaign(
+                    scenario, trials=trials, base_seed=base_seed
+                )
+        reference = Scenario(
+            app_factory=factory,
+            policy=Policy.AUTO,
+            load_on=False,
+            traffic_on=False,
+            warmup=60.0,
+            label=f"{app_name}/reference",
+        )
+        # The unloaded testbed is deterministic: 3 trials suffice.
+        row.reference = run_campaign(
+            reference, trials=min(trials, 3), base_seed=base_seed
+        )
+        rows.append(row)
+    return Table1Result(rows=rows, trials=trials, base_seed=base_seed)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point: regenerate and print Table 1."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=10,
+                        help="campaign trials per cell (default 10)")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="base seed (default 2026)")
+    args = parser.parse_args(argv)
+    result = generate_table1(trials=args.trials, base_seed=args.seed)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Logical network topology graphs — the Remos graph model (paper §3.1).
+
+This subpackage provides the data structure the node-selection algorithms
+operate on (:class:`TopologyGraph` of compute/network nodes and links with
+peak and available bandwidth), static routing for cyclic networks, builders
+for standard shapes including the paper's Figure 1 example, and JSON/DOT
+serialization.
+"""
+
+from .builders import (
+    balanced_tree,
+    two_campus,
+    dumbbell,
+    fat_tree_pod,
+    figure1_network,
+    linear_lan_chain,
+    random_tree,
+    star,
+)
+from .graph import (
+    Link,
+    Node,
+    NodeKind,
+    TopologyGraph,
+    cpu_fraction,
+    load_from_cpu_fraction,
+)
+from .routing import RoutedView, RoutingTable
+from .serialize import from_dict, from_json, to_dict, to_dot, to_json
+
+__all__ = [
+    "Link",
+    "Node",
+    "NodeKind",
+    "RoutedView",
+    "RoutingTable",
+    "TopologyGraph",
+    "balanced_tree",
+    "cpu_fraction",
+    "dumbbell",
+    "fat_tree_pod",
+    "figure1_network",
+    "from_dict",
+    "from_json",
+    "linear_lan_chain",
+    "load_from_cpu_fraction",
+    "random_tree",
+    "star",
+    "to_dict",
+    "to_dot",
+    "to_json",
+    "two_campus",
+]

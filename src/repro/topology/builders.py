@@ -1,0 +1,258 @@
+"""Topology builders for common network shapes and the paper's examples.
+
+All builders return a fresh :class:`~repro.topology.graph.TopologyGraph`.
+Bandwidths are in bps; the paper's link speeds are expressed with
+:data:`repro.units.Mbps`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..units import Mbps
+from .graph import TopologyGraph
+
+__all__ = [
+    "star",
+    "dumbbell",
+    "linear_lan_chain",
+    "balanced_tree",
+    "random_tree",
+    "fat_tree_pod",
+    "two_campus",
+    "figure1_network",
+]
+
+#: Default LAN link speed used by builders (matches the testbed Ethernet).
+DEFAULT_BW = 100 * Mbps
+#: Default single-hop latency (100 µs, a LAN-scale value).
+DEFAULT_LATENCY = 100e-6
+
+
+def star(
+    num_hosts: int,
+    bandwidth: float = DEFAULT_BW,
+    latency: float = DEFAULT_LATENCY,
+    switch_name: str = "switch",
+    host_prefix: str = "h",
+) -> TopologyGraph:
+    """``num_hosts`` compute nodes hanging off one switch."""
+    if num_hosts < 1:
+        raise ValueError("need at least one host")
+    g = TopologyGraph()
+    g.add_network(switch_name)
+    for i in range(num_hosts):
+        name = f"{host_prefix}{i}"
+        g.add_compute(name)
+        g.add_link(name, switch_name, bandwidth, latency)
+    return g
+
+
+def dumbbell(
+    left_hosts: int,
+    right_hosts: int,
+    bandwidth: float = DEFAULT_BW,
+    cross_bandwidth: Optional[float] = None,
+    latency: float = DEFAULT_LATENCY,
+) -> TopologyGraph:
+    """Two stars joined by a (possibly slower) trunk link.
+
+    The classic shape for bottleneck experiments: all left↔right traffic
+    crosses one link.
+    """
+    g = TopologyGraph()
+    g.add_network("sw-left")
+    g.add_network("sw-right")
+    g.add_link("sw-left", "sw-right", cross_bandwidth or bandwidth, latency)
+    for i in range(left_hosts):
+        name = f"l{i}"
+        g.add_compute(name)
+        g.add_link(name, "sw-left", bandwidth, latency)
+    for i in range(right_hosts):
+        name = f"r{i}"
+        g.add_compute(name)
+        g.add_link(name, "sw-right", bandwidth, latency)
+    return g
+
+
+def linear_lan_chain(
+    hosts_per_lan: Sequence[int],
+    bandwidth: float = DEFAULT_BW,
+    trunk_bandwidth: Optional[float] = None,
+    latency: float = DEFAULT_LATENCY,
+) -> TopologyGraph:
+    """A chain of LAN switches, ``hosts_per_lan[i]`` hosts on switch i.
+
+    Shapes like the CMU testbed (three routers in a line) are instances of
+    this builder.
+    """
+    if not hosts_per_lan:
+        raise ValueError("need at least one LAN")
+    g = TopologyGraph()
+    for i, count in enumerate(hosts_per_lan):
+        sw = f"sw{i}"
+        g.add_network(sw)
+        if i > 0:
+            g.add_link(f"sw{i-1}", sw, trunk_bandwidth or bandwidth, latency)
+        for j in range(count):
+            name = f"n{i}-{j}"
+            g.add_compute(name)
+            g.add_link(name, sw, bandwidth, latency)
+    return g
+
+
+def balanced_tree(
+    depth: int,
+    fanout: int,
+    bandwidth: float = DEFAULT_BW,
+    latency: float = DEFAULT_LATENCY,
+) -> TopologyGraph:
+    """A complete tree of switches with compute leaves.
+
+    Internal vertices (including the root) are network nodes; the
+    ``fanout**depth`` leaves are compute nodes.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    g = TopologyGraph()
+    g.add_network("root")
+    frontier = ["root"]
+    for level in range(1, depth + 1):
+        nxt: list[str] = []
+        is_leaf = level == depth
+        for parent in frontier:
+            for k in range(fanout):
+                name = f"{parent}.{k}" if parent != "root" else f"t{k}"
+                if is_leaf:
+                    g.add_compute(name)
+                else:
+                    g.add_network(name)
+                g.add_link(parent, name, bandwidth, latency)
+                nxt.append(name)
+        frontier = nxt
+    return g
+
+
+def random_tree(
+    num_compute: int,
+    num_switches: int,
+    rng: np.random.Generator,
+    bandwidth: float = DEFAULT_BW,
+    latency: float = DEFAULT_LATENCY,
+) -> TopologyGraph:
+    """A random tree with ``num_switches`` internal switches.
+
+    Switches form a random tree (each attaches to a uniformly chosen earlier
+    switch); each compute node attaches to a uniformly chosen switch.  Used
+    heavily by the algorithm benchmarks and property tests.
+    """
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    if num_compute < 1:
+        raise ValueError("need at least one compute node")
+    g = TopologyGraph()
+    g.add_network("s0")
+    for i in range(1, num_switches):
+        name = f"s{i}"
+        g.add_network(name)
+        parent = f"s{int(rng.integers(0, i))}"
+        g.add_link(name, parent, bandwidth, latency)
+    for i in range(num_compute):
+        name = f"c{i}"
+        g.add_compute(name)
+        sw = f"s{int(rng.integers(0, num_switches))}"
+        g.add_link(name, sw, bandwidth, latency)
+    return g
+
+
+def fat_tree_pod(
+    num_pods: int = 4,
+    hosts_per_edge: int = 2,
+    bandwidth: float = DEFAULT_BW,
+    core_bandwidth: Optional[float] = None,
+    latency: float = DEFAULT_LATENCY,
+) -> TopologyGraph:
+    """A small two-level fat-tree-ish topology (cyclic!).
+
+    One core switch ring of ``num_pods`` switches, each pod has an edge
+    switch with ``hosts_per_edge`` hosts.  Contains cycles, so it exercises
+    the static-routing path (:mod:`repro.topology.routing`).
+    """
+    if num_pods < 3:
+        raise ValueError("need at least 3 pods to form a ring")
+    g = TopologyGraph()
+    core_bw = core_bandwidth or bandwidth
+    for p in range(num_pods):
+        g.add_network(f"core{p}")
+    for p in range(num_pods):
+        g.add_link(f"core{p}", f"core{(p + 1) % num_pods}", core_bw, latency)
+    for p in range(num_pods):
+        edge = f"edge{p}"
+        g.add_network(edge)
+        g.add_link(edge, f"core{p}", bandwidth, latency)
+        for h in range(hosts_per_edge):
+            name = f"p{p}h{h}"
+            g.add_compute(name)
+            g.add_link(name, edge, bandwidth, latency)
+    return g
+
+
+def two_campus(
+    fast_hosts: int = 6,
+    slow_hosts: int = 6,
+    fast_capacity: float = 1.0,
+    slow_capacity: float = 0.4,
+    fast_lan_bw: float = 100 * Mbps,
+    slow_lan_bw: float = 10 * Mbps,
+    wan_bw: float = 45 * Mbps,
+    wan_latency: float = 5e-3,
+) -> TopologyGraph:
+    """A heterogeneous two-site network (§3.3 heterogeneity, §1 metacomputing).
+
+    Campus A: ``fast_hosts`` modern machines (relative capacity
+    ``fast_capacity``) on fast switched Ethernet.  Campus B: ``slow_hosts``
+    older machines on a slower LAN.  The sites are joined by a T3-class
+    WAN link with real latency.  Exercises reference-node/reference-link
+    balancing and latency-bounded selection.
+    """
+    if fast_hosts < 1 or slow_hosts < 1:
+        raise ValueError("need at least one host per campus")
+    g = TopologyGraph()
+    g.add_network("campusA")
+    g.add_network("campusB")
+    g.add_link("campusA", "campusB", wan_bw, wan_latency, medium="wan")
+    for i in range(fast_hosts):
+        name = f"a{i}"
+        g.add_compute(name, compute_capacity=fast_capacity, arch="alpha")
+        g.add_link(name, "campusA", fast_lan_bw, DEFAULT_LATENCY)
+    for i in range(slow_hosts):
+        name = f"b{i}"
+        g.add_compute(name, compute_capacity=slow_capacity, arch="x86")
+        g.add_link(name, "campusB", slow_lan_bw, DEFAULT_LATENCY)
+    return g
+
+
+def figure1_network() -> TopologyGraph:
+    """The simple example network of the paper's Figure 1.
+
+    A Remos logical topology graph for a small installation: two shared
+    Ethernet segments bridged by a switch, with four hosts.  (The paper's
+    figure is schematic; this builder captures its structure — hosts on
+    shared segments represented by network nodes, a bridging switch — with
+    concrete 10/100 Mbps capacities.)
+    """
+    g = TopologyGraph()
+    g.add_network("switch")
+    g.add_network("seg-A")
+    g.add_network("seg-B")
+    g.add_link("seg-A", "switch", 100 * Mbps, DEFAULT_LATENCY)
+    g.add_link("seg-B", "switch", 100 * Mbps, DEFAULT_LATENCY)
+    for i, seg in ((1, "seg-A"), (2, "seg-A"), (3, "seg-B"), (4, "seg-B")):
+        name = f"host{i}"
+        g.add_compute(name)
+        g.add_link(name, seg, 10 * Mbps, DEFAULT_LATENCY)
+    return g

@@ -1,0 +1,535 @@
+"""The logical network topology graph (paper §3.1).
+
+A topology graph ``G(n)`` is an undirected connected graph whose nodes are
+either *compute nodes* (processors available for computation) or *network
+nodes* (routers/switches).  Edges are communication links annotated with a
+peak capacity ``maxbw`` and a currently available bandwidth ``bw``; compute
+nodes carry a load average from which the available CPU fraction
+
+    ``cpu = 1 / (1 + loadaverage)``
+
+is derived.  This module implements the graph structure, the paper's
+derived quantities (``cpu``, ``bwfactor``), and the graph primitives the
+selection algorithms in :mod:`repro.core` are built from (connected
+components, unique tree paths, edge removal on copies).
+
+Directed links (paper §3.3, "independent and shared network links") are
+supported: a link may carry distinct available bandwidths per direction, and
+``Link.available`` is then the minimum of the two, exactly as prescribed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = [
+    "NodeKind",
+    "Node",
+    "Link",
+    "TopologyGraph",
+    "cpu_fraction",
+    "load_from_cpu_fraction",
+]
+
+
+def cpu_fraction(load_average: float) -> float:
+    """Available CPU fraction on a node: ``1 / (1 + loadaverage)`` (§3.1).
+
+    The justification in the paper: the load average counts competing active
+    processes, and a newly placed application process gets an equal share
+    among ``load + 1`` processes.
+
+    >>> cpu_fraction(0.0)
+    1.0
+    >>> cpu_fraction(1.0)
+    0.5
+    """
+    if load_average < 0:
+        raise ValueError(f"load average cannot be negative: {load_average}")
+    return 1.0 / (1.0 + load_average)
+
+
+def load_from_cpu_fraction(cpu: float) -> float:
+    """Inverse of :func:`cpu_fraction` (used by tests and calibration)."""
+    if not 0 < cpu <= 1:
+        raise ValueError(f"cpu fraction must be in (0, 1], got {cpu}")
+    return 1.0 / cpu - 1.0
+
+
+class NodeKind:
+    """Node role markers (plain strings keep serialization trivial)."""
+
+    COMPUTE = "compute"
+    NETWORK = "network"
+
+
+@dataclass
+class Node:
+    """A vertex of the topology graph.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the graph (e.g. ``"m-4"``, ``"gibraltar"``).
+    kind:
+        ``NodeKind.COMPUTE`` or ``NodeKind.NETWORK``.
+    load_average:
+        Run-queue load average; meaningful only for compute nodes.
+    compute_capacity:
+        Peak computation rate in ops/second relative to which heterogeneous
+        balancing normalizes (§3.3).  ``1.0`` in homogeneous setups.
+    attrs:
+        Free-form properties used by placement constraints (e.g.
+        ``{"arch": "alpha"}``).
+    """
+
+    name: str
+    kind: str = NodeKind.COMPUTE
+    load_average: float = 0.0
+    compute_capacity: float = 1.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_compute(self) -> bool:
+        return self.kind == NodeKind.COMPUTE
+
+    @property
+    def cpu(self) -> float:
+        """Available CPU fraction, ``1/(1+load)`` (§3.1)."""
+        return cpu_fraction(self.load_average)
+
+    def copy(self) -> "Node":
+        return Node(
+            name=self.name,
+            kind=self.kind,
+            load_average=self.load_average,
+            compute_capacity=self.compute_capacity,
+            attrs=dict(self.attrs),
+        )
+
+
+@dataclass
+class Link:
+    """An edge of the topology graph: a communication link.
+
+    ``maxbw`` is the peak capacity in bps.  Available bandwidth may differ
+    per direction for full-duplex links with independent channels
+    (``available_fwd`` = u→v, ``available_rev`` = v→u); the scalar
+    ``available`` used by the selection algorithms is the minimum of the two
+    directions, per paper §3.3.
+    """
+
+    u: str
+    v: str
+    maxbw: float
+    latency: float = 0.0
+    available_fwd: Optional[float] = None
+    available_rev: Optional[float] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self-loop on {self.u!r} not allowed")
+        if self.maxbw <= 0:
+            raise ValueError(f"maxbw must be positive, got {self.maxbw}")
+        if self.latency < 0:
+            raise ValueError(f"latency cannot be negative: {self.latency}")
+        if self.available_fwd is None:
+            self.available_fwd = self.maxbw
+        if self.available_rev is None:
+            self.available_rev = self.available_fwd
+        for bw in (self.available_fwd, self.available_rev):
+            if bw < 0:
+                raise ValueError(f"available bandwidth cannot be negative: {bw}")
+
+    @property
+    def key(self) -> frozenset:
+        """Canonical undirected edge key."""
+        return frozenset((self.u, self.v))
+
+    @property
+    def available(self) -> float:
+        """Available bandwidth ``bw`` (min over directions), in bps."""
+        return min(self.available_fwd, self.available_rev)
+
+    @property
+    def bwfactor(self) -> float:
+        """Fraction of peak bandwidth available: ``bw / maxbw`` (§3.1)."""
+        return self.available / self.maxbw
+
+    def available_towards(self, dst: str) -> float:
+        """Available bandwidth in the direction ending at ``dst``."""
+        if dst == self.v:
+            return self.available_fwd
+        if dst == self.u:
+            return self.available_rev
+        raise KeyError(f"{dst!r} is not an endpoint of {self!r}")
+
+    def set_available(self, bw: float, direction: Optional[str] = None) -> None:
+        """Set available bandwidth (both directions, or towards ``direction``)."""
+        if bw < 0 or bw > self.maxbw + 1e-9:
+            raise ValueError(
+                f"available bw {bw} outside [0, maxbw={self.maxbw}]"
+            )
+        if direction is None:
+            self.available_fwd = bw
+            self.available_rev = bw
+        elif direction == self.v:
+            self.available_fwd = bw
+        elif direction == self.u:
+            self.available_rev = bw
+        else:
+            raise KeyError(f"{direction!r} is not an endpoint of {self!r}")
+
+    def other(self, node: str) -> str:
+        """The endpoint that is not ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise KeyError(f"{node!r} is not an endpoint of {self!r}")
+
+    def copy(self) -> "Link":
+        return Link(
+            u=self.u,
+            v=self.v,
+            maxbw=self.maxbw,
+            latency=self.latency,
+            available_fwd=self.available_fwd,
+            available_rev=self.available_rev,
+            attrs=dict(self.attrs),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Link({self.u}--{self.v}, max={self.maxbw:g}, "
+            f"avail={self.available:g})"
+        )
+
+
+class TopologyGraph:
+    """A mutable logical topology graph of nodes and links.
+
+    The selection algorithms operate on *copies* of the graph obtained from
+    Remos, repeatedly removing edges; this class therefore keeps all
+    operations (copy, remove, components) simple and allocation-light.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[frozenset, Link] = {}
+        self._adj: dict[str, dict[str, Link]] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Add a prebuilt :class:`Node` (name must be unused)."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._adj[node.name] = {}
+        return node
+
+    def add_compute(
+        self,
+        name: str,
+        load_average: float = 0.0,
+        compute_capacity: float = 1.0,
+        **attrs: Any,
+    ) -> Node:
+        """Convenience: add a compute node."""
+        return self.add_node(
+            Node(
+                name=name,
+                kind=NodeKind.COMPUTE,
+                load_average=load_average,
+                compute_capacity=compute_capacity,
+                attrs=attrs,
+            )
+        )
+
+    def add_network(self, name: str, **attrs: Any) -> Node:
+        """Convenience: add a network (router/switch) node."""
+        return self.add_node(Node(name=name, kind=NodeKind.NETWORK, attrs=attrs))
+
+    def add_link(
+        self,
+        u: str,
+        v: str,
+        maxbw: float,
+        latency: float = 0.0,
+        available: Optional[float] = None,
+        **attrs: Any,
+    ) -> Link:
+        """Connect ``u`` and ``v`` with a link of peak capacity ``maxbw`` bps."""
+        for name in (u, v):
+            if name not in self._nodes:
+                raise KeyError(f"unknown node {name!r}")
+        key = frozenset((u, v))
+        if key in self._links:
+            raise ValueError(f"duplicate link {u!r}--{v!r}")
+        link = Link(
+            u=u, v=v, maxbw=maxbw, latency=latency,
+            available_fwd=available, attrs=attrs,
+        )
+        self._links[key] = link
+        self._adj[u][v] = link
+        self._adj[v][u] = link
+        return link
+
+    def remove_link(self, u: str, v: str) -> Link:
+        """Delete the link between ``u`` and ``v`` and return it."""
+        key = frozenset((u, v))
+        link = self._links.pop(key, None)
+        if link is None:
+            raise KeyError(f"no link {u!r}--{v!r}")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        return link
+
+    def remove_node(self, name: str) -> Node:
+        """Delete a node and all its incident links."""
+        node = self._nodes.pop(name, None)
+        if node is None:
+            raise KeyError(f"no node {name!r}")
+        for neighbor in list(self._adj[name]):
+            self.remove_link(name, neighbor)
+        del self._adj[name]
+        return node
+
+    # -- access --------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no node {name!r}") from None
+
+    def link(self, u: str, v: str) -> Link:
+        """Look up the link between ``u`` and ``v``."""
+        try:
+            return self._links[frozenset((u, v))]
+        except KeyError:
+            raise KeyError(f"no link {u!r}--{v!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def has_link(self, u: str, v: str) -> bool:
+        return frozenset((u, v)) in self._links
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate all nodes (insertion order)."""
+        return iter(self._nodes.values())
+
+    def links(self) -> Iterator[Link]:
+        """Iterate all links (insertion order)."""
+        return iter(self._links.values())
+
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    def compute_nodes(self) -> list[Node]:
+        """All compute nodes, in insertion order."""
+        return [n for n in self._nodes.values() if n.is_compute]
+
+    def network_nodes(self) -> list[Node]:
+        return [n for n in self._nodes.values() if not n.is_compute]
+
+    def neighbors(self, name: str) -> list[str]:
+        """Names of nodes adjacent to ``name``."""
+        if name not in self._adj:
+            raise KeyError(f"no node {name!r}")
+        return list(self._adj[name])
+
+    def incident_links(self, name: str) -> list[Link]:
+        """Links touching ``name``."""
+        if name not in self._adj:
+            raise KeyError(f"no node {name!r}")
+        return list(self._adj[name].values())
+
+    def degree(self, name: str) -> int:
+        return len(self._adj[name])
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    # -- structure queries ----------------------------------------------------
+    def connected_components(self) -> list[set[str]]:
+        """Node-name sets of the connected components (BFS, deterministic)."""
+        seen: set[str] = set()
+        components: list[set[str]] = []
+        for start in self._nodes:
+            if start in seen:
+                continue
+            comp = {start}
+            queue = deque([start])
+            seen.add(start)
+            while queue:
+                cur = queue.popleft()
+                for nxt in self._adj[cur]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        comp.add(nxt)
+                        queue.append(nxt)
+            components.append(comp)
+        return components
+
+    def component_of(self, name: str) -> set[str]:
+        """The connected component containing ``name``."""
+        if name not in self._nodes:
+            raise KeyError(f"no node {name!r}")
+        comp = {name}
+        queue = deque([name])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._adj[cur]:
+                if nxt not in comp:
+                    comp.add(nxt)
+                    queue.append(nxt)
+        return comp
+
+    def is_connected(self) -> bool:
+        """True if the graph has exactly one connected component."""
+        if not self._nodes:
+            return True
+        return len(self.component_of(next(iter(self._nodes)))) == len(self._nodes)
+
+    def is_acyclic(self) -> bool:
+        """True if the graph contains no cycles (it is a forest)."""
+        # A forest has exactly num_nodes - num_components edges.
+        return self.num_links == self.num_nodes - len(self.connected_components())
+
+    def path(self, src: str, dst: str) -> Optional[list[str]]:
+        """A shortest path (node names, inclusive) from ``src`` to ``dst``.
+
+        BFS with insertion-order tie-breaking, so results are deterministic.
+        In an acyclic graph this is *the* unique path.  Returns ``None`` when
+        the nodes are disconnected.
+        """
+        for name in (src, dst):
+            if name not in self._nodes:
+                raise KeyError(f"no node {name!r}")
+        if src == dst:
+            return [src]
+        parent: dict[str, str] = {src: src}
+        queue = deque([src])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._adj[cur]:
+                if nxt in parent:
+                    continue
+                parent[nxt] = cur
+                if nxt == dst:
+                    out = [dst]
+                    while out[-1] != src:
+                        out.append(parent[out[-1]])
+                    out.reverse()
+                    return out
+                queue.append(nxt)
+        return None
+
+    def path_links(self, path: list[str]) -> list[Link]:
+        """The links along a node path."""
+        return [self.link(a, b) for a, b in zip(path, path[1:])]
+
+    def path_available_bandwidth(self, src: str, dst: str) -> float:
+        """Bottleneck available bandwidth on the path from src to dst (bps).
+
+        Directionality is respected: for each hop the capacity *towards* the
+        next node is used.  Returns ``inf`` for ``src == dst`` and ``0`` when
+        disconnected.
+        """
+        if src == dst:
+            return float("inf")
+        p = self.path(src, dst)
+        if p is None:
+            return 0.0
+        return min(
+            self.link(a, b).available_towards(b) for a, b in zip(p, p[1:])
+        )
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Sum of link latencies along the path (``inf`` if disconnected)."""
+        if src == dst:
+            return 0.0
+        p = self.path(src, dst)
+        if p is None:
+            return float("inf")
+        return sum(link.latency for link in self.path_links(p))
+
+    # -- derived views ---------------------------------------------------------
+    def copy(self) -> "TopologyGraph":
+        """Deep copy (nodes and links are copied; attrs shallow-copied)."""
+        g = TopologyGraph()
+        for node in self._nodes.values():
+            g.add_node(node.copy())
+        for link in self._links.values():
+            copied = link.copy()
+            g._links[copied.key] = copied
+            g._adj[copied.u][copied.v] = copied
+            g._adj[copied.v][copied.u] = copied
+        return g
+
+    def subgraph(self, names: Iterable[str]) -> "TopologyGraph":
+        """The induced subgraph on ``names`` (links with both ends inside)."""
+        keep = set(names)
+        missing = keep - set(self._nodes)
+        if missing:
+            raise KeyError(f"unknown nodes: {sorted(missing)}")
+        g = TopologyGraph()
+        for name in self._nodes:  # preserve insertion order
+            if name in keep:
+                g.add_node(self._nodes[name].copy())
+        for link in self._links.values():
+            if link.u in keep and link.v in keep:
+                copied = link.copy()
+                g._links[copied.key] = copied
+                g._adj[copied.u][copied.v] = copied
+                g._adj[copied.v][copied.u] = copied
+        return g
+
+    def min_bandwidth_link(
+        self, key: Optional[Callable[[Link], float]] = None
+    ) -> Optional[Link]:
+        """The link minimizing ``key`` (default: available bandwidth).
+
+        Ties break deterministically by endpoint names.  ``None`` when the
+        graph has no links.
+        """
+        metric = key or (lambda l: l.available)
+        best: Optional[Link] = None
+        best_val = float("inf")
+        for link in self._links.values():
+            val = metric(link)
+            tie = (val, tuple(sorted((link.u, link.v))))
+            if best is None or tie < (best_val, tuple(sorted((best.u, best.v)))):
+                best = link
+                best_val = val
+        return best
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structural inconsistencies."""
+        for link in self._links.values():
+            if link.u not in self._nodes or link.v not in self._nodes:
+                raise ValueError(f"dangling link {link!r}")
+        for name, nbrs in self._adj.items():
+            for other, link in nbrs.items():
+                if frozenset((name, other)) != link.key:
+                    raise ValueError(f"adjacency mismatch at {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nc = len(self.compute_nodes())
+        return (
+            f"<TopologyGraph {self.num_nodes} nodes "
+            f"({nc} compute), {self.num_links} links>"
+        )

@@ -1,0 +1,122 @@
+"""Serialization of topology graphs: JSON round-trip and DOT export.
+
+The DOT export renders graphs in the style of the paper's Figure 1 (compute
+nodes as boxes, network nodes as ellipses, links labelled with
+available/peak bandwidth in Mbps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..units import Mbps
+from .graph import Link, Node, TopologyGraph
+
+__all__ = ["to_dict", "from_dict", "to_json", "from_json", "to_dot"]
+
+_SCHEMA_VERSION = 1
+
+
+def to_dict(graph: TopologyGraph) -> dict[str, Any]:
+    """A plain-dict snapshot of the graph (JSON-safe)."""
+    return {
+        "version": _SCHEMA_VERSION,
+        "nodes": [
+            {
+                "name": n.name,
+                "kind": n.kind,
+                "load_average": n.load_average,
+                "compute_capacity": n.compute_capacity,
+                "attrs": n.attrs,
+            }
+            for n in graph.nodes()
+        ],
+        "links": [
+            {
+                "u": l.u,
+                "v": l.v,
+                "maxbw": l.maxbw,
+                "latency": l.latency,
+                "available_fwd": l.available_fwd,
+                "available_rev": l.available_rev,
+                "attrs": l.attrs,
+            }
+            for l in graph.links()
+        ],
+    }
+
+
+def from_dict(data: dict[str, Any]) -> TopologyGraph:
+    """Rebuild a graph from :func:`to_dict` output."""
+    version = data.get("version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported topology schema version {version!r}")
+    g = TopologyGraph()
+    for nd in data["nodes"]:
+        g.add_node(
+            Node(
+                name=nd["name"],
+                kind=nd["kind"],
+                load_average=nd.get("load_average", 0.0),
+                compute_capacity=nd.get("compute_capacity", 1.0),
+                attrs=dict(nd.get("attrs", {})),
+            )
+        )
+    for ld in data["links"]:
+        link = Link(
+            u=ld["u"],
+            v=ld["v"],
+            maxbw=ld["maxbw"],
+            latency=ld.get("latency", 0.0),
+            available_fwd=ld.get("available_fwd"),
+            available_rev=ld.get("available_rev"),
+            attrs=dict(ld.get("attrs", {})),
+        )
+        if not (g.has_node(link.u) and g.has_node(link.v)):
+            raise ValueError(f"link references unknown node: {link!r}")
+        if g.has_link(link.u, link.v):
+            raise ValueError(f"duplicate link in input: {link!r}")
+        g._links[link.key] = link
+        g._adj[link.u][link.v] = link
+        g._adj[link.v][link.u] = link
+    g.validate()
+    return g
+
+
+def to_json(graph: TopologyGraph, indent: int = 2) -> str:
+    """Serialize the graph to a JSON string."""
+    return json.dumps(to_dict(graph), indent=indent)
+
+
+def from_json(text: str) -> TopologyGraph:
+    """Parse a graph from :func:`to_json` output."""
+    return from_dict(json.loads(text))
+
+
+def _dot_escape(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def to_dot(graph: TopologyGraph, title: str = "topology") -> str:
+    """Render the graph in Graphviz DOT, Figure-1 style.
+
+    Compute nodes are boxes annotated with their load average; network nodes
+    are ellipses; each edge is labelled ``available/peak Mbps``.
+    """
+    lines = [f"graph {_dot_escape(title)} {{", "  node [fontsize=10];"]
+    for n in graph.nodes():
+        if n.is_compute:
+            label = f"{n.name}\\nload={n.load_average:.2f}"
+            lines.append(
+                f"  {_dot_escape(n.name)} [shape=box, label=\"{label}\"];"
+            )
+        else:
+            lines.append(f"  {_dot_escape(n.name)} [shape=ellipse];")
+    for l in graph.links():
+        label = f"{l.available / Mbps:.0f}/{l.maxbw / Mbps:.0f} Mbps"
+        lines.append(
+            f"  {_dot_escape(l.u)} -- {_dot_escape(l.v)} [label=\"{label}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Unit conventions and conversion helpers used throughout the library.
+
+Conventions (SI, keep them straight once and never again):
+
+- **bandwidth / capacity**: bits per second (``bps``).  The paper quotes
+  link speeds in Mbps; use :data:`Mbps` to convert (``100 * Mbps``).
+- **data size**: bytes.  Messages and transfers are sized in bytes; the
+  fabric converts to bits internally.
+- **time**: seconds of simulated time.
+- **compute work**: abstract "operations"; hosts have a capacity in
+  operations/second, so work/capacity is seconds of dedicated CPU.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Kbps",
+    "Mbps",
+    "Gbps",
+    "KB",
+    "MB",
+    "GB",
+    "BITS_PER_BYTE",
+    "transfer_time",
+]
+
+#: One kilobit per second, in bps.
+Kbps = 1e3
+#: One megabit per second, in bps.
+Mbps = 1e6
+#: One gigabit per second, in bps.
+Gbps = 1e9
+
+#: One kibibyte, in bytes (we use binary sizes for data, like the apps do).
+KB = 1024
+#: One mebibyte, in bytes.
+MB = 1024 * 1024
+#: One gibibyte, in bytes.
+GB = 1024 * 1024 * 1024
+
+BITS_PER_BYTE = 8
+
+
+def transfer_time(size_bytes: float, bandwidth_bps: float, latency_s: float = 0.0) -> float:
+    """Ideal time to move ``size_bytes`` over a path.
+
+    ``latency_s`` is added once (store-and-forward effects are folded into
+    per-link latencies by the fabric).
+
+    >>> transfer_time(1_000_000, 8e6)  # 1 MB over 8 Mbps
+    1.0
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return latency_s + (size_bytes * BITS_PER_BYTE) / bandwidth_bps

@@ -1,0 +1,50 @@
+"""Synthetic load and traffic generators (paper §4.2).
+
+CPU load follows the Harchol-Balter/Downey process-lifetime model (Poisson
+arrivals, exponential+Pareto durations); network traffic is Poisson
+arrivals of LogNormal-sized messages between random node pairs.  The
+distributions themselves are implemented from scratch in
+:mod:`repro.workloads.distributions`.
+"""
+
+from .distributions import (
+    Distribution,
+    Exponential,
+    HarcholBalterLifetime,
+    LogNormal,
+    Pareto,
+    PoissonProcess,
+)
+from .load import LoadGenerator, LoadGeneratorConfig
+from .replay import (
+    JobEvent,
+    MessageEvent,
+    ReplayLoadGenerator,
+    ReplayTrafficGenerator,
+    generate_load_trace,
+    generate_traffic_trace,
+    load_trace,
+    save_trace,
+)
+from .traffic import TrafficGenerator, TrafficGeneratorConfig
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "HarcholBalterLifetime",
+    "JobEvent",
+    "MessageEvent",
+    "ReplayLoadGenerator",
+    "ReplayTrafficGenerator",
+    "generate_load_trace",
+    "generate_traffic_trace",
+    "load_trace",
+    "save_trace",
+    "LoadGenerator",
+    "LoadGeneratorConfig",
+    "LogNormal",
+    "Pareto",
+    "PoissonProcess",
+    "TrafficGenerator",
+    "TrafficGeneratorConfig",
+]

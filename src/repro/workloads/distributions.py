@@ -1,0 +1,195 @@
+"""Probability distributions for the load and traffic generators (§4.2).
+
+Implemented from scratch on top of a ``numpy.random.Generator``'s uniform
+stream (inverse-CDF / Box–Muller), so the stochastic models are transparent
+and the tests can check them against their analytic forms:
+
+- :class:`Exponential` — Poisson interarrival times.
+- :class:`Pareto` — heavy-tailed process lifetimes (Harchol-Balter &
+  Downey observed ``P(T > t) ~ 1/t`` for UNIX process lifetimes).
+- :class:`LogNormal` — message lengths of bulk transfers.
+- :class:`HarcholBalterLifetime` — the paper's "combination of exponential
+  and Pareto distributions" for generated job durations.
+- :class:`PoissonProcess` — arrival epochs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Pareto",
+    "LogNormal",
+    "HarcholBalterLifetime",
+    "PoissonProcess",
+]
+
+
+@runtime_checkable
+class Distribution(Protocol):
+    """A sampleable positive random variable."""
+
+    def sample(self, rng: np.random.Generator) -> float:  # pragma: no cover
+        ...
+
+
+class Exponential:
+    """Exponential distribution with the given mean (inverse-CDF sampling)."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self.mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        # Guard u == 0 (log(0)); numpy's random() is in [0, 1).
+        return -self.mean * math.log(1.0 - u)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Exponential(mean={self.mean})"
+
+
+class Pareto:
+    """Pareto distribution: ``P(X > x) = (xm / x)^alpha`` for x >= xm.
+
+    ``alpha <= 1`` has infinite mean — the regime Harchol-Balter & Downey
+    measured for process lifetimes; a ``cap`` bounds samples so simulations
+    terminate (real testbeds end experiments too).
+    """
+
+    def __init__(self, alpha: float, xm: float, cap: float = math.inf) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if xm <= 0:
+            raise ValueError(f"xm must be positive, got {xm}")
+        if cap < xm:
+            raise ValueError("cap must be >= xm")
+        self.alpha = float(alpha)
+        self.xm = float(xm)
+        self.cap = float(cap)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        value = self.xm / (1.0 - u) ** (1.0 / self.alpha)
+        return min(value, self.cap)
+
+    def mean(self) -> float:
+        """Analytic mean (``inf`` when alpha <= 1 and uncapped)."""
+        if self.alpha <= 1:
+            return math.inf if math.isinf(self.cap) else self._capped_mean()
+        if math.isinf(self.cap):
+            return self.alpha * self.xm / (self.alpha - 1)
+        return self._capped_mean()
+
+    def _capped_mean(self) -> float:
+        a, xm, c = self.alpha, self.xm, self.cap
+        # E[min(X, c)] for Pareto: integral of the survival function.
+        if a == 1.0:
+            return xm * (1.0 + math.log(c / xm))
+        return xm + (xm / (1 - a)) * ((c / xm) ** (1 - a) - 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pareto(alpha={self.alpha}, xm={self.xm}, cap={self.cap})"
+
+
+class LogNormal:
+    """LogNormal distribution parameterized by the underlying normal.
+
+    Samples ``exp(mu + sigma * Z)`` with ``Z`` produced by Box–Muller from
+    two uniforms.  :meth:`from_mean_cv` builds parameters from the moments
+    practitioners actually know (mean message size and coefficient of
+    variation).
+    """
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "LogNormal":
+        """Parameters from the distribution mean and coefficient of variation."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if cv < 0:
+            raise ValueError(f"cv must be non-negative, got {cv}")
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        return cls(mu=mu, sigma=math.sqrt(sigma2))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u1 = rng.random()
+        u2 = rng.random()
+        z = math.sqrt(-2.0 * math.log(1.0 - u1)) * math.cos(2.0 * math.pi * u2)
+        return math.exp(self.mu + self.sigma * z)
+
+    def mean(self) -> float:
+        """Analytic mean ``exp(mu + sigma^2/2)``."""
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogNormal(mu={self.mu:.4g}, sigma={self.sigma:.4g})"
+
+
+class HarcholBalterLifetime:
+    """Job durations per Harchol-Balter & Downey as used in §4.2.
+
+    With probability ``1 - p_heavy`` the job is short-lived (exponential);
+    with probability ``p_heavy`` it draws from the heavy-tailed Pareto that
+    their measurements exhibit for processes surviving past ~1 second.
+    """
+
+    def __init__(
+        self,
+        exp_mean: float = 0.5,
+        p_heavy: float = 0.5,
+        pareto_alpha: float = 1.0,
+        pareto_xm: float = 1.0,
+        pareto_cap: float = 600.0,
+    ) -> None:
+        if not 0 <= p_heavy <= 1:
+            raise ValueError(f"p_heavy must be in [0, 1], got {p_heavy}")
+        self.exp = Exponential(exp_mean)
+        self.p_heavy = float(p_heavy)
+        self.pareto = Pareto(pareto_alpha, pareto_xm, cap=pareto_cap)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.p_heavy:
+            return self.pareto.sample(rng)
+        return self.exp.sample(rng)
+
+    def mean(self) -> float:
+        return (
+            self.p_heavy * self.pareto.mean()
+            + (1.0 - self.p_heavy) * self.exp.mean
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HarcholBalterLifetime(exp={self.exp}, p_heavy={self.p_heavy}, "
+            f"pareto={self.pareto})"
+        )
+
+
+class PoissonProcess:
+    """Arrival epochs with exponential interarrival times."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self._inter = Exponential(1.0 / rate)
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        """Time until the next arrival."""
+        return self._inter.sample(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PoissonProcess(rate={self.rate})"

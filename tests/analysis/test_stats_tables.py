@@ -1,0 +1,135 @@
+"""Tests for the statistics helpers and table formatting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_percent,
+    format_table,
+    percent_change,
+    slowdown_percent,
+    summarize,
+    welch_t,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.ci_low < 2.0 < s.ci_high
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.ci_halfwidth == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+    def test_ci_width_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(10, 2, size=10))
+        large = summarize(rng.normal(10, 2, size=1000))
+        assert large.ci_halfwidth < small.ci_halfwidth
+
+    def test_ci_coverage_roughly_95(self):
+        """~95% of CIs from normal samples should contain the true mean."""
+        rng = np.random.default_rng(42)
+        hits = 0
+        for _ in range(400):
+            s = summarize(rng.normal(0.0, 1.0, size=30))
+            if s.ci_low <= 0.0 <= s.ci_high:
+                hits += 1
+        assert 0.90 <= hits / 400 <= 0.99
+
+    def test_wider_interval_at_higher_confidence(self):
+        xs = list(np.random.default_rng(1).normal(0, 1, 50))
+        assert (
+            summarize(xs, confidence=0.99).ci_halfwidth
+            > summarize(xs, confidence=0.90).ci_halfwidth
+        )
+
+
+class TestWelch:
+    def test_identical_samples_t_zero(self):
+        t, dof = welch_t([1, 2, 3, 4], [1, 2, 3, 4])
+        assert t == 0.0
+        assert dof > 0
+
+    def test_clear_separation_large_t(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(5, 1, 50)
+        t, _ = welch_t(a, b)
+        assert abs(t) > 10
+
+    def test_sign_follows_order(self):
+        t_ab, _ = welch_t([1, 1, 1], [5, 5, 6])
+        t_ba, _ = welch_t([5, 5, 6], [1, 1, 1])
+        assert t_ab < 0 < t_ba
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            welch_t([1.0], [1.0, 2.0])
+
+    def test_zero_variance_equal_means(self):
+        t, _ = welch_t([2.0, 2.0], [2.0, 2.0])
+        assert t == 0.0
+
+    def test_zero_variance_unequal_means(self):
+        t, _ = welch_t([1.0, 1.0], [2.0, 2.0])
+        assert math.isinf(t)
+
+
+class TestPercentHelpers:
+    def test_percent_change_matches_table1_example(self):
+        # Paper: FFT load 112.6 -> 82.6 is -26.6%; their table says -23.8%
+        # (computed against slightly different runs); the formula itself:
+        assert percent_change(82.6, 112.6) == pytest.approx(-26.6, abs=0.1)
+
+    def test_slowdown_matches_paper_example(self):
+        # §4.3: "FFT time went up from 48 to 142.6 seconds (201%)".
+        assert slowdown_percent(142.6, 48.0) == pytest.approx(197.1, abs=0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            percent_change(1.0, 0.0)
+        with pytest.raises(ValueError):
+            slowdown_percent(1.0, 0.0)
+
+
+class TestFormatting:
+    def test_format_percent(self):
+        assert format_percent(-23.75) == "-23.8%"
+        assert format_percent(16.7) == "+16.7%"
+        assert format_percent(16.7, signed=False) == "16.7%"
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "val"], [["a", 1.0], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_with_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

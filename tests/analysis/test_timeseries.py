@@ -1,0 +1,91 @@
+"""Tests for the time-series recorder."""
+
+import pytest
+
+from repro.analysis import Recorder, Series
+from repro.des import Simulator
+from repro.network import Host
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSeries:
+    def test_empty_series_raises(self):
+        s = Series("x")
+        for op in (s.mean, s.peak, lambda: s.fraction_above(0)):
+            with pytest.raises(ValueError):
+                op()
+        with pytest.raises(ValueError):
+            s.last
+
+    def test_stats(self):
+        s = Series("x", times=[0, 1, 2, 3], values=[1.0, 2.0, 3.0, 2.0])
+        assert s.mean() == 2.0
+        assert s.peak() == 3.0
+        assert s.last == 2.0
+        assert s.fraction_above(1.5) == 0.75
+        assert len(s) == 4
+
+    def test_window(self):
+        s = Series("x", times=[0, 1, 2, 3], values=[10.0, 20.0, 30.0, 40.0])
+        w = s.window(1, 2)
+        assert w.values == [20.0, 30.0]
+
+
+class TestRecorder:
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Recorder(sim, period=0)
+
+    def test_duplicate_name_rejected(self, sim):
+        rec = Recorder(sim, period=1.0, start=False)
+        rec.track("a", lambda: 0.0)
+        with pytest.raises(ValueError):
+            rec.track("a", lambda: 1.0)
+
+    def test_unknown_series(self, sim):
+        with pytest.raises(KeyError):
+            Recorder(sim, period=1.0, start=False).series("ghost")
+
+    def test_samples_on_period(self, sim):
+        rec = Recorder(sim, period=2.0)
+        rec.track("clock", lambda: sim.now)
+        sim.run(until=10.0)
+        s = rec.series("clock")
+        assert s.times == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+        assert s.values == s.times
+
+    def test_tracks_host_load(self, sim):
+        host = Host(sim, "h", capacity=1.0, load_tau=5.0)
+        rec = Recorder(sim, period=1.0)
+        rec.track("load", lambda: host.load_average)
+        host.run(1e9)
+        sim.run(until=60.0)
+        s = rec.series("load")
+        assert s.values[0] == 0.0
+        assert s.last == pytest.approx(1.0, abs=1e-3)
+        assert 0 < s.mean() < 1.0
+
+    def test_stop_halts_sampling(self, sim):
+        rec = Recorder(sim, period=1.0)
+        rec.track("c", lambda: 1.0)
+        sim.run(until=5.0)
+        rec.stop()
+        n = len(rec.series("c"))
+        sim.run(until=20.0)
+        assert len(rec.series("c")) == n
+
+    def test_sample_now(self, sim):
+        rec = Recorder(sim, period=100.0, start=False)
+        rec.track("c", lambda: 42.0)
+        rec.sample_now()
+        assert rec.series("c").values == [42.0]
+
+    def test_names(self, sim):
+        rec = Recorder(sim, period=1.0, start=False)
+        rec.track("a", lambda: 0.0)
+        rec.track("b", lambda: 0.0)
+        assert rec.names() == ["a", "b"]

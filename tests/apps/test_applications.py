@@ -1,0 +1,213 @@
+"""Tests for the application suite: calibration, structure, adaptivity."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MRI, Airshed, FFT2D, distributed_fft2d
+from repro.core.spec import CommPattern, Objective
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.testbed import cmu_testbed
+from repro.units import MB
+
+
+def run_app(app, placement, prepare=None):
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+    if prepare:
+        prepare(sim, cluster)
+    p = app.launch(cluster, placement)
+    return sim.run(until=p)
+
+
+FFT_NODES = ["m-1", "m-2", "m-3", "m-4"]
+AIRSHED_NODES = ["m-1", "m-2", "m-3", "m-4", "m-5"]
+MRI_NODES = ["m-1", "m-2", "m-3", "m-4"]
+
+
+class TestCalibration:
+    """Unloaded runtimes must land on the paper's reference column."""
+
+    def test_fft_reference_48s(self):
+        elapsed = run_app(FFT2D.paper_config(), FFT_NODES)
+        assert elapsed == pytest.approx(48.0, rel=0.05)
+
+    def test_airshed_reference_150s(self):
+        elapsed = run_app(Airshed.paper_config(), AIRSHED_NODES)
+        assert elapsed == pytest.approx(150.0, rel=0.05)
+
+    def test_mri_reference_540s(self):
+        elapsed = run_app(MRI.paper_config(), MRI_NODES)
+        assert elapsed == pytest.approx(540.0, rel=0.05)
+
+
+class TestSpecs:
+    def test_fft_spec(self):
+        spec = FFT2D.paper_config().spec()
+        assert spec.num_nodes == 4
+        assert spec.pattern == CommPattern.ALL_TO_ALL
+        assert spec.objective == Objective.BALANCED
+
+    def test_airshed_spec(self):
+        spec = Airshed.paper_config().spec()
+        assert spec.num_nodes == 5
+        assert spec.pattern == CommPattern.RING
+
+    def test_mri_spec(self):
+        spec = MRI.paper_config().spec()
+        assert spec.num_nodes == 4
+        assert spec.pattern == CommPattern.MASTER_SLAVE
+
+
+class TestValidation:
+    def test_fft_validation(self):
+        with pytest.raises(ValueError):
+            FFT2D(num_nodes=1)
+        with pytest.raises(ValueError):
+            FFT2D(iterations=0)
+        with pytest.raises(ValueError):
+            FFT2D(num_nodes=3, n=1024)  # not divisible
+
+    def test_airshed_validation(self):
+        with pytest.raises(ValueError):
+            Airshed(num_nodes=1)
+        with pytest.raises(ValueError):
+            Airshed(hours=0)
+        with pytest.raises(ValueError):
+            Airshed(transport_steps=0)
+
+    def test_mri_validation(self):
+        with pytest.raises(ValueError):
+            MRI(num_nodes=1)
+        with pytest.raises(ValueError):
+            MRI(items=0)
+
+    def test_launch_placement_size_checked(self):
+        sim = Simulator()
+        cluster = Cluster(sim, cmu_testbed())
+        with pytest.raises(ValueError):
+            FFT2D.paper_config().launch(cluster, ["m-1", "m-2"])
+
+
+class TestSensitivity:
+    """The structural property §4.3 hinges on: loosely synchronous codes
+    stall on any slow node; master-slave adapts."""
+
+    def slowdown_with_one_loaded_node(self, app, placement, load=3.0):
+        clean = run_app(app, placement)
+
+        def loader(sim, cluster):
+            # Permanent competing load on exactly one selected node.
+            for _ in range(int(load)):
+                cluster.compute(placement[-1], 1e12)
+
+        loaded = run_app(app, placement, prepare=loader)
+        return loaded / clean
+
+    def test_fft_stalls_on_single_loaded_node(self):
+        factor = self.slowdown_with_one_loaded_node(
+            FFT2D.paper_config(), FFT_NODES
+        )
+        # Compute is ~2/3 of runtime and the loaded node runs 4x slower.
+        assert factor > 2.0
+
+    def test_airshed_stalls_on_single_loaded_node(self):
+        factor = self.slowdown_with_one_loaded_node(
+            Airshed.paper_config(), AIRSHED_NODES
+        )
+        assert factor > 1.8
+
+    def test_mri_adapts_to_single_loaded_node(self):
+        factor = self.slowdown_with_one_loaded_node(
+            MRI.paper_config(), MRI_NODES
+        )
+        # One slave slows 4x, but the other two absorb the work: the
+        # master-slave protocol caps the damage well below the FFT's.
+        assert factor < 1.6
+
+    def test_mri_slave_work_shifts_to_fast_slaves(self):
+        """Directly observe the adaptive behaviour: item counts skew."""
+        sim = Simulator()
+        cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+        for _ in range(3):
+            cluster.compute("m-4", 1e12)  # m-4 is a slave and overloaded
+        app = MRI(items=120)
+        from repro.apps.vmp import Program
+        program = Program(cluster, MRI_NODES)
+        counts = {1: 0, 2: 0, 3: 0}
+        orig = app._slave
+
+        def counting_slave(ctx):
+            def wrapper():
+                while True:
+                    msg = yield ctx.recv(src=0)
+                    if msg.tag == "stop":
+                        return
+                    counts[ctx.rank] += 1
+                    yield ctx.compute(app.item_compute_seconds)
+                    yield ctx.send(0, app.item_result_bytes, tag="result")
+            return wrapper()
+
+        def rank_main(ctx):
+            if ctx.rank == 0:
+                yield from app._master(ctx)
+            else:
+                yield from counting_slave(ctx)
+
+        p = program.run(rank_main)
+        sim.run(until=p)
+        assert sum(counts.values()) == 120
+        # Slaves 1,2 (clean) each handled far more than slave 3 (loaded).
+        assert counts[3] < counts[1] * 0.5
+        assert counts[3] < counts[2] * 0.5
+
+    def test_fft_sensitive_to_congested_link(self):
+        app = FFT2D.paper_config()
+        clean = run_app(app, FFT_NODES)
+
+        def congest(sim, cluster):
+            # Several endless bulk streams on m-1's access link, both ways.
+            # (Max-min fairness means a single competing flow only shaves
+            # one n-th of the link from the app; real congestion is many
+            # flows.)
+            def feeder(sim, cluster, src, dst):
+                while True:
+                    ev = cluster.transfer(src, dst, 50 * MB)
+                    yield ev
+
+            for peer in ("m-5", "m-6", "m-7"):
+                sim.process(feeder(sim, cluster, peer, "m-1"))
+                sim.process(feeder(sim, cluster, "m-1", peer))
+
+        congested = run_app(app, FFT_NODES, prepare=congest)
+        assert congested > clean * 1.2
+
+
+class TestReferenceFFT:
+    def test_matches_numpy_fft2(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((16, 16)) + 1j * rng.random((16, 16))
+        out = distributed_fft2d(a, ranks=4)
+        np.testing.assert_allclose(out.result, np.fft.fft2(a), atol=1e-9)
+
+    def test_various_rank_counts(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((24, 24))
+        for ranks in (2, 3, 4, 6):
+            out = distributed_fft2d(a, ranks)
+            np.testing.assert_allclose(out.result, np.fft.fft2(a), atol=1e-9)
+
+    def test_comm_volume_matches_model(self):
+        """The FFT2D model's transpose volume equals the real algorithm's."""
+        rng = np.random.default_rng(2)
+        n, ranks = 32, 4
+        a = rng.random((n, n))
+        real = distributed_fft2d(a, ranks)
+        model = FFT2D(num_nodes=ranks, n=n, bytes_per_point=16)
+        assert real.bytes_per_pair() == model.transpose_bytes_per_pair
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distributed_fft2d(np.zeros((4, 8)), 2)
+        with pytest.raises(ValueError):
+            distributed_fft2d(np.zeros((9, 9)), 2)

@@ -1,0 +1,83 @@
+"""Tests for the client-server streaming application."""
+
+import pytest
+
+from repro.apps import StreamingService
+from repro.core import NodeSelector
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.topology import dumbbell
+from repro.units import MB, Mbps, transfer_time
+
+
+def run_stream(app, placement, graph=None, prepare=None):
+    sim = Simulator()
+    cluster = Cluster(sim, graph or dumbbell(4, 4, latency=0.0),
+                      base_capacity=1.0)
+    if prepare:
+        prepare(sim, cluster)
+    done = app.launch(cluster, placement)
+    return sim.run(until=done)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            StreamingService(num_nodes=1)
+        with pytest.raises(ValueError):
+            StreamingService(chunks=0)
+        with pytest.raises(ValueError):
+            StreamingService(window=0)
+
+    def test_spec_is_grouped(self):
+        spec = StreamingService(num_nodes=4).spec()
+        assert [g.name for g in spec.groups] == ["server", "clients"]
+        assert spec.total_nodes == 4
+
+
+class TestBehaviour:
+    def test_completes_and_time_scales_with_volume(self):
+        short = run_stream(
+            StreamingService(num_nodes=3, chunks=8, decode_seconds=0.0),
+            ["l0", "l1", "l2"],
+        )
+        long = run_stream(
+            StreamingService(num_nodes=3, chunks=16, decode_seconds=0.0),
+            ["l0", "l1", "l2"],
+        )
+        assert long > short * 1.7
+
+    def test_server_uplink_is_the_bottleneck(self):
+        """Streaming to 3 clients serializes on the server's access link."""
+        app = StreamingService(num_nodes=4, chunks=8, decode_seconds=0.0)
+        elapsed = run_stream(app, ["l0", "l1", "l2", "l3"])
+        volume = 3 * 8 * app.chunk_bytes
+        lower_bound = transfer_time(volume, 100 * Mbps)
+        assert elapsed == pytest.approx(lower_bound, rel=0.15)
+
+    def test_congested_trunk_hurts_cross_placement(self):
+        g = dumbbell(4, 4, latency=0.0)
+
+        def congest(sim, cluster):
+            def feeder(sim, cluster):
+                while True:
+                    yield cluster.transfer("l3", "r3", 50 * MB)
+            for _ in range(3):
+                sim.process(feeder(sim, cluster))
+
+        app = StreamingService(num_nodes=3, chunks=8, decode_seconds=0.0)
+        local = run_stream(app, ["l0", "l1", "l2"], graph=g.copy(),
+                           prepare=congest)
+        app2 = StreamingService(num_nodes=3, chunks=8, decode_seconds=0.0)
+        cross = run_stream(app2, ["l0", "r0", "r1"], graph=g.copy(),
+                           prepare=congest)
+        assert cross > local * 1.3
+
+    def test_group_selection_places_it_well(self):
+        """End-to-end: the spec's groups drive select_client_server."""
+        g = dumbbell(4, 4)
+        g.link("sw-left", "sw-right").set_available(2 * Mbps)
+        app = StreamingService(num_nodes=4)
+        sel = NodeSelector(g).select(app.spec())
+        sides = {n[0] for n in sel.nodes}
+        assert len(sides) == 1  # server and clients on one LAN

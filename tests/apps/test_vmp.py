@@ -1,0 +1,222 @@
+"""Tests for the virtual message-passing layer."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.apps import Program
+from repro.topology import star, dumbbell
+from repro.units import MB, Mbps, transfer_time
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    cluster = Cluster(sim, star(4, latency=0.0), base_capacity=10.0)
+    return sim, cluster
+
+
+def run_program(sim, cluster, placement, fn):
+    prog = Program(cluster, placement)
+    p = prog.run(fn)
+    return sim.run(until=p)
+
+
+class TestProgram:
+    def test_placement_validation(self, rig):
+        sim, cluster = rig
+        with pytest.raises(ValueError):
+            Program(cluster, [])
+        with pytest.raises(KeyError):
+            Program(cluster, ["ghost"])
+
+    def test_elapsed_is_max_over_ranks(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            yield ctx.compute(10.0 * (ctx.rank + 1))  # 1..4 s at 10 ops/s
+
+        elapsed = run_program(sim, cluster, ["h0", "h1", "h2", "h3"], fn)
+        assert elapsed == pytest.approx(4.0)
+
+    def test_colocated_ranks_share_cpu(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            yield ctx.compute(10.0)
+
+        elapsed = run_program(sim, cluster, ["h0", "h0"], fn)
+        assert elapsed == pytest.approx(2.0)  # two ranks share one host
+
+    def test_rank_exception_fails_program(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            yield ctx.compute(1.0)
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 died")
+
+        prog = Program(cluster, ["h0", "h1"])
+        p = prog.run(fn)
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            sim.run(until=p)
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self, rig):
+        sim, cluster = rig
+        got = {}
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 5 * MB, tag="data")
+            else:
+                msg = yield ctx.recv(src=0)
+                got["msg"] = msg
+
+        run_program(sim, cluster, ["h0", "h1"], fn)
+        assert got["msg"].src == 0
+        assert got["msg"].tag == "data"
+        assert got["msg"].size_bytes == 5 * MB
+
+    def test_transfer_timing_through_fabric(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 10 * MB)
+            else:
+                yield ctx.recv(src=0)
+
+        elapsed = run_program(sim, cluster, ["h0", "h1"], fn)
+        assert elapsed == pytest.approx(transfer_time(10 * MB, 100 * Mbps))
+
+    def test_recv_by_tag_filters(self, rig):
+        sim, cluster = rig
+        order = []
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 1 * MB, tag="b")
+                yield ctx.send(1, 1 * MB, tag="a")
+            else:
+                msg = yield ctx.recv(tag="a")
+                order.append(msg.tag)
+                msg = yield ctx.recv(tag="b")
+                order.append(msg.tag)
+
+        run_program(sim, cluster, ["h0", "h1"], fn)
+        assert order == ["a", "b"]
+
+    def test_invalid_rank_rejected(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            yield ctx.send(9, 1.0)
+
+        prog = Program(cluster, ["h0", "h1"])
+        p = prog.run(fn)
+        with pytest.raises(ValueError):
+            sim.run(until=p)
+
+    def test_self_send(self, rig):
+        sim, cluster = rig
+        got = []
+
+        def fn(ctx):
+            yield ctx.send(0, 1 * MB, tag="loop")
+            msg = yield ctx.recv(src=0)
+            got.append(msg.tag)
+
+        run_program(sim, cluster, ["h0"], fn)
+        assert got == ["loop"]
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self, rig):
+        sim, cluster = rig
+        after = []
+
+        def fn(ctx):
+            yield ctx.compute(10.0 * (ctx.rank + 1))
+            yield ctx.barrier()
+            after.append((ctx.rank, sim.now))
+
+        run_program(sim, cluster, ["h0", "h1", "h2", "h3"], fn)
+        times = {t for _r, t in after}
+        assert len(times) == 1  # everyone released together
+        assert times.pop() >= 4.0
+
+    def test_alltoall_delivers_all_pairs(self, rig):
+        sim, cluster = rig
+        counts = {}
+
+        def fn(ctx):
+            yield ctx.alltoall(1 * MB)
+            counts[ctx.rank] = True
+
+        run_program(sim, cluster, ["h0", "h1", "h2", "h3"], fn)
+        assert len(counts) == 4
+
+    def test_alltoall_slowed_by_congested_member_link(self):
+        """One congested access link throttles the whole exchange."""
+        sim = Simulator()
+        g = star(4, latency=0.0)
+        cluster = Cluster(sim, g, base_capacity=10.0)
+        cluster.transfer("h9" if False else "h3", "h2", 0)  # no-op warm
+
+        def fn(ctx):
+            yield ctx.alltoall(4 * MB)
+
+        # Clean run.
+        prog = Program(cluster, ["h0", "h1", "h2", "h3"])
+        clean = sim.run(until=prog.run(fn))
+
+        # Congest h0's access link with an external bulk flow.
+        sim2 = Simulator()
+        cluster2 = Cluster(sim2, star(4, latency=0.0), base_capacity=10.0)
+        cluster2.transfer("h0", "h1", 500 * MB)
+        prog2 = Program(cluster2, ["h0", "h1", "h2", "h3"])
+        congested = sim2.run(until=prog2.run(fn))
+        assert congested > clean * 1.3
+
+    def test_bcast(self, rig):
+        sim, cluster = rig
+        received = []
+
+        def fn(ctx):
+            yield ctx.bcast(0, 2 * MB)
+            received.append(ctx.rank)
+
+        run_program(sim, cluster, ["h0", "h1", "h2"], fn)
+        assert sorted(received) == [0, 1, 2]
+
+    def test_gather(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            yield ctx.gather(0, 1 * MB)
+
+        elapsed = run_program(sim, cluster, ["h0", "h1", "h2"], fn)
+        # Two 1 MB flows into h0's downlink: serialized by sharing.
+        assert elapsed == pytest.approx(
+            transfer_time(2 * MB, 100 * Mbps), rel=0.05
+        )
+
+    def test_ring_exchange_two_ranks(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            yield ctx.ring_exchange(1 * MB)
+
+        elapsed = run_program(sim, cluster, ["h0", "h1"], fn)
+        assert elapsed > 0
+
+    def test_ring_exchange_single_rank_noop(self, rig):
+        sim, cluster = rig
+
+        def fn(ctx):
+            yield ctx.ring_exchange(1 * MB)
+
+        elapsed = run_program(sim, cluster, ["h0"], fn)
+        assert elapsed == 0.0

@@ -1,0 +1,64 @@
+"""Timing tests for vmp collectives on latency-bearing links."""
+
+import pytest
+
+from repro.apps import Program
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.topology import star, two_campus
+from repro.units import MB, Mbps, transfer_time
+
+
+def run_program(sim, cluster, placement, fn):
+    prog = Program(cluster, placement)
+    return sim.run(until=prog.run(fn))
+
+
+class TestLatencyEffects:
+    def test_zero_byte_barrier_costs_round_trips(self):
+        """On a high-latency network, a barrier costs wall-clock even with
+        zero payload (gather + release round trip)."""
+        sim = Simulator()
+        g = star(3, latency=5e-3)
+        cluster = Cluster(sim, g, base_capacity=10.0)
+
+        def fn(ctx):
+            yield ctx.barrier()
+
+        elapsed = run_program(sim, cluster, ["h0", "h1", "h2"], fn)
+        # At least one in-message and one release per non-root rank,
+        # 2 hops each way = 10 ms minimum each direction.
+        assert elapsed >= 0.02
+        assert elapsed < 0.1
+
+    def test_wan_transfer_pays_latency_once(self):
+        sim = Simulator()
+        g = two_campus(wan_latency=50e-3)
+        cluster = Cluster(sim, g, base_capacity=10.0)
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 1 * MB)
+            else:
+                yield ctx.recv(src=0)
+
+        elapsed = run_program(sim, cluster, ["a0", "b0"], fn)
+        data_time = transfer_time(1 * MB, 10 * Mbps)  # slow campus link
+        assert elapsed == pytest.approx(
+            50e-3 + 2e-4 + data_time, rel=0.01
+        )
+
+    def test_cross_campus_alltoall_slower_than_local(self):
+        sim = Simulator()
+        g = two_campus()
+        cluster = Cluster(sim, g, base_capacity=10.0)
+
+        def fn(ctx):
+            yield ctx.alltoall(2 * MB)
+
+        local = run_program(sim, cluster, ["a0", "a1", "a2"], fn)
+
+        sim2 = Simulator()
+        cluster2 = Cluster(sim2, two_campus(), base_capacity=10.0)
+        mixed = run_program(sim2, cluster2, ["a0", "a1", "b0"], fn)
+        assert mixed > local * 2  # the 10 Mbps campus-B link dominates

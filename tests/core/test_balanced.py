@@ -1,0 +1,193 @@
+"""Tests for the Figure 3 balanced computation+communication algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NoFeasibleSelection,
+    References,
+    minresource,
+    select_balanced,
+    select_exhaustive,
+    select_max_compute,
+)
+from repro.topology import TopologyGraph, dumbbell, random_tree, star
+from repro.units import Mbps
+
+
+def _randomize(g, rng):
+    for link in g.links():
+        link.set_available(float(rng.uniform(1, 100)) * Mbps)
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 4))
+
+
+class TestBasics:
+    def test_idle_uncongested_network_gives_one(self):
+        sel = select_balanced(star(6), 4)
+        assert sel.objective == pytest.approx(1.0)
+
+    def test_trades_cpu_for_bandwidth(self):
+        """Idle nodes with congested access links lose to busier clean nodes."""
+        g = dumbbell(4, 4)
+        # Left nodes mildly loaded with clean links; right nodes idle but
+        # every right access link carries heavy traffic (bwfactor .1).
+        for i in range(4):
+            g.node(f"l{i}").load_average = 0.5   # cpu 0.667
+            g.link(f"r{i}", "sw-right").set_available(10 * Mbps)
+        sel = select_balanced(g, 4)
+        assert sorted(sel.nodes) == ["l0", "l1", "l2", "l3"]
+        # minresource = min(cpu .667, bw 1.0) = .667, beating right's .1.
+        assert sel.objective == pytest.approx(1 / 1.5)
+
+    def test_pure_compute_would_pick_congested_side(self):
+        """Contrast case for the above: max-compute ignores the congestion."""
+        g = dumbbell(4, 4)
+        for i in range(4):
+            g.node(f"l{i}").load_average = 0.5
+            g.link(f"r{i}", "sw-right").set_available(10 * Mbps)
+        cpu_sel = select_max_compute(g, 4)
+        assert sorted(cpu_sel.nodes) == ["r0", "r1", "r2", "r3"]
+
+    def test_far_side_wins_after_trunk_peel(self):
+        """A congested trunk does not penalize traffic local to one side."""
+        g = dumbbell(4, 4)
+        for i in range(4):
+            g.node(f"l{i}").load_average = 0.5
+        g.link("sw-left", "sw-right").set_available(10 * Mbps)
+        sel = select_balanced(g, 4)
+        # Right side is idle and its internal links are clean: optimal.
+        assert sorted(sel.nodes) == ["r0", "r1", "r2", "r3"]
+        assert sel.objective == pytest.approx(1.0)
+
+    def test_keeps_idle_nodes_when_congestion_mild(self):
+        """If the trunk is barely used, pure-compute choice stands."""
+        g = dumbbell(4, 4)
+        for i in range(4):
+            g.node(f"l{i}").load_average = 3.0   # cpu .25
+        g.link("sw-left", "sw-right").set_available(90 * Mbps)  # bwfactor .9
+        sel = select_balanced(g, 4)
+        assert sorted(sel.nodes) == ["r0", "r1", "r2", "r3"]
+
+    def test_infeasible(self):
+        with pytest.raises(NoFeasibleSelection):
+            select_balanced(star(3), 4)
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            select_balanced(star(3), 0)
+
+    def test_input_not_mutated(self):
+        g = dumbbell(3, 3)
+        before = g.num_links
+        select_balanced(g, 3)
+        assert g.num_links == before
+
+    def test_eligible_filter(self):
+        g = star(5)
+        sel = select_balanced(g, 3, eligible=lambda n: n.name != "h1")
+        assert "h1" not in sel.nodes
+
+    def test_disconnected_graph_uses_feasible_component(self):
+        g = dumbbell(4, 2)
+        g.remove_link("sw-left", "sw-right")
+        g.node("l0").load_average = 2.0
+        sel = select_balanced(g, 3)
+        assert set(sel.nodes) <= {"l0", "l1", "l2", "l3"}
+
+    def test_disconnected_infeasible(self):
+        g = dumbbell(2, 2)
+        g.remove_link("sw-left", "sw-right")
+        with pytest.raises(NoFeasibleSelection):
+            select_balanced(g, 3)
+
+    def test_extras_carry_algorithm_bounds(self):
+        sel = select_balanced(star(4), 2)
+        assert "alg_mincpu" in sel.extras
+        assert "alg_minbw" in sel.extras
+
+
+class TestPrioritization:
+    def test_compute_priority_sticks_to_idle_nodes(self):
+        """§3.3: heavy compute priority keeps the max-cpu set despite congestion."""
+        g = dumbbell(4, 4)
+        # Right nodes idle behind congested access links (.3); left nodes
+        # loaded (cpu .5) with clean links.
+        for i in range(4):
+            g.node(f"l{i}").load_average = 1.0
+            g.link(f"r{i}", "sw-right").set_available(30 * Mbps)
+        balanced = select_balanced(g, 4)
+        compute_first = select_balanced(
+            g, 4, References(compute_priority=10.0)
+        )
+        # Balanced: left min(.5, 1) = .5 beats right min(1, .3) = .3.
+        assert sorted(balanced.nodes) == ["l0", "l1", "l2", "l3"]
+        # Compute priority 10: right min(.1, .3) = .1 beats left min(.05, 1).
+        assert sorted(compute_first.nodes) == ["r0", "r1", "r2", "r3"]
+
+    def test_comm_priority_prefers_clean_links(self):
+        g = dumbbell(4, 4)
+        for i in range(4):
+            g.node(f"r{i}").load_average = 0.8
+        # Left side idle but behind congested access links.
+        for i in range(4):
+            g.link(f"l{i}", "sw-left").set_available(40 * Mbps)
+        comm_first = select_balanced(g, 4, References(comm_priority=10.0))
+        assert sorted(comm_first.nodes) == ["r0", "r1", "r2", "r3"]
+
+
+class TestAgainstExhaustive:
+    """The greedy is a heuristic; empirically it matches brute force on
+    small trees, and must never be *worse* than the pure-compute choice."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_exhaustive_on_small_trees(self, seed):
+        rng = np.random.default_rng(seed + 1000)
+        g = random_tree(
+            num_compute=int(rng.integers(4, 9)),
+            num_switches=int(rng.integers(1, 4)),
+            rng=rng,
+        )
+        _randomize(g, rng)
+        m = int(rng.integers(2, 5))
+        greedy = select_balanced(g, m)
+        brute = select_exhaustive(g, m, objective="balanced")
+        exact_greedy = minresource(g, greedy.nodes)
+        # Greedy may be conservative; allow a bounded gap but flag regressions.
+        assert exact_greedy >= brute.objective * 0.75 - 1e-9
+        assert exact_greedy <= brute.objective + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), m=st.integers(2, 4))
+    def test_never_worse_than_pure_compute(self, seed, m):
+        rng = np.random.default_rng(seed)
+        g = random_tree(6, 3, rng)
+        _randomize(g, rng)
+        bal = select_balanced(g, m)
+        cpu = select_max_compute(g, m)
+        assert minresource(g, bal.nodes) >= minresource(g, cpu.nodes) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_selection_always_connected_and_sized(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_tree(7, 3, rng)
+        _randomize(g, rng)
+        sel = select_balanced(g, 3)
+        assert sel.size == 3
+        comp = g.component_of(sel.nodes[0])
+        assert all(n in comp for n in sel.nodes)
+
+    def test_strict_greedy_never_better_than_default(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            g = random_tree(8, 4, rng)
+            _randomize(g, rng)
+            default = select_balanced(g, 4)
+            strict = select_balanced(g, 4, strict_greedy=True)
+            assert (
+                minresource(g, default.nodes)
+                >= minresource(g, strict.nodes) - 1e-9
+            )

@@ -1,0 +1,164 @@
+"""Tests for the Figure 2 maximize-communication algorithm.
+
+The crown-jewel property: on acyclic graphs the greedy edge-peeling is
+*exactly optimal* for the min-pairwise-bandwidth criterion.  We verify it
+against brute force on randomized instances (hypothesis + seeded sweeps).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NoFeasibleSelection,
+    min_pairwise_bandwidth,
+    select_exhaustive,
+    select_max_bandwidth,
+)
+from repro.topology import TopologyGraph, dumbbell, random_tree, star
+from repro.units import Mbps
+
+
+class TestBasics:
+    def test_avoids_congested_trunk(self):
+        """With a congested trunk, all m nodes land on one side."""
+        g = dumbbell(4, 4)
+        g.link("sw-left", "sw-right").set_available(5 * Mbps)
+        sel = select_max_bandwidth(g, 4)
+        sides = {n[0] for n in sel.nodes}
+        assert len(sides) == 1
+        assert sel.objective == 100 * Mbps
+
+    def test_spans_trunk_when_forced(self):
+        """Needing more nodes than one side has forces crossing the trunk."""
+        g = dumbbell(4, 4)
+        g.link("sw-left", "sw-right").set_available(5 * Mbps)
+        sel = select_max_bandwidth(g, 5)
+        assert sel.objective == 5 * Mbps
+
+    def test_avoids_congested_host_link(self):
+        g = star(5)
+        g.link("h2", "switch").set_available(1 * Mbps)
+        sel = select_max_bandwidth(g, 4)
+        assert "h2" not in sel.nodes
+        assert sel.objective == 100 * Mbps
+
+    def test_input_graph_not_mutated(self):
+        g = dumbbell(3, 3)
+        g.link("sw-left", "sw-right").set_available(5 * Mbps)
+        links_before = g.num_links
+        select_max_bandwidth(g, 3)
+        assert g.num_links == links_before
+
+    def test_m_equals_component_size(self):
+        g = star(4)
+        sel = select_max_bandwidth(g, 4)
+        assert sorted(sel.nodes) == ["h0", "h1", "h2", "h3"]
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            select_max_bandwidth(star(4), 0)
+
+    def test_infeasible_m(self):
+        with pytest.raises(NoFeasibleSelection):
+            select_max_bandwidth(star(4), 5)
+
+    def test_infeasible_after_disconnect(self):
+        g = dumbbell(2, 2)
+        g.remove_link("sw-left", "sw-right")
+        with pytest.raises(NoFeasibleSelection):
+            select_max_bandwidth(g, 3)
+
+    def test_single_node_request(self):
+        sel = select_max_bandwidth(star(3), 1)
+        assert sel.size == 1
+        assert sel.objective == float("inf")
+
+    def test_eligible_filter_respected(self):
+        g = star(5)
+        sel = select_max_bandwidth(g, 3, eligible=lambda n: n.name != "h0")
+        assert "h0" not in sel.nodes
+
+    def test_cpu_tiebreak_prefers_idle_nodes(self):
+        """Among bandwidth-equivalent nodes, the least loaded are picked."""
+        g = star(5)
+        g.node("h0").load_average = 5.0
+        sel = select_max_bandwidth(g, 4)
+        assert "h0" not in sel.nodes
+
+    def test_iterations_reported(self):
+        g = dumbbell(3, 3)
+        sel = select_max_bandwidth(g, 3)
+        assert sel.iterations >= 1
+
+    def test_directional_congestion_counts(self):
+        """§3.3: a link congested in one direction is avoided."""
+        g = star(4)
+        g.link("h1", "switch").set_available(1 * Mbps, direction="switch")
+        sel = select_max_bandwidth(g, 3)
+        assert "h1" not in sel.nodes
+
+
+def _randomize(g: TopologyGraph, rng: np.random.Generator) -> None:
+    for link in g.links():
+        link.set_available(float(rng.uniform(1, 100)) * Mbps)
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 4))
+
+
+class TestOptimality:
+    """Greedy == brute force on random acyclic instances."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_exhaustive_on_random_trees(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_tree(
+            num_compute=int(rng.integers(4, 10)),
+            num_switches=int(rng.integers(1, 5)),
+            rng=rng,
+        )
+        _randomize(g, rng)
+        m = int(rng.integers(2, min(5, len(g.compute_nodes())) + 1))
+        greedy = select_max_bandwidth(g, m)
+        brute = select_exhaustive(g, m, objective="bandwidth")
+        assert greedy.objective == pytest.approx(brute.objective)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_property_optimal_on_random_trees(self, data):
+        seed = data.draw(st.integers(0, 2**31 - 1), label="seed")
+        rng = np.random.default_rng(seed)
+        nc = data.draw(st.integers(3, 8), label="num_compute")
+        ns = data.draw(st.integers(1, 4), label="num_switches")
+        m = data.draw(st.integers(2, nc), label="m")
+        g = random_tree(nc, ns, rng)
+        _randomize(g, rng)
+        greedy = select_max_bandwidth(g, m)
+        brute = select_exhaustive(g, m, objective="bandwidth")
+        assert greedy.objective == pytest.approx(brute.objective)
+        # Reported objective must equal the exact evaluation of the set.
+        assert greedy.objective == pytest.approx(
+            min_pairwise_bandwidth(g, greedy.nodes)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_selected_nodes_always_connected(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_tree(6, 3, rng)
+        _randomize(g, rng)
+        sel = select_max_bandwidth(g, 3)
+        comp = g.component_of(sel.nodes[0])
+        assert all(n in comp for n in sel.nodes)
+
+    def test_greedy_beats_or_ties_any_fixed_choice(self):
+        """Sanity: the optimal objective dominates arbitrary picks."""
+        rng = np.random.default_rng(99)
+        g = random_tree(8, 3, rng)
+        _randomize(g, rng)
+        sel = select_max_bandwidth(g, 4)
+        names = [n.name for n in g.compute_nodes()]
+        for _ in range(20):
+            pick = rng.choice(names, size=4, replace=False).tolist()
+            assert sel.objective >= min_pairwise_bandwidth(g, pick) - 1e-9

@@ -1,0 +1,133 @@
+"""Tests for the baseline selectors (random / static / exhaustive)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NoFeasibleSelection,
+    min_pairwise_bandwidth,
+    select_exhaustive,
+    select_random,
+    select_static,
+)
+from repro.topology import dumbbell, star
+from repro.units import Mbps
+
+
+class TestRandom:
+    def test_size_and_membership(self):
+        g = star(6)
+        rng = np.random.default_rng(0)
+        sel = select_random(g, 3, rng)
+        assert sel.size == 3
+        assert all(g.node(n).is_compute for n in sel.nodes)
+
+    def test_reproducible_given_seed(self):
+        g = star(6)
+        a = select_random(g, 3, np.random.default_rng(7))
+        b = select_random(g, 3, np.random.default_rng(7))
+        assert a.nodes == b.nodes
+
+    def test_covers_the_node_space(self):
+        """Across many draws every node is picked sometimes (uniformity)."""
+        g = star(6)
+        rng = np.random.default_rng(1)
+        seen = set()
+        for _ in range(100):
+            seen.update(select_random(g, 2, rng).nodes)
+        assert seen == {f"h{i}" for i in range(6)}
+
+    def test_connected_requirement(self):
+        g = dumbbell(3, 2)
+        g.remove_link("sw-left", "sw-right")
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            sel = select_random(g, 2, rng)
+            comp = g.component_of(sel.nodes[0])
+            assert all(n in comp for n in sel.nodes)
+
+    def test_connected_infeasible_raises(self):
+        g = dumbbell(2, 2)
+        g.remove_link("sw-left", "sw-right")
+        with pytest.raises(NoFeasibleSelection):
+            select_random(g, 3, np.random.default_rng(0))
+
+    def test_unconnected_allowed_when_disabled(self):
+        g = dumbbell(2, 2)
+        g.remove_link("sw-left", "sw-right")
+        sel = select_random(
+            g, 3, np.random.default_rng(0), require_connected=False
+        )
+        assert sel.size == 3
+
+    def test_eligible_filter(self):
+        g = star(5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            sel = select_random(g, 2, rng, eligible=lambda n: n.name != "h0")
+            assert "h0" not in sel.nodes
+
+    def test_too_few_nodes(self):
+        with pytest.raises(NoFeasibleSelection):
+            select_random(star(2), 3, np.random.default_rng(0))
+
+
+class TestStatic:
+    def test_deterministic(self):
+        g = star(6)
+        assert select_static(g, 3).nodes == select_static(g, 3).nodes
+
+    def test_ignores_load(self):
+        g = star(4)
+        baseline = select_static(g, 2).nodes
+        g.node(baseline[0]).load_average = 50.0
+        assert select_static(g, 2).nodes == baseline
+
+    def test_prefers_peak_capacity(self):
+        g = star(4)
+        g.node("h3").compute_capacity = 4.0
+        assert "h3" in select_static(g, 1).nodes
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            select_static(star(3), 0)
+
+
+class TestExhaustive:
+    def test_bandwidth_objective_finds_clean_side(self):
+        g = dumbbell(3, 3)
+        g.link("sw-left", "sw-right").set_available(1 * Mbps)
+        sel = select_exhaustive(g, 3, objective="bandwidth")
+        sides = {n[0] for n in sel.nodes}
+        assert len(sides) == 1
+        assert sel.objective == 100 * Mbps
+
+    def test_compute_objective(self):
+        g = star(4)
+        g.node("h2").load_average = 9.0
+        sel = select_exhaustive(g, 3, objective="compute")
+        assert "h2" not in sel.nodes
+
+    def test_balanced_objective_score_is_exact(self):
+        g = star(4)
+        g.node("h0").load_average = 1.0
+        sel = select_exhaustive(g, 2, objective="balanced")
+        from repro.core import minresource
+        assert sel.objective == pytest.approx(minresource(g, sel.nodes))
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            select_exhaustive(star(3), 2, objective="vibes")
+
+    def test_skips_disconnected_subsets(self):
+        g = dumbbell(2, 2)
+        g.remove_link("sw-left", "sw-right")
+        sel = select_exhaustive(g, 2, objective="bandwidth")
+        comp = g.component_of(sel.nodes[0])
+        assert all(n in comp for n in sel.nodes)
+
+    def test_all_disconnected_raises(self):
+        g = dumbbell(1, 1)
+        g.remove_link("sw-left", "sw-right")
+        with pytest.raises(NoFeasibleSelection):
+            select_exhaustive(g, 2, objective="bandwidth")

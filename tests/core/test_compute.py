@@ -1,0 +1,88 @@
+"""Tests for maximize-computation selection (§3.2, O(n) algorithm)."""
+
+import pytest
+
+from repro.core import (
+    NoFeasibleSelection,
+    References,
+    select_max_compute,
+    top_compute_nodes,
+)
+from repro.topology import Node, star
+
+
+@pytest.fixture
+def loaded_star():
+    g = star(6)
+    loads = {"h0": 0.0, "h1": 2.0, "h2": 0.5, "h3": 4.0, "h4": 0.1, "h5": 1.0}
+    for name, load in loads.items():
+        g.node(name).load_average = load
+    return g
+
+
+class TestTopComputeNodes:
+    def test_picks_least_loaded(self, loaded_star):
+        top = top_compute_nodes(loaded_star.compute_nodes(), 3)
+        assert [n.name for n in top] == ["h0", "h4", "h2"]
+
+    def test_name_tie_break(self):
+        nodes = [Node(f"n{i}", load_average=1.0) for i in (3, 1, 2)]
+        top = top_compute_nodes(nodes, 2)
+        assert [n.name for n in top] == ["n1", "n2"]
+
+    def test_ignores_network_nodes(self, loaded_star):
+        top = top_compute_nodes(loaded_star.nodes(), 6)
+        assert all(n.is_compute for n in top)
+
+    def test_insufficient_raises(self, loaded_star):
+        with pytest.raises(NoFeasibleSelection):
+            top_compute_nodes(loaded_star.compute_nodes(), 7)
+
+    def test_m_validation(self, loaded_star):
+        with pytest.raises(ValueError):
+            top_compute_nodes(loaded_star.compute_nodes(), 0)
+
+
+class TestSelectMaxCompute:
+    def test_objective_is_worst_selected_cpu(self, loaded_star):
+        sel = select_max_compute(loaded_star, 3)
+        # Third-best is h2 at load 0.5 -> cpu = 1/1.5
+        assert sel.objective == pytest.approx(1 / 1.5)
+        assert sel.min_cpu_fraction == sel.objective
+
+    def test_selects_m_nodes(self, loaded_star):
+        sel = select_max_compute(loaded_star, 4)
+        assert sel.size == 4
+        assert sel.algorithm == "max-compute"
+        assert sel.iterations == 0
+
+    def test_idle_graph_gives_full_cpu(self):
+        sel = select_max_compute(star(4), 2)
+        assert sel.objective == 1.0
+
+    def test_eligible_filter(self, loaded_star):
+        sel = select_max_compute(
+            loaded_star, 2, eligible=lambda n: n.name not in ("h0", "h4")
+        )
+        assert sel.nodes == ["h2", "h5"]
+
+    def test_eligible_can_make_infeasible(self, loaded_star):
+        with pytest.raises(NoFeasibleSelection):
+            select_max_compute(loaded_star, 2, eligible=lambda n: n.name == "h0")
+
+    def test_heterogeneous_reference(self, loaded_star):
+        # h3 (load 4) gets 5x capacity: fraction 5 * 1/5 = 1.0, the best.
+        loaded_star.node("h3").compute_capacity = 5.0
+        refs = References(node_capacity=1.0)
+        sel = select_max_compute(loaded_star, 1, refs)
+        assert sel.nodes == ["h0"] or sel.nodes == ["h3"]
+        # h0: 1.0; h3: 1.0 -> tie broken by name.
+        assert sel.nodes == ["h0"]
+        loaded_star.node("h3").compute_capacity = 6.0
+        sel = select_max_compute(loaded_star, 1, refs)
+        assert sel.nodes == ["h3"]
+
+    def test_reports_bandwidth_of_choice(self, loaded_star):
+        sel = select_max_compute(loaded_star, 3)
+        assert sel.min_bw_bps > 0
+        assert 0 < sel.min_bw_fraction <= 1

@@ -1,0 +1,138 @@
+"""Tests for the runtime estimator and the derived speedup model (§3.4)."""
+
+import pytest
+
+from repro.apps import FFT2D
+from repro.core import (
+    CommPattern,
+    PhaseWorkload,
+    estimate_runtime,
+    select_variable_nodes,
+    speedup_model,
+)
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.testbed import cmu_testbed
+from repro.topology import dumbbell, star
+from repro.units import MB, Mbps
+
+
+def fft_phases(app=None):
+    app = app or FFT2D.paper_config()
+    return [PhaseWorkload(
+        compute_seconds_total=app.compute_seconds_per_iteration,
+        comm_bytes_per_pair=2 * app.transpose_bytes_per_pair,
+        pattern=CommPattern.ALL_TO_ALL,
+        iterations=app.iterations,
+    )]
+
+
+class TestPhaseWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseWorkload(compute_seconds_total=-1)
+        with pytest.raises(ValueError):
+            PhaseWorkload(iterations=0)
+        with pytest.raises(ValueError):
+            PhaseWorkload(pattern="mindmeld")
+
+
+class TestEstimateRuntime:
+    def test_matches_simulated_unloaded_fft(self):
+        g = cmu_testbed()
+        placement = ["m-1", "m-2", "m-3", "m-4"]
+        pred = estimate_runtime(g, placement, fft_phases())
+        sim = Simulator()
+        cluster = Cluster(sim, cmu_testbed())
+        actual = sim.run(until=FFT2D.paper_config().launch(cluster, placement))
+        assert pred == pytest.approx(actual, rel=0.05)
+
+    def test_matches_simulated_loaded_fft(self):
+        g = cmu_testbed()
+        g.node("m-1").load_average = 3.0
+        placement = ["m-1", "m-2", "m-3", "m-4"]
+        pred = estimate_runtime(g, placement, fft_phases())
+        sim = Simulator()
+        cluster = Cluster(sim, cmu_testbed())
+        for _ in range(3):
+            cluster.compute("m-1", 1e12)
+        actual = sim.run(until=FFT2D.paper_config().launch(cluster, placement))
+        assert pred == pytest.approx(actual, rel=0.05)
+
+    def test_comm_only_phase(self):
+        g = star(4, latency=0.0)
+        phases = [PhaseWorkload(
+            comm_bytes_per_pair=1 * MB, pattern=CommPattern.ALL_TO_ALL,
+        )]
+        pred = estimate_runtime(g, ["h0", "h1", "h2", "h3"], phases)
+        # Effective all-to-all bandwidth on the star is 100/3 Mbps.
+        assert pred == pytest.approx(1 * MB * 8 / (100 * Mbps / 3))
+
+    def test_single_node_has_no_comm(self):
+        g = star(2)
+        phases = [PhaseWorkload(compute_seconds_total=10.0,
+                                comm_bytes_per_pair=99 * MB)]
+        assert estimate_runtime(g, ["h0"], phases) == pytest.approx(10.0)
+
+    def test_disconnected_is_inf(self):
+        g = dumbbell(2, 2)
+        g.remove_link("sw-left", "sw-right")
+        phases = [PhaseWorkload(comm_bytes_per_pair=1 * MB)]
+        assert estimate_runtime(g, ["l0", "r0"], phases) == float("inf")
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_runtime(star(2), [], [PhaseWorkload()])
+
+    def test_base_capacity_scales_compute(self):
+        g = star(2)
+        phases = [PhaseWorkload(compute_seconds_total=10.0)]
+        slow = estimate_runtime(g, ["h0"], phases, base_capacity=1.0)
+        fast = estimate_runtime(g, ["h0"], phases, base_capacity=2.0)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_more_nodes_less_compute_time(self):
+        g = star(8, latency=0.0)
+        phases = [PhaseWorkload(compute_seconds_total=80.0)]
+        t2 = estimate_runtime(g, ["h0", "h1"], phases)
+        t8 = estimate_runtime(g, [f"h{i}" for i in range(8)], phases)
+        assert t8 == pytest.approx(t2 / 4)
+
+
+class TestSpeedupModel:
+    def test_monotone_until_comm_bound(self):
+        g = star(8, latency=0.0)
+        phases = [PhaseWorkload(
+            compute_seconds_total=100.0,
+            comm_bytes_per_pair=64 * MB,
+            pattern=CommPattern.ALL_TO_ALL,
+        )]
+        sp = speedup_model(g, phases)
+        values = [sp(m) for m in range(1, 9)]
+        assert values[1] > values[0]          # 2 nodes beat 1
+        # All-to-all volume grows with m: speedup saturates or reverses.
+        assert values[-1] < 2 * values[1]
+
+    def test_ignores_current_load(self):
+        """Speedup is an application property: measured on an idle copy."""
+        g = star(4)
+        g.node("h0").load_average = 9.0
+        phases = [PhaseWorkload(compute_seconds_total=10.0)]
+        sp = speedup_model(g, phases)
+        assert sp(2) == pytest.approx(2.0, rel=0.01)
+
+    def test_infeasible_m_scores_zero(self):
+        sp = speedup_model(star(2), [PhaseWorkload(compute_seconds_total=1.0)])
+        assert sp(9) == 0.0
+
+    def test_feeds_variable_m_selection(self):
+        """End-to-end §3.4: the estimator chooses number AND set of nodes."""
+        g = star(8)
+        # Make four nodes busy: growing into them should not pay off.
+        for i in range(4, 8):
+            g.node(f"h{i}").load_average = 9.0
+        phases = [PhaseWorkload(compute_seconds_total=100.0)]
+        sp = speedup_model(g, phases)
+        sel = select_variable_nodes(g, range(1, 9), speedup=sp)
+        assert sel.size == 4
+        assert all(n in ("h0", "h1", "h2", "h3") for n in sel.nodes)

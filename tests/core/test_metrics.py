@@ -1,0 +1,140 @@
+"""Tests for resource metrics and objective evaluators."""
+
+import pytest
+
+from repro.core import (
+    References,
+    link_bandwidth_fraction,
+    min_cpu_fraction,
+    min_pairwise_bandwidth,
+    min_pairwise_bandwidth_fraction,
+    minresource,
+    node_compute_fraction,
+)
+from repro.topology import Link, Node, TopologyGraph, dumbbell, star
+from repro.units import Mbps
+
+
+class TestReferences:
+    def test_defaults_are_homogeneous(self):
+        refs = References()
+        assert refs.node_capacity is None
+        assert refs.link_bandwidth is None
+
+    def test_priority_validation(self):
+        with pytest.raises(ValueError):
+            References(compute_priority=0)
+        with pytest.raises(ValueError):
+            References(comm_priority=-1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            References(node_capacity=0)
+        with pytest.raises(ValueError):
+            References(link_bandwidth=-5)
+
+    def test_priority_scaling_example_from_paper(self):
+        # §3.3: computation prioritized by 2 -> 50% CPU == 25% comm.
+        refs = References(compute_priority=2.0)
+        assert refs.scale_cpu(0.5) == pytest.approx(0.25)
+        assert refs.scale_bw(0.25) == pytest.approx(0.25)
+
+
+class TestNodeComputeFraction:
+    def test_homogeneous_is_cpu(self):
+        n = Node("x", load_average=1.0)
+        assert node_compute_fraction(n) == 0.5
+
+    def test_heterogeneous_scales_by_reference(self):
+        # A 2x-capacity node at 50% availability == 1.0 of the reference.
+        refs = References(node_capacity=1.0)
+        n = Node("x", load_average=1.0, compute_capacity=2.0)
+        assert node_compute_fraction(n, refs) == pytest.approx(1.0)
+
+    def test_slow_node_penalized(self):
+        refs = References(node_capacity=2.0)
+        n = Node("x", load_average=0.0, compute_capacity=1.0)
+        assert node_compute_fraction(n, refs) == pytest.approx(0.5)
+
+
+class TestLinkBandwidthFraction:
+    def test_homogeneous_is_bwfactor(self):
+        l = Link("a", "b", maxbw=100 * Mbps, available_fwd=25 * Mbps)
+        assert link_bandwidth_fraction(l) == pytest.approx(0.25)
+
+    def test_reference_link_example_from_paper(self):
+        # §3.3: with a 100 Mbps reference, 50% of a 155 Mbps ATM link
+        # (77.5 Mbps available) counts as 0.775, not 0.5.
+        refs = References(link_bandwidth=100 * Mbps)
+        atm = Link("a", "b", maxbw=155 * Mbps, available_fwd=77.5 * Mbps)
+        assert link_bandwidth_fraction(atm, refs) == pytest.approx(0.775)
+        assert link_bandwidth_fraction(atm) == pytest.approx(0.5)
+
+
+class TestSetObjectives:
+    @pytest.fixture
+    def g(self):
+        g = star(4)
+        g.node("h0").load_average = 0.0
+        g.node("h1").load_average = 1.0
+        g.node("h2").load_average = 3.0
+        g.link("h1", "switch").set_available(20 * Mbps)
+        return g
+
+    def test_min_cpu_is_most_loaded_node(self, g):
+        assert min_cpu_fraction(g, ["h0", "h1", "h2"]) == pytest.approx(0.25)
+
+    def test_min_cpu_empty_set_is_inf(self, g):
+        assert min_cpu_fraction(g, []) == float("inf")
+
+    def test_min_pairwise_bandwidth_is_bottleneck_path(self, g):
+        assert min_pairwise_bandwidth(g, ["h0", "h1"]) == 20 * Mbps
+        assert min_pairwise_bandwidth(g, ["h0", "h3"]) == 100 * Mbps
+
+    def test_min_pairwise_bandwidth_singleton_inf(self, g):
+        assert min_pairwise_bandwidth(g, ["h0"]) == float("inf")
+
+    def test_min_pairwise_bandwidth_disconnected_zero(self, g):
+        g.remove_link("h3", "switch")
+        assert min_pairwise_bandwidth(g, ["h0", "h3"]) == 0.0
+
+    def test_min_pairwise_fraction(self, g):
+        assert min_pairwise_bandwidth_fraction(g, ["h0", "h1"]) == pytest.approx(0.2)
+
+    def test_fraction_uses_per_link_peak_without_reference(self):
+        # A path crossing a 10 Mbps hop at 5 Mbps available: fraction 0.5
+        # even though the other hop is 100 Mbps.
+        g = TopologyGraph()
+        g.add_compute("a")
+        g.add_compute("b")
+        g.add_network("s")
+        g.add_link("a", "s", 10 * Mbps, available=5 * Mbps)
+        g.add_link("s", "b", 100 * Mbps)
+        assert min_pairwise_bandwidth_fraction(g, ["a", "b"]) == pytest.approx(0.5)
+
+    def test_fraction_with_reference_uses_absolute_scale(self):
+        g = TopologyGraph()
+        g.add_compute("a")
+        g.add_compute("b")
+        g.add_network("s")
+        g.add_link("a", "s", 155 * Mbps, available=77.5 * Mbps)
+        g.add_link("s", "b", 155 * Mbps, available=77.5 * Mbps)
+        refs = References(link_bandwidth=100 * Mbps)
+        assert min_pairwise_bandwidth_fraction(g, ["a", "b"], refs) == pytest.approx(0.775)
+
+    def test_minresource_is_min_of_scaled_terms(self, g):
+        # h0,h1: cpu = min(1, .5) = .5 ; bw fraction = .2 -> minresource .2
+        assert minresource(g, ["h0", "h1"]) == pytest.approx(0.2)
+
+    def test_minresource_respects_priority(self, g):
+        # Prioritizing comm by 5 scales bw fraction .2 -> .04 vs cpu .5
+        refs = References(comm_priority=5.0)
+        assert minresource(g, ["h0", "h1"], refs) == pytest.approx(0.04)
+
+    def test_minresource_directional_bottleneck(self):
+        g = dumbbell(2, 2)
+        trunk = g.link("sw-left", "sw-right")
+        trunk.set_available(10 * Mbps, direction="sw-right")
+        # §3.3: bidirectional capacity is min over directions.
+        assert min_pairwise_bandwidth(g, ["l0", "r0"]) == 10 * Mbps
+        assert minresource(g, ["l0", "r0"]) == pytest.approx(0.1)

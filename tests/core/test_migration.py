@@ -1,0 +1,128 @@
+"""Tests for the dynamic-migration advisor (§3.3)."""
+
+import pytest
+
+from repro.core import (
+    ApplicationSpec,
+    MigrationAdvisor,
+    NodeSelector,
+    SelfFootprint,
+)
+from repro.topology import dumbbell, star
+from repro.units import Mbps
+
+
+def app_on_left(load=1.0):
+    """A dumbbell where our app (load 1.0/node) runs on the left side."""
+    g = dumbbell(4, 4)
+    for i in range(4):
+        g.node(f"l{i}").load_average = load  # our own process
+    return g
+
+
+class TestSelfCorrection:
+    def test_own_load_subtracted(self):
+        g = app_on_left()
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint.uniform([f"l{i}" for i in range(4)], load_per_node=1.0)
+        corrected = adv.corrected_snapshot(fp)
+        assert corrected.node("l0").load_average == 0.0
+        assert g.node("l0").load_average == 1.0  # original untouched
+
+    def test_load_never_goes_negative(self):
+        g = star(4)
+        g.node("h0").load_average = 0.3
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint.uniform(["h0"], load_per_node=1.0)
+        assert adv.corrected_snapshot(fp).node("h0").load_average == 0.0
+
+    def test_own_traffic_restored_on_links(self):
+        g = star(4)
+        link = g.link("h0", "switch")
+        link.set_available(40 * Mbps)  # 60 used: 50 by us, 10 by others
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint(
+            node_load={},
+            link_traffic_bps={frozenset(("h0", "switch")): 50 * Mbps},
+        )
+        corrected = adv.corrected_snapshot(fp)
+        assert corrected.link("h0", "switch").available == pytest.approx(90 * Mbps)
+
+    def test_restoration_capped_at_peak(self):
+        g = star(4)
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint(
+            link_traffic_bps={frozenset(("h0", "switch")): 500 * Mbps}
+        )
+        corrected = adv.corrected_snapshot(fp)
+        assert corrected.link("h0", "switch").available == 100 * Mbps
+
+    def test_unknown_nodes_ignored(self):
+        g = star(3)
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint.uniform(["ghost"], load_per_node=1.0)
+        adv.corrected_snapshot(fp)  # no raise
+
+
+class TestDecision:
+    def test_stays_put_when_current_is_best(self):
+        g = app_on_left()
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint.uniform([f"l{i}" for i in range(4)], load_per_node=1.0)
+        dec = adv.evaluate(
+            ApplicationSpec(num_nodes=4), [f"l{i}" for i in range(4)], fp
+        )
+        # After self-correction both sides are idle: no reason to move.
+        assert not dec.migrate
+        assert dec.current_score == pytest.approx(dec.candidate_score)
+
+    def test_migrates_away_from_external_load(self):
+        g = app_on_left(load=1.0)
+        # External jobs pile onto the left on top of our own process.
+        for i in range(4):
+            g.node(f"l{i}").load_average += 3.0
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint.uniform([f"l{i}" for i in range(4)], load_per_node=1.0)
+        dec = adv.evaluate(
+            ApplicationSpec(num_nodes=4), [f"l{i}" for i in range(4)], fp
+        )
+        assert dec.migrate
+        assert sorted(dec.candidate.nodes) == ["r0", "r1", "r2", "r3"]
+        assert dec.improvement > 0.2
+
+    def test_hysteresis_blocks_marginal_wins(self):
+        g = app_on_left(load=1.0)
+        for i in range(4):
+            g.node(f"l{i}").load_average += 0.1  # tiny external load
+        fp = SelfFootprint.uniform([f"l{i}" for i in range(4)], load_per_node=1.0)
+        eager = MigrationAdvisor(NodeSelector(g), hysteresis=0.0)
+        lazy = MigrationAdvisor(NodeSelector(g), hysteresis=0.5)
+        current = [f"l{i}" for i in range(4)]
+        spec = ApplicationSpec(num_nodes=4)
+        assert eager.evaluate(spec, current, fp).migrate
+        assert not lazy.evaluate(spec, current, fp).migrate
+
+    def test_hysteresis_validation(self):
+        with pytest.raises(ValueError):
+            MigrationAdvisor(NodeSelector(star(3)), hysteresis=-0.1)
+
+    def test_improvement_with_zero_current_score(self):
+        g = app_on_left()
+        g.remove_link("l0", "sw-left")  # current placement now disconnected
+        adv = MigrationAdvisor(NodeSelector(g))
+        fp = SelfFootprint()
+        dec = adv.evaluate(
+            ApplicationSpec(num_nodes=4), [f"l{i}" for i in range(4)], fp
+        )
+        assert dec.migrate
+        assert dec.improvement == float("inf")
+
+    def test_same_set_never_migrates(self):
+        g = star(4)
+        adv = MigrationAdvisor(NodeSelector(g), hysteresis=0.0)
+        dec = adv.evaluate(
+            ApplicationSpec(num_nodes=4),
+            ["h0", "h1", "h2", "h3"],
+            SelfFootprint(),
+        )
+        assert not dec.migrate

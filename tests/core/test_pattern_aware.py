@@ -1,0 +1,215 @@
+"""Tests for pattern-aware selection (the §3.4 simultaneous-streams extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommPattern,
+    effective_pattern_bandwidth,
+    minresource,
+    pattern_flows,
+    select_balanced,
+    select_pattern_aware,
+)
+from repro.topology import TopologyGraph, dumbbell, random_tree, star
+from repro.units import Mbps
+
+
+class TestPatternFlows:
+    def test_all_to_all(self):
+        flows = pattern_flows(["a", "b", "c"], CommPattern.ALL_TO_ALL)
+        assert len(flows) == 6
+        assert ("a", "b") in flows and ("b", "a") in flows
+
+    def test_master_slave_default_master(self):
+        flows = pattern_flows(["m", "s1", "s2"], CommPattern.MASTER_SLAVE)
+        assert ("m", "s1") in flows and ("s1", "m") in flows
+        assert ("s1", "s2") not in flows
+        assert len(flows) == 4
+
+    def test_master_slave_explicit_master(self):
+        flows = pattern_flows(
+            ["a", "b", "c"], CommPattern.MASTER_SLAVE, master="b"
+        )
+        assert ("b", "a") in flows and ("b", "c") in flows
+
+    def test_master_must_be_member(self):
+        with pytest.raises(ValueError):
+            pattern_flows(["a", "b"], CommPattern.MASTER_SLAVE, master="z")
+
+    def test_ring(self):
+        flows = pattern_flows(["a", "b", "c", "d"], CommPattern.RING)
+        assert ("a", "b") in flows and ("a", "d") in flows
+        assert ("a", "c") not in flows
+        assert len(flows) == 8
+
+    def test_two_node_ring_dedups(self):
+        flows = pattern_flows(["a", "b"], CommPattern.RING)
+        assert sorted(flows) == [("a", "b"), ("b", "a")]
+
+    def test_pipeline(self):
+        flows = pattern_flows(["a", "b", "c"], CommPattern.PIPELINE)
+        assert flows == [("a", "b"), ("b", "c")]
+
+    def test_none_and_singleton(self):
+        assert pattern_flows(["a"], CommPattern.ALL_TO_ALL) == []
+        assert pattern_flows(["a", "b"], CommPattern.NONE) == []
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            pattern_flows(["a", "b"], "gossip")
+
+
+class TestEffectiveBandwidth:
+    def test_star_all_to_all_shares_access_links(self):
+        g = star(4)
+        eff = effective_pattern_bandwidth(
+            g, ["h0", "h1", "h2", "h3"], CommPattern.ALL_TO_ALL
+        )
+        # Each access link carries 3 concurrent flows per direction.
+        assert eff == pytest.approx(100 * Mbps / 3)
+
+    def test_pairwise_view_would_claim_full_bandwidth(self):
+        """The §3.4 limitation in one assertion: pairwise says 100 Mbps,
+        the simultaneous-pattern view says a third of that."""
+        from repro.core import min_pairwise_bandwidth
+        g = star(4)
+        nodes = ["h0", "h1", "h2", "h3"]
+        assert min_pairwise_bandwidth(g, nodes) == 100 * Mbps
+        eff = effective_pattern_bandwidth(g, nodes, CommPattern.ALL_TO_ALL)
+        assert eff < 0.4 * min_pairwise_bandwidth(g, nodes)
+
+    def test_trunk_crossing_all_to_all_is_worse(self):
+        g = dumbbell(6, 6)
+        within = effective_pattern_bandwidth(
+            g, ["l0", "l1", "l2", "l3"], CommPattern.ALL_TO_ALL
+        )
+        across = effective_pattern_bandwidth(
+            g, ["l0", "l1", "r0", "r1"], CommPattern.ALL_TO_ALL
+        )
+        assert across < within
+
+    def test_master_slave_bottlenecked_at_master_link(self):
+        g = star(4)
+        eff = effective_pattern_bandwidth(
+            g, ["h0", "h1", "h2", "h3"], CommPattern.MASTER_SLAVE,
+            master="h0",
+        )
+        # h0's link carries 3 flows out and 3 in (full duplex).
+        assert eff == pytest.approx(100 * Mbps / 3)
+
+    def test_pipeline_on_chain_uses_disjoint_hops(self):
+        g = star(4)
+        eff = effective_pattern_bandwidth(
+            g, ["h0", "h1", "h2"], CommPattern.PIPELINE
+        )
+        # h1 relays: its access link carries one flow in, one out.
+        assert eff == pytest.approx(100 * Mbps)
+
+    def test_background_traffic_subtracted(self):
+        g = star(4)
+        g.link("h0", "switch").set_available(40 * Mbps)
+        eff = effective_pattern_bandwidth(
+            g, ["h0", "h1"], CommPattern.ALL_TO_ALL
+        )
+        assert eff == pytest.approx(40 * Mbps)
+
+    def test_disconnected_is_zero(self):
+        g = dumbbell(2, 2)
+        g.remove_link("sw-left", "sw-right")
+        eff = effective_pattern_bandwidth(
+            g, ["l0", "r0"], CommPattern.ALL_TO_ALL
+        )
+        assert eff == 0.0
+
+    def test_no_flows_is_inf(self):
+        g = star(3)
+        assert effective_pattern_bandwidth(g, ["h0"], CommPattern.ALL_TO_ALL) \
+            == float("inf")
+
+    def test_half_duplex_halves_the_pipe(self):
+        g = TopologyGraph()
+        g.add_compute("a")
+        g.add_compute("b")
+        g.add_link("a", "b", 100 * Mbps, duplex="half")
+        eff = effective_pattern_bandwidth(g, ["a", "b"], CommPattern.ALL_TO_ALL)
+        assert eff == pytest.approx(50 * Mbps)
+
+
+class TestSelectPatternAware:
+    def test_prefers_colocated_for_all_to_all(self):
+        """Balanced happily spans the trunk (pairwise bw is fine); the
+        pattern-aware selector co-locates to dodge trunk pile-up."""
+        g = dumbbell(6, 6)
+        # Make the pure-compute seed prefer a spanning set.
+        for n in ("l2", "l3", "l4", "l5"):
+            g.node(n).load_average = 0.12
+        for n in ("r2", "r3", "r4", "r5"):
+            g.node(n).load_average = 0.12
+        bal = select_balanced(g, 4)
+        aware = select_pattern_aware(g, 4, CommPattern.ALL_TO_ALL)
+        # Balanced picks the 2-2 split (best CPUs, pairwise bw fine) which
+        # piles 4 flows per direction onto the trunk (25 Mbps each)...
+        assert sorted(bal.nodes) == ["l0", "l1", "r0", "r1"]
+        assert effective_pattern_bandwidth(
+            g, bal.nodes, CommPattern.ALL_TO_ALL
+        ) == pytest.approx(100 * Mbps / 4)
+        # ...while the pattern-aware choice reaches the co-location optimum
+        # of 33.3 Mbps (an at-most-one-crosser set ties it exactly).
+        assert aware.extras["effective_pattern_bw_bps"] == pytest.approx(
+            100 * Mbps / 3
+        )
+        sides = [n[0] for n in aware.nodes]
+        assert min(sides.count("l"), sides.count("r")) <= 1
+
+    def test_never_worse_than_balanced_on_own_objective(self):
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            g = random_tree(10, 4, rng)
+            for link in g.links():
+                link.set_available(float(rng.uniform(10, 100)) * Mbps)
+            for node in g.compute_nodes():
+                node.load_average = float(rng.uniform(0, 2))
+            bal = select_balanced(g, 4)
+            aware = select_pattern_aware(g, 4, CommPattern.ALL_TO_ALL)
+
+            def obj(names):
+                from repro.core.metrics import min_cpu_fraction
+                cpu = min_cpu_fraction(g, names)
+                eff = effective_pattern_bandwidth(
+                    g, names, CommPattern.ALL_TO_ALL
+                )
+                ref = max(l.maxbw for l in g.links())
+                return min(cpu, min(eff / ref, 1.0))
+
+            assert obj(aware.nodes) >= obj(bal.nodes) - 1e-9
+
+    def test_respects_eligible(self):
+        g = star(6)
+        sel = select_pattern_aware(
+            g, 3, CommPattern.ALL_TO_ALL,
+            eligible=lambda n: n.name != "h0",
+        )
+        assert "h0" not in sel.nodes
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            select_pattern_aware(star(3), 0, CommPattern.ALL_TO_ALL)
+
+    def test_infeasible(self):
+        from repro.core import NoFeasibleSelection
+        with pytest.raises(NoFeasibleSelection):
+            select_pattern_aware(star(2), 5, CommPattern.ALL_TO_ALL)
+
+    def test_selection_metadata(self):
+        sel = select_pattern_aware(star(5), 3, CommPattern.RING)
+        assert sel.algorithm == "pattern-aware-ring"
+        assert "effective_pattern_bw_bps" in sel.extras
+        assert sel.size == 3
+
+    def test_master_slave_places_master_on_best_cpu(self):
+        g = star(5)
+        for n in ("h1", "h2", "h3", "h4"):
+            g.node(n).load_average = 0.5
+        sel = select_pattern_aware(g, 4, CommPattern.MASTER_SLAVE)
+        assert "h0" in sel.nodes  # the idle node anchors the pattern

@@ -1,0 +1,215 @@
+"""Tests for the application spec interface and the NodeSelector facade."""
+
+import pytest
+
+from repro.core import (
+    ApplicationSpec,
+    CommPattern,
+    GroupSpec,
+    NoFeasibleSelection,
+    NodeSelector,
+    Objective,
+)
+from repro.topology import Node, dumbbell, fat_tree_pod, star
+from repro.units import Mbps
+
+
+class TestGroupSpec:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            GroupSpec("g", size=0)
+
+    def test_attr_constraints(self):
+        g = GroupSpec("server", 1, attr_constraints={"arch": "alpha"})
+        assert g.admits(Node("x", attrs={"arch": "alpha"}))
+        assert not g.admits(Node("y", attrs={"arch": "x86"}))
+        assert not g.admits(Node("z"))
+
+    def test_allowed_nodes(self):
+        g = GroupSpec("pin", 1, allowed_nodes=["m-1", "m-2"])
+        assert g.admits(Node("m-1"))
+        assert not g.admits(Node("m-3"))
+
+
+class TestApplicationSpec:
+    def test_defaults(self):
+        spec = ApplicationSpec(num_nodes=4)
+        assert spec.objective == Objective.BALANCED
+        assert spec.pattern == CommPattern.ALL_TO_ALL
+        assert spec.total_nodes == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationSpec(num_nodes=0)
+        with pytest.raises(ValueError):
+            ApplicationSpec(num_nodes=2, pattern="telepathy")
+        with pytest.raises(ValueError):
+            ApplicationSpec(num_nodes=2, objective="vibes")
+        with pytest.raises(ValueError):
+            ApplicationSpec(num_nodes=2, compute_priority=0)
+        with pytest.raises(ValueError):
+            ApplicationSpec(
+                num_nodes=2, min_bandwidth_bps=1.0, min_cpu_fraction=0.5
+            )
+        with pytest.raises(ValueError):
+            ApplicationSpec(num_nodes=2, min_cpu_fraction=2.0)
+        with pytest.raises(ValueError):
+            ApplicationSpec(num_nodes=2, num_nodes_range=[2, 3])
+
+    def test_duplicate_groups_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationSpec(
+                groups=[GroupSpec("a", 1), GroupSpec("a", 2)]
+            )
+
+    def test_total_nodes_from_groups(self):
+        spec = ApplicationSpec(
+            groups=[GroupSpec("s", 1), GroupSpec("c", 3)]
+        )
+        assert spec.total_nodes == 4
+
+
+class TestNodeSelector:
+    def test_balanced_default(self):
+        sel = NodeSelector(star(6)).select(ApplicationSpec(num_nodes=3))
+        assert sel.algorithm == "balanced"
+
+    def test_objective_dispatch(self):
+        g = star(6)
+        ns = NodeSelector(g)
+        assert ns.select(
+            ApplicationSpec(num_nodes=3, objective=Objective.COMPUTE)
+        ).algorithm == "max-compute"
+        assert ns.select(
+            ApplicationSpec(num_nodes=3, objective=Objective.BANDWIDTH)
+        ).algorithm == "max-bandwidth"
+
+    def test_floor_dispatch(self):
+        g = star(6)
+        ns = NodeSelector(g)
+        assert ns.select(
+            ApplicationSpec(num_nodes=3, min_bandwidth_bps=10 * Mbps)
+        ).algorithm == "bandwidth-floor"
+        assert ns.select(
+            ApplicationSpec(num_nodes=3, min_cpu_fraction=0.1)
+        ).algorithm == "cpu-floor"
+
+    def test_cyclic_dispatches_to_routed(self):
+        sel = NodeSelector(fat_tree_pod()).select(ApplicationSpec(num_nodes=3))
+        assert sel.algorithm.startswith("routed")
+
+    def test_variable_m_dispatch(self):
+        sel = NodeSelector(star(6)).select(
+            ApplicationSpec(
+                num_nodes_range=range(2, 6), speedup_model=lambda m: float(m)
+            )
+        )
+        assert sel.algorithm == "variable-m"
+
+    def test_group_dispatch(self):
+        g = star(6)
+        g.node("h0").attrs["arch"] = "alpha"
+        spec = ApplicationSpec(
+            groups=[
+                GroupSpec("server", 1, attr_constraints={"arch": "alpha"}),
+                GroupSpec("workers", 3),
+            ]
+        )
+        sel = NodeSelector(g).select(spec)
+        assert sel.extras["group_names"]["server"] == ["h0"]
+        assert len(sel.extras["group_names"]["workers"]) == 3
+
+    def test_three_groups_unsupported(self):
+        spec = ApplicationSpec(
+            groups=[GroupSpec("a", 1), GroupSpec("b", 1), GroupSpec("c", 1)]
+        )
+        with pytest.raises(NoFeasibleSelection):
+            NodeSelector(star(6)).select(spec)
+
+    def test_provider_protocol(self):
+        """A Remos-like provider object is queried per select call."""
+        calls = []
+
+        class FakeRemos:
+            def topology(self):
+                calls.append(1)
+                return star(5)
+
+        ns = NodeSelector(FakeRemos())
+        ns.select(ApplicationSpec(num_nodes=2))
+        ns.select(ApplicationSpec(num_nodes=2))
+        assert len(calls) == 2
+
+    def test_explicit_graph_overrides_provider(self):
+        g1 = star(5)
+        g2 = star(5)
+        g2.node("h0").load_average = 9.0
+        ns = NodeSelector(g1)
+        sel = ns.select(ApplicationSpec(num_nodes=4), graph=g2)
+        assert "h0" not in sel.nodes
+
+    def test_eligible_threads_through(self):
+        g = star(6)
+        sel = NodeSelector(g).select(
+            ApplicationSpec(num_nodes=3, eligible=lambda n: n.name != "h0")
+        )
+        assert "h0" not in sel.nodes
+
+    def test_priorities_thread_through(self):
+        g = dumbbell(4, 4)
+        for i in range(4):
+            g.node(f"l{i}").load_average = 1.0
+            g.link(f"r{i}", "sw-right").set_available(30 * Mbps)
+        bal = NodeSelector(g).select(ApplicationSpec(num_nodes=4))
+        cpu = NodeSelector(g).select(
+            ApplicationSpec(num_nodes=4, compute_priority=10.0)
+        )
+        assert sorted(bal.nodes) != sorted(cpu.nodes)
+
+
+class TestNewDispatchPaths:
+    """§3.4 extensions wired through the spec/selector."""
+
+    def test_latency_bound_dispatch(self):
+        g = dumbbell(4, 4, latency=1e-4)
+        g.link("sw-left", "sw-right").latency = 0.050
+        sel = NodeSelector(g).select(
+            ApplicationSpec(num_nodes=4, max_latency_s=1e-3)
+        )
+        assert sel.algorithm == "latency-bound"
+        assert len({n[0] for n in sel.nodes}) == 1  # single LAN
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationSpec(num_nodes=2, max_latency_s=-1.0)
+
+    def test_pattern_aware_dispatch(self):
+        g = dumbbell(6, 6)
+        sel = NodeSelector(g).select(
+            ApplicationSpec(
+                num_nodes=4,
+                pattern=CommPattern.ALL_TO_ALL,
+                account_simultaneous_streams=True,
+            )
+        )
+        assert sel.algorithm == "pattern-aware-all-to-all"
+        assert "effective_pattern_bw_bps" in sel.extras
+
+    def test_pattern_aware_needs_pattern(self):
+        with pytest.raises(ValueError):
+            ApplicationSpec(
+                num_nodes=2,
+                pattern=CommPattern.NONE,
+                account_simultaneous_streams=True,
+            )
+
+    def test_requirements_as_eligible(self):
+        from repro.core import NodeRequirements
+        g = star(6)
+        g.node("h2").attrs["arch"] = "alpha"
+        g.node("h4").attrs["arch"] = "alpha"
+        reqs = NodeRequirements(arch="alpha")
+        sel = NodeSelector(g).select(
+            ApplicationSpec(num_nodes=2, eligible=reqs.predicate())
+        )
+        assert sorted(sel.nodes) == ["h2", "h4"]

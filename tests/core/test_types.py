@@ -1,0 +1,58 @@
+"""Tests for the Selection result type and NoFeasibleSelection semantics."""
+
+import pytest
+
+from repro.core import NoFeasibleSelection, Selection
+
+
+class TestSelection:
+    def test_container_protocol(self):
+        sel = Selection(nodes=["a", "b"], objective=1.0)
+        assert "a" in sel
+        assert "z" not in sel
+        assert list(sel) == ["a", "b"]
+        assert sel.size == 2
+
+    def test_nodes_copied_from_input(self):
+        src = ["a", "b"]
+        sel = Selection(nodes=src, objective=0.0)
+        src.append("c")
+        assert sel.nodes == ["a", "b"]
+
+    def test_accepts_any_iterable(self):
+        sel = Selection(nodes=("x", "y"), objective=0.0)
+        assert sel.nodes == ["x", "y"]
+
+    def test_extras_default_independent(self):
+        a = Selection(nodes=[], objective=0.0)
+        b = Selection(nodes=[], objective=0.0)
+        a.extras["k"] = 1
+        assert b.extras == {}
+
+    def test_defaults(self):
+        import math
+        sel = Selection(nodes=["a"], objective=0.5)
+        assert math.isnan(sel.min_cpu_fraction)
+        assert sel.algorithm == ""
+        assert sel.iterations == 0
+
+
+class TestNoFeasibleSelection:
+    def test_is_an_exception_with_message(self):
+        exc = NoFeasibleSelection("because reasons")
+        assert isinstance(exc, Exception)
+        assert "because reasons" in str(exc)
+
+    def test_raised_not_returned(self):
+        """All selectors raise rather than returning partial selections."""
+        from repro.core import (
+            select_balanced,
+            select_max_bandwidth,
+            select_max_compute,
+        )
+        from repro.topology import star
+
+        g = star(2)
+        for select in (select_max_compute, select_max_bandwidth, select_balanced):
+            with pytest.raises(NoFeasibleSelection):
+                select(g, 5)

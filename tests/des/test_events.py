@@ -1,0 +1,220 @@
+"""Unit tests for the DES event primitives."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Event, Simulator, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_fresh_event_is_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+        assert ev.ok
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(RuntimeError):
+            sim.event().value
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_succeed_after_fail_raises(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("x"))
+        ev.defuse()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_unhandled_failure_propagates_to_run(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_defused_failure_does_not_propagate(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        sim.run()  # no raise
+
+    def test_callbacks_run_on_processing(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("hi")
+        sim.run()
+        assert seen == ["hi"]
+        assert ev.processed
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_at_now(self, sim):
+        t = sim.timeout(0.0)
+        sim.run()
+        assert t.processed
+        assert sim.now == 0.0
+
+    def test_fires_at_delay(self, sim):
+        sim.timeout(3.5)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_carries_value(self, sim):
+        def proc(sim):
+            got = yield sim.timeout(1.0, value="payload")
+            return got
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "payload"
+
+    def test_timeouts_fire_in_time_order(self, sim):
+        order = []
+        for d in (5.0, 1.0, 3.0):
+            t = sim.timeout(d)
+            t.callbacks.append(lambda e, d=d: order.append(d))
+        sim.run()
+        assert order == [1.0, 3.0, 5.0]
+
+    def test_equal_time_fifo(self, sim):
+        order = []
+        for i in range(10):
+            t = sim.timeout(1.0)
+            t.callbacks.append(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self, sim):
+        def proc(sim):
+            t1 = sim.timeout(1.0, value="a")
+            t2 = sim.timeout(2.0, value="b")
+            res = yield t1 & t2
+            return (sim.now, sorted(res.values()))
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == (2.0, ["a", "b"])
+
+    def test_anyof_fires_on_first(self, sim):
+        def proc(sim):
+            t1 = sim.timeout(1.0, value="fast")
+            t2 = sim.timeout(2.0, value="slow")
+            res = yield t1 | t2
+            return (sim.now, list(res.values()))
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == (1.0, ["fast"])
+
+    def test_empty_allof_fires_immediately(self, sim):
+        cond = AllOf(sim, [])
+        assert cond.triggered
+        assert cond.value == {}
+
+    def test_condition_rejects_foreign_events(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            AllOf(sim, [sim.timeout(1), other.timeout(1)])
+
+    def test_condition_over_processed_events(self, sim):
+        t = sim.timeout(0.0, value=1)
+        sim.run()
+        assert t.processed
+        cond = AllOf(sim, [t])
+        assert cond.triggered
+
+    def test_failing_child_fails_condition(self, sim):
+        def proc(sim):
+            ev = sim.event()
+            sim.process(_failer(sim, ev))
+            try:
+                yield ev & sim.timeout(10.0)
+            except ValueError as exc:
+                return ("caught", str(exc), sim.now)
+
+        def _failer(sim, ev):
+            yield sim.timeout(1.0)
+            ev.fail(ValueError("child died"))
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == ("caught", "child died", 1.0)
+
+    def test_nested_composition(self, sim):
+        def proc(sim):
+            a = sim.timeout(1.0, "a")
+            b = sim.timeout(2.0, "b")
+            c = sim.timeout(9.0, "c")
+            yield (a & b) | c
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 2.0
+
+    def test_allof_many(self, sim):
+        def proc(sim):
+            evs = [sim.timeout(float(i), value=i) for i in range(20)]
+            res = yield sim.all_of(evs)
+            return sorted(res.values())
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == list(range(20))
+
+
+class TestConditionLateFailure:
+    def test_child_failure_after_condition_fired_is_absorbed(self, sim):
+        """A child that fails after an AnyOf already fired must not crash
+        the simulation (the condition defuses it)."""
+        def proc(sim):
+            fast = sim.timeout(1.0, value="ok")
+            doomed = sim.event()
+            sim.process(_failer(sim, doomed))
+            result = yield fast | doomed
+            return list(result.values())
+
+        def _failer(sim, ev):
+            yield sim.timeout(2.0)
+            ev.fail(ValueError("late failure"))
+
+        p = sim.process(proc(sim))
+        sim.run()  # must not raise
+        assert p.value == ["ok"]
+
+    def test_two_children_fire_simultaneously(self, sim):
+        def proc(sim):
+            a = sim.timeout(1.0, value="a")
+            b = sim.timeout(1.0, value="b")
+            result = yield a | b
+            return sorted(result.values())
+
+        p = sim.process(proc(sim))
+        sim.run()
+        # Only the first-processed child is in the result at fire time.
+        assert p.value in (["a"], ["a", "b"])

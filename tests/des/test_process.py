@@ -1,0 +1,221 @@
+"""Unit tests for DES processes: lifecycle, interrupts, waiting."""
+
+import pytest
+
+from repro.des import Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestLifecycle:
+    def test_return_value_becomes_event_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1)
+            return "done"
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "done"
+        assert not p.is_alive
+
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(3)
+            return 7
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            return result * 2
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == 14
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("child crashed")
+
+        def parent(sim):
+            try:
+                yield sim.process(child(sim))
+            except RuntimeError as exc:
+                return f"handled: {exc}"
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "handled: child crashed"
+
+    def test_unwaited_crash_surfaces_in_run(self, sim):
+        def proc(sim):
+            yield sim.timeout(1)
+            raise KeyError("lost")
+
+        sim.process(proc(sim))
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_yield_non_event_is_error(self, sim):
+        def proc(sim):
+            yield 42
+
+        sim.process(proc(sim))
+        with pytest.raises(RuntimeError, match="non-event"):
+            sim.run()
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_immediate_return(self, sim):
+        def proc(sim):
+            return "instant"
+            yield  # pragma: no cover
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "instant"
+
+    def test_yield_already_processed_event(self, sim):
+        def proc(sim):
+            t = sim.timeout(0, value="x")
+            yield sim.timeout(1)
+            # t already processed by now; yielding it resumes instantly
+            got = yield t
+            return (got, sim.now)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == ("x", 1.0)
+
+    def test_many_sequential_processes(self, sim):
+        log = []
+
+        def worker(sim, i):
+            yield sim.timeout(i)
+            log.append(i)
+
+        for i in range(50):
+            sim.process(worker(sim, i))
+        sim.run()
+        assert log == list(range(50))
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def victim(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, sim.now)
+
+        def attacker(sim, v):
+            yield sim.timeout(5)
+            v.interrupt("stop it")
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert v.value == ("interrupted", "stop it", 5.0)
+
+    def test_interrupted_process_can_continue(self, sim):
+        def victim(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(10)
+            return sim.now
+
+        def attacker(sim, v):
+            yield sim.timeout(5)
+            v.interrupt()
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert v.value == 15.0
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_unhandled_interrupt_kills_process(self, sim):
+        def victim(sim):
+            yield sim.timeout(100)
+
+        def attacker(sim, v):
+            yield sim.timeout(1)
+            v.interrupt("die")
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        with pytest.raises(Interrupt):
+            sim.run()
+
+    def test_original_target_still_fires_after_interrupt(self, sim):
+        """Interrupting must not cancel the awaited timeout itself."""
+        fired = []
+
+        def victim(sim, t):
+            try:
+                yield t
+            except Interrupt:
+                return "out"
+
+        def attacker(sim, v):
+            yield sim.timeout(1)
+            v.interrupt()
+
+        t = sim.timeout(50)
+        t.callbacks.append(lambda e: fired.append(sim.now))
+        v = sim.process(victim(sim, t))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert v.value == "out"
+        assert fired == [50.0]
+
+    def test_double_interrupt(self, sim):
+        causes = []
+
+        def victim(sim):
+            for _ in range(2):
+                try:
+                    yield sim.timeout(100)
+                except Interrupt as i:
+                    causes.append(i.cause)
+            return causes
+
+        def attacker(sim, v):
+            yield sim.timeout(1)
+            v.interrupt("first")
+            yield sim.timeout(1)
+            v.interrupt("second")
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert v.value == ["first", "second"]
+
+
+class TestActiveProcess:
+    def test_active_process_visible_during_resume(self, sim):
+        snapshots = []
+
+        def proc(sim):
+            snapshots.append(sim.active_process)
+            yield sim.timeout(1)
+            snapshots.append(sim.active_process)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert snapshots == [p, p]
+        assert sim.active_process is None

@@ -1,0 +1,109 @@
+"""Tests for runtime capacity changes (degradation/repair events)."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.network import Cluster, Fabric, Host
+from repro.topology import star
+from repro.units import MB, Mbps, transfer_time
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestHostSetCapacity:
+    def test_running_task_settles_then_slows(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        task = host.run(100.0)
+        done = {}
+        task.done.callbacks.append(lambda e: done.setdefault("t", sim.now))
+
+        def throttle(sim, host):
+            yield sim.timeout(5.0)      # 50 ops done at 10 ops/s
+            host.set_capacity(5.0)      # remaining 50 ops at 5 ops/s
+
+        sim.process(throttle(sim, host))
+        sim.run()
+        assert done["t"] == pytest.approx(15.0)
+
+    def test_speedup_midway(self, sim):
+        host = Host(sim, "h", capacity=5.0)
+        task = host.run(100.0)
+        done = {}
+        task.done.callbacks.append(lambda e: done.setdefault("t", sim.now))
+
+        def boost(sim, host):
+            yield sim.timeout(10.0)     # 50 ops done
+            host.set_capacity(50.0)     # remaining 50 ops in 1 s
+
+        sim.process(boost(sim, host))
+        sim.run()
+        assert done["t"] == pytest.approx(11.0)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Host(sim, "h").set_capacity(0.0)
+
+
+class TestFabricCapacityChanges:
+    def test_degrade_slows_inflight_flow(self, sim):
+        g = star(2, latency=0.0)
+        fab = Fabric(sim, g)
+        ev = fab.transfer("h0", "h1", 10 * MB)
+        done = {}
+        ev.callbacks.append(lambda e: done.setdefault("t", sim.now))
+
+        def degrade(sim, fab):
+            yield sim.timeout(0.4)  # ~5 MiB moved at 100 Mbps
+            fab.degrade_link("h0", "switch", 10 * Mbps)
+
+        sim.process(degrade(sim, fab))
+        sim.run()
+        moved = 0.4 * 100 * Mbps / 8
+        remaining = 10 * MB - moved
+        expect = 0.4 + transfer_time(remaining, 10 * Mbps)
+        assert done["t"] == pytest.approx(expect, rel=1e-6)
+
+    def test_zero_capacity_stalls_until_restore(self, sim):
+        g = star(2, latency=0.0)
+        fab = Fabric(sim, g)
+        ev = fab.transfer("h0", "h1", 10 * MB)
+        done = {}
+        ev.callbacks.append(lambda e: done.setdefault("t", sim.now))
+
+        def outage(sim, fab):
+            yield sim.timeout(0.1)
+            fab.degrade_link("h0", "switch", 0.0)
+            yield sim.timeout(5.0)
+            fab.restore_link("h0", "switch")
+
+        sim.process(outage(sim, fab))
+        sim.run()
+        moved = 0.1 * 100 * Mbps / 8
+        expect = 5.1 + transfer_time(10 * MB - moved, 100 * Mbps)
+        assert done["t"] == pytest.approx(expect, rel=1e-6)
+
+    def test_validation(self, sim):
+        fab = Fabric(sim, star(2))
+        with pytest.raises(KeyError):
+            fab.set_capacity(("ghost", "x"), 1.0)
+        cid = fab.channels()[0]
+        with pytest.raises(ValueError):
+            fab.set_capacity(cid, -1.0)
+
+    def test_snapshot_reflects_degradation(self, sim):
+        g = star(2)
+        cluster = Cluster(sim, g)
+        cluster.fabric.degrade_link("h0", "switch", 25 * Mbps)
+        snap = cluster.snapshot()
+        assert snap.link("h0", "switch").available == 25 * Mbps
+
+    def test_restore_is_nominal_peak(self, sim):
+        g = star(2)
+        fab = Fabric(sim, g)
+        fab.degrade_link("h0", "switch", 1 * Mbps)
+        fab.restore_link("h0", "switch")
+        cid = fab.channel_for("h0", "switch")
+        assert fab.capacity(cid) == 100 * Mbps

@@ -1,0 +1,211 @@
+"""Tests for the flow-level fabric and the cluster facade."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.network import Cluster, Fabric
+from repro.topology import TopologyGraph, dumbbell, star
+from repro.units import MB, Mbps, transfer_time
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def wait(sim, ev):
+    out = {}
+
+    def proc(sim, ev):
+        out["value"] = yield ev
+
+    sim.process(proc(sim, ev))
+    sim.run()
+    return out.get("value")
+
+
+class TestSingleTransfers:
+    def test_transfer_time_matches_formula(self, sim):
+        g = star(2, latency=0.0)
+        fab = Fabric(sim, g)
+        dt = wait(sim, fab.transfer("h0", "h1", 10 * MB))
+        assert dt == pytest.approx(transfer_time(10 * MB, 100 * Mbps))
+
+    def test_latency_added_once_per_hop(self, sim):
+        g = star(2, latency=0.005)
+        fab = Fabric(sim, g)
+        dt = wait(sim, fab.transfer("h0", "h1", 0))
+        assert dt == pytest.approx(0.01)
+
+    def test_self_transfer_instant(self, sim):
+        fab = Fabric(sim, star(2))
+        ev = fab.transfer("h0", "h0", 10 * MB)
+        assert ev.triggered
+        assert ev.value == 0.0
+
+    def test_disconnected_fails(self, sim):
+        g = dumbbell(1, 1)
+        g.remove_link("sw-left", "sw-right")
+        fab = Fabric(sim, g)
+        ev = fab.transfer("l0", "r0", 1.0)
+        with pytest.raises(ConnectionError):
+            sim.run(until=ev)
+
+    def test_negative_size_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Fabric(sim, star(2)).transfer("h0", "h1", -1)
+
+
+class TestSharing:
+    def test_two_flows_share_common_link(self, sim):
+        g = dumbbell(2, 2, latency=0.0)
+        fab = Fabric(sim, g)
+        done = []
+        for s, d in (("l0", "r0"), ("l1", "r1")):
+            ev = fab.transfer(s, d, 10 * MB)
+            ev.callbacks.append(lambda e: done.append(sim.now))
+        sim.run()
+        expect = transfer_time(10 * MB, 50 * Mbps)
+        assert done[0] == pytest.approx(expect)
+        assert done[1] == pytest.approx(expect)
+
+    def test_flow_speeds_up_when_competitor_finishes(self, sim):
+        g = dumbbell(2, 2, latency=0.0)
+        fab = Fabric(sim, g)
+        t_small = wait_two(sim, fab, small=1 * MB, big=10 * MB)
+        # Small: 1 MB at 50 Mbps.  Big: shares until then, then full rate.
+        t1 = transfer_time(1 * MB, 50 * Mbps)
+        assert t_small["small"] == pytest.approx(t1)
+        remaining = 10 * MB - 1 * MB  # big moved 1MB during sharing
+        assert t_small["big"] == pytest.approx(
+            t1 + transfer_time(remaining, 100 * Mbps)
+        )
+
+    def test_disjoint_paths_do_not_interact(self, sim):
+        g = dumbbell(2, 2, latency=0.0)
+        fab = Fabric(sim, g)
+        done = {}
+        for key, (s, d) in {"left": ("l0", "l1"), "right": ("r0", "r1")}.items():
+            ev = fab.transfer(s, d, 10 * MB)
+            ev.callbacks.append(lambda e, k=key: done.setdefault(k, sim.now))
+        sim.run()
+        expect = transfer_time(10 * MB, 100 * Mbps)
+        assert done["left"] == pytest.approx(expect)
+        assert done["right"] == pytest.approx(expect)
+
+    def test_full_duplex_directions_independent(self, sim):
+        g = star(2, latency=0.0)
+        fab = Fabric(sim, g)
+        done = {}
+        for key, (s, d) in {"fwd": ("h0", "h1"), "rev": ("h1", "h0")}.items():
+            ev = fab.transfer(s, d, 10 * MB)
+            ev.callbacks.append(lambda e, k=key: done.setdefault(k, sim.now))
+        sim.run()
+        expect = transfer_time(10 * MB, 100 * Mbps)
+        assert done["fwd"] == pytest.approx(expect)
+        assert done["rev"] == pytest.approx(expect)
+
+    def test_half_duplex_directions_share(self, sim):
+        g = TopologyGraph()
+        g.add_compute("a")
+        g.add_compute("b")
+        g.add_link("a", "b", 100 * Mbps, duplex="half")
+        fab = Fabric(sim, g)
+        done = []
+        for s, d in (("a", "b"), ("b", "a")):
+            ev = fab.transfer(s, d, 10 * MB)
+            ev.callbacks.append(lambda e: done.append(sim.now))
+        sim.run()
+        expect = transfer_time(10 * MB, 50 * Mbps)
+        assert done[0] == pytest.approx(expect)
+
+
+class TestAccounting:
+    def test_octet_counters_accumulate(self, sim):
+        g = star(2, latency=0.0)
+        fab = Fabric(sim, g)
+        fab.transfer("h0", "h1", 10 * MB)
+        sim.run()
+        cid = fab.channel_for("h0", "switch")
+        assert fab.octet_counter(cid) == pytest.approx(10 * MB)
+        # Reverse channel untouched.
+        rev = fab.channel_for("switch", "h0")
+        assert fab.octet_counter(rev) == 0.0
+
+    def test_used_and_available_bandwidth(self, sim):
+        g = star(3, latency=0.0)
+        fab = Fabric(sim, g)
+        fab.transfer("h0", "h1", 100 * MB)
+
+        def probe(sim, fab):
+            yield sim.timeout(0.1)
+            cid = fab.channel_for("h0", "switch")
+            assert fab.used_bandwidth(cid) == pytest.approx(100 * Mbps)
+            assert fab.available_bandwidth(cid) == pytest.approx(0.0)
+            idle = fab.channel_for("h2", "switch")
+            assert fab.available_bandwidth(idle) == pytest.approx(100 * Mbps)
+
+        sim.process(probe(sim, fab))
+        sim.run()
+
+    def test_active_flows_count(self, sim):
+        g = star(3, latency=0.0)
+        fab = Fabric(sim, g)
+        fab.transfer("h0", "h1", 100 * MB)
+        fab.transfer("h0", "h2", 100 * MB)
+
+        def probe(sim, fab):
+            yield sim.timeout(0.1)
+            assert fab.active_flows == 2
+
+        sim.process(probe(sim, fab))
+        sim.run()
+        assert fab.active_flows == 0
+
+
+class TestCluster:
+    def test_hosts_built_for_compute_nodes_only(self, sim):
+        cl = Cluster(sim, star(3))
+        assert set(cl.hosts) == {"h0", "h1", "h2"}
+        with pytest.raises(KeyError):
+            cl.host("switch")
+
+    def test_heterogeneous_capacity(self, sim):
+        g = star(2)
+        g.node("h1").compute_capacity = 2.0
+        cl = Cluster(sim, g, base_capacity=100.0)
+        assert cl.host("h1").capacity == 200.0
+
+    def test_snapshot_reflects_load_and_traffic(self, sim):
+        g = dumbbell(2, 2, latency=0.0)
+        cl = Cluster(sim, g, base_capacity=1.0, load_tau=1.0)
+        cl.compute("l0", 1e9)
+        cl.transfer("l1", "r1", 1000 * MB)
+
+        def probe(sim, cl):
+            yield sim.timeout(20.0)
+            snap = cl.snapshot()
+            assert snap.node("l0").load_average == pytest.approx(1.0, abs=1e-4)
+            assert snap.node("r0").load_average == 0.0
+            trunk = snap.link("sw-left", "sw-right")
+            assert trunk.available_towards("sw-right") == pytest.approx(0.0)
+            assert trunk.available_towards("sw-left") == pytest.approx(100 * Mbps)
+
+        p = sim.process(probe(sim, cl))
+        sim.run(until=p)
+
+    def test_snapshot_is_topology_provider(self, sim):
+        from repro.core import ApplicationSpec, NodeSelector
+        cl = Cluster(sim, star(5))
+        sel = NodeSelector(cl).select(ApplicationSpec(num_nodes=3))
+        assert sel.size == 3
+
+
+def wait_two(sim, fab, small, big):
+    done = {}
+    ev_b = fab.transfer("l0", "r0", big)
+    ev_s = fab.transfer("l1", "r1", small)
+    ev_b.callbacks.append(lambda e: done.setdefault("big", sim.now))
+    ev_s.callbacks.append(lambda e: done.setdefault("small", sim.now))
+    sim.run()
+    return done

@@ -1,0 +1,111 @@
+"""Tests for max-min fair allocation (progressive filling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import max_min_fair
+
+
+class TestBasics:
+    def test_single_flow_gets_bottleneck(self):
+        rates = max_min_fair({1: ["a", "b"]}, {"a": 100.0, "b": 10.0})
+        assert rates[1] == pytest.approx(10.0)
+
+    def test_equal_split_on_shared_link(self):
+        rates = max_min_fair({1: ["l"], 2: ["l"], 3: ["l"]}, {"l": 90.0})
+        assert all(r == pytest.approx(30.0) for r in rates.values())
+
+    def test_textbook_two_link_example(self):
+        # Flow 1 uses only link a; flow 2 crosses a and the tighter b.
+        rates = max_min_fair(
+            {1: ["a"], 2: ["a", "b"]}, {"a": 100.0, "b": 30.0}
+        )
+        assert rates[2] == pytest.approx(30.0)
+        assert rates[1] == pytest.approx(70.0)
+
+    def test_parking_lot(self):
+        # Classic parking-lot: long flow crosses both links, one short flow
+        # per link.  Everyone converges to capacity/2.
+        rates = max_min_fair(
+            {"long": ["a", "b"], "s1": ["a"], "s2": ["b"]},
+            {"a": 100.0, "b": 100.0},
+        )
+        assert rates["long"] == pytest.approx(50.0)
+        assert rates["s1"] == pytest.approx(50.0)
+        assert rates["s2"] == pytest.approx(50.0)
+
+    def test_empty_route_unconstrained(self):
+        rates = max_min_fair({1: []}, {})
+        assert rates[1] == float("inf")
+
+    def test_no_flows(self):
+        assert max_min_fair({}, {"a": 10.0}) == {}
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(KeyError):
+            max_min_fair({1: ["ghost"]}, {"a": 1.0})
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            max_min_fair({1: ["a"]}, {"a": -1.0})
+
+    def test_zero_capacity_gives_zero_rate(self):
+        rates = max_min_fair({1: ["dead"], 2: ["live"]},
+                             {"dead": 0.0, "live": 50.0})
+        assert rates[1] == 0.0
+        assert rates[2] == pytest.approx(50.0)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_feasibility_and_maxmin_conditions(self, seed):
+        """Random instances: allocation is feasible, work-conserving, and
+        every flow is bottlenecked at some saturated link (max-min test)."""
+        rng = np.random.default_rng(seed)
+        n_links = int(rng.integers(1, 6))
+        n_flows = int(rng.integers(1, 8))
+        caps = {i: float(rng.uniform(1, 100)) for i in range(n_links)}
+        flows = {}
+        for f in range(n_flows):
+            k = int(rng.integers(1, n_links + 1))
+            flows[f] = list(rng.choice(n_links, size=k, replace=False))
+        rates = max_min_fair(flows, caps)
+
+        # Feasibility: no channel over capacity.
+        for ch, cap in caps.items():
+            used = sum(rates[f] for f, route in flows.items() if ch in route)
+            assert used <= cap + 1e-6
+
+        # Max-min condition: every flow crosses a saturated channel where it
+        # has a maximal rate among the channel's flows.
+        for f, route in flows.items():
+            bottlenecked = False
+            for ch in route:
+                users = [g for g, r in flows.items() if ch in r]
+                used = sum(rates[g] for g in users)
+                saturated = used >= caps[ch] - 1e-6
+                is_max = all(rates[f] >= rates[g] - 1e-6 for g in users)
+                if saturated and is_max:
+                    bottlenecked = True
+                    break
+            assert bottlenecked, (f, rates)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_symmetry(self, seed):
+        """Flows with identical routes get identical rates."""
+        rng = np.random.default_rng(seed)
+        caps = {0: float(rng.uniform(1, 100)), 1: float(rng.uniform(1, 100))}
+        flows = {1: [0, 1], 2: [0, 1], 3: [0]}
+        rates = max_min_fair(flows, caps)
+        assert rates[1] == pytest.approx(rates[2])
+
+    def test_adding_a_flow_never_raises_others(self):
+        caps = {0: 100.0, 1: 60.0}
+        base = max_min_fair({1: [0], 2: [0, 1]}, caps)
+        more = max_min_fair({1: [0], 2: [0, 1], 3: [0]}, caps)
+        assert more[1] <= base[1] + 1e-9
+        assert more[2] <= base[2] + 1e-9

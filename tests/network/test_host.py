@@ -1,0 +1,229 @@
+"""Tests for processor-sharing hosts and load averages."""
+
+import math
+
+import pytest
+
+from repro.des import Simulator
+from repro.network import Host
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run_to_completion(sim, host, ops_list, stagger=0.0):
+    """Submit tasks (optionally staggered) and return completion times."""
+    results = {}
+
+    def submit(sim, host, i, ops, delay):
+        yield sim.timeout(delay)
+        task = host.run(ops)
+        yield task.done
+        results[i] = sim.now
+
+    for i, ops in enumerate(ops_list):
+        sim.process(submit(sim, host, i, ops, stagger * i))
+    sim.run()
+    return results
+
+
+class TestProcessorSharing:
+    def test_single_task_runs_at_full_rate(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        results = run_to_completion(sim, host, [100.0])
+        assert results[0] == pytest.approx(10.0)
+
+    def test_two_tasks_share_equally(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        results = run_to_completion(sim, host, [100.0, 100.0])
+        # Both run at 5 ops/s -> both finish at t=20.
+        assert results[0] == pytest.approx(20.0)
+        assert results[1] == pytest.approx(20.0)
+
+    def test_short_task_finishes_then_long_speeds_up(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        results = run_to_completion(sim, host, [100.0, 20.0])
+        # Shared until 20-op task drains at t=4; long task then has 80 ops
+        # left at 10 ops/s -> t = 4 + 8 = 12.
+        assert results[1] == pytest.approx(4.0)
+        assert results[0] == pytest.approx(12.0)
+
+    def test_late_arrival_slows_running_task(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        results = run_to_completion(sim, host, [100.0, 100.0], stagger=5.0)
+        # Task 0 alone for 5 s (50 ops done); then shared at 5 ops/s.
+        # Task 0: 50 left -> +10 s -> t=15.  Task 1: 100 at 5 then full...
+        assert results[0] == pytest.approx(15.0)
+        # After t=15, task 1 has 100-50=50 left, alone at 10 -> t=20.
+        assert results[1] == pytest.approx(20.0)
+
+    def test_zero_ops_completes_immediately(self, sim):
+        host = Host(sim, "h")
+        task = host.run(0.0)
+        assert task.finished
+
+    def test_negative_ops_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Host(sim, "h").run(-1.0)
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Host(sim, "h", capacity=0.0)
+        with pytest.raises(ValueError):
+            Host(sim, "h", load_tau=0.0)
+
+    def test_done_event_value_is_elapsed_time(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        got = {}
+
+        def proc(sim, host):
+            yield sim.timeout(3.0)
+            task = host.run(50.0)
+            got["elapsed"] = yield task.done
+
+        sim.process(proc(sim, host))
+        sim.run()
+        assert got["elapsed"] == pytest.approx(5.0)
+
+    def test_current_rate(self, sim):
+        host = Host(sim, "h", capacity=12.0)
+        assert host.current_rate() == 12.0
+        host.run(100.0)
+        host.run(100.0)
+        assert host.current_rate() == 6.0
+
+    def test_busy_time_integrates_activity(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        run_to_completion(sim, host, [50.0])  # busy 5 s
+        sim.run(until=100.0)
+        assert host.busy_time == pytest.approx(5.0)
+
+    def test_estimated_seconds_accounts_for_sharing(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        assert host.estimated_seconds(100.0) == pytest.approx(10.0)
+        host.run(1000.0)
+        # With one competitor, our task would run at 5 ops/s.
+        assert host.estimated_seconds(100.0) == pytest.approx(20.0)
+
+
+class TestAbort:
+    def test_abort_fails_done_event(self, sim):
+        host = Host(sim, "h", capacity=1.0)
+        outcome = {}
+
+        def proc(sim, host):
+            task = host.run(1000.0)
+            sim.process(killer(sim, task))
+            try:
+                yield task.done
+            except InterruptedError:
+                outcome["aborted_at"] = sim.now
+
+        def killer(sim, task):
+            yield sim.timeout(2.0)
+            task.abort()
+
+        sim.process(proc(sim, host))
+        sim.run()
+        assert outcome["aborted_at"] == 2.0
+        assert host.active_tasks == 0
+
+    def test_abort_speeds_up_survivors(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        times = {}
+
+        def runner(sim, host):
+            task = host.run(100.0)
+            times["t"] = yield task.done
+
+        def victim(sim, host):
+            task = host.run(1000.0)
+            sim.process(killer(sim, task))
+            try:
+                yield task.done
+            except InterruptedError:
+                pass
+
+        def killer(sim, task):
+            yield sim.timeout(5.0)
+            task.abort()
+
+        sim.process(runner(sim, host))
+        sim.process(victim(sim, host))
+        sim.run()
+        # Shared 5 s (25 ops), then alone: 75 ops at 10 -> total 12.5 s.
+        assert times["t"] == pytest.approx(12.5)
+
+    def test_abort_finished_task_raises(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        task = host.run(1.0)
+        sim.run()
+        with pytest.raises(RuntimeError):
+            task.abort()
+
+
+class TestLoadAverage:
+    def test_starts_at_zero(self, sim):
+        assert Host(sim, "h").load_average == 0.0
+
+    def test_converges_to_runqueue_length(self, sim):
+        host = Host(sim, "h", capacity=1.0, load_tau=10.0)
+        for _ in range(3):
+            host.run(1e9)  # effectively forever
+        sim.timeout(200.0)
+        sim.run(until=200.0)
+        assert host.load_average == pytest.approx(3.0, abs=1e-6)
+
+    def test_exponential_approach(self, sim):
+        host = Host(sim, "h", capacity=1.0, load_tau=10.0)
+        host.run(1e9)
+        sim.timeout(10.0)
+        sim.run(until=10.0)
+        # One tau: 1 - e^-1 of the way to 1.0.
+        assert host.load_average == pytest.approx(1 - math.exp(-1), rel=1e-6)
+
+    def test_decays_after_work_ends(self, sim):
+        host = Host(sim, "h", capacity=10.0, load_tau=10.0)
+        host.run(100.0)  # 10 s of work
+        sim.run(until=10.0)
+        peak = host.load_average
+        sim.timeout(30.0)
+        sim.run(until=40.0)
+        assert host.load_average < peak * 0.1
+
+    def test_load_average_feeds_cpu_formula(self, sim):
+        """End-to-end: loadavg ~= k gives cpu ~= 1/(1+k) per §3.1."""
+        from repro.topology import cpu_fraction
+        host = Host(sim, "h", capacity=1.0, load_tau=5.0)
+        host.run(1e9)
+        host.run(1e9)
+        sim.timeout(100.0)
+        sim.run(until=100.0)
+        assert cpu_fraction(host.load_average) == pytest.approx(1 / 3, abs=1e-6)
+
+
+class TestPendingOps:
+    def test_pending_ops_settles_mid_run(self, sim):
+        """pending_ops() reflects progress between host events, unlike the
+        raw attribute (which is lazily settled)."""
+        host = Host(sim, "h", capacity=10.0)
+        task = host.run(100.0)
+        probe = {}
+
+        def prober(sim, task):
+            yield sim.timeout(4.0)
+            probe["raw"] = task.remaining_ops
+            probe["settled"] = task.pending_ops()
+
+        sim.process(prober(sim, task))
+        sim.run()
+        assert probe["raw"] == 100.0          # stale attribute
+        assert probe["settled"] == pytest.approx(60.0)
+
+    def test_pending_ops_zero_after_completion(self, sim):
+        host = Host(sim, "h", capacity=10.0)
+        task = host.run(10.0)
+        sim.run()
+        assert task.pending_ops() == 0.0

@@ -1,0 +1,72 @@
+"""Tests for the forecast policies."""
+
+import pytest
+
+from repro.remos import Ewma, LastValue, Predictor, SlidingMean
+
+
+HISTORY = [(0.0, 10.0), (5.0, 20.0), (10.0, 30.0), (15.0, 40.0)]
+
+
+class TestLastValue:
+    def test_returns_newest(self):
+        assert LastValue().predict(HISTORY) == 40.0
+
+    def test_single_sample(self):
+        assert LastValue().predict([(1.0, 7.0)]) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LastValue().predict([])
+
+    def test_satisfies_protocol(self):
+        assert isinstance(LastValue(), Predictor)
+
+
+class TestSlidingMean:
+    def test_window_covers_all(self):
+        assert SlidingMean(window=100.0).predict(HISTORY) == pytest.approx(25.0)
+
+    def test_window_trims_old_samples(self):
+        # Window 6 back from t=15 keeps t=10 and t=15.
+        assert SlidingMean(window=6.0).predict(HISTORY) == pytest.approx(35.0)
+
+    def test_tiny_window_keeps_newest(self):
+        assert SlidingMean(window=0.5).predict(HISTORY) == 40.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SlidingMean(window=0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SlidingMean(window=5.0).predict([])
+
+    def test_smooths_noise_better_than_last_value(self):
+        noisy = [(float(t), 50.0 + (25.0 if t % 2 else -25.0)) for t in range(20)]
+        mean = SlidingMean(window=100.0).predict(noisy)
+        last = LastValue().predict(noisy)
+        assert abs(mean - 50.0) < abs(last - 50.0)
+
+
+class TestEwma:
+    def test_alpha_one_is_last_value(self):
+        assert Ewma(alpha=1.0).predict(HISTORY) == 40.0
+
+    def test_small_alpha_sticks_to_old_values(self):
+        assert Ewma(alpha=0.01).predict(HISTORY) < 15.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.5).predict([])
+
+    def test_recursive_definition(self):
+        e = Ewma(alpha=0.5)
+        # 10 -> 15 -> 22.5 -> 31.25
+        assert e.predict(HISTORY) == pytest.approx(31.25)

@@ -1,0 +1,102 @@
+"""Tests for the repro-select command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.topology import dumbbell, star, to_json
+from repro.units import Mbps
+
+
+@pytest.fixture
+def topo_file(tmp_path):
+    g = dumbbell(4, 4)
+    g.node("l0").load_average = 2.0
+    g.link("sw-left", "sw-right").set_available(5 * Mbps)
+    path = tmp_path / "topo.json"
+    path.write_text(to_json(g))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_m(self, topo_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([topo_file])
+
+    def test_defaults(self, topo_file):
+        args = build_parser().parse_args([topo_file, "-m", "4"])
+        assert args.objective == "balanced"
+        assert args.format == "text"
+
+
+class TestMain:
+    def test_text_output(self, topo_file, capsys):
+        assert main([topo_file, "-m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "selected" in out
+        assert "balanced" in out
+
+    def test_json_output(self, topo_file, capsys):
+        assert main([topo_file, "-m", "4", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["nodes"]) == 4
+        assert payload["algorithm"] == "balanced"
+        assert payload["min_cpu_fraction"] > 0
+
+    def test_dot_output_highlights_selection(self, topo_file, capsys):
+        assert main([topo_file, "-m", "4", "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert "style=bold" in out
+        assert "// selected:" in out
+
+    def test_objective_flag(self, topo_file, capsys):
+        assert main([topo_file, "-m", "4", "--objective", "compute"]) == 0
+        assert "max-compute" in capsys.readouterr().out
+
+    def test_bandwidth_floor_flag(self, topo_file, capsys):
+        assert main([
+            topo_file, "-m", "4", "--min-bandwidth-mbps", "50",
+        ]) == 0
+        assert "bandwidth-floor" in capsys.readouterr().out
+
+    def test_cpu_floor_flag(self, topo_file, capsys):
+        assert main([topo_file, "-m", "4", "--min-cpu", "0.4"]) == 0
+        assert "cpu-floor" in capsys.readouterr().out
+
+    def test_priority_flag_changes_selection(self, tmp_path, capsys):
+        g = dumbbell(4, 4)
+        for i in range(4):
+            g.node(f"l{i}").load_average = 1.0
+            g.link(f"r{i}", "sw-right").set_available(30 * Mbps)
+        path = tmp_path / "t.json"
+        path.write_text(to_json(g))
+        main([str(path), "-m", "4", "--format", "json"])
+        balanced = json.loads(capsys.readouterr().out)["nodes"]
+        main([str(path), "-m", "4", "--compute-priority", "10",
+              "--format", "json"])
+        compute = json.loads(capsys.readouterr().out)["nodes"]
+        assert balanced != compute
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(to_json(star(5))))
+        assert main(["-", "-m", "3"]) == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_infeasible_returns_1(self, topo_file, capsys):
+        assert main([topo_file, "-m", "99"]) == 1
+        assert "no feasible" in capsys.readouterr().err
+
+    def test_missing_file_returns_2(self, capsys):
+        assert main(["/nonexistent.json", "-m", "2"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_garbage_file_returns_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main([str(path), "-m", "2"]) == 2
+
+    def test_invalid_spec_returns_2(self, topo_file, capsys):
+        assert main([topo_file, "-m", "4", "--min-cpu", "3.0"]) == 2
+        assert "invalid specification" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the complete §2 framework pipeline on the simulated CMU
+testbed: generators perturb the network → SNMP agents expose counters →
+the collector measures → Remos answers queries → the selector places an
+application → the application runs on the chosen nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import FFT2D, MRI
+from repro.core import (
+    ApplicationSpec,
+    NodeSelector,
+    minresource,
+    select_random,
+)
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.remos import Collector, RemosAPI
+from repro.testbed import (
+    Policy,
+    Scenario,
+    cmu_testbed,
+    default_load_config,
+    default_traffic_config,
+    run_trial,
+)
+from repro.units import MB, Mbps
+from repro.workloads import LoadGenerator, TrafficGenerator
+
+
+def full_rig(seed=0, load=True, traffic=True):
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+    collector = Collector(cluster, period=5.0)
+    api = RemosAPI(collector)
+    seq = np.random.SeedSequence(seed).spawn(2)
+    if load:
+        LoadGenerator(cluster, np.random.default_rng(seq[0]),
+                      config=default_load_config())
+    if traffic:
+        TrafficGenerator(cluster, np.random.default_rng(seq[1]),
+                         config=default_traffic_config())
+    return sim, cluster, api
+
+
+class TestFrameworkPipeline:
+    def test_selection_reflects_live_conditions(self):
+        """Remos-driven selection must avoid what the generators do."""
+        sim, cluster, api = full_rig(seed=3, traffic=False)
+        sim.run(until=300.0)
+        sel = NodeSelector(api).select(ApplicationSpec(num_nodes=4))
+        # The chosen nodes must be among the least loaded right now.
+        truth = cluster.snapshot()
+        loads = sorted(
+            (truth.node(h).load_average, h) for h in cluster.hosts
+        )
+        best_possible = {h for _l, h in loads[:8]}
+        assert sum(n in best_possible for n in sel.nodes) >= 3
+
+    def test_selected_placement_actually_runs_faster(self):
+        """The whole point: selection reduces application time, same world."""
+        def run(policy, seed):
+            sc = Scenario(
+                app_factory=lambda: FFT2D(num_nodes=4, iterations=8),
+                policy=policy, load_on=True, traffic_on=True,
+            )
+            return run_trial(sc, seed).elapsed_seconds
+
+        seeds = range(6)
+        auto = np.mean([run(Policy.AUTO, s) for s in seeds])
+        rnd = np.mean([run(Policy.RANDOM, s) for s in seeds])
+        assert auto < rnd
+
+    def test_oracle_upper_bounds_remos(self):
+        """Ground-truth selection is at least as good as stale-Remos
+        selection, measured by the exact objective on the truth."""
+        sim, cluster, api = full_rig(seed=9)
+        sim.run(until=300.0)
+        truth = cluster.snapshot()
+        remos_sel = NodeSelector(api).select(ApplicationSpec(num_nodes=4))
+        oracle_sel = NodeSelector(truth).select(ApplicationSpec(num_nodes=4))
+        assert (
+            minresource(truth, oracle_sel.nodes)
+            >= minresource(truth, remos_sel.nodes) - 1e-9
+        )
+
+    def test_remos_tracks_truth_within_poll_lag(self):
+        """Measured availability converges to ground truth at poll epochs."""
+        sim, cluster, api = full_rig(seed=1, load=False, traffic=False)
+        cluster.transfer("m-7", "m-13", 100000 * MB)  # saturating stream
+        sim.run(until=61.0)  # several polls after the flow start
+        measured = api.topology()
+        truth = cluster.snapshot()
+        trunk_m = measured.link("suez", "gibraltar")
+        trunk_t = truth.link("suez", "gibraltar")
+        assert trunk_m.available_towards("gibraltar") == pytest.approx(
+            trunk_t.available_towards("gibraltar"), abs=1 * Mbps
+        )
+
+    def test_trial_is_fully_deterministic(self):
+        sc = Scenario(
+            app_factory=lambda: MRI(items=50),
+            policy=Policy.AUTO, load_on=True, traffic_on=True, warmup=60.0,
+        )
+        a = run_trial(sc, seed=77)
+        b = run_trial(sc, seed=77)
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert a.selection.nodes == b.selection.nodes
+
+    def test_common_random_numbers_across_policies(self):
+        """Same seed ⇒ identical background world for both policies, so
+        comparisons are paired (variance reduction used by the campaigns)."""
+        def world_signature(policy, seed=13):
+            seq = np.random.SeedSequence(seed)
+            load_rng, traffic_rng, _sel = (
+                np.random.default_rng(s) for s in seq.spawn(3)
+            )
+            sim = Simulator()
+            cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+            gen = LoadGenerator(cluster, load_rng,
+                                config=default_load_config())
+            sim.run(until=120.0)
+            return gen.stats.jobs_started, gen.stats.demand_seconds
+
+        assert world_signature(Policy.AUTO) == world_signature(Policy.RANDOM)
+
+
+class TestMixedWorkloads:
+    def test_two_applications_share_the_testbed(self):
+        """Two placed applications coexist; each sees the other as load."""
+        sim = Simulator()
+        cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0)
+        fft = FFT2D(num_nodes=4, iterations=8)
+        a = fft.launch(cluster, ["m-1", "m-2", "m-3", "m-4"])
+        b = FFT2D(num_nodes=4, iterations=8).launch(
+            cluster, ["m-3", "m-4", "m-5", "m-6"]
+        )
+        ta = sim.run(until=a)
+        tb = sim.run(until=b)
+        # Overlapping on m-3/m-4 slows both beyond the solo time (~12 s).
+        solo_sim = Simulator()
+        solo_cluster = Cluster(solo_sim, cmu_testbed(), base_capacity=1.0)
+        solo = FFT2D(num_nodes=4, iterations=8).launch(
+            solo_cluster, ["m-1", "m-2", "m-3", "m-4"]
+        )
+        t_solo = solo_sim.run(until=solo)
+        assert ta > t_solo
+        assert tb > t_solo
+
+    def test_selection_for_second_app_avoids_first(self):
+        """Remos sees a running application as load; the next selection
+        steers clear of its nodes."""
+        sim = Simulator()
+        cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0,
+                          load_tau=20.0)
+        collector = Collector(cluster, period=5.0)
+        api = RemosAPI(collector)
+        first = MRI(items=2000)
+        first.launch(cluster, ["m-1", "m-2", "m-3", "m-4"])
+        sim.run(until=120.0)
+        sel = NodeSelector(api).select(ApplicationSpec(num_nodes=4))
+        # The MRI slaves (m-2..m-4) are CPU-busy and must be avoided.
+        assert not set(sel.nodes) & {"m-2", "m-3", "m-4"}
+
+
+class TestHalfDuplexTestbed:
+    def test_pipeline_works_on_half_duplex_links(self):
+        """A shared-medium (hub-era Ethernet) variant end-to-end."""
+        g = cmu_testbed()
+        for link in g.links():
+            link.attrs["duplex"] = "half"
+        sim = Simulator()
+        cluster = Cluster(sim, g, base_capacity=1.0)
+        collector = Collector(cluster, period=5.0)
+        api = RemosAPI(collector)
+        cluster.transfer("m-16", "m-18", 10000 * MB)
+        sim.run(until=60.0)
+        sel = NodeSelector(api).select(ApplicationSpec(num_nodes=4))
+        assert "m-16" not in sel.nodes
+        assert "m-18" not in sel.nodes

@@ -1,0 +1,206 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down conservation laws and invariants that hold for *any* input:
+serialization is lossless, processor sharing conserves work, the fabric
+conserves bytes, and selection always returns valid placements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ApplicationSpec,
+    NodeSelector,
+    minresource,
+    select_balanced,
+    select_max_bandwidth,
+    select_max_compute,
+)
+from repro.des import Simulator
+from repro.network import Cluster, Host
+from repro.topology import from_json, random_tree, to_json
+from repro.units import MB, Mbps
+
+
+def randomized_tree(seed, nc=None, ns=None):
+    rng = np.random.default_rng(seed)
+    g = random_tree(
+        nc or int(rng.integers(3, 12)),
+        ns or int(rng.integers(1, 5)),
+        rng,
+    )
+    for link in g.links():
+        link.set_available(
+            float(rng.uniform(0, link.maxbw / Mbps)) * Mbps,
+            direction=link.v,
+        )
+        link.set_available(
+            float(rng.uniform(0, link.maxbw / Mbps)) * Mbps,
+            direction=link.u,
+        )
+        link.latency = float(rng.uniform(0, 1e-3))
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 5))
+        node.attrs["tag"] = int(rng.integers(0, 3))
+    return g
+
+
+class TestSerializationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_json_roundtrip_lossless(self, seed):
+        g = randomized_tree(seed)
+        g2 = from_json(to_json(g))
+        assert sorted(n.name for n in g.nodes()) == sorted(
+            n.name for n in g2.nodes()
+        )
+        for n in g.nodes():
+            m = g2.node(n.name)
+            assert n.kind == m.kind
+            assert n.load_average == m.load_average
+            assert n.attrs == m.attrs
+        for l in g.links():
+            l2 = g2.link(l.u, l.v)
+            assert l.maxbw == l2.maxbw
+            assert l.latency == l2.latency
+            assert l.available_towards(l.v) == l2.available_towards(l.v)
+            assert l.available_towards(l.u) == l2.available_towards(l.u)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_selection_unchanged_by_roundtrip(self, seed):
+        g = randomized_tree(seed)
+        g2 = from_json(to_json(g))
+        a = select_balanced(g, 3)
+        b = select_balanced(g2, 3)
+        assert a.nodes == b.nodes
+
+
+class TestProcessorSharingConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_work_conservation(self, seed):
+        """Sum of completed work equals capacity * busy time."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        capacity = float(rng.uniform(0.5, 10))
+        host = Host(sim, "h", capacity=capacity)
+        jobs = []
+
+        def submit(sim, host, delay, ops):
+            yield sim.timeout(delay)
+            jobs.append(host.run(ops))
+
+        total_ops = 0.0
+        for _ in range(int(rng.integers(1, 8))):
+            ops = float(rng.uniform(0.1, 50))
+            total_ops += ops
+            sim.process(submit(sim, host, float(rng.uniform(0, 5)), ops))
+        sim.run()
+        assert all(j.finished for j in jobs)
+        assert host.busy_time * capacity == pytest.approx(total_ops, rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_completion_order_respects_remaining_work(self, seed):
+        """Under PS, of two tasks submitted together the smaller finishes
+        first (ties broken consistently)."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        host = Host(sim, "h", capacity=1.0)
+        small_ops = float(rng.uniform(0.1, 10))
+        big_ops = small_ops * float(rng.uniform(1.5, 4))
+        big = host.run(big_ops)
+        small = host.run(small_ops)
+        done_at = {}
+        big.done.callbacks.append(lambda e: done_at.setdefault("big", sim.now))
+        small.done.callbacks.append(lambda e: done_at.setdefault("small", sim.now))
+        sim.run()
+        assert done_at["small"] < done_at["big"]
+
+
+class TestFabricConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_bytes_conserved_on_access_channels(self, seed):
+        """Octet counters on a host's uplink equal the bytes it sent."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        g = randomized_tree(seed, nc=5, ns=2)
+        for link in g.links():  # full availability for clean accounting
+            link.set_available(link.maxbw)
+        cluster = Cluster(sim, g, base_capacity=1.0)
+        hosts = sorted(cluster.hosts)
+        sent: dict[str, float] = {h: 0.0 for h in hosts}
+        for _ in range(int(rng.integers(1, 10))):
+            src, dst = rng.choice(hosts, size=2, replace=False)
+            size = float(rng.uniform(0.1, 20)) * MB
+            cluster.transfer(str(src), str(dst), size)
+            sent[str(src)] += size
+        sim.run()
+        for h in hosts:
+            uplink = cluster.graph.incident_links(h)[0]
+            cid = cluster.fabric.channel_for(h, uplink.other(h))
+            assert cluster.fabric.octet_counter(cid) == pytest.approx(
+                sent[h], rel=1e-9, abs=1e-3
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_all_transfers_complete(self, seed):
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        g = randomized_tree(seed, nc=6, ns=3)
+        cluster = Cluster(sim, g)
+        hosts = sorted(cluster.hosts)
+        events = []
+        for _ in range(int(rng.integers(2, 12))):
+            src, dst = rng.choice(hosts, size=2, replace=False)
+            events.append(
+                cluster.transfer(str(src), str(dst),
+                                 float(rng.uniform(0.01, 5)) * MB)
+            )
+        sim.run()
+        assert all(ev.processed and ev.ok for ev in events)
+        assert cluster.fabric.active_flows == 0
+
+
+class TestSelectionInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), m=st.integers(1, 4))
+    def test_all_selectors_return_valid_placements(self, seed, m):
+        g = randomized_tree(seed, nc=8, ns=3)
+        for select in (select_max_compute, select_max_bandwidth, select_balanced):
+            sel = select(g, m)
+            assert len(sel.nodes) == m
+            assert len(set(sel.nodes)) == m
+            assert all(g.node(n).is_compute for n in sel.nodes)
+            comp = g.component_of(sel.nodes[0])
+            assert all(n in comp for n in sel.nodes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_selection_deterministic(self, seed):
+        g = randomized_tree(seed, nc=8, ns=3)
+        spec = ApplicationSpec(num_nodes=3)
+        a = NodeSelector(g).select(spec)
+        b = NodeSelector(g.copy()).select(spec)
+        assert a.nodes == b.nodes
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_reported_metrics_match_exact_evaluation(self, seed):
+        from repro.core import (
+            min_cpu_fraction,
+            min_pairwise_bandwidth,
+        )
+        g = randomized_tree(seed, nc=8, ns=3)
+        sel = select_balanced(g, 3)
+        assert sel.min_cpu_fraction == pytest.approx(
+            min_cpu_fraction(g, sel.nodes)
+        )
+        assert sel.min_bw_bps == pytest.approx(
+            min_pairwise_bandwidth(g, sel.nodes)
+        )

@@ -1,0 +1,37 @@
+"""Tests for unit conventions and conversions."""
+
+import pytest
+
+from repro.units import GB, KB, MB, Gbps, Kbps, Mbps, transfer_time
+
+
+class TestConstants:
+    def test_bandwidth_scale(self):
+        assert Kbps == 1e3
+        assert Mbps == 1e6
+        assert Gbps == 1e9
+
+    def test_data_sizes_binary(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+
+class TestTransferTime:
+    def test_basic(self):
+        # 1 MB (decimal-ish example from the docstring) over 8 Mbps = 1 s.
+        assert transfer_time(1_000_000, 8e6) == pytest.approx(1.0)
+
+    def test_latency_added_once(self):
+        assert transfer_time(0, 100 * Mbps, latency_s=0.25) == 0.25
+
+    def test_paper_scale_sanity(self):
+        # 10 MiB over 100 Mbps Ethernet: ~0.84 s — the FFT transpose scale.
+        t = transfer_time(10 * MB, 100 * Mbps)
+        assert 0.8 < t < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_time(1.0, 0.0)
+        with pytest.raises(ValueError):
+            transfer_time(-1.0, 1.0)

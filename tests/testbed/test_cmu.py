@@ -1,0 +1,98 @@
+"""Tests for the CMU testbed topology (Figure 4)."""
+
+import pytest
+
+from repro.testbed import (
+    ATM_BW,
+    ETHERNET_BW,
+    HOSTS,
+    HOSTS_BY_ROUTER,
+    ROUTERS,
+    cmu_testbed,
+)
+from repro.units import Mbps
+
+
+@pytest.fixture
+def g():
+    return cmu_testbed()
+
+
+class TestStructure:
+    def test_eighteen_alphas_three_routers(self, g):
+        assert len(g.compute_nodes()) == 18
+        assert len(g.network_nodes()) == 3
+        assert set(n.name for n in g.network_nodes()) == set(ROUTERS)
+
+    def test_host_names(self, g):
+        for host in HOSTS:
+            assert g.has_node(host)
+            assert g.node(host).is_compute
+            assert g.node(host).attrs["arch"] == "alpha"
+
+    def test_connected_and_acyclic(self, g):
+        assert g.is_connected()
+        assert g.is_acyclic()
+
+    def test_host_attachment(self, g):
+        for router, hosts in HOSTS_BY_ROUTER.items():
+            for host in hosts:
+                assert g.has_link(host, router)
+
+    def test_all_ethernet_except_atm_trunk(self, g):
+        atm = g.link("suez", "gibraltar")
+        assert atm.maxbw == ATM_BW == 155 * Mbps
+        assert atm.attrs["medium"] == "atm"
+        for link in g.links():
+            if link.key != atm.key:
+                assert link.maxbw == ETHERNET_BW == 100 * Mbps
+
+    def test_router_chain(self, g):
+        assert g.has_link("panama", "suez")
+        assert g.has_link("suez", "gibraltar")
+        assert not g.has_link("panama", "gibraltar")
+
+    def test_cross_testbed_path(self, g):
+        # m-1 (panama) to m-18 (gibraltar) crosses both trunks.
+        assert g.path("m-1", "m-18") == [
+            "m-1", "panama", "suez", "gibraltar", "m-18",
+        ]
+
+    def test_fresh_graph_each_call(self):
+        a = cmu_testbed()
+        b = cmu_testbed()
+        a.node("m-1").load_average = 9.0
+        assert b.node("m-1").load_average == 0.0
+
+
+class TestFigure4Scenario:
+    """Figure 4: a traffic stream m-16 -> m-18 and a 4-node selection that
+    avoids it."""
+
+    def test_stream_congests_gibraltar_links(self, g):
+        # Mark the stream's path as busy, as Remos would observe it.
+        path = g.path("m-16", "m-18")
+        assert path == ["m-16", "gibraltar", "m-18"]
+        for a, b in zip(path, path[1:]):
+            g.link(a, b).set_available(5 * Mbps, direction=b)
+
+        from repro.core import ApplicationSpec, NodeSelector
+        sel = NodeSelector(g).select(ApplicationSpec(num_nodes=4))
+        assert "m-16" not in sel.nodes
+        assert "m-18" not in sel.nodes
+        assert sel.min_bw_fraction == pytest.approx(1.0)
+
+    def test_unaffected_gibraltar_hosts_remain_eligible(self, g):
+        """The stream only taints its own endpoints' access links."""
+        path = g.path("m-16", "m-18")
+        for a, b in zip(path, path[1:]):
+            g.link(a, b).set_available(5 * Mbps, direction=b)
+        # Load up every panama and suez host so gibraltar is attractive.
+        for router in ("panama", "suez"):
+            for host in HOSTS_BY_ROUTER[router]:
+                g.node(host).load_average = 2.0
+
+        from repro.core import ApplicationSpec, NodeSelector
+        sel = NodeSelector(g).select(ApplicationSpec(num_nodes=4))
+        expected = {"m-13", "m-14", "m-15", "m-17"}
+        assert set(sel.nodes) == expected

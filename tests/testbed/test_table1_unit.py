@@ -1,0 +1,86 @@
+"""Unit tests for Table 1 data structures (no simulation)."""
+
+import pytest
+
+from repro.testbed import Policy
+from repro.testbed.experiment import CampaignResult, TrialResult
+from repro.testbed.table1 import Table1Result, Table1Row
+from repro.core.types import Selection
+
+
+def campaign(label, times):
+    result = CampaignResult(scenario_label=label)
+    for i, t in enumerate(times):
+        result.trials.append(TrialResult(
+            scenario_label=label,
+            seed=i,
+            elapsed_seconds=t,
+            selection=Selection(nodes=["a"], objective=0.0),
+            warmup_end=0.0,
+        ))
+    return result
+
+
+def paper_fft_row():
+    """A Table1Row loaded with the paper's exact FFT numbers."""
+    row = Table1Row(app_name="FFT (1K)", num_nodes=4)
+    row.random = {
+        "Processor Load": campaign("r/l", [112.6]),
+        "Network Traffic": campaign("r/t", [80.3]),
+        "Load+Traffic": campaign("r/lt", [142.6]),
+    }
+    row.auto = {
+        "Processor Load": campaign("a/l", [82.6]),
+        "Network Traffic": campaign("a/t", [64.6]),
+        "Load+Traffic": campaign("a/lt", [118.5]),
+    }
+    row.reference = campaign("ref", [48.0])
+    return row
+
+
+class TestCampaignResult:
+    def test_stats(self):
+        c = campaign("x", [10.0, 20.0, 30.0])
+        assert c.n == 3
+        assert c.mean == 20.0
+        assert c.std == pytest.approx(10.0)
+
+    def test_single_trial_std_zero(self):
+        assert campaign("x", [5.0]).std == 0.0
+
+
+class TestTable1Row:
+    def test_change_percent_reproduces_paper_cells(self):
+        row = paper_fft_row()
+        # Paper's printed percentages for the FFT row.
+        assert row.change_percent("Processor Load") == pytest.approx(-26.6, abs=0.1)
+        assert row.change_percent("Network Traffic") == pytest.approx(-19.6, abs=0.1)
+        assert row.change_percent("Load+Traffic") == pytest.approx(-16.9, abs=0.1)
+
+    def test_slowdown_reproduces_paper_text(self):
+        row = paper_fft_row()
+        # §4.3: "FFT time went up from 48 to 142.6 seconds (201%)" — the
+        # precise value is 197%.
+        assert row.slowdown("Load+Traffic", Policy.RANDOM) == pytest.approx(
+            197.1, abs=0.1
+        )
+        assert row.slowdown("Load+Traffic", Policy.AUTO) == pytest.approx(
+            146.9, abs=0.1
+        )
+
+
+class TestTable1Result:
+    def test_headline_ratio_on_paper_numbers(self):
+        result = Table1Result(rows=[paper_fft_row()], trials=1, base_seed=0)
+        # FFT: auto slowdown 146.9% / random 197.1% = 0.745.
+        assert result.headline_ratio("Load+Traffic") == pytest.approx(
+            0.745, abs=0.005
+        )
+
+    def test_render_includes_all_sections(self):
+        result = Table1Result(rows=[paper_fft_row()], trials=1, base_seed=0)
+        text = result.render()
+        assert "FFT (1K)" in text
+        assert "142.6" in text
+        assert "Slowdown vs unloaded reference" in text
+        assert "Headline" in text

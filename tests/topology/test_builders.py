@@ -1,0 +1,157 @@
+"""Tests for topology builders."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    balanced_tree,
+    dumbbell,
+    fat_tree_pod,
+    figure1_network,
+    linear_lan_chain,
+    random_tree,
+    star,
+)
+from repro.units import Mbps
+
+
+class TestStar:
+    def test_shape(self):
+        g = star(6)
+        assert len(g.compute_nodes()) == 6
+        assert len(g.network_nodes()) == 1
+        assert g.degree("switch") == 6
+        assert g.is_connected() and g.is_acyclic()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star(0)
+
+    def test_custom_bandwidth(self):
+        g = star(2, bandwidth=10 * Mbps)
+        assert g.link("h0", "switch").maxbw == 10 * Mbps
+
+
+class TestDumbbell:
+    def test_shape(self):
+        g = dumbbell(3, 2)
+        assert len(g.compute_nodes()) == 5
+        assert g.has_link("sw-left", "sw-right")
+        assert g.is_acyclic()
+
+    def test_slow_trunk(self):
+        g = dumbbell(2, 2, cross_bandwidth=10 * Mbps)
+        assert g.link("sw-left", "sw-right").maxbw == 10 * Mbps
+        assert g.path_available_bandwidth("l0", "r0") == 10 * Mbps
+        assert g.path_available_bandwidth("l0", "l1") == 100 * Mbps
+
+
+class TestLinearLanChain:
+    def test_shape(self):
+        g = linear_lan_chain([2, 3, 1])
+        assert len(g.compute_nodes()) == 6
+        assert len(g.network_nodes()) == 3
+        assert g.has_link("sw0", "sw1") and g.has_link("sw1", "sw2")
+        assert g.is_acyclic() and g.is_connected()
+
+    def test_cross_lan_path(self):
+        g = linear_lan_chain([1, 1, 1])
+        assert g.path("n0-0", "n2-0") == ["n0-0", "sw0", "sw1", "sw2", "n2-0"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            linear_lan_chain([])
+
+
+class TestBalancedTree:
+    def test_leaf_count(self):
+        g = balanced_tree(depth=2, fanout=3)
+        assert len(g.compute_nodes()) == 9
+        assert g.is_acyclic() and g.is_connected()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0, 2)
+        with pytest.raises(ValueError):
+            balanced_tree(2, 1)
+
+
+class TestRandomTree:
+    def test_always_a_connected_tree(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            nc = int(rng.integers(1, 20))
+            ns = int(rng.integers(1, 8))
+            g = random_tree(nc, ns, rng)
+            assert g.is_connected(), (nc, ns)
+            assert g.is_acyclic(), (nc, ns)
+            assert len(g.compute_nodes()) == nc
+
+    def test_deterministic_given_seed(self):
+        a = random_tree(10, 5, np.random.default_rng(42))
+        b = random_tree(10, 5, np.random.default_rng(42))
+        assert sorted(l.key for l in a.links()) == sorted(l.key for l in b.links())
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_tree(0, 1, rng)
+        with pytest.raises(ValueError):
+            random_tree(1, 0, rng)
+
+
+class TestFatTree:
+    def test_is_cyclic(self):
+        g = fat_tree_pod(num_pods=4)
+        assert not g.is_acyclic()
+        assert g.is_connected()
+
+    def test_min_pods(self):
+        with pytest.raises(ValueError):
+            fat_tree_pod(num_pods=2)
+
+
+class TestFigure1:
+    def test_structure(self):
+        """Figure 1: four hosts on two segments behind a switch."""
+        g = figure1_network()
+        assert len(g.compute_nodes()) == 4
+        assert len(g.network_nodes()) == 3
+        assert g.is_acyclic() and g.is_connected()
+        # Cross-segment traffic transits the switch.
+        assert g.path("host1", "host3") == [
+            "host1", "seg-A", "switch", "seg-B", "host3",
+        ]
+
+    def test_host_links_are_slower_than_trunk(self):
+        g = figure1_network()
+        assert g.link("host1", "seg-A").maxbw < g.link("seg-A", "switch").maxbw
+
+
+class TestTwoCampus:
+    def test_shape(self):
+        from repro.topology import two_campus
+        g = two_campus(fast_hosts=4, slow_hosts=3)
+        assert len(g.compute_nodes()) == 7
+        assert g.is_acyclic() and g.is_connected()
+        assert g.has_link("campusA", "campusB")
+
+    def test_heterogeneous_attributes(self):
+        from repro.topology import two_campus
+        g = two_campus()
+        assert g.node("a0").compute_capacity == 1.0
+        assert g.node("b0").compute_capacity == 0.4
+        assert g.node("a0").attrs["arch"] == "alpha"
+        assert g.node("b0").attrs["arch"] == "x86"
+        assert g.link("a0", "campusA").maxbw > g.link("b0", "campusB").maxbw
+
+    def test_wan_latency_dominates(self):
+        from repro.topology import two_campus
+        g = two_campus(wan_latency=5e-3)
+        assert g.path_latency("a0", "b0") == pytest.approx(5e-3 + 2e-4)
+        assert g.path_latency("a0", "a1") == pytest.approx(2e-4)
+
+    def test_validation(self):
+        from repro.topology import two_campus
+        with pytest.raises(ValueError):
+            two_campus(fast_hosts=0)

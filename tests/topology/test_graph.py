@@ -1,0 +1,277 @@
+"""Unit tests for the topology graph structure."""
+
+import pytest
+
+from repro.topology import (
+    Link,
+    Node,
+    NodeKind,
+    TopologyGraph,
+    cpu_fraction,
+    load_from_cpu_fraction,
+    star,
+)
+from repro.units import Mbps
+
+
+@pytest.fixture
+def small_tree():
+    """sw0--sw1 trunk; a,b on sw0; c,d on sw1."""
+    g = TopologyGraph()
+    g.add_network("sw0")
+    g.add_network("sw1")
+    for name, sw in (("a", "sw0"), ("b", "sw0"), ("c", "sw1"), ("d", "sw1")):
+        g.add_compute(name)
+        g.add_link(name, sw, 100 * Mbps, latency=1e-4)
+    g.add_link("sw0", "sw1", 100 * Mbps, latency=2e-4)
+    return g
+
+
+class TestCpuFunction:
+    def test_idle_node_is_full_cpu(self):
+        assert cpu_fraction(0.0) == 1.0
+
+    def test_paper_formula(self):
+        # cpu = 1/(1+load): load 1 -> half, load 3 -> quarter
+        assert cpu_fraction(1.0) == 0.5
+        assert cpu_fraction(3.0) == 0.25
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            cpu_fraction(-0.1)
+
+    def test_roundtrip_with_inverse(self):
+        for load in (0.0, 0.5, 2.0, 10.0):
+            assert load_from_cpu_fraction(cpu_fraction(load)) == pytest.approx(load)
+
+    def test_inverse_domain(self):
+        with pytest.raises(ValueError):
+            load_from_cpu_fraction(0.0)
+        with pytest.raises(ValueError):
+            load_from_cpu_fraction(1.5)
+
+
+class TestNode:
+    def test_cpu_property(self):
+        n = Node("x", load_average=1.0)
+        assert n.cpu == 0.5
+
+    def test_copy_is_independent(self):
+        n = Node("x", attrs={"arch": "alpha"})
+        c = n.copy()
+        c.attrs["arch"] = "x86"
+        c.load_average = 9.0
+        assert n.attrs["arch"] == "alpha"
+        assert n.load_average == 0.0
+
+    def test_kind_flags(self):
+        assert Node("x", kind=NodeKind.COMPUTE).is_compute
+        assert not Node("x", kind=NodeKind.NETWORK).is_compute
+
+
+class TestLink:
+    def test_defaults_to_full_availability(self):
+        l = Link("a", "b", maxbw=100 * Mbps)
+        assert l.available == 100 * Mbps
+        assert l.bwfactor == 1.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a", maxbw=1.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", maxbw=0.0)
+
+    def test_available_is_min_of_directions(self):
+        # Paper §3.3: bidirectional link capacity = min of the directions.
+        l = Link("a", "b", maxbw=100.0, available_fwd=80.0, available_rev=30.0)
+        assert l.available == 30.0
+        assert l.available_towards("b") == 80.0
+        assert l.available_towards("a") == 30.0
+
+    def test_set_available_directional(self):
+        l = Link("a", "b", maxbw=100.0)
+        l.set_available(25.0, direction="b")
+        assert l.available_towards("b") == 25.0
+        assert l.available_towards("a") == 100.0
+        assert l.available == 25.0
+
+    def test_set_available_bounds(self):
+        l = Link("a", "b", maxbw=100.0)
+        with pytest.raises(ValueError):
+            l.set_available(150.0)
+        with pytest.raises(ValueError):
+            l.set_available(-1.0)
+
+    def test_other_endpoint(self):
+        l = Link("a", "b", maxbw=1.0)
+        assert l.other("a") == "b"
+        assert l.other("b") == "a"
+        with pytest.raises(KeyError):
+            l.other("c")
+
+    def test_bwfactor(self):
+        l = Link("a", "b", maxbw=100.0, available_fwd=40.0)
+        assert l.bwfactor == pytest.approx(0.4)
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_rejected(self):
+        g = TopologyGraph()
+        g.add_compute("a")
+        with pytest.raises(ValueError):
+            g.add_compute("a")
+
+    def test_link_requires_existing_nodes(self):
+        g = TopologyGraph()
+        g.add_compute("a")
+        with pytest.raises(KeyError):
+            g.add_link("a", "ghost", 1.0)
+
+    def test_duplicate_link_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.add_link("a", "sw0", 1.0)
+
+    def test_counts(self, small_tree):
+        assert small_tree.num_nodes == 6
+        assert small_tree.num_links == 5
+        assert len(small_tree.compute_nodes()) == 4
+        assert len(small_tree.network_nodes()) == 2
+
+    def test_neighbors(self, small_tree):
+        assert sorted(small_tree.neighbors("sw0")) == ["a", "b", "sw1"]
+
+    def test_remove_link(self, small_tree):
+        small_tree.remove_link("sw0", "sw1")
+        assert not small_tree.has_link("sw0", "sw1")
+        assert small_tree.num_links == 4
+        with pytest.raises(KeyError):
+            small_tree.remove_link("sw0", "sw1")
+
+    def test_remove_node_drops_incident_links(self, small_tree):
+        small_tree.remove_node("sw0")
+        assert small_tree.num_nodes == 5
+        assert small_tree.num_links == 2  # only c, d links remain
+        assert small_tree.degree("a") == 0
+
+    def test_contains(self, small_tree):
+        assert "a" in small_tree
+        assert "zzz" not in small_tree
+
+    def test_validate_passes_on_consistent_graph(self, small_tree):
+        small_tree.validate()
+
+
+class TestStructureQueries:
+    def test_connected_components_single(self, small_tree):
+        comps = small_tree.connected_components()
+        assert len(comps) == 1
+        assert comps[0] == set(small_tree.node_names())
+
+    def test_components_after_cut(self, small_tree):
+        small_tree.remove_link("sw0", "sw1")
+        comps = sorted(small_tree.connected_components(), key=len)
+        assert len(comps) == 2
+        assert {"a", "b", "sw0"} in comps
+        assert {"c", "d", "sw1"} in comps
+
+    def test_component_of(self, small_tree):
+        small_tree.remove_link("sw0", "sw1")
+        assert small_tree.component_of("a") == {"a", "b", "sw0"}
+
+    def test_is_connected(self, small_tree):
+        assert small_tree.is_connected()
+        small_tree.remove_link("a", "sw0")
+        assert not small_tree.is_connected()
+
+    def test_empty_graph_is_connected_and_acyclic(self):
+        g = TopologyGraph()
+        assert g.is_connected()
+        assert g.is_acyclic()
+
+    def test_is_acyclic(self, small_tree):
+        assert small_tree.is_acyclic()
+        small_tree.add_link("a", "b", 1.0)  # creates cycle a-sw0-b-a
+        assert not small_tree.is_acyclic()
+
+    def test_path_unique_in_tree(self, small_tree):
+        assert small_tree.path("a", "d") == ["a", "sw0", "sw1", "d"]
+
+    def test_path_to_self(self, small_tree):
+        assert small_tree.path("a", "a") == ["a"]
+
+    def test_path_disconnected_is_none(self, small_tree):
+        small_tree.remove_link("sw0", "sw1")
+        assert small_tree.path("a", "d") is None
+
+    def test_path_bottleneck_bandwidth(self, small_tree):
+        small_tree.link("sw0", "sw1").set_available(10 * Mbps)
+        assert small_tree.path_available_bandwidth("a", "d") == 10 * Mbps
+        assert small_tree.path_available_bandwidth("a", "b") == 100 * Mbps
+
+    def test_path_bandwidth_directional(self, small_tree):
+        small_tree.link("sw0", "sw1").set_available(10 * Mbps, direction="sw1")
+        # a->d crosses sw0->sw1: limited; d->a uses the reverse channel.
+        assert small_tree.path_available_bandwidth("a", "d") == 10 * Mbps
+        assert small_tree.path_available_bandwidth("d", "a") == 100 * Mbps
+
+    def test_path_bandwidth_same_node_inf(self, small_tree):
+        assert small_tree.path_available_bandwidth("a", "a") == float("inf")
+
+    def test_path_bandwidth_disconnected_zero(self, small_tree):
+        small_tree.remove_link("sw0", "sw1")
+        assert small_tree.path_available_bandwidth("a", "d") == 0.0
+
+    def test_path_latency(self, small_tree):
+        assert small_tree.path_latency("a", "d") == pytest.approx(4e-4)
+        assert small_tree.path_latency("a", "a") == 0.0
+
+    def test_min_bandwidth_link(self, small_tree):
+        small_tree.link("c", "sw1").set_available(5 * Mbps)
+        worst = small_tree.min_bandwidth_link()
+        assert worst.key == frozenset({"c", "sw1"})
+
+    def test_min_bandwidth_link_deterministic_tie(self):
+        g = star(4)
+        # All equal: tie broken by sorted endpoint names -> h0--switch.
+        assert g.min_bandwidth_link().key == frozenset({"h0", "switch"})
+
+    def test_min_bandwidth_link_empty(self):
+        assert TopologyGraph().min_bandwidth_link() is None
+
+
+class TestViews:
+    def test_copy_independent(self, small_tree):
+        c = small_tree.copy()
+        c.remove_link("sw0", "sw1")
+        c.node("a").load_average = 7.0
+        assert small_tree.has_link("sw0", "sw1")
+        assert small_tree.node("a").load_average == 0.0
+
+    def test_copy_preserves_availability(self, small_tree):
+        small_tree.link("a", "sw0").set_available(42.0, direction="sw0")
+        c = small_tree.copy()
+        assert c.link("a", "sw0").available_towards("sw0") == 42.0
+
+    def test_subgraph(self, small_tree):
+        sub = small_tree.subgraph(["a", "b", "sw0"])
+        assert sub.num_nodes == 3
+        assert sub.num_links == 2
+        assert not sub.has_link("sw0", "sw1")
+
+    def test_subgraph_unknown_node(self, small_tree):
+        with pytest.raises(KeyError):
+            small_tree.subgraph(["a", "ghost"])
+
+    def test_networkx_cross_check_components(self, small_tree):
+        """Our component finder agrees with networkx on a mutated graph."""
+        nx = pytest.importorskip("networkx")
+        small_tree.remove_link("sw0", "sw1")
+        small_tree.remove_link("b", "sw0")
+        G = nx.Graph()
+        G.add_nodes_from(small_tree.node_names())
+        G.add_edges_from((l.u, l.v) for l in small_tree.links())
+        ours = sorted(map(sorted, small_tree.connected_components()))
+        theirs = sorted(map(sorted, nx.connected_components(G)))
+        assert ours == theirs

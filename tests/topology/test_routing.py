@@ -1,0 +1,159 @@
+"""Tests for static routing and routed views on cyclic topologies."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    RoutedView,
+    RoutingTable,
+    TopologyGraph,
+    fat_tree_pod,
+    random_tree,
+    star,
+)
+from repro.units import Mbps
+
+
+@pytest.fixture
+def ring():
+    """4-switch ring with one host per switch (cyclic)."""
+    g = TopologyGraph()
+    for i in range(4):
+        g.add_network(f"s{i}")
+    for i in range(4):
+        g.add_link(f"s{i}", f"s{(i + 1) % 4}", 100 * Mbps, latency=1e-4)
+    for i in range(4):
+        g.add_compute(f"h{i}")
+        g.add_link(f"h{i}", f"s{i}", 100 * Mbps, latency=1e-4)
+    return g
+
+
+class TestRoutingTable:
+    def test_route_on_tree_matches_bfs_path(self):
+        g = star(5)
+        rt = RoutingTable(g)
+        assert rt.route("h0", "h3") == ["h0", "switch", "h3"]
+
+    def test_route_to_self(self, ring):
+        rt = RoutingTable(ring)
+        assert rt.route("h0", "h0") == ["h0"]
+
+    def test_route_symmetric(self, ring):
+        rt = RoutingTable(ring)
+        fwd = rt.route("h0", "h2")
+        rev = rt.route("h2", "h0")
+        assert fwd == list(reversed(rev))
+
+    def test_route_is_fixed_single_path(self, ring):
+        """Static routing: repeated queries return the identical path."""
+        rt = RoutingTable(ring)
+        paths = {tuple(rt.route("h0", "h2")) for _ in range(10)}
+        assert len(paths) == 1
+
+    def test_route_length_is_shortest(self, ring):
+        rt = RoutingTable(ring)
+        # h0 to h1 is adjacent switches: h0-s0-s1-h1
+        assert len(rt.route("h0", "h1")) == 4
+
+    def test_unknown_node_raises(self, ring):
+        rt = RoutingTable(ring)
+        with pytest.raises(KeyError):
+            rt.route("h0", "ghost")
+        with pytest.raises(KeyError):
+            rt.route("ghost", "h0")
+
+    def test_disconnected_returns_none(self):
+        g = TopologyGraph()
+        g.add_compute("a")
+        g.add_compute("b")
+        rt = RoutingTable(g)
+        assert rt.route("a", "b") is None
+        assert rt.bottleneck_bandwidth("a", "b") == 0.0
+        assert rt.latency("a", "b") == float("inf")
+
+    def test_bottleneck_bandwidth(self, ring):
+        rt = RoutingTable(ring)
+        path = rt.route("h0", "h2")
+        # Throttle one link on the chosen path.
+        a, b = path[1], path[2]
+        ring.link(a, b).set_available(7 * Mbps)
+        rt.invalidate()
+        assert RoutingTable(ring).bottleneck_bandwidth("h0", "h2") == 7 * Mbps
+
+    def test_latency_weighting_changes_route(self):
+        """latency weight avoids a slow 1-hop link in favour of 2 fast hops."""
+        g = TopologyGraph()
+        for n in ("a", "b"):
+            g.add_compute(n)
+        g.add_network("mid")
+        g.add_link("a", "b", 100 * Mbps, latency=10.0)
+        g.add_link("a", "mid", 100 * Mbps, latency=0.1)
+        g.add_link("mid", "b", 100 * Mbps, latency=0.1)
+        by_hops = RoutingTable(g, weight="hops")
+        by_lat = RoutingTable(g, weight="latency")
+        assert by_hops.route("a", "b") == ["a", "b"]
+        assert by_lat.route("a", "b") == ["a", "mid", "b"]
+
+    def test_invalid_weight(self, ring):
+        with pytest.raises(ValueError):
+            RoutingTable(ring, weight="bananas")
+
+    def test_networkx_cross_check_shortest_lengths(self):
+        """Route lengths match networkx shortest paths on a fat tree."""
+        nx = pytest.importorskip("networkx")
+        g = fat_tree_pod(num_pods=4, hosts_per_edge=2)
+        rt = RoutingTable(g)
+        G = nx.Graph((l.u, l.v) for l in g.links())
+        hosts = [n.name for n in g.compute_nodes()]
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1:]:
+                ours = len(rt.route(a, b)) - 1
+                theirs = nx.shortest_path_length(G, a, b)
+                assert ours == theirs, (a, b)
+
+    def test_routes_on_random_trees_match_unique_path(self):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            g = random_tree(8, 4, rng)
+            rt = RoutingTable(g)
+            hosts = [n.name for n in g.compute_nodes()]
+            for a in hosts[:4]:
+                for b in hosts[4:]:
+                    assert rt.route(a, b) == g.path(a, b)
+
+
+class TestRoutedView:
+    def test_overlay_on_tree_is_whole_used_subtree(self):
+        g = star(4)
+        view = RoutedView(g)
+        overlay = view.overlay()
+        assert overlay.num_nodes == 5
+        assert overlay.num_links == 4
+        assert overlay.is_acyclic()
+
+    def test_overlay_on_ring_is_acyclic_for_subset(self, ring):
+        # Two adjacent hosts only use the s0-s1 arc; overlay is a tree.
+        view = RoutedView(ring, compute_nodes=["h0", "h1"])
+        overlay = view.overlay()
+        assert overlay.is_acyclic()
+        assert overlay.is_connected()
+
+    def test_overlay_excludes_unused_links(self, ring):
+        view = RoutedView(ring, compute_nodes=["h0", "h1"])
+        overlay = view.overlay()
+        assert not overlay.has_node("h3") or overlay.degree("h3") == 0
+
+    def test_pair_matrix_complete_and_positive(self, ring):
+        view = RoutedView(ring)
+        mat = view.pair_bandwidth_matrix()
+        hosts = [n.name for n in ring.compute_nodes()]
+        assert len(mat) == len(hosts) * (len(hosts) - 1)
+        assert all(v > 0 for v in mat.values())
+
+    def test_pair_matrix_reflects_congestion(self, ring):
+        rt = RoutingTable(ring)
+        path = rt.route("h0", "h1")
+        ring.link(path[1], path[2]).set_available(3 * Mbps)
+        view = RoutedView(ring)
+        mat = view.pair_bandwidth_matrix()
+        assert mat[("h0", "h1")] == 3 * Mbps

@@ -1,0 +1,176 @@
+"""Tests for the from-scratch distributions (analytic cross-checks)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    Exponential,
+    HarcholBalterLifetime,
+    LogNormal,
+    Pareto,
+    PoissonProcess,
+)
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def sample_n(dist, n, seed=0):
+    rng = RNG(seed)
+    return np.array([dist.sample(rng) for _ in range(n)])
+
+
+class TestExponential:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_positive(self):
+        assert (sample_n(Exponential(2.0), 1000) >= 0).all()
+
+    def test_empirical_mean(self):
+        xs = sample_n(Exponential(3.0), 20000)
+        assert xs.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_memoryless_shape(self):
+        """Median should be mean * ln 2."""
+        xs = sample_n(Exponential(1.0), 20000)
+        assert np.median(xs) == pytest.approx(math.log(2), rel=0.05)
+
+
+class TestPareto:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pareto(alpha=0, xm=1)
+        with pytest.raises(ValueError):
+            Pareto(alpha=1, xm=0)
+        with pytest.raises(ValueError):
+            Pareto(alpha=1, xm=2, cap=1)
+
+    def test_support_above_xm(self):
+        xs = sample_n(Pareto(alpha=1.5, xm=2.0), 5000)
+        assert (xs >= 2.0).all()
+
+    def test_cap_respected(self):
+        xs = sample_n(Pareto(alpha=0.8, xm=1.0, cap=50.0), 5000)
+        assert (xs <= 50.0).all()
+
+    def test_survival_function(self):
+        """P(X > x) = (xm/x)^alpha empirically."""
+        alpha, xm = 1.2, 1.0
+        xs = sample_n(Pareto(alpha, xm), 50000)
+        for x in (2.0, 5.0, 10.0):
+            expect = (xm / x) ** alpha
+            assert (xs > x).mean() == pytest.approx(expect, rel=0.1)
+
+    def test_finite_mean_matches_analytic(self):
+        dist = Pareto(alpha=2.5, xm=1.0)
+        xs = sample_n(dist, 50000)
+        assert xs.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_infinite_mean_flagged(self):
+        assert Pareto(alpha=1.0, xm=1.0).mean() == math.inf
+
+    def test_capped_mean_matches_empirical(self):
+        dist = Pareto(alpha=1.0, xm=1.0, cap=100.0)
+        xs = sample_n(dist, 100000)
+        assert xs.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_heavier_tail_than_exponential(self):
+        """The defining property: Pareto produces far more extreme values."""
+        pareto = sample_n(Pareto(alpha=1.0, xm=1.0, cap=1e6), 20000, seed=1)
+        expo = sample_n(Exponential(pareto.mean()), 20000, seed=2)
+        assert (pareto > 50 * pareto.mean()).sum() > (expo > 50 * expo.mean()).sum()
+
+
+class TestLogNormal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(mu=0, sigma=-1)
+        with pytest.raises(ValueError):
+            LogNormal.from_mean_cv(mean=0, cv=1)
+        with pytest.raises(ValueError):
+            LogNormal.from_mean_cv(mean=1, cv=-1)
+
+    def test_positive(self):
+        assert (sample_n(LogNormal(0.0, 1.0), 5000) > 0).all()
+
+    def test_mean_matches_analytic(self):
+        dist = LogNormal(mu=1.0, sigma=0.5)
+        xs = sample_n(dist, 50000)
+        assert xs.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_from_mean_cv_roundtrip(self):
+        dist = LogNormal.from_mean_cv(mean=100.0, cv=1.5)
+        assert dist.mean() == pytest.approx(100.0)
+        xs = sample_n(dist, 100000)
+        assert xs.mean() == pytest.approx(100.0, rel=0.1)
+        assert xs.std() / xs.mean() == pytest.approx(1.5, rel=0.15)
+
+    def test_median_is_exp_mu(self):
+        xs = sample_n(LogNormal(mu=2.0, sigma=1.0), 50000)
+        assert np.median(xs) == pytest.approx(math.exp(2.0), rel=0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(mean=st.floats(0.1, 1e6), cv=st.floats(0.0, 3.0))
+    def test_from_mean_cv_always_consistent(self, mean, cv):
+        dist = LogNormal.from_mean_cv(mean=mean, cv=cv)
+        assert dist.mean() == pytest.approx(mean, rel=1e-9)
+
+
+class TestHarcholBalterLifetime:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarcholBalterLifetime(p_heavy=1.5)
+
+    def test_mixture_components_visible(self):
+        dist = HarcholBalterLifetime(
+            exp_mean=0.1, p_heavy=0.5, pareto_xm=10.0, pareto_cap=100.0
+        )
+        xs = sample_n(dist, 10000)
+        # Short exponential jobs and heavy jobs are clearly separated.
+        assert ((xs < 1.0).mean()) == pytest.approx(0.5, abs=0.05)
+        assert ((xs >= 10.0).mean()) == pytest.approx(0.5, abs=0.05)
+
+    def test_mean_matches_analytic(self):
+        dist = HarcholBalterLifetime()
+        xs = sample_n(dist, 100000)
+        assert xs.mean() == pytest.approx(dist.mean(), rel=0.1)
+
+    def test_p_heavy_zero_is_exponential(self):
+        dist = HarcholBalterLifetime(exp_mean=2.0, p_heavy=0.0)
+        xs = sample_n(dist, 20000)
+        assert xs.mean() == pytest.approx(2.0, rel=0.05)
+
+
+class TestPoissonProcess:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+
+    def test_interarrival_mean(self):
+        proc = PoissonProcess(rate=4.0)
+        rng = RNG(3)
+        xs = np.array([proc.next_interarrival(rng) for _ in range(20000)])
+        assert xs.mean() == pytest.approx(0.25, rel=0.05)
+
+    def test_count_in_window_is_poisson(self):
+        """Arrivals in [0, T] should have mean ~= variance ~= rate*T."""
+        proc = PoissonProcess(rate=2.0)
+        rng = RNG(4)
+        counts = []
+        for _ in range(2000):
+            t, n = 0.0, 0
+            while True:
+                t += proc.next_interarrival(rng)
+                if t > 10.0:
+                    break
+                n += 1
+            counts.append(n)
+        counts = np.array(counts)
+        assert counts.mean() == pytest.approx(20.0, rel=0.05)
+        assert counts.var() == pytest.approx(20.0, rel=0.15)

@@ -1,0 +1,170 @@
+"""Tests for the load and traffic generators against the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.network import Cluster
+from repro.topology import dumbbell, star
+from repro.units import MB, Mbps
+from repro.workloads import (
+    Exponential,
+    LoadGenerator,
+    LoadGeneratorConfig,
+    LogNormal,
+    TrafficGenerator,
+    TrafficGeneratorConfig,
+)
+
+
+def make_cluster(g=None, load_tau=30.0):
+    sim = Simulator()
+    cluster = Cluster(sim, g or star(4), base_capacity=1.0, load_tau=load_tau)
+    return sim, cluster
+
+
+class TestLoadGeneratorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadGeneratorConfig(arrival_rate=0)
+
+    def test_offered_load(self):
+        cfg = LoadGeneratorConfig(arrival_rate=0.5, lifetime=Exponential(2.0))
+        assert cfg.offered_load == pytest.approx(1.0)
+
+
+class TestLoadGenerator:
+    def test_generates_jobs(self):
+        sim, cluster = make_cluster()
+        gen = LoadGenerator(cluster, np.random.default_rng(0))
+        sim.run(until=200.0)
+        assert gen.stats.jobs_started > 0
+        assert gen.stats.jobs_finished > 0
+
+    def test_raises_load_average(self):
+        sim, cluster = make_cluster()
+        cfg = LoadGeneratorConfig(arrival_rate=1.0, lifetime=Exponential(2.0))
+        LoadGenerator(cluster, np.random.default_rng(1), config=cfg)
+        sim.run(until=600.0)
+        loads = [cluster.host(f"h{i}").load_average for i in range(4)]
+        # Offered load 2.0 competing jobs per node on average.
+        assert np.mean(loads) > 0.8
+
+    def test_targets_only_requested_nodes(self):
+        sim, cluster = make_cluster()
+        cfg = LoadGeneratorConfig(arrival_rate=1.0, lifetime=Exponential(2.0))
+        LoadGenerator(
+            cluster, np.random.default_rng(2), nodes=["h0"], config=cfg
+        )
+        sim.run(until=300.0)
+        assert cluster.host("h0").load_average > 0.5
+        assert cluster.host("h1").load_average == 0.0
+
+    def test_unknown_node_rejected(self):
+        sim, cluster = make_cluster()
+        with pytest.raises(KeyError):
+            LoadGenerator(cluster, np.random.default_rng(0), nodes=["zzz"])
+
+    def test_reproducible(self):
+        def run(seed):
+            sim, cluster = make_cluster()
+            gen = LoadGenerator(cluster, np.random.default_rng(seed))
+            sim.run(until=100.0)
+            return gen.stats.jobs_started, gen.stats.demand_seconds
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_stop_halts_submissions(self):
+        sim, cluster = make_cluster()
+        gen = LoadGenerator(cluster, np.random.default_rng(0))
+        sim.run(until=50.0)
+        gen.stop()
+        count = gen.stats.jobs_started
+        sim.run(until=200.0)
+        assert gen.stats.jobs_started == count
+
+    def test_start_idempotent(self):
+        sim, cluster = make_cluster()
+        gen = LoadGenerator(cluster, np.random.default_rng(0), start=False)
+        gen.start()
+        gen.start()
+        sim.run(until=100.0)
+        # Double-started generators would double the arrival rate.
+        sim2, cluster2 = make_cluster()
+        ref = LoadGenerator(cluster2, np.random.default_rng(0))
+        sim2.run(until=100.0)
+        assert gen.stats.jobs_started == ref.stats.jobs_started
+
+
+class TestTrafficGeneratorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficGeneratorConfig(message_rate=0)
+
+
+class TestTrafficGenerator:
+    def test_generates_messages(self):
+        sim, cluster = make_cluster()
+        gen = TrafficGenerator(cluster, np.random.default_rng(0))
+        sim.run(until=120.0)
+        assert gen.stats.messages_sent > 10
+        assert gen.stats.bytes_offered > 0
+
+    def test_creates_link_utilization(self):
+        sim, cluster = make_cluster()
+        cfg = TrafficGeneratorConfig(
+            message_rate=2.0,
+            message_size=LogNormal.from_mean_cv(mean=8 * MB, cv=1.0),
+        )
+        TrafficGenerator(cluster, np.random.default_rng(1), config=cfg)
+        sim.run(until=120.0)
+        total = sum(
+            cluster.fabric.octet_counter(c) for c in cluster.fabric.channels()
+        )
+        assert total > 100 * MB
+
+    def test_pinned_pairs(self):
+        sim, cluster = make_cluster(dumbbell(2, 2, latency=0.0))
+        TrafficGenerator(
+            cluster,
+            np.random.default_rng(2),
+            pinned_pairs=[("l0", "r0")],
+            config=TrafficGeneratorConfig(message_rate=1.0),
+        )
+        sim.run(until=60.0)
+        fwd = cluster.fabric.channel_for("sw-left", "sw-right")
+        rev = cluster.fabric.channel_for("sw-right", "sw-left")
+        assert cluster.fabric.octet_counter(fwd) > 0
+        assert cluster.fabric.octet_counter(rev) == 0.0
+
+    def test_needs_two_nodes(self):
+        sim = Simulator()
+        cluster = Cluster(sim, star(1))
+        with pytest.raises(ValueError):
+            TrafficGenerator(cluster, np.random.default_rng(0))
+
+    def test_src_differs_from_dst(self):
+        sim, cluster = make_cluster()
+        gen = TrafficGenerator(cluster, np.random.default_rng(3), start=False)
+        for _ in range(200):
+            s, d = gen._pick_pair()
+            assert s != d
+
+    def test_reproducible(self):
+        def run(seed):
+            sim, cluster = make_cluster()
+            gen = TrafficGenerator(cluster, np.random.default_rng(seed))
+            sim.run(until=60.0)
+            return gen.stats.messages_sent, gen.stats.bytes_offered
+
+        assert run(5) == run(5)
+
+    def test_stop(self):
+        sim, cluster = make_cluster()
+        gen = TrafficGenerator(cluster, np.random.default_rng(0))
+        sim.run(until=30.0)
+        gen.stop()
+        count = gen.stats.messages_sent
+        sim.run(until=120.0)
+        assert gen.stats.messages_sent == count
