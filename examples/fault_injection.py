@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Fault injection and degraded-mode Remos, end to end.
+
+Crashes a node on the CMU testbed while an application's placement
+depends on it, and shows the whole resilience chain react:
+
+1. the SNMP agents stop answering, the collector retries then marks the
+   node stale;
+2. degraded-mode Remos queries keep answering, now flagged with sample
+   age and staleness, and the topology marks the node unmonitorable;
+3. health-aware selection excludes the node, and the migration advisor
+   overrides hysteresis to force the placement off it;
+4. the node recovers, one good poll clears the staleness, and it is
+   selectable again.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.core import ApplicationSpec, MigrationAdvisor, NodeSelector, SelfFootprint
+from repro.des import Simulator
+from repro.faults import AgentOutage, FaultInjector, NodeCrash
+from repro.network import Cluster
+from repro.remos import Collector, RemosAPI
+from repro.testbed import cmu_testbed
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = Cluster(sim, cmu_testbed(), base_capacity=1.0, load_tau=30.0)
+    collector = Collector(cluster, period=5.0, stale_after=3)
+    api = RemosAPI(collector)  # default policy: last-known-good, marked
+    injector = FaultInjector(cluster, collector)
+
+    selector = NodeSelector(api)
+    advisor = MigrationAdvisor(selector, hysteresis=0.2)
+    spec = ApplicationSpec(num_nodes=4)
+
+    injector.schedule([
+        NodeCrash(node="m-3", at=70.0, downtime=120.0),
+        AgentOutage(device="m-7", at=70.0, duration=40.0),
+    ])
+
+    def report(sim):
+        yield sim.timeout(60.0)
+        placement = selector.select(spec).nodes
+        print(f"t={sim.now:.0f}s  initial placement: {placement}")
+        if "m-3" not in placement:
+            placement = ["m-3"] + placement[:3]
+            print(f"        (forcing m-3 in to stage the failure: {placement})")
+
+        yield sim.timeout(40.0)  # crash at 70, three missed polls by ~90
+        info = api.node_info("m-3")
+        print(f"\nt={sim.now:.0f}s  m-3 crashed at t=70")
+        print(f"        node_info(m-3): age {info.age_s:.0f}s, "
+              f"stale={info.stale} (agents unreachable, retries exhausted)")
+        print(f"        stale hosts per collector: {collector.stale_hosts()}")
+
+        failed = selector.validate(placement)
+        print(f"        validate({placement}) -> failed: {failed}")
+        decision = advisor.evaluate(
+            spec, placement, SelfFootprint.uniform(placement)
+        )
+        print(f"        migration: migrate={decision.migrate} "
+              f"reason={decision.reason!r} failed={decision.failed_nodes}")
+        placement = decision.candidate.nodes
+        print(f"        new placement: {placement}")
+        assert "m-3" not in placement
+
+        yield sim.timeout(110.0)  # recovery at 190, good poll soon after
+        info = api.node_info("m-3")
+        print(f"\nt={sim.now:.0f}s  m-3 recovered at t=190")
+        print(f"        node_info(m-3): age {info.age_s:.0f}s, stale={info.stale}")
+        print(f"        m-3 healthy again per validate(): "
+              f"{selector.validate(['m-3']) == []}")
+
+    sim.process(report(sim))
+    sim.run(until=220.0)
+    faults = ", ".join(f"{k}@{t:.0f}s" for t, k, _ in injector.log)
+    print(f"\ninjected: {faults}")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,9 +45,9 @@ from .pattern_aware import (
     pattern_flows,
     select_pattern_aware,
 )
-from .selector import NodeSelector, TopologyProvider
+from .selector import NodeSelector, TopologyProvider, unhealthy_nodes
 from .spec import ApplicationSpec, CommPattern, GroupSpec, Objective
-from .types import NoFeasibleSelection, Selection
+from .types import NoFeasibleSelection, Selection, node_is_selectable
 
 __all__ = [
     "ApplicationSpec",
@@ -71,6 +71,8 @@ __all__ = [
     "max_pairwise_latency",
     "minresource",
     "node_compute_fraction",
+    "node_is_selectable",
+    "unhealthy_nodes",
     "effective_pattern_bandwidth",
     "estimate_runtime",
     "pattern_flows",

@@ -12,6 +12,12 @@ it produces a *self-corrected* snapshot, re-runs selection, and recommends
 a move only when the improvement clears a hysteresis threshold (moving has
 real cost — checkpointing, restart — so marginal wins should not trigger
 migrations that thrash).
+
+Failures override hysteresis: when a node of the current placement has
+crashed or become unmonitorable, staying put is not an option — the
+advisor forces migration (``reason == "failure"``) onto a fresh selection
+that excludes the failed nodes.  Link degradation without node loss still
+goes through the hysteresis gate, since the application can limp along.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from typing import Optional, Sequence
 
 from ..topology.graph import TopologyGraph
 from .metrics import DEFAULT_REFERENCES, References, minresource
-from .selector import NodeSelector
+from .selector import NodeSelector, unhealthy_nodes
 from .spec import ApplicationSpec
 from .types import NoFeasibleSelection, Selection
 
@@ -60,13 +66,20 @@ class SelfFootprint:
 
 @dataclass
 class MigrationDecision:
-    """Outcome of one migration evaluation."""
+    """Outcome of one migration evaluation.
+
+    ``reason`` is ``"failure"`` when migration was forced by failed nodes
+    (listed in ``failed_nodes``), ``"improvement"`` when the candidate
+    cleared hysteresis, and ``"hold"`` otherwise.
+    """
 
     migrate: bool
     current_nodes: list[str]
     candidate: Selection
     current_score: float
     candidate_score: float
+    reason: str = "hold"
+    failed_nodes: list[str] = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
@@ -128,12 +141,29 @@ class MigrationAdvisor:
         (``minresource``) on the self-corrected snapshot, so the comparison
         is apples-to-apples and the app's own footprint does not penalize
         its current home.
+
+        If any current node has failed (crashed / unmonitorable /
+        partitioned away per the snapshot), the comparison is moot: a
+        placement with a dead member scores 0 and migration is forced,
+        bypassing hysteresis.
         """
         g = self.corrected_snapshot(footprint)
-        current_score = minresource(g, list(current_nodes), refs)
+        failed = unhealthy_nodes(g, list(current_nodes))
         candidate = self.selector.select(spec, graph=g)
         candidate_score = minresource(g, candidate.nodes, refs)
 
+        if failed:
+            return MigrationDecision(
+                migrate=True,
+                current_nodes=list(current_nodes),
+                candidate=candidate,
+                current_score=0.0,
+                candidate_score=candidate_score,
+                reason="failure",
+                failed_nodes=failed,
+            )
+
+        current_score = minresource(g, list(current_nodes), refs)
         same = set(candidate.nodes) == set(current_nodes)
         migrate = (
             not same
@@ -145,4 +175,5 @@ class MigrationAdvisor:
             candidate=candidate,
             current_score=current_score,
             candidate_score=candidate_score,
+            reason="improvement" if migrate else "hold",
         )

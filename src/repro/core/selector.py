@@ -4,11 +4,18 @@ This is the piece that ties the framework of §2 together: it accepts an
 :class:`~repro.core.spec.ApplicationSpec`, obtains the current logical
 topology (directly, or through a Remos query interface), and dispatches to
 the appropriate selection procedure of §3.
+
+Selection is resilient to partial information: snapshots mark crashed
+(``attrs["down"]``) and unmonitorable (``attrs["unmonitorable"]``) nodes,
+and the selector excludes them from every procedure by default.
+:meth:`NodeSelector.validate` re-checks an existing placement against a
+fresh snapshot so callers can trigger re-selection when a chosen node or
+link fails mid-run.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
 
 from ..topology.graph import TopologyGraph
 from ..topology.routing import RoutingTable
@@ -26,9 +33,27 @@ from .latency import select_with_latency_bound
 from .pattern_aware import select_pattern_aware
 from .metrics import References
 from .spec import ApplicationSpec, GroupSpec, Objective
-from .types import NoFeasibleSelection, Selection
+from .types import NoFeasibleSelection, Selection, node_is_selectable
 
-__all__ = ["NodeSelector", "TopologyProvider"]
+__all__ = ["NodeSelector", "TopologyProvider", "unhealthy_nodes"]
+
+
+def unhealthy_nodes(graph: TopologyGraph, names: Sequence[str]) -> list[str]:
+    """The subset of ``names`` that ``graph`` reports failed or missing.
+
+    A node is unhealthy when it is absent from the snapshot, marked
+    crashed/unmonitorable, or — for multi-node placements — cut off from
+    the other named nodes (a failed link partitioned the set).
+    """
+    bad = [
+        n for n in names
+        if not graph.has_node(n) or not node_is_selectable(graph.node(n))
+    ]
+    good = [n for n in names if n not in bad]
+    if len(good) > 1:
+        component = graph.component_of(good[0])
+        bad.extend(n for n in good[1:] if n not in component)
+    return bad
 
 
 @runtime_checkable
@@ -52,6 +77,11 @@ class NodeSelector:
         A :class:`TopologyProvider` (e.g. a Remos API handle) queried for a
         fresh snapshot at each :meth:`select` call, **or** a static
         :class:`TopologyGraph` used as-is.
+    exclude_unhealthy:
+        If True (default), nodes the snapshot marks crashed or
+        unmonitorable are never selected, whatever procedure runs.  Setting
+        False restores the naive behaviour (the fault-resilience bench uses
+        it as the control arm).
 
     Examples
     --------
@@ -62,14 +92,43 @@ class NodeSelector:
     4
     """
 
-    def __init__(self, provider: TopologyProvider | TopologyGraph) -> None:
+    def __init__(
+        self,
+        provider: TopologyProvider | TopologyGraph,
+        exclude_unhealthy: bool = True,
+    ) -> None:
         self._provider = provider
+        self.exclude_unhealthy = exclude_unhealthy
 
     def snapshot(self) -> TopologyGraph:
         """A fresh topology snapshot from the provider."""
         if isinstance(self._provider, TopologyGraph):
             return self._provider
         return self._provider.topology()
+
+    def _gate(self, eligible: Optional[Callable]) -> Optional[Callable]:
+        """Compose an eligibility predicate with the health exclusion."""
+        if not self.exclude_unhealthy:
+            return eligible
+
+        def healthy(node) -> bool:
+            return node_is_selectable(node) and (
+                eligible is None or eligible(node)
+            )
+
+        return healthy
+
+    def validate(self, nodes: Sequence[str]) -> list[str]:
+        """Re-check a placement against a fresh snapshot.
+
+        Returns the selected nodes that have since failed (crashed, gone
+        unmonitorable, or been partitioned away); an empty list means the
+        placement is still viable.  Callers re-select when it is not —
+        link *degradation* (capacity loss without partition) is left to
+        the hysteresis-gated migration path instead, since the placement
+        can still limp along.
+        """
+        return unhealthy_nodes(self.snapshot(), nodes)
 
     def select(
         self, spec: ApplicationSpec, graph: Optional[TopologyGraph] = None
@@ -88,42 +147,44 @@ class NodeSelector:
         if spec.groups:
             return self._select_groups(g, spec, refs)
 
+        eligible = self._gate(spec.eligible)
+
         if spec.num_nodes_range is not None:
             return select_variable_nodes(
                 g, spec.num_nodes_range, spec.speedup_model, refs,
-                eligible=spec.eligible,
+                eligible=eligible,
             )
 
         m = spec.num_nodes
         if spec.min_bandwidth_bps is not None:
             return select_with_bandwidth_floor(
-                g, m, spec.min_bandwidth_bps, refs, eligible=spec.eligible
+                g, m, spec.min_bandwidth_bps, refs, eligible=eligible
             )
         if spec.min_cpu_fraction is not None:
             return select_with_cpu_floor(
-                g, m, spec.min_cpu_fraction, refs, eligible=spec.eligible
+                g, m, spec.min_cpu_fraction, refs, eligible=eligible
             )
         if spec.max_latency_s is not None:
             return select_with_latency_bound(
-                g, m, spec.max_latency_s, refs, eligible=spec.eligible
+                g, m, spec.max_latency_s, refs, eligible=eligible
             )
         if spec.account_simultaneous_streams:
             return select_pattern_aware(
-                g, m, spec.pattern, refs, eligible=spec.eligible
+                g, m, spec.pattern, refs, eligible=eligible
             )
 
         if not g.is_acyclic():
             # Cycles + static routing (§3.3): route-aware procedures.
             return select_routed(
                 g, m, RoutingTable(g), objective=spec.objective, refs=refs,
-                eligible=spec.eligible,
+                eligible=eligible,
             )
 
         if spec.objective == Objective.COMPUTE:
-            return select_max_compute(g, m, refs, eligible=spec.eligible)
+            return select_max_compute(g, m, refs, eligible=eligible)
         if spec.objective == Objective.BANDWIDTH:
-            return select_max_bandwidth(g, m, refs, eligible=spec.eligible)
-        return select_balanced(g, m, refs, eligible=spec.eligible)
+            return select_max_bandwidth(g, m, refs, eligible=eligible)
+        return select_balanced(g, m, refs, eligible=eligible)
 
     def _select_groups(
         self, g: TopologyGraph, spec: ApplicationSpec, refs: References
@@ -141,14 +202,15 @@ class NodeSelector:
                 f"(got {len(spec.groups)})"
             )
         server, client = spec.groups
+        eligible = self._gate(spec.eligible)
 
         def server_ok(node):
-            if spec.eligible is not None and not spec.eligible(node):
+            if eligible is not None and not eligible(node):
                 return False
             return server.admits(node)
 
         def client_ok(node):
-            if spec.eligible is not None and not spec.eligible(node):
+            if eligible is not None and not eligible(node):
                 return False
             return client.admits(node)
 

@@ -5,7 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Selection", "NoFeasibleSelection"]
+__all__ = ["Selection", "NoFeasibleSelection", "node_is_selectable"]
+
+
+def node_is_selectable(node) -> bool:
+    """False for nodes a snapshot marks failed or unmonitorable.
+
+    ``attrs["down"]`` is set by the ground-truth oracle
+    (:meth:`repro.network.cluster.Cluster.snapshot`) for crashed hosts;
+    ``attrs["unmonitorable"]`` by degraded-mode Remos queries
+    (:meth:`repro.remos.api.RemosAPI.topology`) for nodes whose monitoring
+    went stale.  Selection must never place work on either.
+    """
+    attrs = node.attrs
+    return not (attrs.get("down") or attrs.get("unmonitorable"))
 
 
 class NoFeasibleSelection(Exception):

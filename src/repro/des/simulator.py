@@ -65,6 +65,25 @@ class Simulator:
         """Register ``generator`` as a new process starting now."""
         return Process(self, generator, name=name)
 
+    def call_in(self, delay: float, fn) -> Timeout:
+        """Invoke ``fn()`` after ``delay`` time units.
+
+        A lightweight alternative to a full process for one-shot actions
+        (fault injection, recovery timers).  Returns the underlying timeout
+        event so callers can cancel interest by ignoring it.
+        """
+        if delay < 0:
+            raise ValueError(f"delay cannot be negative: {delay}")
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def call_at(self, time: float, fn) -> Timeout:
+        """Invoke ``fn()`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(f"time {time} is in the past (now={self._now})")
+        return self.call_in(time - self._now, fn)
+
     def all_of(self, events) -> AllOf:
         """Event firing when all of ``events`` have fired."""
         return AllOf(self, events)

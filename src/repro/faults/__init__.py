@@ -1,0 +1,30 @@
+"""Fault injection and fault scenarios for the simulated cluster.
+
+The paper's premise is node selection on a *shared, unreliable* network;
+this package supplies the unreliability.  :class:`FaultInjector` applies
+agent outages, node crashes/recoveries, link flaps and counter resets as
+DES events; :func:`random_fault_plan` draws reproducible fault mixes for
+experiments.  The hardened collector (:mod:`repro.remos.collector`),
+degraded-mode queries (:mod:`repro.remos.api`) and health-aware selection
+(:mod:`repro.core.selector`) are exercised against exactly these faults.
+"""
+
+from .injector import (
+    AgentOutage,
+    CounterReset,
+    Fault,
+    FaultInjector,
+    LinkFlap,
+    NodeCrash,
+)
+from .scenario import random_fault_plan
+
+__all__ = [
+    "AgentOutage",
+    "CounterReset",
+    "Fault",
+    "FaultInjector",
+    "LinkFlap",
+    "NodeCrash",
+    "random_fault_plan",
+]

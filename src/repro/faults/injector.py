@@ -1,0 +1,244 @@
+"""Fault injection for the simulated cluster and its monitoring plane.
+
+The injector turns the failure modes a shared network actually exhibits
+into scheduled DES events:
+
+- **Agent outages** — SNMP polls to a device go unanswered for a window
+  (the collector retries, then marks resources stale);
+- **Node crashes / recoveries** — a compute host aborts its work, drops
+  off the network, and stops answering its agents;
+- **Link flaps** — a link's capacity drops to zero and comes back,
+  possibly repeatedly;
+- **Counter resets** — a device reboot restarts its octet counters at
+  zero (and bounded counters wrap on their own under traffic).
+
+Faults are plain frozen dataclasses (a *plan* is just a list of them), so
+scenarios are serializable-in-spirit, reproducible, and easy to generate
+randomly (:mod:`repro.faults.scenario`).  Injection goes through the same
+public surfaces operators have (``Cluster.fail_node``,
+``Fabric.fail_link``, agent silencing) — no hidden back-doors into the
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..network.cluster import Cluster
+from ..remos.collector import Collector
+
+__all__ = [
+    "AgentOutage",
+    "CounterReset",
+    "Fault",
+    "FaultInjector",
+    "LinkFlap",
+    "NodeCrash",
+]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash ``node`` at ``at``; recover after ``downtime`` (None: never)."""
+
+    node: str
+    at: float
+    downtime: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time cannot be negative: {self.at}")
+        if self.downtime is not None and self.downtime <= 0:
+            raise ValueError(f"downtime must be positive: {self.downtime}")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Take link ``u``--``v`` down at ``at`` for ``downtime`` seconds.
+
+    ``cycles`` > 1 repeats the flap with ``gap`` seconds of uptime between
+    cycles — the classic flapping interface.
+    """
+
+    u: str
+    v: str
+    at: float
+    downtime: float
+    cycles: int = 1
+    gap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"flap time cannot be negative: {self.at}")
+        if self.downtime <= 0:
+            raise ValueError(f"downtime must be positive: {self.downtime}")
+        if self.cycles < 1:
+            raise ValueError(f"cycles must be >= 1: {self.cycles}")
+        if self.gap < 0:
+            raise ValueError(f"gap cannot be negative: {self.gap}")
+
+
+@dataclass(frozen=True)
+class AgentOutage:
+    """SNMP agents on ``device`` stop answering for ``duration`` seconds."""
+
+    device: str
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"outage time cannot be negative: {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+
+
+@dataclass(frozen=True)
+class CounterReset:
+    """Reboot ``device``'s counters at ``at`` (octet counters restart at 0)."""
+
+    device: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"reset time cannot be negative: {self.at}")
+
+
+Fault = Union[NodeCrash, LinkFlap, AgentOutage, CounterReset]
+
+
+class FaultInjector:
+    """Schedules and applies faults against one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to disturb.
+    collector:
+        The Remos collector whose agents monitoring-plane faults (agent
+        outages, counter resets) act on.  Optional: without it only
+        node/link faults are available.
+
+    Every applied fault is appended to :attr:`log` as
+    ``(sim_time, kind, target)`` for reports and assertions.
+    """
+
+    def __init__(
+        self, cluster: Cluster, collector: Optional[Collector] = None
+    ) -> None:
+        self.cluster = cluster
+        self.collector = collector
+        self.log: list[tuple[float, str, str]] = []
+
+    # -- immediate primitives ---------------------------------------------------
+    def _record(self, kind: str, target: str) -> None:
+        self.log.append((self.cluster.sim.now, kind, target))
+
+    def crash_node(self, name: str) -> None:
+        """Crash compute node ``name`` right now."""
+        self.cluster.fail_node(name)
+        self._record("node-crash", name)
+
+    def recover_node(self, name: str) -> None:
+        """Recover compute node ``name`` right now."""
+        self.cluster.recover_node(name)
+        self._record("node-recover", name)
+
+    def fail_link(self, u: str, v: str) -> None:
+        """Take link ``u``--``v`` down right now."""
+        self.cluster.fabric.fail_link(u, v)
+        self._record("link-down", f"{u}--{v}")
+
+    def restore_link(self, u: str, v: str) -> None:
+        """Restore link ``u``--``v`` to nominal capacity right now."""
+        self.cluster.fabric.restore_link(u, v)
+        self._record("link-up", f"{u}--{v}")
+
+    def _agents_for(self, device: str):
+        if self.collector is None:
+            raise ValueError(
+                "monitoring-plane faults need a collector "
+                "(FaultInjector(cluster, collector))"
+            )
+        agents = []
+        iface = self.collector.iface_agents.get(device)
+        if iface is not None:
+            agents.append(iface)
+        host = self.collector.host_agents.get(device)
+        if host is not None:
+            agents.append(host)
+        if not agents:
+            raise KeyError(f"no agents on device {device!r}")
+        return agents
+
+    def silence_agents(self, device: str, duration: float) -> None:
+        """Make every agent on ``device`` unresponsive for ``duration`` s."""
+        for agent in self._agents_for(device):
+            agent.silence_for(duration)
+        self._record("agent-outage", device)
+
+    def reset_counters(self, device: str) -> None:
+        """Reboot ``device``'s interface counters (restart at zero)."""
+        if self.collector is None:
+            raise ValueError(
+                "monitoring-plane faults need a collector "
+                "(FaultInjector(cluster, collector))"
+            )
+        try:
+            agent = self.collector.iface_agents[device]
+        except KeyError:
+            raise KeyError(f"no interface agent on device {device!r}") from None
+        agent.reset_counters()
+        self._record("counter-reset", device)
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(self, faults: Iterable[Fault]) -> int:
+        """Register a fault plan; each fault fires at its absolute time.
+
+        Returns the number of faults scheduled.  Times in the past (the
+        simulation may already have advanced) raise ``ValueError`` —
+        injecting history is a scenario bug, not a degraded mode.
+        """
+        sim = self.cluster.sim
+        count = 0
+        for fault in faults:
+            # Validate targets now, not at fire time, so a bad plan fails
+            # loudly at scheduling instead of deep inside the event loop.
+            if isinstance(fault, NodeCrash):
+                self.cluster.host(fault.node)
+                sim.call_at(fault.at, lambda f=fault: self.crash_node(f.node))
+                if fault.downtime is not None:
+                    sim.call_at(
+                        fault.at + fault.downtime,
+                        lambda f=fault: self.recover_node(f.node),
+                    )
+            elif isinstance(fault, LinkFlap):
+                self.cluster.graph.link(fault.u, fault.v)
+                cycle = fault.downtime + fault.gap
+                for i in range(fault.cycles):
+                    down_at = fault.at + i * cycle
+                    sim.call_at(
+                        down_at, lambda f=fault: self.fail_link(f.u, f.v)
+                    )
+                    sim.call_at(
+                        down_at + fault.downtime,
+                        lambda f=fault: self.restore_link(f.u, f.v),
+                    )
+            elif isinstance(fault, AgentOutage):
+                self._agents_for(fault.device)
+                sim.call_at(
+                    fault.at,
+                    lambda f=fault: self.silence_agents(f.device, f.duration),
+                )
+            elif isinstance(fault, CounterReset):
+                # Validate the device now, not at fire time.
+                self._agents_for(fault.device)
+                sim.call_at(
+                    fault.at, lambda f=fault: self.reset_counters(f.device)
+                )
+            else:
+                raise TypeError(f"unknown fault {fault!r}")
+            count += 1
+        return count

@@ -1,0 +1,118 @@
+"""Randomized fault plans for experiments and property tests.
+
+:func:`random_fault_plan` draws a reproducible mix of node crashes, link
+flaps, agent outages and counter resets over a time horizon from a numpy
+``Generator`` — the fault-model analogue of the background load/traffic
+generators of §4.2.  The plan never crashes more than a configurable
+fraction of the compute nodes at once, so feasible selections keep
+existing and experiments measure *degraded* operation, not total outage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..network.cluster import Cluster
+from .injector import AgentOutage, CounterReset, Fault, LinkFlap, NodeCrash
+
+__all__ = ["random_fault_plan"]
+
+
+def random_fault_plan(
+    cluster: Cluster,
+    rng: np.random.Generator,
+    horizon: float,
+    start: float = 0.0,
+    n_crashes: int = 1,
+    n_flaps: int = 1,
+    n_outages: int = 2,
+    n_resets: int = 1,
+    max_down_fraction: float = 0.34,
+    mean_downtime: Optional[float] = None,
+) -> list[Fault]:
+    """Draw a reproducible fault plan for ``cluster`` over ``[start, start+horizon)``.
+
+    Parameters
+    ----------
+    cluster:
+        Target cluster (names are drawn from its hosts and links).
+    rng:
+        Random stream; the plan is a pure function of it.
+    horizon:
+        Length of the injection window in seconds.
+    start:
+        Absolute time the window opens (fault times are >= start).
+    n_crashes / n_flaps / n_outages / n_resets:
+        How many faults of each kind to draw.
+    max_down_fraction:
+        At most this fraction of compute nodes is ever crashed (crash
+        targets are distinct; the cap bounds simultaneous downtime).
+    mean_downtime:
+        Mean crash/outage duration (default: a quarter of the horizon).
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if not 0 < max_down_fraction <= 1:
+        raise ValueError(
+            f"max_down_fraction must be in (0, 1], got {max_down_fraction}"
+        )
+    hosts = sorted(cluster.hosts)
+    devices = sorted(n.name for n in cluster.graph.nodes())
+    links = sorted(
+        (link.u, link.v) for link in cluster.graph.links()
+    )
+    mean_down = mean_downtime if mean_downtime is not None else horizon / 4.0
+
+    def when() -> float:
+        return float(start + rng.uniform(0.0, horizon))
+
+    plan: list[Fault] = []
+    max_crashed = max(1, int(len(hosts) * max_down_fraction))
+    crash_targets = [
+        str(h)
+        for h in rng.choice(
+            hosts, size=min(n_crashes, max_crashed), replace=False
+        )
+    ]
+    for host in crash_targets:
+        # Half the crashes recover inside the horizon, half persist.
+        downtime = (
+            float(rng.exponential(mean_down)) + 1.0
+            if rng.random() < 0.5
+            else None
+        )
+        plan.append(NodeCrash(node=host, at=when(), downtime=downtime))
+
+    for _ in range(n_flaps):
+        if not links:
+            break
+        u, v = links[int(rng.integers(len(links)))]
+        plan.append(
+            LinkFlap(
+                u=u,
+                v=v,
+                at=when(),
+                downtime=float(rng.uniform(1.0, mean_down + 1.0)),
+                cycles=int(rng.integers(1, 4)),
+                gap=float(rng.uniform(1.0, 10.0)),
+            )
+        )
+
+    for _ in range(n_outages):
+        device = devices[int(rng.integers(len(devices)))]
+        plan.append(
+            AgentOutage(
+                device=device,
+                at=when(),
+                duration=float(rng.exponential(mean_down)) + 1.0,
+            )
+        )
+
+    for _ in range(n_resets):
+        device = devices[int(rng.integers(len(devices)))]
+        plan.append(CounterReset(device=device, at=when()))
+
+    plan.sort(key=lambda f: f.at)
+    return plan

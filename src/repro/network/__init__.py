@@ -10,7 +10,7 @@ substitution preserves the quantities the selection algorithms consume.
 from .cluster import Cluster
 from .fabric import ChannelId, Fabric, Flow
 from .fairshare import max_min_fair
-from .host import ComputeTask, Host
+from .host import ComputeTask, Host, HostDownError
 
 __all__ = [
     "ChannelId",
@@ -19,5 +19,6 @@ __all__ = [
     "Fabric",
     "Flow",
     "Host",
+    "HostDownError",
     "max_min_fair",
 ]

@@ -68,6 +68,35 @@ class Cluster:
         except KeyError:
             raise KeyError(f"no compute host {name!r}") from None
 
+    # -- failure state --------------------------------------------------------
+    def node_is_up(self, name: str) -> bool:
+        """True unless ``name`` is a crashed compute host.
+
+        Network nodes (switches/routers) are always up in this model; link
+        failures are expressed through the fabric's channel capacities.
+        """
+        host = self.hosts.get(name)
+        return host.up if host is not None else True
+
+    def fail_node(self, name: str) -> None:
+        """Crash compute node ``name``.
+
+        The host aborts its tasks and refuses new work, and every incident
+        link goes down (a dead machine's NIC answers nobody), stalling
+        in-flight flows that touch it.  Its SNMP agents stop answering, so
+        Remos learns of the crash only through missed polls — exactly the
+        partial information a real monitor has.
+        """
+        self.host(name).fail()
+        for link in self.graph.incident_links(name):
+            self.fabric.fail_link(link.u, link.v)
+
+    def recover_node(self, name: str) -> None:
+        """Bring a crashed node back (fresh boot, incident links restored)."""
+        self.host(name).recover()
+        for link in self.graph.incident_links(name):
+            self.fabric.restore_link(link.u, link.v)
+
     def compute(self, name: str, ops: float) -> ComputeTask:
         """Run ``ops`` operations on host ``name`` (processor-shared)."""
         return self.host(name).run(ops)
@@ -88,6 +117,8 @@ class Cluster:
         g = self.graph.copy()
         for name, host in self.hosts.items():
             g.node(name).load_average = host.load_average
+            if not host.up:
+                g.node(name).attrs["down"] = True
         for link in g.links():
             phys = self.graph.link(link.u, link.v)
             if phys.attrs.get("duplex") == "half":

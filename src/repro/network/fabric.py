@@ -173,6 +173,19 @@ class Fabric:
         """Restore link ``u``--``v`` to its nominal peak capacity."""
         self.degrade_link(u, v, self.graph.link(u, v).maxbw)
 
+    def fail_link(self, u: str, v: str) -> None:
+        """Take link ``u``--``v`` down (capacity 0: flows stall until repair)."""
+        self.degrade_link(u, v, 0.0)
+
+    def link_up(self, u: str, v: str) -> bool:
+        """True while every channel of link ``u``--``v`` has capacity."""
+        link = self.graph.link(u, v)
+        if link.attrs.get("duplex") == "half":
+            return self._capacities[(link.key, "shared")] > 0
+        return all(
+            self._capacities[(link.key, dst)] > 0 for dst in (link.u, link.v)
+        )
+
     # -- transfers ---------------------------------------------------------------
     def transfer(self, src: str, dst: str, size_bytes: float) -> Event:
         """Send ``size_bytes`` from ``src`` to ``dst``.

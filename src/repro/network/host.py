@@ -20,7 +20,11 @@ from typing import TYPE_CHECKING, Optional
 from ..des.events import Event
 from ..des.simulator import Simulator
 
-__all__ = ["Host", "ComputeTask"]
+__all__ = ["Host", "ComputeTask", "HostDownError"]
+
+
+class HostDownError(RuntimeError):
+    """Raised when work is submitted to a crashed host."""
 
 
 class ComputeTask:
@@ -101,12 +105,43 @@ class Host:
         self._load_avg = 0.0
         self._wake: Optional[Event] = None
         self._busy_time = 0.0  # integrated seconds with >=1 task (utilization)
+        self._up = True
 
     # -- public API ----------------------------------------------------------
     @property
     def active_tasks(self) -> int:
         """Number of runnable tasks right now."""
         return len(self._tasks)
+
+    @property
+    def up(self) -> bool:
+        """False while the host is crashed."""
+        return self._up
+
+    def fail(self) -> None:
+        """Crash the host: abort all running tasks, refuse new work.
+
+        Idempotent.  Every in-flight task's ``done`` event fails with
+        ``InterruptedError`` (defused, so unobserved tasks don't take the
+        kernel down — background jobs on a crashed machine just vanish).
+        """
+        if not self._up:
+            return
+        self._settle()
+        self._up = False
+        for task in list(self._tasks):
+            self._abort(task)
+        # A dead machine has an empty run queue; freeze the load average at
+        # zero so a post-recovery poll doesn't report pre-crash load.
+        self._load_avg = 0.0
+
+    def recover(self) -> None:
+        """Bring a crashed host back up (fresh boot: empty queue, zero load)."""
+        if self._up:
+            return
+        self._up = True
+        self._last_settle = self.sim.now
+        self._load_avg = 0.0
 
     @property
     def load_average(self) -> float:
@@ -144,6 +179,8 @@ class Host:
         """
         if ops < 0:
             raise ValueError(f"ops must be non-negative, got {ops}")
+        if not self._up:
+            raise HostDownError(f"host {self.name!r} is down")
         self._settle()
         task = ComputeTask(self, ops)
         if ops == 0:

@@ -8,21 +8,32 @@ The selection framework (:class:`repro.core.NodeSelector`) consumes a
 ``RemosAPI`` directly as its topology provider.
 """
 
-from .api import LinkInfo, RemosAPI
-from .collector import Collector
-from .predictor import Ewma, LastValue, Predictor, SlidingMean
-from .snmp import HostAgent, InterfaceAgent, InterfaceRecord, build_agents
+from .api import DegradedPolicy, LinkInfo, NodeInfo, RemosAPI
+from .collector import Collector, ResourceStatus
+from .predictor import Ewma, LastValue, Predictor, SlidingMean, sample_age
+from .snmp import (
+    AgentTimeout,
+    HostAgent,
+    InterfaceAgent,
+    InterfaceRecord,
+    build_agents,
+)
 
 __all__ = [
+    "AgentTimeout",
     "Collector",
+    "DegradedPolicy",
     "Ewma",
     "HostAgent",
     "InterfaceAgent",
     "InterfaceRecord",
     "LastValue",
     "LinkInfo",
+    "NodeInfo",
     "Predictor",
     "RemosAPI",
+    "ResourceStatus",
     "SlidingMean",
     "build_agents",
+    "sample_age",
 ]

@@ -14,6 +14,18 @@ All answers derive from the collector's measurement history — never from
 the simulator's hidden ground truth — passed through a configurable
 :class:`~repro.remos.predictor.Predictor` (§2.2: history window / current
 conditions / future estimate).
+
+**Degraded mode.**  On a shared network the collector inevitably loses
+samples (agent timeouts, crashed nodes, flapping links).  Instead of
+raising, every answer carries its sample age and a staleness flag, and a
+:class:`DegradedPolicy` decides what value a stale resource reports:
+
+- ``OPTIMISTIC``: last-known-good values, resources never marked — the
+  pre-fault-model behaviour, kept as the naive baseline;
+- ``LAST_GOOD`` (default): last-known-good values, but stale nodes are
+  marked ``unmonitorable`` in the topology so selection can exclude them;
+- ``CONSERVATIVE``: additionally assume the worst — a stale link has zero
+  available bandwidth and a stale node infinite load (CPU fraction 0).
 """
 
 from __future__ import annotations
@@ -27,12 +39,27 @@ from ..topology.graph import TopologyGraph
 from .collector import Collector
 from .predictor import LastValue, Predictor
 
-__all__ = ["RemosAPI", "LinkInfo"]
+__all__ = ["RemosAPI", "LinkInfo", "NodeInfo", "DegradedPolicy"]
+
+
+class DegradedPolicy:
+    """How queries answer for resources with stale/missing measurements."""
+
+    OPTIMISTIC = "optimistic"
+    LAST_GOOD = "last-known-good"
+    CONSERVATIVE = "conservative"
+
+    ALL = (OPTIMISTIC, LAST_GOOD, CONSERVATIVE)
 
 
 @dataclass(frozen=True)
 class LinkInfo:
-    """Per-link information exported by Remos (§2.2)."""
+    """Per-link information exported by Remos (§2.2).
+
+    ``age_s`` is the oldest sample age over the link's channels; ``stale``
+    is set once the collector has missed enough consecutive polls of the
+    link's counters (degraded-mode answer).
+    """
 
     u: str
     v: str
@@ -40,6 +67,8 @@ class LinkInfo:
     utilization_fwd_bps: float  # traffic u -> v
     utilization_rev_bps: float  # traffic v -> u
     latency_s: float
+    age_s: float = 0.0
+    stale: bool = False
 
     @property
     def available_fwd_bps(self) -> float:
@@ -48,6 +77,16 @@ class LinkInfo:
     @property
     def available_rev_bps(self) -> float:
         return max(0.0, self.capacity_bps - self.utilization_rev_bps)
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """Per-node information exported by Remos, with measurement health."""
+
+    name: str
+    load_average: float
+    age_s: float = 0.0
+    stale: bool = False
 
 
 class RemosAPI:
@@ -60,15 +99,29 @@ class RemosAPI:
     predictor:
         Forecast policy applied to measurement histories (default: the
         paper's most-recent-measurement rule).
+    degraded:
+        A :class:`DegradedPolicy` value selecting how stale resources are
+        answered (default: last-known-good, marked).
     """
 
     def __init__(
         self,
         collector: Collector,
         predictor: Optional[Predictor] = None,
+        degraded: str = DegradedPolicy.LAST_GOOD,
     ) -> None:
+        if not isinstance(collector, Collector):
+            raise TypeError(
+                f"collector must be a Collector, got {type(collector).__name__}"
+            )
+        if degraded not in DegradedPolicy.ALL:
+            raise ValueError(
+                f"unknown degraded policy {degraded!r}; "
+                f"expected one of {DegradedPolicy.ALL}"
+            )
         self.collector = collector
         self.predictor = predictor or LastValue()
+        self.degraded = degraded
 
     @property
     def cluster(self) -> Cluster:
@@ -77,29 +130,48 @@ class RemosAPI:
     # -- §2.2 query levels ---------------------------------------------------
     def current(self) -> "RemosAPI":
         """A view answering from *current* conditions (last measurement)."""
-        return RemosAPI(self.collector, predictor=LastValue())
+        return RemosAPI(self.collector, predictor=LastValue(),
+                        degraded=self.degraded)
 
     def windowed(self, seconds: float) -> "RemosAPI":
         """A view answering from a fixed window of history (mean)."""
         from .predictor import SlidingMean
-        return RemosAPI(self.collector, predictor=SlidingMean(seconds))
+        return RemosAPI(self.collector, predictor=SlidingMean(seconds),
+                        degraded=self.degraded)
 
     def forecast(self, alpha: float = 0.3) -> "RemosAPI":
         """A view answering with an EWMA estimate of future availability."""
         from .predictor import Ewma
-        return RemosAPI(self.collector, predictor=Ewma(alpha))
+        return RemosAPI(self.collector, predictor=Ewma(alpha),
+                        degraded=self.degraded)
 
     # -- node-level queries ------------------------------------------------------
+    def node_info(self, name: str) -> NodeInfo:
+        """Forecast load plus measurement health for one compute node."""
+        history = self.collector.load_history(name)
+        status = self.collector.host_status(name)
+        if not history:
+            # An unmonitored node looks idle — exactly the optimistic error
+            # a fresh monitor makes.  (Not stale: nothing was ever missed.)
+            load = 0.0
+        elif status.stale and self.degraded == DegradedPolicy.CONSERVATIVE:
+            load = float("inf")
+        else:
+            load = max(0.0, self.predictor.predict(history))
+        return NodeInfo(
+            name=name,
+            load_average=load,
+            age_s=status.age_s,
+            stale=status.stale and self.degraded != DegradedPolicy.OPTIMISTIC,
+        )
+
     def node_load(self, name: str) -> float:
         """Forecast load average of a compute node.
 
-        Returns 0.0 when no measurement exists yet (an unmonitored node
-        looks idle — exactly the optimistic error a fresh monitor makes).
+        Returns 0.0 when no measurement exists yet; under the conservative
+        degraded policy a *stale* node reports infinite load instead.
         """
-        history = self.collector.load_history(name)
-        if not history:
-            return 0.0
-        return max(0.0, self.predictor.predict(history))
+        return self.node_info(name).load_average
 
     # -- link-level queries ------------------------------------------------------
     def _channel_utilization(self, channel) -> float:
@@ -109,16 +181,23 @@ class RemosAPI:
         return max(0.0, self.predictor.predict(history))
 
     def link_info(self, u: str, v: str) -> LinkInfo:
-        """Capacity, measured utilization and latency for one link."""
+        """Capacity, measured utilization, latency and health for one link."""
         graph = self.cluster.graph
         link = graph.link(u, v)
-        fab = self.cluster.fabric
         if link.attrs.get("duplex") == "half":
-            util = self._channel_utilization((link.key, "shared"))
+            cids = [(link.key, "shared")]
+            util = self._channel_utilization(cids[0])
             fwd = rev = util
         else:
-            fwd = self._channel_utilization((link.key, link.v))
-            rev = self._channel_utilization((link.key, link.u))
+            cids = [(link.key, link.v), (link.key, link.u)]
+            fwd = self._channel_utilization(cids[0])
+            rev = self._channel_utilization(cids[1])
+        statuses = [self.collector.channel_status(cid) for cid in cids]
+        age = max(s.age_s for s in statuses)
+        stale = any(s.stale for s in statuses)
+        if stale and self.degraded == DegradedPolicy.CONSERVATIVE:
+            # Assume the worst of an unobservable link: fully utilized.
+            fwd = rev = link.maxbw
         # Orient the answer to the argument order.
         if (u, v) != (link.u, link.v):
             fwd, rev = rev, fwd
@@ -129,6 +208,8 @@ class RemosAPI:
             utilization_fwd_bps=fwd,
             utilization_rev_bps=rev,
             latency_s=link.latency,
+            age_s=age,
+            stale=stale and self.degraded != DegradedPolicy.OPTIMISTIC,
         )
 
     # -- the logical topology query ----------------------------------------------
@@ -137,11 +218,22 @@ class RemosAPI:
 
         This is the graph the node-selection procedures run on: compute
         nodes carry forecast load averages, links carry forecast available
-        bandwidth per direction.
+        bandwidth per direction.  Under a non-optimistic degraded policy,
+        nodes whose monitoring went stale additionally carry
+        ``attrs["unmonitorable"] = True`` so health-aware selection
+        (:class:`repro.core.NodeSelector`) can exclude them.
         """
         g = self.cluster.graph.copy()
+        mark = self.degraded != DegradedPolicy.OPTIMISTIC
         for name in self.cluster.hosts:
-            g.node(name).load_average = self.node_load(name)
+            info = self.node_info(name)
+            node = g.node(name)
+            node.load_average = (
+                info.load_average if info.load_average != float("inf")
+                else _UNMONITORABLE_LOAD
+            )
+            if mark and info.stale:
+                node.attrs["unmonitorable"] = True
         for link in g.links():
             info = self.link_info(link.u, link.v)
             link.set_available(
@@ -150,6 +242,8 @@ class RemosAPI:
             link.set_available(
                 min(link.maxbw, info.available_rev_bps), direction=link.u
             )
+            if mark and info.stale:
+                link.attrs["stale"] = True
         return g
 
     # -- flow queries --------------------------------------------------------------
@@ -163,8 +257,17 @@ class RemosAPI:
         §2.2: flow queries "account for sharing of network links by
         multiple flows" — if two requested flows cross the same link, each
         is quoted its max-min fair share of the link's *remaining*
-        capacity.  Disconnected pairs are quoted 0.
+        capacity.  Disconnected pairs are quoted 0.  Unknown node names
+        raise ``KeyError`` immediately.
         """
+        graph = self.cluster.graph
+        for src, dst in pairs:
+            for name in (src, dst):
+                if not graph.has_node(name):
+                    raise KeyError(
+                        f"unknown node {name!r} in flow query "
+                        f"({src!r} -> {dst!r})"
+                    )
         topo = self.topology()
         routing = self.cluster.routing
         flows: dict[int, list] = {}
@@ -192,3 +295,9 @@ class RemosAPI:
             rates = max_min_fair(flows, capacities)
             quotes.update(rates)
         return [quotes[i] for i in range(len(pairs))]
+
+
+#: Load average stood in for "infinite" on unmonitorable nodes in topology
+#: snapshots: keeps ``cpu = 1/(1+load)`` effectively zero while remaining
+#: finite for serialization and arithmetic downstream.
+_UNMONITORABLE_LOAD = 1e9

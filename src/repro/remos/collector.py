@@ -6,21 +6,45 @@ SNMP-based monitors compute it), and a bounded history of utilization and
 load samples is retained so queries can be answered over "a fixed window of
 history, current network conditions, or an estimate of the future
 availability" (§2.2).
+
+Collection is hardened against the failure modes of a shared network:
+
+- an agent that does not answer (:class:`~repro.remos.snmp.AgentTimeout`)
+  is retried within the poll round with exponential backoff; a resource
+  whose agents miss ``stale_after`` consecutive rounds is marked *stale*;
+- octet-counter deltas detect 32-bit wraps (delta recovered modulo the
+  counter) and counter resets (sample dropped), and are clamped to the
+  interface speed — derived utilization can never be negative or absurd.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Optional
 
 from ..network.cluster import Cluster
 from ..network.fabric import ChannelId
 from ..units import BITS_PER_BYTE
-from .snmp import build_agents
+from .snmp import AgentTimeout, InterfaceRecord, build_agents
 
-__all__ = ["Collector"]
+__all__ = ["Collector", "ResourceStatus"]
 
 Sample = tuple[float, float]
+
+#: Tolerance on the implied rate when validating a wrapped counter delta:
+#: anything above this multiple of the interface speed is a reset, not a
+#: wrap (real monitors use the same plausibility test).
+_WRAP_RATE_SLACK = 1.25
+
+
+@dataclass(frozen=True)
+class ResourceStatus:
+    """Health of one monitored resource, as seen by the collector."""
+
+    age_s: float        # seconds since the last successful sample (inf: never)
+    missed_polls: int   # consecutive poll rounds without a sample
+    stale: bool         # missed_polls >= the collector's stale_after
 
 
 class Collector:
@@ -38,6 +62,16 @@ class Collector:
     start:
         If True (default), the polling process starts immediately at
         construction and runs for the life of the simulation.
+    max_retries:
+        How many times an unresponsive agent is re-polled within one round
+        before the round gives up on it.
+    backoff:
+        Base delay (seconds) before the first retry; doubles per attempt.
+    stale_after:
+        Consecutive missed rounds after which a resource is flagged stale.
+    counter_bits:
+        Passed to the interface agents: bound exported octet counters at
+        ``2**counter_bits`` (None: unbounded).
     """
 
     def __init__(
@@ -46,15 +80,32 @@ class Collector:
         period: float = 5.0,
         history: int = 120,
         start: bool = True,
+        max_retries: int = 2,
+        backoff: float = 0.5,
+        stale_after: int = 3,
+        counter_bits: Optional[int] = None,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         if history < 2:
             raise ValueError(f"history must hold >= 2 samples, got {history}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative: {max_retries}")
+        if backoff <= 0:
+            raise ValueError(f"backoff must be positive, got {backoff}")
+        if stale_after < 1:
+            raise ValueError(f"stale_after must be >= 1, got {stale_after}")
+        if counter_bits is not None and counter_bits < 8:
+            raise ValueError(f"counter_bits must be >= 8, got {counter_bits}")
         self.cluster = cluster
         self.period = float(period)
         self.history = history
-        self.iface_agents, self.host_agents = build_agents(cluster)
+        self.max_retries = max_retries
+        self.backoff = float(backoff)
+        self.stale_after = stale_after
+        self.iface_agents, self.host_agents = build_agents(
+            cluster, counter_bits=counter_bits
+        )
         #: channel -> deque of (t, utilization_bps) derived samples
         self._util: dict[ChannelId, deque[Sample]] = {}
         #: channel -> last raw (t, octets) reading, for delta computation
@@ -63,42 +114,143 @@ class Collector:
         self._load: dict[str, deque[Sample]] = {
             name: deque(maxlen=history) for name in self.host_agents
         }
+        #: channel -> devices whose interface agent reports it
+        self._reporters: dict[ChannelId, set[str]] = {}
+        for name, agent in self.iface_agents.items():
+            for cid in agent.interfaces:
+                self._reporters.setdefault(cid, set()).add(name)
+        self._channel_misses: dict[ChannelId, int] = {
+            cid: 0 for cid in self._reporters
+        }
+        self._host_misses: dict[str, int] = {name: 0 for name in self.host_agents}
         self.polls_completed = 0
+        #: counter-delta samples dropped as resets/implausible wraps
+        self.dropped_samples = 0
+        #: agent polls that timed out (before and including retries)
+        self.failed_polls = 0
         if start:
             cluster.sim.process(self._run(), name="remos-collector")
 
     # -- polling --------------------------------------------------------------
-    def poll_once(self) -> None:
-        """One synchronous poll of every agent (also used by tests)."""
-        now = self.cluster.sim.now
+    def _ingest_record(self, rec: InterfaceRecord) -> None:
+        """Fold one counter reading into the utilization history.
+
+        Handles wrap (delta recovered modulo ``counter_max`` when the
+        implied rate stays plausible) and reset (negative delta with no
+        plausible wrap: drop the interval — there is no way to know how
+        many octets the reboot swallowed).
+        """
+        prev = self._raw.get(rec.channel)
+        self._raw[rec.channel] = (rec.timestamp, rec.out_octets)
+        if prev is None:
+            return
+        t0, octets0 = prev
+        dt = rec.timestamp - t0
+        if dt <= 0:
+            return
+        delta = rec.out_octets - octets0
+        if delta < 0:
+            wrapped = None
+            if rec.counter_max is not None and octets0 <= rec.counter_max:
+                wrapped = delta + rec.counter_max
+                if (
+                    wrapped * BITS_PER_BYTE / dt
+                    > rec.speed_bps * _WRAP_RATE_SLACK
+                ):
+                    wrapped = None  # too fast to be a wrap: a reset
+            if wrapped is None:
+                self.dropped_samples += 1
+                return
+            delta = wrapped
+        util = min(delta * BITS_PER_BYTE / dt, rec.speed_bps)
+        self._util.setdefault(
+            rec.channel, deque(maxlen=self.history)
+        ).append((rec.timestamp, util))
+
+    def _poll_subset(
+        self, iface_names, host_names
+    ) -> tuple[list[str], list[str]]:
+        """Poll the named agents once; returns (failed_iface, failed_host).
+
+        Successful reads record samples and clear the resource's miss
+        counters; failures are only reported — the caller decides whether
+        the round is over (and misses should be counted) or a retry is due.
+        """
         seen: set[ChannelId] = set()
-        for agent in self.iface_agents.values():
-            for rec in agent.read():
+        failed_iface: list[str] = []
+        failed_host: list[str] = []
+        for name in iface_names:
+            agent = self.iface_agents[name]
+            try:
+                records = agent.read()
+            except AgentTimeout:
+                self.failed_polls += 1
+                failed_iface.append(name)
+                continue
+            for rec in records:
+                self._channel_misses[rec.channel] = 0
                 if rec.channel in seen:
                     continue  # half-duplex channels reported by both ends
                 seen.add(rec.channel)
-                prev = self._raw.get(rec.channel)
-                self._raw[rec.channel] = (rec.timestamp, rec.out_octets)
-                if prev is None:
-                    continue
-                t0, octets0 = prev
-                dt = rec.timestamp - t0
-                if dt <= 0:
-                    continue
-                util = (rec.out_octets - octets0) * BITS_PER_BYTE / dt
-                self._util.setdefault(
-                    rec.channel, deque(maxlen=self.history)
-                ).append((rec.timestamp, util))
-        for name, agent in self.host_agents.items():
-            t, load = agent.read()
+                self._ingest_record(rec)
+        for name in host_names:
+            agent = self.host_agents[name]
+            try:
+                t, load = agent.read()
+            except AgentTimeout:
+                self.failed_polls += 1
+                failed_host.append(name)
+                continue
             self._load[name].append((t, load))
+            self._host_misses[name] = 0
+        return failed_iface, failed_host
+
+    def _count_misses(self, failed_iface: list[str], failed_host: list[str]) -> None:
+        """Close a poll round: charge a miss to every un-sampled resource."""
+        dead = set(failed_iface)
+        for cid, reporters in self._reporters.items():
+            if reporters <= dead:
+                self._channel_misses[cid] += 1
+        for name in failed_host:
+            self._host_misses[name] += 1
+
+    def poll_once(self) -> list[str]:
+        """One synchronous poll round of every agent (also used by tests).
+
+        Returns the names of devices whose agent(s) did not answer; their
+        resources are charged a missed round.  The background process
+        (:meth:`_run`) retries those before charging misses instead.
+        """
+        failed_iface, failed_host = self._poll_subset(
+            self.iface_agents, self.host_agents
+        )
+        self._count_misses(failed_iface, failed_host)
         self.polls_completed += 1
+        return sorted(set(failed_iface) | set(failed_host))
 
     def _run(self):
         sim = self.cluster.sim
         while True:
-            self.poll_once()
-            yield sim.timeout(self.period)
+            round_start = sim.now
+            failed_iface, failed_host = self._poll_subset(
+                self.iface_agents, self.host_agents
+            )
+            delay = self.backoff
+            for _attempt in range(self.max_retries):
+                if not (failed_iface or failed_host):
+                    break
+                yield sim.timeout(delay)
+                delay *= 2.0
+                failed_iface, failed_host = self._poll_subset(
+                    failed_iface, failed_host
+                )
+            self._count_misses(failed_iface, failed_host)
+            self.polls_completed += 1
+            # Keep the round cadence: next round starts one period after
+            # this one began (retries eat into the idle gap, never drift
+            # the schedule — unless they overran the whole period).
+            spent = sim.now - round_start
+            yield sim.timeout(max(self.period - spent, self.period * 0.1))
 
     # -- query surface ----------------------------------------------------------
     def utilization_history(self, channel: ChannelId) -> list[Sample]:
@@ -123,3 +275,42 @@ class Collector:
             default=float("-inf"),
         )
         return self.cluster.sim.now - newest
+
+    # -- health surface ---------------------------------------------------------
+    def host_status(self, host: str) -> ResourceStatus:
+        """Sample age and staleness of one compute node's load series."""
+        try:
+            missed = self._host_misses[host]
+        except KeyError:
+            raise KeyError(f"no monitored host {host!r}") from None
+        history = self._load[host]
+        age = (
+            self.cluster.sim.now - history[-1][0] if history else float("inf")
+        )
+        return ResourceStatus(
+            age_s=age, missed_polls=missed, stale=missed >= self.stale_after
+        )
+
+    def channel_status(self, channel: ChannelId) -> ResourceStatus:
+        """Sample age and staleness of one channel's counter series."""
+        try:
+            missed = self._channel_misses[channel]
+        except KeyError:
+            raise KeyError(f"no monitored channel {channel!r}") from None
+        last = self._raw.get(channel)
+        age = self.cluster.sim.now - last[0] if last else float("inf")
+        return ResourceStatus(
+            age_s=age, missed_polls=missed, stale=missed >= self.stale_after
+        )
+
+    def host_stale(self, host: str) -> bool:
+        """True once a node has missed ``stale_after`` consecutive rounds."""
+        return self.host_status(host).stale
+
+    def stale_hosts(self) -> list[str]:
+        """All currently unmonitorable compute nodes, sorted."""
+        return sorted(
+            name
+            for name, missed in self._host_misses.items()
+            if missed >= self.stale_after
+        )

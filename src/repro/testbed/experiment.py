@@ -18,7 +18,9 @@ from ..core.baselines import select_random, select_static
 from ..core.selector import NodeSelector
 from ..core.types import Selection
 from ..des.simulator import Simulator
+from ..faults.injector import FaultInjector
 from ..network.cluster import Cluster
+from ..network.host import HostDownError
 from ..remos.api import RemosAPI
 from ..remos.collector import Collector
 from ..workloads.load import LoadGenerator
@@ -31,13 +33,19 @@ __all__ = ["TrialResult", "CampaignResult", "run_trial", "run_campaign"]
 
 @dataclass
 class TrialResult:
-    """Outcome of one trial."""
+    """Outcome of one trial.
+
+    ``completed`` is False when the application died mid-run (it was
+    placed on a node that crashed, or its placement crashed under it);
+    ``elapsed_seconds`` is ``inf`` in that case.
+    """
 
     scenario_label: str
     seed: int
     elapsed_seconds: float
     selection: Selection
     warmup_end: float
+    completed: bool = True
 
 
 @dataclass
@@ -49,15 +57,25 @@ class CampaignResult:
 
     @property
     def times(self) -> np.ndarray:
-        return np.array([t.elapsed_seconds for t in self.trials])
+        """Elapsed times of the *completed* trials."""
+        return np.array(
+            [t.elapsed_seconds for t in self.trials if t.completed]
+        )
+
+    @property
+    def failures(self) -> int:
+        """Trials whose application did not complete (crashed placement)."""
+        return sum(1 for t in self.trials if not t.completed)
 
     @property
     def mean(self) -> float:
-        return float(self.times.mean())
+        times = self.times
+        return float(times.mean()) if len(times) else float("nan")
 
     @property
     def std(self) -> float:
-        return float(self.times.std(ddof=1)) if len(self.trials) > 1 else 0.0
+        times = self.times
+        return float(times.std(ddof=1)) if len(times) > 1 else 0.0
 
     @property
     def n(self) -> int:
@@ -90,30 +108,43 @@ def _select(
 
 
 def run_trial(scenario: Scenario, seed: int) -> TrialResult:
-    """Execute one seeded trial of ``scenario`` on a fresh testbed."""
+    """Execute one seeded trial of ``scenario`` on a fresh testbed.
+
+    With a fault plan active the application may be placed on a node that
+    is (or goes) down; such trials are recorded as not completed instead
+    of propagating — the failure *is* the measurement.
+    """
     seq = np.random.SeedSequence(seed)
-    load_rng, traffic_rng, select_rng = (
-        np.random.default_rng(s) for s in seq.spawn(3)
+    load_rng, traffic_rng, select_rng, fault_rng = (
+        np.random.default_rng(s) for s in seq.spawn(4)
     )
 
     sim = Simulator()
     graph = cmu_testbed()
     cluster = Cluster(sim, graph, base_capacity=1.0, load_tau=60.0)
     collector = Collector(cluster, period=scenario.remos_period)
-    api = RemosAPI(collector)
+    api = RemosAPI(collector, degraded=scenario.degraded)
 
     if scenario.load_on:
         LoadGenerator(cluster, load_rng, config=scenario.load_config)
     if scenario.traffic_on:
         TrafficGenerator(cluster, traffic_rng, config=scenario.traffic_config)
+    if scenario.fault_plan is not None:
+        injector = FaultInjector(cluster, collector)
+        injector.schedule(scenario.fault_plan(cluster, fault_rng))
 
     if scenario.warmup > 0:
         sim.run(until=scenario.warmup)
 
     app = scenario.app_factory()
     selection = _select(scenario, app.spec(), api, cluster, select_rng)
-    done = app.launch(cluster, selection.nodes)
-    elapsed = sim.run(until=done)
+    try:
+        done = app.launch(cluster, selection.nodes)
+        elapsed = sim.run(until=done)
+        completed = True
+    except (HostDownError, InterruptedError, ConnectionError):
+        elapsed = float("inf")
+        completed = False
 
     return TrialResult(
         scenario_label=scenario.label,
@@ -121,6 +152,7 @@ def run_trial(scenario: Scenario, seed: int) -> TrialResult:
         elapsed_seconds=elapsed,
         selection=selection,
         warmup_end=scenario.warmup,
+        completed=completed,
     )
 
 

@@ -10,9 +10,11 @@ departmental cluster rather than an interactive one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..apps.base import Application
+from ..faults.injector import Fault
+from ..remos.api import DegradedPolicy
 from ..units import MB
 from ..workloads.distributions import HarcholBalterLifetime, LogNormal
 from ..workloads.load import LoadGeneratorConfig
@@ -90,6 +92,12 @@ class Scenario:
         Collector poll period (s).
     load_config / traffic_config:
         Generator parameters (paper defaults if None).
+    fault_plan:
+        Optional factory ``(cluster, rng) -> list[Fault]`` producing the
+        faults injected into each trial (None: fault-free, the default).
+    degraded:
+        Remos degraded-mode policy used when answering from stale
+        measurements (:class:`repro.remos.DegradedPolicy`).
     label:
         Optional display name for tables.
     """
@@ -102,6 +110,8 @@ class Scenario:
     remos_period: float = 5.0
     load_config: Optional[LoadGeneratorConfig] = None
     traffic_config: Optional[TrafficGeneratorConfig] = None
+    fault_plan: Optional[Callable[..., Sequence[Fault]]] = None
+    degraded: str = DegradedPolicy.LAST_GOOD
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -109,6 +119,8 @@ class Scenario:
             raise ValueError(f"unknown policy {self.policy!r}")
         if self.warmup < 0:
             raise ValueError("warmup cannot be negative")
+        if self.degraded not in DegradedPolicy.ALL:
+            raise ValueError(f"unknown degraded policy {self.degraded!r}")
         if self.load_config is None:
             self.load_config = default_load_config()
         if self.traffic_config is None:
@@ -120,4 +132,6 @@ class Scenario:
                 (False, True): "traffic",
                 (True, True): "load+traffic",
             }[(self.load_on, self.traffic_on)]
+            if self.fault_plan is not None:
+                gens += "+faults"
             self.label = f"{self.policy}/{gens}"

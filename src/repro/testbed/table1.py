@@ -21,10 +21,19 @@ from typing import Callable, Optional
 from ..analysis.stats import percent_change, slowdown_percent, summarize
 from ..analysis.tables import format_percent, format_table
 from ..apps import MRI, Airshed, FFT2D, Application
+from ..faults.scenario import random_fault_plan
+from ..remos.api import DegradedPolicy
 from .experiment import CampaignResult, run_campaign
 from .scenario import Policy, Scenario
 
-__all__ = ["Table1Row", "Table1Result", "generate_table1", "main", "APPLICATIONS"]
+__all__ = [
+    "Table1Row",
+    "Table1Result",
+    "default_fault_plan",
+    "generate_table1",
+    "main",
+    "APPLICATIONS",
+]
 
 #: The paper's application suite, with node counts from Table 1.
 APPLICATIONS: dict[str, Callable[[], Application]] = {
@@ -140,17 +149,33 @@ class Table1Result:
         return "\n".join(out)
 
 
+def default_fault_plan(cluster, rng):
+    """The ``--faults`` fault mix: crashes, flaps, outages and resets.
+
+    Faults open during warmup (so selection already sees a degraded
+    network) and keep landing while the application runs.
+    """
+    return random_fault_plan(cluster, rng, horizon=360.0, start=60.0)
+
+
 def generate_table1(
     trials: int = 10,
     base_seed: int = 2026,
     apps: Optional[dict[str, Callable[[], Application]]] = None,
+    faults: bool = False,
+    degraded: str = DegradedPolicy.LAST_GOOD,
 ) -> Table1Result:
     """Run the full Table 1 experiment matrix.
 
     ``trials`` campaigns per cell; 2 policies × 3 conditions + 1 reference
     per application.  With the default 10 trials this is 63 simulated runs.
+    With ``faults`` on, every measured cell additionally runs under
+    :func:`default_fault_plan` (the unloaded reference stays fault-free so
+    slowdowns keep their baseline); crashed-placement trials count as
+    failures, not times.
     """
     rows = []
+    plan = default_fault_plan if faults else None
     for app_name, factory in (apps or APPLICATIONS).items():
         row = Table1Row(app_name=app_name, num_nodes=factory().num_nodes)
         for condition, load_on, traffic_on in CONDITIONS:
@@ -163,6 +188,8 @@ def generate_table1(
                     policy=policy,
                     load_on=load_on,
                     traffic_on=traffic_on,
+                    fault_plan=plan,
+                    degraded=degraded,
                     label=f"{app_name}/{policy}/{condition}",
                 )
                 bucket[condition] = run_campaign(
@@ -191,8 +218,21 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="campaign trials per cell (default 10)")
     parser.add_argument("--seed", type=int, default=2026,
                         help="base seed (default 2026)")
+    parser.add_argument("--faults", action="store_true",
+                        help="inject a random fault mix (node crashes, link "
+                             "flaps, agent outages, counter resets) into "
+                             "every measured cell")
+    parser.add_argument("--degraded", choices=DegradedPolicy.ALL,
+                        default=DegradedPolicy.LAST_GOOD,
+                        help="Remos degraded-mode policy for stale answers "
+                             "(default: last-known-good)")
     args = parser.parse_args(argv)
-    result = generate_table1(trials=args.trials, base_seed=args.seed)
+    result = generate_table1(
+        trials=args.trials,
+        base_seed=args.seed,
+        faults=args.faults,
+        degraded=args.degraded,
+    )
     print(result.render())
     return 0
 

@@ -125,6 +125,8 @@ class LoadGenerator:
             yield sim.timeout(self._arrivals.next_interarrival(self.rng))
             if not self._running:
                 break
+            if not host.up:
+                continue  # nobody submits jobs to a crashed machine
             duration = self.lifetime_sample()
             self.stats.jobs_started += 1
             self.stats.demand_seconds += duration

@@ -1,0 +1,168 @@
+"""Degraded-mode Remos queries: staleness annotation and answer policies."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.faults import AgentOutage, FaultInjector, NodeCrash
+from repro.network import Cluster
+from repro.remos import Collector, DegradedPolicy, RemosAPI
+from repro.topology import dumbbell
+from repro.units import MB, Mbps
+
+
+def make_rig(degraded=DegradedPolicy.LAST_GOOD):
+    sim = Simulator()
+    g = dumbbell(2, 2, latency=0.0)
+    cluster = Cluster(sim, g, base_capacity=1.0, load_tau=5.0)
+    collector = Collector(
+        cluster, period=2.0, max_retries=1, backoff=0.5, stale_after=3
+    )
+    api = RemosAPI(collector, degraded=degraded)
+    return sim, cluster, collector, api, FaultInjector(cluster, collector)
+
+
+def stale_node_rig(degraded):
+    """A rig where l0 ran hot, then its monitoring went stale."""
+    sim, cluster, collector, api, inj = make_rig(degraded)
+    cluster.compute("l0", 1e9)
+    inj.schedule([AgentOutage(device="l0", at=20.5, duration=30.0)])
+    sim.run(until=30.0)
+    return sim, cluster, collector, api
+
+
+class TestArgumentValidation:
+    def test_collector_rejects_bad_arguments(self):
+        sim = Simulator()
+        cluster = Cluster(sim, dumbbell(1, 1))
+        with pytest.raises(ValueError):
+            Collector(cluster, max_retries=-1, start=False)
+        with pytest.raises(ValueError):
+            Collector(cluster, backoff=0.0, start=False)
+        with pytest.raises(ValueError):
+            Collector(cluster, stale_after=0, start=False)
+        with pytest.raises(ValueError):
+            Collector(cluster, counter_bits=4, start=False)
+
+    def test_api_rejects_bad_arguments(self):
+        sim = Simulator()
+        cluster = Cluster(sim, dumbbell(1, 1))
+        collector = Collector(cluster, start=False)
+        with pytest.raises(TypeError):
+            RemosAPI(cluster)  # not a Collector
+        with pytest.raises(ValueError):
+            RemosAPI(collector, degraded="hopeful")
+
+    def test_flow_query_unknown_node_raises(self):
+        sim, cluster, collector, api, _ = make_rig()
+        with pytest.raises(KeyError, match="ghost"):
+            api.flow_query("l0", "ghost")
+        with pytest.raises(KeyError, match="ghost"):
+            api.flows_query([("l0", "r0"), ("ghost", "r1")])
+
+    def test_status_queries_unknown_resource_raises(self):
+        sim, cluster, collector, api, _ = make_rig()
+        with pytest.raises(KeyError):
+            collector.host_status("ghost")
+        with pytest.raises(KeyError):
+            collector.channel_status(("nope", "x"))
+
+
+class TestStalenessAnnotation:
+    def test_fresh_answers_not_stale(self):
+        sim, cluster, collector, api, _ = make_rig()
+        cluster.transfer("l0", "r0", 100 * MB)
+        sim.run(until=10.0)
+        info = api.link_info("sw-left", "sw-right")
+        assert not info.stale
+        assert 0.0 <= info.age_s <= collector.period
+        node = api.node_info("l0")
+        assert not node.stale
+        assert 0.0 <= node.age_s <= collector.period
+
+    def test_never_polled_is_not_stale(self):
+        sim = Simulator()
+        cluster = Cluster(sim, dumbbell(1, 1))
+        api = RemosAPI(Collector(cluster, start=False))
+        info = api.node_info("l0")
+        assert info.load_average == 0.0
+        assert not info.stale
+        assert info.age_s == float("inf")
+
+    def test_age_grows_while_agent_silent(self):
+        sim, cluster, collector, api, inj = make_rig()
+        inj.schedule([AgentOutage(device="l0", at=0.5, duration=30.0)])
+        sim.run(until=20.0)
+        # Only the t=0 poll succeeded.
+        assert api.node_info("l0").age_s == pytest.approx(20.0)
+        assert api.node_info("l0").stale
+
+
+class TestPolicyLadder:
+    def test_optimistic_never_marks(self):
+        sim, cluster, collector, api = stale_node_rig(DegradedPolicy.OPTIMISTIC)
+        info = api.node_info("l0")
+        assert not info.stale
+        assert info.load_average > 0.5          # last-known-good, unmarked
+        topo = api.topology()
+        assert "unmonitorable" not in topo.node("l0").attrs
+
+    def test_last_good_marks_but_keeps_values(self):
+        sim, cluster, collector, api = stale_node_rig(DegradedPolicy.LAST_GOOD)
+        info = api.node_info("l0")
+        assert info.stale
+        assert 0.5 < info.load_average < 10.0   # the last real measurement
+        topo = api.topology()
+        assert topo.node("l0").attrs.get("unmonitorable")
+
+    def test_conservative_assumes_the_worst(self):
+        sim, cluster, collector, api = stale_node_rig(
+            DegradedPolicy.CONSERVATIVE
+        )
+        assert api.node_info("l0").load_average == float("inf")
+        topo = api.topology()
+        # Topology substitutes a huge finite load (serializable, cpu ~ 0).
+        assert topo.node("l0").load_average > 1e8
+        assert topo.node("l0").attrs.get("unmonitorable")
+
+    def test_conservative_stale_link_has_zero_available(self):
+        sim, cluster, collector, api, inj = make_rig(
+            DegradedPolicy.CONSERVATIVE
+        )
+        inj.schedule([AgentOutage(device="sw-left", at=0.5, duration=30.0)])
+        sim.run(until=15.0)
+        info = api.link_info("sw-left", "sw-right")
+        assert info.stale
+        assert info.available_fwd_bps == 0.0
+        assert info.available_rev_bps == 0.0
+        # LAST_GOOD on the same history would answer the idle link's truth.
+        relaxed = RemosAPI(collector, degraded=DegradedPolicy.LAST_GOOD)
+        assert relaxed.link_info(
+            "sw-left", "sw-right"
+        ).available_fwd_bps == pytest.approx(100 * Mbps)
+
+    def test_views_propagate_policy(self):
+        sim, cluster, collector, api, _ = make_rig(DegradedPolicy.CONSERVATIVE)
+        assert api.current().degraded == DegradedPolicy.CONSERVATIVE
+        assert api.windowed(30.0).degraded == DegradedPolicy.CONSERVATIVE
+        assert api.forecast().degraded == DegradedPolicy.CONSERVATIVE
+
+
+class TestDegradedQueriesNeverRaise:
+    def test_queries_survive_a_crashed_node(self):
+        sim, cluster, collector, api, inj = make_rig()
+        inj.schedule([NodeCrash(node="l0", at=1.0)])
+        sim.run(until=15.0)
+        # Every query level answers; nothing propagates AgentTimeout.
+        for name in cluster.hosts:
+            api.node_info(name)
+        for link in cluster.graph.links():
+            api.link_info(link.u, link.v)
+        api.topology()
+        quotes = api.flows_query([("l1", "r0"), ("l0", "r1")])
+        # Last-known-good answers stay finite and non-negative; the dead
+        # node may still be quoted (Remos answers from measurements — it is
+        # selection's job to exclude unmonitorable nodes).
+        assert all(0.0 <= q < float("inf") for q in quotes)
+        # The conservative policy zeroes the stale access link instead.
+        pessimist = RemosAPI(collector, degraded=DegradedPolicy.CONSERVATIVE)
+        assert pessimist.flow_query("l0", "r1") == 0.0

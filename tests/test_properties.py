@@ -19,8 +19,10 @@ from repro.core import (
     select_max_compute,
 )
 from repro.des import Simulator
+from repro.faults import FaultInjector, random_fault_plan
 from repro.network import Cluster, Host
-from repro.topology import from_json, random_tree, to_json
+from repro.remos import Collector, RemosAPI
+from repro.topology import dumbbell, from_json, random_tree, to_json
 from repro.units import MB, Mbps
 
 
@@ -204,3 +206,53 @@ class TestSelectionInvariants:
         assert sel.min_bw_bps == pytest.approx(
             min_pairwise_bandwidth(g, sel.nodes)
         )
+
+
+class TestFaultResilienceProperties:
+    """Under *any* injected fault sequence, degraded-mode queries keep
+    answering and selection never places work on a node its own snapshot
+    marks crashed or unmonitorable."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_selection_and_queries_survive_arbitrary_faults(self, seed):
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        g = dumbbell(3, 3, latency=0.0)
+        cluster = Cluster(sim, g, base_capacity=1.0, load_tau=5.0)
+        collector = Collector(cluster, period=2.0, stale_after=3)
+        api = RemosAPI(collector)
+        injector = FaultInjector(cluster, collector)
+        injector.schedule(
+            random_fault_plan(
+                cluster, rng, horizon=40.0, start=1.0,
+                n_crashes=2, n_flaps=1, n_outages=2, n_resets=1,
+            )
+        )
+        cluster.transfer("l0", "r2", 200 * MB)  # exercise the counters
+        selector = NodeSelector(api)
+        spec = ApplicationSpec(num_nodes=2)
+        for t in (5.0, 15.0, 25.0, 35.0, 45.0, 60.0):
+            sim.run(until=t)
+            topo = api.topology()              # must not raise
+            for name in cluster.hosts:
+                assert api.node_info(name).load_average >= 0.0
+            for link in cluster.graph.links():
+                api.link_info(link.u, link.v)  # must not raise
+            sel = selector.select(spec)        # must not raise
+            for n in sel.nodes:
+                node = topo.node(n)
+                assert not node.attrs.get("down")
+                assert not node.attrs.get("unmonitorable")
+        # Derived utilization stays sane through wraps, resets and flaps.
+        for cid in collector.channels():
+            maxbw = cluster.graph.link(*tuple(cid[0])).maxbw
+            assert all(
+                0.0 <= u <= maxbw * 1.0001
+                for _t, u in collector.utilization_history(cid)
+            )
+        # Well past the horizon, any still-crashed node has gone stale, so
+        # selection is correct against ground truth too.
+        sim.run(until=90.0)
+        final = selector.select(spec)
+        assert all(cluster.node_is_up(n) for n in final.nodes)

@@ -69,6 +69,64 @@ class TestTable1Row:
         )
 
 
+class TestCampaignFailures:
+    def test_failed_trials_excluded_from_times(self):
+        c = campaign("x", [10.0, 20.0])
+        c.trials.append(TrialResult(
+            scenario_label="x",
+            seed=9,
+            elapsed_seconds=float("inf"),
+            selection=Selection(nodes=["a"], objective=0.0),
+            warmup_end=0.0,
+            completed=False,
+        ))
+        assert c.n == 3
+        assert c.failures == 1
+        assert c.mean == 15.0          # inf never pollutes the statistics
+
+    def test_all_failed_mean_is_nan(self):
+        c = CampaignResult(scenario_label="x")
+        c.trials.append(TrialResult(
+            scenario_label="x", seed=0, elapsed_seconds=float("inf"),
+            selection=Selection(nodes=["a"], objective=0.0),
+            warmup_end=0.0, completed=False,
+        ))
+        import math
+        assert math.isnan(c.mean)
+        assert c.std == 0.0
+
+
+class TestFaultsCLIWiring:
+    def test_main_accepts_faults_and_degraded_flags(self):
+        import argparse
+        from repro.testbed.table1 import main
+        # Bad policy must be rejected by argparse itself (exit code 2).
+        with pytest.raises(SystemExit):
+            main(["--degraded", "hopeful", "--trials", "1"])
+
+    def test_generate_table1_wires_fault_plan(self, monkeypatch):
+        import repro.testbed.table1 as t1
+        from repro.remos import DegradedPolicy
+        from repro.testbed import Scenario
+
+        seen = []
+
+        def fake_run_campaign(scenario, trials, base_seed):
+            seen.append(scenario)
+            return campaign(scenario.label, [1.0])
+
+        monkeypatch.setattr(t1, "run_campaign", fake_run_campaign)
+        t1.generate_table1(
+            trials=1, apps={"FFT (1K)": t1.APPLICATIONS["FFT (1K)"]},
+            faults=True, degraded=DegradedPolicy.CONSERVATIVE,
+        )
+        measured = [s for s in seen if "reference" not in s.label]
+        reference = [s for s in seen if "reference" in s.label]
+        assert all(s.fault_plan is t1.default_fault_plan for s in measured)
+        assert all(s.degraded == DegradedPolicy.CONSERVATIVE for s in measured)
+        assert all(s.fault_plan is None for s in reference)
+
+
 class TestTable1Result:
     def test_headline_ratio_on_paper_numbers(self):
         result = Table1Result(rows=[paper_fft_row()], trials=1, base_seed=0)
