@@ -7,7 +7,6 @@ maximize bandwidth).  Report: benchmarks/out/ablation_floors.txt.
 """
 
 import numpy as np
-import pytest
 
 from conftest import write_report
 from repro.analysis import format_table

@@ -8,7 +8,6 @@ thrashing when the disturbance is marginal.
 Report: benchmarks/out/ablation_migration.txt.
 """
 
-import pytest
 
 from conftest import write_report
 from repro.analysis import format_table

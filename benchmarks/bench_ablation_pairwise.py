@@ -13,12 +13,10 @@ Report: benchmarks/out/ablation_pairwise.txt.
 import time
 
 import numpy as np
-import pytest
 
 from conftest import write_report
 from repro.analysis import format_table
-from repro.core import select_max_bandwidth, select_routed
-from repro.core.generalized import _max_capacity
+from repro.core import select_max_bandwidth
 from repro.topology import RoutingTable, random_tree
 from repro.units import Mbps
 

@@ -8,12 +8,11 @@ load-forecast error.  Report: benchmarks/out/ablation_predictor.txt.
 """
 
 import numpy as np
-import pytest
 
 from conftest import write_report
 from repro.analysis import format_table, summarize
 from repro.apps import FFT2D
-from repro.core import ApplicationSpec, NodeSelector
+from repro.core import NodeSelector
 from repro.des import Simulator
 from repro.network import Cluster
 from repro.remos import Collector, Ewma, LastValue, RemosAPI, SlidingMean

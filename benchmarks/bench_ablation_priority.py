@@ -7,7 +7,6 @@ prioritizations to show the balanced default wins on a mixed workload.
 Report: benchmarks/out/ablation_priority.txt.
 """
 
-import pytest
 
 from conftest import write_report
 from repro.analysis import format_table

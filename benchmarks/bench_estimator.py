@@ -9,7 +9,6 @@ Report: benchmarks/out/estimator.txt.
 """
 
 import numpy as np
-import pytest
 
 from conftest import write_report
 from repro.analysis import format_table

@@ -7,7 +7,6 @@ the topology query path an application pays at selection time: building a
 snapshot and answering path/bandwidth queries.
 """
 
-import pytest
 
 from conftest import write_report
 from repro.topology import figure1_network, from_json, to_dot, to_json

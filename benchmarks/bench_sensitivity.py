@@ -18,8 +18,6 @@ simulated testbed:
 Report: benchmarks/out/sensitivity.txt.
 """
 
-import numpy as np
-import pytest
 
 from conftest import write_report
 from repro.analysis import format_table

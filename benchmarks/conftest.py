@@ -12,7 +12,6 @@ the regenerated rows survive the run.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

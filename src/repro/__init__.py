@@ -13,6 +13,9 @@ The package provides the paper's node-selection framework end to end:
   (flow-level network, processor-sharing hosts, DES kernel);
 - :mod:`repro.workloads` — the §4.2 load/traffic generators;
 - :mod:`repro.apps` — FFT / Airshed / MRI application models;
+- :mod:`repro.service` — the multi-tenant selection service (reservation
+  ledger, admission control, snapshot caching) for concurrent
+  applications sharing one network;
 - :mod:`repro.testbed` — the CMU testbed and the Table 1 experiments;
 - :mod:`repro.analysis` — statistics and report formatting.
 
@@ -29,7 +32,18 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, apps, core, des, network, remos, testbed, topology, workloads
+from . import (
+    analysis,
+    apps,
+    core,
+    des,
+    network,
+    remos,
+    service,
+    testbed,
+    topology,
+    workloads,
+)
 from .core import ApplicationSpec, NodeSelector, Selection
 
 __all__ = [
@@ -43,6 +57,7 @@ __all__ = [
     "des",
     "network",
     "remos",
+    "service",
     "testbed",
     "topology",
     "workloads",

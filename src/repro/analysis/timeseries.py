@@ -10,7 +10,7 @@ characterize generator behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from ..des.simulator import Simulator
 

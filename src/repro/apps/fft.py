@@ -20,7 +20,6 @@ CMU testbed model is ≈48 s at 4 nodes, the paper's reference time.
 from __future__ import annotations
 
 from ..core.spec import ApplicationSpec, CommPattern, Objective
-from ..units import MB
 from .base import Application
 from .vmp import RankContext
 

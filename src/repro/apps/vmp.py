@@ -19,7 +19,7 @@ performance emerges from the topology rather than being assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional, Sequence
+from typing import Callable, Generator, Optional, Sequence
 
 from ..des.events import Event
 from ..des.process import Process

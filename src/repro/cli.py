@@ -8,10 +8,15 @@
    $ repro-select topology.json -m 4 --objective bandwidth
    $ repro-select topology.json -m 4 --min-bandwidth-mbps 50
    $ repro-select topology.json -m 4 --compute-priority 2 --format json
+   $ repro-select snapshot.json -m 4 --degraded-policy conservative
+   $ repro-select snapshot.json -m 4 --include-unhealthy
 
 The topology file is the JSON produced by
-:func:`repro.topology.to_json` (schema v1).  Output is a human-readable
-summary or machine-readable JSON (``--format json``).
+:func:`repro.topology.to_json` (schema v1) — including snapshots exported
+from a live monitor via :meth:`repro.remos.RemosAPI.export_snapshot`,
+whose ``unmonitorable``/``stale`` marks the health flags below interpret.
+Output is a human-readable summary or machine-readable JSON
+(``--format json``).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import sys
 from typing import Optional
 
 from .core import ApplicationSpec, NoFeasibleSelection, NodeSelector, Objective
+from .remos import DegradedPolicy, apply_degraded_policy
 from .topology import from_json, to_dot
 from .units import Mbps
 
@@ -47,6 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hard pairwise bandwidth floor in Mbps (§3.3)")
     parser.add_argument("--min-cpu", type=float, default=None,
                         help="hard per-node CPU-fraction floor in [0,1] (§3.3)")
+    health = parser.add_mutually_exclusive_group()
+    health.add_argument("--exclude-unhealthy", dest="exclude_unhealthy",
+                        action="store_true", default=True,
+                        help="skip nodes marked down/unmonitorable (default)")
+    health.add_argument("--include-unhealthy", dest="exclude_unhealthy",
+                        action="store_false",
+                        help="consider every node, even ones the snapshot "
+                             "marks down or unmonitorable")
+    parser.add_argument("--degraded-policy",
+                        choices=DegradedPolicy.ALL + ("last-good",),
+                        default=None, metavar="{optimistic,last-good,conservative}",
+                        help="reinterpret the snapshot's stale-measurement "
+                             "marks before selecting (default: take the "
+                             "snapshot as-is)")
     parser.add_argument("--format", choices=("text", "json", "dot"),
                         default="text", help="output format")
     return parser
@@ -82,8 +102,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"error: invalid specification: {exc}", file=sys.stderr)
         return 2
 
+    if args.degraded_policy is not None:
+        policy = args.degraded_policy
+        if policy == "last-good":
+            policy = DegradedPolicy.LAST_GOOD
+        graph = apply_degraded_policy(graph, policy)
+
     try:
-        selection = NodeSelector(graph).select(spec)
+        selector = NodeSelector(graph, exclude_unhealthy=args.exclude_unhealthy)
+        selection = selector.select(spec)
     except NoFeasibleSelection as exc:
         print(f"error: no feasible selection: {exc}", file=sys.stderr)
         return 1

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..topology.graph import Link, Node, TopologyGraph
+from ..topology.graph import Node, TopologyGraph
 from .compute import top_compute_nodes
 from .metrics import (
     DEFAULT_REFERENCES,

@@ -20,7 +20,7 @@ that bench ``bench_estimator`` validates against the simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..topology.graph import TopologyGraph

@@ -23,9 +23,6 @@ from .balanced import select_balanced
 from .metrics import (
     DEFAULT_REFERENCES,
     References,
-    min_cpu_fraction,
-    min_pairwise_bandwidth,
-    min_pairwise_bandwidth_fraction,
     minresource,
 )
 from .types import NoFeasibleSelection, Selection

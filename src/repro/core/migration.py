@@ -29,7 +29,7 @@ from ..topology.graph import TopologyGraph
 from .metrics import DEFAULT_REFERENCES, References, minresource
 from .selector import NodeSelector, unhealthy_nodes
 from .spec import ApplicationSpec
-from .types import NoFeasibleSelection, Selection
+from .types import Selection
 
 __all__ = ["SelfFootprint", "MigrationDecision", "MigrationAdvisor"]
 

@@ -39,7 +39,7 @@ from .metrics import (
     node_compute_fraction,
 )
 from .spec import CommPattern
-from .types import NoFeasibleSelection, Selection
+from .types import Selection
 
 __all__ = [
     "pattern_flows",

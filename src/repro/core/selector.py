@@ -32,7 +32,7 @@ from .generalized import (
 from .latency import select_with_latency_bound
 from .pattern_aware import select_pattern_aware
 from .metrics import References
-from .spec import ApplicationSpec, GroupSpec, Objective
+from .spec import ApplicationSpec, Objective
 from .types import NoFeasibleSelection, Selection, node_is_selectable
 
 __all__ = ["NodeSelector", "TopologyProvider", "unhealthy_nodes"]
@@ -82,6 +82,14 @@ class NodeSelector:
         unmonitorable are never selected, whatever procedure runs.  Setting
         False restores the naive behaviour (the fault-resilience bench uses
         it as the control arm).
+    view:
+        Optional transform applied to every provider snapshot before
+        selection — e.g. a reservation ledger's residual-capacity view
+        (:meth:`repro.service.ReservationLedger.apply`), so concurrent
+        applications see capacity already claimed by earlier admissions.
+        Explicit ``graph`` arguments to :meth:`select` bypass it: callers
+        passing a graph (the migration engine, the service's admission
+        check) have already adjusted it.
 
     Examples
     --------
@@ -96,15 +104,19 @@ class NodeSelector:
         self,
         provider: TopologyProvider | TopologyGraph,
         exclude_unhealthy: bool = True,
+        view: Optional[Callable[[TopologyGraph], TopologyGraph]] = None,
     ) -> None:
         self._provider = provider
         self.exclude_unhealthy = exclude_unhealthy
+        self.view = view
 
     def snapshot(self) -> TopologyGraph:
-        """A fresh topology snapshot from the provider."""
+        """A fresh topology snapshot from the provider, through ``view``."""
         if isinstance(self._provider, TopologyGraph):
-            return self._provider
-        return self._provider.topology()
+            g = self._provider
+        else:
+            g = self._provider.topology()
+        return self.view(g) if self.view is not None else g
 
     def _gate(self, eligible: Optional[Callable]) -> Optional[Callable]:
         """Compose an eligibility predicate with the health exclusion."""

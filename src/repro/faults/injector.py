@@ -23,7 +23,7 @@ simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from ..network.cluster import Cluster
 from ..remos.collector import Collector
@@ -122,7 +122,10 @@ class FaultInjector:
         node/link faults are available.
 
     Every applied fault is appended to :attr:`log` as
-    ``(sim_time, kind, target)`` for reports and assertions.
+    ``(sim_time, kind, target)`` for reports and assertions.  Listeners
+    registered with :meth:`subscribe` are called with the same triple as
+    each fault or recovery lands — the selection service uses this to
+    invalidate its snapshot cache and expire leases on crashed nodes.
     """
 
     def __init__(
@@ -131,10 +134,24 @@ class FaultInjector:
         self.cluster = cluster
         self.collector = collector
         self.log: list[tuple[float, str, str]] = []
+        self._listeners: list[Callable[[float, str, str], None]] = []
+
+    def subscribe(self, listener: Callable[[float, str, str], None]) -> None:
+        """Call ``listener(sim_time, kind, target)`` on every applied fault.
+
+        Kinds are the :attr:`log` tags: ``node-crash``, ``node-recover``,
+        ``link-down``, ``link-up``, ``agent-outage``, ``counter-reset``.
+        Listeners run synchronously inside the injecting event; they must
+        not raise.
+        """
+        self._listeners.append(listener)
 
     # -- immediate primitives ---------------------------------------------------
     def _record(self, kind: str, target: str) -> None:
-        self.log.append((self.cluster.sim.now, kind, target))
+        now = self.cluster.sim.now
+        self.log.append((now, kind, target))
+        for listener in self._listeners:
+            listener(now, kind, target)
 
     def crash_node(self, name: str) -> None:
         """Crash compute node ``name`` right now."""

@@ -15,7 +15,7 @@ load changes.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import Optional
 
 from ..des.events import Event
 from ..des.simulator import Simulator

@@ -8,7 +8,13 @@ The selection framework (:class:`repro.core.NodeSelector`) consumes a
 ``RemosAPI`` directly as its topology provider.
 """
 
-from .api import DegradedPolicy, LinkInfo, NodeInfo, RemosAPI
+from .api import (
+    DegradedPolicy,
+    LinkInfo,
+    NodeInfo,
+    RemosAPI,
+    apply_degraded_policy,
+)
 from .collector import Collector, ResourceStatus
 from .predictor import Ewma, LastValue, Predictor, SlidingMean, sample_age
 from .snmp import (
@@ -34,6 +40,7 @@ __all__ = [
     "RemosAPI",
     "ResourceStatus",
     "SlidingMean",
+    "apply_degraded_policy",
     "build_agents",
     "sample_age",
 ]

@@ -39,7 +39,13 @@ from ..topology.graph import TopologyGraph
 from .collector import Collector
 from .predictor import LastValue, Predictor
 
-__all__ = ["RemosAPI", "LinkInfo", "NodeInfo", "DegradedPolicy"]
+__all__ = [
+    "RemosAPI",
+    "LinkInfo",
+    "NodeInfo",
+    "DegradedPolicy",
+    "apply_degraded_policy",
+]
 
 
 class DegradedPolicy:
@@ -122,6 +128,10 @@ class RemosAPI:
         self.collector = collector
         self.predictor = predictor or LastValue()
         self.degraded = degraded
+        #: Full topology sweeps answered (every :meth:`topology` call walks
+        #: all hosts and links).  The selection service's snapshot cache is
+        #: judged against this counter.
+        self.topology_sweeps = 0
 
     @property
     def cluster(self) -> Cluster:
@@ -223,6 +233,7 @@ class RemosAPI:
         ``attrs["unmonitorable"] = True`` so health-aware selection
         (:class:`repro.core.NodeSelector`) can exclude them.
         """
+        self.topology_sweeps += 1
         g = self.cluster.graph.copy()
         mark = self.degraded != DegradedPolicy.OPTIMISTIC
         for name in self.cluster.hosts:
@@ -245,6 +256,21 @@ class RemosAPI:
             if mark and info.stale:
                 link.attrs["stale"] = True
         return g
+
+    def export_snapshot(self) -> dict:
+        """The current topology snapshot as a JSON-safe dict.
+
+        Serialization-side counterpart of :meth:`topology`
+        (:func:`repro.topology.to_dict` schema v1): what a remote client of
+        the selection service receives, and what ``repro-select`` /
+        ``repro-serve`` consume from files.  Degraded-mode marks
+        (``unmonitorable``, ``stale``) survive the round trip, so
+        :func:`apply_degraded_policy` can reinterpret an exported snapshot
+        offline.
+        """
+        from ..topology.serialize import to_dict
+
+        return to_dict(self.topology())
 
     # -- flow queries --------------------------------------------------------------
     def flow_query(self, src: str, dst: str) -> float:
@@ -301,3 +327,42 @@ class RemosAPI:
 #: snapshots: keeps ``cpu = 1/(1+load)`` effectively zero while remaining
 #: finite for serialization and arithmetic downstream.
 _UNMONITORABLE_LOAD = 1e9
+
+
+def apply_degraded_policy(graph: TopologyGraph, policy: str) -> TopologyGraph:
+    """Reinterpret a topology snapshot under a degraded-mode policy.
+
+    Live queries bake the policy in at answer time; this is the offline
+    equivalent for *serialized* snapshots (``repro-select`` on a JSON file,
+    an exported :meth:`RemosAPI.export_snapshot`).  The snapshot's
+    ``unmonitorable`` / ``stale`` marks record which resources were stale
+    when it was taken; the policy decides what to make of them now:
+
+    - ``OPTIMISTIC``: strip the marks — every resource answers its
+      last-known-good value and nothing is excluded (the naive arm);
+    - ``LAST_GOOD``: keep the snapshot as-is (marks exclude stale nodes
+      from selection, values stay last-known-good);
+    - ``CONSERVATIVE``: additionally assume the worst — stale links carry
+      zero available bandwidth, unmonitorable nodes effectively no CPU.
+
+    Returns a copy; the input graph is never mutated.
+    """
+    if policy not in DegradedPolicy.ALL:
+        raise ValueError(
+            f"unknown degraded policy {policy!r}; "
+            f"expected one of {DegradedPolicy.ALL}"
+        )
+    g = graph.copy()
+    if policy == DegradedPolicy.OPTIMISTIC:
+        for node in g.nodes():
+            node.attrs.pop("unmonitorable", None)
+        for link in g.links():
+            link.attrs.pop("stale", None)
+    elif policy == DegradedPolicy.CONSERVATIVE:
+        for node in g.nodes():
+            if node.attrs.get("unmonitorable"):
+                node.load_average = _UNMONITORABLE_LOAD
+        for link in g.links():
+            if link.attrs.get("stale"):
+                link.set_available(0.0)
+    return g

@@ -1,0 +1,45 @@
+"""The multi-tenant selection service (beyond the paper's one-shot library).
+
+The paper frames node selection as a service applications call on a
+*shared* network (§3.3 even excludes an application's own load so it can
+re-select while running), but a library answering one ``select()`` at a
+time would hand two concurrent applications the same "best" nodes.  This
+subpackage is the long-running layer that makes concurrent use sound:
+
+- :class:`ReservationLedger` — per-application CPU and bandwidth claims,
+  debited from every snapshot (:meth:`ReservationLedger.apply`) so
+  selection always runs on *residual* capacity; leases expire, renew,
+  release, and are evicted on node crashes.
+- :mod:`~repro.service.admission` — priority classes
+  (:class:`Priority`), a bounded request queue (:class:`AdmissionQueue`),
+  and explicit admit/queue/reject outcomes (:class:`Decision`) instead of
+  silent degradation.
+- :class:`SnapshotCache` — TTL memoization plus same-instant coalescing
+  of the expensive Remos topology sweep, invalidated on fault events.
+- :class:`SelectionService` — the facade wiring it all to a
+  :class:`~repro.core.NodeSelector`; :class:`ServiceMetrics` counts
+  requests, admissions, rejections, queue depth, cache hits and ledger
+  utilization.  ``repro-serve`` (:mod:`repro.service.cli`) drives it from
+  serialized topologies and workload files.
+"""
+
+from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
+from .cache import SnapshotCache
+from .ledger import LedgerError, Reservation, ReservationLedger, route_edges
+from .metrics import ServiceMetrics
+from .service import Grant, SelectionService
+
+__all__ = [
+    "AdmissionQueue",
+    "Decision",
+    "Grant",
+    "LedgerError",
+    "Priority",
+    "Reservation",
+    "ReservationLedger",
+    "SelectionRequest",
+    "SelectionService",
+    "ServiceMetrics",
+    "SnapshotCache",
+    "route_edges",
+]

@@ -1,0 +1,147 @@
+"""Admission control: priority classes and the bounded request queue.
+
+The service never silently degrades everyone when the network fills up.
+A request whose CPU/bandwidth floors cannot be met on residual capacity
+is *queued* (bounded, priority-ordered) or *rejected* — capacity freed by
+releases, lease expiries, or crash evictions re-runs admission for the
+queue in priority order.
+
+When the queue is full, a newly arriving request of strictly higher
+priority displaces the worst queued request (which becomes rejected);
+equal or lower priority is rejected outright.  Within a priority class
+the queue is FIFO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.spec import ApplicationSpec
+
+__all__ = ["AdmissionQueue", "Decision", "Priority", "SelectionRequest"]
+
+
+class Priority:
+    """Priority classes for admission (gold outranks silver outranks bronze)."""
+
+    GOLD = "gold"
+    SILVER = "silver"
+    BRONZE = "bronze"
+
+    ALL = (GOLD, SILVER, BRONZE)
+    #: Lower rank admits first.
+    RANK = {GOLD: 0, SILVER: 1, BRONZE: 2}
+
+
+class Decision:
+    """Outcome states of a service request (see :class:`~repro.service.Grant`)."""
+
+    ADMITTED = "admitted"
+    QUEUED = "queued"
+    REJECTED = "rejected"
+    RELEASED = "released"
+    EXPIRED = "expired"
+    EVICTED = "evicted"
+
+    ALL = (ADMITTED, QUEUED, REJECTED, RELEASED, EXPIRED, EVICTED)
+
+
+@dataclass
+class SelectionRequest:
+    """One application's ask: a spec plus the capacity it will claim.
+
+    ``cpu_fraction`` and ``bw_bps`` are the *claims* debited from the
+    shared pool if admitted — the floors admission checks on residual
+    capacity.  They are deliberately separate from any floors inside
+    ``spec``: the spec shapes which nodes are picked, the claims shape
+    what the ledger debits.
+    """
+
+    app_id: str
+    spec: ApplicationSpec
+    cpu_fraction: float = 0.0
+    bw_bps: float = 0.0
+    priority: str = Priority.SILVER
+    submitted_at: float = 0.0
+    #: FIFO tie-break within a priority class, assigned by the queue.
+    seq: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.app_id:
+            raise ValueError("app_id cannot be empty")
+        if self.priority not in Priority.ALL:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; "
+                f"expected one of {Priority.ALL}"
+            )
+        if not 0 <= self.cpu_fraction <= 1.0:
+            raise ValueError(
+                f"cpu_fraction must be in [0, 1]: {self.cpu_fraction}"
+            )
+        if self.bw_bps < 0:
+            raise ValueError(f"bw_bps cannot be negative: {self.bw_bps}")
+
+    @property
+    def rank(self) -> tuple[int, float, int]:
+        """Sort key: priority class, then submission order."""
+        return (Priority.RANK[self.priority], self.submitted_at, self.seq)
+
+
+class AdmissionQueue:
+    """A bounded, priority-ordered queue of waiting requests.
+
+    ``limit`` bounds memory and waiting-time exposure: beyond it, arriving
+    work is rejected (or displaces strictly lower-priority work) instead
+    of queueing unboundedly — the service's back-pressure mechanism.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 0:
+            raise ValueError(f"queue limit cannot be negative: {limit}")
+        self.limit = limit
+        self._waiting: list[SelectionRequest] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def __contains__(self, app_id: str) -> bool:
+        return any(r.app_id == app_id for r in self._waiting)
+
+    def offer(self, request: SelectionRequest) -> Optional[SelectionRequest]:
+        """Try to enqueue; returns the request displaced to make room.
+
+        Returns ``request`` itself when the queue is full and nothing
+        queued is strictly lower priority (the arrival is rejected), the
+        displaced lower-priority request when one was evicted, or ``None``
+        when the request simply fit.
+        """
+        self._seq += 1
+        request.seq = self._seq
+        if len(self._waiting) < self.limit:
+            self._waiting.append(request)
+            self._waiting.sort(key=lambda r: r.rank)
+            return None
+        if not self._waiting:
+            return request  # limit == 0: nothing ever queues
+        worst = self._waiting[-1]
+        if Priority.RANK[request.priority] < Priority.RANK[worst.priority]:
+            self._waiting[-1] = request
+            self._waiting.sort(key=lambda r: r.rank)
+            return worst
+        return request
+
+    def waiting(self) -> list[SelectionRequest]:
+        """Queued requests in admission order (do not mutate)."""
+        return list(self._waiting)
+
+    def remove(self, app_id: str) -> Optional[SelectionRequest]:
+        """Withdraw ``app_id``'s queued request, if present."""
+        for i, request in enumerate(self._waiting):
+            if request.app_id == app_id:
+                return self._waiting.pop(i)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AdmissionQueue {len(self._waiting)}/{self.limit}>"

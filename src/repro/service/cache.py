@@ -1,0 +1,108 @@
+"""Snapshot caching and request coalescing for Remos topology queries.
+
+A Remos topology query is a full sweep: every host's load history and
+every link's counter history pass through the predictor
+(:meth:`repro.remos.api.RemosAPI.topology`).  A service fielding a burst
+of selection requests cannot afford N sweeps for N requests when the
+underlying measurements only change once per collector poll period.
+
+:class:`SnapshotCache` memoizes the provider's snapshot with a TTL and
+exposes the same ``topology()`` protocol, so it drops transparently in
+front of a :class:`~repro.core.NodeSelector`:
+
+- requests within ``ttl`` of the last sweep share it (**hits**);
+- requests at the *same instant* as the last sweep share it even with
+  ``ttl=0`` (**coalescing** — a simultaneous burst is one sweep by
+  definition, caching disabled or not);
+- :meth:`invalidate` drops the snapshot immediately; the selection
+  service wires it to fault/recovery events so a crash never serves a
+  pre-crash snapshot for up to a TTL.
+
+Callers must treat the returned graph as shared and immutable — debit
+views (:meth:`repro.service.ReservationLedger.apply`) copy it anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..topology.graph import TopologyGraph
+
+__all__ = ["SnapshotCache"]
+
+
+class SnapshotCache:
+    """A TTL + coalescing cache in front of any topology provider.
+
+    Parameters
+    ----------
+    provider:
+        Anything with a ``topology() -> TopologyGraph`` method.
+    ttl:
+        Seconds a snapshot stays fresh (0 disables caching but keeps
+        same-instant coalescing).
+    clock:
+        Time source (the service passes simulated time; defaults would be
+        meaningless here, so it is required).
+    """
+
+    def __init__(
+        self,
+        provider,
+        ttl: float,
+        clock: Callable[[], float],
+    ) -> None:
+        if ttl < 0:
+            raise ValueError(f"ttl cannot be negative: {ttl}")
+        self.provider = provider
+        self.ttl = float(ttl)
+        self.clock = clock
+        self._graph: Optional[TopologyGraph] = None
+        self._taken_at = float("-inf")
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.invalidations = 0
+        #: Sweeps actually forwarded to the provider (== misses; kept as a
+        #: separate counter so reports read naturally).
+        self.sweeps = 0
+
+    def topology(self) -> TopologyGraph:
+        """The cached snapshot, refreshed via the provider when stale."""
+        now = self.clock()
+        if self._graph is not None:
+            age = now - self._taken_at
+            if age == 0.0 and self.ttl == 0.0:
+                self.hits += 1
+                self.coalesced += 1
+                return self._graph
+            if age <= self.ttl:
+                self.hits += 1
+                if age == 0.0:
+                    self.coalesced += 1
+                return self._graph
+        self.misses += 1
+        self.sweeps += 1
+        self._graph = self.provider.topology()
+        self._taken_at = now
+        return self._graph
+
+    def invalidate(self) -> None:
+        """Drop the cached snapshot (next query sweeps afresh)."""
+        if self._graph is not None:
+            self._graph = None
+            self._taken_at = float("-inf")
+            self.invalidations += 1
+
+    @property
+    def age(self) -> float:
+        """Seconds since the cached snapshot was taken (inf when empty)."""
+        if self._graph is None:
+            return float("inf")
+        return self.clock() - self._taken_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SnapshotCache ttl={self.ttl:g}s hits={self.hits} "
+            f"misses={self.misses} coalesced={self.coalesced}>"
+        )

@@ -1,0 +1,348 @@
+"""The reservation ledger: who holds how much of the shared network.
+
+One `select()` against a fresh snapshot is correct for a single
+application, but two applications selecting concurrently would both be
+handed the same "best" nodes and trunk links.  The ledger is the service's
+account book: per admitted application it records the CPU fraction claimed
+on each selected node and the bandwidth claimed on each directed link
+channel its traffic routes over, and :meth:`ReservationLedger.apply`
+debits those claims from any topology snapshot so the next selection sees
+*residual* capacity.
+
+Claims are **leases**: each reservation carries an expiry time, and
+:meth:`expire` reclaims capacity from applications that stopped renewing
+— a crashed client (PR 1's fault machinery) cannot leak capacity forever.
+Explicit :meth:`release` and :meth:`renew` complete the lifecycle.
+
+Hard invariants, enforced at :meth:`reserve` time and checkable at any
+moment with :meth:`check_invariants`:
+
+- the summed CPU claims on any node never exceed ``cpu_cap`` (1.0 — a
+  whole processor);
+- the summed bandwidth claims on any directed link channel never exceed
+  that link's peak capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..topology.graph import TopologyGraph
+from ..topology.residual import DirectedEdge, residual_graph
+from ..topology.routing import RoutingTable
+
+__all__ = ["LedgerError", "Reservation", "ReservationLedger", "route_edges"]
+
+#: Slack for floating-point claim accumulation at the caps.  Bandwidth
+#: claims run at 1e7-1e8 bps where incremental summation alone drifts by
+#: a few ulps of the running total, so every comparison scales the slack
+#: by the magnitudes involved instead of using a fixed absolute epsilon.
+_EPS = 1e-9
+
+
+def _slack(*magnitudes: float) -> float:
+    return _EPS * max(1.0, *(abs(m) for m in magnitudes))
+
+
+class LedgerError(Exception):
+    """A reservation request that would violate ledger invariants."""
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One application's recorded claim on the shared network.
+
+    ``edges`` are the directed link channels the application's traffic
+    crosses (union over the routed paths between its node pairs); the
+    bandwidth claim applies once per channel — the ledger models the
+    application's bandwidth *floor* on every link it touches, not a
+    per-flow sum.
+    """
+
+    app_id: str
+    nodes: tuple[str, ...]
+    cpu_fraction: float
+    bw_bps: float
+    edges: tuple[DirectedEdge, ...]
+    priority: str
+    granted_at: float
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+def route_edges(
+    graph: TopologyGraph,
+    nodes: Sequence[str],
+    routing: Optional[RoutingTable] = None,
+) -> set[DirectedEdge]:
+    """Directed link channels used by traffic among ``nodes``.
+
+    Every ordered pair routes over its fixed path (``routing`` if given,
+    else the graph's shortest path — identical on trees); each hop
+    contributes the channel *towards* the next node.  Disconnected pairs
+    contribute nothing.
+    """
+    edges: set[DirectedEdge] = set()
+    for a, b in itertools.permutations(nodes, 2):
+        if routing is not None:
+            path = routing.route(a, b)
+        else:
+            path = graph.path(a, b)
+        if path is None:
+            continue
+        for u, v in zip(path, path[1:]):
+            edges.add((frozenset((u, v)), v))
+    return edges
+
+
+class ReservationLedger:
+    """Tracks capacity claims for all admitted applications.
+
+    Parameters
+    ----------
+    cpu_cap:
+        Maximum summed CPU claim per node (default 1.0 — one full
+        processor; lower it to keep headroom for system load).
+    """
+
+    def __init__(self, cpu_cap: float = 1.0) -> None:
+        if not 0 < cpu_cap <= 1.0:
+            raise ValueError(f"cpu_cap must be in (0, 1], got {cpu_cap}")
+        self.cpu_cap = cpu_cap
+        self.reservations: dict[str, Reservation] = {}
+        self._node_claims: dict[str, float] = {}
+        self._edge_claims: dict[DirectedEdge, float] = {}
+        #: Peak capacity of each claimed channel, learned at reserve time.
+        self._edge_caps: dict[DirectedEdge, float] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def reserve(
+        self,
+        app_id: str,
+        nodes: Sequence[str],
+        *,
+        cpu_fraction: float,
+        bw_bps: float,
+        graph: TopologyGraph,
+        now: float,
+        lease_s: float,
+        routing: Optional[RoutingTable] = None,
+        priority: str = "silver",
+    ) -> Reservation:
+        """Record a claim for ``app_id`` on ``nodes``.
+
+        ``graph`` supplies routes and link capacities (claims are checked
+        against ``maxbw``, never against transient availability — that is
+        the admission controller's job).  Raises :class:`LedgerError` when
+        the claim would oversubscribe a node or channel, and ``ValueError``
+        on malformed requests; on error the ledger is unchanged.
+        """
+        if app_id in self.reservations:
+            raise ValueError(f"application {app_id!r} already holds a lease")
+        if not nodes:
+            raise ValueError("reservation needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate nodes in reservation: {list(nodes)}")
+        if not 0 <= cpu_fraction <= 1.0:
+            raise ValueError(f"cpu_fraction must be in [0, 1]: {cpu_fraction}")
+        if bw_bps < 0:
+            raise ValueError(f"bw_bps cannot be negative: {bw_bps}")
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive: {lease_s}")
+        for name in nodes:
+            graph.node(name)  # unknown nodes raise KeyError here
+
+        edges = (
+            sorted(route_edges(graph, nodes, routing),
+                   key=lambda e: (sorted(e[0]), e[1]))
+            if bw_bps > 0 else []
+        )
+        for name in nodes:
+            claimed = self._node_claims.get(name, 0.0)
+            if claimed + cpu_fraction > self.cpu_cap + _EPS:
+                raise LedgerError(
+                    f"node {name!r} oversubscribed: "
+                    f"{claimed:.3f} + {cpu_fraction:.3f} > {self.cpu_cap}"
+                )
+        for key, dst in edges:
+            cap = graph.link(*tuple(key)).maxbw
+            claimed = self._edge_claims.get((key, dst), 0.0)
+            if claimed + bw_bps > cap + _slack(cap):
+                u, v = sorted(key)
+                raise LedgerError(
+                    f"channel {u}->{v} towards {dst!r} oversubscribed: "
+                    f"{claimed:g} + {bw_bps:g} > capacity {cap:g} bps"
+                )
+
+        reservation = Reservation(
+            app_id=app_id,
+            nodes=tuple(nodes),
+            cpu_fraction=cpu_fraction,
+            bw_bps=bw_bps,
+            edges=tuple(edges),
+            priority=priority,
+            granted_at=now,
+            expires_at=now + lease_s,
+        )
+        for name in nodes:
+            self._node_claims[name] = (
+                self._node_claims.get(name, 0.0) + cpu_fraction
+            )
+        for edge in edges:
+            self._edge_claims[edge] = self._edge_claims.get(edge, 0.0) + bw_bps
+            self._edge_caps[edge] = graph.link(*tuple(edge[0])).maxbw
+        self.reservations[app_id] = reservation
+        return reservation
+
+    def release(self, app_id: str) -> Reservation:
+        """Return ``app_id``'s capacity to the pool."""
+        try:
+            reservation = self.reservations.pop(app_id)
+        except KeyError:
+            raise KeyError(f"no reservation for {app_id!r}") from None
+        for name in reservation.nodes:
+            claimed = self._node_claims[name]
+            remaining = claimed - reservation.cpu_fraction
+            if remaining <= _slack(claimed):
+                del self._node_claims[name]
+            else:
+                self._node_claims[name] = remaining
+        for edge in reservation.edges:
+            claimed = self._edge_claims[edge]
+            remaining = claimed - reservation.bw_bps
+            if remaining <= _slack(claimed):
+                del self._edge_claims[edge]
+                del self._edge_caps[edge]
+            else:
+                self._edge_claims[edge] = remaining
+        return reservation
+
+    def renew(self, app_id: str, now: float, lease_s: float) -> Reservation:
+        """Extend ``app_id``'s lease to ``now + lease_s``."""
+        try:
+            reservation = self.reservations[app_id]
+        except KeyError:
+            raise KeyError(f"no reservation for {app_id!r}") from None
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive: {lease_s}")
+        renewed = dataclasses.replace(reservation, expires_at=now + lease_s)
+        self.reservations[app_id] = renewed
+        return renewed
+
+    def expire(self, now: float) -> list[str]:
+        """Release every lease past its expiry; returns the reclaimed apps."""
+        lapsed = sorted(
+            app_id
+            for app_id, r in self.reservations.items()
+            if r.expired(now)
+        )
+        for app_id in lapsed:
+            self.release(app_id)
+        return lapsed
+
+    def apps_on_node(self, name: str) -> list[str]:
+        """Applications whose reservation includes node ``name``."""
+        return sorted(
+            app_id
+            for app_id, r in self.reservations.items()
+            if name in r.nodes
+        )
+
+    # -- the residual-capacity view -------------------------------------------
+    def apply(self, graph: TopologyGraph) -> TopologyGraph:
+        """Debit all recorded claims from a snapshot (returns a copy).
+
+        This is the capacity view the service plugs into
+        :class:`repro.core.NodeSelector` (its ``view`` parameter): every
+        selection runs on what is actually left after earlier admissions.
+        """
+        return residual_graph(graph, self._node_claims, self._edge_claims)
+
+    # -- introspection ----------------------------------------------------------
+    def node_claim(self, name: str) -> float:
+        """Summed CPU fraction currently claimed on ``name``."""
+        return self._node_claims.get(name, 0.0)
+
+    def edge_claim(self, edge: DirectedEdge) -> float:
+        """Summed bandwidth (bps) currently claimed on a directed channel."""
+        return self._edge_claims.get(edge, 0.0)
+
+    def node_claims(self) -> dict[str, float]:
+        return dict(self._node_claims)
+
+    def edge_claims(self) -> dict[DirectedEdge, float]:
+        return dict(self._edge_claims)
+
+    @property
+    def active(self) -> int:
+        """Number of live reservations."""
+        return len(self.reservations)
+
+    def utilization(self) -> dict[str, float]:
+        """Summary load factors for metrics and reports.
+
+        ``max_node_claim`` is the busiest node's claimed CPU fraction;
+        ``max_edge_claim_fraction`` the busiest channel's claimed share of
+        its peak capacity; the means average over *claimed* resources only
+        (0.0 when nothing is claimed).
+        """
+        nodes = list(self._node_claims.values())
+        edge_fracs = [
+            self._edge_claims[e] / self._edge_caps[e]
+            for e in self._edge_claims
+        ]
+        return {
+            "active_reservations": float(len(self.reservations)),
+            "max_node_claim": max(nodes, default=0.0),
+            "mean_node_claim": sum(nodes) / len(nodes) if nodes else 0.0,
+            "max_edge_claim_fraction": max(edge_fracs, default=0.0),
+            "mean_edge_claim_fraction": (
+                sum(edge_fracs) / len(edge_fracs) if edge_fracs else 0.0
+            ),
+        }
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any claim total breaches its cap.
+
+        The totals are recomputed from the reservations themselves, so this
+        also catches bookkeeping drift between the per-app records and the
+        incremental claim tallies.
+        """
+        node_totals: dict[str, float] = {}
+        edge_totals: dict[DirectedEdge, float] = {}
+        for r in self.reservations.values():
+            for name in r.nodes:
+                node_totals[name] = node_totals.get(name, 0.0) + r.cpu_fraction
+            for edge in r.edges:
+                edge_totals[edge] = edge_totals.get(edge, 0.0) + r.bw_bps
+        for name, total in node_totals.items():
+            assert total <= self.cpu_cap + _slack(self.cpu_cap), (
+                f"node {name!r} oversubscribed: {total} > {self.cpu_cap}"
+            )
+            tally = self._node_claims.get(name, 0.0)
+            assert abs(total - tally) <= _slack(total, tally), (
+                f"node {name!r} tally drift"
+            )
+        for edge, total in edge_totals.items():
+            cap = self._edge_caps[edge]
+            assert total <= cap + _slack(cap), (
+                f"channel {edge} oversubscribed: {total} > {cap}"
+            )
+            tally = self._edge_claims.get(edge, 0.0)
+            assert abs(total - tally) <= _slack(total, tally), (
+                f"channel {edge} tally drift"
+            )
+        assert set(node_totals) == set(self._node_claims), "node tally drift"
+        assert set(edge_totals) == set(self._edge_claims), "edge tally drift"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ReservationLedger {len(self.reservations)} active, "
+            f"{len(self._node_claims)} nodes, "
+            f"{len(self._edge_claims)} channels claimed>"
+        )

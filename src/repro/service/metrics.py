@@ -1,0 +1,74 @@
+"""Service-level counters: the operational dashboard of the selection service.
+
+Plain integer counters updated by :class:`~repro.service.SelectionService`
+as requests flow through, merged with live gauges from the snapshot cache
+and the reservation ledger at :meth:`ServiceMetrics.snapshot` time.
+Surfaced by ``repro-serve`` and ``benchmarks/bench_service_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceMetrics"]
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters over the life of one :class:`~repro.service.SelectionService`."""
+
+    requests: int = 0
+    admitted: int = 0
+    queued: int = 0
+    rejected: int = 0
+    released: int = 0
+    renewed: int = 0
+    #: Leases reclaimed because the holder stopped renewing.
+    expired: int = 0
+    #: Leases reclaimed because a fault event crashed a reserved node.
+    evicted: int = 0
+    #: Queued requests admitted later, when capacity freed up.
+    admitted_from_queue: int = 0
+    #: Queued requests displaced by higher-priority arrivals.
+    queue_displaced: int = 0
+    #: Live gauges merged in by :meth:`snapshot`.
+    extras: dict = field(default_factory=dict)
+
+    def snapshot(self, cache=None, ledger=None, queue=None) -> dict:
+        """All counters plus live cache/ledger/queue gauges, one flat dict."""
+        out = {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "released": self.released,
+            "renewed": self.renewed,
+            "expired": self.expired,
+            "evicted": self.evicted,
+            "admitted_from_queue": self.admitted_from_queue,
+            "queue_displaced": self.queue_displaced,
+        }
+        if queue is not None:
+            out["queue_depth"] = len(queue)
+        if cache is not None:
+            out["cache_hits"] = cache.hits
+            out["cache_misses"] = cache.misses
+            out["cache_coalesced"] = cache.coalesced
+            out["cache_invalidations"] = cache.invalidations
+            out["snapshot_sweeps"] = cache.sweeps
+        if ledger is not None:
+            out.update(ledger.utilization())
+        out.update(self.extras)
+        return out
+
+    def format(self, cache=None, ledger=None, queue=None) -> str:
+        """Human-readable block (``repro-serve`` text output)."""
+        snap = self.snapshot(cache=cache, ledger=ledger, queue=queue)
+        width = max(len(k) for k in snap)
+        lines = []
+        for key, value in snap.items():
+            if isinstance(value, float):
+                lines.append(f"{key:<{width}} : {value:.3f}")
+            else:
+                lines.append(f"{key:<{width}} : {value}")
+        return "\n".join(lines)

@@ -1,0 +1,426 @@
+"""The multi-tenant selection service facade.
+
+:class:`SelectionService` is the long-running layer the paper implies but
+a one-shot library cannot provide: applications on a *shared* network ask
+it for placements, and it answers against residual capacity — what is
+actually left after every earlier admission — instead of handing two
+concurrent applications the same "best" nodes and trunk links.
+
+Wiring (one instance per network):
+
+- a :class:`~repro.service.SnapshotCache` in front of the topology
+  provider (Remos handle, cluster oracle, or a static graph) memoizes the
+  expensive sweep with a TTL and coalesces simultaneous bursts;
+- a :class:`~repro.service.ReservationLedger` records admitted claims and
+  debits them from every snapshot (plugged into the selector as its
+  capacity ``view``);
+- admission (:mod:`repro.service.admission`) queues or rejects requests
+  whose floors do not fit, with priority classes and bounded queueing;
+- leases expire (:meth:`tick`), renew (:meth:`renew`), release
+  (:meth:`release`), and are force-evicted when an attached
+  :class:`~repro.faults.FaultInjector` crashes a reserved node
+  (:meth:`attach_injector`) — crashed clients never leak capacity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from ..core.selector import NodeSelector
+from ..core.spec import ApplicationSpec
+from ..core.types import NoFeasibleSelection, Selection
+from ..topology.graph import TopologyGraph
+from ..topology.routing import RoutingTable
+from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
+from .cache import SnapshotCache
+from .ledger import LedgerError, Reservation, ReservationLedger, route_edges
+from .metrics import ServiceMetrics
+
+__all__ = ["Grant", "SelectionService"]
+
+#: Slack when checking claims against residual floating-point capacity.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Grant:
+    """The service's answer (and later, the standing status) for one app."""
+
+    app_id: str
+    status: str  # a Decision value
+    selection: Optional[Selection] = None
+    reservation: Optional[Reservation] = None
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == Decision.ADMITTED
+
+
+class _StaticProvider:
+    """Adapts a bare TopologyGraph to the provider protocol."""
+
+    def __init__(self, graph: TopologyGraph) -> None:
+        self._graph = graph
+        self.sweeps = 0
+
+    def topology(self) -> TopologyGraph:
+        self.sweeps += 1
+        return self._graph
+
+
+class _ManualClock:
+    """A hand-advanced clock for static providers and offline replay."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _resolve_clock(provider) -> Callable[[], float]:
+    """Best time source for ``provider``: its simulator, else wall clock."""
+    collector = getattr(provider, "collector", None)
+    if collector is not None:  # a RemosAPI
+        sim = collector.cluster.sim
+        return lambda: sim.now
+    sim = getattr(provider, "sim", None)
+    if sim is not None:  # a Cluster (oracle provider)
+        return lambda: sim.now
+    return time.monotonic
+
+
+class SelectionService:
+    """Admission-controlled node selection for concurrent applications.
+
+    Parameters
+    ----------
+    provider:
+        Topology source: a :class:`~repro.remos.RemosAPI`, a
+        :class:`~repro.network.Cluster` (oracle), or a static
+        :class:`TopologyGraph` (offline replay — the service then runs on
+        a manual clock, advanced with :meth:`advance`).
+    snapshot_ttl:
+        Seconds a cached topology sweep stays fresh.
+    lease_s:
+        Lease duration granted at admission and on each renewal.
+    queue_limit:
+        Bound on the admission queue (0: never queue, reject instead).
+    cpu_cap:
+        Per-node cap on summed CPU claims (see
+        :class:`~repro.service.ReservationLedger`).
+    routing:
+        Static routes claims are debited along (default: shortest paths on
+        each snapshot — exact on trees).
+    clock:
+        Override the time source (defaults to the provider's simulator
+        when it has one, else a manual clock for static graphs).
+    exclude_unhealthy:
+        Passed through to the underlying :class:`NodeSelector`.
+    """
+
+    def __init__(
+        self,
+        provider,
+        *,
+        snapshot_ttl: float = 5.0,
+        lease_s: float = 60.0,
+        queue_limit: int = 16,
+        cpu_cap: float = 1.0,
+        routing: Optional[RoutingTable] = None,
+        clock: Optional[Callable[[], float]] = None,
+        exclude_unhealthy: bool = True,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive: {lease_s}")
+        self._manual_clock: Optional[_ManualClock] = None
+        if isinstance(provider, TopologyGraph):
+            provider = _StaticProvider(provider)
+        if clock is None:
+            if isinstance(provider, _StaticProvider):
+                self._manual_clock = _ManualClock()
+                clock = self._manual_clock
+            else:
+                clock = _resolve_clock(provider)
+        self.provider = provider
+        self.clock = clock
+        self.lease_s = float(lease_s)
+        self.routing = routing
+        self.ledger = ReservationLedger(cpu_cap=cpu_cap)
+        self.cache = SnapshotCache(provider, ttl=snapshot_ttl, clock=clock)
+        self.selector = NodeSelector(
+            self.cache,
+            exclude_unhealthy=exclude_unhealthy,
+            view=self._capacity_view,
+        )
+        self.queue = AdmissionQueue(queue_limit)
+        self.metrics = ServiceMetrics()
+        #: Latest standing outcome per application (poll with :meth:`status`).
+        self.outcomes: dict[str, Grant] = {}
+        #: Nodes an attached injector reported crashed and not yet
+        #: recovered.  Ground truth that outruns the monitor: the collector
+        #: only notices a dead host after missed polls, but the service
+        #: must not place work there in the meantime.
+        self._known_down: set[str] = set()
+
+    # -- time -----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock()
+
+    def advance(self, dt: float) -> None:
+        """Advance the manual clock (static-provider mode only)."""
+        if self._manual_clock is None:
+            raise RuntimeError(
+                "advance() only applies to the manual clock; this service "
+                "follows its provider's simulator"
+            )
+        if dt < 0:
+            raise ValueError(f"dt cannot be negative: {dt}")
+        self._manual_clock.now += dt
+        self.tick()
+
+    # -- the request path -------------------------------------------------------
+    def request(
+        self,
+        app_id: str,
+        spec: ApplicationSpec,
+        *,
+        cpu_fraction: float = 0.0,
+        bw_bps: float = 0.0,
+        priority: str = Priority.SILVER,
+    ) -> Grant:
+        """Ask for a placement; returns an admitted/queued/rejected grant.
+
+        ``cpu_fraction`` and ``bw_bps`` are the capacity claims debited
+        from the shared pool while the lease lives.  A queued request is
+        retried automatically whenever capacity frees up; poll
+        :meth:`status` for its standing outcome.
+        """
+        self.metrics.requests += 1
+        self.tick()
+        if app_id in self.ledger.reservations or app_id in self.queue:
+            raise ValueError(
+                f"application {app_id!r} already has a live request; "
+                "release() it first"
+            )
+        req = SelectionRequest(
+            app_id=app_id,
+            spec=spec,
+            cpu_fraction=cpu_fraction,
+            bw_bps=bw_bps,
+            priority=priority,
+            submitted_at=self.now,
+        )
+        grant = self._try_admit(req)
+        if grant is not None:
+            self.metrics.admitted += 1
+            self.outcomes[app_id] = grant
+            return grant
+        displaced = self.queue.offer(req)
+        if displaced is req:
+            grant = Grant(
+                app_id=app_id,
+                status=Decision.REJECTED,
+                reason="infeasible on residual capacity and queue full",
+            )
+            self.metrics.rejected += 1
+        else:
+            if displaced is not None:
+                self.metrics.queue_displaced += 1
+                self.metrics.rejected += 1
+                self.outcomes[displaced.app_id] = Grant(
+                    app_id=displaced.app_id,
+                    status=Decision.REJECTED,
+                    reason="displaced from queue by higher priority",
+                )
+            grant = Grant(
+                app_id=app_id,
+                status=Decision.QUEUED,
+                reason="waiting for capacity",
+            )
+            self.metrics.queued += 1
+        self.outcomes[app_id] = grant
+        return grant
+
+    def _effective_spec(self, req: SelectionRequest) -> ApplicationSpec:
+        """Fold the request's claims into the spec as selection floors.
+
+        Only when the spec declares no floor of its own (the spec admits at
+        most one), so claim-aware selection steers toward sets that can
+        actually host the claim instead of failing admission afterwards.
+        """
+        spec = req.spec
+        plain = (
+            spec.min_bandwidth_bps is None
+            and spec.min_cpu_fraction is None
+            and spec.max_latency_s is None
+            and not spec.account_simultaneous_streams
+            and not spec.groups
+            and spec.num_nodes_range is None
+        )
+        if not plain:
+            return spec
+        if req.bw_bps > 0:
+            return replace(spec, min_bandwidth_bps=req.bw_bps)
+        if req.cpu_fraction > 0:
+            return replace(spec, min_cpu_fraction=req.cpu_fraction)
+        return spec
+
+    def _capacity_view(self, graph: TopologyGraph) -> TopologyGraph:
+        """Residual capacity plus injector-reported crashes (a copy)."""
+        g = self.ledger.apply(graph)
+        for name in self._known_down:
+            if g.has_node(name):
+                g.node(name).attrs["down"] = True
+        return g
+
+    def _try_admit(self, req: SelectionRequest) -> Optional[Grant]:
+        """One admission attempt on current residual capacity."""
+        base = self.cache.topology()
+        residual = self._capacity_view(base)
+        try:
+            selection = self.selector.select(self._effective_spec(req), residual)
+        except NoFeasibleSelection:
+            return None
+        # Verify the claims themselves fit on residual capacity.
+        for name in selection.nodes:
+            if residual.node(name).cpu + _EPS < req.cpu_fraction:
+                return None
+        if req.bw_bps > 0:
+            for key, dst in route_edges(residual, selection.nodes, self.routing):
+                link = residual.link(*tuple(key))
+                if link.available_towards(dst) + _EPS < req.bw_bps:
+                    return None
+        try:
+            reservation = self.ledger.reserve(
+                req.app_id,
+                selection.nodes,
+                cpu_fraction=req.cpu_fraction,
+                bw_bps=req.bw_bps,
+                graph=base,
+                now=self.now,
+                lease_s=self.lease_s,
+                routing=self.routing,
+                priority=req.priority,
+            )
+        except LedgerError:
+            # Claims fit measured availability but not the ledger caps
+            # (e.g. measured idle capacity on an already fully-claimed
+            # node).  Admission treats it exactly like infeasibility.
+            return None
+        return Grant(
+            app_id=req.app_id,
+            status=Decision.ADMITTED,
+            selection=selection,
+            reservation=reservation,
+        )
+
+    # -- lease lifecycle ---------------------------------------------------------
+    def release(self, app_id: str) -> Grant:
+        """Give back ``app_id``'s capacity (or withdraw its queued request)."""
+        if self.queue.remove(app_id) is not None:
+            grant = Grant(app_id=app_id, status=Decision.RELEASED,
+                          reason="withdrawn from queue")
+        else:
+            self.ledger.release(app_id)  # raises KeyError when unknown
+            grant = Grant(app_id=app_id, status=Decision.RELEASED)
+        self.metrics.released += 1
+        self.outcomes[app_id] = grant
+        self._drain_queue()
+        return grant
+
+    def renew(self, app_id: str) -> Reservation:
+        """Extend ``app_id``'s lease by the service's lease duration."""
+        reservation = self.ledger.renew(app_id, self.now, self.lease_s)
+        self.metrics.renewed += 1
+        return reservation
+
+    def tick(self) -> list[str]:
+        """Expire lapsed leases and retry the queue; returns expired apps.
+
+        Called automatically on every request and manual-clock advance;
+        simulator-driven deployments can also schedule it periodically
+        (``sim.call_in(period, service.tick)``).
+        """
+        expired = self.ledger.expire(self.now)
+        for app_id in expired:
+            self.metrics.expired += 1
+            self.outcomes[app_id] = Grant(
+                app_id=app_id,
+                status=Decision.EXPIRED,
+                reason="lease lapsed without renewal",
+            )
+        if expired:
+            self._drain_queue()
+        return expired
+
+    def _drain_queue(self) -> None:
+        """Re-run admission over the queue in priority order."""
+        for req in self.queue.waiting():
+            grant = self._try_admit(req)
+            if grant is None:
+                continue  # keep waiting; smaller requests may still fit
+            self.queue.remove(req.app_id)
+            self.metrics.admitted += 1
+            self.metrics.admitted_from_queue += 1
+            self.outcomes[req.app_id] = grant
+
+    # -- fault integration ---------------------------------------------------------
+    def attach_injector(self, injector) -> None:
+        """Subscribe to a :class:`~repro.faults.FaultInjector`.
+
+        Every fault/recovery event invalidates the snapshot cache (the
+        network just changed; a pre-event snapshot must not outlive it).
+        A node crash additionally force-expires every lease holding that
+        node — the service-side half of lease safety: expiry reclaims
+        capacity from clients that died silently, eviction reclaims it the
+        moment the infrastructure *knows* the node is gone.
+        """
+        def on_event(_t: float, kind: str, target: str) -> None:
+            self.cache.invalidate()
+            if kind == "node-recover":
+                self._known_down.discard(target)
+                self._drain_queue()
+                return
+            if kind != "node-crash":
+                return
+            self._known_down.add(target)
+            for app_id in self.ledger.apps_on_node(target):
+                self.ledger.release(app_id)
+                self.metrics.evicted += 1
+                self.outcomes[app_id] = Grant(
+                    app_id=app_id,
+                    status=Decision.EVICTED,
+                    reason=f"reserved node {target!r} crashed",
+                )
+            self._drain_queue()
+
+        injector.subscribe(on_event)
+
+    # -- introspection --------------------------------------------------------------
+    def status(self, app_id: str) -> Grant:
+        """The standing outcome for ``app_id`` (admitted apps stay admitted)."""
+        try:
+            return self.outcomes[app_id]
+        except KeyError:
+            raise KeyError(f"unknown application {app_id!r}") from None
+
+    def active_apps(self) -> list[str]:
+        """Applications currently holding a lease, sorted."""
+        return sorted(self.ledger.reservations)
+
+    def metrics_snapshot(self) -> dict:
+        """Counters plus live cache/ledger/queue gauges."""
+        return self.metrics.snapshot(
+            cache=self.cache, ledger=self.ledger, queue=self.queue
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SelectionService {self.ledger.active} leases, "
+            f"{len(self.queue)} queued, t={self.now:g}>"
+        )

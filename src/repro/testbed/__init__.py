@@ -15,6 +15,7 @@ from .cmu import (
     cmu_testbed,
 )
 from .experiment import CampaignResult, TrialResult, run_campaign, run_trial
+from .multiapp import MultiTenantResult, TenantRequest, run_multi_tenant
 from .scenario import (
     Policy,
     Scenario,
@@ -30,16 +31,19 @@ __all__ = [
     "ETHERNET_BW",
     "HOSTS",
     "HOSTS_BY_ROUTER",
+    "MultiTenantResult",
     "Policy",
     "ROUTERS",
     "Scenario",
     "Table1Result",
     "Table1Row",
+    "TenantRequest",
     "TrialResult",
     "cmu_testbed",
     "default_load_config",
     "default_traffic_config",
     "generate_table1",
     "run_campaign",
+    "run_multi_tenant",
     "run_trial",
 ]

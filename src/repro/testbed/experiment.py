@@ -10,7 +10,6 @@ seeded trials — the stand-in for the paper's "large number of measurements
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
 
 import numpy as np
 

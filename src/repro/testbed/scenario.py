@@ -9,7 +9,7 @@ departmental cluster rather than an interactive one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..apps.base import Application

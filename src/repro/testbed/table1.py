@@ -18,7 +18,7 @@ import argparse
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..analysis.stats import percent_change, slowdown_percent, summarize
+from ..analysis.stats import percent_change, slowdown_percent
 from ..analysis.tables import format_percent, format_table
 from ..apps import MRI, Airshed, FFT2D, Application
 from ..faults.scenario import random_fault_plan

@@ -25,10 +25,12 @@ from .graph import (
     cpu_fraction,
     load_from_cpu_fraction,
 )
+from .residual import DirectedEdge, residual_graph
 from .routing import RoutedView, RoutingTable
 from .serialize import from_dict, from_json, to_dict, to_dot, to_json
 
 __all__ = [
+    "DirectedEdge",
     "Link",
     "Node",
     "NodeKind",
@@ -45,6 +47,7 @@ __all__ = [
     "linear_lan_chain",
     "load_from_cpu_fraction",
     "random_tree",
+    "residual_graph",
     "star",
     "to_dict",
     "to_dot",

@@ -17,7 +17,6 @@ event list, and traces can be persisted (CSV) and diffed.
 from __future__ import annotations
 
 import csv
-import io
 from dataclasses import dataclass
 from typing import Optional, Sequence, TextIO, Union
 

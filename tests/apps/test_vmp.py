@@ -5,7 +5,7 @@ import pytest
 from repro.des import Simulator
 from repro.network import Cluster
 from repro.apps import Program
-from repro.topology import star, dumbbell
+from repro.topology import star
 from repro.units import MB, Mbps, transfer_time
 
 

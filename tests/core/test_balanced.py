@@ -13,7 +13,7 @@ from repro.core import (
     select_exhaustive,
     select_max_compute,
 )
-from repro.topology import TopologyGraph, dumbbell, random_tree, star
+from repro.topology import dumbbell, random_tree, star
 from repro.units import Mbps
 
 

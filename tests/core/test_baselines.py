@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     NoFeasibleSelection,
-    min_pairwise_bandwidth,
     select_exhaustive,
     select_random,
     select_static,

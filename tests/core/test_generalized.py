@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     NoFeasibleSelection,
-    References,
     min_pairwise_bandwidth,
     select_client_server,
     select_routed,
@@ -14,8 +13,6 @@ from repro.core import (
     select_with_cpu_floor,
 )
 from repro.topology import (
-    RoutingTable,
-    TopologyGraph,
     dumbbell,
     fat_tree_pod,
     random_tree,

@@ -9,7 +9,7 @@ from repro.core import (
     select_balanced,
     select_with_latency_bound,
 )
-from repro.topology import Node, TopologyGraph, dumbbell, linear_lan_chain, star
+from repro.topology import Node, dumbbell, linear_lan_chain, star
 from repro.units import MB
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.core import (
     CommPattern,
     effective_pattern_bandwidth,
-    minresource,
     pattern_flows,
     select_balanced,
     select_pattern_aware,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import AllOf, AnyOf, Event, Simulator, Timeout
+from repro.des import AllOf, Simulator
 
 
 @pytest.fixture

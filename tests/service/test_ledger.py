@@ -1,0 +1,194 @@
+"""Unit tests for the reservation ledger and route-edge accounting."""
+
+import pytest
+
+from repro.service import LedgerError, ReservationLedger, route_edges
+from repro.topology import dumbbell, star
+from repro.units import Mbps
+
+
+@pytest.fixture
+def graph():
+    return dumbbell(4, 4)
+
+
+class TestRouteEdges:
+    def test_adjacent_pair_uses_both_directions(self):
+        g = star(3)
+        edges = route_edges(g, ["h0", "h1"])
+        # h0->h1 and h1->h0 each cross two hops; 4 directed channels total.
+        assert len(edges) == 4
+        assert (frozenset(("h0", "switch")), "switch") in edges
+        assert (frozenset(("h0", "switch")), "h0") in edges
+
+    def test_cross_trunk_pair_includes_trunk(self, graph):
+        edges = route_edges(graph, ["l0", "r0"])
+        trunk = frozenset(("sw-left", "sw-right"))
+        assert (trunk, "sw-right") in edges
+        assert (trunk, "sw-left") in edges
+
+    def test_same_side_pair_avoids_trunk(self, graph):
+        edges = route_edges(graph, ["l0", "l1"])
+        trunk = frozenset(("sw-left", "sw-right"))
+        assert not any(key == trunk for key, _ in edges)
+
+    def test_disconnected_pair_contributes_nothing(self, graph):
+        graph.add_compute("island")
+        assert route_edges(graph, ["l0", "island"]) == set()
+
+
+class TestReserve:
+    def test_records_claims(self, graph):
+        ledger = ReservationLedger()
+        r = ledger.reserve(
+            "fft", ["l0", "l1"], cpu_fraction=0.5, bw_bps=10 * Mbps,
+            graph=graph, now=0.0, lease_s=60.0,
+        )
+        assert ledger.active == 1
+        assert ledger.node_claim("l0") == pytest.approx(0.5)
+        assert r.edges  # bandwidth claim implies routed channels
+        for edge in r.edges:
+            assert ledger.edge_claim(edge) == pytest.approx(10 * Mbps)
+        ledger.check_invariants()
+
+    def test_zero_bw_claims_no_edges(self, graph):
+        ledger = ReservationLedger()
+        r = ledger.reserve(
+            "a", ["l0", "r0"], cpu_fraction=0.3, bw_bps=0.0,
+            graph=graph, now=0.0, lease_s=60.0,
+        )
+        assert r.edges == ()
+
+    def test_cpu_oversubscription_rejected(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0"], cpu_fraction=0.7, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        with pytest.raises(LedgerError, match="oversubscribed"):
+            ledger.reserve("b", ["l0"], cpu_fraction=0.5, bw_bps=0.0,
+                           graph=graph, now=0.0, lease_s=60.0)
+        # Failed reserve leaves the ledger untouched.
+        assert ledger.active == 1
+        ledger.check_invariants()
+
+    def test_bandwidth_oversubscription_rejected(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0", "r0"], cpu_fraction=0.1, bw_bps=80 * Mbps,
+                       graph=graph, now=0.0, lease_s=60.0)
+        with pytest.raises(LedgerError, match="oversubscribed"):
+            # Trunk capacity is 100 Mbps; 80 + 30 does not fit.
+            ledger.reserve("b", ["l1", "r1"], cpu_fraction=0.1,
+                           bw_bps=30 * Mbps,
+                           graph=graph, now=0.0, lease_s=60.0)
+        ledger.check_invariants()
+
+    def test_duplicate_app_rejected(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0"], cpu_fraction=0.1, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        with pytest.raises(ValueError, match="already holds"):
+            ledger.reserve("a", ["l1"], cpu_fraction=0.1, bw_bps=0.0,
+                           graph=graph, now=0.0, lease_s=60.0)
+
+    def test_unknown_node_rejected(self, graph):
+        ledger = ReservationLedger()
+        with pytest.raises(KeyError):
+            ledger.reserve("a", ["nope"], cpu_fraction=0.1, bw_bps=0.0,
+                           graph=graph, now=0.0, lease_s=60.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cpu_fraction": -0.1, "bw_bps": 0.0},
+        {"cpu_fraction": 1.5, "bw_bps": 0.0},
+        {"cpu_fraction": 0.1, "bw_bps": -1.0},
+        {"cpu_fraction": 0.1, "bw_bps": 0.0, "lease_s": 0.0},
+    ])
+    def test_malformed_requests_rejected(self, graph, kwargs):
+        ledger = ReservationLedger()
+        kwargs.setdefault("lease_s", 60.0)
+        with pytest.raises(ValueError):
+            ledger.reserve("a", ["l0"], graph=graph, now=0.0, **kwargs)
+
+    def test_cpu_cap_validation(self):
+        with pytest.raises(ValueError):
+            ReservationLedger(cpu_cap=0.0)
+        with pytest.raises(ValueError):
+            ReservationLedger(cpu_cap=1.5)
+
+
+class TestLifecycle:
+    def test_release_returns_capacity(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0"], cpu_fraction=0.9, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        ledger.release("a")
+        assert ledger.active == 0
+        assert ledger.node_claim("l0") == 0.0
+        # Freed capacity is reusable immediately.
+        ledger.reserve("b", ["l0"], cpu_fraction=0.9, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        ledger.check_invariants()
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ReservationLedger().release("ghost")
+
+    def test_expire_reclaims_lapsed_leases(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("short", ["l0"], cpu_fraction=0.5, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=10.0)
+        ledger.reserve("long", ["l1"], cpu_fraction=0.5, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=100.0)
+        assert ledger.expire(5.0) == []
+        assert ledger.expire(10.0) == ["short"]
+        assert ledger.active == 1
+        assert "long" in ledger.reservations
+        ledger.check_invariants()
+
+    def test_renew_extends_lease(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0"], cpu_fraction=0.5, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=10.0)
+        renewed = ledger.renew("a", now=8.0, lease_s=10.0)
+        assert renewed.expires_at == pytest.approx(18.0)
+        assert ledger.expire(10.0) == []
+        assert ledger.expire(18.0) == ["a"]
+
+    def test_apps_on_node(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0", "l1"], cpu_fraction=0.2, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        ledger.reserve("b", ["l1", "l2"], cpu_fraction=0.2, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        assert ledger.apps_on_node("l1") == ["a", "b"]
+        assert ledger.apps_on_node("l0") == ["a"]
+        assert ledger.apps_on_node("r0") == []
+
+
+class TestResidualView:
+    def test_apply_debits_cpu(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0"], cpu_fraction=0.6, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        residual = ledger.apply(graph)
+        assert residual.node("l0").cpu == pytest.approx(0.4)
+        # The original snapshot is untouched.
+        assert graph.node("l0").cpu == pytest.approx(1.0)
+
+    def test_apply_debits_bandwidth(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0", "r0"], cpu_fraction=0.1, bw_bps=40 * Mbps,
+                       graph=graph, now=0.0, lease_s=60.0)
+        residual = ledger.apply(graph)
+        trunk = residual.link("sw-left", "sw-right")
+        assert trunk.available_towards("sw-right") == pytest.approx(60 * Mbps)
+        assert graph.link("sw-left", "sw-right").available_towards(
+            "sw-right") == pytest.approx(100 * Mbps)
+
+    def test_utilization_summary(self, graph):
+        ledger = ReservationLedger()
+        assert ledger.utilization()["active_reservations"] == 0.0
+        ledger.reserve("a", ["l0", "r0"], cpu_fraction=0.25, bw_bps=50 * Mbps,
+                       graph=graph, now=0.0, lease_s=60.0)
+        u = ledger.utilization()
+        assert u["active_reservations"] == 1.0
+        assert u["max_node_claim"] == pytest.approx(0.25)
+        assert u["max_edge_claim_fraction"] == pytest.approx(0.5)

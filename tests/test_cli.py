@@ -100,3 +100,75 @@ class TestMain:
     def test_invalid_spec_returns_2(self, topo_file, capsys):
         assert main([topo_file, "-m", "4", "--min-cpu", "3.0"]) == 2
         assert "invalid specification" in capsys.readouterr().err
+
+
+class TestHealthFlags:
+    """--exclude-unhealthy / --include-unhealthy / --degraded-policy."""
+
+    @pytest.fixture
+    def degraded_file(self, tmp_path):
+        # A dumbbell snapshot whose l0 went unmonitorable and whose trunk
+        # is stale — the marks export_snapshot() would have serialized.
+        g = dumbbell(4, 4)
+        g.node("l0").attrs["unmonitorable"] = True
+        g.link("sw-left", "sw-right").attrs["stale"] = True
+        path = tmp_path / "degraded.json"
+        path.write_text(to_json(g))
+        return str(path)
+
+    def test_excludes_unhealthy_by_default(self, degraded_file, capsys):
+        assert main([degraded_file, "-m", "8", "--format", "json"]) == 1
+        assert "no feasible" in capsys.readouterr().err
+
+    def test_include_unhealthy_considers_marked_nodes(
+        self, degraded_file, capsys,
+    ):
+        assert main([
+            degraded_file, "-m", "8", "--include-unhealthy",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "l0" in payload["nodes"]
+
+    def test_flags_are_mutually_exclusive(self, degraded_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                degraded_file, "-m", "4",
+                "--exclude-unhealthy", "--include-unhealthy",
+            ])
+
+    def test_optimistic_policy_strips_marks(self, degraded_file, capsys):
+        assert main([
+            degraded_file, "-m", "8",
+            "--degraded-policy", "optimistic", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "l0" in payload["nodes"]
+
+    def test_last_good_alias_keeps_snapshot(self, degraded_file, capsys):
+        assert main([
+            degraded_file, "-m", "8", "--degraded-policy", "last-good",
+        ]) == 1
+        assert "no feasible" in capsys.readouterr().err
+
+    def test_conservative_policy_zeroes_stale_trunk(
+        self, degraded_file, capsys,
+    ):
+        # The stale trunk answers zero bandwidth, so a cross-trunk
+        # bandwidth floor becomes infeasible under conservative.
+        assert main([
+            degraded_file, "-m", "8", "--include-unhealthy",
+            "--min-bandwidth-mbps", "1",
+            "--degraded-policy", "conservative",
+        ]) == 1
+        assert main([
+            degraded_file, "-m", "8", "--include-unhealthy",
+            "--min-bandwidth-mbps", "1",
+            "--degraded-policy", "optimistic",
+        ]) == 0
+
+    def test_bad_policy_rejected(self, degraded_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                degraded_file, "-m", "4", "--degraded-policy", "pessimistic",
+            ])

@@ -14,7 +14,6 @@ from repro.core import (
     ApplicationSpec,
     NodeSelector,
     minresource,
-    select_random,
 )
 from repro.des import Simulator
 from repro.network import Cluster

@@ -13,15 +13,15 @@ from hypothesis import strategies as st
 from repro.core import (
     ApplicationSpec,
     NodeSelector,
-    minresource,
     select_balanced,
     select_max_bandwidth,
     select_max_compute,
 )
 from repro.des import Simulator
-from repro.faults import FaultInjector, random_fault_plan
+from repro.faults import FaultInjector, NodeCrash, random_fault_plan
 from repro.network import Cluster, Host
 from repro.remos import Collector, RemosAPI
+from repro.service import LedgerError, Priority, ReservationLedger, SelectionService
 from repro.topology import dumbbell, from_json, random_tree, to_json
 from repro.units import MB, Mbps
 
@@ -78,6 +78,46 @@ class TestSerializationProperties:
         a = select_balanced(g, 3)
         b = select_balanced(g2, 3)
         assert a.nodes == b.nodes
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_residual_graph_roundtrip_lossless(self, seed):
+        """Ledger-debited snapshots survive serialization exactly.
+
+        A residual graph (random reservations debited from a random tree)
+        is a plain TopologyGraph; JSON round-tripping it must preserve
+        every capacity the debit produced, bit for bit.
+        """
+        rng = np.random.default_rng(seed)
+        g = randomized_tree(seed, nc=8, ns=3)
+        ledger = ReservationLedger()
+        names = sorted(n.name for n in g.compute_nodes())
+        for i in range(int(rng.integers(1, 5))):
+            k = int(rng.integers(1, min(4, len(names)) + 1))
+            nodes = [str(n) for n in rng.choice(names, size=k, replace=False)]
+            try:
+                ledger.reserve(
+                    f"app-{i}", nodes,
+                    cpu_fraction=float(rng.uniform(0.05, 0.45)),
+                    bw_bps=float(rng.uniform(0, 20)) * Mbps,
+                    graph=g, now=0.0, lease_s=60.0,
+                )
+            except LedgerError:
+                pass  # random claims may not fit; the fit ones suffice
+        residual = ledger.apply(g)
+        g2 = from_json(to_json(residual))
+        for n in residual.nodes():
+            m = g2.node(n.name)
+            assert n.load_average == m.load_average
+            assert n.cpu == m.cpu
+        for l in residual.links():
+            l2 = g2.link(l.u, l.v)
+            assert l.maxbw == l2.maxbw
+            assert l.available_towards(l.v) == l2.available_towards(l.v)
+            assert l.available_towards(l.u) == l2.available_towards(l.u)
+        # And a selection on the debited view survives the round trip.
+        assert select_balanced(residual, 3).nodes == \
+            select_balanced(g2, 3).nodes
 
 
 class TestProcessorSharingConservation:
@@ -256,3 +296,137 @@ class TestFaultResilienceProperties:
         sim.run(until=90.0)
         final = selector.select(spec)
         assert all(cluster.node_is_up(n) for n in final.nodes)
+
+
+class TestServiceOversubscriptionProperties:
+    """The multi-tenant ledger's conservation law: for *any* sequence of
+    concurrent requests, releases, lease expiries, and injected node
+    crashes, the summed CPU claims on a node never exceed 1.0 and the
+    summed bandwidth claims on a directed channel never exceed that
+    link's peak capacity."""
+
+    def _assert_no_oversubscription(self, service, graph):
+        # Recompute claim totals from the reservations themselves, then
+        # check them against the physical capacities — independently of
+        # the ledger's own tallies (which check_invariants also audits).
+        service.ledger.check_invariants()
+        node_totals: dict[str, float] = {}
+        edge_totals: dict = {}
+        for r in service.ledger.reservations.values():
+            for n in r.nodes:
+                node_totals[n] = node_totals.get(n, 0.0) + r.cpu_fraction
+            for edge in r.edges:
+                edge_totals[edge] = edge_totals.get(edge, 0.0) + r.bw_bps
+        for name, total in node_totals.items():
+            assert total <= 1.0 + 1e-9, f"node {name} oversubscribed: {total}"
+        for (key, dst), total in edge_totals.items():
+            cap = graph.link(*tuple(key)).maxbw
+            assert total <= cap * (1 + 1e-9) + 1e-9, (
+                f"channel {sorted(key)}->{dst} oversubscribed: "
+                f"{total} > {cap}"
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_invariant_holds_under_churn_and_crashes(self, seed):
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        g = dumbbell(4, 4, latency=0.0)
+        cluster = Cluster(sim, g, base_capacity=1.0)
+        collector = Collector(cluster, period=2.0, stale_after=3)
+        api = RemosAPI(collector)
+        injector = FaultInjector(cluster, collector)
+        service = SelectionService(
+            api,
+            snapshot_ttl=2.0,
+            lease_s=float(rng.uniform(8.0, 25.0)),
+            queue_limit=4,
+        )
+        service.attach_injector(injector)
+        injector.schedule(
+            random_fault_plan(
+                cluster, rng, horizon=60.0, start=10.0,
+                n_crashes=2, n_flaps=1, n_outages=1, n_resets=0,
+            )
+        )
+        sim.run(until=5.0)  # let the collector take its first sweeps
+
+        app_seq = 0
+        submitted: list[str] = []
+        for t in np.linspace(6.0, 75.0, 24):
+            sim.run(until=float(t))
+            live = [
+                a for a in submitted
+                if a in service.ledger.reservations or a in service.queue
+            ]
+            roll = rng.random()
+            if roll < 0.55 or not live:
+                app_seq += 1
+                app = f"app-{app_seq}"
+                service.request(
+                    app,
+                    ApplicationSpec(num_nodes=int(rng.integers(1, 5))),
+                    cpu_fraction=float(rng.uniform(0.1, 0.9)),
+                    bw_bps=float(rng.uniform(0.0, 40.0)) * Mbps,
+                    priority=str(rng.choice(Priority.ALL)),
+                )
+                submitted.append(app)
+            elif roll < 0.8:
+                service.release(str(rng.choice(live)))
+            else:
+                reserved = [
+                    a for a in live if a in service.ledger.reservations
+                ]
+                if reserved and rng.random() < 0.5:
+                    service.renew(str(rng.choice(reserved)))
+                else:
+                    service.tick()
+            self._assert_no_oversubscription(service, g)
+
+        # Leases stop being renewed here; crashes already evicted some.
+        sim.run(until=200.0)
+        service.tick()
+        self._assert_no_oversubscription(service, g)
+        # No active lease may be past its expiry after a tick.
+        for r in service.ledger.reservations.values():
+            assert r.expires_at > sim.now
+        # Conservation: releasing everything empties every claim tally.
+        for app in list(service.ledger.reservations) + [
+            r.app_id for r in service.queue.waiting()
+        ]:
+            service.release(app)
+        assert service.ledger.active == 0
+        assert service.ledger.node_claims() == {}
+        assert service.ledger.edge_claims() == {}
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_crash_eviction_reclaims_capacity(self, seed):
+        """A crash that hits reserved nodes force-expires those leases,
+        and the invariant holds through eviction and re-admission."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        g = dumbbell(3, 3, latency=0.0)
+        cluster = Cluster(sim, g, base_capacity=1.0)
+        collector = Collector(cluster, period=2.0, stale_after=3)
+        api = RemosAPI(collector)
+        injector = FaultInjector(cluster, collector)
+        service = SelectionService(api, snapshot_ttl=2.0, lease_s=1e6)
+        service.attach_injector(injector)
+        sim.run(until=5.0)
+
+        # Saturate the network: every node fully claimed.
+        for i in range(3):
+            service.request(
+                f"app-{i}", ApplicationSpec(num_nodes=2), cpu_fraction=1.0,
+            )
+        assert service.ledger.active == 3
+        victim = str(rng.choice(sorted(cluster.hosts)))
+        holders = service.ledger.apps_on_node(victim)
+        assert len(holders) == 1  # full claims cannot share a node
+        # One crash that definitely hits a reservation.
+        injector.schedule([NodeCrash(node=victim, at=10.0)])
+        sim.run(until=20.0)
+        assert service.status(holders[0]).status == "evicted"
+        assert service.ledger.node_claim(victim) == 0.0
+        self._assert_no_oversubscription(service, g)

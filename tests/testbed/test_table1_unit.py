@@ -98,7 +98,6 @@ class TestCampaignFailures:
 
 class TestFaultsCLIWiring:
     def test_main_accepts_faults_and_degraded_flags(self):
-        import argparse
         from repro.testbed.table1 import main
         # Bad policy must be rejected by argparse itself (exit code 2).
         with pytest.raises(SystemExit):
@@ -107,7 +106,6 @@ class TestFaultsCLIWiring:
     def test_generate_table1_wires_fault_plan(self, monkeypatch):
         import repro.testbed.table1 as t1
         from repro.remos import DegradedPolicy
-        from repro.testbed import Scenario
 
         seen = []
 

@@ -6,7 +6,7 @@ import pytest
 from repro.des import Simulator
 from repro.network import Cluster
 from repro.topology import dumbbell, star
-from repro.units import MB, Mbps
+from repro.units import MB
 from repro.workloads import (
     Exponential,
     LoadGenerator,

@@ -15,7 +15,6 @@ from repro.workloads import (
     MessageEvent,
     ReplayLoadGenerator,
     ReplayTrafficGenerator,
-    TrafficGeneratorConfig,
     generate_load_trace,
     generate_traffic_trace,
     load_trace,
