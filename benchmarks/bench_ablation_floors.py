@@ -41,7 +41,7 @@ def test_bandwidth_floor_tradeoff_curve(benchmark):
     cpu_at_floor = {}
     for floor in (0, 10, 20, 40, 60, 80):
         try:
-            sel = select_with_bandwidth_floor(g, 4, floor * Mbps)
+            sel = select_with_bandwidth_floor(g, 4, floor_bps=floor * Mbps)
             cpu_at_floor[floor] = sel.objective
             rows.append([
                 floor,
@@ -66,21 +66,21 @@ def test_bandwidth_floor_tradeoff_curve(benchmark):
         assert c2 <= c1 + 1e-9, (f1, f2)
     # Every feasible answer actually meets its floor.
     for floor, cpu in feasible:
-        sel = select_with_bandwidth_floor(g, 4, floor * Mbps)
+        sel = select_with_bandwidth_floor(g, 4, floor_bps=floor * Mbps)
         assert sel.min_bw_bps >= floor * Mbps - 1e-6
 
-    benchmark(select_with_bandwidth_floor, g, 4, 20 * Mbps)
+    benchmark(lambda: select_with_bandwidth_floor(g, 4, floor_bps=20 * Mbps))
 
 
 def test_cpu_floor_dual(benchmark):
     g = mixed_tree()
     prev_bw = float("inf")
     for floor in (0.0, 0.3, 0.5):
-        sel = select_with_cpu_floor(g, 4, floor)
+        sel = select_with_cpu_floor(g, 4, floor=floor)
         assert sel.min_cpu_fraction >= floor - 1e-9
         # Raising the CPU floor shrinks the candidate pool: bandwidth can
         # only get worse.
         assert sel.min_bw_bps <= prev_bw + 1e-6
         prev_bw = sel.min_bw_bps
 
-    benchmark(select_with_cpu_floor, g, 4, 0.3)
+    benchmark(lambda: select_with_cpu_floor(g, 4, floor=0.3))

@@ -49,7 +49,7 @@ def run_fft_on(placement):
 def test_pattern_aware_vs_balanced(benchmark):
     g = trap_topology()
     bal = select_balanced(g, 4)
-    aware = select_pattern_aware(g, 4, CommPattern.ALL_TO_ALL)
+    aware = select_pattern_aware(g, 4, pattern=CommPattern.ALL_TO_ALL)
 
     bal_eff = effective_pattern_bandwidth(g, bal.nodes, CommPattern.ALL_TO_ALL)
     aware_eff = aware.extras["effective_pattern_bw_bps"]
@@ -77,7 +77,9 @@ def test_pattern_aware_vs_balanced(benchmark):
     assert aware_eff > bal_eff * 1.25
     assert aware_time < bal_time * 0.95
 
-    benchmark(select_pattern_aware, g, 4, CommPattern.ALL_TO_ALL)
+    benchmark(
+        lambda: select_pattern_aware(g, 4, pattern=CommPattern.ALL_TO_ALL)
+    )
 
 
 def test_pattern_flows_cost(benchmark):

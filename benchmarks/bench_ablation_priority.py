@@ -29,7 +29,7 @@ def test_priority_sweep_flips_selection(benchmark):
     rows = []
     sides = {}
     for factor in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
-        sel = select_balanced(g, 4, References(compute_priority=factor))
+        sel = select_balanced(g, 4, refs=References(compute_priority=factor))
         side = "left(loaded cpu, clean bw)" if sel.nodes[0].startswith("l") \
             else "right(idle cpu, congested bw)"
         sides[factor] = sel.nodes[0][0]
@@ -52,7 +52,7 @@ def test_priority_sweep_flips_selection(benchmark):
     order = [sides[f] for f in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)]
     assert "".join(order).count("lr") <= 1 and "rl" not in "".join(order)
 
-    benchmark(select_balanced, g, 4, References(compute_priority=2.0))
+    benchmark(lambda: select_balanced(g, 4, refs=References(compute_priority=2.0)))
 
 
 def test_priority_threads_through_selector(benchmark):

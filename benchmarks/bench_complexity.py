@@ -75,13 +75,13 @@ def scaling_report():
 
 def test_complexity_exponents(benchmark, scaling_report):
     exps = scaling_report
-    # Compute selection is (near-)linear; the peeling algorithms must stay
-    # at most roughly quadratic-and-a-bit in total nodes.
+    # Compute selection is (near-)linear.  The peeling algorithms ran on
+    # a naive O(E^2) sweep when this bench was written; they now execute
+    # on the incremental kernel (core/kernel.py), whose sort-dominated
+    # O(E log E) replay must stay well under quadratic too.
     assert exps["compute"] < 1.6
-    assert exps["bandwidth"] < 3.0
-    assert exps["balanced"] < 3.0
-    # And the ordering the paper implies: compute is the cheap one.
-    assert exps["compute"] < exps["balanced"]
+    assert exps["bandwidth"] < 2.0
+    assert exps["balanced"] < 2.0
 
     g = loaded_tree(256)
     benchmark(select_max_compute, g, 8)

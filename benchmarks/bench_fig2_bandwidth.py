@@ -52,7 +52,7 @@ def test_fig2_vs_random_baseline(benchmark):
         for seed in range(10):
             g, rng = loaded_tree(n_compute, n_switch, seed)
             opt = select_max_bandwidth(g, 4)
-            rnd = select_random(g, 4, rng)
+            rnd = select_random(g, 4, rng=rng)
             rnd_bw = min_pairwise_bandwidth(g, rnd.nodes)
             if rnd_bw > 0:
                 ratios.append(opt.objective / rnd_bw)

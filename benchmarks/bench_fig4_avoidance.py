@@ -70,10 +70,10 @@ def test_fig4_random_often_hits_the_stream(benchmark):
     hits = 0
     draws = 200
     for _ in range(draws):
-        sel = select_random(cluster.graph, 4, rng)
+        sel = select_random(cluster.graph, 4, rng=rng)
         if "m-16" in sel.nodes or "m-18" in sel.nodes:
             hits += 1
     # P(hit) = 1 - C(16,4)/C(18,4) ~ 0.42.
     assert 0.3 < hits / draws < 0.55
 
-    benchmark(select_random, cluster.graph, 4, rng)
+    benchmark(lambda: select_random(cluster.graph, 4, rng=rng))

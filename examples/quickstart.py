@@ -45,7 +45,7 @@ def main() -> None:
             f" minresource {minresource(graph, sel.nodes):.2f})"
         )
 
-    rnd = select_random(graph, 4, np.random.default_rng(0))
+    rnd = select_random(graph, 4, rng=np.random.default_rng(0))
     print(
         f"   random: {rnd.nodes}"
         f"  (min cpu {rnd.min_cpu_fraction:.2f},"

@@ -44,12 +44,13 @@ from . import (
     topology,
     workloads,
 )
-from .core import ApplicationSpec, NodeSelector, Selection
+from .core import ApplicationSpec, NodeSelector, Selection, select
 
 __all__ = [
     "ApplicationSpec",
     "NodeSelector",
     "Selection",
+    "select",
     "__version__",
     "analysis",
     "apps",

@@ -21,7 +21,18 @@ from .bandwidth import select_max_bandwidth
 from .baselines import select_exhaustive, select_random, select_static
 from .compute import select_max_compute, top_compute_nodes
 from .estimate import PhaseWorkload, estimate_runtime, speedup_model
+from .kernel import (
+    kernel_select_balanced,
+    kernel_select_max_bandwidth,
+    kernel_select_with_bandwidth_floor,
+    peel_order,
+)
 from .latency import max_pairwise_latency, select_with_latency_bound
+from .reference import (
+    reference_select_balanced,
+    reference_select_max_bandwidth,
+    reference_select_with_bandwidth_floor,
+)
 from .requirements import NodeRequirements
 from .generalized import (
     select_client_server,
@@ -45,13 +56,29 @@ from .pattern_aware import (
     pattern_flows,
     select_pattern_aware,
 )
-from .selector import NodeSelector, TopologyProvider, unhealthy_nodes
+from .selector import (
+    NodeSelector,
+    Procedure,
+    TopologyProvider,
+    default_procedures,
+    register_procedure,
+    select,
+    unhealthy_nodes,
+)
 from .spec import ApplicationSpec, CommPattern, GroupSpec, Objective
-from .types import NoFeasibleSelection, Selection, node_is_selectable
+from .types import (
+    EXTRAS_SCHEMA,
+    ExtrasKey,
+    NoFeasibleSelection,
+    Selection,
+    node_is_selectable,
+)
 
 __all__ = [
     "ApplicationSpec",
     "CommPattern",
+    "EXTRAS_SCHEMA",
+    "ExtrasKey",
     "GroupSpec",
     "MigrationAdvisor",
     "MigrationDecision",
@@ -60,10 +87,15 @@ __all__ = [
     "NodeSelector",
     "Objective",
     "PhaseWorkload",
+    "Procedure",
     "References",
     "Selection",
     "SelfFootprint",
     "TopologyProvider",
+    "default_procedures",
+    "kernel_select_balanced",
+    "kernel_select_max_bandwidth",
+    "kernel_select_with_bandwidth_floor",
     "link_bandwidth_fraction",
     "min_cpu_fraction",
     "min_pairwise_bandwidth",
@@ -72,10 +104,16 @@ __all__ = [
     "minresource",
     "node_compute_fraction",
     "node_is_selectable",
+    "peel_order",
+    "reference_select_balanced",
+    "reference_select_max_bandwidth",
+    "reference_select_with_bandwidth_floor",
+    "register_procedure",
     "unhealthy_nodes",
     "effective_pattern_bandwidth",
     "estimate_runtime",
     "pattern_flows",
+    "select",
     "select_balanced",
     "select_client_server",
     "select_exhaustive",

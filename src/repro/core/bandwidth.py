@@ -16,6 +16,11 @@ The paper's Figure 2 states the loop guard as ``l > m``; continuing while
 connected nodes exist" and "eventually this size will become less than
 m"), and strictly dominates: with exactly ``m`` survivors the set is still
 feasible and its bottleneck can only be higher.  We implement ``l >= m``.
+
+Execution runs on the incremental kernel (:mod:`repro.core.kernel`),
+which replays the fixed peel order in reverse with a union-find instead
+of re-deriving components each step; the naive transcription survives in
+:mod:`repro.core.reference` as the differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -23,55 +28,27 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..topology.graph import Node, TopologyGraph
-from .compute import top_compute_nodes
-from .metrics import (
-    DEFAULT_REFERENCES,
-    References,
-    min_cpu_fraction,
-    min_pairwise_bandwidth,
-    min_pairwise_bandwidth_fraction,
-)
-from .types import NoFeasibleSelection, Selection
+from .kernel import kernel_select_max_bandwidth
+from .metrics import DEFAULT_REFERENCES, References
+from .types import Selection
 
 __all__ = ["select_max_bandwidth"]
-
-
-def _largest_compute_component(
-    graph: TopologyGraph, eligible: Optional[Callable[[Node], bool]]
-) -> tuple[set[str], int]:
-    """The component with the most eligible compute nodes (and that count).
-
-    Ties break toward the component containing the lexicographically
-    smallest node name, keeping runs reproducible.
-    """
-    best: set[str] = set()
-    best_count = -1
-    best_key = ""
-    for comp in graph.connected_components():
-        count = 0
-        for name in comp:
-            node = graph.node(name)
-            if node.is_compute and (eligible is None or eligible(node)):
-                count += 1
-        key = min(comp)
-        if count > best_count or (count == best_count and key < best_key):
-            best, best_count, best_key = comp, count, key
-    return best, max(best_count, 0)
 
 
 def select_max_bandwidth(
     graph: TopologyGraph,
     m: int,
+    *,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
 ) -> Selection:
     """Select ``m`` nodes maximizing the minimum pairwise available bandwidth.
 
-    Implements Figure 2 on a copy of ``graph`` (the input is not mutated).
-    Among equally-optimal node subsets inside the surviving component, the
-    ``m`` nodes with the highest CPU fraction are returned ("any m compute
-    nodes" in the paper — the communication objective is indifferent, so we
-    use spare CPU as the tie-break).
+    Implements Figure 2 without mutating ``graph``.  Among equally-optimal
+    node subsets inside the surviving component, the ``m`` nodes with the
+    highest CPU fraction are returned ("any m compute nodes" in the paper —
+    the communication objective is indifferent, so we use spare CPU as the
+    tie-break).
 
     Parameters
     ----------
@@ -96,46 +73,4 @@ def select_max_bandwidth(
     NoFeasibleSelection
         If no connected component contains ``m`` eligible compute nodes.
     """
-    if m < 1:
-        raise ValueError(f"m must be >= 1, got {m}")
-    work = graph.copy()
-
-    comp, count = _largest_compute_component(work, eligible)
-    if count < m:
-        raise NoFeasibleSelection(
-            f"no connected component with {m} eligible compute nodes"
-        )
-
-    def pick(component: set[str]) -> list[str]:
-        nodes = [work.node(n) for n in component]
-        if eligible is not None:
-            nodes = [n for n in nodes if not n.is_compute or eligible(n)]
-        chosen = top_compute_nodes(nodes, m, refs)
-        return [n.name for n in chosen]
-
-    # Step 1: any m compute nodes of the (feasible) largest component.
-    selected = pick(comp)
-    iterations = 0
-
-    # Steps 2-4: peel minimum-bandwidth edges while feasibility holds.
-    while True:
-        worst = work.min_bandwidth_link()
-        if worst is None:
-            break
-        work.remove_link(worst.u, worst.v)
-        iterations += 1
-        comp, count = _largest_compute_component(work, eligible)
-        if count < m:
-            break
-        selected = pick(comp)
-
-    min_bw = min_pairwise_bandwidth(graph, selected)
-    return Selection(
-        nodes=selected,
-        objective=min_bw,
-        min_cpu_fraction=min_cpu_fraction(graph, selected, refs),
-        min_bw_fraction=min_pairwise_bandwidth_fraction(graph, selected, refs),
-        min_bw_bps=min_bw,
-        algorithm="max-bandwidth",
-        iterations=iterations,
-    )
+    return kernel_select_max_bandwidth(graph, m, refs=refs, eligible=eligible)

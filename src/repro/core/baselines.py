@@ -62,6 +62,7 @@ def _candidates(
 def select_random(
     graph: TopologyGraph,
     m: int,
+    *,
     rng: np.random.Generator,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
@@ -110,6 +111,7 @@ def select_random(
 def select_static(
     graph: TopologyGraph,
     m: int,
+    *,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
 ) -> Selection:
@@ -131,6 +133,7 @@ def select_static(
 def select_exhaustive(
     graph: TopologyGraph,
     m: int,
+    *,
     objective: str = "balanced",
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,

@@ -51,6 +51,7 @@ def top_compute_nodes(
 def select_max_compute(
     graph: TopologyGraph,
     m: int,
+    *,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
 ) -> Selection:

@@ -141,7 +141,7 @@ def speedup_model(
 
     def speedup(m: int) -> float:
         try:
-            placement = select_balanced(idle, m, refs).nodes
+            placement = select_balanced(idle, m, refs=refs).nodes
         except NoFeasibleSelection:
             return 0.0
         t = estimate_runtime(idle, placement, phases, refs, base_capacity)

@@ -15,6 +15,11 @@ generalizations:
   first implementation for client–server style requirements.
 - **Variable number of execution nodes** (§3.4): couples selection with a
   caller-supplied performance estimator.
+
+All entry points share the unified signature convention of the
+``select_*`` family: ``(graph, m, *, ...)`` with every option — ``refs``,
+``eligible``, and procedure-specific knobs — keyword-only.  The peeling
+variants run on the incremental kernel (:mod:`repro.core.kernel`).
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from ..topology.routing import RoutedView, RoutingTable
 from .balanced import select_balanced
 from .bandwidth import select_max_bandwidth
 from .compute import select_max_compute, top_compute_nodes
+from .kernel import kernel_select_with_bandwidth_floor
 from .metrics import (
     DEFAULT_REFERENCES,
     References,
@@ -34,7 +40,7 @@ from .metrics import (
     min_pairwise_bandwidth_fraction,
     node_compute_fraction,
 )
-from .types import NoFeasibleSelection, Selection
+from .types import ExtrasKey, NoFeasibleSelection, Selection
 
 __all__ = [
     "select_with_bandwidth_floor",
@@ -48,6 +54,7 @@ __all__ = [
 def select_with_bandwidth_floor(
     graph: TopologyGraph,
     m: int,
+    *,
     floor_bps: float,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
@@ -56,55 +63,21 @@ def select_with_bandwidth_floor(
 
     §3.3: "satisfy a fixed bandwidth requirement (e.g. a minimum of 50 Mbps
     between any selected nodes) and maximize processor availability under
-    that constraint".  Implementation: delete every edge whose available
-    bandwidth is below the floor — any surviving component guarantees the
-    floor between all of its nodes — then take the component whose best
-    ``m`` nodes have the highest minimum CPU fraction.
+    that constraint".  Every edge whose available bandwidth is below the
+    floor is ignored — any surviving component guarantees the floor between
+    all of its nodes — and the component whose best ``m`` nodes have the
+    highest minimum CPU fraction wins.  Runs as a single union-find pass
+    (:func:`repro.core.kernel.kernel_select_with_bandwidth_floor`).
     """
-    if floor_bps < 0:
-        raise ValueError(f"floor must be non-negative, got {floor_bps}")
-    work = graph.copy()
-    for link in list(work.links()):
-        if link.available < floor_bps:
-            work.remove_link(link.u, link.v)
-
-    best: Optional[tuple[float, list[str]]] = None
-    for comp in work.connected_components():
-        candidates = [
-            work.node(n) for n in comp
-            if work.node(n).is_compute
-            and (eligible is None or eligible(work.node(n)))
-        ]
-        if len(candidates) < m:
-            continue
-        chosen = top_compute_nodes(candidates, m, refs)
-        mincpu = min(node_compute_fraction(n, refs) for n in chosen)
-        names = [n.name for n in chosen]
-        if (
-            best is None
-            or mincpu > best[0]
-            or (mincpu == best[0] and names < best[1])
-        ):
-            best = (mincpu, names)
-    if best is None:
-        raise NoFeasibleSelection(
-            f"no component of {m} compute nodes meets a "
-            f"{floor_bps / 1e6:.1f} Mbps pairwise floor"
-        )
-    mincpu, names = best
-    return Selection(
-        nodes=names,
-        objective=mincpu,
-        min_cpu_fraction=min_cpu_fraction(graph, names, refs),
-        min_bw_fraction=min_pairwise_bandwidth_fraction(graph, names, refs),
-        min_bw_bps=min_pairwise_bandwidth(graph, names),
-        algorithm="bandwidth-floor",
+    return kernel_select_with_bandwidth_floor(
+        graph, m, floor_bps=floor_bps, refs=refs, eligible=eligible
     )
 
 
 def select_with_cpu_floor(
     graph: TopologyGraph,
     m: int,
+    *,
     floor: float,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
@@ -122,7 +95,7 @@ def select_with_cpu_floor(
             return False
         return node_compute_fraction(node, refs) >= floor
 
-    sel = select_max_bandwidth(graph, m, refs, eligible=ok)
+    sel = select_max_bandwidth(graph, m, refs=refs, eligible=ok)
     sel.algorithm = "cpu-floor"
     return sel
 
@@ -130,6 +103,7 @@ def select_with_cpu_floor(
 def select_routed(
     graph: TopologyGraph,
     m: int,
+    *,
     routing: Optional[RoutingTable] = None,
     objective: str = "balanced",
     refs: References = DEFAULT_REFERENCES,
@@ -160,11 +134,11 @@ def select_routed(
 
     if overlay.is_acyclic():
         if objective == "balanced":
-            sel = select_balanced(overlay, m, refs, eligible=eligible)
+            sel = select_balanced(overlay, m, refs=refs, eligible=eligible)
         elif objective == "bandwidth":
-            sel = select_max_bandwidth(overlay, m, refs, eligible=eligible)
+            sel = select_max_bandwidth(overlay, m, refs=refs, eligible=eligible)
         else:
-            sel = select_max_compute(overlay, m, refs, eligible=eligible)
+            sel = select_max_compute(overlay, m, refs=refs, eligible=eligible)
         sel.algorithm = f"routed-{sel.algorithm}"
         return sel
 
@@ -237,6 +211,7 @@ def _max_capacity(graph: TopologyGraph) -> float:
 
 def select_client_server(
     graph: TopologyGraph,
+    *,
     num_clients: int,
     num_servers: int = 1,
     server_eligible: Optional[Callable[[Node], bool]] = None,
@@ -292,13 +267,14 @@ def select_client_server(
         min_bw_fraction=min_pairwise_bandwidth_fraction(graph, names, refs),
         min_bw_bps=min_pairwise_bandwidth(graph, names),
         algorithm="client-server",
-        extras={"servers": servers, "clients": clients},
+        extras={ExtrasKey.SERVERS: servers, ExtrasKey.CLIENTS: clients},
     )
 
 
 def select_variable_nodes(
     graph: TopologyGraph,
     m_range: Sequence[int],
+    *,
     speedup: Callable[[int], float],
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
@@ -309,14 +285,15 @@ def select_variable_nodes(
     delivered performance as ``speedup(m) * minresource(m)`` — the paper
     notes that its decision procedures must be coupled with a performance
     estimation method; ``speedup`` is that method (e.g. an Amdahl model).
-    The ``m`` with the best estimate wins.
+    The ``m`` with the best estimate wins.  Each per-``m`` probe runs on
+    the incremental kernel, so sweeping a wide ``m_range`` stays cheap.
     """
     if not m_range:
         raise ValueError("m_range must be non-empty")
     best: Optional[tuple[float, Selection]] = None
     for m in m_range:
         try:
-            sel = select_balanced(graph, m, refs, eligible=eligible)
+            sel = select_balanced(graph, m, refs=refs, eligible=eligible)
         except NoFeasibleSelection:
             continue
         rate = speedup(m) * sel.objective
@@ -328,5 +305,5 @@ def select_variable_nodes(
         )
     rate, sel = best
     sel.algorithm = "variable-m"
-    sel.extras["estimated_rate"] = rate
+    sel.extras[ExtrasKey.ESTIMATED_RATE] = rate
     return sel

@@ -1,0 +1,418 @@
+"""Incremental edge-peeling kernel for the Figure 2/3 selection algorithms.
+
+The naive implementations (:mod:`repro.core.reference`) re-derive everything
+from scratch after every edge removal: a full scan for the minimum-bandwidth
+link, a BFS for connected components, and a fresh candidate ranking per
+component.  That is O(E · (V + E)) per selection and dominates the admission
+path of the multi-tenant service once topologies grow past a few hundred
+nodes.
+
+The kernel exploits the structural fact that makes the peeling loops cheap:
+**the peel order is fixed up front**.  Edge ``i`` is removed before edge
+``j`` iff ``(metric(i), endpoints(i)) < (metric(j), endpoints(j))`` — the
+exact tie-break :meth:`TopologyGraph.min_bandwidth_link` applies — and the
+metric of an edge never changes while peeling (the graph is only ever
+*shrunk*).  So instead of simulating removals forward, the kernel:
+
+1. sorts the edges once into peel order (``min_bandwidth_link`` full scans
+   disappear);
+2. replays the peel **in reverse** — starting from the fully peeled graph
+   and *adding* edges strongest-first — so connected components are
+   maintained by a union-find instead of repeated BFS;
+3. keeps per-component statistics that merge in O(m) when two components
+   join: the eligible-compute count, the top-``m`` compute heap (any
+   top-``m`` node of a merged component is a top-``m`` node of one side),
+   and the component's minimum edge fraction (the edge being added is, by
+   construction, the globally weakest edge seen so far, so it *is* the new
+   minimum of whichever component absorbs it);
+4. tracks the best feasible component per peel step through a
+   lazy-deletion heap ordered by ``(-score, first-insertion-index)`` —
+   the same "first component wins score ties" rule the forward scan's
+   strict-improvement update produces.
+
+Reverse state after adding edges ``t..E-1`` is exactly the forward state
+after ``t`` removals, so the recorded per-step bests let a final O(E) pass
+reproduce the naive algorithms' results — selected nodes, objective,
+iteration count, and reported extras are bit-identical, which
+``tests/core/test_kernel_differential.py`` enforces property-wise.
+
+Total cost: O(E log E) for the sort, O((V + E) · (m + log E)) for the
+reverse replay — effectively linearithmic, versus the reference's
+quadratic-in-edges loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..topology.graph import Link, Node, TopologyGraph
+from .metrics import (
+    DEFAULT_REFERENCES,
+    References,
+    link_bandwidth_fraction,
+    min_cpu_fraction,
+    min_pairwise_bandwidth,
+    min_pairwise_bandwidth_fraction,
+    node_compute_fraction,
+)
+from .types import ExtrasKey, NoFeasibleSelection, Selection
+
+__all__ = [
+    "peel_order",
+    "kernel_select_balanced",
+    "kernel_select_max_bandwidth",
+    "kernel_select_with_bandwidth_floor",
+]
+
+_INF = float("inf")
+
+
+def peel_order(
+    graph: TopologyGraph, metric: Callable[[Link], float]
+) -> list[tuple[float, Link]]:
+    """Links in the exact order the naive peeling loops remove them.
+
+    Ascending by ``(metric, sorted endpoint names)`` — the tie-break
+    :meth:`TopologyGraph.min_bandwidth_link` uses, so equal-metric edges
+    peel in the same deterministic order as the reference implementation.
+    """
+    edges = [(metric(link), link) for link in graph.links()]
+    edges.sort(key=lambda e: (e[0], (e[1].u, e[1].v) if e[1].u < e[1].v
+                              else (e[1].v, e[1].u)))
+    return edges
+
+
+class _PeelState:
+    """Union-find over the reverse peel with per-component selection stats.
+
+    Components carry: the count of eligible compute nodes, the top-``m``
+    of them as a sorted list of ``(-fraction, name)`` keys (the ordering
+    :func:`repro.core.compute.top_compute_nodes` produces), the minimum
+    edge fraction inside the component, the smallest node-insertion index
+    (the enumeration order of ``connected_components()``), and the
+    lexicographically smallest member name (the Figure 2 tie-break).
+    """
+
+    def __init__(
+        self,
+        graph: TopologyGraph,
+        m: int,
+        refs: References,
+        eligible: Optional[Callable[[Node], bool]],
+        track_scores: bool,
+    ) -> None:
+        self.m = m
+        self.refs = refs
+        self.track_scores = track_scores
+        names = graph.node_names()
+        self.index: dict[str, int] = {n: i for i, n in enumerate(names)}
+        n = len(names)
+        self.parent = list(range(n))
+        self.rank = [0] * n
+        self.count = [0] * n
+        self.topm: list[list[tuple[float, str]]] = [[] for _ in range(n)]
+        self.min_edge = [_INF] * n
+        self.order = list(range(n))
+        self.min_name = names
+        self.num_candidates = 0
+        self.num_components = n
+        # Lazy-deletion heap of (-score, order, root, version, record).
+        self._heap: list[tuple] = []
+        self._version = [0] * n
+        for i, name in enumerate(names):
+            node = graph.node(name)
+            if node.is_compute and (eligible is None or eligible(node)):
+                self.count[i] = 1
+                self.topm[i] = [(-node_compute_fraction(node, refs), name)]
+                self.num_candidates += 1
+                if track_scores and m == 1:
+                    self._push(i)
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    def _merge_topm(
+        self, a: list[tuple[float, str]], b: list[tuple[float, str]]
+    ) -> list[tuple[float, str]]:
+        """Merge two sorted top-m lists, keeping the best ``m`` entries."""
+        m = self.m
+        out: list[tuple[float, str]] = []
+        i = j = 0
+        la, lb = len(a), len(b)
+        while len(out) < m and (i < la or j < lb):
+            if j >= lb or (i < la and a[i] <= b[j]):
+                out.append(a[i])
+                i += 1
+            else:
+                out.append(b[j])
+                j += 1
+        return out
+
+    def _record(self, root: int) -> tuple[float, tuple[str, ...], float, float]:
+        """(score, chosen names, mincpu, min edge fraction) for a root."""
+        refs = self.refs
+        top = self.topm[root]
+        mincpu = -top[self.m - 1][0]
+        minbw = self.min_edge[root]
+        score = min(refs.scale_cpu(mincpu), refs.scale_bw(minbw))
+        return score, tuple(name for _, name in top), mincpu, minbw
+
+    def _push(self, root: int) -> None:
+        if self.count[root] < self.m:
+            return
+        rec = self._record(root)
+        heapq.heappush(
+            self._heap,
+            (-rec[0], self.order[root], root, self._version[root], rec),
+        )
+
+    def peek(self) -> Optional[tuple[float, tuple[str, ...], float, float]]:
+        """Best current feasible component's record (stale entries pruned)."""
+        heap = self._heap
+        while heap:
+            _, _, root, version, rec = heap[0]
+            if self.parent[root] == root and self._version[root] == version:
+                return rec
+            heapq.heappop(heap)
+        return None
+
+    def add_edge(self, u: str, v: str, fraction: float) -> int:
+        """Add one reverse-peel edge; returns the resulting root.
+
+        ``fraction`` must be non-increasing across calls (reverse peel
+        order), which is what makes ``min_edge`` maintenance O(1): the new
+        edge is always the weakest edge of the component it lands in.
+        """
+        ra = self.find(self.index[u])
+        rb = self.find(self.index[v])
+        if ra == rb:
+            # Cycle edge: the component keeps its nodes, its floor drops.
+            self.min_edge[ra] = fraction
+            if self.track_scores:
+                self._version[ra] += 1
+                self._push(ra)
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        elif self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.parent[rb] = ra
+        self.count[ra] += self.count[rb]
+        self.topm[ra] = self._merge_topm(self.topm[ra], self.topm[rb])
+        self.topm[rb] = []
+        self.min_edge[ra] = fraction
+        if self.order[rb] < self.order[ra]:
+            self.order[ra] = self.order[rb]
+        if self.min_name[rb] < self.min_name[ra]:
+            self.min_name[ra] = self.min_name[rb]
+        self.num_components -= 1
+        if self.track_scores:
+            self._version[ra] += 1
+            self._version[rb] += 1
+            self._push(ra)
+        return ra
+
+
+def _finish(
+    graph: TopologyGraph,
+    names: list[str],
+    refs: References,
+    *,
+    objective: float,
+    algorithm: str,
+    iterations: int,
+    extras: Optional[dict] = None,
+) -> Selection:
+    return Selection(
+        nodes=names,
+        objective=objective,
+        min_cpu_fraction=min_cpu_fraction(graph, names, refs),
+        min_bw_fraction=min_pairwise_bandwidth_fraction(graph, names, refs),
+        min_bw_bps=min_pairwise_bandwidth(graph, names),
+        algorithm=algorithm,
+        iterations=iterations,
+        extras=extras or {},
+    )
+
+
+def kernel_select_balanced(
+    graph: TopologyGraph,
+    m: int,
+    *,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+    strict_greedy: bool = False,
+) -> Selection:
+    """Incremental Figure 3: identical output to the naive reference.
+
+    See :func:`repro.core.select_balanced` for the algorithm contract; this
+    is the fast path it dispatches to.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    state = _PeelState(graph, m, refs, eligible, track_scores=True)
+    if state.num_candidates < m:
+        raise NoFeasibleSelection(
+            f"need {m} eligible compute nodes, "
+            f"only {state.num_candidates} exist"
+        )
+    edges = peel_order(graph, lambda l: link_bandwidth_fraction(l, refs))
+    k = len(edges)
+
+    # Reverse replay: records[t] is the best feasible component of the
+    # forward state after t removals (None when no component is feasible).
+    records: list[Optional[tuple[float, tuple[str, ...], float, float]]] = \
+        [None] * (k + 1)
+    records[k] = state.peek()
+    for j in range(k - 1, -1, -1):
+        fraction, link = edges[j]
+        state.add_edge(link.u, link.v, fraction)
+        records[j] = state.peek()
+
+    initial = records[0]
+    if initial is None:
+        raise NoFeasibleSelection(
+            f"no connected component with {m} eligible compute nodes"
+        )
+    best_score, best_nodes, best_cpu, best_bw = initial
+
+    # Forward scan over the recorded per-step bests, reproducing the naive
+    # loop's stopping rules and strict-improvement updates.
+    iterations = k
+    for t in range(1, k + 1):
+        rec = records[t]
+        if rec is None:
+            iterations = t
+            break
+        improved = rec[0] > best_score
+        if improved:
+            best_score, best_nodes, best_cpu, best_bw = rec
+        if strict_greedy and not improved:
+            iterations = t
+            break
+
+    return _finish(
+        graph,
+        list(best_nodes),
+        refs,
+        objective=best_score,
+        algorithm="balanced",
+        iterations=iterations,
+        extras={ExtrasKey.ALG_MINCPU: best_cpu, ExtrasKey.ALG_MINBW: best_bw},
+    )
+
+
+def kernel_select_max_bandwidth(
+    graph: TopologyGraph,
+    m: int,
+    *,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Incremental Figure 2: identical output to the naive reference.
+
+    The forward loop keeps peeling while the largest component still holds
+    ``m`` eligible compute nodes, so its answer is the pick from the *last*
+    feasible state.  In reverse that is simply the first state at which any
+    component reaches ``m`` candidates — the replay stops there.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    state = _PeelState(graph, m, refs, eligible, track_scores=False)
+    edges = peel_order(graph, lambda l: l.available)
+    k = len(edges)
+
+    best_root: Optional[int] = None
+    t_max = k
+    if m == 1 and state.num_candidates:
+        # The fully peeled graph is already feasible: the forward loop runs
+        # out of edges and its last pick is the largest (count, min-name)
+        # singleton — the smallest-named candidate.
+        best_root = min(
+            (i for i in range(len(state.parent)) if state.count[i]),
+            key=lambda i: state.min_name[i],
+        )
+    else:
+        for j in range(k - 1, -1, -1):
+            fraction, link = edges[j]
+            root = state.add_edge(link.u, link.v, fraction)
+            if state.count[root] >= m:
+                # First feasible reverse state == last feasible forward
+                # state; only the just-merged component can qualify.
+                best_root = root
+                t_max = j
+                break
+        if best_root is None:
+            raise NoFeasibleSelection(
+                f"no connected component with {m} eligible compute nodes"
+            )
+
+    selected = [name for _, name in state.topm[best_root]]
+    iterations = min(t_max + 1, k)
+    min_bw = min_pairwise_bandwidth(graph, selected)
+    return _finish(
+        graph,
+        selected,
+        refs,
+        objective=min_bw,
+        algorithm="max-bandwidth",
+        iterations=iterations,
+    )
+
+
+def kernel_select_with_bandwidth_floor(
+    graph: TopologyGraph,
+    m: int,
+    *,
+    floor_bps: float,
+    refs: References = DEFAULT_REFERENCES,
+    eligible: Optional[Callable[[Node], bool]] = None,
+) -> Selection:
+    """Bandwidth-floor selection without copying or mutating the graph.
+
+    Components of the floor-filtered graph come from one union-find pass
+    over the surviving links; each feasible component contributes its
+    top-``m`` pick and the best ``(mincpu, names)`` wins — ``names``
+    breaking ties exactly like the naive reference.
+    """
+    if floor_bps < 0:
+        raise ValueError(f"floor must be non-negative, got {floor_bps}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    state = _PeelState(graph, m, refs, eligible, track_scores=False)
+    for link in graph.links():
+        if link.available >= floor_bps:
+            state.add_edge(link.u, link.v, 0.0)
+
+    best: Optional[tuple[float, tuple[str, ...]]] = None
+    for i in range(len(state.parent)):
+        if state.parent[i] != i or state.count[i] < m:
+            continue
+        top = state.topm[i]
+        mincpu = -top[m - 1][0]
+        names = tuple(name for _, name in top)
+        if best is None or mincpu > best[0] or (
+            mincpu == best[0] and list(names) < list(best[1])
+        ):
+            best = (mincpu, names)
+    if best is None:
+        raise NoFeasibleSelection(
+            f"no component of {m} compute nodes meets a "
+            f"{floor_bps / 1e6:.1f} Mbps pairwise floor"
+        )
+    mincpu, names = best
+    return _finish(
+        graph,
+        list(names),
+        refs,
+        objective=mincpu,
+        algorithm="bandwidth-floor",
+        iterations=0,
+    )

@@ -25,7 +25,7 @@ from .metrics import (
     References,
     minresource,
 )
-from .types import NoFeasibleSelection, Selection
+from .types import ExtrasKey, NoFeasibleSelection, Selection
 
 __all__ = ["max_pairwise_latency", "select_with_latency_bound"]
 
@@ -44,6 +44,7 @@ def max_pairwise_latency(graph: TopologyGraph, nodes) -> float:
 def select_with_latency_bound(
     graph: TopologyGraph,
     m: int,
+    *,
     max_latency_s: float,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
@@ -71,10 +72,10 @@ def select_with_latency_bound(
         return max_pairwise_latency(graph, names) <= max_latency_s + 1e-15
 
     try:
-        unconstrained = select_balanced(graph, m, refs, eligible=eligible)
+        unconstrained = select_balanced(graph, m, refs=refs, eligible=eligible)
         if feasible(unconstrained.nodes):
             unconstrained.algorithm = "latency-bound"
-            unconstrained.extras["max_latency_s"] = max_pairwise_latency(
+            unconstrained.extras[ExtrasKey.MAX_LATENCY_S] = max_pairwise_latency(
                 graph, unconstrained.nodes
             )
             return unconstrained
@@ -98,7 +99,7 @@ def select_with_latency_bound(
             return eligible is None or eligible(node)
 
         try:
-            sel = select_balanced(graph, m, refs, eligible=in_ball)
+            sel = select_balanced(graph, m, refs=refs, eligible=in_ball)
         except NoFeasibleSelection:
             continue
         if not feasible(sel.nodes):
@@ -113,5 +114,5 @@ def select_with_latency_bound(
         )
     _score, sel = best
     sel.algorithm = "latency-bound"
-    sel.extras["max_latency_s"] = max_pairwise_latency(graph, sel.nodes)
+    sel.extras[ExtrasKey.MAX_LATENCY_S] = max_pairwise_latency(graph, sel.nodes)
     return sel

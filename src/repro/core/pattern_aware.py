@@ -39,7 +39,7 @@ from .metrics import (
     node_compute_fraction,
 )
 from .spec import CommPattern
-from .types import Selection
+from .types import ExtrasKey, Selection
 
 __all__ = [
     "pattern_flows",
@@ -135,6 +135,7 @@ def effective_pattern_bandwidth(
 def select_pattern_aware(
     graph: TopologyGraph,
     m: int,
+    *,
     pattern: str,
     refs: References = DEFAULT_REFERENCES,
     eligible: Optional[Callable[[Node], bool]] = None,
@@ -177,7 +178,7 @@ def select_pattern_aware(
         bw = refs.scale_bw(min(eff / ref_bw, 1.0) if eff != float("inf") else 1.0)
         return min(cpu, bw)
 
-    seed = select_balanced(graph, m, refs, eligible=eligible)
+    seed = select_balanced(graph, m, refs=refs, eligible=eligible)
     current = list(seed.nodes)
     current_score = score(current)
 
@@ -218,5 +219,5 @@ def select_pattern_aware(
         min_bw_bps=min_pairwise_bandwidth(graph, current),
         algorithm=f"pattern-aware-{pattern}",
         iterations=passes,
-        extras={"effective_pattern_bw_bps": eff},
+        extras={ExtrasKey.EFFECTIVE_PATTERN_BW_BPS: eff},
     )

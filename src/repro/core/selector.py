@@ -5,6 +5,14 @@ This is the piece that ties the framework of §2 together: it accepts an
 topology (directly, or through a Remos query interface), and dispatches to
 the appropriate selection procedure of §3.
 
+Dispatch is driven by a declarative **procedure registry** rather than a
+hard-coded if-chain: each :class:`Procedure` pairs a predicate over
+``(spec, graph)`` with a runner, and the first match in precedence order
+wins.  The registry is data, so embedders can inspect the dispatch table
+(:meth:`NodeSelector.procedure_for`), reorder it, or plug in their own
+procedures (:func:`register_procedure`) without monkey-patching
+``select``.
+
 Selection is resilient to partial information: snapshots mark crashed
 (``attrs["down"]``) and unmonitorable (``attrs["unmonitorable"]``) nodes,
 and the selector excludes them from every procedure by default.
@@ -15,9 +23,16 @@ link fails mid-run.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
-from ..topology.graph import TopologyGraph
+from ..topology.graph import Node, TopologyGraph
 from ..topology.routing import RoutingTable
 from .balanced import select_balanced
 from .bandwidth import select_max_bandwidth
@@ -33,9 +48,21 @@ from .latency import select_with_latency_bound
 from .pattern_aware import select_pattern_aware
 from .metrics import References
 from .spec import ApplicationSpec, Objective
-from .types import NoFeasibleSelection, Selection, node_is_selectable
+from .types import ExtrasKey, NoFeasibleSelection, Selection, node_is_selectable
 
-__all__ = ["NodeSelector", "TopologyProvider", "unhealthy_nodes"]
+__all__ = [
+    "NodeSelector",
+    "Procedure",
+    "TopologyProvider",
+    "default_procedures",
+    "register_procedure",
+    "select",
+    "unhealthy_nodes",
+]
+
+#: Eligibility predicate handed to every procedure runner (health gate
+#: already composed with the spec's own predicate).
+Eligible = Optional[Callable[[Node], bool]]
 
 
 def unhealthy_nodes(graph: TopologyGraph, names: Sequence[str]) -> list[str]:
@@ -49,7 +76,8 @@ def unhealthy_nodes(graph: TopologyGraph, names: Sequence[str]) -> list[str]:
         n for n in names
         if not graph.has_node(n) or not node_is_selectable(graph.node(n))
     ]
-    good = [n for n in names if n not in bad]
+    bad_set = set(bad)
+    good = [n for n in names if n not in bad_set]
     if len(good) > 1:
         component = graph.component_of(good[0])
         bad.extend(n for n in good[1:] if n not in component)
@@ -66,6 +94,252 @@ class TopologyProvider(Protocol):
 
     def topology(self) -> TopologyGraph:  # pragma: no cover - protocol
         ...
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """One entry of the selection dispatch table.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier; recorded in ``Selection.extras["procedure"]``.
+    matches:
+        Predicate over ``(spec, graph)`` deciding whether this procedure
+        should handle the request.  The first matching procedure in
+        registry order wins, so put more specific features earlier.
+    run:
+        Runner ``(graph, spec, refs, eligible) -> Selection``; ``eligible``
+        arrives already composed with the selector's health gate.
+    """
+
+    name: str
+    matches: Callable[[ApplicationSpec, TopologyGraph], bool]
+    run: Callable[
+        [TopologyGraph, ApplicationSpec, References, Eligible], Selection
+    ]
+
+
+# -- default procedure runners ----------------------------------------------
+
+def _run_groups(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    """Group placement: currently the client/server pattern (§3.4).
+
+    Supported shapes: exactly two groups, where one is the "server-like"
+    group (listed first) and the other holds the remaining workers.
+    Richer patterns raise ``NoFeasibleSelection`` so callers learn the
+    limitation explicitly rather than getting a silent wrong placement.
+    """
+    if len(spec.groups) != 2:
+        raise NoFeasibleSelection(
+            "group placement currently supports exactly two groups "
+            f"(got {len(spec.groups)})"
+        )
+    server, client = spec.groups
+
+    def server_ok(node: Node) -> bool:
+        if eligible is not None and not eligible(node):
+            return False
+        return server.admits(node)
+
+    def client_ok(node: Node) -> bool:
+        if eligible is not None and not eligible(node):
+            return False
+        return client.admits(node)
+
+    sel = select_client_server(
+        g,
+        num_clients=client.size,
+        num_servers=server.size,
+        server_eligible=server_ok,
+        client_eligible=client_ok,
+        refs=refs,
+    )
+    sel.extras[ExtrasKey.GROUP_NAMES] = {
+        server.name: sel.extras[ExtrasKey.SERVERS],
+        client.name: sel.extras[ExtrasKey.CLIENTS],
+    }
+    return sel
+
+
+def _run_variable_m(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    assert spec.num_nodes_range is not None and spec.speedup_model is not None
+    return select_variable_nodes(
+        g, spec.num_nodes_range, speedup=spec.speedup_model, refs=refs,
+        eligible=eligible,
+    )
+
+
+def _run_bandwidth_floor(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    assert spec.min_bandwidth_bps is not None
+    return select_with_bandwidth_floor(
+        g, spec.num_nodes, floor_bps=spec.min_bandwidth_bps, refs=refs,
+        eligible=eligible,
+    )
+
+
+def _run_cpu_floor(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    assert spec.min_cpu_fraction is not None
+    return select_with_cpu_floor(
+        g, spec.num_nodes, floor=spec.min_cpu_fraction, refs=refs,
+        eligible=eligible,
+    )
+
+
+def _run_latency_bound(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    assert spec.max_latency_s is not None
+    return select_with_latency_bound(
+        g, spec.num_nodes, max_latency_s=spec.max_latency_s, refs=refs,
+        eligible=eligible,
+    )
+
+
+def _run_pattern_aware(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    return select_pattern_aware(
+        g, spec.num_nodes, pattern=spec.pattern, refs=refs, eligible=eligible
+    )
+
+
+def _run_routed(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    # Cycles + static routing (§3.3): route-aware procedures.
+    return select_routed(
+        g, spec.num_nodes, routing=RoutingTable(g), objective=spec.objective,
+        refs=refs, eligible=eligible,
+    )
+
+
+def _run_max_compute(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    return select_max_compute(g, spec.num_nodes, refs=refs, eligible=eligible)
+
+
+def _run_max_bandwidth(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    return select_max_bandwidth(g, spec.num_nodes, refs=refs, eligible=eligible)
+
+
+def _run_balanced(
+    g: TopologyGraph, spec: ApplicationSpec, refs: References,
+    eligible: Eligible,
+) -> Selection:
+    return select_balanced(g, spec.num_nodes, refs=refs, eligible=eligible)
+
+
+def default_procedures() -> list[Procedure]:
+    """A fresh copy of the built-in dispatch table, in precedence order.
+
+    Spec *features* (groups, variable node counts, hard floors, latency
+    bounds, simultaneous-stream accounting) outrank topology shape
+    (cyclic → routed), which outranks the plain ``objective`` procedures;
+    the balanced algorithm is the unconditional fallback.
+    """
+    return [
+        Procedure(
+            "groups",
+            lambda spec, g: bool(spec.groups),
+            _run_groups,
+        ),
+        Procedure(
+            "variable-m",
+            lambda spec, g: spec.num_nodes_range is not None,
+            _run_variable_m,
+        ),
+        Procedure(
+            "bandwidth-floor",
+            lambda spec, g: spec.min_bandwidth_bps is not None,
+            _run_bandwidth_floor,
+        ),
+        Procedure(
+            "cpu-floor",
+            lambda spec, g: spec.min_cpu_fraction is not None,
+            _run_cpu_floor,
+        ),
+        Procedure(
+            "latency-bound",
+            lambda spec, g: spec.max_latency_s is not None,
+            _run_latency_bound,
+        ),
+        Procedure(
+            "pattern-aware",
+            lambda spec, g: spec.account_simultaneous_streams,
+            _run_pattern_aware,
+        ),
+        Procedure(
+            "routed",
+            lambda spec, g: not g.is_acyclic(),
+            _run_routed,
+        ),
+        Procedure(
+            "max-compute",
+            lambda spec, g: spec.objective == Objective.COMPUTE,
+            _run_max_compute,
+        ),
+        Procedure(
+            "max-bandwidth",
+            lambda spec, g: spec.objective == Objective.BANDWIDTH,
+            _run_max_bandwidth,
+        ),
+        Procedure(
+            "balanced",
+            lambda spec, g: True,
+            _run_balanced,
+        ),
+    ]
+
+
+#: The shared registry new :class:`NodeSelector` instances copy.
+PROCEDURES: list[Procedure] = default_procedures()
+
+
+def register_procedure(
+    procedure: Procedure,
+    *,
+    before: Optional[str] = None,
+    registry: Optional[list[Procedure]] = None,
+) -> None:
+    """Insert ``procedure`` into the dispatch table.
+
+    ``before`` names an existing procedure to take precedence over
+    (default: the ``"balanced"`` fallback, i.e. after every built-in
+    feature but before the catch-all).  Pass a selector's own
+    ``procedures`` list as ``registry`` to scope the registration to one
+    instance; the default mutates the shared module-level table used by
+    selectors created afterwards.
+    """
+    table = PROCEDURES if registry is None else registry
+    if any(p.name == procedure.name for p in table):
+        raise ValueError(f"procedure {procedure.name!r} already registered")
+    anchor = before if before is not None else "balanced"
+    for i, existing in enumerate(table):
+        if existing.name == anchor:
+            table.insert(i, procedure)
+            return
+    raise ValueError(f"no procedure named {anchor!r} to insert before")
 
 
 class NodeSelector:
@@ -90,6 +364,10 @@ class NodeSelector:
         Explicit ``graph`` arguments to :meth:`select` bypass it: callers
         passing a graph (the migration engine, the service's admission
         check) have already adjusted it.
+    procedures:
+        Optional dispatch table overriding the shared registry (a copy of
+        which is taken at construction, so later global registrations do
+        not mutate existing selectors).
 
     Examples
     --------
@@ -105,10 +383,14 @@ class NodeSelector:
         provider: TopologyProvider | TopologyGraph,
         exclude_unhealthy: bool = True,
         view: Optional[Callable[[TopologyGraph], TopologyGraph]] = None,
+        procedures: Optional[Sequence[Procedure]] = None,
     ) -> None:
         self._provider = provider
         self.exclude_unhealthy = exclude_unhealthy
         self.view = view
+        self.procedures: list[Procedure] = list(
+            PROCEDURES if procedures is None else procedures
+        )
 
     def snapshot(self) -> TopologyGraph:
         """A fresh topology snapshot from the provider, through ``view``."""
@@ -118,12 +400,12 @@ class NodeSelector:
             g = self._provider.topology()
         return self.view(g) if self.view is not None else g
 
-    def _gate(self, eligible: Optional[Callable]) -> Optional[Callable]:
+    def _gate(self, eligible: Eligible) -> Eligible:
         """Compose an eligibility predicate with the health exclusion."""
         if not self.exclude_unhealthy:
             return eligible
 
-        def healthy(node) -> bool:
+        def healthy(node: Node) -> bool:
             return node_is_selectable(node) and (
                 eligible is None or eligible(node)
             )
@@ -142,100 +424,66 @@ class NodeSelector:
         """
         return unhealthy_nodes(self.snapshot(), nodes)
 
+    def procedure_for(
+        self, spec: ApplicationSpec, graph: Optional[TopologyGraph] = None
+    ) -> Procedure:
+        """The registry entry that would handle ``spec`` on ``graph``.
+
+        ``graph`` defaults to a fresh snapshot (topology shape participates
+        in matching — cyclic graphs dispatch to the routed procedures).
+        """
+        g = graph if graph is not None else self.snapshot()
+        for procedure in self.procedures:
+            if procedure.matches(spec, g):
+                return procedure
+        raise LookupError(
+            "no registered procedure matches the spec; the default table "
+            "ends with an unconditional 'balanced' fallback"
+        )
+
     def select(
         self, spec: ApplicationSpec, graph: Optional[TopologyGraph] = None
     ) -> Selection:
         """Run the appropriate selection procedure for ``spec``.
 
         ``graph`` overrides the provider snapshot (used by the migration
-        engine, which pre-adjusts the snapshot for self-load).
+        engine, which pre-adjusts the snapshot for self-load).  The chosen
+        registry entry is recorded in ``extras["procedure"]``.
         """
         g = graph if graph is not None else self.snapshot()
         refs = References(
             compute_priority=spec.compute_priority,
             comm_priority=spec.comm_priority,
         )
-
-        if spec.groups:
-            return self._select_groups(g, spec, refs)
-
+        procedure = self.procedure_for(spec, g)
         eligible = self._gate(spec.eligible)
-
-        if spec.num_nodes_range is not None:
-            return select_variable_nodes(
-                g, spec.num_nodes_range, spec.speedup_model, refs,
-                eligible=eligible,
-            )
-
-        m = spec.num_nodes
-        if spec.min_bandwidth_bps is not None:
-            return select_with_bandwidth_floor(
-                g, m, spec.min_bandwidth_bps, refs, eligible=eligible
-            )
-        if spec.min_cpu_fraction is not None:
-            return select_with_cpu_floor(
-                g, m, spec.min_cpu_fraction, refs, eligible=eligible
-            )
-        if spec.max_latency_s is not None:
-            return select_with_latency_bound(
-                g, m, spec.max_latency_s, refs, eligible=eligible
-            )
-        if spec.account_simultaneous_streams:
-            return select_pattern_aware(
-                g, m, spec.pattern, refs, eligible=eligible
-            )
-
-        if not g.is_acyclic():
-            # Cycles + static routing (§3.3): route-aware procedures.
-            return select_routed(
-                g, m, RoutingTable(g), objective=spec.objective, refs=refs,
-                eligible=eligible,
-            )
-
-        if spec.objective == Objective.COMPUTE:
-            return select_max_compute(g, m, refs, eligible=eligible)
-        if spec.objective == Objective.BANDWIDTH:
-            return select_max_bandwidth(g, m, refs, eligible=eligible)
-        return select_balanced(g, m, refs, eligible=eligible)
-
-    def _select_groups(
-        self, g: TopologyGraph, spec: ApplicationSpec, refs: References
-    ) -> Selection:
-        """Group placement: currently the client/server pattern (§3.4).
-
-        Supported shapes: exactly two groups, where one is the "server-like"
-        group (listed first) and the other holds the remaining workers.
-        Richer patterns raise ``NoFeasibleSelection`` so callers learn the
-        limitation explicitly rather than getting a silent wrong placement.
-        """
-        if len(spec.groups) != 2:
-            raise NoFeasibleSelection(
-                "group placement currently supports exactly two groups "
-                f"(got {len(spec.groups)})"
-            )
-        server, client = spec.groups
-        eligible = self._gate(spec.eligible)
-
-        def server_ok(node):
-            if eligible is not None and not eligible(node):
-                return False
-            return server.admits(node)
-
-        def client_ok(node):
-            if eligible is not None and not eligible(node):
-                return False
-            return client.admits(node)
-
-        sel = select_client_server(
-            g,
-            num_clients=client.size,
-            num_servers=server.size,
-            server_eligible=server_ok,
-            client_eligible=client_ok,
-            refs=refs,
-        )
-        sel.extras["group_names"] = {
-            server.name: sel.extras["servers"],
-            client.name: sel.extras["clients"],
-        }
+        sel = procedure.run(g, spec, refs, eligible)
+        sel.extras.setdefault(ExtrasKey.PROCEDURE, procedure.name)
         return sel
+
+
+def select(
+    graph_or_provider: TopologyProvider | TopologyGraph,
+    spec: Optional[ApplicationSpec] = None,
+    /,
+    **spec_fields,
+) -> Selection:
+    """One-call selection: the package-level convenience entry point.
+
+    Accepts either a ready :class:`ApplicationSpec` or its keyword fields
+    directly::
+
+        import repro
+        repro.select(graph, num_nodes=4)                      # build a spec
+        repro.select(remos_api, ApplicationSpec(num_nodes=4)) # or pass one
+
+    Equivalent to ``NodeSelector(graph_or_provider).select(spec)`` with the
+    default health gating and procedure registry.
+    """
+    if spec is None:
+        spec = ApplicationSpec(**spec_fields)
+    elif spec_fields:
+        raise TypeError(
+            "pass either an ApplicationSpec or spec keyword fields, not both"
+        )
+    return NodeSelector(graph_or_provider).select(spec)

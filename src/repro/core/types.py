@@ -4,7 +4,76 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Selection", "NoFeasibleSelection", "node_is_selectable"]
+__all__ = [
+    "ExtrasKey",
+    "EXTRAS_SCHEMA",
+    "Selection",
+    "NoFeasibleSelection",
+    "node_is_selectable",
+]
+
+
+class ExtrasKey:
+    """The stable schema of :attr:`Selection.extras` keys.
+
+    Every key a selection procedure may put in ``extras`` is declared here;
+    producers reference these constants instead of ad-hoc strings, and
+    consumers can rely on the meanings below staying stable across
+    releases.  :data:`EXTRAS_SCHEMA` maps each key to its documentation.
+    """
+
+    #: Balanced algorithm's internal min CPU fraction of the winning
+    #: component's chosen nodes (the conservative bound it maximized, which
+    #: can differ from the exact path-based ``min_cpu_fraction``).
+    ALG_MINCPU = "alg_mincpu"
+    #: Balanced algorithm's internal min fractional bandwidth over the
+    #: winning component's edges (``inf`` for an edgeless component).
+    ALG_MINBW = "alg_minbw"
+    #: Client/server placement: server node names, in rank order.
+    SERVERS = "servers"
+    #: Client/server placement: client node names, sorted.
+    CLIENTS = "clients"
+    #: Group placement: ``{group name: [node names]}`` for every group of
+    #: the application spec.
+    GROUP_NAMES = "group_names"
+    #: Variable-m selection: the winning ``speedup(m) * minresource``
+    #: estimate.
+    ESTIMATED_RATE = "estimated_rate"
+    #: Latency-bounded selection: the achieved pairwise latency diameter
+    #: of the returned set, in seconds.
+    MAX_LATENCY_S = "max_latency_s"
+    #: Pattern-aware selection: max-min fair rate (bps) of the slowest
+    #: flow when the declared pattern fires all at once.
+    EFFECTIVE_PATTERN_BW_BPS = "effective_pattern_bw_bps"
+    #: Name of the registry procedure the selector dispatched to (set by
+    #: :meth:`repro.core.NodeSelector.select`).
+    PROCEDURE = "procedure"
+
+
+#: Key → meaning, for documentation and validation tooling.
+EXTRAS_SCHEMA: dict[str, str] = {
+    ExtrasKey.ALG_MINCPU: (
+        "balanced: internal min CPU fraction of the winning component"
+    ),
+    ExtrasKey.ALG_MINBW: (
+        "balanced: internal min fractional bandwidth of the winning "
+        "component (inf when edgeless)"
+    ),
+    ExtrasKey.SERVERS: "client-server: server node names in rank order",
+    ExtrasKey.CLIENTS: "client-server: client node names, sorted",
+    ExtrasKey.GROUP_NAMES: "groups: {group name: [node names]}",
+    ExtrasKey.ESTIMATED_RATE: (
+        "variable-m: winning speedup(m) * minresource estimate"
+    ),
+    ExtrasKey.MAX_LATENCY_S: (
+        "latency-bound: achieved pairwise latency diameter (s)"
+    ),
+    ExtrasKey.EFFECTIVE_PATTERN_BW_BPS: (
+        "pattern-aware: max-min fair rate of the slowest simultaneous "
+        "flow (bps)"
+    ),
+    ExtrasKey.PROCEDURE: "selector: registry procedure that produced this",
+}
 
 
 def node_is_selectable(node) -> bool:
@@ -50,6 +119,10 @@ class Selection:
         Name of the procedure that produced the selection.
     iterations:
         Number of edge-removal iterations performed (0 for O(n) selection).
+    extras:
+        Procedure-specific details.  Keys follow the stable schema of
+        :class:`ExtrasKey` / :data:`EXTRAS_SCHEMA`; consumers should use
+        those constants rather than string literals.
     """
 
     nodes: list[str]

@@ -91,7 +91,7 @@ def _select(
     """Apply the scenario's selection policy."""
     policy = scenario.policy
     if policy == Policy.RANDOM:
-        return select_random(cluster.graph, spec.total_nodes, rng)
+        return select_random(cluster.graph, spec.total_nodes, rng=rng)
     if policy == Policy.STATIC:
         return select_static(cluster.graph, spec.total_nodes)
     if policy == Policy.ORACLE:

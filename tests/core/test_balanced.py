@@ -120,7 +120,7 @@ class TestPrioritization:
             g.link(f"r{i}", "sw-right").set_available(30 * Mbps)
         balanced = select_balanced(g, 4)
         compute_first = select_balanced(
-            g, 4, References(compute_priority=10.0)
+            g, 4, refs=References(compute_priority=10.0)
         )
         # Balanced: left min(.5, 1) = .5 beats right min(1, .3) = .3.
         assert sorted(balanced.nodes) == ["l0", "l1", "l2", "l3"]
@@ -134,7 +134,7 @@ class TestPrioritization:
         # Left side idle but behind congested access links.
         for i in range(4):
             g.link(f"l{i}", "sw-left").set_available(40 * Mbps)
-        comm_first = select_balanced(g, 4, References(comm_priority=10.0))
+        comm_first = select_balanced(g, 4, refs=References(comm_priority=10.0))
         assert sorted(comm_first.nodes) == ["r0", "r1", "r2", "r3"]
 
 

@@ -17,14 +17,14 @@ class TestRandom:
     def test_size_and_membership(self):
         g = star(6)
         rng = np.random.default_rng(0)
-        sel = select_random(g, 3, rng)
+        sel = select_random(g, 3, rng=rng)
         assert sel.size == 3
         assert all(g.node(n).is_compute for n in sel.nodes)
 
     def test_reproducible_given_seed(self):
         g = star(6)
-        a = select_random(g, 3, np.random.default_rng(7))
-        b = select_random(g, 3, np.random.default_rng(7))
+        a = select_random(g, 3, rng=np.random.default_rng(7))
+        b = select_random(g, 3, rng=np.random.default_rng(7))
         assert a.nodes == b.nodes
 
     def test_covers_the_node_space(self):
@@ -33,7 +33,7 @@ class TestRandom:
         rng = np.random.default_rng(1)
         seen = set()
         for _ in range(100):
-            seen.update(select_random(g, 2, rng).nodes)
+            seen.update(select_random(g, 2, rng=rng).nodes)
         assert seen == {f"h{i}" for i in range(6)}
 
     def test_connected_requirement(self):
@@ -41,7 +41,7 @@ class TestRandom:
         g.remove_link("sw-left", "sw-right")
         rng = np.random.default_rng(3)
         for _ in range(20):
-            sel = select_random(g, 2, rng)
+            sel = select_random(g, 2, rng=rng)
             comp = g.component_of(sel.nodes[0])
             assert all(n in comp for n in sel.nodes)
 
@@ -49,13 +49,13 @@ class TestRandom:
         g = dumbbell(2, 2)
         g.remove_link("sw-left", "sw-right")
         with pytest.raises(NoFeasibleSelection):
-            select_random(g, 3, np.random.default_rng(0))
+            select_random(g, 3, rng=np.random.default_rng(0))
 
     def test_unconnected_allowed_when_disabled(self):
         g = dumbbell(2, 2)
         g.remove_link("sw-left", "sw-right")
         sel = select_random(
-            g, 3, np.random.default_rng(0), require_connected=False
+            g, 3, rng=np.random.default_rng(0), require_connected=False
         )
         assert sel.size == 3
 
@@ -63,12 +63,12 @@ class TestRandom:
         g = star(5)
         rng = np.random.default_rng(0)
         for _ in range(20):
-            sel = select_random(g, 2, rng, eligible=lambda n: n.name != "h0")
+            sel = select_random(g, 2, rng=rng, eligible=lambda n: n.name != "h0")
             assert "h0" not in sel.nodes
 
     def test_too_few_nodes(self):
         with pytest.raises(NoFeasibleSelection):
-            select_random(star(2), 3, np.random.default_rng(0))
+            select_random(star(2), 3, rng=np.random.default_rng(0))
 
 
 class TestStatic:

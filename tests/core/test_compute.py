@@ -74,12 +74,12 @@ class TestSelectMaxCompute:
         # h3 (load 4) gets 5x capacity: fraction 5 * 1/5 = 1.0, the best.
         loaded_star.node("h3").compute_capacity = 5.0
         refs = References(node_capacity=1.0)
-        sel = select_max_compute(loaded_star, 1, refs)
+        sel = select_max_compute(loaded_star, 1, refs=refs)
         assert sel.nodes == ["h0"] or sel.nodes == ["h3"]
         # h0: 1.0; h3: 1.0 -> tie broken by name.
         assert sel.nodes == ["h0"]
         loaded_star.node("h3").compute_capacity = 6.0
-        sel = select_max_compute(loaded_star, 1, refs)
+        sel = select_max_compute(loaded_star, 1, refs=refs)
         assert sel.nodes == ["h3"]
 
     def test_reports_bandwidth_of_choice(self, loaded_star):

@@ -82,9 +82,9 @@ class TestLatencyBound:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            select_with_latency_bound(star(3), 0, 1.0)
+            select_with_latency_bound(star(3), 0, max_latency_s=1.0)
         with pytest.raises(ValueError):
-            select_with_latency_bound(star(3), 2, -1.0)
+            select_with_latency_bound(star(3), 2, max_latency_s=-1.0)
 
     def test_three_lan_chain(self):
         """On a chain of LANs, a tight bound never mixes distant LANs."""

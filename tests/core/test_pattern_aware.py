@@ -146,7 +146,7 @@ class TestSelectPatternAware:
         for n in ("r2", "r3", "r4", "r5"):
             g.node(n).load_average = 0.12
         bal = select_balanced(g, 4)
-        aware = select_pattern_aware(g, 4, CommPattern.ALL_TO_ALL)
+        aware = select_pattern_aware(g, 4, pattern=CommPattern.ALL_TO_ALL)
         # Balanced picks the 2-2 split (best CPUs, pairwise bw fine) which
         # piles 4 flows per direction onto the trunk (25 Mbps each)...
         assert sorted(bal.nodes) == ["l0", "l1", "r0", "r1"]
@@ -170,7 +170,7 @@ class TestSelectPatternAware:
             for node in g.compute_nodes():
                 node.load_average = float(rng.uniform(0, 2))
             bal = select_balanced(g, 4)
-            aware = select_pattern_aware(g, 4, CommPattern.ALL_TO_ALL)
+            aware = select_pattern_aware(g, 4, pattern=CommPattern.ALL_TO_ALL)
 
             def obj(names):
                 from repro.core.metrics import min_cpu_fraction
@@ -186,22 +186,22 @@ class TestSelectPatternAware:
     def test_respects_eligible(self):
         g = star(6)
         sel = select_pattern_aware(
-            g, 3, CommPattern.ALL_TO_ALL,
+            g, 3, pattern=CommPattern.ALL_TO_ALL,
             eligible=lambda n: n.name != "h0",
         )
         assert "h0" not in sel.nodes
 
     def test_m_validation(self):
         with pytest.raises(ValueError):
-            select_pattern_aware(star(3), 0, CommPattern.ALL_TO_ALL)
+            select_pattern_aware(star(3), 0, pattern=CommPattern.ALL_TO_ALL)
 
     def test_infeasible(self):
         from repro.core import NoFeasibleSelection
         with pytest.raises(NoFeasibleSelection):
-            select_pattern_aware(star(2), 5, CommPattern.ALL_TO_ALL)
+            select_pattern_aware(star(2), 5, pattern=CommPattern.ALL_TO_ALL)
 
     def test_selection_metadata(self):
-        sel = select_pattern_aware(star(5), 3, CommPattern.RING)
+        sel = select_pattern_aware(star(5), 3, pattern=CommPattern.RING)
         assert sel.algorithm == "pattern-aware-ring"
         assert "effective_pattern_bw_bps" in sel.extras
         assert sel.size == 3
@@ -210,5 +210,5 @@ class TestSelectPatternAware:
         g = star(5)
         for n in ("h1", "h2", "h3", "h4"):
             g.node(n).load_average = 0.5
-        sel = select_pattern_aware(g, 4, CommPattern.MASTER_SLAVE)
+        sel = select_pattern_aware(g, 4, pattern=CommPattern.MASTER_SLAVE)
         assert "h0" in sel.nodes  # the idle node anchors the pattern

@@ -1,0 +1,165 @@
+"""The unified selection API: procedure registry + ``repro.select``.
+
+Covers the declarative dispatch table (:class:`repro.core.Procedure`),
+its extension point (:func:`repro.core.register_procedure`), the
+``extras["procedure"]`` provenance key, the documented extras schema, and
+the one-call ``repro.select`` entry point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import (
+    EXTRAS_SCHEMA,
+    ApplicationSpec,
+    ExtrasKey,
+    NodeSelector,
+    Objective,
+    Procedure,
+    Selection,
+    default_procedures,
+    register_procedure,
+    select,
+)
+from repro.topology import dumbbell, fat_tree_pod, star
+from repro.units import Mbps
+
+
+class TestProcedureRegistry:
+    def test_dispatch_names(self):
+        sel = NodeSelector(star(8))
+        cases = [
+            (ApplicationSpec(num_nodes=4), "balanced"),
+            (ApplicationSpec(num_nodes=4, objective=Objective.COMPUTE),
+             "max-compute"),
+            (ApplicationSpec(num_nodes=4, objective=Objective.BANDWIDTH),
+             "max-bandwidth"),
+            (ApplicationSpec(num_nodes=4, min_bandwidth_bps=10 * Mbps),
+             "bandwidth-floor"),
+            (ApplicationSpec(num_nodes=4, min_cpu_fraction=0.2), "cpu-floor"),
+            (ApplicationSpec(num_nodes=4, max_latency_s=1.0), "latency-bound"),
+            (ApplicationSpec(num_nodes=4, account_simultaneous_streams=True),
+             "pattern-aware"),
+            (ApplicationSpec(num_nodes=2, num_nodes_range=[2, 3],
+                             speedup_model=lambda m: float(m)), "variable-m"),
+        ]
+        for spec, expected in cases:
+            assert sel.procedure_for(spec).name == expected
+
+    def test_cyclic_graph_dispatches_routed(self):
+        sel = NodeSelector(fat_tree_pod())
+        assert sel.procedure_for(ApplicationSpec(num_nodes=4)).name == "routed"
+
+    def test_procedure_recorded_in_extras(self):
+        out = NodeSelector(star(8)).select(ApplicationSpec(num_nodes=4))
+        assert out.extras[ExtrasKey.PROCEDURE] == "balanced"
+        out = NodeSelector(star(8)).select(
+            ApplicationSpec(num_nodes=4, min_bandwidth_bps=1.0)
+        )
+        assert out.extras[ExtrasKey.PROCEDURE] == "bandwidth-floor"
+
+    def test_feature_outranks_objective(self):
+        spec = ApplicationSpec(
+            num_nodes=4,
+            objective=Objective.COMPUTE,
+            min_bandwidth_bps=1.0,
+        )
+        assert NodeSelector(star(8)).procedure_for(spec).name == "bandwidth-floor"
+
+    def test_default_procedures_returns_fresh_copy(self):
+        a, b = default_procedures(), default_procedures()
+        assert [p.name for p in a] == [p.name for p in b]
+        a.pop()
+        assert len(default_procedures()) == len(b)
+
+    def test_register_custom_procedure_per_instance(self):
+        marker = Selection(
+            nodes=["h0"], objective=1.0, min_cpu_fraction=1.0,
+            min_bw_fraction=1.0, min_bw_bps=1.0, algorithm="custom",
+        )
+        custom = Procedure(
+            "custom",
+            lambda spec, g: spec.num_nodes == 1,
+            lambda g, spec, refs, eligible: marker,
+        )
+        table = default_procedures()
+        register_procedure(custom, registry=table)
+        sel = NodeSelector(star(4), procedures=table)
+        out = sel.select(ApplicationSpec(num_nodes=1))
+        assert out.algorithm == "custom"
+        assert out.extras[ExtrasKey.PROCEDURE] == "custom"
+        # Other selectors are unaffected.
+        out = NodeSelector(star(4)).select(ApplicationSpec(num_nodes=1))
+        assert out.algorithm != "custom"
+        # Catch-all still reachable for non-matching specs.
+        out = sel.select(ApplicationSpec(num_nodes=2))
+        assert out.extras[ExtrasKey.PROCEDURE] == "balanced"
+
+    def test_register_rejects_duplicates_and_bad_anchor(self):
+        table = default_procedures()
+        dup = Procedure("balanced", lambda s, g: True, lambda *a: None)
+        with pytest.raises(ValueError):
+            register_procedure(dup, registry=table)
+        novel = Procedure("novel", lambda s, g: False, lambda *a: None)
+        with pytest.raises(ValueError):
+            register_procedure(novel, before="nonexistent", registry=table)
+        register_procedure(novel, before="routed", registry=table)
+        names = [p.name for p in table]
+        assert names.index("novel") == names.index("routed") - 1
+
+    def test_empty_registry_raises_lookup_error(self):
+        sel = NodeSelector(star(4), procedures=[])
+        with pytest.raises(LookupError):
+            sel.select(ApplicationSpec(num_nodes=2))
+
+
+class TestTopLevelSelect:
+    def test_kwargs_build_a_spec(self):
+        out = repro.select(star(8), num_nodes=4)
+        assert len(out.nodes) == 4
+        assert out.extras[ExtrasKey.PROCEDURE] == "balanced"
+
+    def test_explicit_spec(self):
+        out = select(star(8), ApplicationSpec(num_nodes=3))
+        assert len(out.nodes) == 3
+
+    def test_spec_and_kwargs_conflict(self):
+        with pytest.raises(TypeError):
+            select(star(8), ApplicationSpec(num_nodes=3), num_nodes=4)
+
+    def test_provider_accepted(self):
+        class Provider:
+            def topology(self):
+                return dumbbell(3, 3)
+
+        out = select(Provider(), num_nodes=2)
+        assert len(out.nodes) == 2
+
+    def test_health_gating_applies(self):
+        g = star(5)
+        g.node("h0").attrs["down"] = True
+        out = select(g, num_nodes=4)
+        assert "h0" not in out.nodes
+
+
+class TestExtrasSchema:
+    def test_every_key_documented(self):
+        declared = {
+            v for k, v in vars(ExtrasKey).items()
+            if not k.startswith("_") and isinstance(v, str)
+        }
+        assert declared == set(EXTRAS_SCHEMA)
+
+    def test_runtime_extras_stay_within_schema(self):
+        sel = NodeSelector(star(8))
+        for spec in (
+            ApplicationSpec(num_nodes=4),
+            ApplicationSpec(num_nodes=4, max_latency_s=10.0),
+            ApplicationSpec(num_nodes=2, num_nodes_range=[2, 3],
+                            speedup_model=lambda m: float(m)),
+            ApplicationSpec(num_nodes=4, account_simultaneous_streams=True),
+        ):
+            out = sel.select(spec)
+            assert set(out.extras) <= set(EXTRAS_SCHEMA), out.extras
