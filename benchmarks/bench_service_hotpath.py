@@ -1,0 +1,252 @@
+"""Benchmark: the O(Δ) service hot path vs the naive rebuild path.
+
+Sweeps topology size (33 → 1000+ hosts) and times one warm-cache
+request/release cycle through :class:`repro.service.SelectionService`
+twice per size — once with the incremental residual overlay
+(``incremental=True``, the default) and once with the pre-overhaul
+full-rebuild path (``incremental=False``) — on the *same* snapshot with
+the *same* background reservations.  Selections are asserted identical
+between the two arms on every cycle and the overlay is asserted
+bit-identical to a from-scratch ``residual_graph()`` rebuild before any
+timing is trusted.
+
+Emits machine-readable results to ``BENCH_service_hotpath.json`` at the
+repo root (committed — the README table's provenance trail) including
+the per-stage p50/p95/p99 latency summaries at the largest size, and a
+human-readable table to ``benchmarks/out/service_hotpath.txt``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_hotpath.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_service_hotpath.py --quick  # CI smoke
+
+The naive arm pays O(V+E) per attempt: a full graph copy plus re-debit
+of every claim in ``ledger.apply``, then two complete ``route_edges``
+passes (claim verification and again inside ``reserve``).  The
+incremental arm touches only the requested reservation's nodes and
+channels.  Acceptance gate (full mode): >= 5x at 1000 nodes.  Quick
+mode re-asserts overlay/rebuild identity and fails if the measured
+warm-cache cycle regresses more than 2x over the committed figure.
+
+Baseline context: ``bench_service_throughput.py`` measured the
+pre-overhaul warm-cache cycle at ~370 us on the 33-host CMU testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import format_table  # noqa: E402
+from repro.core import ApplicationSpec  # noqa: E402
+from repro.service import SelectionService  # noqa: E402
+from repro.topology import random_tree  # noqa: E402
+from repro.units import Mbps  # noqa: E402
+
+JSON_PATH = REPO_ROOT / "BENCH_service_hotpath.json"
+REPORT_PATH = REPO_ROOT / "benchmarks" / "out" / "service_hotpath.txt"
+
+FULL_SIZES = [33, 128, 512, 1000]
+QUICK_SIZES = [33, 128]
+
+#: The measured workload: a 4-node tenant claiming CPU and bandwidth,
+#: admitted and released against a warm snapshot cache.
+M = 4
+CPU_CLAIM = 0.35
+BW_CLAIM = 3 * Mbps
+#: Standing background tenants that keep the ledger dirty, so the
+#: overlay's delta machinery (and the schedule cache's merge path, not
+#: just its trivial clean-reuse path) is what gets measured.
+HOLD_CPU = 0.2
+HOLD_BW = 2 * Mbps
+N_HOLDS = 2
+
+FULL_CYCLES = 30
+QUICK_CYCLES = 10
+WARMUP = 3
+
+
+def build_graph(n: int, seed: int = 0):
+    """A contended random tree: ~n/5 switches, varied loads/residuals.
+
+    Loads stay below 0.5 and availabilities above 5 Mbps so the measured
+    tenant (0.35 CPU + 3 Mbps on top of the holds) is always admissible
+    — the benchmark times the admitted path, not rejection.
+    """
+    rng = np.random.default_rng(seed)
+    g = random_tree(n, max(1, n // 5), rng, bandwidth=100 * Mbps)
+    for link in g.links():
+        link.available_fwd = float(rng.uniform(5, 100)) * Mbps
+        link.available_rev = float(rng.uniform(5, 100)) * Mbps
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 0.5))
+    return g
+
+
+def make_service(graph, incremental: bool) -> SelectionService:
+    service = SelectionService(
+        graph, snapshot_ttl=1e9, lease_s=1e9, queue_limit=0,
+        incremental=incremental,
+    )
+    for i in range(N_HOLDS):
+        grant = service.request(
+            f"hold-{i}", ApplicationSpec(num_nodes=3),
+            cpu_fraction=HOLD_CPU, bw_bps=HOLD_BW,
+        )
+        assert grant.admitted, f"background tenant hold-{i} not admitted"
+    return service
+
+
+def run_cycles(service: SelectionService, n_cycles: int, tag: str):
+    """Time ``n_cycles`` request/release cycles; returns (times, nodes)."""
+    spec = ApplicationSpec(num_nodes=M)
+    times = []
+    selections = []
+    for i in range(WARMUP + n_cycles):
+        app = f"{tag}-{i}"
+        t0 = time.perf_counter()
+        grant = service.request(
+            app, spec, cpu_fraction=CPU_CLAIM, bw_bps=BW_CLAIM,
+        )
+        service.release(app)
+        dt = time.perf_counter() - t0
+        assert grant.admitted, f"cycle tenant {app} not admitted"
+        if i >= WARMUP:
+            times.append(dt)
+            selections.append(grant.selection.nodes)
+    return times, selections
+
+
+def run(sizes: list[int], n_cycles: int) -> dict:
+    rows = []
+    results: dict = {
+        "m": M,
+        "cpu_claim": CPU_CLAIM,
+        "bw_claim_mbps": BW_CLAIM / Mbps,
+        "background_tenants": N_HOLDS,
+        "cycles": n_cycles,
+        "sizes": sizes,
+        "baseline_note": (
+            "bench_service_throughput.py measured the pre-overhaul "
+            "warm-cache request/release cycle at ~370 us on the 33-host "
+            "CMU testbed; the naive arm here is that same rebuild path."
+        ),
+        "entries": [],
+    }
+    for n in sizes:
+        graph = build_graph(n)
+        inc = make_service(graph, incremental=True)
+        naive = make_service(graph, incremental=False)
+
+        inc_times, inc_sel = run_cycles(inc, n_cycles, "inc")
+        naive_times, naive_sel = run_cycles(naive, n_cycles, "nv")
+
+        # Correctness before timing: both arms picked identical nodes on
+        # every cycle, and the overlay is bit-identical to a rebuild.
+        assert inc_sel == naive_sel, (
+            f"incremental and naive selections diverged at n={n}: "
+            f"{inc_sel[:3]} vs {naive_sel[:3]}"
+        )
+        inc.check_invariants()
+        naive.check_invariants()
+        assert inc.view is not None
+        inc.view.assert_matches_rebuild()
+
+        inc_us = min(inc_times) * 1e6
+        naive_us = min(naive_times) * 1e6
+        entry = {
+            "nodes": n,
+            "incremental_us": inc_us,
+            "incremental_mean_us": sum(inc_times) / len(inc_times) * 1e6,
+            "naive_us": naive_us,
+            "naive_mean_us": sum(naive_times) / len(naive_times) * 1e6,
+            "speedup": naive_us / inc_us,
+        }
+        results["entries"].append(entry)
+        rows.append([
+            n,
+            f"{inc_us:.0f}",
+            f"{naive_us:.0f}",
+            f"{entry['speedup']:.1f}x",
+            "yes",
+        ])
+        if n == max(sizes):
+            results["stages_at_max"] = inc.metrics.stage_summaries()
+            results["route_cache"] = {
+                "hits": inc.view.routes.hits,
+                "misses": inc.view.routes.misses,
+            }
+    results["table"] = format_table(
+        ["hosts", "incremental (us)", "naive rebuild (us)", "speedup",
+         "identical"],
+        rows,
+        title=(
+            f"Service warm-cache request/release cycle (m={M}, "
+            f"{N_HOLDS} background tenants, best of {n_cycles})"
+        ),
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes only; CI smoke — re-asserts overlay identity "
+             "and gates against the committed JSON (does not overwrite it)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    n_cycles = QUICK_CYCLES if args.quick else FULL_CYCLES
+    results = run(sizes, n_cycles)
+    table = results.pop("table")
+    print(table)
+
+    REPORT_PATH.parent.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(table + "\n")
+
+    if args.quick:
+        # Regression gate against the committed full-sweep figures: fail
+        # if the measured warm-cache cycle is more than 2x the committed
+        # number at any quick size.
+        if not JSON_PATH.exists():
+            print("no committed BENCH_service_hotpath.json; gate skipped")
+            return 0
+        committed = json.loads(JSON_PATH.read_text())
+        by_nodes = {e["nodes"]: e for e in committed.get("entries", [])}
+        for entry in results["entries"]:
+            ref = by_nodes.get(entry["nodes"])
+            if ref is None:
+                continue
+            assert entry["incremental_us"] <= 2.0 * ref["incremental_us"], (
+                f"warm-cache cycle regressed at n={entry['nodes']}: "
+                f"{entry['incremental_us']:.0f} us measured vs "
+                f"{ref['incremental_us']:.0f} us committed (>2x)"
+            )
+            print(
+                f"n={entry['nodes']}: {entry['incremental_us']:.0f} us "
+                f"(committed {ref['incremental_us']:.0f} us) — ok"
+            )
+        return 0
+
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {JSON_PATH.relative_to(REPO_ROOT)}")
+
+    # Acceptance gate: >= 5x over the naive rebuild path at 1000 nodes.
+    gate = [e for e in results["entries"] if e["nodes"] == 1000]
+    for e in gate:
+        assert e["speedup"] >= 5.0, f"hot-path speedup regression: {e}"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,18 +15,25 @@ subpackage is the long-running layer that makes concurrent use sound:
   and explicit admit/queue/reject outcomes (:class:`Decision`) instead of
   silent degradation.
 - :class:`SnapshotCache` — TTL memoization plus same-instant coalescing
-  of the expensive Remos topology sweep, invalidated on fault events.
+  of the expensive Remos topology sweep, invalidated on fault events;
+  its :attr:`~SnapshotCache.epoch` keys the hot path's memoization.
+- :class:`ResidualView` — the O(Δ) mutable residual overlay the ledger
+  updates in place, carrying per-epoch :class:`RouteCache` and
+  :class:`PeelScheduleCache` memoization for the selection kernel;
+  bit-identical to a from-scratch rebuild by construction.
 - :class:`SelectionService` — the facade wiring it all to a
   :class:`~repro.core.NodeSelector`; :class:`ServiceMetrics` counts
   requests, admissions, rejections, queue depth, cache hits and ledger
-  utilization.  ``repro-serve`` (:mod:`repro.service.cli`) drives it from
-  serialized topologies and workload files.
+  utilization, and profiles the admission pipeline per stage
+  (:class:`StageTimer`).  ``repro-serve`` (:mod:`repro.service.cli`)
+  drives it from serialized topologies and workload files.
 """
 
 from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
-from .cache import SnapshotCache
+from .cache import PeelScheduleCache, RouteCache, SnapshotCache
 from .ledger import LedgerError, Reservation, ReservationLedger, route_edges
-from .metrics import ServiceMetrics
+from .metrics import ServiceMetrics, StageTimer
+from .residual_view import ResidualView
 from .service import Grant, SelectionService
 
 __all__ = [
@@ -34,12 +41,16 @@ __all__ = [
     "Decision",
     "Grant",
     "LedgerError",
+    "PeelScheduleCache",
     "Priority",
     "Reservation",
     "ReservationLedger",
+    "ResidualView",
+    "RouteCache",
     "SelectionRequest",
     "SelectionService",
     "ServiceMetrics",
     "SnapshotCache",
+    "StageTimer",
     "route_edges",
 ]

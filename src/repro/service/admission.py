@@ -66,6 +66,11 @@ class SelectionRequest:
     submitted_at: float = 0.0
     #: FIFO tie-break within a priority class, assigned by the queue.
     seq: int = field(default=0, compare=False)
+    #: The service's residual-epoch counter at this request's last failed
+    #: admission attempt.  ``_drain_queue`` skips re-attempting while the
+    #: epoch is unchanged — no capacity came back, so the identical
+    #: attempt would fail identically.  -1: never attempted.
+    last_failed_epoch: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
         if not self.app_id:

@@ -1,4 +1,4 @@
-"""Snapshot caching and request coalescing for Remos topology queries.
+"""Snapshot caching and epoch-keyed memoization for the selection service.
 
 A Remos topology query is a full sweep: every host's load history and
 every link's counter history pass through the predictor
@@ -18,17 +18,32 @@ front of a :class:`~repro.core.NodeSelector`:
   service wires it to fault/recovery events so a crash never serves a
   pre-crash snapshot for up to a TTL.
 
+Every sweep and every invalidation advances :attr:`SnapshotCache.epoch`,
+the generation counter the rest of the hot path keys its memoization on:
+:class:`RouteCache` (routed channel sets per node set — pure topology
+*structure*, unchanged by capacity claims) and :class:`PeelScheduleCache`
+(the kernel's pre-sorted peel schedules, reused across requests with
+claim-touched edges re-merged as a delta).  Both live exactly as long as
+one snapshot epoch: the service rebuilds them whenever the epoch moves,
+which is precisely when a TTL refresh sweeps or a fault event fires.
+
 Callers must treat the returned graph as shared and immutable — debit
-views (:meth:`repro.service.ReservationLedger.apply`) copy it anyway.
+views (:class:`repro.service.ResidualView`) copy it anyway.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import heapq
+import itertools
+from typing import Callable, Collection, Optional, Sequence
 
-from ..topology.graph import TopologyGraph
+from ..core.kernel import peel_order
+from ..core.metrics import References
+from ..topology.graph import Link, TopologyGraph
+from ..topology.residual import DirectedEdge
+from ..topology.routing import RoutingTable
 
-__all__ = ["SnapshotCache"]
+__all__ = ["PeelScheduleCache", "RouteCache", "SnapshotCache"]
 
 
 class SnapshotCache:
@@ -66,6 +81,10 @@ class SnapshotCache:
         #: Sweeps actually forwarded to the provider (== misses; kept as a
         #: separate counter so reports read naturally).
         self.sweeps = 0
+        #: Snapshot generation: advances on every sweep and invalidation.
+        #: Anything memoized against a snapshot (residual overlays, route
+        #: and peel-schedule caches) revalidates when this moves.
+        self.epoch = 0
 
     def topology(self) -> TopologyGraph:
         """The cached snapshot, refreshed via the provider when stale."""
@@ -83,6 +102,7 @@ class SnapshotCache:
                 return self._graph
         self.misses += 1
         self.sweeps += 1
+        self.epoch += 1
         self._graph = self.provider.topology()
         self._taken_at = now
         return self._graph
@@ -93,6 +113,7 @@ class SnapshotCache:
             self._graph = None
             self._taken_at = float("-inf")
             self.invalidations += 1
+            self.epoch += 1
 
     @property
     def age(self) -> float:
@@ -106,3 +127,169 @@ class SnapshotCache:
             f"<SnapshotCache ttl={self.ttl:g}s hits={self.hits} "
             f"misses={self.misses} coalesced={self.coalesced}>"
         )
+
+
+class RouteCache:
+    """Memoized routed channel sets for one snapshot epoch.
+
+    :func:`repro.service.route_edges` runs one BFS per ordered node pair —
+    O(m² · (V+E)) per admission attempt, and the service used to pay it
+    twice (claim verification, then again inside ``reserve``).  Routes
+    depend only on topology *structure*, which capacity claims never touch,
+    so within a snapshot epoch every pairwise path is computed at most
+    once and every node *set* resolves to its channel union from the
+    per-pair memo.
+
+    The cache answers for any graph sharing the base snapshot's structure
+    (the residual overlay is a same-structure copy); the service discards
+    it with the overlay whenever the snapshot epoch moves.
+    """
+
+    def __init__(
+        self,
+        graph: TopologyGraph,
+        routing: Optional[RoutingTable] = None,
+    ) -> None:
+        self.graph = graph
+        self.routing = routing
+        #: Ordered pair -> channel tuple (None: pair is disconnected).
+        self._pairs: dict[
+            tuple[str, str], Optional[tuple[DirectedEdge, ...]]
+        ] = {}
+        #: Sorted node tuple -> channel union over all its ordered pairs.
+        self._sets: dict[tuple[str, ...], frozenset] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _pair_edges(self, a: str, b: str) -> Optional[tuple[DirectedEdge, ...]]:
+        key = (a, b)
+        if key in self._pairs:
+            return self._pairs[key]
+        if self.routing is not None:
+            path = self.routing.route(a, b)
+        else:
+            path = self.graph.path(a, b)
+        edges = (
+            None if path is None
+            else tuple(
+                (frozenset((u, v)), v) for u, v in zip(path, path[1:])
+            )
+        )
+        self._pairs[key] = edges
+        return edges
+
+    def edges_for(self, nodes: Sequence[str]) -> set[DirectedEdge]:
+        """Directed channels used by traffic among ``nodes``.
+
+        Identical to :func:`repro.service.route_edges` on the base
+        snapshot (and therefore on any residual overlay of it).
+        """
+        key = tuple(sorted(nodes))
+        cached = self._sets.get(key)
+        if cached is not None:
+            self.hits += 1
+            return set(cached)
+        self.misses += 1
+        edges: set[DirectedEdge] = set()
+        for a, b in itertools.permutations(nodes, 2):
+            hops = self._pair_edges(a, b)
+            if hops:
+                edges.update(hops)
+        self._sets[key] = frozenset(edges)
+        return edges
+
+
+def _entry_key(entry: tuple[float, Link]) -> tuple[float, tuple[str, str]]:
+    """The peel-order sort key: ``(metric, sorted endpoint names)``."""
+    fraction, link = entry
+    ends = (link.u, link.v) if link.u < link.v else (link.v, link.u)
+    return (fraction, ends)
+
+
+class PeelScheduleCache:
+    """Memoized kernel peel schedules for one snapshot epoch.
+
+    The incremental kernel's first step is sorting every link into peel
+    order — O(E log E) per selection, paid per admission attempt even
+    when nothing changed between requests.  Claims only perturb the
+    availability of the links they route over, so the schedule against a
+    *base* snapshot is computed once per ``(metric kind, references)``
+    and reused; a request against a ledger with live claims re-scores
+    only the claim-touched (*dirty*) links from the residual overlay and
+    merges them back in — O(E + D log D) with D dirty links, and a plain
+    list reuse when the ledger is quiescent (D = 0).
+
+    Because the peel order is a strict total order (the tie-break on
+    endpoint names is unique per link), the merge reproduces exactly the
+    schedule :func:`repro.core.kernel.peel_order` would build from the
+    residual graph — the kernel's bit-identical guarantee is preserved.
+
+    Instances are handed to the kernel through the
+    ``peel_schedule_provider`` graph hook (see :mod:`repro.core.kernel`)
+    and discarded with the residual overlay when the snapshot epoch
+    moves.
+    """
+
+    def __init__(self, base: TopologyGraph) -> None:
+        self.base = base
+        self._schedules: dict[tuple, list[tuple[float, Link]]] = {}
+        self.reused = 0
+        self.adjusted = 0
+        self.builds = 0
+
+    @staticmethod
+    def _key(kind: str, refs: References) -> tuple:
+        # The only References field the kernel's peel metrics read is the
+        # reference link bandwidth (heterogeneous scaling); priorities
+        # scale scores, never the edge ordering.
+        return (kind, refs.link_bandwidth)
+
+    def schedule(
+        self,
+        kind: str,
+        refs: References,
+        metric: Callable[[Link], float],
+        residual: TopologyGraph,
+        dirty_keys: Collection[frozenset],
+    ) -> list[tuple[float, Link]]:
+        """The peel schedule for ``residual``, reusing the base sort.
+
+        ``dirty_keys`` are the undirected link keys currently carrying
+        claims (the only links whose metric can differ from the base
+        snapshot's).  Keys absent from the snapshot are ignored, exactly
+        as the residual debit ignores them.
+        """
+        base_sched = self._schedules.get(self._key(kind, refs))
+        if base_sched is None:
+            self.builds += 1
+            base_sched = peel_order(self.base, metric)
+            self._schedules[self._key(kind, refs)] = base_sched
+        dirty = {
+            key for key in dirty_keys
+            if len(key) == 2 and residual.has_link(*tuple(key))
+        }
+        if not dirty:
+            self.reused += 1
+            return base_sched
+        self.adjusted += 1
+        clean = [e for e in base_sched if e[1].key not in dirty]
+        touched = [
+            (metric(link), link)
+            for link in (residual.link(*tuple(key)) for key in dirty)
+        ]
+        touched.sort(key=_entry_key)
+        return list(heapq.merge(clean, touched, key=_entry_key))
+
+    def provider(
+        self,
+        residual: TopologyGraph,
+        dirty_keys: Callable[[], Collection[frozenset]],
+    ) -> Callable[[str, References, Callable[[Link], float]], list]:
+        """A ``peel_schedule_provider`` closure for ``residual``."""
+
+        def provide(
+            kind: str, refs: References, metric: Callable[[Link], float]
+        ) -> list[tuple[float, Link]]:
+            return self.schedule(kind, refs, metric, residual, dirty_keys())
+
+        return provide

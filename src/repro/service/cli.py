@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-node cap on summed CPU claims (default: 1.0)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-stage admission-pipeline latencies "
+                             "(p50/p95/p99) on exit")
     return parser
 
 
@@ -181,6 +184,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
 
     metrics = service.metrics_snapshot()
+    if not args.profile:
+        metrics.pop("stages", None)
     if args.format == "json":
         print(json.dumps({"outcomes": outcomes, "metrics": metrics}, indent=2))
     else:
@@ -196,7 +201,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             print("  ".join(p for p in parts if p))
         print()
         print(service.metrics.format(
-            cache=service.cache, ledger=service.ledger, queue=service.queue
+            cache=service.cache, ledger=service.ledger, queue=service.queue,
+            include_stages=args.profile,
         ))
     return 0
 

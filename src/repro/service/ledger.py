@@ -26,9 +26,10 @@ moment with :meth:`check_invariants`:
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..topology.graph import TopologyGraph
 from ..topology.residual import DirectedEdge, residual_graph
@@ -119,6 +120,28 @@ class ReservationLedger:
         self._edge_claims: dict[DirectedEdge, float] = {}
         #: Peak capacity of each claimed channel, learned at reserve time.
         self._edge_caps: dict[DirectedEdge, float] = {}
+        #: Min-heap of (expires_at, app_id) lease deadlines.  Entries are
+        #: lazily deleted: release/renew leave them in place, and
+        #: :meth:`expire` drops any popped entry whose deadline no longer
+        #: matches the live reservation.  Expiry is O(log n) per event
+        #: instead of a linear scan over all reservations.
+        self._deadlines: list[tuple[float, str]] = []
+        #: Capacity-change observers, called as ``fn(kind, reservation)``
+        #: with kind ``"reserve"`` or ``"release"`` after the claim
+        #: tallies mutate.  The service's residual overlay subscribes so
+        #: debits are applied in place, O(Δ) in the reservation's size.
+        self._listeners: list[Callable[[str, Reservation], None]] = []
+
+    def subscribe(self, fn: Callable[[str, Reservation], None]) -> None:
+        """Observe claim changes: ``fn(kind, reservation)`` after every
+        successful :meth:`reserve` (kind ``"reserve"``) and every
+        :meth:`release` — including expiries and crash evictions, which
+        release internally (kind ``"release"``)."""
+        self._listeners.append(fn)
+
+    def _notify(self, kind: str, reservation: Reservation) -> None:
+        for fn in self._listeners:
+            fn(kind, reservation)
 
     # -- lifecycle -----------------------------------------------------------
     def reserve(
@@ -133,14 +156,21 @@ class ReservationLedger:
         lease_s: float,
         routing: Optional[RoutingTable] = None,
         priority: str = "silver",
+        edges: Optional[Iterable[DirectedEdge]] = None,
     ) -> Reservation:
         """Record a claim for ``app_id`` on ``nodes``.
 
         ``graph`` supplies routes and link capacities (claims are checked
         against ``maxbw``, never against transient availability — that is
-        the admission controller's job).  Raises :class:`LedgerError` when
-        the claim would oversubscribe a node or channel, and ``ValueError``
-        on malformed requests; on error the ledger is unchanged.
+        the admission controller's job).  ``edges`` optionally supplies
+        the routed channel set up front — it must equal what
+        :func:`route_edges` would compute on ``graph``/``routing`` (the
+        service passes its epoch-keyed route cache's answer, saving a
+        second full routing pass per admission); claims are still
+        validated against every channel's capacity.  Raises
+        :class:`LedgerError` when the claim would oversubscribe a node or
+        channel, and ``ValueError`` on malformed requests; on error the
+        ledger is unchanged.
         """
         if app_id in self.reservations:
             raise ValueError(f"application {app_id!r} already holds a lease")
@@ -157,11 +187,12 @@ class ReservationLedger:
         for name in nodes:
             graph.node(name)  # unknown nodes raise KeyError here
 
-        edges = (
-            sorted(route_edges(graph, nodes, routing),
-                   key=lambda e: (sorted(e[0]), e[1]))
-            if bw_bps > 0 else []
-        )
+        if bw_bps > 0:
+            if edges is None:
+                edges = route_edges(graph, nodes, routing)
+            edges = sorted(edges, key=lambda e: (sorted(e[0]), e[1]))
+        else:
+            edges = []
         for name in nodes:
             claimed = self._node_claims.get(name, 0.0)
             if claimed + cpu_fraction > self.cpu_cap + _EPS:
@@ -197,6 +228,8 @@ class ReservationLedger:
             self._edge_claims[edge] = self._edge_claims.get(edge, 0.0) + bw_bps
             self._edge_caps[edge] = graph.link(*tuple(edge[0])).maxbw
         self.reservations[app_id] = reservation
+        heapq.heappush(self._deadlines, (reservation.expires_at, app_id))
+        self._notify("reserve", reservation)
         return reservation
 
     def release(self, app_id: str) -> Reservation:
@@ -220,6 +253,10 @@ class ReservationLedger:
                 del self._edge_caps[edge]
             else:
                 self._edge_claims[edge] = remaining
+        # The deadline heap entry stays behind (lazy deletion): expire()
+        # discards it because the app_id no longer resolves to a live
+        # reservation with that deadline.
+        self._notify("release", reservation)
         return reservation
 
     def renew(self, app_id: str, now: float, lease_s: float) -> Reservation:
@@ -232,18 +269,28 @@ class ReservationLedger:
             raise ValueError(f"lease_s must be positive: {lease_s}")
         renewed = dataclasses.replace(reservation, expires_at=now + lease_s)
         self.reservations[app_id] = renewed
+        # The old heap entry is lazily deleted: when popped it no longer
+        # matches the live reservation's deadline and is discarded.
+        heapq.heappush(self._deadlines, (renewed.expires_at, app_id))
         return renewed
 
     def expire(self, now: float) -> list[str]:
-        """Release every lease past its expiry; returns the reclaimed apps."""
-        lapsed = sorted(
-            app_id
-            for app_id, r in self.reservations.items()
-            if r.expired(now)
-        )
-        for app_id in lapsed:
+        """Release every lease past its expiry; returns the reclaimed apps.
+
+        Heap-driven: pops lease deadlines from the min-heap until the
+        earliest outstanding one is in the future — O(log n) per event,
+        not a scan over every live reservation.  Stale entries (released,
+        renewed, or re-reserved app ids) are discarded as they surface.
+        """
+        lapsed = []
+        while self._deadlines and self._deadlines[0][0] <= now:
+            deadline, app_id = heapq.heappop(self._deadlines)
+            r = self.reservations.get(app_id)
+            if r is None or r.expires_at != deadline:
+                continue  # lazily-deleted entry (released/renewed)
             self.release(app_id)
-        return lapsed
+            lapsed.append(app_id)
+        return sorted(lapsed)
 
     def apps_on_node(self, name: str) -> list[str]:
         """Applications whose reservation includes node ``name``."""
@@ -278,6 +325,27 @@ class ReservationLedger:
     def edge_claims(self) -> dict[DirectedEdge, float]:
         return dict(self._edge_claims)
 
+    def claims_fingerprint(self) -> tuple:
+        """A hashable snapshot of the exact current claim state.
+
+        Two ledgers with equal fingerprints produce bit-identical
+        residual graphs from the same snapshot — the selection memo's
+        cache key (O(active claims) to build, tiny in steady state).
+        """
+        return (
+            frozenset(self._node_claims.items()),
+            frozenset(self._edge_claims.items()),
+        )
+
+    def claimed_link_keys(self) -> set[frozenset]:
+        """Undirected keys of every link carrying at least one claim.
+
+        This is the *dirty set* for schedule memoization: only these
+        links' availabilities can differ between the base snapshot and
+        the residual view.
+        """
+        return {key for key, _dst in self._edge_claims}
+
     @property
     def active(self) -> int:
         """Number of live reservations."""
@@ -306,12 +374,15 @@ class ReservationLedger:
             ),
         }
 
-    def check_invariants(self) -> None:
+    def check_invariants(self, view=None) -> None:
         """Raise ``AssertionError`` if any claim total breaches its cap.
 
         The totals are recomputed from the reservations themselves, so this
         also catches bookkeeping drift between the per-app records and the
-        incremental claim tallies.
+        incremental claim tallies.  Pass the service's residual ``view``
+        (anything with ``assert_matches_rebuild()``) to additionally
+        cross-check the in-place overlay against a from-scratch
+        :func:`~repro.topology.residual.residual_graph` rebuild.
         """
         node_totals: dict[str, float] = {}
         edge_totals: dict[DirectedEdge, float] = {}
@@ -339,6 +410,8 @@ class ReservationLedger:
             )
         assert set(node_totals) == set(self._node_claims), "node tally drift"
         assert set(edge_totals) == set(self._edge_claims), "edge tally drift"
+        if view is not None:
+            view.assert_matches_rebuild()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

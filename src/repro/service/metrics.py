@@ -4,13 +4,85 @@ Plain integer counters updated by :class:`~repro.service.SelectionService`
 as requests flow through, merged with live gauges from the snapshot cache
 and the reservation ledger at :meth:`ServiceMetrics.snapshot` time.
 Surfaced by ``repro-serve`` and ``benchmarks/bench_service_throughput.py``.
+
+:class:`StageTimer` adds the profiling layer: the service wraps each
+admission stage (snapshot fetch, residual view, select, claim-verify,
+ledger commit) in a timer, and :meth:`ServiceMetrics.snapshot` reports
+per-stage p50/p95/p99 latencies so a regression in any one stage is
+visible without re-running a profiler (``repro-serve --profile``,
+``benchmarks/bench_service_hotpath.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["ServiceMetrics", "StageTimer"]
+
+#: Ring-buffer size for percentile windows.  Large enough that p99 over a
+#: benchmark run is meaningful, small enough that a long-lived service
+#: never grows unboundedly.
+_WINDOW = 4096
+
+
+class StageTimer:
+    """Latency accumulator for one pipeline stage.
+
+    Keeps exact ``count``/``total_s`` over the timer's whole life plus a
+    sliding window of the last :data:`_WINDOW` samples for percentiles.
+    Durations are observed in seconds and reported in microseconds (the
+    hot path's natural unit).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self._window: list[float] = []
+        self._next = 0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if len(self._window) < _WINDOW:
+            self._window.append(seconds)
+        else:
+            self._window[self._next] = seconds
+            self._next = (self._next + 1) % _WINDOW
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile over a pre-sorted sample."""
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> dict:
+        """``{count, mean_us, p50_us, p95_us, p99_us}`` over the window."""
+        if not self.count:
+            return {
+                "count": 0, "mean_us": 0.0,
+                "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0,
+            }
+        ordered = sorted(self._window)
+        return {
+            "count": self.count,
+            "mean_us": self.total_s / self.count * 1e6,
+            "p50_us": self._percentile(ordered, 0.50) * 1e6,
+            "p95_us": self._percentile(ordered, 0.95) * 1e6,
+            "p99_us": self._percentile(ordered, 0.99) * 1e6,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<StageTimer n={self.count} total={self.total_s * 1e3:.3f}ms>"
+
+
+#: Admission-pipeline stage names, in execution order.
+STAGES = (
+    "snapshot_fetch",
+    "residual_view",
+    "select",
+    "claim_verify",
+    "ledger_commit",
+)
 
 
 @dataclass
@@ -31,11 +103,35 @@ class ServiceMetrics:
     admitted_from_queue: int = 0
     #: Queued requests displaced by higher-priority arrivals.
     queue_displaced: int = 0
+    #: Queued requests *not* re-attempted because no capacity was
+    #: returned since their last failed attempt (residual-epoch gate).
+    drain_skipped: int = 0
+    #: Residual overlays rebuilt because the snapshot epoch moved.
+    view_rebuilds: int = 0
+    #: Admission attempts answered from the per-view selection memo.
+    select_memo_hits: int = 0
+    #: Per-stage latency timers (see :data:`STAGES`), populated lazily.
+    stages: dict = field(default_factory=dict)
     #: Live gauges merged in by :meth:`snapshot`.
     extras: dict = field(default_factory=dict)
 
+    def observe_stage(self, name: str, seconds: float) -> None:
+        """Record one duration for pipeline stage ``name``."""
+        timer = self.stages.get(name)
+        if timer is None:
+            timer = self.stages[name] = StageTimer()
+        timer.observe(seconds)
+
+    def stage_summaries(self) -> dict:
+        """``{stage: {count, mean_us, p50_us, p95_us, p99_us}}``, in
+        pipeline order (unknown stages appended alphabetically)."""
+        ordered = [s for s in STAGES if s in self.stages]
+        ordered += sorted(set(self.stages) - set(STAGES))
+        return {name: self.stages[name].summary() for name in ordered}
+
     def snapshot(self, cache=None, ledger=None, queue=None) -> dict:
-        """All counters plus live cache/ledger/queue gauges, one flat dict."""
+        """All counters plus live cache/ledger/queue gauges, one flat dict
+        (stage-timer histograms nested under ``"stages"``)."""
         out = {
             "requests": self.requests,
             "admitted": self.admitted,
@@ -47,6 +143,9 @@ class ServiceMetrics:
             "evicted": self.evicted,
             "admitted_from_queue": self.admitted_from_queue,
             "queue_displaced": self.queue_displaced,
+            "drain_skipped": self.drain_skipped,
+            "view_rebuilds": self.view_rebuilds,
+            "select_memo_hits": self.select_memo_hits,
         }
         if queue is not None:
             out["queue_depth"] = len(queue)
@@ -59,11 +158,19 @@ class ServiceMetrics:
         if ledger is not None:
             out.update(ledger.utilization())
         out.update(self.extras)
+        if self.stages:
+            out["stages"] = self.stage_summaries()
         return out
 
-    def format(self, cache=None, ledger=None, queue=None) -> str:
-        """Human-readable block (``repro-serve`` text output)."""
+    def format(self, cache=None, ledger=None, queue=None,
+               include_stages: bool = False) -> str:
+        """Human-readable block (``repro-serve`` text output).
+
+        ``include_stages`` appends the per-stage latency table
+        (``repro-serve --profile``).
+        """
         snap = self.snapshot(cache=cache, ledger=ledger, queue=queue)
+        snap.pop("stages", None)
         width = max(len(k) for k in snap)
         lines = []
         for key, value in snap.items():
@@ -71,4 +178,18 @@ class ServiceMetrics:
                 lines.append(f"{key:<{width}} : {value:.3f}")
             else:
                 lines.append(f"{key:<{width}} : {value}")
+        if include_stages and self.stages:
+            lines.append("")
+            lines.append("stage latencies (us)")
+            header = (
+                f"{'stage':<16} {'count':>8} {'mean':>10} "
+                f"{'p50':>10} {'p95':>10} {'p99':>10}"
+            )
+            lines.append(header)
+            for name, s in self.stage_summaries().items():
+                lines.append(
+                    f"{name:<16} {s['count']:>8} {s['mean_us']:>10.1f} "
+                    f"{s['p50_us']:>10.1f} {s['p95_us']:>10.1f} "
+                    f"{s['p99_us']:>10.1f}"
+                )
         return "\n".join(lines)

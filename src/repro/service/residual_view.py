@@ -1,0 +1,234 @@
+"""The mutable residual overlay: O(Δ) capacity views for the hot path.
+
+:meth:`ReservationLedger.apply` is correct but O(V+E) per call — it
+copies the whole snapshot and re-debits every claim, even though one
+admission or release only touches the handful of nodes and channels in
+*that* reservation.  At 33 hosts the copy is noise; at 1000+ it
+dominates the request/release cycle (see ROADMAP's selection-kernel
+profiling item and ``benchmarks/bench_service_hotpath.py``).
+
+:class:`ResidualView` keeps **one** debited copy alive for as long as
+the underlying snapshot does, and moves it in place:
+
+- the service subscribes it to the ledger, so every grant, release,
+  renewal expiry, and crash eviction triggers :meth:`apply_delta` —
+  O(Δ) in the reservation's node/edge count;
+- updates are *recomputations from base*, never incremental arithmetic:
+  a touched node or channel is reset to exactly what
+  :func:`~repro.topology.residual.residual_graph` would compute from
+  the base snapshot and the ledger's **current total** claim.  Floating
+  point addition is not associative, so subtracting a delta from the
+  overlay could drift a few ulps from the rebuild; recomputing from
+  base keeps the overlay *bit-identical* to a from-scratch rebuild
+  (enforced by :meth:`assert_matches_rebuild`, wired into
+  ``ledger.check_invariants(view=...)`` and a hypothesis property
+  test);
+- the overlay carries the epoch's memoization with it: a
+  :class:`~repro.service.cache.RouteCache` (routes are pure structure —
+  claims never touch them) and a
+  :class:`~repro.service.cache.PeelScheduleCache` exposed to the kernel
+  through the ``peel_schedule_provider`` graph hook, so selections
+  against the view skip the O(E log E) re-sort when the ledger's dirty
+  link set is small.
+
+A view is valid for exactly one snapshot epoch.  The service rebuilds
+it whenever :attr:`SnapshotCache.epoch` moves (TTL refresh or fault
+invalidation) or the known-down node set changes; it never tries to
+patch the overlay across a snapshot boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..topology.graph import TopologyGraph, load_from_cpu_fraction
+from ..topology.residual import (
+    _MIN_RESIDUAL_CPU,
+    DirectedEdge,
+    residual_graph,
+)
+from ..topology.routing import RoutingTable
+from .cache import PeelScheduleCache, RouteCache
+from .ledger import Reservation, ReservationLedger
+
+__all__ = ["ResidualView"]
+
+
+class ResidualView:
+    """A live residual-capacity overlay of one topology snapshot.
+
+    Parameters
+    ----------
+    base:
+        The snapshot (shared, never mutated — the overlay is a copy).
+    ledger:
+        The claim source the overlay tracks.  The view reads the
+        ledger's *current totals* on every update; callers wire
+        :meth:`on_ledger_event` to :meth:`ReservationLedger.subscribe`
+        so the two never drift.
+    down:
+        Node names to mark ``down`` in the overlay's attrs (the
+        service's injector ground truth).
+    routing:
+        Static routes for the embedded :class:`RouteCache` (default:
+        shortest paths on the base snapshot).
+    """
+
+    def __init__(
+        self,
+        base: TopologyGraph,
+        ledger: ReservationLedger,
+        *,
+        down: Iterable[str] = (),
+        routing: Optional[RoutingTable] = None,
+    ) -> None:
+        self.base = base
+        self.ledger = ledger
+        self.graph = residual_graph(
+            base, ledger.node_claims(), ledger.edge_claims()
+        )
+        self.routes = RouteCache(base, routing)
+        self.schedules = PeelScheduleCache(base)
+        # The kernel hook (see repro.core.kernel._schedule): selections
+        # against this overlay reuse the base peel sort, re-merging only
+        # the claim-touched links.
+        self.graph.peel_schedule_provider = self.schedules.provider(
+            self.graph, ledger.claimed_link_keys
+        )
+        self._down: set[str] = set()
+        for name in down:
+            self.mark_down(name)
+        #: In-place updates applied since construction (for metrics).
+        self.deltas = 0
+        #: Selection memo: ``(spec repr, ledger claims fingerprint) ->
+        #: Selection | None`` (``None`` = proven infeasible).  Within one
+        #: view a selection is a pure function of the spec and the exact
+        #: claim state — the snapshot and down set are fixed for the
+        #: view's lifetime — so identical keys must yield bit-identical
+        #: selections.  Maintained by the service; bounded there.
+        self.selections: dict = {}
+        self.selection_hits = 0
+
+    # -- O(Δ) updates ---------------------------------------------------------
+    def refresh_nodes(self, names: Iterable[str]) -> None:
+        """Reset each node to base capacity minus its current total claim.
+
+        Mirrors :func:`residual_graph` exactly: no claim restores the
+        base load average verbatim; a claim recomputes the equivalent
+        load from the base CPU fraction.  Names absent from the snapshot
+        are ignored (crashed/removed — their capacity is gone anyway).
+        """
+        for name in names:
+            if not self.graph.has_node(name):
+                continue
+            base_node = self.base.node(name)
+            claim = self.ledger.node_claim(name)
+            if claim <= 0.0:
+                self.graph.node(name).load_average = base_node.load_average
+            else:
+                residual = max(base_node.cpu - claim, _MIN_RESIDUAL_CPU)
+                self.graph.node(name).load_average = load_from_cpu_fraction(
+                    residual
+                )
+
+    def refresh_edges(self, edges: Iterable[DirectedEdge]) -> None:
+        """Reset each directed channel from base availability and the
+        ledger's current total claim (absent links ignored)."""
+        for key, dst in edges:
+            ends = tuple(key)
+            if len(ends) != 2 or not self.graph.has_link(*ends):
+                continue
+            base_avail = self.base.link(*ends).available_towards(dst)
+            claim = self.ledger.edge_claim((key, dst))
+            if claim <= 0.0:
+                remaining = base_avail
+            else:
+                remaining = max(base_avail - claim, 0.0)
+            self.graph.link(*ends).set_available(remaining, direction=dst)
+
+    def apply_delta(self, reservation: Reservation) -> None:
+        """Fold one reservation's grant or release into the overlay.
+
+        O(Δ): touches only the reservation's own nodes and channels.
+        The direction of the change is irrelevant — both sides recompute
+        from base + current ledger totals.
+        """
+        self.deltas += 1
+        self.refresh_nodes(reservation.nodes)
+        self.refresh_edges(reservation.edges)
+
+    def on_ledger_event(self, kind: str, reservation: Reservation) -> None:
+        """Ledger subscription hook (``subscribe(view.on_ledger_event)``)."""
+        del kind  # grant and release apply identically
+        self.apply_delta(reservation)
+
+    # -- fault markers ----------------------------------------------------------
+    def mark_down(self, name: str) -> None:
+        """Flag ``name`` as crashed in the overlay's node attrs."""
+        self._down.add(name)
+        if self.graph.has_node(name):
+            self.graph.node(name).attrs["down"] = True
+
+    def mark_up(self, name: str) -> None:
+        """Clear the crash flag, restoring the base snapshot's attr."""
+        self._down.discard(name)
+        if not self.graph.has_node(name):
+            return
+        attrs = self.graph.node(name).attrs
+        base_attrs = self.base.node(name).attrs
+        if "down" in base_attrs:
+            attrs["down"] = base_attrs["down"]
+        else:
+            attrs.pop("down", None)
+
+    @property
+    def down(self) -> frozenset:
+        return frozenset(self._down)
+
+    # -- verification ------------------------------------------------------------
+    def assert_matches_rebuild(self) -> None:
+        """Raise ``AssertionError`` unless the overlay is bit-identical
+        to a from-scratch :func:`residual_graph` rebuild.
+
+        Every float is compared with ``==`` — the overlay's contract is
+        exact equality with the rebuild, not approximate agreement.
+        """
+        rebuilt = residual_graph(
+            self.base, self.ledger.node_claims(), self.ledger.edge_claims()
+        )
+        assert set(self.graph.node_names()) == set(rebuilt.node_names()), (
+            "overlay node set drifted from snapshot"
+        )
+        for node in rebuilt.nodes():
+            mine = self.graph.node(node.name)
+            assert mine.load_average == node.load_average, (
+                f"node {node.name!r}: overlay load {mine.load_average!r} != "
+                f"rebuild {node.load_average!r}"
+            )
+            expected_down = (
+                True if node.name in self._down
+                else node.attrs.get("down")
+            )
+            assert mine.attrs.get("down") == expected_down, (
+                f"node {node.name!r}: overlay down-flag "
+                f"{mine.attrs.get('down')!r} != expected {expected_down!r}"
+            )
+        assert self.graph.num_links == rebuilt.num_links, (
+            "overlay link set drifted from snapshot"
+        )
+        for link in rebuilt.links():
+            mine = self.graph.link(link.u, link.v)
+            assert mine.available_fwd == link.available_fwd, (
+                f"link {link.u}--{link.v} fwd: overlay "
+                f"{mine.available_fwd!r} != rebuild {link.available_fwd!r}"
+            )
+            assert mine.available_rev == link.available_rev, (
+                f"link {link.u}--{link.v} rev: overlay "
+                f"{mine.available_rev!r} != rebuild {link.available_rev!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ResidualView {self.graph.num_nodes} nodes, "
+            f"{len(self._down)} down, {self.deltas} deltas applied>"
+        )

@@ -20,12 +20,23 @@ Wiring (one instance per network):
   (:meth:`release`), and are force-evicted when an attached
   :class:`~repro.faults.FaultInjector` crashes a reserved node
   (:meth:`attach_injector`) — crashed clients never leak capacity.
+
+The request/release hot path is O(Δ), not O(V+E): a
+:class:`~repro.service.ResidualView` overlay is debited in place by
+ledger events instead of rebuilding a residual graph per attempt, and it
+carries epoch-keyed route and peel-schedule memoization for the
+selection kernel.  The overlay lives exactly one snapshot epoch
+(:attr:`SnapshotCache.epoch`) and is rebuilt whenever the epoch or the
+known-down node set moves.  ``incremental=False`` restores the naive
+rebuild path — kept as the benchmark's comparison arm
+(``benchmarks/bench_service_hotpath.py``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Callable, Optional
 
 from ..core.selector import NodeSelector
@@ -37,11 +48,28 @@ from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
 from .cache import SnapshotCache
 from .ledger import LedgerError, Reservation, ReservationLedger, route_edges
 from .metrics import ServiceMetrics
+from .residual_view import ResidualView
 
 __all__ = ["Grant", "SelectionService"]
 
 #: Slack when checking claims against residual floating-point capacity.
 _EPS = 1e-9
+
+#: Selection-memo sentinel (distinct from ``None`` = cached-infeasible).
+_MISS = object()
+
+#: Bound on the per-view selection memo (cleared wholesale when full —
+#: the memo is an epoch-scoped accelerator, not a durable store).
+_SELECTION_MEMO_LIMIT = 256
+
+
+def _copy_selection(selection: Selection) -> Selection:
+    """An independent copy (memo entries must not alias caller state)."""
+    return replace(
+        selection,
+        nodes=list(selection.nodes),
+        extras=dict(selection.extras),
+    )
 
 
 @dataclass(frozen=True)
@@ -120,6 +148,11 @@ class SelectionService:
         when it has one, else a manual clock for static graphs).
     exclude_unhealthy:
         Passed through to the underlying :class:`NodeSelector`.
+    incremental:
+        Use the O(Δ) :class:`ResidualView` overlay on the admission hot
+        path (default).  ``False`` rebuilds the residual graph from the
+        ledger on every attempt — the pre-overhaul behaviour, kept as
+        the benchmark comparison arm.
     """
 
     def __init__(
@@ -133,6 +166,7 @@ class SelectionService:
         routing: Optional[RoutingTable] = None,
         clock: Optional[Callable[[], float]] = None,
         exclude_unhealthy: bool = True,
+        incremental: bool = True,
     ) -> None:
         if lease_s <= 0:
             raise ValueError(f"lease_s must be positive: {lease_s}")
@@ -165,6 +199,22 @@ class SelectionService:
         #: only notices a dead host after missed polls, but the service
         #: must not place work there in the meantime.
         self._known_down: set[str] = set()
+        self.incremental = bool(incremental)
+        #: The live residual overlay (incremental mode), valid for one
+        #: snapshot epoch; rebuilt lazily by :meth:`_residual`.
+        self._view: Optional[ResidualView] = None
+        self._view_key: Optional[tuple] = None
+        #: Bumped whenever the known-down set changes — part of the view
+        #: key, so a crash/recovery always forces an overlay rebuild even
+        #: if the snapshot cache had nothing to invalidate.
+        self._down_epoch = 0
+        #: Bumped whenever capacity may have *increased*: a release
+        #: (explicit, expiry, or eviction), a node recovery, or a fresh
+        #: snapshot.  ``_drain_queue`` skips requests that already failed
+        #: at the current epoch — an identical attempt would fail
+        #: identically.
+        self._residual_epoch = 0
+        self.ledger.subscribe(self._on_ledger_event)
 
     # -- time -----------------------------------------------------------------
     @property
@@ -220,6 +270,10 @@ class SelectionService:
             self.metrics.admitted += 1
             self.outcomes[app_id] = grant
             return grant
+        # Recorded *after* the attempt: the attempt itself can advance the
+        # epoch (a fresh snapshot rebuilds the view), and that newer epoch
+        # is the one this failure was measured against.
+        req.last_failed_epoch = self._residual_epoch
         displaced = self.queue.offer(req)
         if displaced is req:
             grant = Grant(
@@ -271,30 +325,130 @@ class SelectionService:
         return spec
 
     def _capacity_view(self, graph: TopologyGraph) -> TopologyGraph:
-        """Residual capacity plus injector-reported crashes (a copy)."""
+        """Residual capacity plus injector-reported crashes (a copy).
+
+        The naive O(V+E) path: full graph copy and re-debit of every
+        claim.  The hot path uses :meth:`_residual` instead; this remains
+        as the selector's implicit ``view`` (spec-only ``select()``
+        callers outside the admission pipeline) and as the
+        ``incremental=False`` comparison arm.
+        """
         g = self.ledger.apply(graph)
         for name in self._known_down:
             if g.has_node(name):
                 g.node(name).attrs["down"] = True
         return g
 
-    def _try_admit(self, req: SelectionRequest) -> Optional[Grant]:
-        """One admission attempt on current residual capacity."""
-        base = self.cache.topology()
-        residual = self._capacity_view(base)
-        try:
-            selection = self.selector.select(self._effective_spec(req), residual)
-        except NoFeasibleSelection:
-            return None
-        # Verify the claims themselves fit on residual capacity.
-        for name in selection.nodes:
+    def _on_ledger_event(self, kind: str, reservation: Reservation) -> None:
+        """Ledger subscription: debit/credit the overlay in place, O(Δ)."""
+        if self._view is not None:
+            self._view.apply_delta(reservation)
+        if kind == "release":
+            self._residual_epoch += 1
+
+    def _residual(self, base: TopologyGraph) -> TopologyGraph:
+        """The residual graph admission runs on, O(Δ)-maintained.
+
+        Incremental mode returns the live overlay, rebuilding it only
+        when the snapshot epoch or the known-down set moved; naive mode
+        rebuilds from the ledger every call.
+        """
+        if not self.incremental:
+            return self._capacity_view(base)
+        key = (self.cache.epoch, self._down_epoch)
+        if (
+            self._view is None
+            or self._view_key != key
+            or self._view.base is not base
+        ):
+            self._view = ResidualView(
+                base, self.ledger,
+                down=self._known_down, routing=self.routing,
+            )
+            self._view_key = key
+            self.metrics.view_rebuilds += 1
+            # A fresh snapshot can carry newly measured capacity.
+            self._residual_epoch += 1
+        return self._view.graph
+
+    def _verify_claims(
+        self,
+        req: SelectionRequest,
+        residual: TopologyGraph,
+        nodes: tuple[str, ...],
+    ):
+        """Check the claims fit residual capacity; returns the routed
+        channel set (``None`` when infeasible or no bandwidth claim)."""
+        for name in nodes:
             if residual.node(name).cpu + _EPS < req.cpu_fraction:
-                return None
+                return False, None
+        edges = None
         if req.bw_bps > 0:
-            for key, dst in route_edges(residual, selection.nodes, self.routing):
+            if self.incremental and self._view is not None:
+                edges = self._view.routes.edges_for(nodes)
+            else:
+                edges = route_edges(residual, nodes, self.routing)
+            for key, dst in edges:
                 link = residual.link(*tuple(key))
                 if link.available_towards(dst) + _EPS < req.bw_bps:
-                    return None
+                    return False, None
+        return True, edges
+
+    def _try_admit(self, req: SelectionRequest) -> Optional[Grant]:
+        """One admission attempt on current residual capacity.
+
+        Each pipeline stage is timed into :attr:`ServiceMetrics.stages`
+        (``repro-serve --profile`` and the hot-path benchmark read the
+        p50/p95/p99 summaries).
+        """
+        observe = self.metrics.observe_stage
+        t0 = perf_counter()
+        base = self.cache.topology()
+        t1 = perf_counter()
+        observe("snapshot_fetch", t1 - t0)
+        residual = self._residual(base)
+        t2 = perf_counter()
+        observe("residual_view", t2 - t1)
+        spec = self._effective_spec(req)
+        # Within one view, a selection is a pure function of the spec and
+        # the exact claim state (the snapshot and down set are fixed for
+        # the view's lifetime) — memoize it, including infeasibility.
+        memo = sel_key = None
+        if self.incremental and self._view is not None:
+            memo = self._view.selections
+            sel_key = (repr(spec), self.ledger.claims_fingerprint())
+        cached = _MISS if memo is None else memo.get(sel_key, _MISS)
+        if cached is None:  # proven infeasible at this exact claim state
+            self._view.selection_hits += 1
+            self.metrics.select_memo_hits += 1
+            observe("select", perf_counter() - t2)
+            return None
+        if cached is not _MISS:
+            self._view.selection_hits += 1
+            self.metrics.select_memo_hits += 1
+            selection = _copy_selection(cached)
+        else:
+            try:
+                selection = self.selector.select(spec, residual)
+            except NoFeasibleSelection:
+                if memo is not None:
+                    if len(memo) >= _SELECTION_MEMO_LIMIT:
+                        memo.clear()
+                    memo[sel_key] = None
+                observe("select", perf_counter() - t2)
+                return None
+            if memo is not None:
+                if len(memo) >= _SELECTION_MEMO_LIMIT:
+                    memo.clear()
+                memo[sel_key] = _copy_selection(selection)
+        t3 = perf_counter()
+        observe("select", t3 - t2)
+        # Verify the claims themselves fit on residual capacity.
+        fits, edges = self._verify_claims(req, residual, selection.nodes)
+        t4 = perf_counter()
+        observe("claim_verify", t4 - t3)
+        if not fits:
+            return None
         try:
             reservation = self.ledger.reserve(
                 req.app_id,
@@ -306,12 +460,15 @@ class SelectionService:
                 lease_s=self.lease_s,
                 routing=self.routing,
                 priority=req.priority,
+                edges=edges,
             )
         except LedgerError:
             # Claims fit measured availability but not the ledger caps
             # (e.g. measured idle capacity on an already fully-claimed
             # node).  Admission treats it exactly like infeasibility.
+            observe("ledger_commit", perf_counter() - t4)
             return None
+        observe("ledger_commit", perf_counter() - t4)
         return Grant(
             app_id=req.app_id,
             status=Decision.ADMITTED,
@@ -359,10 +516,21 @@ class SelectionService:
         return expired
 
     def _drain_queue(self) -> None:
-        """Re-run admission over the queue in priority order."""
+        """Re-run admission over the queue in priority order.
+
+        A request that already failed at the current residual epoch is
+        skipped outright: no capacity has been returned since, so the
+        identical attempt would fail identically.  Releases, expiries,
+        evictions, recoveries, and fresh snapshots all advance the epoch
+        and re-arm every queued request.
+        """
         for req in self.queue.waiting():
+            if req.last_failed_epoch == self._residual_epoch:
+                self.metrics.drain_skipped += 1
+                continue
             grant = self._try_admit(req)
             if grant is None:
+                req.last_failed_epoch = self._residual_epoch
                 continue  # keep waiting; smaller requests may still fit
             self.queue.remove(req.app_id)
             self.metrics.admitted += 1
@@ -383,12 +551,17 @@ class SelectionService:
         def on_event(_t: float, kind: str, target: str) -> None:
             self.cache.invalidate()
             if kind == "node-recover":
-                self._known_down.discard(target)
+                if target in self._known_down:
+                    self._known_down.discard(target)
+                    self._down_epoch += 1
+                self._residual_epoch += 1  # capacity came back
                 self._drain_queue()
                 return
             if kind != "node-crash":
                 return
-            self._known_down.add(target)
+            if target not in self._known_down:
+                self._known_down.add(target)
+                self._down_epoch += 1
             for app_id in self.ledger.apps_on_node(target):
                 self.ledger.release(app_id)
                 self.metrics.evicted += 1
@@ -412,6 +585,16 @@ class SelectionService:
     def active_apps(self) -> list[str]:
         """Applications currently holding a lease, sorted."""
         return sorted(self.ledger.reservations)
+
+    def check_invariants(self) -> None:
+        """Ledger caps + overlay/rebuild bit-identity, in one call."""
+        self.ledger.check_invariants(view=self._view)
+
+    @property
+    def view(self) -> Optional[ResidualView]:
+        """The live residual overlay (``None`` before the first request
+        or in ``incremental=False`` mode)."""
+        return self._view
 
     def metrics_snapshot(self) -> dict:
         """Counters plus live cache/ledger/queue gauges."""

@@ -1,0 +1,303 @@
+"""The O(Δ) residual overlay, epoch memoization, and stage profiling.
+
+Covers the hot-path overhaul end to end: overlay/rebuild bit-identity
+through the full lease lifecycle, base-value restoration on release,
+tolerance of claims on absent resources, incremental-vs-naive service
+equivalence, view invalidation on snapshot-epoch moves, the heap-driven
+lazy-deletion expiry, the residual-epoch drain gate, and the per-stage
+latency timers surfaced by ``ServiceMetrics``.
+"""
+
+import pytest
+
+from repro.core import ApplicationSpec
+from repro.service import (
+    PeelScheduleCache,
+    ReservationLedger,
+    ResidualView,
+    RouteCache,
+    SelectionService,
+    StageTimer,
+)
+from repro.topology import dumbbell, star
+from repro.topology.residual import residual_graph
+from repro.units import Mbps
+
+
+def spec(n=2):
+    return ApplicationSpec(num_nodes=n)
+
+
+@pytest.fixture
+def rig():
+    """A dumbbell snapshot with a subscribed ledger + overlay."""
+    g = dumbbell(4, 4)
+    ledger = ReservationLedger()
+    view = ResidualView(g, ledger)
+    ledger.subscribe(view.on_ledger_event)
+    return g, ledger, view
+
+
+class TestResidualViewOverlay:
+    def test_grant_debits_in_place(self, rig):
+        g, ledger, view = rig
+        r = ledger.reserve(
+            "a", ["l0", "l1"], cpu_fraction=0.5, bw_bps=10 * Mbps,
+            graph=g, now=0.0, lease_s=60.0,
+        )
+        assert view.deltas == 1
+        for name in r.nodes:
+            assert view.graph.node(name).cpu == pytest.approx(0.5)
+        for key, dst in r.edges:
+            base = g.link(*tuple(key)).available_towards(dst)
+            assert view.graph.link(*tuple(key)).available_towards(dst) == (
+                base - 10 * Mbps
+            )
+        view.assert_matches_rebuild()
+
+    def test_release_restores_base_values_exactly(self, rig):
+        g, ledger, view = rig
+        ledger.reserve(
+            "a", ["l0", "r0"], cpu_fraction=0.37, bw_bps=7 * Mbps,
+            graph=g, now=0.0, lease_s=60.0,
+        )
+        ledger.release("a")
+        # Bit-exact restoration, not approximate: untouched claims
+        # recompute from base, never accumulate float drift.
+        for node in g.nodes():
+            assert view.graph.node(node.name).load_average == (
+                node.load_average
+            )
+        for link in g.links():
+            mine = view.graph.link(link.u, link.v)
+            assert mine.available_fwd == link.available_fwd
+            assert mine.available_rev == link.available_rev
+        view.assert_matches_rebuild()
+
+    def test_overlapping_claims_recompute_from_totals(self, rig):
+        g, ledger, view = rig
+        ledger.reserve("a", ["l0"], cpu_fraction=0.3, bw_bps=0.0,
+                       graph=g, now=0.0, lease_s=60.0)
+        ledger.reserve("b", ["l0"], cpu_fraction=0.25, bw_bps=0.0,
+                       graph=g, now=0.0, lease_s=60.0)
+        assert view.graph.node("l0").cpu == pytest.approx(0.45)
+        ledger.release("a")
+        view.assert_matches_rebuild()
+        ledger.release("b")
+        view.assert_matches_rebuild()
+
+    def test_expiry_and_eviction_flow_through_subscription(self, rig):
+        g, ledger, view = rig
+        ledger.reserve("a", ["l0"], cpu_fraction=0.6, bw_bps=0.0,
+                       graph=g, now=0.0, lease_s=5.0)
+        ledger.expire(10.0)
+        assert ledger.active == 0
+        assert view.graph.node("l0").load_average == g.node("l0").load_average
+        view.assert_matches_rebuild()
+
+    def test_claims_on_absent_resources_ignored(self):
+        g = dumbbell(2, 2)
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0", "r0"], cpu_fraction=0.5, bw_bps=5 * Mbps,
+                       graph=g, now=0.0, lease_s=60.0)
+        # A *smaller* snapshot (node and its links gone): both the
+        # rebuild and the overlay must skip the orphaned claims.
+        smaller = g.copy()
+        smaller.remove_node("l0")
+        view = ResidualView(smaller, ledger)
+        view.refresh_nodes(["l0", "r0"])
+        view.refresh_edges(ledger.reservations["a"].edges)
+        view.assert_matches_rebuild()
+
+    def test_down_markers(self, rig):
+        g, ledger, view = rig
+        view.mark_down("l0")
+        assert view.graph.node("l0").attrs.get("down") is True
+        assert "down" not in g.node("l0").attrs  # base untouched
+        view.assert_matches_rebuild()
+        view.mark_up("l0")
+        assert "down" not in view.graph.node("l0").attrs
+        view.assert_matches_rebuild()
+
+    def test_detects_tampering(self, rig):
+        g, ledger, view = rig
+        view.graph.node("l0").load_average += 0.5
+        with pytest.raises(AssertionError):
+            view.assert_matches_rebuild()
+
+
+class TestEpochMemoization:
+    def test_route_cache_matches_route_edges(self):
+        from repro.service import route_edges
+
+        g = dumbbell(3, 3)
+        cache = RouteCache(g)
+        nodes = ["l0", "l1", "r0"]
+        assert cache.edges_for(nodes) == route_edges(g, nodes)
+        assert cache.edges_for(nodes) == route_edges(g, nodes)  # memo hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_schedule_cache_clean_reuse_and_dirty_merge(self):
+        from repro.core.kernel import peel_order
+        from repro.core.metrics import References
+
+        g = dumbbell(3, 3)
+        refs = References()
+        metric = (lambda link: link.available)
+        cache = PeelScheduleCache(g)
+        base_sched = peel_order(g, metric)
+
+        clean = cache.schedule("available", refs, metric, g, set())
+        assert clean == base_sched
+        assert cache.reused == 1
+
+        # Debit one link, mark it dirty: the merged schedule must equal
+        # a from-scratch peel_order of the debited graph.
+        bottleneck = frozenset(("sw-left", "sw-right"))
+        debited = residual_graph(
+            g, {}, {(bottleneck, "sw-right"): 30 * Mbps},
+        )
+        dirty = {bottleneck}
+        merged = cache.schedule("available", refs, metric, debited, dirty)
+        expected = peel_order(debited, metric)
+        assert [(v, e.key) for v, e in merged] == [
+            (v, e.key) for v, e in expected
+        ]
+        assert cache.adjusted == 1
+
+    def test_view_rebuilt_when_snapshot_epoch_moves(self):
+        service = SelectionService(dumbbell(4, 4), snapshot_ttl=5.0)
+        service.request("a", spec(2), cpu_fraction=0.2)
+        first = service.view
+        assert first is not None
+        service.request("b", spec(2), cpu_fraction=0.2)
+        assert service.view is first  # same epoch: same overlay
+        service.cache.invalidate()
+        service.request("c", spec(2), cpu_fraction=0.2)
+        assert service.view is not first  # epoch moved: rebuilt
+        assert service.metrics.view_rebuilds == 2
+        service.check_invariants()
+
+    def test_incremental_and_naive_grants_identical(self):
+        g = dumbbell(4, 4)
+        inc = SelectionService(g, snapshot_ttl=1e9)
+        naive = SelectionService(g, snapshot_ttl=1e9, incremental=False)
+        for i in range(6):
+            gi = inc.request(f"a{i}", spec(2),
+                             cpu_fraction=0.3, bw_bps=4 * Mbps)
+            gn = naive.request(f"a{i}", spec(2),
+                               cpu_fraction=0.3, bw_bps=4 * Mbps)
+            assert gi.status == gn.status
+            if gi.admitted:
+                assert gi.selection.nodes == gn.selection.nodes
+        inc.release("a0")
+        naive.release("a0")
+        gi = inc.request("z", spec(3), cpu_fraction=0.3, bw_bps=4 * Mbps)
+        gn = naive.request("z", spec(3), cpu_fraction=0.3, bw_bps=4 * Mbps)
+        assert gi.status == gn.status
+        if gi.admitted:
+            assert gi.selection.nodes == gn.selection.nodes
+        inc.check_invariants()
+        assert naive.view is None  # naive mode never builds an overlay
+
+    def test_selection_memo_hits_on_repeat_state(self):
+        service = SelectionService(star(6), snapshot_ttl=1e9)
+        for i in range(4):
+            app = f"cyc-{i}"
+            assert service.request(app, spec(2), cpu_fraction=0.4).admitted
+            service.release(app)
+        # Identical spec against an identical claim state: every cycle
+        # after the first is answered from the per-view selection memo.
+        assert service.metrics.select_memo_hits == 3
+        service.check_invariants()
+
+
+class TestHeapExpiry:
+    def test_expire_is_lazy_about_released_and_renewed(self):
+        g = star(5)
+        ledger = ReservationLedger()
+        for app, lease in (("a", 5.0), ("b", 10.0), ("c", 15.0)):
+            ledger.reserve(app, ["h1"], cpu_fraction=0.1, bw_bps=0.0,
+                           graph=g, now=0.0, lease_s=lease)
+        ledger.release("a")           # stale heap entry left behind
+        ledger.renew("b", 0.0, 100.0)  # deadline moved; old entry stale
+        assert ledger.expire(20.0) == ["c"]
+        assert sorted(ledger.reservations) == ["b"]
+        assert ledger.expire(200.0) == ["b"]
+        assert not ledger._deadlines  # heap fully drained
+
+    def test_reuse_of_app_id_after_release(self):
+        g = star(5)
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["h1"], cpu_fraction=0.1, bw_bps=0.0,
+                       graph=g, now=0.0, lease_s=5.0)
+        ledger.release("a")
+        ledger.reserve("a", ["h2"], cpu_fraction=0.1, bw_bps=0.0,
+                       graph=g, now=0.0, lease_s=50.0)
+        # The first lease's stale deadline must not expire the new one.
+        assert ledger.expire(10.0) == []
+        assert ledger.active == 1
+
+
+class TestDrainGate:
+    def test_drain_skips_until_capacity_returns(self):
+        service = SelectionService(dumbbell(2, 2), snapshot_ttl=1e9)
+        assert service.request("a", spec(4), cpu_fraction=0.9).admitted
+        for app in ("b", "c"):
+            assert service.request(app, spec(4), cpu_fraction=0.9).status == (
+                "queued"
+            )
+        # Withdrawing a *queued* request returns no capacity: the drain
+        # it triggers must skip "c" (same residual epoch as its failed
+        # attempt), not burn another full admission attempt.
+        service.release("b")
+        assert service.metrics.drain_skipped >= 1
+        assert service.status("c").status == "queued"
+        # Releasing held capacity advances the epoch; the drain then
+        # re-attempts and admits the queued request.
+        service.release("a")
+        assert service.status("c").admitted
+
+    def test_queued_request_admitted_after_expiry(self):
+        service = SelectionService(
+            dumbbell(2, 2), snapshot_ttl=1e9, lease_s=10.0,
+        )
+        assert service.request("a", spec(4), cpu_fraction=0.9).admitted
+        assert service.request("b", spec(4), cpu_fraction=0.9).status == (
+            "queued"
+        )
+        service.advance(11.0)  # lease lapses -> epoch moves -> drain
+        assert service.status("a").status == "expired"
+        assert service.status("b").admitted
+
+
+class TestStageProfiling:
+    def test_stage_timer_percentiles(self):
+        t = StageTimer()
+        for us in range(1, 101):
+            t.observe(us * 1e-6)
+        s = t.summary()
+        assert s["count"] == 100
+        assert s["p50_us"] == pytest.approx(50.0, abs=1.5)
+        assert s["p95_us"] == pytest.approx(95.0, abs=1.5)
+        assert s["p99_us"] == pytest.approx(99.0, abs=1.5)
+        assert s["mean_us"] == pytest.approx(50.5, abs=0.1)
+
+    def test_timers_populated_after_requests(self):
+        service = SelectionService(dumbbell(4, 4), snapshot_ttl=5.0)
+        service.request("a", spec(2), cpu_fraction=0.3, bw_bps=4 * Mbps)
+        snap = service.metrics_snapshot()
+        assert "stages" in snap
+        for stage in ("snapshot_fetch", "residual_view", "select",
+                      "claim_verify", "ledger_commit"):
+            assert snap["stages"][stage]["count"] >= 1, stage
+            assert snap["stages"][stage]["p50_us"] >= 0.0
+
+    def test_format_includes_stage_block_when_asked(self):
+        service = SelectionService(dumbbell(4, 4))
+        service.request("a", spec(2), cpu_fraction=0.3)
+        plain = service.metrics.format()
+        profiled = service.metrics.format(include_stages=True)
+        assert "stage latencies" not in plain
+        assert "stage latencies" in profiled
+        assert "ledger_commit" in profiled

@@ -137,3 +137,30 @@ class TestErrors:
     def test_missing_topology_returns_2(self, capsys):
         assert main(["/nonexistent.json", "--demo", "1"]) == 2
         assert "cannot load topology" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_text_prints_stage_latencies(self, topo_file, capsys):
+        assert main([topo_file, "--demo", "4", "--cpu", "0.4",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "stage latencies" in out
+        for stage in ("snapshot_fetch", "residual_view", "select",
+                      "claim_verify", "ledger_commit"):
+            assert stage in out
+
+    def test_profile_json_nests_stage_histograms(self, topo_file, capsys):
+        assert main([topo_file, "--demo", "4", "--cpu", "0.4",
+                     "--format", "json", "--profile"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stages = payload["metrics"]["stages"]
+        assert stages["select"]["count"] >= 4
+        for key in ("mean_us", "p50_us", "p95_us", "p99_us"):
+            assert stages["select"][key] >= 0.0
+
+    def test_stages_omitted_without_profile(self, topo_file, capsys):
+        assert main([topo_file, "--demo", "2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "stages" not in payload["metrics"]
+        assert main([topo_file, "--demo", "2"]) == 0
+        assert "stage latencies" not in capsys.readouterr().out

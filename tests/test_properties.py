@@ -21,7 +21,13 @@ from repro.des import Simulator
 from repro.faults import FaultInjector, NodeCrash, random_fault_plan
 from repro.network import Cluster, Host
 from repro.remos import Collector, RemosAPI
-from repro.service import LedgerError, Priority, ReservationLedger, SelectionService
+from repro.service import (
+    LedgerError,
+    Priority,
+    ReservationLedger,
+    ResidualView,
+    SelectionService,
+)
 from repro.topology import dumbbell, from_json, random_tree, to_json
 from repro.units import MB, Mbps
 
@@ -430,3 +436,113 @@ class TestServiceOversubscriptionProperties:
         assert service.status(holders[0]).status == "evicted"
         assert service.ledger.node_claim(victim) == 0.0
         self._assert_no_oversubscription(service, g)
+
+
+class TestResidualOverlayProperties:
+    """The O(Δ) residual overlay's contract: after *any* sequence of
+    grants, releases, renewals, expiries, and node crashes, the in-place
+    overlay is **bit-identical** (exact float equality) to a
+    ``residual_graph()`` rebuilt from scratch off the ledger's claims."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_overlay_matches_rebuild_under_ledger_churn(self, seed):
+        """Direct ledger driving: random reserve/release/renew/expire
+        against one snapshot, overlay checked after every operation."""
+        rng = np.random.default_rng(seed)
+        g = randomized_tree(seed, nc=int(rng.integers(4, 10)))
+        ledger = ReservationLedger()
+        view = ResidualView(g, ledger)
+        ledger.subscribe(view.on_ledger_event)
+        hosts = [n.name for n in g.compute_nodes()]
+        now = 0.0
+        app_seq = 0
+        for _ in range(40):
+            now += float(rng.uniform(0.0, 5.0))
+            live = sorted(ledger.reservations)
+            roll = rng.random()
+            if roll < 0.45 or not live:
+                app_seq += 1
+                nodes = list(rng.choice(
+                    hosts, size=int(rng.integers(1, min(4, len(hosts)) + 1)),
+                    replace=False,
+                ))
+                try:
+                    ledger.reserve(
+                        f"app-{app_seq}", [str(n) for n in nodes],
+                        cpu_fraction=float(rng.uniform(0.0, 0.8)),
+                        bw_bps=float(rng.uniform(0.0, 20.0)) * Mbps,
+                        graph=g, now=now,
+                        lease_s=float(rng.uniform(1.0, 15.0)),
+                    )
+                except LedgerError:
+                    pass  # oversubscribed attempt; ledger unchanged
+            elif roll < 0.65:
+                ledger.release(str(rng.choice(live)))
+            elif roll < 0.8:
+                ledger.renew(
+                    str(rng.choice(live)), now, float(rng.uniform(1.0, 15.0))
+                )
+            else:
+                ledger.expire(now)
+            ledger.check_invariants(view=view)
+        ledger.expire(now + 100.0)
+        assert ledger.active == 0
+        view.assert_matches_rebuild()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_overlay_matches_rebuild_under_service_churn_and_crashes(
+        self, seed
+    ):
+        """Full service stack with fault injection: the live overlay the
+        admission hot path runs on stays bit-identical to a rebuild
+        through grants, releases, renewals, expiries, and crash
+        evictions."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        g = dumbbell(4, 4, latency=0.0)
+        cluster = Cluster(sim, g, base_capacity=1.0)
+        collector = Collector(cluster, period=2.0, stale_after=3)
+        api = RemosAPI(collector)
+        injector = FaultInjector(cluster, collector)
+        service = SelectionService(
+            api, snapshot_ttl=2.0,
+            lease_s=float(rng.uniform(8.0, 25.0)), queue_limit=4,
+        )
+        service.attach_injector(injector)
+        injector.schedule(
+            random_fault_plan(
+                cluster, rng, horizon=50.0, start=8.0,
+                n_crashes=2, n_flaps=1, n_outages=0, n_resets=0,
+            )
+        )
+        sim.run(until=5.0)
+
+        app_seq = 0
+        submitted: list[str] = []
+        for t in np.linspace(6.0, 60.0, 20):
+            sim.run(until=float(t))
+            live = [
+                a for a in submitted if a in service.ledger.reservations
+            ]
+            roll = rng.random()
+            if roll < 0.55 or not live:
+                app_seq += 1
+                app = f"app-{app_seq}"
+                service.request(
+                    app,
+                    ApplicationSpec(num_nodes=int(rng.integers(1, 4))),
+                    cpu_fraction=float(rng.uniform(0.1, 0.7)),
+                    bw_bps=float(rng.uniform(0.0, 30.0)) * Mbps,
+                )
+                submitted.append(app)
+            elif roll < 0.8:
+                service.release(str(rng.choice(live)))
+            else:
+                service.renew(str(rng.choice(live)))
+            # Ledger caps + overlay/rebuild bit-identity, every step.
+            service.check_invariants()
+        sim.run(until=120.0)
+        service.tick()  # expire everything still held
+        service.check_invariants()
