@@ -47,6 +47,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis import format_table  # noqa: E402
 from repro.core import ApplicationSpec  # noqa: E402
+from repro.obs import Tracer  # noqa: E402
 from repro.service import SelectionService  # noqa: E402
 from repro.topology import random_tree  # noqa: E402
 from repro.units import Mbps  # noqa: E402
@@ -91,10 +92,10 @@ def build_graph(n: int, seed: int = 0):
     return g
 
 
-def make_service(graph, incremental: bool) -> SelectionService:
+def make_service(graph, incremental: bool, tracer=None) -> SelectionService:
     service = SelectionService(
         graph, snapshot_ttl=1e9, lease_s=1e9, queue_limit=0,
-        incremental=incremental,
+        incremental=incremental, tracer=tracer,
     )
     for i in range(N_HOLDS):
         grant = service.request(
@@ -125,7 +126,7 @@ def run_cycles(service: SelectionService, n_cycles: int, tag: str):
     return times, selections
 
 
-def run(sizes: list[int], n_cycles: int) -> dict:
+def run(sizes: list[int], n_cycles: int, seed: int = 0) -> dict:
     rows = []
     results: dict = {
         "m": M,
@@ -134,6 +135,7 @@ def run(sizes: list[int], n_cycles: int) -> dict:
         "background_tenants": N_HOLDS,
         "cycles": n_cycles,
         "sizes": sizes,
+        "seed": seed,
         "baseline_note": (
             "bench_service_throughput.py measured the pre-overhaul "
             "warm-cache request/release cycle at ~370 us on the 33-host "
@@ -142,7 +144,7 @@ def run(sizes: list[int], n_cycles: int) -> dict:
         "entries": [],
     }
     for n in sizes:
-        graph = build_graph(n)
+        graph = build_graph(n, seed=seed)
         inc = make_service(graph, incremental=True)
         naive = make_service(graph, incremental=False)
 
@@ -184,6 +186,25 @@ def run(sizes: list[int], n_cycles: int) -> dict:
                 "hits": inc.view.routes.hits,
                 "misses": inc.view.routes.misses,
             }
+            # Tracing overhead at the largest size: the incremental arm
+            # above IS the tracing-disabled arm (NULL_TRACER — one
+            # attribute check per stage); a third arm runs the same
+            # cycles with a live Tracer recording every request tree.
+            traced = make_service(
+                build_graph(n, seed=seed), incremental=True, tracer=Tracer()
+            )
+            traced_times, traced_sel = run_cycles(traced, n_cycles, "tr")
+            assert traced_sel == inc_sel, (
+                f"traced arm selections diverged at n={n}"
+            )
+            traced_us = min(traced_times) * 1e6
+            results["tracing"] = {
+                "nodes": n,
+                "disabled_us": inc_us,
+                "enabled_us": traced_us,
+                "enabled_ratio": traced_us / inc_us,
+                "spans": len(traced.tracer.spans),
+            }
     results["table"] = format_table(
         ["hosts", "incremental (us)", "naive rebuild (us)", "speedup",
          "identical"],
@@ -203,11 +224,16 @@ def main(argv=None) -> int:
         help="small sizes only; CI smoke — re-asserts overlay identity "
              "and gates against the committed JSON (does not overwrite it)",
     )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for topology loads/residuals (recorded in the "
+             "BENCH JSON; default: 0, the committed-figure seed)",
+    )
     args = parser.parse_args(argv)
 
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
     n_cycles = QUICK_CYCLES if args.quick else FULL_CYCLES
-    results = run(sizes, n_cycles)
+    results = run(sizes, n_cycles, seed=args.seed)
     table = results.pop("table")
     print(table)
 
@@ -238,6 +264,20 @@ def main(argv=None) -> int:
             )
         return 0
 
+    # Tracing-disabled gate vs the previously committed figure: the
+    # null-tracer observability plumbing must cost <= 5% of the committed
+    # warm-cycle number before this run's figures replace it.
+    prior = json.loads(JSON_PATH.read_text()) if JSON_PATH.exists() else None
+    if prior is not None and "tracing" in results:
+        prior_by_nodes = {e["nodes"]: e for e in prior.get("entries", [])}
+        ref = prior_by_nodes.get(results["tracing"]["nodes"])
+        if ref is not None:
+            disabled = results["tracing"]["disabled_us"]
+            results["tracing"]["committed_us"] = ref["incremental_us"]
+            results["tracing"]["disabled_ratio"] = (
+                disabled / ref["incremental_us"]
+            )
+
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {JSON_PATH.relative_to(REPO_ROOT)}")
 
@@ -245,6 +285,23 @@ def main(argv=None) -> int:
     gate = [e for e in results["entries"] if e["nodes"] == 1000]
     for e in gate:
         assert e["speedup"] >= 5.0, f"hot-path speedup regression: {e}"
+    # Observability gates: tracing enabled <= 1.15x of the disabled
+    # cycle; disabled <= 1.05x of the committed pre-observability figure.
+    tr = results.get("tracing")
+    if tr is not None:
+        print(
+            f"tracing overhead at n={tr['nodes']}: "
+            f"disabled {tr['disabled_us']:.0f} us, "
+            f"enabled {tr['enabled_us']:.0f} us "
+            f"({tr['enabled_ratio']:.2f}x, {tr['spans']} spans)"
+        )
+        assert tr["enabled_ratio"] <= 1.15, (
+            f"tracing-enabled overhead above 1.15x: {tr}"
+        )
+        if "disabled_ratio" in tr:
+            assert tr["disabled_ratio"] <= 1.05, (
+                f"tracing-disabled overhead above 1.05x of committed: {tr}"
+            )
     return 0
 
 

@@ -11,15 +11,30 @@ one TTL with the cache on and off and checks the on/off sweep ratio
 cache-off arm at one sweep per distinct instant, so the burst is spread
 over distinct timestamps).
 Report: benchmarks/out/service_throughput.txt.
+
+Standalone runs (``python benchmarks/bench_service_throughput.py``)
+take ``--seed`` to phase-shift the interleaved churn pattern and write
+machine-readable results (seed included) to
+``BENCH_service_throughput.json`` at the repo root.
 """
+
+import argparse
+import json
+import sys
+from pathlib import Path
 
 import pytest
 
-from conftest import write_report
-from repro.core import ApplicationSpec
-from repro.service import SelectionService
-from repro.testbed import cmu_testbed
-from repro.units import Mbps
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import write_report  # noqa: E402
+from repro.core import ApplicationSpec  # noqa: E402
+from repro.service import SelectionService  # noqa: E402
+from repro.testbed import cmu_testbed  # noqa: E402
+from repro.units import Mbps  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_service_throughput.json"
 
 #: Claim sizes chosen so the testbed saturates and the queue/reject
 #: paths are exercised, not just the happy path.
@@ -47,9 +62,14 @@ def run_sequential(n_requests: int) -> dict:
     return service.metrics_snapshot()
 
 
-def run_interleaved(n_requests: int) -> dict:
+def run_interleaved(n_requests: int, seed: int = 0) -> dict:
     """Hundreds of concurrent tenants: overlapping leases, renewals,
-    releases, expiries, queueing and rejection."""
+    releases, expiries, queueing and rejection.
+
+    ``seed`` phase-shifts the renew/abandon cadence, so different seeds
+    exercise different interleavings of the same churn mix while staying
+    exactly reproducible.
+    """
     service = SelectionService(
         cmu_testbed(), snapshot_ttl=5.0, lease_s=45.0, queue_limit=8,
     )
@@ -71,10 +91,10 @@ def run_interleaved(n_requests: int) -> dict:
             a for a in submitted
             if a in service.ledger.reservations and a not in abandoned
         ]
-        if reserved and i % 5 == 0:
+        if reserved and (i + seed) % 5 == 0:
             service.renew(reserved[-1])
         if len(reserved) > 10:
-            if i % 7 == 0:
+            if (i + seed) % 7 == 0:
                 abandoned.add(reserved[0])
             else:
                 service.release(reserved[0])
@@ -179,5 +199,45 @@ class TestServiceThroughput:
         benchmark(cycle)
 
 
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="phase shift for the interleaved churn pattern (recorded in "
+             "the BENCH JSON; default: 0)",
+    )
+    parser.add_argument("--sequential", type=int, default=600,
+                        help="sequential requests (default: 600)")
+    parser.add_argument("--interleaved", type=int, default=500,
+                        help="interleaved requests (default: 500)")
+    args = parser.parse_args(argv)
+
+    seq = run_sequential(args.sequential)
+    mix = run_interleaved(args.interleaved, seed=args.seed)
+    sweeps_on = run_burst(100, ttl=10.0)
+    sweeps_off = run_burst(100, ttl=0.0)
+
+    results = {
+        "seed": args.seed,
+        "sequential_requests": args.sequential,
+        "interleaved_requests": args.interleaved,
+        "sequential": {k: seq[k] for k in
+                       ("requests", "admitted", "released",
+                        "snapshot_sweeps")},
+        "interleaved": {k: mix[k] for k in
+                        ("requests", "admitted", "queued", "rejected",
+                         "expired", "renewed", "snapshot_sweeps")},
+        "cache_burst": {
+            "sweeps_on": sweeps_on,
+            "sweeps_off": sweeps_off,
+            "reduction": sweeps_off / sweeps_on,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"wrote {JSON_PATH.relative_to(REPO_ROOT)}")
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(pytest.main([__file__, "-v"]))
+    raise SystemExit(main())

@@ -10,6 +10,7 @@
    $ repro-select topology.json -m 4 --compute-priority 2 --format json
    $ repro-select snapshot.json -m 4 --degraded-policy conservative
    $ repro-select snapshot.json -m 4 --include-unhealthy
+   $ repro-select topology.json -m 4 --objective bandwidth --explain
 
 The topology file is the JSON produced by
 :func:`repro.topology.to_json` (schema v1) — including snapshots exported
@@ -27,6 +28,7 @@ import sys
 from typing import Optional
 
 from .core import ApplicationSpec, NoFeasibleSelection, NodeSelector, Objective
+from .core.types import ExtrasKey
 from .remos import DegradedPolicy, apply_degraded_policy
 from .topology import from_json, to_dot
 from .units import Mbps
@@ -67,9 +69,57 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reinterpret the snapshot's stale-measurement "
                              "marks before selecting (default: take the "
                              "snapshot as-is)")
+    parser.add_argument("--explain", action="store_true",
+                        help="attach selection provenance: the peel sequence, "
+                             "the bottleneck edge fixing the final min "
+                             "bandwidth, per-node CPU, and input staleness")
     parser.add_argument("--format", choices=("text", "json", "dot"),
                         default="text", help="output format")
     return parser
+
+
+def _print_explain_text(record) -> None:
+    """Render an ExplainRecord under the text summary."""
+    print("--- explain ---")
+    print(f"procedure : {record.procedure}")
+    if record.rejection:
+        print(f"rejected  : {record.rejection}")
+    if record.peel_sequence:
+        print(f"peel      : {len(record.peel_sequence)} deletions"
+              + (" (truncated)" if record.peel_truncated else ""))
+        for step in record.peel_sequence:
+            print(f"  - {step.u}--{step.v}  "
+                  f"available {step.available_bps / Mbps:.1f} Mbps")
+    if record.bottleneck is not None:
+        b = record.bottleneck
+        print(f"bottleneck: {b.u}--{b.v} (towards {b.towards})  "
+              f"{b.available_bps / Mbps:.1f} Mbps  "
+              f"for pair {b.pair[0]}<->{b.pair[1]}")
+    if record.node_cpu:
+        cpus = ", ".join(
+            f"{name}={cpu:.2f}" for name, cpu in sorted(record.node_cpu.items())
+        )
+        print(f"node cpu  : {cpus}")
+    if record.snapshot_epoch is not None:
+        print(f"epoch     : {record.snapshot_epoch}")
+    if record.staleness:
+        parts = []
+        ages = [
+            age
+            for table in ("node_age_s", "link_age_s")
+            for age in record.staleness.get(table, {}).values()
+            if age is not None
+        ]
+        if record.staleness.get("snapshot_age_s") is not None:
+            ages.append(record.staleness["snapshot_age_s"])
+        if ages:
+            parts.append(f"max input age {max(ages):.1f}s")
+        for key in ("stale_links", "unmonitorable_nodes"):
+            val = record.staleness.get(key)
+            if val:
+                parts.append(f"{key.replace('_', ' ')}: {', '.join(val)}")
+        if parts:
+            print(f"staleness : {'; '.join(parts)}")
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -110,20 +160,31 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     try:
         selector = NodeSelector(graph, exclude_unhealthy=args.exclude_unhealthy)
-        selection = selector.select(spec)
+        selection = selector.select(spec, explain=args.explain)
     except NoFeasibleSelection as exc:
         print(f"error: no feasible selection: {exc}", file=sys.stderr)
+        if args.explain:
+            from .obs.explain import explain_rejection
+            record = explain_rejection(str(exc), graph=graph)
+            if args.format == "json":
+                print(json.dumps({"explain": record.to_dict()}, indent=2))
+            else:
+                _print_explain_text(record)
         return 1
+    explain_record = selection.extras.get(ExtrasKey.EXPLAIN)
 
     if args.format == "json":
-        print(json.dumps({
+        out = {
             "nodes": selection.nodes,
             "algorithm": selection.algorithm,
             "objective": selection.objective,
             "min_cpu_fraction": selection.min_cpu_fraction,
             "min_bandwidth_bps": selection.min_bw_bps,
             "iterations": selection.iterations,
-        }, indent=2))
+        }
+        if explain_record is not None:
+            out["explain"] = explain_record.to_dict()
+        print(json.dumps(out, indent=2))
     elif args.format == "dot":
         # Highlight the selection in a DOT rendering (Figure 4 style).
         for name in selection.nodes:
@@ -147,6 +208,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             print("min bw    : unconstrained (single node)")
         else:
             print(f"min bw    : {selection.min_bw_bps / Mbps:.1f} Mbps")
+        if explain_record is not None:
+            _print_explain_text(explain_record)
     return 0
 
 

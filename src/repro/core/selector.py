@@ -442,13 +442,23 @@ class NodeSelector:
         )
 
     def select(
-        self, spec: ApplicationSpec, graph: Optional[TopologyGraph] = None
+        self,
+        spec: ApplicationSpec,
+        graph: Optional[TopologyGraph] = None,
+        *,
+        explain: bool = False,
     ) -> Selection:
         """Run the appropriate selection procedure for ``spec``.
 
         ``graph`` overrides the provider snapshot (used by the migration
         engine, which pre-adjusts the snapshot for self-load).  The chosen
         registry entry is recorded in ``extras["procedure"]``.
+
+        ``explain=True`` attaches provenance — the peel sequence, the
+        bottleneck edge fixing the final min-bandwidth, per-node CPU, and
+        input staleness — as an :class:`repro.obs.ExplainRecord` under
+        ``extras[ExtrasKey.EXPLAIN]``.  Built post hoc, so the selection
+        procedures themselves are untouched.
         """
         g = graph if graph is not None else self.snapshot()
         refs = References(
@@ -459,6 +469,14 @@ class NodeSelector:
         eligible = self._gate(spec.eligible)
         sel = procedure.run(g, spec, refs, eligible)
         sel.extras.setdefault(ExtrasKey.PROCEDURE, procedure.name)
+        if explain:
+            # Deferred import: repro.obs.explain imports core.kernel and
+            # core.metrics, and nothing pays for it unless asked.
+            from ..obs.explain import explain_selection
+
+            sel.extras[ExtrasKey.EXPLAIN] = explain_selection(
+                g, sel, refs=refs
+            )
         return sel
 
 
@@ -466,6 +484,8 @@ def select(
     graph_or_provider: TopologyProvider | TopologyGraph,
     spec: Optional[ApplicationSpec] = None,
     /,
+    *,
+    explain: bool = False,
     **spec_fields,
 ) -> Selection:
     """One-call selection: the package-level convenience entry point.
@@ -478,7 +498,9 @@ def select(
         repro.select(remos_api, ApplicationSpec(num_nodes=4)) # or pass one
 
     Equivalent to ``NodeSelector(graph_or_provider).select(spec)`` with the
-    default health gating and procedure registry.
+    default health gating and procedure registry.  ``explain=True``
+    attaches an :class:`repro.obs.ExplainRecord` under
+    ``extras[ExtrasKey.EXPLAIN]``.
     """
     if spec is None:
         spec = ApplicationSpec(**spec_fields)
@@ -486,4 +508,4 @@ def select(
         raise TypeError(
             "pass either an ApplicationSpec or spec keyword fields, not both"
         )
-    return NodeSelector(graph_or_provider).select(spec)
+    return NodeSelector(graph_or_provider).select(spec, explain=explain)

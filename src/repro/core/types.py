@@ -48,6 +48,9 @@ class ExtrasKey:
     #: Name of the registry procedure the selector dispatched to (set by
     #: :meth:`repro.core.NodeSelector.select`).
     PROCEDURE = "procedure"
+    #: Provenance record (:class:`repro.obs.ExplainRecord`) attached when
+    #: the caller asked for ``explain=True``.
+    EXPLAIN = "explain"
 
 
 #: Key → meaning, for documentation and validation tooling.
@@ -73,6 +76,10 @@ EXTRAS_SCHEMA: dict[str, str] = {
         "flow (bps)"
     ),
     ExtrasKey.PROCEDURE: "selector: registry procedure that produced this",
+    ExtrasKey.EXPLAIN: (
+        "selector: ExplainRecord provenance (present iff explain=True "
+        "was requested)"
+    ),
 }
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Union
 
 from ..network.cluster import Cluster
+from ..obs.trace import NULL_TRACER
 from ..remos.collector import Collector
 
 __all__ = [
@@ -129,10 +130,18 @@ class FaultInjector:
     """
 
     def __init__(
-        self, cluster: Cluster, collector: Optional[Collector] = None
+        self,
+        cluster: Cluster,
+        collector: Optional[Collector] = None,
+        tracer=None,
     ) -> None:
         self.cluster = cluster
         self.collector = collector
+        #: A :class:`repro.obs.Tracer`: every applied fault also becomes a
+        #: trace event — attached *inside* whatever span is currently open
+        #: (a grant racing a flap shows up in that request's tree), or as
+        #: a standalone root event otherwise.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.log: list[tuple[float, str, str]] = []
         self._listeners: list[Callable[[float, str, str], None]] = []
 
@@ -150,6 +159,7 @@ class FaultInjector:
     def _record(self, kind: str, target: str) -> None:
         now = self.cluster.sim.now
         self.log.append((now, kind, target))
+        self.tracer.event(f"fault.{kind}", target=target, t=now)
         for listener in self._listeners:
             listener(now, kind, target)
 

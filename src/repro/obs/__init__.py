@@ -1,0 +1,53 @@
+"""Observability: tracing, unified metrics, and selection provenance.
+
+Three dependency-free pillars wired through the selection stack:
+
+- :mod:`repro.obs.trace` — per-request span trees with context
+  propagation (``Tracer``), a zero-cost disabled path (``NULL_TRACER``),
+  JSONL export, and the ``repro-trace`` CLI (:mod:`repro.obs.tracecli`);
+- :mod:`repro.obs.metrics` — a counter/gauge/histogram registry
+  (``MetricsRegistry``) with Prometheus text exposition, validated by
+  :mod:`repro.obs.promtext`;
+- :mod:`repro.obs.explain` — ``ExplainRecord`` provenance for selection
+  decisions (peel sequence, bottleneck edge, per-node CPU, snapshot
+  staleness, rejection reasons).
+"""
+
+from .explain import (
+    BottleneckEdge,
+    ExplainRecord,
+    PeelStep,
+    bottleneck_edge,
+    explain_rejection,
+    explain_selection,
+)
+from .metrics import (
+    DURATION_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .promtext import validate as validate_exposition
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BottleneckEdge",
+    "Counter",
+    "DURATION_BUCKETS",
+    "ExplainRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PeelStep",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "bottleneck_edge",
+    "explain_rejection",
+    "explain_selection",
+    "validate_exposition",
+]

@@ -1,0 +1,310 @@
+"""A dependency-free Prometheus text-exposition (v0.0.4) validator.
+
+The container ships no ``prometheus_client``, so CI and the test suite
+validate ``MetricsRegistry.expose_text()`` output with this parser
+instead: it checks everything a scraper would choke on — line grammar,
+metric/label name syntax, label quoting and escapes, value syntax
+(including ``+Inf``/``-Inf``/``NaN``), ``TYPE`` declared at most once
+and before any sample of its family, histogram series shape
+(``_bucket``/``_sum``/``_count`` only, a mandatory ``le="+Inf"`` bucket,
+cumulative bucket counts monotone in ``le``, ``_count`` equal to the
+``+Inf`` bucket), duplicate series, and the trailing newline the format
+requires.
+
+Also runnable as a module for CI artifact checks::
+
+    python -m repro.obs.promtext metrics.prom
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Optional
+
+__all__ = ["main", "parse_sample_line", "validate"]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: Suffixes a histogram family's sample names may carry.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> Optional[float]:
+    """A sample value, or None when malformed."""
+    t = text.strip()
+    if t in ("+Inf", "Inf"):
+        return float("inf")
+    if t == "-Inf":
+        return float("-inf")
+    if t == "NaN":
+        return float("nan")
+    try:
+        return float(t)
+    except ValueError:
+        return None
+
+
+def _parse_labels(body: str) -> Optional[dict]:
+    """The inside of ``{...}``; None when malformed."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        # label name
+        j = i
+        while j < n and body[j] not in "={,":
+            j += 1
+        name = body[i:j].strip()
+        if j >= n or body[j] != "=" or not _LABEL_NAME_RE.match(name):
+            return None
+        j += 1
+        if j >= n or body[j] != '"':
+            return None
+        j += 1
+        value_chars: list[str] = []
+        while j < n and body[j] != '"':
+            if body[j] == "\\":
+                if j + 1 >= n:
+                    return None
+                esc = body[j + 1]
+                if esc == "n":
+                    value_chars.append("\n")
+                elif esc in ('"', "\\"):
+                    value_chars.append(esc)
+                else:
+                    return None
+                j += 2
+            else:
+                value_chars.append(body[j])
+                j += 1
+        if j >= n:
+            return None  # unterminated quote
+        if name in labels:
+            return None  # duplicate label
+        labels[name] = "".join(value_chars)
+        j += 1  # past closing quote
+        if j < n:
+            if body[j] != ",":
+                return None
+            j += 1
+        i = j
+    return labels
+
+
+def parse_sample_line(
+    line: str,
+) -> Optional[tuple[str, dict, float, Optional[float]]]:
+    """``(name, labels, value, timestamp)`` for one sample line, or None.
+
+    Timestamps are optional per the format; escaped quotes inside label
+    values are handled.
+    """
+    line = line.strip()
+    brace = line.find("{")
+    if brace >= 0:
+        name = line[:brace]
+        # Find the matching close brace, respecting quoted strings.
+        i, n = brace + 1, len(line)
+        in_quote = False
+        while i < n:
+            c = line[i]
+            if in_quote:
+                if c == "\\":
+                    i += 1
+                elif c == '"':
+                    in_quote = False
+            elif c == '"':
+                in_quote = True
+            elif c == "}":
+                break
+            i += 1
+        if i >= n:
+            return None
+        labels = _parse_labels(line[brace + 1:i])
+        if labels is None:
+            return None
+        rest = line[i + 1:].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            return None
+        name, rest = parts[0], parts[1]
+        labels = {}
+    if not _METRIC_NAME_RE.match(name):
+        return None
+    fields = rest.split()
+    if not fields or len(fields) > 2:
+        return None
+    value = _parse_value(fields[0])
+    if value is None:
+        return None
+    ts: Optional[float] = None
+    if len(fields) == 2:
+        try:
+            ts = float(fields[1])
+        except ValueError:
+            return None
+    return name, labels, value, ts
+
+
+def _family_of(name: str, types: dict) -> str:
+    """The declared family a sample name belongs to (histogram suffixes
+    fold into their base family)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return name
+
+
+def validate(text: str) -> list[str]:
+    """Validate a text exposition; returns error strings (empty = valid)."""
+    errors: list[str] = []
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+    types: dict[str, str] = {}
+    sampled: set[str] = set()
+    seen_series: set[tuple] = set()
+    #: family -> list of (labels-without-le, le, cumulative value)
+    buckets: dict[str, list[tuple[tuple, float, float]]] = {}
+    counts: dict[str, dict[tuple, float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment, fine
+            if len(parts) < 3 or not _METRIC_NAME_RE.match(parts[2]):
+                errors.append(
+                    f"line {lineno}: malformed {parts[1]} line: {line!r}"
+                )
+                continue
+            name = parts[2]
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown type {kind!r} for {name}"
+                    )
+                    continue
+                if name in types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {name}"
+                    )
+                if name in sampled:
+                    errors.append(
+                        f"line {lineno}: TYPE for {name} after its samples"
+                    )
+                types.setdefault(name, kind)
+            continue
+        parsed = parse_sample_line(line)
+        if parsed is None:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name, labels, value, _ts = parsed
+        family = _family_of(name, types)
+        sampled.add(family)
+        kind = types.get(family)
+        if kind in ("histogram", "summary") and name == family and \
+                kind == "histogram":
+            errors.append(
+                f"line {lineno}: histogram {family} exposes a bare sample "
+                f"{name!r} (expected _bucket/_sum/_count)"
+            )
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {line!r}")
+        seen_series.add(series_key)
+        if kind == "histogram":
+            base_labels = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                    continue
+                le = _parse_value(labels["le"])
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: malformed le value "
+                        f"{labels['le']!r}"
+                    )
+                    continue
+                buckets.setdefault(family, []).append(
+                    (base_labels, le, value)
+                )
+            elif name == family + "_count":
+                counts.setdefault(family, {})[base_labels] = value
+
+    # Histogram shape checks: +Inf bucket present, cumulative counts
+    # monotone in le, _count consistent with the +Inf bucket.
+    for family, entries in buckets.items():
+        by_series: dict[tuple, list[tuple[float, float]]] = {}
+        for base_labels, le, value in entries:
+            by_series.setdefault(base_labels, []).append((le, value))
+        for base_labels, series in by_series.items():
+            series.sort(key=lambda e: e[0])
+            les = [le for le, _v in series]
+            if float("inf") not in les:
+                errors.append(
+                    f"histogram {family}{dict(base_labels)} is missing "
+                    "its le=\"+Inf\" bucket"
+                )
+            values = [v for _le, v in series]
+            if any(b < a for a, b in zip(values, values[1:])):
+                errors.append(
+                    f"histogram {family}{dict(base_labels)} bucket counts "
+                    "are not cumulative (decreasing in le)"
+                )
+            total = counts.get(family, {}).get(base_labels)
+            if total is not None and les and les[-1] == float("inf") and \
+                    total != values[-1]:
+                errors.append(
+                    f"histogram {family}{dict(base_labels)}: _count "
+                    f"{total} != +Inf bucket {values[-1]}"
+                )
+    return errors
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Validate exposition files (or stdin with ``-``); 0 iff all valid."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: python -m repro.obs.promtext FILE [FILE...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in args:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    text = fh.read()
+            except OSError as exc:
+                print(f"{path}: cannot read: {exc}", file=sys.stderr)
+                status = 2
+                continue
+        errors = validate(text)
+        if errors:
+            status = 1
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            samples = sum(
+                1 for line in text.splitlines()
+                if line.strip() and not line.startswith("#")
+            )
+            print(f"{path}: ok ({samples} samples)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,232 @@
+"""``repro-trace``: pretty-print and filter trace JSONL.
+
+Reads span records (one JSON object per line, the
+:meth:`repro.obs.Tracer.write_jsonl` format), rebuilds each trace tree
+from parent ids, and renders it indented with durations and attributes::
+
+    trace 3 (4 spans, 312.4us)
+      service.request app='a1' m=4  312.4us ok
+        admit  290.1us ok
+          stage.snapshot_fetch  12.0us ok
+          stage.select  201.7us ok
+
+Filters (``--name``, ``--status``, ``--min-us``, ``--trace``) switch the
+output to a flat span listing; ``--summary`` aggregates by span name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Optional
+
+__all__ = ["build_parser", "load_spans", "main", "render_traces"]
+
+
+def load_spans(lines: Iterable[str]) -> tuple[list[dict], int]:
+    """Parse JSONL lines into span dicts; returns (spans, bad line count)."""
+    spans: list[dict] = []
+    bad = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            bad += 1
+            continue
+        if isinstance(rec, dict) and "span" in rec and "name" in rec:
+            spans.append(rec)
+        else:
+            bad += 1
+    return spans, bad
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    body = " ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+    return f" {body}"
+
+
+def _fmt_span(span: dict, indent: int = 0) -> list[str]:
+    dur = span.get("duration_us", 0.0)
+    lines = [
+        f"{'  ' * indent}{span.get('name', '?')}"
+        f"{_fmt_attrs(span.get('attrs', {}))}"
+        f"  {dur:.1f}us {span.get('status', '?')}"
+    ]
+    for event in span.get("events", ()):
+        lines.append(
+            f"{'  ' * (indent + 1)}@ {event.get('name', '?')}"
+            f"{_fmt_attrs(event.get('attrs', {}))}"
+        )
+    return lines
+
+
+def render_traces(spans: list[dict]) -> list[str]:
+    """Indented tree per trace, root spans in start order."""
+    by_trace: dict[int, list[dict]] = {}
+    for span in spans:
+        by_trace.setdefault(span.get("trace", 0), []).append(span)
+    out: list[str] = []
+    for trace_id in sorted(by_trace):
+        members = by_trace[trace_id]
+        children: dict[Optional[int], list[dict]] = {}
+        ids = {s.get("span") for s in members}
+        for span in members:
+            parent = span.get("parent")
+            # A span whose parent is missing from the file renders as a
+            # root rather than vanishing.
+            key = parent if parent in ids else None
+            children.setdefault(key, []).append(span)
+        for bucket in children.values():
+            bucket.sort(key=lambda s: s.get("start_us", 0.0))
+        roots = children.get(None, [])
+        total = max((s.get("duration_us", 0.0) for s in roots), default=0.0)
+        out.append(
+            f"trace {trace_id} ({len(members)} "
+            f"span{'s' if len(members) != 1 else ''}, {total:.1f}us)"
+        )
+
+        def walk(span: dict, depth: int) -> None:
+            out.extend(_fmt_span(span, depth))
+            for child in children.get(span.get("span"), ()):
+                walk(child, depth + 1)
+
+        for root in roots:
+            walk(root, 1)
+    return out
+
+
+def _summarize(spans: list[dict]) -> list[str]:
+    agg: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for span in spans:
+        name = span.get("name", "?")
+        agg.setdefault(name, []).append(span.get("duration_us", 0.0))
+        if span.get("status") != "ok":
+            errors[name] = errors.get(name, 0) + 1
+    width = max((len(n) for n in agg), default=4)
+    out = [
+        f"{'name':<{width}}  {'count':>6}  {'total_us':>10}  "
+        f"{'mean_us':>9}  {'max_us':>9}  {'errors':>6}"
+    ]
+    for name in sorted(agg, key=lambda n: -sum(agg[n])):
+        durations = agg[name]
+        out.append(
+            f"{name:<{width}}  {len(durations):>6}  "
+            f"{sum(durations):>10.1f}  "
+            f"{sum(durations) / len(durations):>9.1f}  "
+            f"{max(durations):>9.1f}  {errors.get(name, 0):>6}"
+        )
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Pretty-print and filter trace JSONL written by "
+        "--trace-out (repro-serve) or Tracer.write_jsonl().",
+    )
+    parser.add_argument(
+        "path",
+        help="trace JSONL file, or - for stdin",
+    )
+    parser.add_argument(
+        "--trace", type=int, default=None, metavar="ID",
+        help="only this trace tree",
+    )
+    parser.add_argument(
+        "--name", default=None, metavar="SUBSTR",
+        help="flat listing of spans whose name contains SUBSTR",
+    )
+    parser.add_argument(
+        "--status", choices=("ok", "error"), default=None,
+        help="flat listing of spans with this status",
+    )
+    parser.add_argument(
+        "--min-us", type=float, default=None, metavar="US",
+        help="flat listing of spans at least US microseconds long",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="aggregate durations by span name instead of printing trees",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N traces (tree mode) or N spans (flat mode)",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.path == "-":
+        lines: Iterable[str] = sys.stdin
+        spans, bad = load_spans(lines)
+    else:
+        try:
+            with open(args.path, "r", encoding="utf-8") as fh:
+                spans, bad = load_spans(fh)
+        except OSError as exc:
+            print(f"repro-trace: cannot read {args.path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if bad:
+        print(f"repro-trace: skipped {bad} malformed line(s)",
+              file=sys.stderr)
+    if args.trace is not None:
+        spans = [s for s in spans if s.get("trace") == args.trace]
+    if not spans:
+        print("no spans")
+        return 0
+
+    if args.summary:
+        for line in _summarize(spans):
+            print(line)
+        return 0
+
+    flat = (
+        args.name is not None
+        or args.status is not None
+        or args.min_us is not None
+    )
+    if flat:
+        selected = [
+            s for s in spans
+            if (args.name is None or args.name in s.get("name", ""))
+            and (args.status is None or s.get("status") == args.status)
+            and (args.min_us is None
+                 or s.get("duration_us", 0.0) >= args.min_us)
+        ]
+        selected.sort(key=lambda s: -s.get("duration_us", 0.0))
+        if args.limit is not None:
+            selected = selected[: args.limit]
+        for span in selected:
+            prefix = f"[{span.get('trace')}:{span.get('span')}] "
+            print(prefix + _fmt_span(span)[0])
+        if not selected:
+            print("no spans match")
+        return 0
+
+    lines_out = render_traces(spans)
+    if args.limit is not None:
+        shown = 0
+        clipped: list[str] = []
+        for line in lines_out:
+            if line.startswith("trace "):
+                shown += 1
+                if shown > args.limit:
+                    break
+            clipped.append(line)
+        lines_out = clipped
+    for line in lines_out:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from typing import Optional, Sequence
 
 from ..network.cluster import Cluster
 from ..network.fairshare import max_min_fair
+from ..obs.trace import NULL_TRACER
 from ..topology.graph import TopologyGraph
 from .collector import Collector
 from .predictor import LastValue, Predictor
@@ -108,6 +109,10 @@ class RemosAPI:
     degraded:
         A :class:`DegradedPolicy` value selecting how stale resources are
         answered (default: last-known-good, marked).
+    tracer:
+        A :class:`repro.obs.Tracer`; every :meth:`topology` sweep becomes
+        a ``remos.topology`` span carrying the degraded policy and how
+        many resources answered stale.  Default: off.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class RemosAPI:
         collector: Collector,
         predictor: Optional[Predictor] = None,
         degraded: str = DegradedPolicy.LAST_GOOD,
+        tracer=None,
     ) -> None:
         if not isinstance(collector, Collector):
             raise TypeError(
@@ -128,6 +134,7 @@ class RemosAPI:
         self.collector = collector
         self.predictor = predictor or LastValue()
         self.degraded = degraded
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Full topology sweeps answered (every :meth:`topology` call walks
         #: all hosts and links).  The selection service's snapshot cache is
         #: judged against this counter.
@@ -232,10 +239,27 @@ class RemosAPI:
         nodes whose monitoring went stale additionally carry
         ``attrs["unmonitorable"] = True`` so health-aware selection
         (:class:`repro.core.NodeSelector`) can exclude them.
+
+        Measurement provenance rides along: every node and link whose
+        sample age is finite carries ``attrs["age_s"]``, which the
+        explain surface (:mod:`repro.obs.explain`) reports as the
+        staleness of the inputs a selection decision read.
         """
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "remos.topology", policy=self.degraded
+            ) as span:
+                g, stale_count = self._topology_inner()
+                span.set(stale_resources=stale_count)
+                return g
+        g, _stale = self._topology_inner()
+        return g
+
+    def _topology_inner(self) -> tuple[TopologyGraph, int]:
         self.topology_sweeps += 1
         g = self.cluster.graph.copy()
         mark = self.degraded != DegradedPolicy.OPTIMISTIC
+        stale_count = 0
         for name in self.cluster.hosts:
             info = self.node_info(name)
             node = g.node(name)
@@ -243,8 +267,11 @@ class RemosAPI:
                 info.load_average if info.load_average != float("inf")
                 else _UNMONITORABLE_LOAD
             )
+            if info.age_s != float("inf"):
+                node.attrs["age_s"] = info.age_s
             if mark and info.stale:
                 node.attrs["unmonitorable"] = True
+                stale_count += 1
         for link in g.links():
             info = self.link_info(link.u, link.v)
             link.set_available(
@@ -253,9 +280,12 @@ class RemosAPI:
             link.set_available(
                 min(link.maxbw, info.available_rev_bps), direction=link.u
             )
+            if info.age_s != float("inf"):
+                link.attrs["age_s"] = info.age_s
             if mark and info.stale:
                 link.attrs["stale"] = True
-        return g
+                stale_count += 1
+        return g, stale_count
 
     def export_snapshot(self) -> dict:
         """The current topology snapshot as a JSON-safe dict.

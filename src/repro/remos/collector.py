@@ -21,10 +21,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 from ..network.cluster import Cluster
 from ..network.fabric import ChannelId
+from ..obs.trace import NULL_TRACER
 from ..units import BITS_PER_BYTE
 from .snmp import AgentTimeout, InterfaceRecord, build_agents
 
@@ -72,6 +74,14 @@ class Collector:
     counter_bits:
         Passed to the interface agents: bound exported octet counters at
         ``2**counter_bits`` (None: unbounded).
+    tracer:
+        A :class:`repro.obs.Tracer`; each completed poll round becomes a
+        ``collector.poll`` span (wall-clock duration).  Default: off.
+    registry:
+        A :class:`repro.obs.MetricsRegistry` to export
+        ``repro_collector_*`` instruments into (poll counts, sweep
+        latency, stale resources, counter-wrap disambiguations).
+        Default: no export.
     """
 
     def __init__(
@@ -84,6 +94,8 @@ class Collector:
         backoff: float = 0.5,
         stale_after: int = 3,
         counter_bits: Optional[int] = None,
+        tracer=None,
+        registry=None,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
@@ -128,8 +140,48 @@ class Collector:
         self.dropped_samples = 0
         #: agent polls that timed out (before and including retries)
         self.failed_polls = 0
+        #: negative counter deltas recovered as 2^N wraps (vs dropped)
+        self.wrap_disambiguations = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._poll_hist = None
+        if registry is not None:
+            self._bind_registry(registry)
         if start:
             cluster.sim.process(self._run(), name="remos-collector")
+
+    def _bind_registry(self, reg) -> None:
+        """Export collector instruments (callback-backed, free to poll)."""
+        reg.counter("repro_collector_polls_total",
+                    "Completed poll rounds.",
+                    fn=lambda: float(self.polls_completed))
+        reg.counter("repro_collector_dropped_samples_total",
+                    "Counter-delta samples dropped as resets.",
+                    fn=lambda: float(self.dropped_samples))
+        reg.counter("repro_collector_failed_polls_total",
+                    "Agent polls that timed out (including retries).",
+                    fn=lambda: float(self.failed_polls))
+        reg.counter("repro_collector_wrap_disambiguations_total",
+                    "Negative counter deltas recovered as 2^N wraps.",
+                    fn=lambda: float(self.wrap_disambiguations))
+        reg.gauge("repro_collector_stale_resources",
+                  "Resources past the stale_after missed-poll threshold.",
+                  fn=lambda: float(self.stale_resources()))
+        self._poll_hist = reg.histogram(
+            "repro_collector_poll_duration_seconds",
+            "Wall-clock duration of one complete poll round.",
+        )
+
+    def _finish_round(self, wall_start: float, failed: int) -> None:
+        """Per-round telemetry: sweep-latency histogram and a poll span."""
+        wall_end = perf_counter()
+        if self._poll_hist is not None:
+            self._poll_hist.observe(wall_end - wall_start)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "collector.poll", wall_start, wall_end,
+                round=self.polls_completed, failed=failed,
+                t=self.cluster.sim.now,
+            )
 
     # -- polling --------------------------------------------------------------
     def _ingest_record(self, rec: InterfaceRecord) -> None:
@@ -162,6 +214,7 @@ class Collector:
                 self.dropped_samples += 1
                 return
             delta = wrapped
+            self.wrap_disambiguations += 1
         util = min(delta * BITS_PER_BYTE / dt, rec.speed_bps)
         self._util.setdefault(
             rec.channel, deque(maxlen=self.history)
@@ -221,17 +274,21 @@ class Collector:
         resources are charged a missed round.  The background process
         (:meth:`_run`) retries those before charging misses instead.
         """
+        wall_start = perf_counter()
         failed_iface, failed_host = self._poll_subset(
             self.iface_agents, self.host_agents
         )
         self._count_misses(failed_iface, failed_host)
         self.polls_completed += 1
-        return sorted(set(failed_iface) | set(failed_host))
+        failed = sorted(set(failed_iface) | set(failed_host))
+        self._finish_round(wall_start, len(failed))
+        return failed
 
     def _run(self):
         sim = self.cluster.sim
         while True:
             round_start = sim.now
+            wall_start = perf_counter()
             failed_iface, failed_host = self._poll_subset(
                 self.iface_agents, self.host_agents
             )
@@ -246,6 +303,9 @@ class Collector:
                 )
             self._count_misses(failed_iface, failed_host)
             self.polls_completed += 1
+            self._finish_round(
+                wall_start, len(set(failed_iface) | set(failed_host))
+            )
             # Keep the round cadence: next round starts one period after
             # this one began (retries eat into the idle gap, never drift
             # the schedule — unless they overran the whole period).
@@ -313,4 +373,13 @@ class Collector:
             name
             for name, missed in self._host_misses.items()
             if missed >= self.stale_after
+        )
+
+    def stale_resources(self) -> int:
+        """Total stale resources (hosts + channels), for the gauge."""
+        return sum(
+            1 for m in self._host_misses.values() if m >= self.stale_after
+        ) + sum(
+            1 for m in self._channel_misses.values()
+            if m >= self.stale_after
         )

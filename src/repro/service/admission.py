@@ -71,6 +71,12 @@ class SelectionRequest:
     #: epoch is unchanged — no capacity came back, so the identical
     #: attempt would fail identically.  -1: never attempted.
     last_failed_epoch: int = field(default=-1, compare=False)
+    #: Caller asked for provenance: the grant carries an
+    #: :class:`repro.obs.ExplainRecord` (admitted *and* infeasible).
+    explain: bool = field(default=False, compare=False)
+    #: Why the last admission attempt failed (set by the service's
+    #: pipeline; feeds the rejection side of the explain record).
+    last_reason: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if not self.app_id:

@@ -39,6 +39,7 @@ from typing import Callable, Collection, Optional, Sequence
 
 from ..core.kernel import peel_order
 from ..core.metrics import References
+from ..obs.trace import NULL_TRACER
 from ..topology.graph import Link, TopologyGraph
 from ..topology.residual import DirectedEdge
 from ..topology.routing import RoutingTable
@@ -66,12 +67,14 @@ class SnapshotCache:
         provider,
         ttl: float,
         clock: Callable[[], float],
+        tracer=None,
     ) -> None:
         if ttl < 0:
             raise ValueError(f"ttl cannot be negative: {ttl}")
         self.provider = provider
         self.ttl = float(ttl)
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._graph: Optional[TopologyGraph] = None
         self._taken_at = float("-inf")
         self.hits = 0
@@ -103,7 +106,11 @@ class SnapshotCache:
         self.misses += 1
         self.sweeps += 1
         self.epoch += 1
-        self._graph = self.provider.topology()
+        if self.tracer.enabled:
+            with self.tracer.span("snapshot.sweep", epoch=self.epoch):
+                self._graph = self.provider.topology()
+        else:
+            self._graph = self.provider.topology()
         self._taken_at = now
         return self._graph
 
@@ -236,6 +243,8 @@ class PeelScheduleCache:
         self.reused = 0
         self.adjusted = 0
         self.builds = 0
+        #: Total dirty edges re-scored across all adjusted schedules.
+        self.rescored = 0
 
     @staticmethod
     def _key(kind: str, refs: References) -> tuple:
@@ -272,6 +281,7 @@ class PeelScheduleCache:
             self.reused += 1
             return base_sched
         self.adjusted += 1
+        self.rescored += len(dirty)
         clean = [e for e in base_sched if e[1].key not in dirty]
         touched = [
             (metric(link), link)

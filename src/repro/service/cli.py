@@ -32,15 +32,50 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Optional
 
 from ..core.spec import ApplicationSpec, Objective
+from ..obs import MetricsRegistry, Tracer
 from ..topology.serialize import from_json
 from ..units import Mbps
 from .admission import Priority
 from .service import SelectionService
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "serve_metrics"]
+
+
+def serve_metrics(registry: MetricsRegistry, port: int) -> HTTPServer:
+    """Serve ``registry``'s Prometheus exposition on ``/metrics``.
+
+    Binds ``127.0.0.1:port`` (``port=0`` picks a free port — the bound
+    one is ``server.server_address[1]``) and serves from a daemon thread.
+    Returns the :class:`~http.server.HTTPServer`; call ``shutdown()`` and
+    ``server_close()`` to stop it.
+    """
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                self.send_error(404, "try /metrics")
+                return
+            body = registry.expose_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args) -> None:  # silence per-request noise
+            pass
+
+    server = HTTPServer(("127.0.0.1", port), _Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage admission-pipeline latencies "
                              "(p50/p95/p99) on exit")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write per-request trace trees as JSONL "
+                             "(inspect with repro-trace)")
+    parser.add_argument("--metrics-port", type=int, metavar="PORT",
+                        help="serve Prometheus text exposition on "
+                             "127.0.0.1:PORT/metrics while the workload runs")
+    parser.add_argument("--dump-metrics", metavar="FILE",
+                        help="write the final Prometheus exposition to FILE "
+                             "('-' for stdout) on exit")
     return parser
 
 
@@ -161,13 +205,25 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"error: cannot load workload: {exc}", file=sys.stderr)
         return 2
 
+    tracer = Tracer() if args.trace_out else None
     service = SelectionService(
         graph,
         snapshot_ttl=args.ttl,
         lease_s=args.lease,
         queue_limit=args.queue_limit,
         cpu_cap=args.cpu_cap,
+        tracer=tracer,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        try:
+            metrics_server = serve_metrics(service.registry, args.metrics_port)
+        except OSError as exc:
+            print(f"error: cannot bind metrics port: {exc}", file=sys.stderr)
+            return 2
+        host, port = metrics_server.server_address[:2]
+        print(f"serving metrics on http://{host}:{port}/metrics",
+              file=sys.stderr)
 
     outcomes = []
     try:
@@ -182,6 +238,30 @@ def main(argv: Optional[list[str]] = None) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: bad workload operation: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+
+    if tracer is not None:
+        try:
+            count = tracer.write_jsonl(args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
+    if args.dump_metrics:
+        exposition = service.registry.expose_text()
+        if args.dump_metrics == "-":
+            sys.stdout.write(exposition)
+        else:
+            try:
+                with open(args.dump_metrics, "w", encoding="utf-8") as fh:
+                    fh.write(exposition)
+            except OSError as exc:
+                print(f"error: cannot write metrics dump: {exc}",
+                      file=sys.stderr)
+                return 2
 
     metrics = service.metrics_snapshot()
     if not args.profile:

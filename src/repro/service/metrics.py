@@ -11,6 +11,19 @@ ledger commit) in a timer, and :meth:`ServiceMetrics.snapshot` reports
 per-stage p50/p95/p99 latencies so a regression in any one stage is
 visible without re-running a profiler (``repro-serve --profile``,
 ``benchmarks/bench_service_hotpath.py``).
+
+Both classes are kept as thin, fast adapters over plain Python numbers;
+:meth:`ServiceMetrics.bind` re-exports every counter into a
+:class:`repro.obs.MetricsRegistry` via callback-backed instruments and
+mirrors stage timings into labelled histograms, so the unified
+``repro_service_*`` metrics surface costs the hot path nothing beyond
+one histogram observe per stage.
+
+The flat JSON schema of :meth:`ServiceMetrics.snapshot` is **frozen**
+(DESIGN.md "ServiceMetrics snapshot schema"); ``repro-serve --format
+json`` consumers parse it.  Extending it is fine, renaming or removing
+keys is a breaking change guarded by
+``tests/service/test_metrics_schema.py``.
 """
 
 from __future__ import annotations
@@ -110,10 +123,64 @@ class ServiceMetrics:
     view_rebuilds: int = 0
     #: Admission attempts answered from the per-view selection memo.
     select_memo_hits: int = 0
+    #: Subset of :attr:`select_memo_hits` answered by the *negative*
+    #: cache (a memoized infeasibility, not a memoized placement).
+    select_memo_negative_hits: int = 0
     #: Per-stage latency timers (see :data:`STAGES`), populated lazily.
     stages: dict = field(default_factory=dict)
     #: Live gauges merged in by :meth:`snapshot`.
     extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Registry mirror state; None until bind() is called.
+        self._registry = None
+        self._stage_histograms: dict = {}
+
+    def bind(self, registry) -> None:
+        """Re-export every counter into ``registry`` (callback-backed).
+
+        The integer attributes stay the write path — producers keep
+        bumping plain ints — and the registry reads them at collection
+        time.  Stage durations additionally feed
+        ``repro_service_stage_duration_seconds{stage=...}`` histograms
+        from :meth:`observe_stage` onward.
+        """
+        self._registry = registry
+        help_by_name = {
+            "requests": "Selection requests received.",
+            "admitted": "Requests granted a reservation.",
+            "queued": "Requests parked in the admission queue.",
+            "rejected": "Requests rejected outright.",
+            "released": "Leases released by their holder.",
+            "renewed": "Lease renewals.",
+            "expired": "Leases reclaimed after missed renewals.",
+            "evicted": "Leases reclaimed because a reserved node crashed.",
+            "admitted_from_queue": "Queued requests admitted later.",
+            "queue_displaced": "Queued requests displaced by priority.",
+            "drain_skipped": "Queue drains skipped by the epoch gate.",
+            "view_rebuilds": "Residual-view rebuilds.",
+            "select_memo_hits": "Admissions answered from the selection memo.",
+            "select_memo_negative_hits": (
+                "Selection-memo hits on memoized infeasibility."
+            ),
+        }
+        for attr, help_text in help_by_name.items():
+            registry.counter(
+                f"repro_service_{attr}_total", help_text,
+                fn=(lambda a=attr: float(getattr(self, a))),
+            )
+        for name, timer in self.stages.items():
+            self._stage_histograms[name] = self._stage_histogram(name)
+            # Samples observed before bind() are summarized, not replayed;
+            # only count/sum carry over is skipped deliberately — the
+            # histogram documents post-bind behaviour.
+
+    def _stage_histogram(self, name: str):
+        return self._registry.histogram(
+            "repro_service_stage_duration_seconds",
+            "Admission pipeline stage latency.",
+            labels={"stage": name},
+        )
 
     def observe_stage(self, name: str, seconds: float) -> None:
         """Record one duration for pipeline stage ``name``."""
@@ -121,6 +188,13 @@ class ServiceMetrics:
         if timer is None:
             timer = self.stages[name] = StageTimer()
         timer.observe(seconds)
+        if self._registry is not None:
+            hist = self._stage_histograms.get(name)
+            if hist is None:
+                hist = self._stage_histograms[name] = (
+                    self._stage_histogram(name)
+                )
+            hist.observe(seconds)
 
     def stage_summaries(self) -> dict:
         """``{stage: {count, mean_us, p50_us, p95_us, p99_us}}``, in
@@ -146,6 +220,7 @@ class ServiceMetrics:
             "drain_skipped": self.drain_skipped,
             "view_rebuilds": self.view_rebuilds,
             "select_memo_hits": self.select_memo_hits,
+            "select_memo_negative_hits": self.select_memo_negative_hits,
         }
         if queue is not None:
             out["queue_depth"] = len(queue)

@@ -34,14 +34,18 @@ rebuild path — kept as the benchmark's comparison arm
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Callable, Optional
 
+from ..core.metrics import References
 from ..core.selector import NodeSelector
 from ..core.spec import ApplicationSpec
-from ..core.types import NoFeasibleSelection, Selection
+from ..core.types import ExtrasKey, NoFeasibleSelection, Selection
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..topology.graph import TopologyGraph
 from ..topology.routing import RoutingTable
 from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
@@ -51,6 +55,8 @@ from .metrics import ServiceMetrics
 from .residual_view import ResidualView
 
 __all__ = ["Grant", "SelectionService"]
+
+logger = logging.getLogger("repro.service")
 
 #: Slack when checking claims against residual floating-point capacity.
 _EPS = 1e-9
@@ -81,6 +87,10 @@ class Grant:
     selection: Optional[Selection] = None
     reservation: Optional[Reservation] = None
     reason: str = ""
+    #: Provenance (:class:`repro.obs.ExplainRecord`) when the request
+    #: asked for ``explain=True`` — set on admitted grants (why these
+    #: nodes) and on queued/rejected ones (why infeasible).
+    explain: Optional[object] = None
 
     @property
     def admitted(self) -> bool:
@@ -153,6 +163,14 @@ class SelectionService:
         path (default).  ``False`` rebuilds the residual graph from the
         ledger on every attempt — the pre-overhaul behaviour, kept as
         the benchmark comparison arm.
+    tracer:
+        A :class:`repro.obs.Tracer` for per-request trace trees.  Default
+        is the shared null tracer (tracing off, near-zero overhead).
+    registry:
+        A :class:`repro.obs.MetricsRegistry` to export into.  Each
+        service builds its own by default (callback instruments bind to
+        one live instance); pass a shared registry — e.g.
+        ``repro.obs.REGISTRY`` — to scrape several services at once.
     """
 
     def __init__(
@@ -167,6 +185,8 @@ class SelectionService:
         clock: Optional[Callable[[], float]] = None,
         exclude_unhealthy: bool = True,
         incremental: bool = True,
+        tracer=None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if lease_s <= 0:
             raise ValueError(f"lease_s must be positive: {lease_s}")
@@ -183,8 +203,12 @@ class SelectionService:
         self.clock = clock
         self.lease_s = float(lease_s)
         self.routing = routing
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.ledger = ReservationLedger(cpu_cap=cpu_cap)
-        self.cache = SnapshotCache(provider, ttl=snapshot_ttl, clock=clock)
+        self.cache = SnapshotCache(
+            provider, ttl=snapshot_ttl, clock=clock, tracer=self.tracer
+        )
         self.selector = NodeSelector(
             self.cache,
             exclude_unhealthy=exclude_unhealthy,
@@ -214,7 +238,132 @@ class SelectionService:
         #: at the current epoch — an identical attempt would fail
         #: identically.
         self._residual_epoch = 0
+        #: Kernel/route cache counters harvested from retired residual
+        #: views (the live view's counters reset at each rebuild; totals
+        #: here keep the registry's counters monotone).
+        self._view_totals = {
+            "schedule_reused": 0, "schedule_adjusted": 0,
+            "schedule_builds": 0, "edges_rescored": 0,
+            "route_hits": 0, "route_misses": 0,
+        }
         self.ledger.subscribe(self._on_ledger_event)
+        self.metrics.bind(self.registry)
+        self._bind_registry()
+
+    # -- metrics registry ------------------------------------------------------
+    def _kernel_stat(self, key: str, live) -> float:
+        """Harvested total for ``key`` plus the live view's counter."""
+        total = self._view_totals[key]
+        if self._view is not None:
+            total += live(self._view)
+        return float(total)
+
+    def _harvest_view_stats(self, view: ResidualView) -> None:
+        t = self._view_totals
+        t["schedule_reused"] += view.schedules.reused
+        t["schedule_adjusted"] += view.schedules.adjusted
+        t["schedule_builds"] += view.schedules.builds
+        t["edges_rescored"] += view.schedules.rescored
+        t["route_hits"] += view.routes.hits
+        t["route_misses"] += view.routes.misses
+
+    def _ledger_headroom(self, resource: str) -> float:
+        util = self.ledger.utilization()
+        if resource == "cpu":
+            return max(0.0, self.ledger.cpu_cap - util["max_node_claim"])
+        return max(0.0, 1.0 - util["max_edge_claim_fraction"])
+
+    def _bind_registry(self) -> None:
+        """Export snapshot/kernel/ledger/admission instruments.
+
+        Everything here is callback-backed — collection-time reads of
+        counters the hot path already maintains, costing the request
+        path nothing.  (The service's own counters and stage histograms
+        are exported by :meth:`ServiceMetrics.bind`.)
+        """
+        reg = self.registry
+        cache = self.cache
+        reg.counter("repro_snapshot_cache_hits_total",
+                    "Topology queries answered from the snapshot cache.",
+                    fn=lambda: float(cache.hits))
+        reg.counter("repro_snapshot_cache_misses_total",
+                    "Topology queries that swept the provider.",
+                    fn=lambda: float(cache.misses))
+        reg.counter("repro_snapshot_cache_coalesced_total",
+                    "Same-instant queries coalesced onto one sweep.",
+                    fn=lambda: float(cache.coalesced))
+        reg.counter("repro_snapshot_cache_invalidations_total",
+                    "Snapshots dropped by fault/recovery events.",
+                    fn=lambda: float(cache.invalidations))
+        reg.gauge("repro_snapshot_epoch",
+                  "Snapshot generation counter.",
+                  fn=lambda: float(cache.epoch))
+        reg.gauge("repro_snapshot_age_seconds",
+                  "Age of the cached snapshot (+Inf when empty).",
+                  fn=lambda: cache.age)
+        reg.counter("repro_kernel_peel_schedule_reuses_total",
+                    "Peel schedules reused verbatim from the epoch cache.",
+                    fn=lambda: self._kernel_stat(
+                        "schedule_reused", lambda v: v.schedules.reused))
+        reg.counter("repro_kernel_peel_schedule_adjusts_total",
+                    "Peel schedules rebuilt by merging dirty edges.",
+                    fn=lambda: self._kernel_stat(
+                        "schedule_adjusted", lambda v: v.schedules.adjusted))
+        reg.counter("repro_kernel_peel_schedule_builds_total",
+                    "Peel schedules sorted from scratch (cache misses).",
+                    fn=lambda: self._kernel_stat(
+                        "schedule_builds", lambda v: v.schedules.builds))
+        reg.counter("repro_kernel_edges_rescored_total",
+                    "Dirty edges re-scored across adjusted schedules.",
+                    fn=lambda: self._kernel_stat(
+                        "edges_rescored", lambda v: v.schedules.rescored))
+        reg.counter("repro_kernel_route_cache_hits_total",
+                    "Node-set route lookups answered from the route memo.",
+                    fn=lambda: self._kernel_stat(
+                        "route_hits", lambda v: v.routes.hits))
+        reg.counter("repro_kernel_route_cache_misses_total",
+                    "Node-set route lookups that ran BFS.",
+                    fn=lambda: self._kernel_stat(
+                        "route_misses", lambda v: v.routes.misses))
+        reg.counter("repro_kernel_select_memo_negative_hits_total",
+                    "Selection-memo hits on memoized infeasibility.",
+                    fn=lambda: float(self.metrics.select_memo_negative_hits))
+        reg.gauge("repro_ledger_active_leases",
+                  "Live reservations by priority class.",
+                  labels={"class": "all"},
+                  fn=lambda: float(self.ledger.active))
+        for cls in Priority.ALL:
+            reg.gauge(
+                "repro_ledger_active_leases",
+                "Live reservations by priority class.",
+                labels={"class": cls},
+                fn=(lambda c=cls: float(sum(
+                    1 for r in self.ledger.reservations.values()
+                    if r.priority == c
+                ))),
+            )
+        for resource in ("cpu", "bandwidth"):
+            reg.gauge(
+                "repro_ledger_residual_headroom_fraction",
+                "Residual headroom on the busiest claimed resource.",
+                labels={"resource": resource},
+                fn=(lambda r=resource: self._ledger_headroom(r)),
+            )
+        reg.gauge("repro_admission_queue_depth",
+                  "Requests waiting in the admission queue.",
+                  fn=lambda: float(len(self.queue)))
+        reg.gauge("repro_admission_queue_limit",
+                  "Bound on the admission queue.",
+                  fn=lambda: float(self.queue.limit))
+        reg.counter("repro_admission_queue_displaced_total",
+                    "Queued requests displaced by higher priority.",
+                    fn=lambda: float(self.metrics.queue_displaced))
+        reg.counter("repro_admission_drain_skipped_total",
+                    "Queue drains skipped by the residual-epoch gate.",
+                    fn=lambda: float(self.metrics.drain_skipped))
+        reg.gauge("repro_service_known_down_nodes",
+                  "Nodes the injector reported crashed and not recovered.",
+                  fn=lambda: float(len(self._known_down)))
 
     # -- time -----------------------------------------------------------------
     @property
@@ -242,6 +391,7 @@ class SelectionService:
         cpu_fraction: float = 0.0,
         bw_bps: float = 0.0,
         priority: str = Priority.SILVER,
+        explain: bool = False,
     ) -> Grant:
         """Ask for a placement; returns an admitted/queued/rejected grant.
 
@@ -249,7 +399,36 @@ class SelectionService:
         from the shared pool while the lease lives.  A queued request is
         retried automatically whenever capacity frees up; poll
         :meth:`status` for its standing outcome.
+
+        ``explain=True`` attaches provenance to the grant (see
+        :attr:`Grant.explain`): for admissions, the peel sequence and the
+        bottleneck edge on the residual view the decision ran against;
+        for queued/rejected requests, the failing pipeline stage.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._request_inner(
+                app_id, spec, cpu_fraction, bw_bps, priority, explain
+            )
+        with tracer.span(
+            "service.request", app=app_id, m=spec.num_nodes,
+            priority=priority,
+        ) as span:
+            grant = self._request_inner(
+                app_id, spec, cpu_fraction, bw_bps, priority, explain
+            )
+            span.set(outcome=grant.status)
+            return grant
+
+    def _request_inner(
+        self,
+        app_id: str,
+        spec: ApplicationSpec,
+        cpu_fraction: float,
+        bw_bps: float,
+        priority: str,
+        explain: bool,
+    ) -> Grant:
         self.metrics.requests += 1
         self.tick()
         if app_id in self.ledger.reservations or app_id in self.queue:
@@ -264,6 +443,7 @@ class SelectionService:
             bw_bps=bw_bps,
             priority=priority,
             submitted_at=self.now,
+            explain=explain,
         )
         grant = self._try_admit(req)
         if grant is not None:
@@ -280,6 +460,7 @@ class SelectionService:
                 app_id=app_id,
                 status=Decision.REJECTED,
                 reason="infeasible on residual capacity and queue full",
+                explain=self._explain_failure(req) if explain else None,
             )
             self.metrics.rejected += 1
         else:
@@ -295,10 +476,22 @@ class SelectionService:
                 app_id=app_id,
                 status=Decision.QUEUED,
                 reason="waiting for capacity",
+                explain=self._explain_failure(req) if explain else None,
             )
             self.metrics.queued += 1
         self.outcomes[app_id] = grant
         return grant
+
+    def _explain_failure(self, req: SelectionRequest):
+        """Rejection provenance from the request's last failed attempt."""
+        from ..obs.explain import explain_rejection
+
+        age = self.cache.age
+        return explain_rejection(
+            req.last_reason or "infeasible on residual capacity",
+            snapshot_epoch=self.cache.epoch,
+            snapshot_age_s=age if age != float("inf") else None,
+        )
 
     def _effective_spec(self, req: SelectionRequest) -> ApplicationSpec:
         """Fold the request's claims into the spec as selection floors.
@@ -361,6 +554,10 @@ class SelectionService:
             or self._view_key != key
             or self._view.base is not base
         ):
+            if self._view is not None:
+                # The retiring view's cache counters feed the registry's
+                # monotone kernel totals.
+                self._harvest_view_stats(self._view)
             self._view = ResidualView(
                 base, self.ledger,
                 down=self._known_down, routing=self.routing,
@@ -399,9 +596,27 @@ class SelectionService:
 
         Each pipeline stage is timed into :attr:`ServiceMetrics.stages`
         (``repro-serve --profile`` and the hot-path benchmark read the
-        p50/p95/p99 summaries).
+        p50/p95/p99 summaries); with tracing on, the same timestamps
+        become ``stage.*`` spans under a ``service.admit`` span.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._try_admit_inner(req)
+        with tracer.span(
+            "service.admit", app=req.app_id, priority=req.priority,
+        ) as span:
+            grant = self._try_admit_inner(req)
+            span.set(
+                outcome="admitted" if grant is not None else "infeasible"
+            )
+            if grant is None and req.last_reason:
+                span.set(reason=req.last_reason)
+            return grant
+
+    def _try_admit_inner(self, req: SelectionRequest) -> Optional[Grant]:
         observe = self.metrics.observe_stage
+        traced = self.tracer.enabled
+        record = self.tracer.record
         t0 = perf_counter()
         base = self.cache.topology()
         t1 = perf_counter()
@@ -409,6 +624,9 @@ class SelectionService:
         residual = self._residual(base)
         t2 = perf_counter()
         observe("residual_view", t2 - t1)
+        if traced:
+            record("stage.snapshot_fetch", t0, t1)
+            record("stage.residual_view", t1, t2)
         spec = self._effective_spec(req)
         # Within one view, a selection is a pure function of the spec and
         # the exact claim state (the snapshot and down set are fixed for
@@ -421,7 +639,12 @@ class SelectionService:
         if cached is None:  # proven infeasible at this exact claim state
             self._view.selection_hits += 1
             self.metrics.select_memo_hits += 1
-            observe("select", perf_counter() - t2)
+            self.metrics.select_memo_negative_hits += 1
+            t3 = perf_counter()
+            observe("select", t3 - t2)
+            if traced:
+                record("stage.select", t2, t3, memo="negative-hit")
+            req.last_reason = "no feasible selection on residual capacity"
             return None
         if cached is not _MISS:
             self._view.selection_hits += 1
@@ -430,12 +653,16 @@ class SelectionService:
         else:
             try:
                 selection = self.selector.select(spec, residual)
-            except NoFeasibleSelection:
+            except NoFeasibleSelection as exc:
                 if memo is not None:
                     if len(memo) >= _SELECTION_MEMO_LIMIT:
                         memo.clear()
                     memo[sel_key] = None
-                observe("select", perf_counter() - t2)
+                t3 = perf_counter()
+                observe("select", t3 - t2)
+                if traced:
+                    record("stage.select", t2, t3, infeasible=str(exc))
+                req.last_reason = f"no feasible selection: {exc}"
                 return None
             if memo is not None:
                 if len(memo) >= _SELECTION_MEMO_LIMIT:
@@ -447,7 +674,13 @@ class SelectionService:
         fits, edges = self._verify_claims(req, residual, selection.nodes)
         t4 = perf_counter()
         observe("claim_verify", t4 - t3)
+        if traced:
+            record("stage.select", t2, t3, nodes=len(selection.nodes))
+            record("stage.claim_verify", t3, t4)
         if not fits:
+            req.last_reason = (
+                "claims exceed residual capacity on the selected set"
+            )
             return None
         try:
             reservation = self.ledger.reserve(
@@ -462,18 +695,42 @@ class SelectionService:
                 priority=req.priority,
                 edges=edges,
             )
-        except LedgerError:
+        except LedgerError as exc:
             # Claims fit measured availability but not the ledger caps
             # (e.g. measured idle capacity on an already fully-claimed
             # node).  Admission treats it exactly like infeasibility.
-            observe("ledger_commit", perf_counter() - t4)
+            t5 = perf_counter()
+            observe("ledger_commit", t5 - t4)
+            if traced:
+                record("stage.ledger_commit", t4, t5, error=str(exc))
+            req.last_reason = f"ledger caps exceeded: {exc}"
             return None
-        observe("ledger_commit", perf_counter() - t4)
+        t5 = perf_counter()
+        observe("ledger_commit", t5 - t4)
+        if traced:
+            record("stage.ledger_commit", t4, t5)
+        explain_record = None
+        if req.explain:
+            from ..obs.explain import explain_selection
+
+            age = self.cache.age
+            explain_record = explain_selection(
+                residual,
+                selection,
+                refs=References(
+                    compute_priority=spec.compute_priority,
+                    comm_priority=spec.comm_priority,
+                ),
+                snapshot_epoch=self.cache.epoch,
+                snapshot_age_s=age if age != float("inf") else None,
+            )
+            selection.extras[ExtrasKey.EXPLAIN] = explain_record
         return Grant(
             app_id=req.app_id,
             status=Decision.ADMITTED,
             selection=selection,
             reservation=reservation,
+            explain=explain_record,
         )
 
     # -- lease lifecycle ---------------------------------------------------------
@@ -565,6 +822,18 @@ class SelectionService:
             for app_id in self.ledger.apps_on_node(target):
                 self.ledger.release(app_id)
                 self.metrics.evicted += 1
+                # The known-down set has outrun the monitor: make the
+                # divergence observable without reading code — one
+                # structured WARN line plus the known_down gauge.
+                logger.warning(
+                    "lease evicted: app=%r node=%r reason=node-crash "
+                    "known_down=%d active=%d",
+                    app_id, target,
+                    len(self._known_down), self.ledger.active,
+                )
+                self.tracer.event(
+                    "service.evict", app=app_id, node=target,
+                )
                 self.outcomes[app_id] = Grant(
                     app_id=app_id,
                     status=Decision.EVICTED,
@@ -598,6 +867,7 @@ class SelectionService:
 
     def metrics_snapshot(self) -> dict:
         """Counters plus live cache/ledger/queue gauges."""
+        self.metrics.extras["known_down_nodes"] = len(self._known_down)
         return self.metrics.snapshot(
             cache=self.cache, ledger=self.ledger, queue=self.queue
         )

@@ -25,6 +25,7 @@ from ..core.types import NoFeasibleSelection
 from ..des.simulator import Simulator
 from ..faults.injector import Fault, FaultInjector
 from ..network.cluster import Cluster
+from ..obs import MetricsRegistry, Tracer
 from ..remos.api import RemosAPI
 from ..remos.collector import Collector
 from ..service.admission import Priority
@@ -64,6 +65,9 @@ class MultiTenantResult:
     naive_nodes: dict[str, Optional[list[str]]] = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     fault_log: list[tuple[float, str, str]] = field(default_factory=list)
+    #: Observability artifacts written by the campaign (``trace_out`` /
+    #: ``metrics_out``): path -> span count / exposition byte count.
+    artifacts: dict[str, int] = field(default_factory=dict)
 
     @property
     def admitted(self) -> list[str]:
@@ -106,6 +110,8 @@ def run_multi_tenant(
     queue_limit: int = 8,
     fault_plan: Sequence[Fault] = (),
     graph=None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> MultiTenantResult:
     """Run a multi-tenant stream against one simulated network.
 
@@ -113,17 +119,29 @@ def run_multi_tenant(
     collector for ``warmup`` seconds, schedules every tenant's request at
     ``warmup + tenant.at`` (and its release after ``hold_s``), injects
     ``fault_plan``, and runs to ``warmup + horizon``.
+
+    ``trace_out`` records every request's trace tree (plus collector
+    sweeps and fault events) as JSONL; ``metrics_out`` writes the final
+    Prometheus exposition of the whole rig — collector and service share
+    one registry.  Written paths land in ``result.artifacts``.
     """
     sim = Simulator()
+    tracer = Tracer() if trace_out else None
+    registry = MetricsRegistry() if metrics_out else None
     cluster = Cluster(sim, graph if graph is not None else cmu_testbed())
-    collector = Collector(cluster, period=remos_period, stale_after=3)
-    api = RemosAPI(collector)
-    injector = FaultInjector(cluster, collector)
+    collector = Collector(
+        cluster, period=remos_period, stale_after=3,
+        tracer=tracer, registry=registry,
+    )
+    api = RemosAPI(collector, tracer=tracer)
+    injector = FaultInjector(cluster, collector, tracer=tracer)
     service = SelectionService(
         api,
         snapshot_ttl=snapshot_ttl,
         lease_s=lease_s,
         queue_limit=queue_limit,
+        tracer=tracer,
+        registry=registry,
     )
     service.attach_injector(injector)
     naive = NodeSelector(api)
@@ -162,4 +180,11 @@ def run_multi_tenant(
         result.grants[app_id] = service.status(app_id)
     result.metrics = service.metrics_snapshot()
     result.fault_log = list(injector.log)
+    if tracer is not None:
+        result.artifacts[trace_out] = tracer.write_jsonl(trace_out)
+    if metrics_out is not None:
+        exposition = service.registry.expose_text()
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(exposition)
+        result.artifacts[metrics_out] = len(exposition)
     return result

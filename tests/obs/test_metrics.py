@@ -1,0 +1,127 @@
+"""Tests for the unified metrics registry and its Prometheus exposition."""
+
+import pytest
+
+from repro.obs import DURATION_BUCKETS, MetricsRegistry, validate_exposition
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_service_requests_total", "Requests.")
+        c.inc()
+        c.inc(3)
+        assert c.read() == 4.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_service_requests_total", "Requests.")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_callback_backed_counter_reads_live(self):
+        reg = MetricsRegistry()
+        box = {"n": 0}
+        c = reg.counter("repro_kernel_route_cache_hits_total", "Hits.",
+                        fn=lambda: float(box["n"]))
+        box["n"] = 7
+        assert c.read() == 7.0
+        with pytest.raises(TypeError):
+            c.inc()
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_service_requests_total", "Requests.")
+        b = reg.counter("repro_service_requests_total", "Requests.")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_service_requests_total", "Requests.")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_service_requests_total", "Requests.")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_admission_queue_depth", "Depth.")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.read() == 4.0
+
+
+class TestHistogram:
+    def test_observe_counts_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_service_stage_duration_seconds", "Stage.",
+                          buckets=(0.1, 1.0))
+        for v in (0.05, 0.1, 0.5, 2.0):
+            h.observe(v)
+        cumulative = h.cumulative()
+        # le semantics: 0.1 falls in the <=0.1 bucket.
+        assert cumulative == [(0.1, 2), (1.0, 3), (float("inf"), 4)]
+        assert h.count == 4
+        assert h.sum == pytest.approx(2.65)
+
+    def test_default_duration_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_collector_poll_duration_seconds", "Poll.")
+        assert tuple(h.buckets) == tuple(DURATION_BUCKETS)
+
+
+class TestLabels:
+    def test_labelled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        gold = reg.counter("repro_ledger_active_leases", "Leases.",
+                           labels={"class": "gold"})
+        bronze = reg.counter("repro_ledger_active_leases", "Leases.",
+                             labels={"class": "bronze"})
+        gold.inc(2)
+        bronze.inc()
+        assert gold.read() == 2.0
+        assert bronze.read() == 1.0
+
+    def test_bad_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("repro service requests", "Bad name.")
+
+
+class TestExposition:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_snapshot_cache_hits_total", "Cache hits.").inc(3)
+        reg.gauge("repro_admission_queue_depth", "Queue depth.").set(2)
+        h = reg.histogram("repro_kernel_peel_duration_seconds", "Peel.",
+                          buckets=(0.001, 0.1))
+        h.observe(0.01)
+        reg.counter("repro_ledger_active_leases", "Leases.",
+                    labels={"class": "gold"}).inc()
+        return reg
+
+    def test_exposition_is_valid_prometheus_text(self):
+        text = self._populated().expose_text()
+        assert validate_exposition(text) == []
+
+    def test_exposition_contents(self):
+        text = self._populated().expose_text()
+        assert "# TYPE repro_snapshot_cache_hits_total counter" in text
+        assert "repro_snapshot_cache_hits_total 3" in text
+        assert 'repro_ledger_active_leases{class="gold"} 1' in text
+        assert 'repro_kernel_peel_duration_seconds_bucket{le="+Inf"} 1' in text
+        assert text.endswith("\n")
+
+    def test_subsystems_parsed_from_names(self):
+        reg = self._populated()
+        assert reg.subsystems() == {"admission", "kernel", "ledger",
+                                    "snapshot"}
+
+    def test_dump_is_json_safe(self):
+        import json
+        dump = self._populated().dump()
+        json.dumps(dump)  # must not raise
+        assert dump["repro_admission_queue_depth"] == 2.0
+        assert dump['repro_ledger_active_leases{class="gold"}'] == 1.0
+        assert dump["repro_kernel_peel_duration_seconds_count"] == 1

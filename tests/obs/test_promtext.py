@@ -1,0 +1,93 @@
+"""Tests for the dependency-free Prometheus text-format validator."""
+
+from repro.obs.promtext import main, parse_sample_line, validate
+
+VALID = """\
+# HELP repro_service_requests_total Requests.
+# TYPE repro_service_requests_total counter
+repro_service_requests_total 12
+# TYPE repro_admission_queue_depth gauge
+repro_admission_queue_depth{tier="gold"} 3
+# TYPE repro_stage_seconds histogram
+repro_stage_seconds_bucket{le="0.1"} 2
+repro_stage_seconds_bucket{le="+Inf"} 4
+repro_stage_seconds_sum 1.5
+repro_stage_seconds_count 4
+"""
+
+
+class TestValidate:
+    def test_valid_document_passes(self):
+        assert validate(VALID) == []
+
+    def test_missing_trailing_newline(self):
+        assert validate("repro_x 1") != []
+
+    def test_unparseable_sample(self):
+        errors = validate("what even is this\n")
+        assert errors
+
+    def test_duplicate_series_rejected(self):
+        text = "repro_x 1\nrepro_x 2\n"
+        assert any("duplicate" in e for e in validate(text))
+
+    def test_histogram_requires_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 1\n'
+            "repro_h_sum 0.05\n"
+            "repro_h_count 1\n"
+        )
+        assert any("+Inf" in e for e in validate(text))
+
+    def test_histogram_buckets_must_be_cumulative(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 3\n"
+        )
+        assert validate(text) != []
+
+    def test_count_must_match_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 4\n"
+        )
+        assert validate(text) != []
+
+    def test_duplicate_label_name_rejected(self):
+        assert validate('repro_x{a="1",a="2"} 1\n') != []
+
+
+class TestParseSampleLine:
+    def test_bare_sample(self):
+        assert parse_sample_line("repro_x 4") == ("repro_x", {}, 4.0, None)
+
+    def test_labels_with_escapes(self):
+        name, labels, value, _ = parse_sample_line(
+            'repro_x{msg="a\\"b",path="c\\\\d"} 1'
+        )
+        assert labels == {"msg": 'a"b', "path": "c\\d"}
+
+    def test_special_values(self):
+        assert parse_sample_line("repro_x +Inf")[2] == float("inf")
+
+
+class TestCli:
+    def test_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text(VALID)
+        assert main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text("repro_x 1\nrepro_x 2\n")
+        assert main([str(path)]) == 1
+
+    def test_missing_file(self, tmp_path):
+        assert main([str(tmp_path / "nope.prom")]) == 2

@@ -1,0 +1,112 @@
+"""Tests for the span tracer: nesting, events, export, null tracer."""
+
+import json
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpans:
+    def test_single_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("service.request", app="fft") as span:
+            span.set(outcome="admitted")
+        (record,) = tracer.spans
+        assert record["name"] == "service.request"
+        assert record["attrs"] == {"app": "fft", "outcome": "admitted"}
+        assert record["duration_us"] >= 0.0
+        assert record["status"] == "ok"
+        assert record["parent"] is None
+
+    def test_logical_clock_stamps_t_attribute(self):
+        tracer = Tracer(clock=lambda: 42.0)
+        with tracer.span("sweep"):
+            pass
+        (record,) = tracer.spans
+        assert record["attrs"]["t"] == 42.0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner = next(s for s in tracer.spans if s["name"] == "inner")
+        outer = next(s for s in tracer.spans if s["name"] == "outer")
+        assert inner["parent"] == outer["span"]
+        assert inner["trace"] == outer["trace"]
+
+    def test_sibling_requests_get_distinct_traces(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        traces = {s["trace"] for s in tracer.spans}
+        assert len(traces) == 2
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        (record,) = tracer.spans
+        assert record["status"] == "error"
+
+    def test_record_attaches_premeasured_child(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            tracer.record("stage.select", 1.0, 1.25, nodes=4)
+        stage = next(s for s in tracer.spans if s["name"] == "stage.select")
+        parent = next(s for s in tracer.spans if s["name"] == "parent")
+        assert stage["parent"] == parent["span"]
+        assert stage["duration_us"] == 250000.0
+        assert stage["attrs"] == {"nodes": 4}
+
+    def test_event_attaches_inside_open_span(self):
+        tracer = Tracer()
+        with tracer.span("request"):
+            tracer.event("fault.link-down", target="a--b")
+        (record,) = tracer.spans
+        assert record["events"][0]["name"] == "fault.link-down"
+
+    def test_event_outside_spans_is_root_record(self):
+        tracer = Tracer()
+        tracer.event("fault.node-crash", target="m-1")
+        (record,) = tracer.spans
+        assert record["name"] == "fault.node-crash"
+        assert record["parent"] is None
+        assert record["duration_us"] == 0.0
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert {"trace", "span", "name", "start_us",
+                    "duration_us", "status"} <= set(record)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", x=1) as span:
+            span.set(y=2)
+            span.event("z")
+        NULL_TRACER.record("stage", 0.0, 1.0)
+        NULL_TRACER.event("fault.link-down")
+        assert NULL_TRACER.spans == ()
+
+    def test_fresh_instance_also_inert(self):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.spans == ()

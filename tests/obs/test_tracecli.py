@@ -1,0 +1,78 @@
+"""Tests for the repro-trace pretty-printer/filter CLI."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.tracecli import load_spans, main, render_traces
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    tracer = Tracer()
+    with tracer.span("service.request", app="fft") as span:
+        with tracer.span("service.admit"):
+            tracer.record("stage.select", 0.0, 0.001, nodes=4)
+        span.set(outcome="admitted")
+    with tracer.span("service.request", app="bad") as span:
+        try:
+            with tracer.span("service.admit"):
+                raise RuntimeError("infeasible")
+        except RuntimeError:
+            pass
+        span.set(outcome="rejected")
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(str(path))
+    return str(path)
+
+
+class TestLoadAndRender:
+    def test_load_counts_bad_lines(self, trace_file):
+        with open(trace_file) as fh:
+            lines = list(fh) + ["not json\n"]
+        spans, bad = load_spans(lines)
+        assert len(spans) == 5
+        assert bad == 1
+
+    def test_render_indents_children(self, trace_file):
+        with open(trace_file) as fh:
+            spans, _ = load_spans(fh)
+        text = "\n".join(render_traces(spans))
+        assert "  service.request" in text
+        assert "    service.admit" in text
+        assert "      stage.select" in text
+
+
+class TestMain:
+    def test_tree_output(self, trace_file, capsys):
+        assert main([trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "trace 1" in out
+        assert "trace 2" in out
+        assert "stage.select" in out
+
+    def test_name_filter_lists_flat(self, trace_file, capsys):
+        assert main([trace_file, "--name", "stage."]) == 0
+        out = capsys.readouterr().out
+        assert "stage.select" in out
+        assert "service.request" not in out
+
+    def test_status_filter(self, trace_file, capsys):
+        assert main([trace_file, "--status", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "service.admit" in out
+        assert "stage.select" not in out
+
+    def test_summary_table(self, trace_file, capsys):
+        assert main([trace_file, "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "count" in out
+        assert "service.request" in out
+
+    def test_limit_bounds_trace_count(self, trace_file, capsys):
+        assert main([trace_file, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace 1" in out
+        assert "trace 2" not in out
+
+    def test_missing_file(self, tmp_path):
+        assert main([str(tmp_path / "nope.jsonl")]) == 2

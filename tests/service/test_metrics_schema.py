@@ -1,0 +1,107 @@
+"""Golden-schema guard for ``ServiceMetrics.snapshot()``.
+
+The flat JSON this method returns is the machine-readable surface of
+``repro-serve --format json`` and the benchmark reports; its key set is
+**frozen** (DESIGN.md "ServiceMetrics snapshot schema").  Adding keys is
+backward-compatible and requires updating the golden sets here; renaming
+or removing keys is a breaking change and should fail this test loudly.
+"""
+
+from repro.core import ApplicationSpec
+from repro.service import SelectionService
+from repro.service.metrics import STAGES, ServiceMetrics, StageTimer
+from repro.topology import dumbbell
+
+#: Counter keys always present, in the frozen order.
+COUNTER_KEYS = [
+    "requests",
+    "admitted",
+    "queued",
+    "rejected",
+    "released",
+    "renewed",
+    "expired",
+    "evicted",
+    "admitted_from_queue",
+    "queue_displaced",
+    "drain_skipped",
+    "view_rebuilds",
+    "select_memo_hits",
+    "select_memo_negative_hits",
+]
+
+#: Added when a queue / cache / ledger is passed to ``snapshot()``.
+QUEUE_KEYS = ["queue_depth"]
+CACHE_KEYS = [
+    "cache_hits",
+    "cache_misses",
+    "cache_coalesced",
+    "cache_invalidations",
+    "snapshot_sweeps",
+]
+LEDGER_KEYS = [
+    "active_reservations",
+    "max_node_claim",
+    "mean_node_claim",
+    "max_edge_claim_fraction",
+    "mean_edge_claim_fraction",
+]
+
+#: Extras the live service merges in via ``metrics_snapshot()``.
+SERVICE_EXTRA_KEYS = ["known_down_nodes"]
+
+#: Per-stage summary keys inside the nested ``stages`` table.
+STAGE_SUMMARY_KEYS = ["count", "mean_us", "p50_us", "p95_us", "p99_us"]
+
+
+class TestBareSnapshot:
+    def test_counters_only(self):
+        snap = ServiceMetrics().snapshot()
+        assert list(snap) == COUNTER_KEYS
+
+    def test_counter_values_are_ints(self):
+        snap = ServiceMetrics().snapshot()
+        assert all(isinstance(v, int) for v in snap.values())
+
+    def test_stages_nest_under_single_key(self):
+        metrics = ServiceMetrics()
+        metrics.observe_stage("select", 0.001)
+        snap = metrics.snapshot()
+        assert list(snap) == COUNTER_KEYS + ["stages"]
+        assert list(snap["stages"]) == ["select"]
+        assert list(snap["stages"]["select"]) == STAGE_SUMMARY_KEYS
+
+    def test_stage_table_preserves_pipeline_order(self):
+        metrics = ServiceMetrics()
+        for name in reversed(STAGES):
+            metrics.observe_stage(name, 0.001)
+        assert list(metrics.snapshot()["stages"]) == list(STAGES)
+
+    def test_stage_timer_summary_schema(self):
+        timer = StageTimer()
+        assert list(timer.summary()) == STAGE_SUMMARY_KEYS
+        timer.observe(0.002)
+        assert list(timer.summary()) == STAGE_SUMMARY_KEYS
+
+
+class TestLiveServiceSnapshot:
+    def test_full_schema_from_a_served_request(self):
+        service = SelectionService(dumbbell(4, 4), queue_limit=4)
+        grant = service.request(
+            "app", ApplicationSpec(num_nodes=2), cpu_fraction=0.2
+        )
+        assert grant.admitted
+        snap = service.metrics_snapshot()
+        expected = (
+            COUNTER_KEYS + QUEUE_KEYS + CACHE_KEYS + LEDGER_KEYS
+            + SERVICE_EXTRA_KEYS + ["stages"]
+        )
+        assert list(snap) == expected
+
+    def test_stage_keys_on_admitted_path(self):
+        service = SelectionService(dumbbell(4, 4), queue_limit=4)
+        service.request("app", ApplicationSpec(num_nodes=2), cpu_fraction=0.2)
+        stages = service.metrics_snapshot()["stages"]
+        assert list(stages) == list(STAGES)
+        for summary in stages.values():
+            assert list(summary) == STAGE_SUMMARY_KEYS

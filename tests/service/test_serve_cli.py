@@ -164,3 +164,58 @@ class TestProfile:
         assert "stages" not in payload["metrics"]
         assert main([topo_file, "--demo", "2"]) == 0
         assert "stage latencies" not in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_jsonl(self, topo_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([topo_file, "--demo", "3", "--cpu", "0.3",
+                     "--trace-out", str(trace_path)]) == 0
+        err = capsys.readouterr().err
+        assert "spans" in err
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) >= 3
+        names = {json.loads(line)["name"] for line in lines}
+        assert "service.request" in names
+        assert "stage.select" in names
+
+    def test_dump_metrics_writes_valid_exposition(
+        self, topo_file, tmp_path, capsys,
+    ):
+        from repro.obs import validate_exposition
+        dump_path = tmp_path / "metrics.prom"
+        assert main([topo_file, "--demo", "3", "--cpu", "0.3",
+                     "--dump-metrics", str(dump_path)]) == 0
+        text = dump_path.read_text()
+        assert validate_exposition(text) == []
+        assert "repro_service_requests_total 3" in text
+
+    def test_dump_metrics_stdout(self, topo_file, capsys):
+        assert main([topo_file, "--demo", "2", "--format", "json",
+                     "--dump-metrics", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_requests_total counter" in out
+
+    def test_metrics_port_serves_exposition(self, topo_file, capsys):
+        import urllib.request
+        from repro.obs import MetricsRegistry, validate_exposition
+        from repro.service.cli import serve_metrics
+
+        registry = MetricsRegistry()
+        registry.counter("repro_service_requests_total", "Requests.").inc(5)
+        server = serve_metrics(registry, 0)
+        try:
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics"
+            ) as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                body = resp.read().decode("utf-8")
+            assert validate_exposition(body) == []
+            assert "repro_service_requests_total 5" in body
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://127.0.0.1:{port}/other")
+        finally:
+            server.shutdown()
+            server.server_close()

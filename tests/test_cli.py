@@ -172,3 +172,55 @@ class TestHealthFlags:
             build_parser().parse_args([
                 degraded_file, "-m", "4", "--degraded-policy", "pessimistic",
             ])
+
+
+class TestExplain:
+    @pytest.fixture
+    def figure2_file(self, tmp_path):
+        """Figure 2 scenario: m=5 on a 4+4 dumbbell must cross the
+        5 Mbps trunk, making the trunk the unique bottleneck."""
+        g = dumbbell(4, 4)
+        g.link("sw-left", "sw-right").set_available(5 * Mbps)
+        path = tmp_path / "fig2.json"
+        path.write_text(to_json(g))
+        return str(path)
+
+    def test_text_names_bottleneck_edge_and_min_bandwidth(
+        self, figure2_file, capsys,
+    ):
+        assert main([
+            figure2_file, "-m", "5", "--objective", "bandwidth", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck: sw-left--sw-right" in out
+        assert "5.0 Mbps" in out
+        assert "min bw    : 5.0 Mbps" in out
+        assert "peel" in out
+
+    def test_json_explain_payload(self, figure2_file, capsys):
+        assert main([
+            figure2_file, "-m", "5", "--objective", "bandwidth",
+            "--explain", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        explain = payload["explain"]
+        assert explain["bottleneck"]["edge"] == "sw-left--sw-right"
+        assert explain["bottleneck"]["available_bps"] == 5 * Mbps
+        assert explain["min_bw_bps"] == payload["min_bandwidth_bps"]
+        assert len(explain["node_cpu"]) == 5
+
+    def test_no_explain_key_without_flag(self, figure2_file, capsys):
+        assert main([
+            figure2_file, "-m", "5", "--format", "json",
+        ]) == 0
+        assert "explain" not in json.loads(capsys.readouterr().out)
+
+    def test_infeasible_explain_reports_rejection(self, topo_file, capsys):
+        assert main([
+            topo_file, "-m", "100", "--explain", "--format", "json",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "no feasible selection" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["explain"]["rejection"]
+        assert payload["explain"]["nodes"] == []
