@@ -21,28 +21,44 @@ subpackage is the long-running layer that makes concurrent use sound:
   updates in place, carrying per-epoch :class:`RouteCache` and
   :class:`PeelScheduleCache` memoization for the selection kernel;
   bit-identical to a from-scratch rebuild by construction.
+- :class:`LedgerWal` (:mod:`repro.service.wal`) — durability: a JSONL
+  write-ahead log of every ledger mutation plus periodic compacted
+  snapshots, replayed by :meth:`ReservationLedger.recover` into a
+  bit-identical ledger after a crash (:class:`RecoveryReport` says what
+  was restored; :class:`WalCorruptError` refuses unreplayable damage).
 - :class:`SelectionService` — the facade wiring it all to a
   :class:`~repro.core.NodeSelector`; :class:`ServiceMetrics` counts
-  requests, admissions, rejections, queue depth, cache hits and ledger
-  utilization, and profiles the admission pipeline per stage
+  requests, admissions, rejections, preemptions, queue depth, cache hits
+  and ledger utilization, and profiles the admission pipeline per stage
   (:class:`StageTimer`).  ``repro-serve`` (:mod:`repro.service.cli`)
-  drives it from serialized topologies and workload files.
+  drives it from serialized topologies and workload files, durably when
+  given ``--state-dir``.
 """
 
 from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
 from .cache import PeelScheduleCache, RouteCache, SnapshotCache
-from .ledger import LedgerError, Reservation, ReservationLedger, route_edges
+from .ledger import (
+    CAPACITY_RETURNING_KINDS,
+    LedgerError,
+    Reservation,
+    ReservationLedger,
+    route_edges,
+)
 from .metrics import ServiceMetrics, StageTimer
 from .residual_view import ResidualView
 from .service import Grant, SelectionService
+from .wal import LedgerWal, RecoveryReport, WalCorruptError, WalError
 
 __all__ = [
     "AdmissionQueue",
+    "CAPACITY_RETURNING_KINDS",
     "Decision",
     "Grant",
     "LedgerError",
+    "LedgerWal",
     "PeelScheduleCache",
     "Priority",
+    "RecoveryReport",
     "Reservation",
     "ReservationLedger",
     "ResidualView",
@@ -52,5 +68,7 @@ __all__ = [
     "ServiceMetrics",
     "SnapshotCache",
     "StageTimer",
+    "WalCorruptError",
+    "WalError",
     "route_edges",
 ]

@@ -43,8 +43,13 @@ class Decision:
     RELEASED = "released"
     EXPIRED = "expired"
     EVICTED = "evicted"
+    #: Lease reclaimed (or marked for grace-period reclamation) to make
+    #: an otherwise-infeasible gold request feasible.
+    PREEMPTED = "preempted"
 
-    ALL = (ADMITTED, QUEUED, REJECTED, RELEASED, EXPIRED, EVICTED)
+    ALL = (
+        ADMITTED, QUEUED, REJECTED, RELEASED, EXPIRED, EVICTED, PREEMPTED,
+    )
 
 
 @dataclass

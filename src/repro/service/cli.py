@@ -25,12 +25,22 @@ The workload file is a JSON array of operations, each with an ``op``
 ``--demo N`` instead synthesizes N staggered requests (arrivals 1 s
 apart) so the admission/queue/reject flow is visible without writing a
 workload file.
+
+``--state-dir DIR`` makes the run durable: the reservation ledger is
+recovered from DIR's snapshot + write-ahead log at startup (a corrupt,
+unreplayable WAL exits with status 2 instead of a traceback; a torn
+final record from a mid-append crash is tolerated) and every mutation is
+logged.  SIGTERM/SIGINT trigger a graceful shutdown — remaining
+operations are skipped and a final compacted snapshot is flushed before
+exit.  ``--preempt`` additionally lets infeasible gold requests reclaim
+bronze/silver leases (``--preempt-grace`` gives victims a wind-down).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, HTTPServer
@@ -42,8 +52,17 @@ from ..topology.serialize import from_json
 from ..units import Mbps
 from .admission import Priority
 from .service import SelectionService
+from .wal import WalCorruptError
 
 __all__ = ["main", "build_parser", "serve_metrics"]
+
+
+class _GracefulExit(Exception):
+    """Raised by the signal handlers to unwind the workload loop."""
+
+    def __init__(self, signame: str) -> None:
+        super().__init__(signame)
+        self.signame = signame
 
 
 def serve_metrics(registry: MetricsRegistry, port: int) -> HTTPServer:
@@ -107,6 +126,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="admission queue bound (default: 16)")
     parser.add_argument("--cpu-cap", type=float, default=1.0,
                         help="per-node cap on summed CPU claims (default: 1.0)")
+    parser.add_argument("--state-dir", metavar="DIR",
+                        help="durability directory: recover the ledger from "
+                             "DIR's snapshot + WAL at startup and log every "
+                             "mutation (SIGTERM/SIGINT flush a final "
+                             "snapshot)")
+    parser.add_argument("--wal-fsync", action="store_true",
+                        help="fsync every WAL append (power-loss durability)")
+    parser.add_argument("--snapshot-every", type=int, default=256,
+                        metavar="N",
+                        help="WAL records between compacted snapshots "
+                             "(default: 256)")
+    parser.add_argument("--preempt", action="store_true",
+                        help="let infeasible gold requests preempt "
+                             "bronze/silver leases")
+    parser.add_argument("--preempt-grace", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="victim wind-down before reclamation "
+                             "(default: 0 — immediate)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format")
     parser.add_argument("--profile", action="store_true",
@@ -206,14 +243,32 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
 
     tracer = Tracer() if args.trace_out else None
-    service = SelectionService(
-        graph,
-        snapshot_ttl=args.ttl,
-        lease_s=args.lease,
-        queue_limit=args.queue_limit,
-        cpu_cap=args.cpu_cap,
-        tracer=tracer,
-    )
+    try:
+        service = SelectionService(
+            graph,
+            snapshot_ttl=args.ttl,
+            lease_s=args.lease,
+            queue_limit=args.queue_limit,
+            cpu_cap=args.cpu_cap,
+            tracer=tracer,
+            state_dir=args.state_dir,
+            wal_fsync=args.wal_fsync,
+            wal_snapshot_every=args.snapshot_every,
+            preempt=args.preempt,
+            preempt_grace_s=args.preempt_grace,
+        )
+    except WalCorruptError as exc:
+        print(f"error: corrupt WAL state: {exc}", file=sys.stderr)
+        return 2
+    if service.recovery is not None:
+        rec = service.recovery
+        tail = " (torn tail dropped)" if rec.truncated_tail else ""
+        print(
+            f"recovered {rec.leases} leases from WAL "
+            f"({rec.records} records after snapshot seq "
+            f"{rec.snapshot_seq}){tail}",
+            file=sys.stderr,
+        )
     metrics_server = None
     if args.metrics_port is not None:
         try:
@@ -224,6 +279,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         host, port = metrics_server.server_address[:2]
         print(f"serving metrics on http://{host}:{port}/metrics",
               file=sys.stderr)
+
+    def _on_signal(signum, _frame):
+        raise _GracefulExit(signal.Signals(signum).name)
+
+    # Signal handlers only install on the main thread (embedders calling
+    # main() from a worker thread keep their own handling).
+    restore: dict = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            restore[signum] = signal.signal(signum, _on_signal)
 
     outcomes = []
     try:
@@ -238,7 +303,19 @@ def main(argv: Optional[list[str]] = None) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: bad workload operation: {exc}", file=sys.stderr)
         return 2
+    except _GracefulExit as exc:
+        done = len(outcomes)
+        print(
+            f"received {exc.signame} after {done}/{len(ops)} operations: "
+            "shutting down"
+            + (", flushing final snapshot" if service.wal is not None
+               else ""),
+            file=sys.stderr,
+        )
     finally:
+        service.close()  # final compacted snapshot when durable
+        for signum, handler in restore.items():
+            signal.signal(signum, handler)
         if metrics_server is not None:
             metrics_server.shutdown()
             metrics_server.server_close()

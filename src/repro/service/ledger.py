@@ -21,6 +21,12 @@ moment with :meth:`check_invariants`:
   whole processor);
 - the summed bandwidth claims on any directed link channel never exceed
   that link's peak capacity.
+
+The ledger is durable when paired with :class:`~repro.service.LedgerWal`
+(:mod:`repro.service.wal`): every mutation flows through the listener
+path, and :meth:`ReservationLedger.recover` replays a state directory's
+snapshot + write-ahead log into a ledger whose claim tallies — and
+therefore its residual graph — are bit-identical to the pre-crash state.
 """
 
 from __future__ import annotations
@@ -35,7 +41,13 @@ from ..topology.graph import TopologyGraph
 from ..topology.residual import DirectedEdge, residual_graph
 from ..topology.routing import RoutingTable
 
-__all__ = ["LedgerError", "Reservation", "ReservationLedger", "route_edges"]
+__all__ = [
+    "CAPACITY_RETURNING_KINDS",
+    "LedgerError",
+    "Reservation",
+    "ReservationLedger",
+    "route_edges",
+]
 
 #: Slack for floating-point claim accumulation at the caps.  Bandwidth
 #: claims run at 1e7-1e8 bps where incremental summation alone drifts by
@@ -46,6 +58,21 @@ _EPS = 1e-9
 
 def _slack(*magnitudes: float) -> float:
     return _EPS * max(1.0, *(abs(m) for m in magnitudes))
+
+
+#: Stale deadline-heap entries tolerated before :meth:`release`/
+#: :meth:`renew` trigger a compaction.  Below this the lazy-deletion
+#: arithmetic is cheaper than rebuilding; beyond it (and once stale
+#: entries outnumber live leases) a renew-heavy workload would otherwise
+#: grow the heap without bound.
+_HEAP_COMPACT_MIN = 64
+
+#: Listener kinds that return capacity to the pool (the reservation was
+#: removed).  ``reserve`` debits it; ``renew``/``preempt_clamp`` only
+#: move the lease deadline.
+CAPACITY_RETURNING_KINDS = frozenset(
+    {"release", "expire", "evict", "preempt"}
+)
 
 
 class LedgerError(Exception):
@@ -124,19 +151,28 @@ class ReservationLedger:
         #: lazily deleted: release/renew leave them in place, and
         #: :meth:`expire` drops any popped entry whose deadline no longer
         #: matches the live reservation.  Expiry is O(log n) per event
-        #: instead of a linear scan over all reservations.
+        #: instead of a linear scan over all reservations.  Once stale
+        #: entries pile past :data:`_HEAP_COMPACT_MIN` *and* outnumber
+        #: live leases, the heap is rebuilt from the reservations — a
+        #: renew-heavy workload stays O(active), not O(history).
         self._deadlines: list[tuple[float, str]] = []
-        #: Capacity-change observers, called as ``fn(kind, reservation)``
-        #: with kind ``"reserve"`` or ``"release"`` after the claim
-        #: tallies mutate.  The service's residual overlay subscribes so
-        #: debits are applied in place, O(Δ) in the reservation's size.
+        self._stale_deadlines = 0
+        #: Mutation observers, called as ``fn(kind, reservation)`` after
+        #: the claim tallies (or lease deadlines) mutate.  The service's
+        #: residual overlay subscribes so debits are applied in place,
+        #: O(Δ) in the reservation's size; the WAL subscribes so every
+        #: mutation is durable.
         self._listeners: list[Callable[[str, Reservation], None]] = []
+        #: Set by :meth:`recover` — the replay's RecoveryReport.
+        self.recovery = None
 
     def subscribe(self, fn: Callable[[str, Reservation], None]) -> None:
-        """Observe claim changes: ``fn(kind, reservation)`` after every
-        successful :meth:`reserve` (kind ``"reserve"``) and every
-        :meth:`release` — including expiries and crash evictions, which
-        release internally (kind ``"release"``)."""
+        """Observe mutations: ``fn(kind, reservation)`` after every
+        successful :meth:`reserve` (kind ``"reserve"``), every deadline
+        move (``"renew"`` / ``"preempt_clamp"``), and every removal —
+        ``"release"``, ``"expire"`` (lease lapsed), ``"evict"`` (node
+        crash), or ``"preempt"`` (priority reclamation).  The removal
+        kinds all return capacity (:data:`CAPACITY_RETURNING_KINDS`)."""
         self._listeners.append(fn)
 
     def _notify(self, kind: str, reservation: Reservation) -> None:
@@ -232,8 +268,17 @@ class ReservationLedger:
         self._notify("reserve", reservation)
         return reservation
 
-    def release(self, app_id: str) -> Reservation:
-        """Return ``app_id``'s capacity to the pool."""
+    def release(self, app_id: str, *, kind: str = "release") -> Reservation:
+        """Return ``app_id``'s capacity to the pool.
+
+        ``kind`` labels the removal for listeners (and hence the WAL):
+        ``"release"`` (explicit), ``"expire"`` (lease lapsed),
+        ``"evict"`` (reserved node crashed), or ``"preempt"`` (reclaimed
+        for a higher-priority request).  The capacity arithmetic is
+        identical for all four.
+        """
+        if kind not in CAPACITY_RETURNING_KINDS:
+            raise ValueError(f"unknown release kind {kind!r}")
         try:
             reservation = self.reservations.pop(app_id)
         except KeyError:
@@ -256,8 +301,13 @@ class ReservationLedger:
         # The deadline heap entry stays behind (lazy deletion): expire()
         # discards it because the app_id no longer resolves to a live
         # reservation with that deadline.
-        self._notify("release", reservation)
+        self._note_stale_deadline()
+        self._notify(kind, reservation)
         return reservation
+
+    def preempt(self, app_id: str) -> Reservation:
+        """Reclaim ``app_id``'s capacity for a higher-priority request."""
+        return self.release(app_id, kind="preempt")
 
     def renew(self, app_id: str, now: float, lease_s: float) -> Reservation:
         """Extend ``app_id``'s lease to ``now + lease_s``."""
@@ -272,7 +322,31 @@ class ReservationLedger:
         # The old heap entry is lazily deleted: when popped it no longer
         # matches the live reservation's deadline and is discarded.
         heapq.heappush(self._deadlines, (renewed.expires_at, app_id))
+        self._note_stale_deadline()
+        self._notify("renew", renewed)
         return renewed
+
+    def clamp_expiry(self, app_id: str, deadline: float) -> Reservation:
+        """Shorten ``app_id``'s lease to end no later than ``deadline``.
+
+        The grace-period half of preemption: the victim keeps its
+        capacity for a bounded wind-down, after which the normal expiry
+        path reclaims it.  A deadline at or past the current expiry is a
+        no-op (the lease already ends sooner).  Notifies listeners with
+        kind ``"preempt_clamp"`` so the WAL records the moved deadline.
+        """
+        try:
+            reservation = self.reservations[app_id]
+        except KeyError:
+            raise KeyError(f"no reservation for {app_id!r}") from None
+        if deadline >= reservation.expires_at:
+            return reservation
+        clamped = dataclasses.replace(reservation, expires_at=deadline)
+        self.reservations[app_id] = clamped
+        heapq.heappush(self._deadlines, (clamped.expires_at, app_id))
+        self._note_stale_deadline()
+        self._notify("preempt_clamp", clamped)
+        return clamped
 
     def expire(self, now: float) -> list[str]:
         """Release every lease past its expiry; returns the reclaimed apps.
@@ -287,10 +361,100 @@ class ReservationLedger:
             deadline, app_id = heapq.heappop(self._deadlines)
             r = self.reservations.get(app_id)
             if r is None or r.expires_at != deadline:
+                self._stale_deadlines = max(0, self._stale_deadlines - 1)
                 continue  # lazily-deleted entry (released/renewed)
-            self.release(app_id)
+            self.release(app_id, kind="expire")
+            # The release just counted a stranded heap entry, but this
+            # one was popped live — undo the overcount.
+            self._stale_deadlines = max(0, self._stale_deadlines - 1)
             lapsed.append(app_id)
         return sorted(lapsed)
+
+    def _note_stale_deadline(self) -> None:
+        """Count one lazily-deleted heap entry; compact past the threshold.
+
+        Every release and renew strands exactly one heap entry.  Lazy
+        deletion alone lets a renew-heavy workload grow the heap without
+        bound, so once stale entries exceed both the fixed threshold and
+        the live lease count the heap is rebuilt from the reservations —
+        amortized O(1) per mutation, heap size O(active).
+        """
+        self._stale_deadlines += 1
+        if (
+            self._stale_deadlines >= _HEAP_COMPACT_MIN
+            and self._stale_deadlines > len(self.reservations)
+        ):
+            self._rebuild_deadlines()
+
+    def _rebuild_deadlines(self) -> None:
+        """Rebuild the deadline heap from the live reservations alone."""
+        self._deadlines = [
+            (r.expires_at, app_id)
+            for app_id, r in self.reservations.items()
+        ]
+        heapq.heapify(self._deadlines)
+        self._stale_deadlines = 0
+
+    # -- durability (see repro.service.wal) ------------------------------------
+    @classmethod
+    def recover(cls, state_dir: str, *, cpu_cap: float = 1.0):
+        """Rebuild a ledger from a state directory's snapshot + WAL.
+
+        Replay repeats the original process's claim arithmetic in the
+        original order, so the recovered tallies — and any residual
+        graph built from them — are **bit-identical** to the pre-crash
+        state.  The recovered ledger carries a
+        :class:`~repro.service.wal.RecoveryReport` on ``.recovery``.
+        Raises :class:`~repro.service.wal.WalCorruptError` on damage a
+        torn-tail truncation cannot repair, and ``AssertionError`` if
+        the replayed state violates the ledger invariants (e.g. a
+        tighter ``cpu_cap`` than the state was admitted under).
+        """
+        from .wal import recover_ledger
+
+        return recover_ledger(state_dir, cpu_cap=cpu_cap)
+
+    def _restore_grant(
+        self, reservation: Reservation, edge_caps: Sequence[float]
+    ) -> None:
+        """Replay one grant record: apply claims without re-validation.
+
+        Mirrors :meth:`reserve`'s mutation block exactly (same float
+        additions in the same order) so replayed tallies stay
+        bit-identical to the originals.  Validation is skipped — the
+        original ``reserve`` already enforced the caps, and
+        :meth:`check_invariants` re-checks the final replayed state.
+        """
+        if reservation.app_id in self.reservations:
+            raise ValueError(
+                f"duplicate grant for {reservation.app_id!r} in replay"
+            )
+        if len(edge_caps) != len(reservation.edges):
+            raise ValueError(
+                f"grant for {reservation.app_id!r} carries "
+                f"{len(edge_caps)} caps for {len(reservation.edges)} edges"
+            )
+        for name in reservation.nodes:
+            self._node_claims[name] = (
+                self._node_claims.get(name, 0.0) + reservation.cpu_fraction
+            )
+        for edge, cap in zip(reservation.edges, edge_caps):
+            self._edge_claims[edge] = (
+                self._edge_claims.get(edge, 0.0) + reservation.bw_bps
+            )
+            self._edge_caps[edge] = cap
+        self.reservations[reservation.app_id] = reservation
+        heapq.heappush(
+            self._deadlines, (reservation.expires_at, reservation.app_id)
+        )
+
+    def _restore_deadline(self, app_id: str, expires_at: float) -> None:
+        """Replay one renew/clamp record: move the lease deadline."""
+        reservation = self.reservations[app_id]  # KeyError -> corrupt WAL
+        moved = dataclasses.replace(reservation, expires_at=expires_at)
+        self.reservations[app_id] = moved
+        heapq.heappush(self._deadlines, (expires_at, app_id))
+        self._note_stale_deadline()
 
     def apps_on_node(self, name: str) -> list[str]:
         """Applications whose reservation includes node ``name``."""

@@ -112,6 +112,9 @@ class ServiceMetrics:
     expired: int = 0
     #: Leases reclaimed because a fault event crashed a reserved node.
     evicted: int = 0
+    #: Leases preempted (immediately or clamped to a grace deadline) to
+    #: admit an otherwise-infeasible gold request.
+    preempted: int = 0
     #: Queued requests admitted later, when capacity freed up.
     admitted_from_queue: int = 0
     #: Queued requests displaced by higher-priority arrivals.
@@ -126,6 +129,10 @@ class ServiceMetrics:
     #: Subset of :attr:`select_memo_hits` answered by the *negative*
     #: cache (a memoized infeasibility, not a memoized placement).
     select_memo_negative_hits: int = 0
+    #: Preempted-lease counts keyed by the victim's priority class
+    #: (feeds ``repro_service_preemptions_total{class=...}``; not part
+    #: of the flat snapshot schema).
+    preempted_by_class: dict = field(default_factory=dict)
     #: Per-stage latency timers (see :data:`STAGES`), populated lazily.
     stages: dict = field(default_factory=dict)
     #: Live gauges merged in by :meth:`snapshot`.
@@ -155,6 +162,7 @@ class ServiceMetrics:
             "renewed": "Lease renewals.",
             "expired": "Leases reclaimed after missed renewals.",
             "evicted": "Leases reclaimed because a reserved node crashed.",
+            "preempted": "Leases preempted for gold admissions.",
             "admitted_from_queue": "Queued requests admitted later.",
             "queue_displaced": "Queued requests displaced by priority.",
             "drain_skipped": "Queue drains skipped by the epoch gate.",
@@ -215,6 +223,7 @@ class ServiceMetrics:
             "renewed": self.renewed,
             "expired": self.expired,
             "evicted": self.evicted,
+            "preempted": self.preempted,
             "admitted_from_queue": self.admitted_from_queue,
             "queue_displaced": self.queue_displaced,
             "drain_skipped": self.drain_skipped,

@@ -47,12 +47,21 @@ from ..core.types import ExtrasKey, NoFeasibleSelection, Selection
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER
 from ..topology.graph import TopologyGraph
+from ..topology.residual import residual_graph
 from ..topology.routing import RoutingTable
 from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
 from .cache import SnapshotCache
-from .ledger import LedgerError, Reservation, ReservationLedger, route_edges
+from .ledger import (
+    CAPACITY_RETURNING_KINDS,
+    LedgerError,
+    Reservation,
+    ReservationLedger,
+    _slack,
+    route_edges,
+)
 from .metrics import ServiceMetrics
 from .residual_view import ResidualView
+from .wal import LedgerWal
 
 __all__ = ["Grant", "SelectionService"]
 
@@ -171,6 +180,30 @@ class SelectionService:
         service builds its own by default (callback instruments bind to
         one live instance); pass a shared registry — e.g.
         ``repro.obs.REGISTRY`` — to scrape several services at once.
+    state_dir:
+        Durability directory.  When set, the ledger is **recovered**
+        from the directory's snapshot + write-ahead log at construction
+        (``service.recovery`` reports what was restored) and every
+        subsequent ledger mutation is logged through an attached
+        :class:`~repro.service.LedgerWal` — a crashed service restarts
+        without losing leases.  Call :meth:`close` (or
+        :meth:`flush_state`) for a final compacted snapshot.
+    wal_fsync:
+        Force every WAL append to stable storage (power-loss
+        durability; default off — flush-to-OS survives process crashes).
+    wal_snapshot_every:
+        WAL records between compacted snapshots.
+    preempt:
+        Enable priority preemption: a **gold** request that is
+        infeasible on residual capacity may reclaim the cheapest set of
+        bronze (then silver) leases whose release makes it feasible.
+        Victims are never gold, and nothing is evicted unless the
+        reclamation actually yields feasibility.
+    preempt_grace_s:
+        Victim wind-down.  ``0`` (default) releases victims immediately
+        and admits the gold request in the same call; ``> 0`` clamps
+        each victim's lease to ``now + grace`` and queues the gold
+        request, which admission drains once the grace elapses.
     """
 
     def __init__(
@@ -187,9 +220,18 @@ class SelectionService:
         incremental: bool = True,
         tracer=None,
         registry: Optional[MetricsRegistry] = None,
+        state_dir: Optional[str] = None,
+        wal_fsync: bool = False,
+        wal_snapshot_every: int = 256,
+        preempt: bool = False,
+        preempt_grace_s: float = 0.0,
     ) -> None:
         if lease_s <= 0:
             raise ValueError(f"lease_s must be positive: {lease_s}")
+        if preempt_grace_s < 0:
+            raise ValueError(
+                f"preempt_grace_s cannot be negative: {preempt_grace_s}"
+            )
         self._manual_clock: Optional[_ManualClock] = None
         if isinstance(provider, TopologyGraph):
             provider = _StaticProvider(provider)
@@ -205,7 +247,16 @@ class SelectionService:
         self.routing = routing
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.ledger = ReservationLedger(cpu_cap=cpu_cap)
+        self.preempt = bool(preempt)
+        self.preempt_grace_s = float(preempt_grace_s)
+        #: RecoveryReport when the ledger was restored from a state dir.
+        self.recovery = None
+        self.wal: Optional[LedgerWal] = None
+        if state_dir is not None:
+            self.ledger = ReservationLedger.recover(state_dir, cpu_cap=cpu_cap)
+            self.recovery = self.ledger.recovery
+        else:
+            self.ledger = ReservationLedger(cpu_cap=cpu_cap)
         self.cache = SnapshotCache(
             provider, ttl=snapshot_ttl, clock=clock, tracer=self.tracer
         )
@@ -246,6 +297,43 @@ class SelectionService:
             "schedule_builds": 0, "edges_rescored": 0,
             "route_hits": 0, "route_misses": 0,
         }
+        #: Victims in their preemption grace period: app_id -> the gold
+        #: app that preempted them.  Their shortened leases flow through
+        #: the normal expiry path; :meth:`tick` labels the outcome
+        #: PREEMPTED instead of EXPIRED.
+        self._preempt_pending: dict[str, str] = {}
+        if state_dir is not None:
+            # Durability first: the WAL sees every mutation before any
+            # derived state (overlay, metrics) reacts to it.
+            self.wal = LedgerWal(
+                state_dir,
+                snapshot_every=wal_snapshot_every,
+                fsync=wal_fsync,
+            )
+            self.wal.attach(self.ledger)
+            for app_id, r in self.ledger.reservations.items():
+                self.outcomes[app_id] = Grant(
+                    app_id=app_id,
+                    status=Decision.ADMITTED,
+                    reservation=r,
+                    reason="recovered from WAL",
+                )
+            if self._manual_clock is not None and self.ledger.reservations:
+                # Never restart behind the recovered grants: replayed
+                # leases were granted at simulated times the fresh
+                # manual clock (t=0) has not reached yet.
+                self._manual_clock.now = max(
+                    r.granted_at
+                    for r in self.ledger.reservations.values()
+                )
+            logger.info(
+                "recovered %d leases from WAL (%d records, snapshot seq "
+                "%d%s)",
+                self.recovery.leases, self.recovery.records,
+                self.recovery.snapshot_seq,
+                ", torn tail dropped" if self.recovery.truncated_tail
+                else "",
+            )
         self.ledger.subscribe(self._on_ledger_event)
         self.metrics.bind(self.registry)
         self._bind_registry()
@@ -364,6 +452,15 @@ class SelectionService:
         reg.gauge("repro_service_known_down_nodes",
                   "Nodes the injector reported crashed and not recovered.",
                   fn=lambda: float(len(self._known_down)))
+        for cls in (Priority.BRONZE, Priority.SILVER):
+            reg.counter(
+                "repro_service_preemptions_total",
+                "Leases preempted for gold admissions, by victim class.",
+                labels={"class": cls},
+                fn=(lambda c=cls: float(
+                    self.metrics.preempted_by_class.get(c, 0)
+                )),
+            )
 
     # -- time -----------------------------------------------------------------
     @property
@@ -446,6 +543,12 @@ class SelectionService:
             explain=explain,
         )
         grant = self._try_admit(req)
+        if (
+            grant is None
+            and self.preempt
+            and req.priority == Priority.GOLD
+        ):
+            grant = self._preempt_for(req)
         if grant is not None:
             self.metrics.admitted += 1
             self.outcomes[app_id] = grant
@@ -536,7 +639,7 @@ class SelectionService:
         """Ledger subscription: debit/credit the overlay in place, O(Δ)."""
         if self._view is not None:
             self._view.apply_delta(reservation)
-        if kind == "release":
+        if kind in CAPACITY_RETURNING_KINDS:
             self._residual_epoch += 1
 
     def _residual(self, base: TopologyGraph) -> TopologyGraph:
@@ -733,6 +836,167 @@ class SelectionService:
             explain=explain_record,
         )
 
+    # -- priority preemption ------------------------------------------------------
+    def _preempt_cost(self, r: Reservation) -> float:
+        """Cheapness order for victims: how much capacity eviction frees.
+
+        A coarse scalar — CPU claim summed over the reservation's nodes
+        plus its bandwidth claim summed over its routed channels (scaled
+        to commodity-link units so neither term swamps the other).  Used
+        only to rank victims within a priority class; correctness comes
+        from the trial-feasibility check, not from this estimate.
+        """
+        return (
+            r.cpu_fraction * len(r.nodes)
+            + r.bw_bps * len(r.edges) / 1e8
+        )
+
+    def _feasible_on(self, req: SelectionRequest, trial: TopologyGraph) -> bool:
+        """Would ``req`` be admissible on the ``trial`` residual graph?
+
+        Runs the same select + claim-verify pipeline as admission, but
+        read-only: nothing is debited, memoized, or recorded.
+        """
+        spec = self._effective_spec(req)
+        try:
+            selection = self.selector.select(spec, trial)
+        except NoFeasibleSelection:
+            return False
+        for name in selection.nodes:
+            if trial.node(name).cpu + _EPS < req.cpu_fraction:
+                return False
+        if req.bw_bps > 0:
+            edges = route_edges(trial, selection.nodes, self.routing)
+            for key, dst in edges:
+                link = trial.link(*tuple(key))
+                if link.available_towards(dst) + _EPS < req.bw_bps:
+                    return False
+        return True
+
+    def _plan_preemption(
+        self, req: SelectionRequest, base: TopologyGraph
+    ) -> Optional[list[Reservation]]:
+        """The cheapest victim set whose reclamation admits ``req``.
+
+        Candidates are every non-gold lease not already winding down,
+        ordered bronze before silver and cheapest first within a class.
+        Victims are accumulated greedily: after each addition the request
+        is re-checked on a *trial* residual graph with the victims'
+        claims subtracted — using the exact float arithmetic
+        :meth:`ReservationLedger.release` will use, so trial feasibility
+        equals post-eviction feasibility.  Returns ``None`` when even
+        evicting every candidate leaves the request infeasible (nothing
+        is evicted uselessly).
+        """
+        candidates = [
+            r for r in self.ledger.reservations.values()
+            if r.priority != Priority.GOLD
+            and r.app_id not in self._preempt_pending
+        ]
+        if not candidates:
+            return None
+        candidates.sort(
+            key=lambda r: (
+                -Priority.RANK[r.priority],
+                self._preempt_cost(r),
+                r.app_id,
+            )
+        )
+        trial_nodes = dict(self.ledger._node_claims)
+        trial_edges = dict(self.ledger._edge_claims)
+        victims: list[Reservation] = []
+        for r in candidates:
+            victims.append(r)
+            # Mirror release()'s subtraction exactly: same "remaining
+            # below slack collapses to deletion" rule, same order.
+            for name in r.nodes:
+                claimed = trial_nodes[name]
+                remaining = claimed - r.cpu_fraction
+                if remaining <= _slack(claimed):
+                    del trial_nodes[name]
+                else:
+                    trial_nodes[name] = remaining
+            for edge in r.edges:
+                claimed = trial_edges[edge]
+                remaining = claimed - r.bw_bps
+                if remaining <= _slack(claimed):
+                    del trial_edges[edge]
+                else:
+                    trial_edges[edge] = remaining
+            trial = residual_graph(base, trial_nodes, trial_edges)
+            for name in self._known_down:
+                if trial.has_node(name):
+                    trial.node(name).attrs["down"] = True
+            if self._feasible_on(req, trial):
+                return victims
+        return None
+
+    def _preempt_for(self, req: SelectionRequest) -> Optional[Grant]:
+        """Admit an infeasible gold request by reclaiming lesser leases.
+
+        Plans first, commits only on a feasible plan: no lease is touched
+        unless the planned evictions provably admit ``req``.  With zero
+        grace the victims are preempted immediately and the gold request
+        is admitted in this same call; with a positive grace each
+        victim's lease is clamped to ``now + grace`` and ``None`` is
+        returned — the gold request queues and drains once the grace
+        elapses.
+        """
+        base = self.cache.topology()
+        victims = self._plan_preemption(req, base)
+        if victims is None:
+            req.last_reason = (
+                "infeasible even after preempting all lower-priority leases"
+            )
+            return None
+        grace = self.preempt_grace_s
+        with self.tracer.span(
+            "service.preempt",
+            app=req.app_id,
+            victims=",".join(v.app_id for v in victims),
+            n_victims=len(victims),
+            grace_s=grace,
+        ):
+            for v in victims:
+                self.metrics.preempted += 1
+                self.metrics.preempted_by_class[v.priority] = (
+                    self.metrics.preempted_by_class.get(v.priority, 0) + 1
+                )
+                logger.warning(
+                    "lease preempted: app=%r class=%s by=%r grace_s=%g",
+                    v.app_id, v.priority, req.app_id, grace,
+                )
+                if grace <= 0:
+                    self.ledger.preempt(v.app_id)
+                    self.outcomes[v.app_id] = Grant(
+                        app_id=v.app_id,
+                        status=Decision.PREEMPTED,
+                        reason=(
+                            f"preempted for gold request {req.app_id!r}"
+                        ),
+                    )
+                else:
+                    self.ledger.clamp_expiry(v.app_id, self.now + grace)
+                    self._preempt_pending[v.app_id] = req.app_id
+                    self.outcomes[v.app_id] = Grant(
+                        app_id=v.app_id,
+                        status=Decision.ADMITTED,
+                        reservation=self.ledger.reservations[v.app_id],
+                        reason=(
+                            f"winding down: preempted for gold request "
+                            f"{req.app_id!r}, grace {grace:g}s"
+                        ),
+                    )
+            if grace > 0:
+                return None  # the gold request queues until grace elapses
+            grant = self._try_admit(req)
+        if grant is None:  # pragma: no cover - planning guarantees success
+            logger.error(
+                "preemption plan for %r freed capacity but admission "
+                "still failed", req.app_id,
+            )
+        return grant
+
     # -- lease lifecycle ---------------------------------------------------------
     def release(self, app_id: str) -> Grant:
         """Give back ``app_id``'s capacity (or withdraw its queued request)."""
@@ -742,13 +1006,23 @@ class SelectionService:
         else:
             self.ledger.release(app_id)  # raises KeyError when unknown
             grant = Grant(app_id=app_id, status=Decision.RELEASED)
+        self._preempt_pending.pop(app_id, None)
         self.metrics.released += 1
         self.outcomes[app_id] = grant
         self._drain_queue()
         return grant
 
     def renew(self, app_id: str) -> Reservation:
-        """Extend ``app_id``'s lease by the service's lease duration."""
+        """Extend ``app_id``'s lease by the service's lease duration.
+
+        A lease winding down under preemption cannot renew its way out of
+        the grace deadline — renewal raises :class:`LedgerError`.
+        """
+        if app_id in self._preempt_pending:
+            raise LedgerError(
+                f"lease for {app_id!r} is being preempted for "
+                f"{self._preempt_pending[app_id]!r}; renewal refused"
+            )
         reservation = self.ledger.renew(app_id, self.now, self.lease_s)
         self.metrics.renewed += 1
         return reservation
@@ -762,6 +1036,20 @@ class SelectionService:
         """
         expired = self.ledger.expire(self.now)
         for app_id in expired:
+            preemptor = self._preempt_pending.pop(app_id, None)
+            if preemptor is not None:
+                # The grace period elapsed: this lease lapsed because it
+                # was clamped by preemption, not because the holder
+                # stopped renewing — label the outcome accordingly.
+                self.outcomes[app_id] = Grant(
+                    app_id=app_id,
+                    status=Decision.PREEMPTED,
+                    reason=(
+                        f"preemption grace elapsed "
+                        f"(preempted for {preemptor!r})"
+                    ),
+                )
+                continue
             self.metrics.expired += 1
             self.outcomes[app_id] = Grant(
                 app_id=app_id,
@@ -820,7 +1108,8 @@ class SelectionService:
                 self._known_down.add(target)
                 self._down_epoch += 1
             for app_id in self.ledger.apps_on_node(target):
-                self.ledger.release(app_id)
+                self.ledger.release(app_id, kind="evict")
+                self._preempt_pending.pop(app_id, None)
                 self.metrics.evicted += 1
                 # The known-down set has outrun the monitor: make the
                 # divergence observable without reading code — one
@@ -871,6 +1160,18 @@ class SelectionService:
         return self.metrics.snapshot(
             cache=self.cache, ledger=self.ledger, queue=self.queue
         )
+
+    # -- durability -----------------------------------------------------------------
+    def flush_state(self) -> None:
+        """Write a compacted snapshot now (no-op without a state dir)."""
+        if self.wal is not None:
+            self.wal.snapshot()
+
+    def close(self) -> None:
+        """Flush a final snapshot and detach the WAL (idempotent)."""
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

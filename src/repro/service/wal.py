@@ -1,0 +1,446 @@
+"""Durability for the reservation ledger: write-ahead log + snapshots.
+
+The ledger is the service's account book, but until now it lived only in
+memory: a ``repro-serve`` crash silently dropped every admitted lease,
+and restarts began from an empty network even while tenants kept
+running.  This module makes the control plane restartable:
+
+- :class:`LedgerWal` subscribes to the ledger's listener path
+  (:meth:`ReservationLedger.subscribe`) and appends one JSONL record per
+  mutation — ``grant``, ``renew``, ``release``, ``expire``, ``evict``,
+  ``preempt``, and ``preempt_clamp`` (the grace-period deadline clamp).
+  Records are flushed to the OS per append; ``fsync=True`` additionally
+  forces them to stable storage (power-loss durability at a latency
+  cost).
+- Every ``snapshot_every`` records the WAL **compacts**: the full ledger
+  state is written atomically to ``snapshot.json`` (temp file +
+  ``os.replace``) and the log is truncated.  Monotonic sequence numbers
+  make the pair crash-safe — a crash between snapshot and truncation
+  just leaves records the replay skips (``seq <= snapshot["seq"]``).
+- :meth:`ReservationLedger.recover` (implemented here as
+  :func:`recover_ledger`) loads the snapshot, replays the surviving log,
+  and reconstructs leases, deadlines, and the exact claim tallies.
+  Replay repeats the *same float operations in the same order* as the
+  original process, so the recovered ledger's ``residual_graph()`` is
+  **bit-identical** to the pre-crash one — enforced by
+  ``check_invariants(view=...)`` after the service rebuilds its overlay.
+
+Tail handling mirrors classic WAL semantics: a torn final record (the
+process died mid-append) is tolerated — it is dropped, reported via
+:attr:`RecoveryReport.truncated_tail`, and physically truncated before
+new records are appended.  Corruption anywhere *before* the tail is not
+recoverable by dropping a suffix and raises :class:`WalCorruptError`.
+
+All floats round-trip exactly: ``json`` serializes Python floats with
+``repr`` (shortest round-trip form), so ``float(json(x)) == x`` bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..topology.residual import DirectedEdge
+from .ledger import Reservation
+
+__all__ = [
+    "LedgerWal",
+    "RecoveryReport",
+    "WalCorruptError",
+    "WalError",
+    "recover_ledger",
+]
+
+#: WAL file names inside a state directory.
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+#: Record kinds that *remove* a reservation (replayed as a release).
+_RELEASE_KINDS = frozenset({"release", "expire", "evict", "preempt"})
+#: Record kinds that only move a lease deadline.
+_DEADLINE_KINDS = frozenset({"renew", "preempt_clamp"})
+
+
+class WalError(Exception):
+    """A write-ahead-log failure (I/O or state-directory layout)."""
+
+
+class WalCorruptError(WalError):
+    """The WAL or snapshot cannot be replayed.
+
+    Raised for damage that dropping a torn tail record cannot repair: a
+    malformed record *before* the last line, an unknown record kind, a
+    record referencing a lease the replayed state does not hold, or an
+    unreadable snapshot.
+    """
+
+
+def encode_edge(edge: DirectedEdge) -> list:
+    """JSON-safe form of a directed channel: ``[[u, v], dst]`` (sorted)."""
+    key, dst = edge
+    return [sorted(key), dst]
+
+
+def decode_edge(raw) -> DirectedEdge:
+    """Inverse of :func:`encode_edge`."""
+    ends, dst = raw
+    return (frozenset(ends), dst)
+
+
+def _encode_reservation(r: Reservation, caps: list[float]) -> dict:
+    """The grant/snapshot payload for one reservation.
+
+    ``caps`` are the claimed channels' peak capacities (aligned with
+    ``r.edges``) — recorded so recovery never needs the topology graph.
+    """
+    return {
+        "app": r.app_id,
+        "nodes": list(r.nodes),
+        "cpu": r.cpu_fraction,
+        "bw": r.bw_bps,
+        "edges": [encode_edge(e) for e in r.edges],
+        "caps": caps,
+        "priority": r.priority,
+        "granted_at": r.granted_at,
+        "expires_at": r.expires_at,
+    }
+
+
+def _decode_reservation(payload: dict) -> tuple[Reservation, list[float]]:
+    reservation = Reservation(
+        app_id=payload["app"],
+        nodes=tuple(payload["nodes"]),
+        cpu_fraction=float(payload["cpu"]),
+        bw_bps=float(payload["bw"]),
+        edges=tuple(decode_edge(e) for e in payload["edges"]),
+        priority=payload["priority"],
+        granted_at=float(payload["granted_at"]),
+        expires_at=float(payload["expires_at"]),
+    )
+    return reservation, [float(c) for c in payload["caps"]]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What a :func:`recover_ledger` replay found and restored."""
+
+    #: Live leases after replay.
+    leases: int
+    #: WAL records replayed (snapshot-covered records are skipped).
+    records: int
+    #: Sequence number the snapshot covers through (0: no snapshot).
+    snapshot_seq: int
+    #: Highest sequence number seen across snapshot and log.
+    last_seq: int
+    #: A torn final record was dropped (crash mid-append).
+    truncated_tail: bool
+
+
+def _read_wal(path: str) -> tuple[list[dict], bool, int]:
+    """Parse a WAL file; returns ``(records, truncated_tail, valid_bytes)``.
+
+    The final line may be torn (no newline, or unparseable) — it is
+    dropped and ``valid_bytes`` marks where the intact prefix ends so the
+    writer can truncate before appending.  A malformed line anywhere else
+    raises :class:`WalCorruptError`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except FileNotFoundError:
+        return [], False, 0
+
+    def _parse(line: bytes) -> dict:
+        record = json.loads(line.decode("utf-8"))
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ValueError("not a WAL record")
+        return record
+
+    records: list[dict] = []
+    offset = 0
+    lines = blob.split(b"\n")
+    complete, remainder = lines[:-1], lines[-1]
+    for i, line in enumerate(complete):
+        try:
+            records.append(_parse(line))
+        except (ValueError, UnicodeDecodeError) as exc:
+            rest = b"\n".join(complete[i + 1:] + [remainder])
+            if not rest.strip():
+                return records, True, offset
+            raise WalCorruptError(
+                f"{path}: malformed record at byte {offset} "
+                f"(not the final line — cannot truncate it away): {exc}"
+            ) from None
+        offset += len(line) + 1
+    if remainder:
+        # A final line missing its newline is intact iff it parses —
+        # the JSON object closed, only the terminator was lost.
+        try:
+            records.append(_parse(remainder))
+        except (ValueError, UnicodeDecodeError):
+            return records, True, offset
+        offset += len(remainder)
+    return records, False, offset
+
+
+def _read_snapshot(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            snap = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (ValueError, OSError) as exc:
+        # Snapshots are written atomically (temp + rename), so a torn
+        # snapshot never exists on disk; unparseable means corruption.
+        raise WalCorruptError(f"{path}: unreadable snapshot: {exc}") from None
+    if not isinstance(snap, dict) or "seq" not in snap:
+        raise WalCorruptError(f"{path}: snapshot missing 'seq'")
+    return snap
+
+
+class LedgerWal:
+    """Append-only durability for one :class:`ReservationLedger`.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory holding ``wal.jsonl`` and ``snapshot.json`` (created
+        if missing).  One ledger per directory.
+    snapshot_every:
+        Compact after this many appended records: write a full snapshot
+        and truncate the log.  Bounds both replay time and log size.
+    fsync:
+        Force every append (and snapshot) to stable storage.  Off by
+        default: the flush-to-OS path survives process crashes, which is
+        the failure mode the service actually models; power-loss
+        durability costs an fsync per mutation.
+
+    Call :meth:`attach` to subscribe to a ledger; every subsequent
+    mutation is logged before the service's own listeners see it.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        snapshot_every: int = 256,
+        fsync: bool = False,
+    ) -> None:
+        if snapshot_every <= 0:
+            raise ValueError(
+                f"snapshot_every must be positive: {snapshot_every}"
+            )
+        self.state_dir = state_dir
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        os.makedirs(state_dir, exist_ok=True)
+        self.wal_path = os.path.join(state_dir, WAL_NAME)
+        self.snapshot_path = os.path.join(state_dir, SNAPSHOT_NAME)
+        snap = _read_snapshot(self.snapshot_path)
+        records, truncated, valid_bytes = _read_wal(self.wal_path)
+        if truncated:
+            # Physically drop the torn tail before appending after it.
+            with open(self.wal_path, "rb+") as fh:
+                fh.truncate(valid_bytes)
+        self._seq = max(
+            [snap["seq"] if snap else 0]
+            + [int(r.get("seq", 0)) for r in records]
+        )
+        self._since_snapshot = len(records)
+        self._fh = open(self.wal_path, "a", encoding="utf-8")
+        self._ledger = None
+        #: Appended records over this WAL's lifetime (metrics).
+        self.appended = 0
+        #: Snapshots written over this WAL's lifetime (metrics).
+        self.snapshots = 0
+
+    # -- the ledger side ------------------------------------------------------
+    def attach(self, ledger) -> None:
+        """Subscribe to ``ledger``; all further mutations are logged."""
+        self._ledger = ledger
+        ledger.subscribe(self.on_event)
+
+    def on_event(self, kind: str, reservation: Reservation) -> None:
+        """Ledger listener: map a mutation to its WAL record."""
+        if kind == "reserve":
+            caps = [
+                self._ledger._edge_caps[e] for e in reservation.edges
+            ] if self._ledger is not None else []
+            record = {"kind": "grant"}
+            record.update(_encode_reservation(reservation, caps))
+        elif kind in _DEADLINE_KINDS:
+            record = {
+                "kind": kind,
+                "app": reservation.app_id,
+                "expires_at": reservation.expires_at,
+            }
+        elif kind in _RELEASE_KINDS:
+            record = {"kind": kind, "app": reservation.app_id}
+        else:  # pragma: no cover - future-proofing
+            record = {"kind": kind, "app": reservation.app_id}
+        self.append(record)
+
+    def append(self, record: dict) -> int:
+        """Write one record (assigns ``seq``); returns the sequence number.
+
+        Compacts into a snapshot once ``snapshot_every`` records have
+        accumulated since the last one.
+        """
+        if self._fh is None:
+            raise WalError("WAL is closed")
+        self._seq += 1
+        record = {"seq": self._seq, **record}
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.appended += 1
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.snapshot_every:
+            self.snapshot()
+        return self._seq
+
+    # -- snapshot / compaction ------------------------------------------------
+    def snapshot(self) -> None:
+        """Write the attached ledger's full state; truncate the log.
+
+        Atomic: the snapshot lands via temp-file + ``os.replace`` before
+        the log is truncated, and sequence numbers keep a crash between
+        the two steps harmless (replay skips covered records).
+        """
+        ledger = self._ledger
+        if ledger is None:
+            raise WalError("no ledger attached; cannot snapshot")
+        snap = {
+            "version": 1,
+            "seq": self._seq,
+            "cpu_cap": ledger.cpu_cap,
+            "reservations": [
+                _encode_reservation(
+                    r, [ledger._edge_caps[e] for e in r.edges]
+                )
+                for _, r in sorted(ledger.reservations.items())
+            ],
+            "node_claims": dict(ledger.node_claims()),
+            "edge_claims": [
+                [encode_edge(e), v]
+                for e, v in sorted(
+                    ledger.edge_claims().items(),
+                    key=lambda item: encode_edge(item[0]),
+                )
+            ],
+            "edge_caps": [
+                [encode_edge(e), v]
+                for e, v in sorted(
+                    ledger._edge_caps.items(),
+                    key=lambda item: encode_edge(item[0]),
+                )
+            ],
+        }
+        tmp = self.snapshot_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.snapshot_path)
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = open(self.wal_path, "w", encoding="utf-8")
+        self._since_snapshot = 0
+        self.snapshots += 1
+
+    def close(self) -> None:
+        """Final compaction (when a ledger is attached) and file close."""
+        if self._ledger is not None and self._fh is not None:
+            self.snapshot()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<LedgerWal {self.state_dir!r} seq={self._seq} "
+            f"appended={self.appended} snapshots={self.snapshots}>"
+        )
+
+
+def recover_ledger(state_dir: str, *, cpu_cap: float = 1.0):
+    """Rebuild a ledger from ``state_dir``'s snapshot + WAL.
+
+    The implementation behind :meth:`ReservationLedger.recover`.  Returns
+    the recovered ledger with a :class:`RecoveryReport` on its
+    ``recovery`` attribute.  ``cpu_cap`` is the *configured* cap for the
+    new process — if it is tighter than what the recovered claims allow,
+    the closing ``check_invariants()`` fails loudly rather than admitting
+    an inconsistent ledger.
+    """
+    from .ledger import ReservationLedger
+
+    snap = _read_snapshot(os.path.join(state_dir, SNAPSHOT_NAME))
+    records, truncated, _ = _read_wal(os.path.join(state_dir, WAL_NAME))
+    ledger = ReservationLedger(cpu_cap=cpu_cap)
+    snapshot_seq = 0
+    if snap is not None:
+        snapshot_seq = int(snap["seq"])
+        try:
+            for payload in snap["reservations"]:
+                reservation, _caps = _decode_reservation(payload)
+                ledger.reservations[reservation.app_id] = reservation
+            ledger._node_claims = {
+                name: float(v) for name, v in snap["node_claims"].items()
+            }
+            ledger._edge_claims = {
+                decode_edge(e): float(v) for e, v in snap["edge_claims"]
+            }
+            ledger._edge_caps = {
+                decode_edge(e): float(v) for e, v in snap["edge_caps"]
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalCorruptError(
+                f"{state_dir}: malformed snapshot payload: {exc}"
+            ) from None
+        ledger._rebuild_deadlines()
+    replayed = 0
+    for record in records:
+        if int(record.get("seq", 0)) <= snapshot_seq:
+            continue  # crash landed between snapshot and log truncation
+        try:
+            kind = record["kind"]
+            if kind == "grant":
+                reservation, caps = _decode_reservation(record)
+                ledger._restore_grant(reservation, caps)
+            elif kind in _DEADLINE_KINDS:
+                ledger._restore_deadline(
+                    record["app"], float(record["expires_at"])
+                )
+            elif kind in _RELEASE_KINDS:
+                ledger.release(record["app"], kind=kind)
+            else:
+                raise WalCorruptError(
+                    f"{state_dir}: unknown WAL record kind {kind!r} "
+                    f"(seq {record.get('seq')})"
+                )
+        except WalCorruptError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalCorruptError(
+                f"{state_dir}: record seq {record.get('seq')} does not "
+                f"apply to the replayed state: {exc}"
+            ) from None
+        replayed += 1
+    ledger.check_invariants()
+    last_seq = max(
+        [snapshot_seq] + [int(r.get("seq", 0)) for r in records]
+    )
+    ledger.recovery = RecoveryReport(
+        leases=ledger.active,
+        records=replayed,
+        snapshot_seq=snapshot_seq,
+        last_seq=last_seq,
+        truncated_tail=truncated,
+    )
+    return ledger

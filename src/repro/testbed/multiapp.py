@@ -112,6 +112,8 @@ def run_multi_tenant(
     graph=None,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    preempt: bool = False,
+    preempt_grace_s: float = 0.0,
 ) -> MultiTenantResult:
     """Run a multi-tenant stream against one simulated network.
 
@@ -124,6 +126,11 @@ def run_multi_tenant(
     sweeps and fault events) as JSONL; ``metrics_out`` writes the final
     Prometheus exposition of the whole rig — collector and service share
     one registry.  Written paths land in ``result.artifacts``.
+
+    ``preempt=True`` runs the preemption-enabled arm: gold tenants that
+    arrive infeasible reclaim bronze/silver leases instead of queueing
+    behind them (``preempt_grace_s`` gives victims a wind-down; the
+    campaign's metrics then carry ``preempted`` counts).
     """
     sim = Simulator()
     tracer = Tracer() if trace_out else None
@@ -142,6 +149,8 @@ def run_multi_tenant(
         queue_limit=queue_limit,
         tracer=tracer,
         registry=registry,
+        preempt=preempt,
+        preempt_grace_s=preempt_grace_s,
     )
     service.attach_injector(injector)
     naive = NodeSelector(api)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.service import LedgerError, ReservationLedger, route_edges
+from repro.service.ledger import _HEAP_COMPACT_MIN
 from repro.topology import dumbbell, star
 from repro.units import Mbps
 
@@ -192,3 +193,53 @@ class TestResidualView:
         assert u["active_reservations"] == 1.0
         assert u["max_node_claim"] == pytest.approx(0.25)
         assert u["max_edge_claim_fraction"] == pytest.approx(0.5)
+
+
+class TestDeadlineHeapCompaction:
+    def test_renew_heavy_workload_keeps_the_heap_bounded(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0"], cpu_fraction=0.1, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        for i in range(500):
+            ledger.renew("a", float(i), 60.0)
+        # Lazy deletion alone would have left ~500 stranded entries;
+        # compaction rebuilds once stale entries pass the threshold and
+        # outnumber the single live lease.
+        assert len(ledger._deadlines) < 2 * _HEAP_COMPACT_MIN
+        assert ledger._stale_deadlines < _HEAP_COMPACT_MIN
+
+    def test_release_heavy_workload_compacts_too(self, graph):
+        ledger = ReservationLedger()
+        for i in range(200):
+            ledger.reserve(f"a{i}", ["l0"], cpu_fraction=0.001, bw_bps=0.0,
+                           graph=graph, now=0.0, lease_s=60.0)
+            ledger.release(f"a{i}")
+        assert ledger.active == 0
+        assert len(ledger._deadlines) < 2 * _HEAP_COMPACT_MIN
+
+    def test_expiry_still_exact_after_compaction(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("keep", ["r0"], cpu_fraction=0.1, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=1000.0)
+        ledger.reserve("lapse", ["l0"], cpu_fraction=0.1, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=5.0)
+        for i in range(300):
+            ledger.renew("keep", float(i % 3), 1000.0)
+        assert ledger.expire(6.0) == ["lapse"]
+        assert ledger.active == 1
+        # The survivor's single live deadline still reaps on time
+        # (stranded future-dated entries linger until popped — lazy
+        # deletion — but never resurrect a released lease).
+        ledger.renew("keep", 10.0, 5.0)
+        assert ledger.expire(16.0) == ["keep"]
+        assert ledger.active == 0
+        assert ledger.expire(2000.0) == []
+
+    def test_expire_does_not_overcount_stale_entries(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("a", ["l0"], cpu_fraction=0.1, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=5.0)
+        ledger.expire(6.0)
+        # The expired lease's entry was popped live, not stranded: only
+        # nothing should remain counted as stale.
+        assert ledger._stale_deadlines == 0

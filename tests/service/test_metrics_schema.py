@@ -22,6 +22,7 @@ COUNTER_KEYS = [
     "renewed",
     "expired",
     "evicted",
+    "preempted",
     "admitted_from_queue",
     "queue_displaced",
     "drain_skipped",

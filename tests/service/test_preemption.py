@@ -1,0 +1,222 @@
+"""Priority preemption: gold displaces bronze, then silver, never gold.
+
+Preemption must be *provably useful* (nothing is evicted unless the
+reclamation makes the gold request feasible) and *ordered* (bronze
+victims before silver, cheapest first), with the victims' outcomes,
+metrics, trace spans, and WAL records all reflecting what happened.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ApplicationSpec
+from repro.obs import Tracer
+from repro.service import Decision, LedgerError, Priority, SelectionService
+from repro.service.wal import WAL_NAME
+from repro.topology import dumbbell
+
+
+def spec(n=1):
+    return ApplicationSpec(num_nodes=n)
+
+
+def fill(service, claims):
+    """Admit one single-node tenant per (app, priority, cpu) triple."""
+    for app, priority, cpu in claims:
+        grant = service.request(app, spec(1), cpu_fraction=cpu,
+                                priority=priority)
+        assert grant.admitted, (app, grant.reason)
+
+
+class TestImmediatePreemption:
+    def test_gold_preempts_when_infeasible(self):
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [(f"w{i}", Priority.BRONZE, 0.9) for i in range(4)])
+        grant = service.request("gold", spec(4), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.admitted
+        assert service.metrics.preempted == 4
+        for i in range(4):
+            assert service.status(f"w{i}").status == Decision.PREEMPTED
+
+    def test_no_preemption_when_feasible(self):
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [("w0", Priority.BRONZE, 0.9)])
+        grant = service.request("gold", spec(2), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.admitted
+        assert service.metrics.preempted == 0
+        assert service.status("w0").admitted
+
+    def test_bronze_evicted_before_silver(self):
+        # 4 nodes at 0.9 each; gold needs 2 nodes' worth back.  Both
+        # bronze leases must fall before any silver one is touched.
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [
+            ("silver0", Priority.SILVER, 0.9),
+            ("silver1", Priority.SILVER, 0.9),
+            ("bronze0", Priority.BRONZE, 0.9),
+            ("bronze1", Priority.BRONZE, 0.9),
+        ])
+        grant = service.request("gold", spec(2), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.admitted
+        assert service.status("bronze0").status == Decision.PREEMPTED
+        assert service.status("bronze1").status == Decision.PREEMPTED
+        assert service.status("silver0").admitted
+        assert service.status("silver1").admitted
+        assert service.metrics.preempted_by_class == {"bronze": 2}
+
+    def test_cheapest_victims_within_a_class(self):
+        # Reclaiming one node suffices; the smallest bronze claim (one
+        # node) must fall, not the three-node one.
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        big = service.request("big", spec(3), cpu_fraction=0.9,
+                              priority=Priority.BRONZE)
+        small = service.request("small", spec(1), cpu_fraction=0.9,
+                                priority=Priority.BRONZE)
+        assert big.admitted and small.admitted
+        grant = service.request("gold", spec(1), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.admitted
+        assert service.status("small").status == Decision.PREEMPTED
+        assert service.status("big").admitted
+
+    def test_gold_never_preempts_gold(self):
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [(f"g{i}", Priority.GOLD, 0.9) for i in range(4)])
+        grant = service.request("late-gold", spec(1), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.status == Decision.QUEUED
+        assert service.metrics.preempted == 0
+        for i in range(4):
+            assert service.status(f"g{i}").admitted
+
+    def test_non_gold_requests_never_preempt(self):
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [(f"w{i}", Priority.BRONZE, 0.9) for i in range(4)])
+        grant = service.request("silver", spec(1), cpu_fraction=0.9,
+                                priority=Priority.SILVER)
+        assert grant.status == Decision.QUEUED
+        assert service.metrics.preempted == 0
+
+    def test_disabled_by_default(self):
+        service = SelectionService(dumbbell(2, 2))
+        fill(service, [(f"w{i}", Priority.BRONZE, 0.9) for i in range(4)])
+        grant = service.request("gold", spec(1), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.status == Decision.QUEUED
+        assert service.metrics.preempted == 0
+
+    def test_nothing_evicted_when_preemption_cannot_help(self):
+        # The gold request wants more nodes than the network has: even
+        # evicting every lease leaves it infeasible, so none may fall.
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [(f"w{i}", Priority.BRONZE, 0.9) for i in range(4)])
+        grant = service.request("gold", spec(12), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.status == Decision.QUEUED
+        assert service.metrics.preempted == 0
+        for i in range(4):
+            assert service.status(f"w{i}").admitted
+        service.check_invariants()
+
+
+class TestGracePeriod:
+    def make(self, grace=10.0):
+        service = SelectionService(
+            dumbbell(2, 2), preempt=True, preempt_grace_s=grace,
+            lease_s=60.0,
+        )
+        fill(service, [(f"w{i}", Priority.BRONZE, 0.9) for i in range(4)])
+        return service
+
+    def test_victims_wind_down_and_gold_queues(self):
+        service = self.make(grace=10.0)
+        grant = service.request("gold", spec(4), cpu_fraction=0.9,
+                                priority=Priority.GOLD)
+        assert grant.status == Decision.QUEUED
+        for i in range(4):
+            outcome = service.status(f"w{i}")
+            assert outcome.admitted  # still holding, winding down
+            assert "winding down" in outcome.reason
+            assert service.ledger.reservations[f"w{i}"].expires_at == 10.0
+
+    def test_grace_elapses_into_preempted_not_expired(self):
+        service = self.make(grace=10.0)
+        service.request("gold", spec(4), cpu_fraction=0.9,
+                        priority=Priority.GOLD)
+        service.advance(11.0)
+        assert service.status("gold").admitted
+        for i in range(4):
+            assert service.status(f"w{i}").status == Decision.PREEMPTED
+        assert service.metrics.expired == 0
+        assert service.metrics.preempted == 4
+        service.check_invariants()
+
+    def test_victims_cannot_renew_out_of_the_grace(self):
+        service = self.make(grace=10.0)
+        service.request("gold", spec(4), cpu_fraction=0.9,
+                        priority=Priority.GOLD)
+        with pytest.raises(LedgerError, match="preempted"):
+            service.renew("w0")
+
+    def test_voluntary_release_during_grace_is_a_release(self):
+        service = self.make(grace=10.0)
+        service.request("gold", spec(4), cpu_fraction=0.9,
+                        priority=Priority.GOLD)
+        assert service.release("w0").status == Decision.RELEASED
+        service.advance(11.0)
+        # w0 released before the grace elapsed; the others were reaped.
+        assert service.status("w0").status == Decision.RELEASED
+        assert service.status("w1").status == Decision.PREEMPTED
+        assert service.status("gold").admitted
+
+
+class TestObservability:
+    def test_preempt_span_and_wal_records(self, tmp_path):
+        state = str(tmp_path / "state")
+        tracer = Tracer()
+        service = SelectionService(
+            dumbbell(2, 2), preempt=True, tracer=tracer, state_dir=state,
+        )
+        fill(service, [(f"w{i}", Priority.BRONZE, 0.9) for i in range(4)])
+        service.request("gold", spec(4), cpu_fraction=0.9,
+                        priority=Priority.GOLD)
+        spans = [
+            s for s in tracer.spans if s["name"] == "service.preempt"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["app"] == "gold"
+        assert spans[0]["attrs"]["n_victims"] == 4
+        kinds = [
+            json.loads(line)["kind"]
+            for line in (tmp_path / "state" / WAL_NAME)
+            .read_text().splitlines()
+        ]
+        assert kinds.count("preempt") == 4
+        service.close()
+
+    def test_preemptions_counter_in_registry(self):
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [
+            ("b0", Priority.BRONZE, 0.9), ("b1", Priority.BRONZE, 0.9),
+            ("s0", Priority.SILVER, 0.9), ("s1", Priority.SILVER, 0.9),
+        ])
+        service.request("gold", spec(4), cpu_fraction=0.9,
+                        priority=Priority.GOLD)
+        text = service.registry.expose_text()
+        assert (
+            'repro_service_preemptions_total{class="bronze"} 2' in text
+        )
+        assert (
+            'repro_service_preemptions_total{class="silver"} 2' in text
+        )
+
+    def test_snapshot_schema_carries_preempted(self):
+        service = SelectionService(dumbbell(2, 2), preempt=True)
+        fill(service, [(f"w{i}", Priority.BRONZE, 0.9) for i in range(4)])
+        service.request("gold", spec(4), cpu_fraction=0.9,
+                        priority=Priority.GOLD)
+        assert service.metrics_snapshot()["preempted"] == 4

@@ -219,3 +219,115 @@ class TestObservabilityFlags:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestDurability:
+    def test_state_dir_survives_a_restart(self, topo_file, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        ops = [
+            {"op": "request", "app": "fft", "at": 0, "nodes": 2,
+             "cpu": 0.3, "bw_mbps": 5},
+            {"op": "request", "app": "sor", "at": 1, "nodes": 2,
+             "cpu": 0.3},
+            {"op": "release", "app": "sor", "at": 2},
+        ]
+        workload = write_workload(tmp_path, ops)
+        assert main([topo_file, "--requests", workload,
+                     "--lease", "1000", "--state-dir", state]) == 0
+        capsys.readouterr()
+        # Restart over the same state dir: the lease is still held, so a
+        # conflicting claim on the same capacity must queue.
+        assert main([topo_file, "--demo", "0", "--state-dir", state,
+                     "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert "recovered 1 leases from WAL" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["metrics"]["active_reservations"] == 1.0
+
+    def test_corrupt_wal_exits_2_without_traceback(
+        self, topo_file, tmp_path, capsys,
+    ):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "wal.jsonl").write_text(
+            'not json at all\n{"seq":2,"kind":"release","app":"x"}\n'
+        )
+        assert main([topo_file, "--demo", "1",
+                     "--state-dir", str(state)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt WAL state" in err
+        assert "Traceback" not in err
+
+    def test_torn_tail_is_tolerated(self, topo_file, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main([topo_file, "--demo", "2", "--cpu", "0.2",
+                     "--lease", "1000", "--state-dir", state]) == 0
+        wal = tmp_path / "state" / "wal.jsonl"
+        wal.write_bytes(wal.read_bytes() + b'{"seq":99,"kind":"rele')
+        capsys.readouterr()
+        assert main([topo_file, "--demo", "0", "--state-dir", state]) == 0
+        assert "torn tail dropped" in capsys.readouterr().err
+
+    def test_sigterm_flushes_a_final_snapshot(
+        self, topo_file, tmp_path, capsys, monkeypatch,
+    ):
+        import os
+        import signal
+
+        from repro.service import cli as cli_mod
+
+        state = str(tmp_path / "state")
+        ops = [
+            {"op": "request", "app": f"app{i}", "at": i, "nodes": 1,
+             "cpu": 0.2}
+            for i in range(5)
+        ]
+        workload = write_workload(tmp_path, ops)
+        real_run_op = cli_mod._run_op
+        calls = {"n": 0}
+
+        def run_then_term(service, op):
+            record = real_run_op(service, op)
+            calls["n"] += 1
+            if calls["n"] == 2:
+                # Delivered synchronously on the main thread: the
+                # handler raises _GracefulExit inside the workload loop.
+                os.kill(os.getpid(), signal.SIGTERM)
+            return record
+
+        monkeypatch.setattr(cli_mod, "_run_op", run_then_term)
+        assert main([topo_file, "--requests", workload,
+                     "--lease", "1000", "--state-dir", state]) == 0
+        err = capsys.readouterr().err
+        # The signal lands inside the second op — after its grant hit
+        # the WAL, before its outcome was recorded: 1 outcome, 2 leases.
+        assert "received SIGTERM after 1/5 operations" in err
+        assert "flushing final snapshot" in err
+        monkeypatch.setattr(cli_mod, "_run_op", real_run_op)
+        capsys.readouterr()
+        assert main([topo_file, "--demo", "0", "--state-dir", state]) == 0
+        assert "recovered 2 leases from WAL" in capsys.readouterr().err
+
+    def test_preempt_flags_reach_the_service(self, topo_file, capsys):
+        # Fill all 8 nodes with bronze, then a gold arrival: with
+        # --preempt it must admit by reclaiming bronze leases.
+        ops = [
+            {"op": "request", "app": f"w{i}", "at": i, "nodes": 1,
+             "cpu": 0.9, "priority": "bronze"}
+            for i in range(8)
+        ] + [
+            {"op": "request", "app": "gold", "at": 9, "nodes": 2,
+             "cpu": 0.9, "priority": "gold"},
+        ]
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            workload = f"{tmp}/w.json"
+            with open(workload, "w") as fh:
+                json.dump(ops, fh)
+            assert main([topo_file, "--requests", workload,
+                         "--lease", "1000", "--preempt",
+                         "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        gold = [o for o in payload["outcomes"] if o["app"] == "gold"][0]
+        assert gold["status"] == "admitted"
+        assert payload["metrics"]["preempted"] == 2
