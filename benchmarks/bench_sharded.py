@@ -1,0 +1,405 @@
+"""Benchmark: the sharded selection service at 1k-10k hosts.
+
+Sweeps topology size x shard count and drives the same request mix
+through a :class:`repro.service.ShardRouter` for each configuration:
+mostly single-shard tenants plus a slice of ``spread=2`` cross-shard
+tenants carrying a bandwidth claim over the trunk.  Records end-to-end
+request latency percentiles (p50/p95/p99) per configuration *and per
+shard* (each admitted request is attributed to the shard that hosted
+it), the cross-shard routed fraction, and the trunk-reservation overhead
+(the ``trunk_reserve`` stage timer inside the two-phase commit).
+
+The point being measured: a single service sweeps — and selects over —
+the whole residual network on every request, so its latency grows with
+total host count; a shard's service only ever sees its own region, so
+per-request latency tracks ``hosts / shards``.  The trunk ledger is the
+price of that locality, and the bench shows it stays in single-digit
+microseconds per cross-shard grant.
+
+Emits machine-readable results to ``BENCH_sharded.json`` at the repo
+root (committed) and a table to ``benchmarks/out/sharded.txt``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_sharded.py --quick  # CI smoke
+
+Acceptance gates (full mode):
+
+- at the largest size, the 16-shard p99 beats the 1-shard p99 by >= 3x;
+- a ``--shards 1`` router replaying the committed hot-path workload
+  (1000-host tree, same tenant shape as ``bench_service_hotpath.py``)
+  stays within 1.15x of the committed single-service warm-cycle figure
+  — the router front door must cost almost nothing when unsharded.
+
+Quick mode runs one small size, re-asserts every invariant, and gates
+the unsharded replay at 2x the committed figure (CI noise headroom),
+mirroring the other quick smokes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import format_table  # noqa: E402
+from repro.core import ApplicationSpec  # noqa: E402
+from repro.service import ShardRouter  # noqa: E402
+from repro.topology import random_tree  # noqa: E402
+from repro.units import Mbps  # noqa: E402
+
+JSON_PATH = REPO_ROOT / "BENCH_sharded.json"
+HOTPATH_JSON = REPO_ROOT / "BENCH_service_hotpath.json"
+REPORT_PATH = REPO_ROOT / "benchmarks" / "out" / "sharded.txt"
+
+FULL_HOSTS = [1000, 4000, 10000]
+FULL_SHARDS = [1, 4, 16]
+QUICK_HOSTS = [1000]
+QUICK_SHARDS = [1, 4]
+
+#: The request mix: tenants of varying size (the size draw defeats the
+#: service's per-view selection memo, so every request pays a genuine
+#: selection over its shard — the quantity sharding is meant to shrink),
+#: ~15% asking for 2-shard spread with a small trunk bandwidth claim; a
+#: sliding window of live leases keeps the ledgers dirty so the measured
+#: path is contended, not empty.  Claims stay light so no node saturates
+#: and selector cost tracks host count, not backtracking depth.
+M_MIN, M_MAX = 3, 6
+CPU_CLAIM = 0.1
+BW_LOCAL = 0.0
+BW_CROSS = 0.5 * Mbps
+CROSS_EVERY = 7  # every 7th request asks for spread=2
+LIVE_WINDOW = 8
+
+FULL_REQUESTS = 160
+QUICK_REQUESTS = 40
+WARMUP = 5
+
+#: Hot-path replica (the --shards 1 regression gate): same tenant shape
+#: as bench_service_hotpath.py's committed 1000-host figure.
+HP_M = 4
+HP_CPU = 0.35
+HP_BW = 3 * Mbps
+HP_HOLD_CPU = 0.2
+HP_HOLD_BW = 2 * Mbps
+HP_HOLDS = 2
+HP_CYCLES = 30
+
+
+def build_graph(n: int, seed: int = 0):
+    """The hot-path bench's contended random tree, at any size."""
+    rng = np.random.default_rng(seed)
+    g = random_tree(n, max(1, n // 5), rng, bandwidth=100 * Mbps)
+    for link in g.links():
+        link.available_fwd = float(rng.uniform(5, 100)) * Mbps
+        link.available_rev = float(rng.uniform(5, 100)) * Mbps
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 0.5))
+    return g
+
+
+def percentiles(samples_us: list[float]) -> dict:
+    if not samples_us:
+        return {"count": 0, "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+    ordered = sorted(samples_us)
+
+    def pick(q: float) -> float:
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    return {
+        "count": len(ordered),
+        "p50_us": pick(0.50),
+        "p95_us": pick(0.95),
+        "p99_us": pick(0.99),
+    }
+
+
+def drive(router: ShardRouter, n_requests: int, seed: int) -> dict:
+    """Push the request mix through ``router``; returns latency buckets.
+
+    The tenant-size sequence is drawn from ``seed`` alone, so every
+    configuration (any host count, any shard count) faces the identical
+    request stream.
+    """
+    rng = np.random.default_rng(seed + 1)
+    sizes = rng.integers(M_MIN, M_MAX + 1, size=WARMUP + n_requests)
+    live: list[str] = []
+    all_us: list[float] = []
+    by_shard: dict[int, list[float]] = {}
+    cross_us: list[float] = []
+    rejected = 0
+    for i in range(WARMUP + n_requests):
+        app = f"bench-{i}"
+        spec = ApplicationSpec(num_nodes=int(sizes[i]))
+        # Every configuration faces the identical stream: the spread=2
+        # hint clamps to 1 on an unsharded router, which then pays the
+        # bandwidth-floor selection over the whole network instead.
+        cross = i % CROSS_EVERY == CROSS_EVERY - 1
+        t0 = time.perf_counter()
+        grant = router.request(
+            app, spec,
+            cpu_fraction=CPU_CLAIM,
+            bw_bps=BW_CROSS if cross else BW_LOCAL,
+            spread=2 if cross else 1,
+        )
+        dt_us = (time.perf_counter() - t0) * 1e6
+        if grant.admitted:
+            live.append(app)
+            if len(live) > LIVE_WINDOW:
+                router.release(live.pop(0))
+        else:
+            rejected += 1
+        if i < WARMUP:
+            continue
+        all_us.append(dt_us)
+        if grant.admitted and not grant.cross_shard:
+            by_shard.setdefault(grant.shards[0], []).append(dt_us)
+        elif grant.admitted:
+            cross_us.append(dt_us)
+    router.check_invariants()
+    for app in list(live):
+        router.release(app)
+    router.check_invariants()
+    assert router.trunk.active == 0, "trunk claims leaked past release-all"
+    return {
+        "overall": percentiles(all_us),
+        "per_shard": {
+            str(s): percentiles(v) for s, v in sorted(by_shard.items())
+        },
+        "cross": percentiles(cross_us),
+        "rejected": rejected,
+    }
+
+
+def bench_config(hosts: int, shards: int, n_requests: int, seed: int) -> dict:
+    graph = build_graph(hosts, seed=seed)
+    t0 = time.perf_counter()
+    router = ShardRouter(graph, shards=shards, snapshot_ttl=1e9, lease_s=1e9)
+    build_s = time.perf_counter() - t0
+    latencies = drive(router, n_requests, seed)
+    snap = router.metrics_snapshot()
+    stages = snap.get("stages", {})
+    entry = {
+        "hosts": hosts,
+        "shards": shards,
+        "build_s": build_s,
+        "trunk_links": len(router.plan.trunk_keys),
+        "requests": snap["requests"],
+        "admitted": snap["admitted"],
+        "rejected": snap["rejected"],
+        "routed_local": snap["routed_local"],
+        "routed_cross": snap["routed_cross"],
+        "trunk_rejections": snap["trunk_rejections"],
+        "cross_shard_fraction": snap["cross_shard_fraction"],
+        "latency": latencies,
+        "trunk_reserve_overhead": stages.get("trunk_reserve"),
+    }
+    return entry
+
+
+def _hotpath_cycles(service) -> float:
+    """Best warm request/release cycle of the committed hot-path shape."""
+    for i in range(HP_HOLDS):
+        grant = service.request(
+            f"hold-{i}", ApplicationSpec(num_nodes=3),
+            cpu_fraction=HP_HOLD_CPU, bw_bps=HP_HOLD_BW,
+        )
+        assert grant.admitted, f"background tenant hold-{i} not admitted"
+    spec = ApplicationSpec(num_nodes=HP_M)
+    times = []
+    for i in range(WARMUP + HP_CYCLES):
+        app = f"hp-{i}"
+        t0 = time.perf_counter()
+        grant = service.request(
+            app, spec, cpu_fraction=HP_CPU, bw_bps=HP_BW,
+        )
+        service.release(app)
+        dt = time.perf_counter() - t0
+        assert grant.admitted, f"cycle tenant {app} not admitted"
+        if i >= WARMUP:
+            times.append(dt)
+    return min(times) * 1e6
+
+
+def hotpath_replica(seed: int) -> dict:
+    """The committed hot-path workload: unsharded router vs plain service.
+
+    Run in the same process on the same graph, so the router-vs-service
+    ratio is free of machine drift; the committed JSON figure is only a
+    coarse cross-run noise bound.
+    """
+    from repro.service import SelectionService
+
+    router = ShardRouter(
+        build_graph(1000, seed=seed), shards=1,
+        snapshot_ttl=1e9, lease_s=1e9,
+    )
+    router_us = _hotpath_cycles(router)
+    router.check_invariants()
+    plain = SelectionService(
+        build_graph(1000, seed=seed),
+        snapshot_ttl=1e9, lease_s=1e9, queue_limit=0,
+    )
+    plain_us = _hotpath_cycles(plain)
+    return {
+        "nodes": 1000,
+        "router_us": router_us,
+        "plain_us": plain_us,
+        "overhead_ratio": router_us / plain_us,
+    }
+
+
+def run(hosts_list, shards_list, n_requests, seed: int) -> dict:
+    results: dict = {
+        "m_min": M_MIN,
+        "m_max": M_MAX,
+        "cpu_claim": CPU_CLAIM,
+        "cross_bw_mbps": BW_CROSS / Mbps,
+        "cross_every": CROSS_EVERY,
+        "live_window": LIVE_WINDOW,
+        "requests_per_config": n_requests,
+        "hosts": hosts_list,
+        "shards": shards_list,
+        "seed": seed,
+        "entries": [],
+    }
+    rows = []
+    for hosts in hosts_list:
+        for shards in shards_list:
+            entry = bench_config(hosts, shards, n_requests, seed)
+            results["entries"].append(entry)
+            lat = entry["latency"]["overall"]
+            trunk = entry["trunk_reserve_overhead"]
+            rows.append([
+                hosts,
+                shards,
+                f"{lat['p50_us']:.0f}",
+                f"{lat['p95_us']:.0f}",
+                f"{lat['p99_us']:.0f}",
+                f"{entry['cross_shard_fraction']:.2f}",
+                f"{trunk['mean_us']:.1f}" if trunk else "-",
+            ])
+            print(
+                f"hosts={hosts} shards={shards}: "
+                f"p50={lat['p50_us']:.0f}us p99={lat['p99_us']:.0f}us "
+                f"cross={entry['cross_shard_fraction']:.2f}",
+                flush=True,
+            )
+    results["hotpath_replica"] = hotpath_replica(seed)
+    results["table"] = format_table(
+        ["hosts", "shards", "p50 (us)", "p95 (us)", "p99 (us)",
+         "cross frac", "trunk mean (us)"],
+        rows,
+        title=(
+            f"Sharded service request latency (m={M_MIN}-{M_MAX}, "
+            f"window={LIVE_WINDOW}, {n_requests} requests/config)"
+        ),
+    )
+    return results
+
+
+def _p99(results: dict, hosts: int, shards: int) -> float:
+    for e in results["entries"]:
+        if e["hosts"] == hosts and e["shards"] == shards:
+            return e["latency"]["overall"]["p99_us"]
+    raise KeyError(f"no entry for hosts={hosts} shards={shards}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one small size; CI smoke — asserts invariants and gates "
+             "the unsharded replay at 2x the committed hot-path figure "
+             "(does not overwrite the committed JSON)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for topology loads/residuals (recorded in the "
+             "BENCH JSON; default: 0, the committed-figure seed)",
+    )
+    args = parser.parse_args(argv)
+
+    hosts_list = QUICK_HOSTS if args.quick else FULL_HOSTS
+    shards_list = QUICK_SHARDS if args.quick else FULL_SHARDS
+    n_requests = QUICK_REQUESTS if args.quick else FULL_REQUESTS
+    results = run(hosts_list, shards_list, n_requests, seed=args.seed)
+    table = results.pop("table")
+    print(table)
+
+    REPORT_PATH.parent.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(table + "\n")
+
+    replica = results["hotpath_replica"]
+    ratio = replica["overhead_ratio"]
+    assert ratio <= 1.15, (
+        f"unsharded router overhead too high: {replica['router_us']:.0f} "
+        f"us vs plain service {replica['plain_us']:.0f} us in the same "
+        f"process ({ratio:.2f}x > 1.15x)"
+    )
+    print(
+        f"unsharded replay: router {replica['router_us']:.0f} us vs "
+        f"plain {replica['plain_us']:.0f} us ({ratio:.2f}x <= 1.15x) — ok"
+    )
+    if HOTPATH_JSON.exists():
+        committed = json.loads(HOTPATH_JSON.read_text())
+        ref = next(
+            (e for e in committed.get("entries", [])
+             if e["nodes"] == replica["nodes"]),
+            None,
+        )
+        if ref is not None:
+            drift = replica["router_us"] / ref["incremental_us"]
+            replica["committed_us"] = ref["incremental_us"]
+            replica["ratio_vs_committed"] = drift
+            # Cross-run comparisons get the same 2x machine-noise bound
+            # the hot-path bench's own quick gate uses.
+            assert drift <= 2.0, (
+                f"unsharded replay regressed vs committed figure: "
+                f"{replica['router_us']:.0f} us vs "
+                f"{ref['incremental_us']:.0f} us ({drift:.2f}x > 2x)"
+            )
+
+    if args.quick:
+        return 0
+
+    # Scale-out gate: at the largest size, 16 shards must beat 1 shard
+    # by >= 3x on p99 — the whole point of cutting the residual sweep.
+    biggest = max(hosts_list)
+    p99_one = _p99(results, biggest, 1)
+    p99_many = _p99(results, biggest, max(shards_list))
+    speedup = p99_one / p99_many
+    results["p99_speedup_at_max"] = {
+        "hosts": biggest,
+        "shards": max(shards_list),
+        "one_shard_p99_us": p99_one,
+        "sharded_p99_us": p99_many,
+        "speedup": speedup,
+    }
+    assert speedup >= 3.0, (
+        f"sharding gate failed at {biggest} hosts: "
+        f"{max(shards_list)}-shard p99 {p99_many:.0f} us vs 1-shard "
+        f"{p99_one:.0f} us — only {speedup:.1f}x (< 3x)"
+    )
+    print(
+        f"p99 at {biggest} hosts: 1 shard {p99_one:.0f} us, "
+        f"{max(shards_list)} shards {p99_many:.0f} us "
+        f"({speedup:.1f}x >= 3x) — ok"
+    )
+
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

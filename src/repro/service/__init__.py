@@ -47,6 +47,14 @@ from .ledger import (
 from .metrics import ServiceMetrics, StageTimer
 from .residual_view import ResidualView
 from .service import Grant, SelectionService
+from .sharding import (
+    ShardGrant,
+    ShardPlan,
+    ShardRouter,
+    TrunkLedger,
+    partition_topology,
+    repartition,
+)
 from .wal import LedgerWal, RecoveryReport, WalCorruptError, WalError
 
 __all__ = [
@@ -66,9 +74,15 @@ __all__ = [
     "SelectionRequest",
     "SelectionService",
     "ServiceMetrics",
+    "ShardGrant",
+    "ShardPlan",
+    "ShardRouter",
     "SnapshotCache",
     "StageTimer",
+    "TrunkLedger",
     "WalCorruptError",
     "WalError",
+    "partition_topology",
+    "repartition",
     "route_edges",
 ]

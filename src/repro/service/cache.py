@@ -205,6 +205,28 @@ class RouteCache:
         self._sets[key] = frozenset(edges)
         return edges
 
+    def edges_between(
+        self, groups: Sequence[Sequence[str]]
+    ) -> set[DirectedEdge]:
+        """Directed channels used by traffic *between* distinct groups.
+
+        Pairs wholly inside one group are skipped — the sharded router
+        uses this for trunk accounting, where each group is a connected
+        shard whose internal routes never leave it, so only inter-group
+        pairs can touch a boundary link.
+        """
+        edges: set[DirectedEdge] = set()
+        for i, ga in enumerate(groups):
+            for j, gb in enumerate(groups):
+                if i == j:
+                    continue
+                for a in ga:
+                    for b in gb:
+                        hops = self._pair_edges(a, b)
+                        if hops:
+                            edges.update(hops)
+        return edges
+
 
 def _entry_key(entry: tuple[float, Link]) -> tuple[float, tuple[str, str]]:
     """The peel-order sort key: ``(metric, sorted endpoint names)``."""

@@ -34,6 +34,14 @@ logged.  SIGTERM/SIGINT trigger a graceful shutdown — remaining
 operations are skipped and a final compacted snapshot is flushed before
 exit.  ``--preempt`` additionally lets infeasible gold requests reclaim
 bronze/silver leases (``--preempt-grace`` gives victims a wind-down).
+
+``--shards K`` runs the sharded deployment instead: the topology is cut
+into K connected shards, each behind its own service, with cross-shard
+bandwidth accounted on the boundary (trunk) links.  Request ops may add
+``"spread": N`` to demand a placement spanning at least N shards (fault
+domains).  Sharded mode never queues (what no shard or split can host is
+rejected) and does not support ``--preempt``; with ``--state-dir`` each
+shard logs under ``DIR/shard-i`` and the trunk under ``DIR/trunk``.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from ..topology.serialize import from_json
 from ..units import Mbps
 from .admission import Priority
 from .service import SelectionService
+from .sharding import ShardRouter
 from .wal import WalCorruptError
 
 __all__ = ["main", "build_parser", "serve_metrics"]
@@ -124,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="lease duration in seconds (default: 60)")
     parser.add_argument("--queue-limit", type=int, default=16,
                         help="admission queue bound (default: 16)")
+    parser.add_argument("--shards", type=int, default=1, metavar="K",
+                        help="partition the topology into K connected shards "
+                             "behind a router: per-shard services, trunk "
+                             "bandwidth accounting on boundary links, "
+                             "cross-shard splits via 'spread' ops "
+                             "(default: 1 — single service; sharded mode "
+                             "never queues and cannot --preempt)")
     parser.add_argument("--cpu-cap", type=float, default=1.0,
                         help="per-node cap on summed CPU claims (default: 1.0)")
     parser.add_argument("--state-dir", metavar="DIR",
@@ -177,7 +193,7 @@ def _demo_ops(n: int, nodes: int, cpu: float, bw_mbps: float) -> list[dict]:
     ]
 
 
-def _run_op(service: SelectionService, op: dict) -> dict:
+def _run_op(service, op: dict) -> dict:
     """Apply one workload operation; returns a JSON-safe outcome record."""
     kind = op.get("op", "request")
     record: dict = {"at": service.now, "op": kind}
@@ -193,13 +209,19 @@ def _run_op(service: SelectionService, op: dict) -> dict:
             num_nodes=int(op.get("nodes", 1)),
             objective=op.get("objective", Objective.BALANCED),
         )
-        grant = service.request(
-            app,
-            spec,
+        kwargs = dict(
             cpu_fraction=float(op.get("cpu", 0.0)),
             bw_bps=float(op.get("bw_mbps", 0.0)) * Mbps,
             priority=op.get("priority", Priority.SILVER),
         )
+        if "spread" in op:
+            # Fault-domain spread is a router-only knob.
+            if not isinstance(service, ShardRouter):
+                raise ValueError(
+                    f"'spread' requires --shards > 1: {op!r}"
+                )
+            kwargs["spread"] = int(op["spread"])
+        grant = service.request(app, spec, **kwargs)
         record["status"] = grant.status
         if grant.selection is not None:
             record["nodes"] = grant.selection.nodes
@@ -208,9 +230,11 @@ def _run_op(service: SelectionService, op: dict) -> dict:
     elif kind == "release":
         record["status"] = service.release(app).status
     elif kind == "renew":
-        reservation = service.renew(app)
+        renewed = service.renew(app)
         record["status"] = "renewed"
-        record["expires_at"] = reservation.expires_at
+        expires_at = getattr(renewed, "expires_at", None)
+        if expires_at is not None:  # a router renew returns the grant
+            record["expires_at"] = expires_at
     else:
         raise ValueError(f"unknown op {kind!r} in {op!r}")
     return record
@@ -242,23 +266,43 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"error: cannot load workload: {exc}", file=sys.stderr)
         return 2
 
+    if args.shards > 1 and args.preempt:
+        print("error: --preempt is not supported with --shards > 1",
+              file=sys.stderr)
+        return 2
     tracer = Tracer() if args.trace_out else None
     try:
-        service = SelectionService(
-            graph,
-            snapshot_ttl=args.ttl,
-            lease_s=args.lease,
-            queue_limit=args.queue_limit,
-            cpu_cap=args.cpu_cap,
-            tracer=tracer,
-            state_dir=args.state_dir,
-            wal_fsync=args.wal_fsync,
-            wal_snapshot_every=args.snapshot_every,
-            preempt=args.preempt,
-            preempt_grace_s=args.preempt_grace,
-        )
+        if args.shards > 1:
+            service = ShardRouter(
+                graph,
+                shards=args.shards,
+                snapshot_ttl=args.ttl,
+                lease_s=args.lease,
+                cpu_cap=args.cpu_cap,
+                tracer=tracer,
+                state_dir=args.state_dir,
+                wal_fsync=args.wal_fsync,
+                wal_snapshot_every=args.snapshot_every,
+            )
+        else:
+            service = SelectionService(
+                graph,
+                snapshot_ttl=args.ttl,
+                lease_s=args.lease,
+                queue_limit=args.queue_limit,
+                cpu_cap=args.cpu_cap,
+                tracer=tracer,
+                state_dir=args.state_dir,
+                wal_fsync=args.wal_fsync,
+                wal_snapshot_every=args.snapshot_every,
+                preempt=args.preempt,
+                preempt_grace_s=args.preempt_grace,
+            )
     except WalCorruptError as exc:
         print(f"error: corrupt WAL state: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: cannot shard topology: {exc}", file=sys.stderr)
         return 2
     if service.recovery is not None:
         rec = service.recovery
@@ -357,10 +401,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                 parts.append(f"({rec['reason']})")
             print("  ".join(p for p in parts if p))
         print()
-        print(service.metrics.format(
-            cache=service.cache, ledger=service.ledger, queue=service.queue,
-            include_stages=args.profile,
-        ))
+        if isinstance(service, ShardRouter):
+            # metrics_snapshot() above populated the shard extras.
+            print(service.metrics.format(include_stages=args.profile))
+        else:
+            print(service.metrics.format(
+                cache=service.cache, ledger=service.ledger,
+                queue=service.queue, include_stages=args.profile,
+            ))
     return 0
 
 

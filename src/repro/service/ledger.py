@@ -256,10 +256,14 @@ class ReservationLedger:
             granted_at=now,
             expires_at=now + lease_s,
         )
-        for name in nodes:
-            self._node_claims[name] = (
-                self._node_claims.get(name, 0.0) + cpu_fraction
-            )
+        # A zero claim is no claim: recording 0.0 entries would collapse
+        # to deletion when ANY overlapping reservation releases, stranding
+        # the rest (bandwidth-only reservations share nodes freely).
+        if cpu_fraction > 0.0:
+            for name in nodes:
+                self._node_claims[name] = (
+                    self._node_claims.get(name, 0.0) + cpu_fraction
+                )
         for edge in edges:
             self._edge_claims[edge] = self._edge_claims.get(edge, 0.0) + bw_bps
             self._edge_caps[edge] = graph.link(*tuple(edge[0])).maxbw
@@ -283,13 +287,14 @@ class ReservationLedger:
             reservation = self.reservations.pop(app_id)
         except KeyError:
             raise KeyError(f"no reservation for {app_id!r}") from None
-        for name in reservation.nodes:
-            claimed = self._node_claims[name]
-            remaining = claimed - reservation.cpu_fraction
-            if remaining <= _slack(claimed):
-                del self._node_claims[name]
-            else:
-                self._node_claims[name] = remaining
+        if reservation.cpu_fraction > 0.0:  # zero claims were never recorded
+            for name in reservation.nodes:
+                claimed = self._node_claims[name]
+                remaining = claimed - reservation.cpu_fraction
+                if remaining <= _slack(claimed):
+                    del self._node_claims[name]
+                else:
+                    self._node_claims[name] = remaining
         for edge in reservation.edges:
             claimed = self._edge_claims[edge]
             remaining = claimed - reservation.bw_bps
@@ -434,10 +439,11 @@ class ReservationLedger:
                 f"grant for {reservation.app_id!r} carries "
                 f"{len(edge_caps)} caps for {len(reservation.edges)} edges"
             )
-        for name in reservation.nodes:
-            self._node_claims[name] = (
-                self._node_claims.get(name, 0.0) + reservation.cpu_fraction
-            )
+        if reservation.cpu_fraction > 0.0:  # mirror reserve(): no 0.0 entries
+            for name in reservation.nodes:
+                self._node_claims[name] = (
+                    self._node_claims.get(name, 0.0) + reservation.cpu_fraction
+                )
         for edge, cap in zip(reservation.edges, edge_caps):
             self._edge_claims[edge] = (
                 self._edge_claims.get(edge, 0.0) + reservation.bw_bps
@@ -551,8 +557,11 @@ class ReservationLedger:
         node_totals: dict[str, float] = {}
         edge_totals: dict[DirectedEdge, float] = {}
         for r in self.reservations.values():
-            for name in r.nodes:
-                node_totals[name] = node_totals.get(name, 0.0) + r.cpu_fraction
+            if r.cpu_fraction > 0.0:  # zero claims are never recorded
+                for name in r.nodes:
+                    node_totals[name] = (
+                        node_totals.get(name, 0.0) + r.cpu_fraction
+                    )
             for edge in r.edges:
                 edge_totals[edge] = edge_totals.get(edge, 0.0) + r.bw_bps
         for name, total in node_totals.items():

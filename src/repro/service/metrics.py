@@ -129,6 +129,13 @@ class ServiceMetrics:
     #: Subset of :attr:`select_memo_hits` answered by the *negative*
     #: cache (a memoized infeasibility, not a memoized placement).
     select_memo_negative_hits: int = 0
+    #: Requests a :class:`~repro.service.ShardRouter` admitted wholly
+    #: inside one shard (always 0 on an unsharded service).
+    routed_local: int = 0
+    #: Requests admitted across shards via the trunk.
+    routed_cross: int = 0
+    #: Cross-shard requests refused for trunk capacity.
+    trunk_rejections: int = 0
     #: Preempted-lease counts keyed by the victim's priority class
     #: (feeds ``repro_service_preemptions_total{class=...}``; not part
     #: of the flat snapshot schema).
@@ -170,6 +177,11 @@ class ServiceMetrics:
             "select_memo_hits": "Admissions answered from the selection memo.",
             "select_memo_negative_hits": (
                 "Selection-memo hits on memoized infeasibility."
+            ),
+            "routed_local": "Requests admitted wholly inside one shard.",
+            "routed_cross": "Requests admitted across shards via the trunk.",
+            "trunk_rejections": (
+                "Cross-shard requests refused for trunk capacity."
             ),
         }
         for attr, help_text in help_by_name.items():
@@ -230,6 +242,9 @@ class ServiceMetrics:
             "view_rebuilds": self.view_rebuilds,
             "select_memo_hits": self.select_memo_hits,
             "select_memo_negative_hits": self.select_memo_negative_hits,
+            "routed_local": self.routed_local,
+            "routed_cross": self.routed_cross,
+            "trunk_rejections": self.trunk_rejections,
         }
         if queue is not None:
             out["queue_depth"] = len(queue)

@@ -836,6 +836,43 @@ class SelectionService:
             explain=explain_record,
         )
 
+    def probe(
+        self,
+        spec: ApplicationSpec,
+        *,
+        cpu_fraction: float = 0.0,
+        bw_bps: float = 0.0,
+    ) -> Optional[Selection]:
+        """Read-only admission check: the selection this service *would*
+        admit right now, or ``None`` when the request is infeasible.
+
+        Runs the same snapshot → residual → select → claim-verify
+        pipeline as :meth:`request` but commits nothing: no ledger
+        mutation, no queueing, no outcome, no counters.  Because the
+        selector is deterministic, an immediately following
+        :meth:`request` with the same spec and claims admits exactly the
+        probed selection (no other mutation intervening).  The shard
+        router's two-phase cross-shard grant probes every shard first,
+        so a composite admission that cannot complete never has partial
+        claims to roll back.
+        """
+        base = self.cache.topology()
+        residual = self._residual(base)
+        req = SelectionRequest(
+            app_id="__probe__",
+            spec=spec,
+            cpu_fraction=cpu_fraction,
+            bw_bps=bw_bps,
+            submitted_at=self.now,
+        )
+        spec_eff = self._effective_spec(req)
+        try:
+            selection = self.selector.select(spec_eff, residual)
+        except NoFeasibleSelection:
+            return None
+        fits, _edges = self._verify_claims(req, residual, tuple(selection.nodes))
+        return selection if fits else None
+
     # -- priority preemption ------------------------------------------------------
     def _preempt_cost(self, r: Reservation) -> float:
         """Cheapness order for victims: how much capacity eviction frees.

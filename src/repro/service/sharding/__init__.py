@@ -1,0 +1,31 @@
+"""The sharded selection service: partitioner, trunk ledger, router.
+
+Cuts a topology into k connected shards (:mod:`.partition`), accounts
+cross-shard bandwidth on the boundary links (:mod:`.trunk`), and fronts
+one per-shard :class:`~repro.service.SelectionService` with a single
+request API (:mod:`.router`).  ``repro-serve --shards K`` and
+``run_multi_tenant(shards=K)`` are the entry points.
+"""
+
+from .partition import (
+    ShardPlan,
+    cross_traffic_fraction,
+    graph_fingerprint,
+    partition_topology,
+    reassemble,
+    repartition,
+)
+from .router import ShardGrant, ShardRouter
+from .trunk import TrunkLedger
+
+__all__ = [
+    "ShardGrant",
+    "ShardPlan",
+    "ShardRouter",
+    "TrunkLedger",
+    "cross_traffic_fraction",
+    "graph_fingerprint",
+    "partition_topology",
+    "reassemble",
+    "repartition",
+]

@@ -1,0 +1,867 @@
+"""The shard router: per-shard selection services behind one front door.
+
+:class:`ShardRouter` cuts a topology with
+:func:`~repro.service.sharding.partition_topology`, runs one
+:class:`~repro.service.SelectionService` per shard (each with its own
+shard-local snapshot cache, residual view, and epoch — the global
+residual sweep the ROADMAP names as the scale wall simply no longer
+exists), and fronts them with one request API shaped like the single
+service's.
+
+Routing:
+
+- **Local requests** (the common case) are admitted by exactly one
+  shard's service.  Shards are tried in headroom order; the first
+  admission wins.
+- **Cross-shard requests** — a request no single shard can host, or one
+  asking for fault-domain spread (``spread=N`` places across at least N
+  shards) — run a *probe-first two-phase grant*:
+
+  1. **Probe** (read-only): greedily split the node count across shards
+     using :meth:`SelectionService.probe`, which mutates nothing; then
+     check trunk headroom for the bandwidth claim on every boundary
+     channel the combined placement routes over.
+  2. **Commit**: only after every probe and the trunk check pass, admit
+     the per-shard sub-requests and reserve the trunk bandwidth (exactly
+     once, in the shared :class:`TrunkLedger`).
+
+  Every *reachable* failure happens in the probe phase, before anything
+  is committed — a refused cross-shard request leaves all shard ledgers
+  and the trunk ledger **bit-identical** to before the request (float
+  release arithmetic is only slack-exact, so "mutate nothing" is the
+  only way to guarantee bit-identity; the commit-phase rollback exists
+  purely as a defensive measure and logs an error if ever taken).
+
+Sub-grants are named ``{app_id}@{shard}`` inside shard services, so a
+durable router (``state_dir=``) recovers composite grants from the
+per-shard WALs plus the trunk WAL.  ``repro-serve --shards K`` and
+``run_multi_tenant(shards=K)`` expose the router through the existing
+entry points.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import Optional
+
+from ...core.spec import ApplicationSpec
+from ...core.types import Selection
+from ...obs.metrics import MetricsRegistry
+from ...obs.trace import NULL_TRACER
+from ...topology.graph import TopologyGraph
+from ..admission import Decision, Priority
+from ..cache import RouteCache
+from ..ledger import LedgerError
+from ..metrics import ServiceMetrics
+from ..service import (
+    SelectionService,
+    _ManualClock,
+    _resolve_clock,
+    _StaticProvider,
+)
+from .partition import ShardPlan, partition_topology, repartition
+from .trunk import TrunkLedger
+
+__all__ = ["ShardGrant", "ShardRouter"]
+
+logger = logging.getLogger("repro.service.sharding")
+
+#: Slack when checking the bandwidth claim against trunk headroom.
+_EPS = 1e-9
+
+
+class _CommitAbort(Exception):
+    """A commit-phase admission diverged from its probe (defensive only)."""
+
+
+@dataclass(frozen=True)
+class ShardGrant:
+    """The router's composite answer (and standing status) for one app."""
+
+    app_id: str
+    status: str  # a Decision value
+    selection: Optional[Selection] = None
+    #: Shard indices hosting the placement (one element when local).
+    shards: tuple = ()
+    #: Shard index -> sub-grant id inside that shard's service.
+    parts: dict = field(default_factory=dict)
+    #: The trunk bandwidth reservation (``None`` when local or when the
+    #: request claimed no bandwidth).
+    trunk: Optional[object] = None
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == Decision.ADMITTED
+
+    @property
+    def cross_shard(self) -> bool:
+        return len(self.shards) > 1
+
+
+@dataclass(frozen=True)
+class _RouterRecovery:
+    """Aggregated recovery report across shard WALs + the trunk WAL."""
+
+    leases: int
+    records: int
+    snapshot_seq: int
+    truncated_tail: bool
+
+
+class _ShardProvider:
+    """One shard's topology source: the provider's sweep, restricted."""
+
+    def __init__(self, provider, members: frozenset) -> None:
+        self._provider = provider
+        self._members = members
+        self.sweeps = 0
+
+    def topology(self) -> TopologyGraph:
+        self.sweeps += 1
+        return self._provider.topology().subgraph(self._members)
+
+
+class ShardRouter:
+    """One :class:`SelectionService` per shard behind a single request API.
+
+    Parameters
+    ----------
+    provider:
+        Topology source — a static :class:`TopologyGraph` (manual clock),
+        a :class:`~repro.remos.RemosAPI`, or a cluster oracle; the same
+        protocol :class:`SelectionService` accepts.
+    shards:
+        Number of shards to cut the topology into (ignored when ``plan``
+        is given).
+    plan:
+        A precomputed :class:`ShardPlan` (optional).
+    spread (per-request, on :meth:`request`):
+        Minimum number of shards a placement must span — fault-domain
+        spread.  ``1`` (default) prefers a single shard.
+    state_dir:
+        Durability root.  Shard ``i`` logs under ``state_dir/shard-i``,
+        the trunk ledger under ``state_dir/trunk``; a restarted router
+        recovers every composite grant from those WALs.
+    repartition_threshold:
+        Cross-shard traffic fraction beyond which
+        :meth:`maybe_repartition` recuts the topology.
+
+    Remaining keyword arguments mirror :class:`SelectionService`.  Shard
+    services always run with ``queue_limit=0``: the router rejects what
+    no shard (or split) can host instead of parking requests in one
+    shard's queue while another has capacity.
+    """
+
+    def __init__(
+        self,
+        provider,
+        *,
+        shards: int = 2,
+        plan: Optional[ShardPlan] = None,
+        snapshot_ttl: float = 5.0,
+        lease_s: float = 60.0,
+        cpu_cap: float = 1.0,
+        clock=None,
+        exclude_unhealthy: bool = True,
+        incremental: bool = True,
+        tracer=None,
+        registry: Optional[MetricsRegistry] = None,
+        state_dir: Optional[str] = None,
+        wal_fsync: bool = False,
+        wal_snapshot_every: int = 256,
+        repartition_threshold: float = 0.25,
+    ) -> None:
+        self._manual_clock: Optional[_ManualClock] = None
+        if isinstance(provider, TopologyGraph):
+            provider = _StaticProvider(provider)
+        if clock is None:
+            if isinstance(provider, _StaticProvider):
+                self._manual_clock = _ManualClock()
+                clock = self._manual_clock
+            else:
+                clock = _resolve_clock(provider)
+        self.provider = provider
+        self.clock = clock
+        self.lease_s = float(lease_s)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.repartition_threshold = float(repartition_threshold)
+        self._state_dir = state_dir
+        self._wal_fsync = bool(wal_fsync)
+        self._wal_snapshot_every = int(wal_snapshot_every)
+        #: Per-shard SelectionService kwargs reused across repartitions.
+        self._service_kwargs = dict(
+            snapshot_ttl=snapshot_ttl,
+            cpu_cap=cpu_cap,
+            exclude_unhealthy=exclude_unhealthy,
+            incremental=incremental,
+        )
+        #: The full topology, captured once: structure-only uses (trunk
+        #: routing, link capacities) never change within a deployment.
+        self._full = provider.topology()
+        if plan is None:
+            plan = partition_topology(self._full, shards)
+        self.plan = plan
+        #: Full-graph route memo for cross-shard trunk-channel lookup.
+        self.routes = RouteCache(self._full)
+        self.metrics = ServiceMetrics()
+        #: Latest standing outcome per application.
+        self.outcomes: dict[str, ShardGrant] = {}
+        #: Admitted composites still holding capacity.
+        self._active: dict[str, ShardGrant] = {}
+        #: Observed pairwise traffic (unordered node pairs -> weight),
+        #: feeding the repartition trigger.
+        self._pair_traffic: dict[tuple[str, str], float] = {}
+        self.recovery: Optional[_RouterRecovery] = None
+        self._build_shards()
+        self._recover_composites()
+        self.metrics.bind(self.registry)
+        self._bind_registry()
+
+    # -- construction ----------------------------------------------------------
+    def _build_shards(self) -> None:
+        plan = self.plan
+        self.services: list[SelectionService] = []
+        self._shard_hosts: list[int] = []
+        for shard in range(plan.k):
+            sub_dir = (
+                os.path.join(self._state_dir, f"shard-{shard}")
+                if self._state_dir else None
+            )
+            service = SelectionService(
+                _ShardProvider(self.provider, plan.shards[shard]),
+                lease_s=self.lease_s,
+                queue_limit=0,
+                clock=self.clock,
+                tracer=self.tracer,
+                state_dir=sub_dir,
+                wal_fsync=self._wal_fsync,
+                wal_snapshot_every=self._wal_snapshot_every,
+                **self._service_kwargs,
+            )
+            self.services.append(service)
+            self._shard_hosts.append(sum(
+                1 for name in plan.shards[shard]
+                if self._full.node(name).is_compute
+            ))
+        trunk_dir = (
+            os.path.join(self._state_dir, "trunk")
+            if self._state_dir else None
+        )
+        self.trunk = TrunkLedger(
+            plan.trunk_keys,
+            state_dir=trunk_dir,
+            wal_fsync=self._wal_fsync,
+            wal_snapshot_every=self._wal_snapshot_every,
+        )
+
+    def _recover_composites(self) -> None:
+        """Rebuild composite grants from recovered shard + trunk leases."""
+        if self._state_dir is None:
+            return
+        parts_by_app: dict[str, dict[int, str]] = {}
+        for shard, service in enumerate(self.services):
+            for sub_id in service.ledger.reservations:
+                base = sub_id.rsplit("@", 1)[0]
+                parts_by_app.setdefault(base, {})[shard] = sub_id
+        latest = 0.0
+        for app_id, parts in sorted(parts_by_app.items()):
+            nodes: list[str] = []
+            for shard in sorted(parts):
+                r = self.services[shard].ledger.reservations[parts[shard]]
+                nodes.extend(r.nodes)
+                latest = max(latest, r.granted_at)
+            grant = ShardGrant(
+                app_id=app_id,
+                status=Decision.ADMITTED,
+                selection=Selection(
+                    nodes=nodes, objective=0.0, algorithm="sharded-recovered",
+                ),
+                shards=tuple(sorted(parts)),
+                parts=dict(sorted(parts.items())),
+                trunk=self.trunk.ledger.reservations.get(app_id),
+                reason="recovered from WAL",
+            )
+            self._active[app_id] = grant
+            self.outcomes[app_id] = grant
+        for r in self.trunk.ledger.reservations.values():
+            latest = max(latest, r.granted_at)
+        if self._manual_clock is not None and latest > self._manual_clock.now:
+            # Never restart behind the recovered grants (mirrors the
+            # single service's manual-clock fast-forward).
+            self._manual_clock.now = latest
+        reports = [s.recovery for s in self.services] + [self.trunk.recovery]
+        reports = [r for r in reports if r is not None]
+        self.recovery = _RouterRecovery(
+            leases=len(self._active),
+            records=sum(r.records for r in reports),
+            snapshot_seq=max((r.snapshot_seq for r in reports), default=0),
+            truncated_tail=any(r.truncated_tail for r in reports),
+        )
+        if self._active:
+            logger.info(
+                "recovered %d composite grants across %d shards + trunk",
+                len(self._active), self.plan.k,
+            )
+
+    def _bind_registry(self) -> None:
+        """Export ``repro_shard_*`` instruments (callback-backed).
+
+        Per-shard callbacks read through ``self.services`` dynamically,
+        so a repartition (same k, fresh services) needs no rebinding.
+        """
+        reg = self.registry
+        reg.gauge("repro_shard_count", "Shards behind the router.",
+                  fn=lambda: float(self.plan.k))
+        reg.gauge("repro_shard_trunk_links",
+                  "Links crossing shard boundaries.",
+                  fn=lambda: float(len(self.plan.trunk_keys)))
+        reg.gauge("repro_shard_trunk_channels_claimed",
+                  "Directed trunk channels carrying at least one claim.",
+                  fn=lambda: float(len(self.trunk.edge_claims())))
+        reg.gauge("repro_shard_cross_fraction",
+                  "Fraction of routed admissions that spanned shards.",
+                  fn=lambda: self.cross_fraction)
+        reg.counter("repro_shard_routed_local_total",
+                    "Admissions hosted by a single shard.",
+                    fn=lambda: float(self.metrics.routed_local))
+        reg.counter("repro_shard_routed_cross_total",
+                    "Admissions split across shards.",
+                    fn=lambda: float(self.metrics.routed_cross))
+        reg.counter("repro_shard_trunk_rejections_total",
+                    "Cross-shard requests refused for trunk capacity.",
+                    fn=lambda: float(self.metrics.trunk_rejections))
+        for shard in range(self.plan.k):
+            labels = {"shard": str(shard)}
+            reg.counter(
+                "repro_shard_requests_total",
+                "Sub-requests attempted per shard.", labels=labels,
+                fn=(lambda s=shard: float(self.services[s].metrics.requests)),
+            )
+            reg.gauge(
+                "repro_shard_active_leases",
+                "Live sub-grants per shard.", labels=labels,
+                fn=(lambda s=shard: float(self.services[s].ledger.active)),
+            )
+            reg.gauge(
+                "repro_shard_hosts",
+                "Compute nodes per shard.", labels=labels,
+                fn=(lambda s=shard: float(self._shard_hosts[s])),
+            )
+
+    # -- time ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock()
+
+    def advance(self, dt: float) -> None:
+        """Advance the manual clock (static-provider mode only)."""
+        if self._manual_clock is None:
+            raise RuntimeError(
+                "advance() only applies to the manual clock; this router "
+                "follows its provider's simulator"
+            )
+        if dt < 0:
+            raise ValueError(f"dt cannot be negative: {dt}")
+        self._manual_clock.now += dt
+        self.tick()
+
+    def tick(self) -> list[str]:
+        """Expire lapsed leases in every shard + the trunk; returns the
+        composite apps whose grants lapsed."""
+        for service in self.services:
+            service.tick()
+        self.trunk.expire(self.now)
+        expired = []
+        for app_id, grant in list(self._active.items()):
+            alive = [
+                shard for shard, sub in grant.parts.items()
+                if sub in self.services[shard].ledger.reservations
+            ]
+            if len(alive) == len(grant.parts):
+                continue
+            # Sub-leases share one deadline; a partial lapse means this
+            # tick caught the composite mid-expiry — reclaim the rest.
+            for shard in alive:
+                self.services[shard].release(grant.parts[shard])
+            if self.trunk.holds(app_id):
+                self.trunk.release(app_id, kind="expire")
+            self.metrics.expired += 1
+            self.outcomes[app_id] = ShardGrant(
+                app_id=app_id,
+                status=Decision.EXPIRED,
+                shards=grant.shards,
+                reason="lease lapsed without renewal",
+            )
+            del self._active[app_id]
+            expired.append(app_id)
+        return sorted(expired)
+
+    # -- the request path ------------------------------------------------------
+    def request(
+        self,
+        app_id: str,
+        spec: ApplicationSpec,
+        *,
+        cpu_fraction: float = 0.0,
+        bw_bps: float = 0.0,
+        priority: str = Priority.SILVER,
+        spread: int = 1,
+    ) -> ShardGrant:
+        """Ask for a placement; returns an admitted/rejected composite.
+
+        ``spread`` is the minimum number of shards (fault domains) the
+        placement must span; the default 1 prefers a single shard and
+        only splits when no shard can host the request alone.  The
+        router never queues — what no shard or split can host is
+        rejected (poll-free, like ``queue_limit=0``).
+        """
+        if spread < 1:
+            raise ValueError(f"spread must be >= 1: {spread}")
+        self.metrics.requests += 1
+        self.tick()
+        if app_id in self._active:
+            raise ValueError(
+                f"application {app_id!r} already has a live request; "
+                "release() it first"
+            )
+        spread = min(int(spread), self.plan.k)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._request_inner(
+                app_id, spec, cpu_fraction, bw_bps, priority, spread
+            )
+        with tracer.span(
+            "router.request", app=app_id, m=spec.num_nodes,
+            priority=priority, spread=spread,
+        ) as span:
+            grant = self._request_inner(
+                app_id, spec, cpu_fraction, bw_bps, priority, spread
+            )
+            span.set(
+                outcome=grant.status,
+                shards=",".join(str(s) for s in grant.shards),
+            )
+            return grant
+
+    def _shard_order(self) -> list[int]:
+        """Shards by load headroom: least-loaded (per host) first."""
+        return sorted(
+            range(self.plan.k),
+            key=lambda s: (
+                self.services[s].ledger.active
+                / max(1, self._shard_hosts[s]),
+                s,
+            ),
+        )
+
+    def _request_inner(
+        self,
+        app_id: str,
+        spec: ApplicationSpec,
+        cpu_fraction: float,
+        bw_bps: float,
+        priority: str,
+        spread: int,
+    ) -> ShardGrant:
+        t0 = perf_counter()
+        order = self._shard_order()
+        if spread <= 1:
+            for shard in order:
+                sub = f"{app_id}@{shard}"
+                g = self.services[shard].request(
+                    sub, spec,
+                    cpu_fraction=cpu_fraction, bw_bps=bw_bps,
+                    priority=priority,
+                )
+                if g.admitted:
+                    grant = ShardGrant(
+                        app_id=app_id,
+                        status=Decision.ADMITTED,
+                        selection=g.selection,
+                        shards=(shard,),
+                        parts={shard: sub},
+                    )
+                    self._commit(app_id, grant)
+                    self.metrics.routed_local += 1
+                    self.metrics.observe_stage(
+                        "route_local", perf_counter() - t0
+                    )
+                    return grant
+        grant = self._cross_shard(
+            app_id, spec, cpu_fraction, bw_bps, priority, spread, order
+        )
+        if grant.admitted:
+            self._commit(app_id, grant)
+            self.metrics.routed_cross += 1
+            self.metrics.observe_stage("route_cross", perf_counter() - t0)
+        else:
+            self.metrics.rejected += 1
+            self.outcomes[app_id] = grant
+        return grant
+
+    def _commit(self, app_id: str, grant: ShardGrant) -> None:
+        self.metrics.admitted += 1
+        self._active[app_id] = grant
+        self.outcomes[app_id] = grant
+        nodes = grant.selection.nodes
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                pair = (a, b) if a <= b else (b, a)
+                self._pair_traffic[pair] = (
+                    self._pair_traffic.get(pair, 0.0) + 1.0
+                )
+
+    @staticmethod
+    def _splittable(spec: ApplicationSpec) -> bool:
+        """Cross-shard splitting supports plain fixed-size specs only.
+
+        Groups, node-count ranges, latency bounds, stream accounting,
+        and explicit floors all couple the node set globally; splitting
+        them per shard would silently change their meaning.
+        """
+        return (
+            not spec.groups
+            and spec.num_nodes_range is None
+            and spec.max_latency_s is None
+            and not spec.account_simultaneous_streams
+            and spec.min_bandwidth_bps is None
+            and spec.min_cpu_fraction is None
+        )
+
+    def _plan_split(
+        self,
+        spec: ApplicationSpec,
+        cpu_fraction: float,
+        bw_bps: float,
+        order: list[int],
+        min_parts: int,
+    ) -> Optional[list[tuple[int, int, Selection]]]:
+        """Greedy read-only split of ``spec.num_nodes`` across shards.
+
+        Chunk sizes are capped at ``ceil(m / min_parts)`` (so at least
+        ``min_parts`` shards participate) and halved on probe failure.
+        Returns ``[(shard, size, probed_selection), ...]`` covering the
+        full node count, or ``None`` — without mutating anything.
+        """
+        m = spec.num_nodes
+        cap = math.ceil(m / min_parts)
+        remaining = m
+        split: list[tuple[int, int, Selection]] = []
+        for shard in order:
+            if remaining <= 0:
+                break
+            # Leave at least one node for every shard still needed.
+            still_needed = max(0, min_parts - len(split) - 1)
+            size = min(cap, remaining - still_needed,
+                       self._shard_hosts[shard])
+            while size >= 1:
+                sub_spec = replace(spec, num_nodes=size)
+                selection = self.services[shard].probe(
+                    sub_spec, cpu_fraction=cpu_fraction, bw_bps=bw_bps
+                )
+                if selection is not None:
+                    split.append((shard, size, selection))
+                    remaining -= size
+                    break
+                size //= 2
+        if remaining > 0 or len(split) < min_parts:
+            return None
+        return split
+
+    def _cross_shard(
+        self,
+        app_id: str,
+        spec: ApplicationSpec,
+        cpu_fraction: float,
+        bw_bps: float,
+        priority: str,
+        spread: int,
+        order: list[int],
+    ) -> ShardGrant:
+        """Phase 1 (probe, read-only) + phase 2 (commit) of a split grant."""
+        if not self._splittable(spec):
+            return ShardGrant(
+                app_id=app_id, status=Decision.REJECTED,
+                reason=(
+                    "cross-shard split supports plain fixed-size specs "
+                    "only (no groups, ranges, latency bounds, or floors)"
+                ),
+            )
+        min_parts = max(2, spread)
+        if spec.num_nodes < min_parts:
+            return ShardGrant(
+                app_id=app_id, status=Decision.REJECTED,
+                reason=(
+                    f"cannot spread {spec.num_nodes} nodes across "
+                    f"{min_parts} shards"
+                ),
+            )
+        split = self._plan_split(spec, cpu_fraction, bw_bps, order, min_parts)
+        if split is None:
+            return ShardGrant(
+                app_id=app_id, status=Decision.REJECTED,
+                reason=(
+                    "infeasible on every shard and no feasible "
+                    "cross-shard split"
+                ),
+            )
+        part_nodes = [tuple(sel.nodes) for _shard, _size, sel in split]
+        probe_nodes = tuple(
+            name for part in part_nodes for name in part
+        )
+        # Trunk accounting covers inter-part traffic only: each part is a
+        # connected shard, so its internal routes never cross a boundary.
+        channels: list = []
+        if bw_bps > 0:
+            channels = self.trunk.trunk_channels(
+                self.routes.edges_between(part_nodes)
+            )
+            for channel in channels:
+                headroom = self.trunk.headroom(channel, self._full)
+                if headroom + _EPS * max(1.0, bw_bps) < bw_bps:
+                    self.metrics.trunk_rejections += 1
+                    u, v = sorted(channel[0])
+                    return ShardGrant(
+                        app_id=app_id, status=Decision.REJECTED,
+                        reason=(
+                            f"trunk channel {u}--{v} towards "
+                            f"{channel[1]!r} lacks {bw_bps:g} bps "
+                            f"({headroom:g} available)"
+                        ),
+                    )
+        # Commit phase.  Each sub-admission is pinned to its probed node
+        # set (the probe already proved claims fit there), so the commit
+        # select runs over exactly ``size`` candidates instead of the
+        # whole shard and reproduces the probe bit-for-bit; the rollback
+        # below is defensive.
+        committed: list[tuple[int, str]] = []
+        parts: dict[int, str] = {}
+        selections: dict[int, Selection] = {}
+        try:
+            for shard, size, probed in split:
+                sub = f"{app_id}@{shard}"
+                pinned = frozenset(probed.nodes)
+                g = self.services[shard].request(
+                    sub,
+                    replace(
+                        spec, num_nodes=size,
+                        eligible=lambda node, _p=pinned: node.name in _p,
+                    ),
+                    cpu_fraction=cpu_fraction, bw_bps=bw_bps,
+                    priority=priority,
+                )
+                if not g.admitted:
+                    raise _CommitAbort(
+                        f"shard {shard} refused at commit: {g.reason}"
+                    )
+                committed.append((shard, sub))
+                parts[shard] = sub
+                selections[shard] = g.selection
+            nodes = [
+                name for shard, _sub in committed
+                for name in selections[shard].nodes
+            ]
+            trunk_res = None
+            if bw_bps > 0:
+                t_trunk = perf_counter()
+                if sorted(nodes) != sorted(probe_nodes):  # pragma: no cover
+                    # Pinned commits reproduce the probe exactly; recompute
+                    # only if that ever stops holding.
+                    channels = self.trunk.trunk_channels(
+                        self.routes.edges_between([
+                            tuple(selections[shard].nodes)
+                            for shard, _sub in committed
+                        ])
+                    )
+                if channels:
+                    trunk_res = self.trunk.reserve(
+                        app_id, nodes, channels, bw_bps,
+                        graph=self._full, now=self.now,
+                        lease_s=self.lease_s, priority=priority,
+                    )
+                self.metrics.observe_stage(
+                    "trunk_reserve", perf_counter() - t_trunk
+                )
+        except (_CommitAbort, LedgerError) as exc:  # pragma: no cover -
+            # unreachable when probes are sound; kept so a bug can never
+            # leak partial claims.
+            for shard, sub in committed:
+                self.services[shard].release(sub)
+            logger.error(
+                "cross-shard commit for %r aborted after probe success "
+                "(%s); partial claims released", app_id, exc,
+            )
+            return ShardGrant(
+                app_id=app_id, status=Decision.REJECTED,
+                reason=f"cross-shard commit aborted: {exc}",
+            )
+        selection = Selection(
+            nodes=nodes,
+            objective=min(s.objective for s in selections.values()),
+            algorithm="sharded",
+        )
+        return ShardGrant(
+            app_id=app_id,
+            status=Decision.ADMITTED,
+            selection=selection,
+            shards=tuple(shard for shard, _sub in committed),
+            parts=parts,
+            trunk=trunk_res,
+        )
+
+    # -- lease lifecycle -------------------------------------------------------
+    def release(self, app_id: str) -> ShardGrant:
+        """Give back every sub-lease and the trunk claim for ``app_id``."""
+        grant = self._active.get(app_id)
+        if grant is None:
+            raise KeyError(f"no live grant for {app_id!r}")
+        for shard, sub in grant.parts.items():
+            if sub in self.services[shard].ledger.reservations:
+                self.services[shard].release(sub)
+        if self.trunk.holds(app_id):
+            self.trunk.release(app_id)
+        del self._active[app_id]
+        self.metrics.released += 1
+        out = ShardGrant(
+            app_id=app_id, status=Decision.RELEASED, shards=grant.shards,
+        )
+        self.outcomes[app_id] = out
+        return out
+
+    def renew(self, app_id: str) -> ShardGrant:
+        """Extend every sub-lease (and the trunk claim) by ``lease_s``."""
+        grant = self._active.get(app_id)
+        if grant is None:
+            raise KeyError(f"no live grant for {app_id!r}")
+        for shard, sub in grant.parts.items():
+            self.services[shard].renew(sub)
+        if self.trunk.holds(app_id):
+            self.trunk.renew(app_id, self.now, self.lease_s)
+        self.metrics.renewed += 1
+        return grant
+
+    # -- repartitioning --------------------------------------------------------
+    def maybe_repartition(self) -> bool:
+        """Recut the topology if cross-shard traffic crossed the threshold.
+
+        A *cold* operation: every grant must be released first (shard
+        services, their residual views, and the trunk ledger are rebuilt
+        from the new plan), and durable routers must drain and restart
+        instead (the on-disk WALs are keyed to the old shard layout).
+        Returns ``True`` when the plan changed.
+        """
+        if self._active or self.trunk.active or any(
+            s.ledger.active for s in self.services
+        ):
+            raise RuntimeError(
+                "repartition requires every grant released first"
+            )
+        if self._state_dir is not None:
+            raise RuntimeError(
+                "repartition of a durable router is not supported; "
+                "drain and restart with a fresh state dir instead"
+            )
+        new_plan = repartition(
+            self.plan, self._pair_traffic,
+            threshold=self.repartition_threshold,
+        )
+        if new_plan is self.plan:
+            return False
+        for service in self.services:
+            service.close()
+        old_trunk = len(self.plan.trunk_keys)
+        self.plan = new_plan
+        self._build_shards()
+        self._pair_traffic.clear()
+        logger.info(
+            "repartitioned: %d shards, trunk %d -> %d links",
+            new_plan.k, old_trunk, len(new_plan.trunk_keys),
+        )
+        return True
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.plan.k
+
+    @property
+    def cross_fraction(self) -> float:
+        """Fraction of routed admissions that spanned shards."""
+        routed = self.metrics.routed_local + self.metrics.routed_cross
+        return self.metrics.routed_cross / routed if routed else 0.0
+
+    def status(self, app_id: str) -> ShardGrant:
+        """The standing outcome for ``app_id``."""
+        try:
+            return self.outcomes[app_id]
+        except KeyError:
+            raise KeyError(f"unknown application {app_id!r}") from None
+
+    def active_apps(self) -> list[str]:
+        return sorted(self._active)
+
+    def check_invariants(self) -> None:
+        """Every shard's ledger + overlay invariants, trunk caps, and the
+        intra/trunk claim partition (no shard ever claims a trunk
+        channel; the trunk never claims an intra-shard channel)."""
+        for shard, service in enumerate(self.services):
+            service.check_invariants()
+            for key, dst in service.ledger.edge_claims():
+                assert key not in self.plan.trunk_keys, (
+                    f"shard {shard} claimed trunk channel "
+                    f"{sorted(key)} towards {dst!r}"
+                )
+        self.trunk.check_invariants()
+
+    def metrics_snapshot(self) -> dict:
+        """The frozen flat schema plus ``per_shard`` nested gauges."""
+        self.metrics.extras["shard_count"] = self.plan.k
+        self.metrics.extras["cross_shard_fraction"] = self.cross_fraction
+        self.metrics.extras["trunk_active_reservations"] = self.trunk.active
+        self.metrics.extras["trunk_channels_claimed"] = (
+            len(self.trunk.edge_claims())
+        )
+        out = self.metrics.snapshot()
+        out["per_shard"] = {
+            str(shard): {
+                "requests": service.metrics.requests,
+                "admitted": service.metrics.admitted,
+                "rejected": service.metrics.rejected,
+                "active_leases": service.ledger.active,
+                "hosts": self._shard_hosts[shard],
+            }
+            for shard, service in enumerate(self.services)
+        }
+        return out
+
+    # -- durability ------------------------------------------------------------
+    @property
+    def wal(self):
+        """The trunk WAL (``None`` when not durable) — the per-shard
+        services own their own; this satisfies the single-service
+        durability surface (``service.wal is not None`` checks)."""
+        return self.trunk.wal
+
+    def flush_state(self) -> None:
+        """Compacted snapshots for every shard WAL + the trunk WAL."""
+        for service in self.services:
+            service.flush_state()
+        self.trunk.flush_state()
+
+    def close(self) -> None:
+        """Flush final snapshots and detach every WAL (idempotent)."""
+        for service in self.services:
+            service.close()
+        self.trunk.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardRouter k={self.plan.k} "
+            f"{len(self._active)} composite grants, t={self.now:g}>"
+        )

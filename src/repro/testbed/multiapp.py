@@ -30,6 +30,7 @@ from ..remos.api import RemosAPI
 from ..remos.collector import Collector
 from ..service.admission import Priority
 from ..service.service import Grant, SelectionService
+from ..service.sharding import ShardRouter
 from .cmu import cmu_testbed
 
 __all__ = ["TenantRequest", "MultiTenantResult", "run_multi_tenant"]
@@ -47,12 +48,17 @@ class TenantRequest:
     priority: str = Priority.SILVER
     #: Simulated seconds the tenant holds its lease (None: forever).
     hold_s: Optional[float] = None
+    #: Minimum shards (fault domains) the placement must span — only
+    #: meaningful in the sharded arm (``run_multi_tenant(shards=K)``).
+    spread: int = 1
 
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ValueError(f"arrival time cannot be negative: {self.at}")
         if self.hold_s is not None and self.hold_s <= 0:
             raise ValueError(f"hold_s must be positive: {self.hold_s}")
+        if self.spread < 1:
+            raise ValueError(f"spread must be >= 1: {self.spread}")
 
 
 @dataclass
@@ -114,6 +120,7 @@ def run_multi_tenant(
     metrics_out: Optional[str] = None,
     preempt: bool = False,
     preempt_grace_s: float = 0.0,
+    shards: int = 1,
 ) -> MultiTenantResult:
     """Run a multi-tenant stream against one simulated network.
 
@@ -131,7 +138,19 @@ def run_multi_tenant(
     arrive infeasible reclaim bronze/silver leases instead of queueing
     behind them (``preempt_grace_s`` gives victims a wind-down; the
     campaign's metrics then carry ``preempted`` counts).
+
+    ``shards=K`` (K > 1) runs the sharded arm: a
+    :class:`~repro.service.ShardRouter` partitions the live topology and
+    fronts one service per shard; tenants with ``spread > 1`` are placed
+    across shards through the two-phase trunk grant.  The sharded arm
+    never queues, and fault injection / preemption are single-service
+    features — combining them raises ``ValueError``.
     """
+    if shards > 1 and (fault_plan or preempt):
+        raise ValueError(
+            "shards > 1 does not compose with fault_plan or preempt; "
+            "run those arms against the single service"
+        )
     sim = Simulator()
     tracer = Tracer() if trace_out else None
     registry = MetricsRegistry() if metrics_out else None
@@ -142,17 +161,27 @@ def run_multi_tenant(
     )
     api = RemosAPI(collector, tracer=tracer)
     injector = FaultInjector(cluster, collector, tracer=tracer)
-    service = SelectionService(
-        api,
-        snapshot_ttl=snapshot_ttl,
-        lease_s=lease_s,
-        queue_limit=queue_limit,
-        tracer=tracer,
-        registry=registry,
-        preempt=preempt,
-        preempt_grace_s=preempt_grace_s,
-    )
-    service.attach_injector(injector)
+    if shards > 1:
+        service = ShardRouter(
+            api,
+            shards=shards,
+            snapshot_ttl=snapshot_ttl,
+            lease_s=lease_s,
+            tracer=tracer,
+            registry=registry,
+        )
+    else:
+        service = SelectionService(
+            api,
+            snapshot_ttl=snapshot_ttl,
+            lease_s=lease_s,
+            queue_limit=queue_limit,
+            tracer=tracer,
+            registry=registry,
+            preempt=preempt,
+            preempt_grace_s=preempt_grace_s,
+        )
+        service.attach_injector(injector)
     naive = NodeSelector(api)
     result = MultiTenantResult()
 
@@ -162,20 +191,23 @@ def run_multi_tenant(
             result.naive_nodes[tenant.app_id] = naive.select(spec).nodes
         except NoFeasibleSelection:
             result.naive_nodes[tenant.app_id] = None
-        grant = service.request(
-            tenant.app_id,
-            spec,
+        kwargs = dict(
             cpu_fraction=tenant.cpu_fraction,
             bw_bps=tenant.bw_bps,
             priority=tenant.priority,
         )
+        if shards > 1:
+            kwargs["spread"] = tenant.spread
+        grant = service.request(tenant.app_id, spec, **kwargs)
         result.grants[tenant.app_id] = grant
         if tenant.hold_s is not None:
             sim.call_in(tenant.hold_s, lambda: _release(tenant.app_id))
 
     def _release(app_id: str) -> None:
-        if app_id in service.ledger.reservations or app_id in service.queue:
+        try:
             service.release(app_id)
+        except KeyError:
+            pass  # already expired, evicted, or never admitted
 
     for tenant in tenants:
         sim.call_at(warmup + tenant.at, lambda t=tenant: submit(t))

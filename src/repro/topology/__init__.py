@@ -13,9 +13,11 @@ from .builders import (
     dumbbell,
     fat_tree_pod,
     figure1_network,
+    grid,
     linear_lan_chain,
     random_tree,
     star,
+    torus,
 )
 from .graph import (
     Link,
@@ -44,6 +46,7 @@ __all__ = [
     "figure1_network",
     "from_dict",
     "from_json",
+    "grid",
     "linear_lan_chain",
     "load_from_cpu_fraction",
     "random_tree",
@@ -52,5 +55,6 @@ __all__ = [
     "to_dict",
     "to_dot",
     "to_json",
+    "torus",
     "two_campus",
 ]

@@ -21,6 +21,8 @@ __all__ = [
     "balanced_tree",
     "random_tree",
     "fat_tree_pod",
+    "grid",
+    "torus",
     "two_campus",
     "figure1_network",
 ]
@@ -198,6 +200,68 @@ def fat_tree_pod(
             name = f"p{p}h{h}"
             g.add_compute(name)
             g.add_link(name, edge, bandwidth, latency)
+    return g
+
+
+def grid(
+    rows: int,
+    cols: int,
+    bandwidth: float = DEFAULT_BW,
+    latency: float = DEFAULT_LATENCY,
+    host_prefix: str = "g",
+) -> TopologyGraph:
+    """A ``rows`` x ``cols`` mesh of directly linked compute nodes.
+
+    The processor-grid shape of the Glantz et al. mapping experiments:
+    node ``g{r}-{c}`` links to its right and down neighbours.  Cyclic for
+    ``rows, cols >= 2``, so it exercises the partitioner's generic
+    edge-cut path (no switches to anchor LAN-aware cuts).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid dimensions must be >= 1: {rows}x{cols}")
+    if rows * cols < 2:
+        raise ValueError("grid needs at least two nodes")
+    g = TopologyGraph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_compute(f"{host_prefix}{r}-{c}", row=r, col=c)
+    for r in range(rows):
+        for c in range(cols):
+            name = f"{host_prefix}{r}-{c}"
+            if c + 1 < cols:
+                g.add_link(name, f"{host_prefix}{r}-{c + 1}",
+                           bandwidth, latency)
+            if r + 1 < rows:
+                g.add_link(name, f"{host_prefix}{r + 1}-{c}",
+                           bandwidth, latency)
+    return g
+
+
+def torus(
+    rows: int,
+    cols: int,
+    bandwidth: float = DEFAULT_BW,
+    latency: float = DEFAULT_LATENCY,
+    host_prefix: str = "g",
+) -> TopologyGraph:
+    """A :func:`grid` with wraparound links in both dimensions.
+
+    Every node has degree 4 (the standard torus interconnect of Glantz
+    et al.).  Dimensions below 3 would make a wrap link duplicate an
+    existing mesh link, so both must be >= 3.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError(
+            f"torus dimensions must be >= 3 (got {rows}x{cols}): smaller "
+            "wraparounds duplicate mesh links"
+        )
+    g = grid(rows, cols, bandwidth, latency, host_prefix)
+    for r in range(rows):
+        g.add_link(f"{host_prefix}{r}-{cols - 1}", f"{host_prefix}{r}-0",
+                   bandwidth, latency)
+    for c in range(cols):
+        g.add_link(f"{host_prefix}{rows - 1}-{c}", f"{host_prefix}0-{c}",
+                   bandwidth, latency)
     return g
 
 

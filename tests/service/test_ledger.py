@@ -243,3 +243,34 @@ class TestDeadlineHeapCompaction:
         # The expired lease's entry was popped live, not stranded: only
         # nothing should remain counted as stale.
         assert ledger._stale_deadlines == 0
+
+
+class TestZeroCpuClaims:
+    """Bandwidth-only reservations (cpu_fraction=0) must share nodes
+    freely: a zero claim is no claim, so releasing one overlapping
+    reservation can never strand another's bookkeeping.  (Regression:
+    0.0 node-claim entries used to collapse-to-delete on the first
+    release, crashing the second and drifting check_invariants.)"""
+
+    def test_overlapping_zero_claims_release_cleanly(self, graph):
+        ledger = ReservationLedger()
+        for app in ("a", "b"):
+            ledger.reserve(app, ["l0", "r0"], cpu_fraction=0.0,
+                           bw_bps=1 * Mbps, graph=graph, now=0.0,
+                           lease_s=60.0)
+            ledger.check_invariants()
+        assert ledger.node_claims() == {}  # zero claims never recorded
+        ledger.release("a")
+        ledger.check_invariants()
+        ledger.release("b")  # used to raise KeyError
+        assert ledger.active == 0
+        assert ledger.edge_claims() == {}
+
+    def test_zero_claim_leaves_cpu_capacity_untouched(self, graph):
+        ledger = ReservationLedger()
+        ledger.reserve("bw-only", ["l0"], cpu_fraction=0.0, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        # A full-CPU tenant still fits on the same node.
+        ledger.reserve("cpu", ["l0"], cpu_fraction=1.0, bw_bps=0.0,
+                       graph=graph, now=0.0, lease_s=60.0)
+        ledger.check_invariants()

@@ -29,6 +29,9 @@ COUNTER_KEYS = [
     "view_rebuilds",
     "select_memo_hits",
     "select_memo_negative_hits",
+    "routed_local",
+    "routed_cross",
+    "trunk_rejections",
 ]
 
 #: Added when a queue / cache / ledger is passed to ``snapshot()``.

@@ -331,3 +331,73 @@ class TestDurability:
         gold = [o for o in payload["outcomes"] if o["app"] == "gold"][0]
         assert gold["status"] == "admitted"
         assert payload["metrics"]["preempted"] == 2
+
+
+class TestSharded:
+    def test_sharded_workload_routes_and_reports(self, topo_file, tmp_path,
+                                                 capsys):
+        workload = write_workload(tmp_path, [
+            {"op": "request", "app": "local", "at": 0, "nodes": 2,
+             "cpu": 0.3},
+            {"op": "request", "app": "wide", "at": 1, "nodes": 4,
+             "cpu": 0.2, "bw_mbps": 1, "spread": 2},
+            {"op": "release", "app": "wide", "at": 2},
+        ])
+        assert main([
+            topo_file, "--requests", workload, "--shards", "2",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        statuses = [o["status"] for o in payload["outcomes"]]
+        assert statuses == ["admitted", "admitted", "released"]
+        assert payload["metrics"]["routed_local"] == 1
+        assert payload["metrics"]["routed_cross"] == 1
+        assert payload["metrics"]["shard_count"] == 2
+        assert set(payload["metrics"]["per_shard"]) == {"0", "1"}
+
+    def test_sharded_text_metrics_block(self, topo_file, capsys):
+        assert main([topo_file, "--demo", "4", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "routed_local" in out
+        assert "shard_count" in out
+
+    def test_spread_without_shards_is_an_error(self, topo_file, tmp_path,
+                                               capsys):
+        workload = write_workload(tmp_path, [
+            {"op": "request", "app": "x", "nodes": 4, "spread": 2},
+        ])
+        assert main([topo_file, "--requests", workload]) == 2
+        assert "spread" in capsys.readouterr().err
+
+    def test_shards_with_preempt_is_an_error(self, topo_file, capsys):
+        assert main([
+            topo_file, "--demo", "2", "--shards", "2", "--preempt",
+        ]) == 2
+        assert "--preempt" in capsys.readouterr().err
+
+    def test_too_many_shards_is_an_error(self, topo_file, capsys):
+        assert main([topo_file, "--demo", "2", "--shards", "99"]) == 2
+        assert "shard" in capsys.readouterr().err.lower()
+
+    def test_sharded_durability_roundtrip(self, topo_file, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        first = write_workload(tmp_path, [
+            {"op": "request", "app": "keep", "at": 0, "nodes": 4,
+             "cpu": 0.2, "bw_mbps": 1, "spread": 2},
+        ])
+        assert main([
+            topo_file, "--requests", first, "--shards", "2",
+            "--state-dir", state, "--format", "json",
+        ]) == 0
+        capsys.readouterr()
+        second = write_workload(tmp_path, [
+            {"op": "release", "app": "keep", "at": 10},  # inside the lease
+        ])
+        assert main([
+            topo_file, "--requests", second, "--shards", "2",
+            "--state-dir", state, "--format", "json",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "recovered 1 leases" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["outcomes"][0]["status"] == "released"

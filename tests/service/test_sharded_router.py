@@ -1,0 +1,303 @@
+"""Tests for the shard router (service.sharding.router)."""
+
+import pytest
+
+from repro.core.spec import ApplicationSpec, GroupSpec
+from repro.service import Decision, ShardRouter
+from repro.topology import dumbbell, grid, two_campus
+from repro.units import Mbps
+
+
+def _router(**kwargs):
+    kwargs.setdefault("shards", 2)
+    return ShardRouter(two_campus(fast_hosts=6, slow_hosts=6), **kwargs)
+
+
+def _all_fingerprints(router):
+    return (
+        [s.ledger.claims_fingerprint() for s in router.services],
+        router.trunk.claims_fingerprint(),
+    )
+
+
+class TestLocalRouting:
+    def test_small_request_stays_in_one_shard(self):
+        r = _router()
+        g = r.request("a", ApplicationSpec(num_nodes=3), cpu_fraction=0.3)
+        assert g.admitted and not g.cross_shard
+        shard = g.shards[0]
+        assert set(g.selection.nodes) <= r.plan.shards[shard]
+        assert r.metrics.routed_local == 1
+        assert r.trunk.active == 0
+
+    def test_load_spreads_across_shards(self):
+        r = _router()
+        shards_used = set()
+        for i in range(4):
+            g = r.request(f"a{i}", ApplicationSpec(num_nodes=2),
+                          cpu_fraction=0.2)
+            assert g.admitted
+            shards_used.add(g.shards[0])
+        assert len(shards_used) == 2  # headroom ordering alternates
+
+    def test_duplicate_live_app_rejected(self):
+        r = _router()
+        r.request("a", ApplicationSpec(num_nodes=2))
+        with pytest.raises(ValueError, match="live request"):
+            r.request("a", ApplicationSpec(num_nodes=2))
+
+    def test_infeasible_everywhere_rejected_not_queued(self):
+        r = _router()
+        g = r.request("big", ApplicationSpec(num_nodes=99))
+        assert g.status == Decision.REJECTED
+        assert r.metrics.queued == 0
+
+
+class TestCrossShard:
+    def test_split_when_no_shard_fits(self):
+        r = _router()
+        # 8 nodes cannot fit in either 6-host shard.
+        g = r.request("wide", ApplicationSpec(num_nodes=8),
+                      cpu_fraction=0.1, bw_bps=1 * Mbps)
+        assert g.admitted and g.cross_shard
+        assert len(g.selection.nodes) == 8
+        assert g.selection.algorithm == "sharded"
+        assert r.metrics.routed_cross == 1
+        assert r.trunk.active == 1 and g.trunk is not None
+
+    def test_spread_forces_fault_domains(self):
+        r = _router()
+        g = r.request("ha", ApplicationSpec(num_nodes=4), spread=2)
+        assert g.admitted and len(g.shards) == 2
+        for shard in g.shards:
+            assert set(g.selection.nodes) & r.plan.shards[shard]
+
+    def test_spread_without_bandwidth_skips_the_trunk(self):
+        r = _router()
+        g = r.request("ha", ApplicationSpec(num_nodes=4), spread=2)
+        assert g.admitted and g.trunk is None
+        assert r.trunk.active == 0
+
+    def test_trunk_claimed_exactly_once_per_grant(self):
+        r = _router()
+        r.request("x", ApplicationSpec(num_nodes=4), bw_bps=2 * Mbps,
+                  spread=2)
+        assert r.trunk.active == 1
+        assert len(r.trunk.ledger.reservations) == 1
+
+    def test_unsplittable_specs_rejected(self):
+        r = _router()
+        spec = ApplicationSpec(groups=[
+            GroupSpec(name="server", size=4),
+            GroupSpec(name="client", size=4),
+        ])
+        g = r.request("grouped", spec, spread=2)
+        assert g.status == Decision.REJECTED
+        assert "plain fixed-size specs" in g.reason
+
+    def test_cannot_spread_one_node(self):
+        r = _router()
+        g = r.request("tiny", ApplicationSpec(num_nodes=1), spread=2)
+        assert g.status == Decision.REJECTED
+
+    def test_spread_validation(self):
+        r = _router()
+        with pytest.raises(ValueError):
+            r.request("a", ApplicationSpec(num_nodes=2), spread=0)
+
+
+class TestAbortLeavesNoTrace:
+    def test_trunk_rejection_is_bit_identical(self):
+        r = ShardRouter(
+            two_campus(fast_hosts=6, slow_hosts=6, wan_bw=5 * Mbps),
+            shards=2,
+        )
+        r.request("small", ApplicationSpec(num_nodes=2), cpu_fraction=0.1)
+        before = _all_fingerprints(r)
+        # 8 Mbps fits both LANs (100 / 10 Mbps) but not the 5 Mbps WAN,
+        # so the probe split succeeds and the trunk check refuses.
+        g = r.request("starved", ApplicationSpec(num_nodes=4),
+                      bw_bps=8 * Mbps, spread=2)
+        assert g.status == Decision.REJECTED
+        assert "trunk channel" in g.reason
+        assert _all_fingerprints(r) == before
+        assert r.metrics.trunk_rejections == 1
+        r.check_invariants()
+
+    def test_infeasible_split_is_bit_identical(self):
+        r = _router()
+        before = _all_fingerprints(r)
+        g = r.request("huge", ApplicationSpec(num_nodes=50), spread=2)
+        assert g.status == Decision.REJECTED
+        assert _all_fingerprints(r) == before
+
+    def test_release_returns_trunk_exactly(self):
+        r = _router()
+        before = _all_fingerprints(r)
+        r.request("x", ApplicationSpec(num_nodes=4), cpu_fraction=0.2,
+                  bw_bps=2 * Mbps, spread=2)
+        r.release("x")
+        assert _all_fingerprints(r) == before
+        r.check_invariants()
+
+
+class TestLifecycle:
+    def test_release_unknown_app_raises(self):
+        r = _router()
+        with pytest.raises(KeyError):
+            r.release("ghost")
+
+    def test_renew_extends_all_parts(self):
+        r = _router(lease_s=10.0)
+        r.request("x", ApplicationSpec(num_nodes=4), bw_bps=1 * Mbps,
+                  spread=2)
+        r.advance(8.0)
+        r.renew("x")
+        r.advance(8.0)  # t=16 < 8+10: still alive only if renewed
+        assert "x" in r.active_apps()
+        assert r.trunk.active == 1
+
+    def test_expiry_reclaims_shards_and_trunk(self):
+        r = _router(lease_s=10.0)
+        r.request("x", ApplicationSpec(num_nodes=4), bw_bps=1 * Mbps,
+                  spread=2)
+        r.advance(11.0)
+        assert r.status("x").status == Decision.EXPIRED
+        assert r.trunk.active == 0
+        assert all(s.ledger.active == 0 for s in r.services)
+        assert r.metrics.expired == 1
+        r.check_invariants()
+
+    def test_status_tracks_outcomes(self):
+        r = _router()
+        r.request("x", ApplicationSpec(num_nodes=2))
+        assert r.status("x").admitted
+        r.release("x")
+        assert r.status("x").status == Decision.RELEASED
+        with pytest.raises(KeyError):
+            r.status("never-seen")
+
+
+class TestSingleShardEquivalence:
+    def test_one_shard_router_matches_plain_service(self):
+        from repro.service import SelectionService
+        g = two_campus(fast_hosts=6, slow_hosts=6)
+        router = ShardRouter(g, shards=1)
+        service = SelectionService(g, queue_limit=0)
+        spec = ApplicationSpec(num_nodes=4)
+        a = router.request("x", spec, cpu_fraction=0.25, bw_bps=1 * Mbps)
+        b = service.request("x", spec, cpu_fraction=0.25, bw_bps=1 * Mbps)
+        assert a.admitted and b.admitted
+        assert a.selection.nodes == b.selection.nodes
+        assert router.trunk.active == 0  # no trunk exists at k=1
+
+
+class TestDurability:
+    def test_composite_survives_restart(self, tmp_path):
+        state = str(tmp_path / "router")
+        g = two_campus(fast_hosts=6, slow_hosts=6)
+        r1 = ShardRouter(g, shards=2, state_dir=state)
+        r1.request("x", ApplicationSpec(num_nodes=4), cpu_fraction=0.2,
+                   bw_bps=1 * Mbps, spread=2)
+        fps = _all_fingerprints(r1)
+        nodes = sorted(r1.status("x").selection.nodes)
+        r1.close()
+        r2 = ShardRouter(g, shards=2, state_dir=state)
+        assert r2.recovery is not None and r2.recovery.leases == 1
+        recovered = r2.status("x")
+        assert recovered.admitted and recovered.cross_shard
+        assert sorted(recovered.selection.nodes) == nodes
+        assert _all_fingerprints(r2) == fps
+        # The recovered grant is fully operational.
+        r2.renew("x")
+        r2.release("x")
+        r2.check_invariants()
+        r2.close()
+
+    def test_clock_fast_forwards_past_recovered_grants(self, tmp_path):
+        state = str(tmp_path / "router")
+        g = two_campus()
+        r1 = ShardRouter(g, shards=2, state_dir=state)
+        r1.advance(100.0)
+        r1.request("x", ApplicationSpec(num_nodes=2))
+        r1.close()
+        r2 = ShardRouter(g, shards=2, state_dir=state)
+        assert r2.now >= 100.0
+        r2.close()
+
+
+class TestMetrics:
+    def test_snapshot_extends_frozen_schema(self):
+        r = _router()
+        r.request("a", ApplicationSpec(num_nodes=2))
+        r.request("b", ApplicationSpec(num_nodes=4), spread=2)
+        snap = r.metrics_snapshot()
+        assert snap["routed_local"] == 1
+        assert snap["routed_cross"] == 1
+        assert snap["shard_count"] == 2
+        assert snap["cross_shard_fraction"] == 0.5
+        assert set(snap["per_shard"]) == {"0", "1"}
+        for stats in snap["per_shard"].values():
+            assert set(stats) == {
+                "requests", "admitted", "rejected", "active_leases", "hosts",
+            }
+
+    def test_registry_exposition_includes_shard_family(self):
+        r = _router()
+        r.request("a", ApplicationSpec(num_nodes=2))
+        text = r.registry.expose_text()
+        assert "repro_shard_count 2" in text
+        assert 'repro_shard_hosts{shard="0"}' in text
+        assert "repro_shard_routed_local_total 1" in text
+
+
+class TestRepartition:
+    def test_refuses_with_live_grants(self):
+        r = _router()
+        r.request("a", ApplicationSpec(num_nodes=2))
+        with pytest.raises(RuntimeError, match="released first"):
+            r.maybe_repartition()
+
+    def test_refuses_when_durable(self, tmp_path):
+        r = _router(state_dir=str(tmp_path / "r"))
+        with pytest.raises(RuntimeError, match="durable"):
+            r.maybe_repartition()
+        r.close()
+
+    def test_below_threshold_is_a_noop(self):
+        r = _router()
+        r.request("a", ApplicationSpec(num_nodes=2))
+        r.release("a")
+        assert r.maybe_repartition() is False
+
+    def test_recut_when_traffic_crosses(self):
+        r = ShardRouter(grid(5, 5), shards=2,
+                        repartition_threshold=0.05)
+        # Force cross-shard traffic, then drain.
+        for i in range(3):
+            g = r.request(f"w{i}", ApplicationSpec(num_nodes=14), spread=2)
+            assert g.admitted
+            r.release(f"w{i}")
+        old_plan = r.plan
+        changed = r.maybe_repartition()
+        if changed:
+            assert r.plan is not old_plan
+            r.plan.validate()
+        # Router keeps working on the (possibly) new plan either way.
+        g = r.request("after", ApplicationSpec(num_nodes=4))
+        assert g.admitted
+        r.check_invariants()
+
+
+class TestAdvanceGuards:
+    def test_advance_requires_manual_clock(self):
+        calls = [0.0]
+        r = ShardRouter(dumbbell(3, 3), shards=2,
+                        clock=lambda: calls[0])
+        with pytest.raises(RuntimeError, match="manual clock"):
+            r.advance(1.0)
+
+    def test_negative_advance_rejected(self):
+        r = _router()
+        with pytest.raises(ValueError):
+            r.advance(-1.0)

@@ -1,0 +1,124 @@
+"""Tests for the trunk ledger (service.sharding.trunk)."""
+
+import pytest
+
+from repro.service import LedgerError
+from repro.service.sharding import TrunkLedger, partition_topology
+from repro.topology import dumbbell
+from repro.units import Mbps
+
+
+def _rig(cross_bw=20 * Mbps):
+    g = dumbbell(3, 3, cross_bandwidth=cross_bw)
+    plan = partition_topology(g, 2)
+    assert plan.trunk_keys == {frozenset({"sw-left", "sw-right"})}
+    return g, TrunkLedger(plan.trunk_keys)
+
+
+TRUNK = frozenset({"sw-left", "sw-right"})
+
+
+class TestTrunkChannels:
+    def test_filters_to_boundary_links(self):
+        _g, trunk = _rig()
+        edges = {
+            (TRUNK, "sw-right"),
+            (frozenset({"l0", "sw-left"}), "sw-left"),  # intra-shard
+        }
+        assert trunk.trunk_channels(edges) == [(TRUNK, "sw-right")]
+
+    def test_sorted_deterministically(self):
+        _g, trunk = _rig()
+        edges = [(TRUNK, "sw-right"), (TRUNK, "sw-left")]
+        assert trunk.trunk_channels(reversed(edges)) == sorted(
+            edges, key=lambda e: (sorted(e[0]), e[1])
+        )
+
+
+class TestReserve:
+    def test_claims_reduce_headroom(self):
+        g, trunk = _rig()
+        ch = (TRUNK, "sw-right")
+        before = trunk.headroom(ch, g)
+        trunk.reserve("a", ["l0", "r0"], [ch], 5 * Mbps,
+                      graph=g, now=0.0, lease_s=60.0)
+        assert trunk.headroom(ch, g) == pytest.approx(before - 5 * Mbps)
+        assert trunk.active == 1 and trunk.holds("a")
+
+    def test_non_trunk_channels_filtered_out(self):
+        g, trunk = _rig()
+        intra = (frozenset({"l0", "sw-left"}), "sw-left")
+        res = trunk.reserve("a", ["l0", "r0"],
+                            [intra, (TRUNK, "sw-right")], 1 * Mbps,
+                            graph=g, now=0.0, lease_s=60.0)
+        assert list(res.edges) == [(TRUNK, "sw-right")]
+
+    def test_rejects_empty_trunk_set(self):
+        g, trunk = _rig()
+        intra = (frozenset({"l0", "sw-left"}), "sw-left")
+        with pytest.raises(ValueError, match="no trunk channels"):
+            trunk.reserve("a", ["l0"], [intra], 1 * Mbps,
+                          graph=g, now=0.0, lease_s=60.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        g, trunk = _rig()
+        with pytest.raises(ValueError):
+            trunk.reserve("a", ["l0"], [(TRUNK, "sw-right")], 0.0,
+                          graph=g, now=0.0, lease_s=60.0)
+
+    def test_oversubscription_raises_and_mutates_nothing(self):
+        g, trunk = _rig(cross_bw=10 * Mbps)
+        ch = (TRUNK, "sw-right")
+        trunk.reserve("a", ["l0", "r0"], [ch], 8 * Mbps,
+                      graph=g, now=0.0, lease_s=60.0)
+        fp = trunk.claims_fingerprint()
+        with pytest.raises(LedgerError):
+            trunk.reserve("b", ["l1", "r1"], [ch], 8 * Mbps,
+                          graph=g, now=0.0, lease_s=60.0)
+        assert trunk.claims_fingerprint() == fp
+        trunk.check_invariants()
+
+
+class TestLifecycle:
+    def test_release_returns_capacity_exactly(self):
+        g, trunk = _rig()
+        ch = (TRUNK, "sw-right")
+        empty = trunk.claims_fingerprint()
+        trunk.reserve("a", ["l0", "r0"], [ch], 7 * Mbps,
+                      graph=g, now=0.0, lease_s=60.0)
+        trunk.release("a")
+        assert trunk.claims_fingerprint() == empty
+        assert trunk.active == 0
+
+    def test_expire_reclaims(self):
+        g, trunk = _rig()
+        trunk.reserve("a", ["l0", "r0"], [(TRUNK, "sw-right")], 1 * Mbps,
+                      graph=g, now=0.0, lease_s=10.0)
+        assert trunk.expire(5.0) == []
+        assert trunk.expire(11.0) == ["a"]
+        assert not trunk.holds("a")
+
+    def test_renew_extends(self):
+        g, trunk = _rig()
+        trunk.reserve("a", ["l0", "r0"], [(TRUNK, "sw-right")], 1 * Mbps,
+                      graph=g, now=0.0, lease_s=10.0)
+        trunk.renew("a", 5.0, 10.0)
+        assert trunk.expire(11.0) == []
+        assert trunk.expire(16.0) == ["a"]
+
+
+class TestDurability:
+    def test_recovered_claims_bit_identical(self, tmp_path):
+        state = str(tmp_path / "trunk")
+        g = dumbbell(3, 3)
+        plan = partition_topology(g, 2)
+        t1 = TrunkLedger(plan.trunk_keys, state_dir=state)
+        t1.reserve("a", ["l0", "r0"], [(TRUNK, "sw-right")], 3 * Mbps,
+                   graph=g, now=0.0, lease_s=60.0)
+        fp = t1.claims_fingerprint()
+        t1.close()
+        t2 = TrunkLedger(plan.trunk_keys, state_dir=state)
+        assert t2.claims_fingerprint() == fp
+        assert t2.recovery is not None and t2.recovery.leases == 1
+        t2.check_invariants()
+        t2.close()

@@ -546,3 +546,166 @@ class TestResidualOverlayProperties:
         sim.run(until=120.0)
         service.tick()  # expire everything still held
         service.check_invariants()
+
+
+class TestPartitionProperties:
+    """The partitioner's structural laws, over random topologies and
+    shard counts: every host lands in exactly one shard, every edge is
+    intra-shard XOR trunk, every shard is connected, and reassembling
+    the shards plus the trunk reproduces the input graph bit-identically."""
+
+    @staticmethod
+    def _random_graph(rng):
+        from repro.topology import grid, two_campus
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            return random_tree(
+                int(rng.integers(8, 40)), int(rng.integers(2, 8)), rng,
+            )
+        if kind == 1:
+            return grid(int(rng.integers(2, 7)), int(rng.integers(2, 7)))
+        return two_campus(
+            fast_hosts=int(rng.integers(2, 10)),
+            slow_hosts=int(rng.integers(2, 10)),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_cover_cut_connectivity_and_roundtrip(self, seed):
+        from repro.service.sharding import (
+            graph_fingerprint,
+            partition_topology,
+            reassemble,
+        )
+        rng = np.random.default_rng(seed)
+        g = self._random_graph(rng)
+        # Perturb per-direction availabilities so bit-identity is real.
+        for i, link in enumerate(g.links()):
+            link.available_fwd = link.maxbw * float(rng.uniform(0.1, 1.0))
+            link.available_rev = link.maxbw * float(rng.uniform(0.1, 1.0))
+        k = int(rng.integers(1, min(6, g.num_nodes) + 1))
+        plan = partition_topology(g, k)
+
+        # Exactly-once cover.
+        covered = [n for members in plan.shards for n in members]
+        assert len(covered) == g.num_nodes
+        assert set(covered) == set(g.node_names())
+        # Intra-shard XOR trunk, per edge.
+        for link in g.links():
+            intra = plan.shard_of[link.u] == plan.shard_of[link.v]
+            assert intra != (link.key in plan.trunk_keys)
+        # Connectivity of every shard.
+        for members in plan.shards:
+            assert g.subgraph(members).is_connected()
+        # Bit-identical reassembly.
+        assert graph_fingerprint(reassemble(plan)) == graph_fingerprint(g)
+        # Determinism.
+        again = partition_topology(g, k)
+        assert again.shard_of == plan.shard_of
+        assert again.trunk_keys == plan.trunk_keys
+
+
+class TestShardRouterChurnProperties:
+    """The sharded deployment's conservation law: under any sequence of
+    local and cross-shard grants, releases, renewals, and lease expiries,
+    no trunk channel's summed claims exceed its measured availability,
+    shard ledgers never claim trunk channels, and releasing everything
+    returns the trunk to exactly empty."""
+
+    @staticmethod
+    def _assert_trunk_capacity(router, graph):
+        totals: dict = {}
+        for r in router.trunk.ledger.reservations.values():
+            for edge in r.edges:
+                totals[edge] = totals.get(edge, 0.0) + r.bw_bps
+        for (key, dst), total in totals.items():
+            cap = graph.link(*tuple(key)).available_towards(dst)
+            assert total <= cap * (1 + 1e-9) + 1e-9, (
+                f"trunk channel {sorted(key)}->{dst} oversubscribed: "
+                f"{total} > {cap}"
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_no_trunk_oversubscription_under_churn(self, seed):
+        from repro.service import ShardRouter
+        from repro.topology import two_campus
+        rng = np.random.default_rng(seed)
+        g = two_campus(
+            fast_hosts=int(rng.integers(4, 9)),
+            slow_hosts=int(rng.integers(4, 9)),
+            wan_bw=float(rng.uniform(5.0, 30.0)) * Mbps,
+        )
+        router = ShardRouter(g, shards=2,
+                             lease_s=float(rng.uniform(8.0, 25.0)))
+        app_seq = 0
+        for _step in range(30):
+            live = router.active_apps()
+            roll = rng.random()
+            if roll < 0.5 or not live:
+                app_seq += 1
+                spread = 2 if rng.random() < 0.4 else 1
+                router.request(
+                    f"app-{app_seq}",
+                    ApplicationSpec(num_nodes=int(rng.integers(2, 7))),
+                    cpu_fraction=float(rng.uniform(0.05, 0.6)),
+                    bw_bps=float(rng.uniform(0.0, 12.0)) * Mbps,
+                    spread=spread,
+                )
+            elif roll < 0.7:
+                router.release(str(rng.choice(live)))
+            elif roll < 0.85:
+                router.renew(str(rng.choice(live)))
+            else:
+                router.advance(float(rng.uniform(1.0, 12.0)))
+            # Shard ledgers + trunk caps + claim partition, every step.
+            router.check_invariants()
+            self._assert_trunk_capacity(router, g)
+
+        # Conservation: releasing everything empties every claim tally.
+        for app in router.active_apps():
+            router.release(app)
+        assert router.trunk.active == 0
+        assert router.trunk.claims_fingerprint() == (
+            frozenset(), frozenset(),
+        )
+        for service in router.services:
+            assert service.ledger.active == 0
+            assert service.ledger.node_claims() == {}
+            assert service.ledger.edge_claims() == {}
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_cross_shard_release_is_bit_exact(self, seed):
+        """Claiming and releasing a cross-shard grant over an arbitrary
+        standing load returns all three ledgers to their exact prior
+        fingerprints (the probe-first two-phase design's guarantee)."""
+        from repro.service import ShardRouter
+        from repro.topology import two_campus
+        rng = np.random.default_rng(seed)
+        g = two_campus(fast_hosts=6, slow_hosts=6)
+        router = ShardRouter(g, shards=2)
+        # Arbitrary standing load.
+        for i in range(int(rng.integers(0, 4))):
+            router.request(
+                f"base-{i}", ApplicationSpec(num_nodes=2),
+                cpu_fraction=float(rng.uniform(0.05, 0.3)),
+                bw_bps=float(rng.uniform(0.0, 3.0)) * Mbps,
+            )
+        before = (
+            [s.ledger.claims_fingerprint() for s in router.services],
+            router.trunk.claims_fingerprint(),
+        )
+        grant = router.request(
+            "probe-me", ApplicationSpec(num_nodes=4),
+            cpu_fraction=float(rng.uniform(0.05, 0.4)),
+            bw_bps=float(rng.uniform(0.5, 4.0)) * Mbps,
+            spread=2,
+        )
+        if grant.admitted:
+            router.release("probe-me")
+        after = (
+            [s.ledger.claims_fingerprint() for s in router.services],
+            router.trunk.claims_fingerprint(),
+        )
+        assert after == before

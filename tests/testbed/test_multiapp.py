@@ -73,3 +73,36 @@ class TestRunMultiTenant:
         )
         assert result.metrics["requests"] == 1
         assert result.metrics["admitted"] == 1
+
+
+class TestShardedArm:
+    def test_sharded_arm_routes_and_spreads(self):
+        tenants = [
+            TenantRequest(app_id="local", at=0.0, num_nodes=3,
+                          cpu_fraction=0.3),
+            TenantRequest(app_id="ha", at=10.0, num_nodes=4,
+                          cpu_fraction=0.2, bw_bps=1e6, spread=2,
+                          hold_s=40.0),
+        ]
+        result = run_multi_tenant(tenants, shards=2, horizon=120.0)
+        assert result.grants["local"].admitted
+        ha = result.grants["ha"]
+        # The spread tenant held for 40 s then released.
+        assert ha.status == "released"
+        assert result.metrics["shard_count"] == 2
+        assert result.metrics["routed_local"] >= 1
+        assert result.metrics["routed_cross"] >= 1
+
+    def test_sharded_arm_rejects_single_service_features(self):
+        tenants = [TenantRequest(app_id="t", at=0.0)]
+        with pytest.raises(ValueError, match="shards"):
+            run_multi_tenant(
+                tenants, shards=2,
+                fault_plan=[NodeCrash(at=5.0, node="m-1")],
+            )
+        with pytest.raises(ValueError, match="shards"):
+            run_multi_tenant(tenants, shards=2, preempt=True)
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError):
+            TenantRequest(app_id="a", at=0.0, spread=0)

@@ -155,3 +155,68 @@ class TestTwoCampus:
         from repro.topology import two_campus
         with pytest.raises(ValueError):
             two_campus(fast_hosts=0)
+
+
+class TestGrid:
+    def test_shape(self):
+        from repro.topology import grid
+        g = grid(3, 4)
+        assert len(g.compute_nodes()) == 12
+        assert not g.network_nodes()
+        assert g.is_connected() and not g.is_acyclic()
+        # interior node: 4 neighbours; corner: 2
+        assert g.degree("g1-1") == 4
+        assert g.degree("g0-0") == 2
+        assert g.num_links == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_row_col_attributes(self):
+        from repro.topology import grid
+        g = grid(2, 3)
+        assert g.node("g1-2").attrs == {"row": 1, "col": 2}
+
+    def test_single_row_is_a_path(self):
+        from repro.topology import grid
+        g = grid(1, 5)
+        assert g.is_acyclic()
+        assert g.path("g0-0", "g0-4") == [f"g0-{c}" for c in range(5)]
+
+    def test_custom_bandwidth_and_prefix(self):
+        from repro.topology import grid
+        from repro.units import Mbps
+        g = grid(2, 2, bandwidth=10 * Mbps, host_prefix="n")
+        assert g.link("n0-0", "n0-1").maxbw == 10 * Mbps
+
+    def test_validation(self):
+        from repro.topology import grid
+        with pytest.raises(ValueError):
+            grid(0, 4)
+        with pytest.raises(ValueError):
+            grid(1, 1)
+
+
+class TestTorus:
+    def test_shape(self):
+        from repro.topology import torus
+        g = torus(3, 3)
+        assert len(g.compute_nodes()) == 9
+        # every node has exactly 4 neighbours on a torus
+        assert all(g.degree(n) == 4 for n in g.node_names())
+        assert g.num_links == 2 * 9  # 2*rows*cols
+
+    def test_wraparound_links(self):
+        from repro.topology import torus
+        g = torus(3, 4)
+        assert g.has_link("g0-3", "g0-0")  # row wrap
+        assert g.has_link("g2-1", "g0-1")  # column wrap
+
+    def test_wrap_shortens_paths(self):
+        from repro.topology import grid, torus
+        mesh, ring = grid(3, 5), torus(3, 5)
+        assert len(ring.path("g0-0", "g0-4")) < len(mesh.path("g0-0", "g0-4"))
+
+    def test_validation(self):
+        from repro.topology import torus
+        with pytest.raises(ValueError):
+            torus(2, 3)  # wrap would duplicate a mesh link
+        with pytest.raises(ValueError):
+            torus(3, 2)
