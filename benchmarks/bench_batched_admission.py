@@ -1,0 +1,306 @@
+"""Benchmark: batched admission vs serial one-at-a-time admission.
+
+Admits a burst of ``BATCH`` concurrent tenants against the same warm
+snapshot two ways — ``BATCH`` separate :meth:`SelectionService.request`
+calls (each paying a full residual-view consult and peel schedule) vs a
+single :meth:`SelectionService.admit_batch` call (one snapshot fetch,
+one greedy planner walk amortised across the batch) — and times the
+admission burst only.  Releases between reps are untimed.  Claims vary
+per request *and* per rep so the selector's memo never short-circuits
+the serial arm: every serial request is a genuine plan.
+
+Correctness before timing, on every rep: both arms admit the full
+batch, the planner (not the serial fallback) placed the batch tail, and
+ledger invariants hold after admission and after release.
+
+Emits machine-readable results to ``BENCH_batched_admission.json`` at
+the repo root (committed — the README table's provenance trail) and a
+human-readable table to ``benchmarks/out/batched_admission.txt``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batched_admission.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_batched_admission.py --quick  # CI smoke
+
+Acceptance gates (full mode):
+
+* >= 3x requests/s for the batch=32 arm over serial at 1000 hosts.
+* The single-request warm cycle (the ``bench_service_hotpath.py``
+  workload, re-measured here) stays within 1.15x of the committed
+  ``BENCH_service_hotpath.json`` figure at 1000 hosts — batching must
+  not have taxed the serial hot path.
+
+Quick mode runs small sizes, re-asserts all correctness checks, and
+skips the timing gates (CI machines are too noisy for ratios).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import format_table  # noqa: E402
+from repro.core import ApplicationSpec  # noqa: E402
+from repro.service import BatchRequest, SelectionService  # noqa: E402
+from repro.topology import random_tree  # noqa: E402
+from repro.units import Mbps  # noqa: E402
+
+JSON_PATH = REPO_ROOT / "BENCH_batched_admission.json"
+HOTPATH_JSON = REPO_ROOT / "BENCH_service_hotpath.json"
+REPORT_PATH = REPO_ROOT / "benchmarks" / "out" / "batched_admission.txt"
+
+FULL_SIZES = [128, 512, 1000]
+QUICK_SIZES = [33, 128]
+
+#: The measured burst: 32 concurrent 2-node tenants, each claiming CPU
+#: and bandwidth.  Small claims so the full burst always fits, even on
+#: the smallest quick-mode topology — in particular the total batch
+#: bandwidth (32 x 0.1 Mbps) stays under the weakest link's 5 Mbps
+#: floor, so the greedy planner never has to defer to the serial
+#: fallback on a saturated shared link.
+BATCH = 32
+M = 2
+CPU0 = 0.05
+BW_CLAIM = 0.1 * Mbps
+
+FULL_REPS = 5
+QUICK_REPS = 2
+WARMUP = 1
+
+#: Hot-path reference workload (must mirror bench_service_hotpath.py so
+#: the 1.15x no-regression gate compares like with like).
+HP_M = 4
+HP_CPU = 0.35
+HP_BW = 3 * Mbps
+HP_HOLD_CPU = 0.2
+HP_HOLD_BW = 2 * Mbps
+HP_N_HOLDS = 2
+HP_CYCLES = 30
+HP_WARMUP = 3
+HP_GATE = 1.15
+
+
+def build_graph(n: int, seed: int = 0):
+    """Same contended random tree as ``bench_service_hotpath.py``."""
+    rng = np.random.default_rng(seed)
+    g = random_tree(n, max(1, n // 5), rng, bandwidth=100 * Mbps)
+    for link in g.links():
+        link.available_fwd = float(rng.uniform(5, 100)) * Mbps
+        link.available_rev = float(rng.uniform(5, 100)) * Mbps
+    for node in g.compute_nodes():
+        node.load_average = float(rng.uniform(0, 0.5))
+    return g
+
+
+def make_service(graph) -> SelectionService:
+    return SelectionService(
+        graph, snapshot_ttl=1e9, lease_s=1e9, queue_limit=0,
+    )
+
+
+def burst(rep: int, tag: str) -> list[BatchRequest]:
+    """One admission burst; claims vary per rep and per request so the
+    serial arm's selector memo never hits."""
+    return [
+        BatchRequest(
+            app_id=f"{tag}-{rep}-{i}",
+            spec=ApplicationSpec(num_nodes=M),
+            cpu_fraction=CPU0 + rep * 1e-4 + i * 1e-5,
+            bw_bps=BW_CLAIM,
+        )
+        for i in range(BATCH)
+    ]
+
+
+def time_serial(service: SelectionService, reps: int) -> float:
+    """Best-of-reps wall time to admit one burst via BATCH request()s."""
+    best = float("inf")
+    for rep in range(WARMUP + reps):
+        reqs = burst(rep, "ser")
+        t0 = time.perf_counter()
+        grants = [
+            service.request(
+                b.app_id, b.spec,
+                cpu_fraction=b.cpu_fraction, bw_bps=b.bw_bps,
+            )
+            for b in reqs
+        ]
+        dt = time.perf_counter() - t0
+        assert all(g.admitted for g in grants), "serial burst not admitted"
+        service.check_invariants()
+        for b in reqs:
+            service.release(b.app_id)
+        if rep >= WARMUP:
+            best = min(best, dt)
+    return best
+
+
+def time_batched(service: SelectionService, reps: int) -> float:
+    """Best-of-reps wall time to admit one burst via admit_batch()."""
+    best = float("inf")
+    for rep in range(WARMUP + reps):
+        reqs = burst(rep, "bat")
+        planned_before = service.metrics.batch_planned
+        t0 = time.perf_counter()
+        grants = service.admit_batch(reqs)
+        dt = time.perf_counter() - t0
+        assert all(g.admitted for g in grants), "batched burst not admitted"
+        # The greedy planner — not the serial fallback — must have
+        # placed the batch tail, or the timing is meaningless.
+        assert service.metrics.batch_planned - planned_before >= BATCH - 1, (
+            "batch tail fell back to the serial path"
+        )
+        service.check_invariants()
+        for b in reqs:
+            service.release(b.app_id)
+        if rep >= WARMUP:
+            best = min(best, dt)
+    return best
+
+
+def hotpath_reference_cycle(n: int, seed: int = 0) -> float:
+    """Re-measure the bench_service_hotpath.py warm cycle (best, us)."""
+    service = make_service(build_graph(n, seed=seed))
+    for i in range(HP_N_HOLDS):
+        grant = service.request(
+            f"hold-{i}", ApplicationSpec(num_nodes=3),
+            cpu_fraction=HP_HOLD_CPU, bw_bps=HP_HOLD_BW,
+        )
+        assert grant.admitted
+    spec = ApplicationSpec(num_nodes=HP_M)
+    best = float("inf")
+    for i in range(HP_WARMUP + HP_CYCLES):
+        app = f"hp-{i}"
+        t0 = time.perf_counter()
+        grant = service.request(
+            app, spec, cpu_fraction=HP_CPU, bw_bps=HP_BW,
+        )
+        service.release(app)
+        dt = time.perf_counter() - t0
+        assert grant.admitted
+        if i >= HP_WARMUP:
+            best = min(best, dt)
+    return best * 1e6
+
+
+def run(sizes: list[int], reps: int, seed: int = 0) -> dict:
+    rows = []
+    results: dict = {
+        "batch": BATCH,
+        "m": M,
+        "cpu0": CPU0,
+        "bw_claim_mbps": BW_CLAIM / Mbps,
+        "reps": reps,
+        "sizes": sizes,
+        "seed": seed,
+        "entries": [],
+    }
+    for n in sizes:
+        graph = build_graph(n, seed=seed)
+        serial_s = time_serial(make_service(graph), reps)
+        batched_s = time_batched(make_service(graph), reps)
+        entry = {
+            "nodes": n,
+            "serial_us": serial_s * 1e6,
+            "batched_us": batched_s * 1e6,
+            "serial_rps": BATCH / serial_s,
+            "batched_rps": BATCH / batched_s,
+            "speedup": serial_s / batched_s,
+        }
+        results["entries"].append(entry)
+        rows.append([
+            n,
+            f"{entry['serial_rps']:.0f}",
+            f"{entry['batched_rps']:.0f}",
+            f"{entry['speedup']:.1f}x",
+        ])
+    results["table"] = format_table(
+        ["hosts", "serial (req/s)", f"batch={BATCH} (req/s)", "speedup"],
+        rows,
+        title=(
+            f"Admission burst of {BATCH} concurrent {M}-node tenants "
+            f"(best of {reps})"
+        ),
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes only; CI smoke — correctness checks run, "
+             "timing gates skipped, committed JSON not overwritten",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for topology loads/residuals (default: 0, the "
+             "committed-figure seed)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    reps = QUICK_REPS if args.quick else FULL_REPS
+    results = run(sizes, reps, seed=args.seed)
+    table = results.pop("table")
+    print(table)
+
+    REPORT_PATH.parent.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(table + "\n")
+
+    if args.quick:
+        print("quick mode: correctness asserted, timing gates skipped")
+        return 0
+
+    # No-regression gate: the single-request warm cycle must stay within
+    # 1.15x of the committed hot-path figure at the largest size.
+    n_max = max(sizes)
+    cycle_us = hotpath_reference_cycle(n_max, seed=args.seed)
+    results["serial_cycle_gate"] = {
+        "nodes": n_max,
+        "measured_us": cycle_us,
+        "gate_ratio": HP_GATE,
+    }
+    if HOTPATH_JSON.exists():
+        committed = json.loads(HOTPATH_JSON.read_text())
+        ref = {
+            e["nodes"]: e for e in committed.get("entries", [])
+        }.get(n_max)
+        if ref is not None:
+            results["serial_cycle_gate"]["committed_us"] = (
+                ref["incremental_us"]
+            )
+            ratio = cycle_us / ref["incremental_us"]
+            results["serial_cycle_gate"]["ratio"] = ratio
+            print(
+                f"serial warm cycle at n={n_max}: {cycle_us:.0f} us "
+                f"vs committed {ref['incremental_us']:.0f} us "
+                f"({ratio:.2f}x, gate {HP_GATE}x)"
+            )
+            assert ratio <= HP_GATE, (
+                f"serial hot path regressed: {cycle_us:.0f} us is "
+                f"{ratio:.2f}x the committed figure (gate {HP_GATE}x)"
+            )
+
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {JSON_PATH.relative_to(REPO_ROOT)}")
+
+    # Acceptance gate: >= 3x requests/s over serial at 1000 hosts.
+    for e in results["entries"]:
+        if e["nodes"] == 1000:
+            assert e["speedup"] >= 3.0, (
+                f"batched admission speedup below 3x: {e}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

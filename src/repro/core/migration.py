@@ -134,6 +134,7 @@ class MigrationAdvisor:
         current_nodes: Sequence[str],
         footprint: SelfFootprint,
         refs: References = DEFAULT_REFERENCES,
+        graph: Optional[TopologyGraph] = None,
     ) -> MigrationDecision:
         """Compare staying on ``current_nodes`` against re-selection.
 
@@ -142,12 +143,17 @@ class MigrationAdvisor:
         is apples-to-apples and the app's own footprint does not penalize
         its current home.
 
+        ``graph`` overrides the selector's own snapshot — the selection
+        service passes its *residual* view with the application's claims
+        already credited back, so the evaluation sees exactly the
+        capacity a re-admission would run against.
+
         If any current node has failed (crashed / unmonitorable /
         partitioned away per the snapshot), the comparison is moot: a
         placement with a dead member scores 0 and migration is forced,
         bypassing hysteresis.
         """
-        g = self.corrected_snapshot(footprint)
+        g = self.corrected_snapshot(footprint, graph=graph)
         failed = unhealthy_nodes(g, list(current_nodes))
         candidate = self.selector.select(spec, graph=g)
         candidate_score = minresource(g, candidate.nodes, refs)

@@ -15,6 +15,14 @@ Collection is hardened against the failure modes of a shared network:
 - octet-counter deltas detect 32-bit wraps (delta recovered modulo the
   counter) and counter resets (sample dropped), and are clamped to the
   interface speed — derived utilization can never be negative or absurd.
+
+Staleness is also *pushed*: :meth:`Collector.subscribe` registers a
+callback that fires at the end of any poll round in which a resource
+crosses the staleness threshold in either direction —
+``host-stale`` / ``host-fresh`` for compute nodes, ``channel-stale`` /
+``channel-fresh`` for link channels.  The selection service's reactive
+pipeline (``SelectionService.enable_push``) rides this instead of
+discovering degradation at snapshot-fetch time.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Optional
+from typing import Callable, Optional
 
 from ..network.cluster import Cluster
 from ..network.fabric import ChannelId
@@ -135,6 +143,13 @@ class Collector:
             cid: 0 for cid in self._reporters
         }
         self._host_misses: dict[str, int] = {name: 0 for name in self.host_agents}
+        #: Staleness transitions detected during the current poll round,
+        #: delivered to subscribers when the round closes.
+        self._pending_events: list[tuple[str, object]] = []
+        #: Push subscribers (see :meth:`subscribe`), in subscription order.
+        self._subscribers: list[Callable[[float, str, object], None]] = []
+        #: Staleness-transition events delivered to subscribers.
+        self.events_emitted = 0
         self.polls_completed = 0
         #: counter-delta samples dropped as resets/implausible wraps
         self.dropped_samples = 0
@@ -171,8 +186,51 @@ class Collector:
             "Wall-clock duration of one complete poll round.",
         )
 
+    # -- push subscriptions ------------------------------------------------------
+    def subscribe(
+        self, callback: Callable[[float, str, object], None]
+    ) -> Callable[[], None]:
+        """Register ``callback(t, kind, target)`` for staleness transitions.
+
+        ``kind`` is one of ``host-stale`` / ``host-fresh`` (``target`` is
+        the host name) or ``channel-stale`` / ``channel-fresh``
+        (``target`` is the :class:`~repro.network.fabric.ChannelId`).
+        Events fire once per threshold *crossing* — when a resource's
+        consecutive misses first reach ``stale_after``, and when a stale
+        resource next answers a poll — and are delivered at the end of
+        the poll round that observed them, in subscription order.
+
+        Returns an unsubscribe callable.  Unsubscribing (any callback)
+        during delivery is safe: the revoked callback is skipped for the
+        remainder of the round.  Callbacks run synchronously inside the
+        collector's round; they must not raise.
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:  # already unsubscribed — idempotent
+                pass
+
+        return unsubscribe
+
+    def _flush_events(self) -> None:
+        """Deliver this round's transition events in subscription order."""
+        events, self._pending_events = self._pending_events, []
+        if not self._subscribers:
+            return
+        now = self.cluster.sim.now
+        for kind, target in events:
+            self.events_emitted += 1
+            for callback in list(self._subscribers):
+                if callback not in self._subscribers:
+                    continue  # unsubscribed during this delivery
+                callback(now, kind, target)
+
     def _finish_round(self, wall_start: float, failed: int) -> None:
         """Per-round telemetry: sweep-latency histogram and a poll span."""
+        self._flush_events()
         wall_end = perf_counter()
         if self._poll_hist is not None:
             self._poll_hist.observe(wall_end - wall_start)
@@ -241,6 +299,10 @@ class Collector:
                 failed_iface.append(name)
                 continue
             for rec in records:
+                if self._channel_misses[rec.channel] >= self.stale_after:
+                    self._pending_events.append(
+                        ("channel-fresh", rec.channel)
+                    )
                 self._channel_misses[rec.channel] = 0
                 if rec.channel in seen:
                     continue  # half-duplex channels reported by both ends
@@ -255,6 +317,8 @@ class Collector:
                 failed_host.append(name)
                 continue
             self._load[name].append((t, load))
+            if self._host_misses[name] >= self.stale_after:
+                self._pending_events.append(("host-fresh", name))
             self._host_misses[name] = 0
         return failed_iface, failed_host
 
@@ -264,8 +328,12 @@ class Collector:
         for cid, reporters in self._reporters.items():
             if reporters <= dead:
                 self._channel_misses[cid] += 1
+                if self._channel_misses[cid] == self.stale_after:
+                    self._pending_events.append(("channel-stale", cid))
         for name in failed_host:
             self._host_misses[name] += 1
+            if self._host_misses[name] == self.stale_after:
+                self._pending_events.append(("host-stale", name))
 
     def poll_once(self) -> list[str]:
         """One synchronous poll round of every agent (also used by tests).

@@ -36,6 +36,7 @@ subpackage is the long-running layer that makes concurrent use sound:
 """
 
 from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
+from .api import BatchRequest, PlacementBackend, PlacementGrant, iter_batch
 from .cache import PeelScheduleCache, RouteCache, SnapshotCache
 from .ledger import (
     CAPACITY_RETURNING_KINDS,
@@ -59,9 +60,12 @@ from .wal import LedgerWal, RecoveryReport, WalCorruptError, WalError
 
 __all__ = [
     "AdmissionQueue",
+    "BatchRequest",
     "CAPACITY_RETURNING_KINDS",
     "Decision",
     "Grant",
+    "PlacementBackend",
+    "PlacementGrant",
     "LedgerError",
     "LedgerWal",
     "PeelScheduleCache",
@@ -82,6 +86,7 @@ __all__ = [
     "TrunkLedger",
     "WalCorruptError",
     "WalError",
+    "iter_batch",
     "partition_topology",
     "repartition",
     "route_edges",

@@ -185,6 +185,14 @@ class RouteCache:
         self._pairs[key] = edges
         return edges
 
+    def connected(self, a: str, b: str) -> bool:
+        """Whether a routed path exists from ``a`` to ``b`` (memoized).
+
+        The batch-admission planner uses this to keep greedy placements
+        inside one component without a per-request O(V+E) sweep.
+        """
+        return a == b or self._pair_edges(a, b) is not None
+
     def edges_for(self, nodes: Sequence[str]) -> set[DirectedEdge]:
         """Directed channels used by traffic among ``nodes``.
 

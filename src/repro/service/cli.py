@@ -59,6 +59,7 @@ from ..obs import MetricsRegistry, Tracer
 from ..topology.serialize import from_json
 from ..units import Mbps
 from .admission import Priority
+from .api import BatchRequest
 from .service import SelectionService
 from .sharding import ShardRouter
 from .wal import WalCorruptError
@@ -160,6 +161,26 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="victim wind-down before reclamation "
                              "(default: 0 — immediate)")
+    parser.add_argument("--async", dest="async_mode", action="store_true",
+                        help="serve the workload through an asyncio loop: "
+                             "arrivals flow through a bounded queue, request "
+                             "ops within --batch-window of each other "
+                             "coalesce into one admit_batch() call, and "
+                             "SIGTERM/SIGINT drain already-queued operations "
+                             "before exiting")
+    parser.add_argument("--batch-window", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="async coalescing window: how long to hold an "
+                             "open batch for more arrivals (default: 0.05)")
+    parser.add_argument("--batch-max", type=int, default=32, metavar="N",
+                        help="async batch size cap: flush when N request ops "
+                             "have coalesced (default: 32)")
+    parser.add_argument("--queue-size", type=int, default=256, metavar="N",
+                        help="async arrival queue bound; producers block when "
+                             "full (default: 256)")
+    parser.add_argument("--pace", type=float, default=0.0, metavar="SECONDS",
+                        help="async wall-clock delay between arrivals "
+                             "(default: 0 — replay as fast as possible)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format")
     parser.add_argument("--profile", action="store_true",
@@ -232,12 +253,148 @@ def _run_op(service, op: dict) -> dict:
     elif kind == "renew":
         renewed = service.renew(app)
         record["status"] = "renewed"
-        expires_at = getattr(renewed, "expires_at", None)
-        if expires_at is not None:  # a router renew returns the grant
-            record["expires_at"] = expires_at
+        if renewed.reservation is not None:  # router grants carry none
+            record["expires_at"] = renewed.reservation.expires_at
     else:
         raise ValueError(f"unknown op {kind!r} in {op!r}")
     return record
+
+
+def _batch_request(op: dict) -> BatchRequest:
+    """One workload request op as a :class:`BatchRequest`."""
+    app = op.get("app")
+    if not app:
+        raise ValueError(f"operation needs an 'app' id: {op!r}")
+    return BatchRequest(
+        app_id=app,
+        spec=ApplicationSpec(
+            num_nodes=int(op.get("nodes", 1)),
+            objective=op.get("objective", Objective.BALANCED),
+        ),
+        cpu_fraction=float(op.get("cpu", 0.0)),
+        bw_bps=float(op.get("bw_mbps", 0.0)) * Mbps,
+        priority=op.get("priority", Priority.SILVER),
+    )
+
+
+def _serve_async(
+    service,
+    ops: list[dict],
+    *,
+    pace: float,
+    window: float,
+    batch_max: int,
+    queue_size: int,
+) -> tuple[list[dict], Optional[str], int]:
+    """Run the workload through an asyncio producer/consumer pipeline.
+
+    The producer feeds operations into a bounded queue (pacing arrivals
+    by ``pace`` wall-clock seconds); the consumer coalesces consecutive
+    *request* ops into one :meth:`admit_batch` call, flushing when the
+    ``window`` elapses with an open batch, when ``batch_max`` arrivals
+    have coalesced, or when a non-batchable op (release / renew / tick /
+    spread request) arrives and must run serially in arrival order.
+
+    SIGTERM/SIGINT stop the producer; the consumer **drains** every
+    already-queued operation before returning — a graceful shutdown
+    never drops work it accepted.  Returns ``(outcomes, signame,
+    enqueued)`` where ``signame`` is the signal that stopped the run
+    (``None`` when it completed) and ``enqueued`` counts the operations
+    that entered the pipeline.
+    """
+    import asyncio
+
+    outcomes: list[dict] = []
+    state: dict = {"signame": None, "enqueued": 0}
+
+    def _advance_to(at: float) -> None:
+        # Batching can observe an earlier op after a later one's clock
+        # advance; the clock only ever moves forward.
+        if at > service.now:
+            service.advance(at - service.now)
+
+    def _flush(batch: list[dict]) -> None:
+        if not batch:
+            return
+        _advance_to(max(float(op.get("at", service.now)) for op in batch))
+        grants = service.admit_batch([_batch_request(op) for op in batch])
+        for grant in grants:
+            record = {
+                "at": service.now, "op": "request",
+                "app": grant.app_id, "status": grant.status,
+            }
+            if grant.selection is not None:
+                record["nodes"] = grant.selection.nodes
+            if grant.reason:
+                record["reason"] = grant.reason
+            outcomes.append(record)
+
+    async def _runner() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+
+        def _request_stop(signame: str) -> None:
+            state["signame"] = signame
+            stop.set()
+
+        installed = []
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        signum, _request_stop, signal.Signals(signum).name
+                    )
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # platform without signal support in loops
+
+        async def producer() -> None:
+            for op in ops:
+                if stop.is_set():
+                    break
+                if pace > 0:
+                    await asyncio.sleep(pace)
+                    if stop.is_set():
+                        break
+                await queue.put(op)
+                state["enqueued"] += 1
+            await queue.put(None)  # sentinel: no more arrivals
+
+        async def consumer() -> None:
+            batch: list[dict] = []
+            while True:
+                try:
+                    op = await asyncio.wait_for(
+                        queue.get(), timeout=window if batch else None
+                    )
+                except asyncio.TimeoutError:
+                    _flush(batch)
+                    batch = []
+                    continue
+                if op is None:
+                    _flush(batch)
+                    return
+                kind = op.get("op", "request")
+                if kind == "request" and "spread" not in op:
+                    batch.append(op)
+                    if len(batch) >= batch_max:
+                        _flush(batch)
+                        batch = []
+                else:
+                    _flush(batch)
+                    batch = []
+                    _advance_to(float(op.get("at", service.now)))
+                    outcomes.append(_run_op(service, op))
+
+        try:
+            await asyncio.gather(producer(), consumer())
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    asyncio.run(_runner())
+    return outcomes, state["signame"], state["enqueued"]
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -328,22 +485,43 @@ def main(argv: Optional[list[str]] = None) -> int:
         raise _GracefulExit(signal.Signals(signum).name)
 
     # Signal handlers only install on the main thread (embedders calling
-    # main() from a worker thread keep their own handling).
+    # main() from a worker thread keep their own handling).  Async mode
+    # installs its own loop-scoped drain handlers instead.
     restore: dict = {}
-    if threading.current_thread() is threading.main_thread():
+    if (not args.async_mode
+            and threading.current_thread() is threading.main_thread()):
         for signum in (signal.SIGTERM, signal.SIGINT):
             restore[signum] = signal.signal(signum, _on_signal)
 
     outcomes = []
     try:
-        for op in ops:
-            at = float(op.get("at", service.now))
-            if at < service.now:
-                raise ValueError(
-                    f"operations must be time-ordered: {at} < {service.now}"
+        if args.async_mode:
+            outcomes, signame, enqueued = _serve_async(
+                service, ops,
+                pace=args.pace,
+                window=args.batch_window,
+                batch_max=args.batch_max,
+                queue_size=args.queue_size,
+            )
+            if signame is not None:
+                print(
+                    f"received {signame} after {enqueued}/{len(ops)} "
+                    f"operations accepted: drained {len(outcomes)} and "
+                    "shutting down"
+                    + (", flushing final snapshot" if service.wal is not None
+                       else ""),
+                    file=sys.stderr,
                 )
-            service.advance(at - service.now)
-            outcomes.append(_run_op(service, op))
+        else:
+            for op in ops:
+                at = float(op.get("at", service.now))
+                if at < service.now:
+                    raise ValueError(
+                        f"operations must be time-ordered: "
+                        f"{at} < {service.now}"
+                    )
+                service.advance(at - service.now)
+                outcomes.append(_run_op(service, op))
     except (KeyError, ValueError) as exc:
         print(f"error: bad workload operation: {exc}", file=sys.stderr)
         return 2

@@ -136,6 +136,21 @@ class ServiceMetrics:
     routed_cross: int = 0
     #: Cross-shard requests refused for trunk capacity.
     trunk_rejections: int = 0
+    #: ``admit_batch`` calls (each amortizes one snapshot fetch + peel
+    #: schedule across the whole arrival batch).
+    batches: int = 0
+    #: Individual requests that arrived inside a batch.
+    batch_requests: int = 0
+    #: Batch requests placed by the greedy batch planner (the amortized
+    #: fast path, vs a full serial admission pipeline run).
+    batch_planned: int = 0
+    #: Batch requests the planner could not place that fell back to the
+    #: exact serial admission pipeline.
+    batch_fallbacks: int = 0
+    #: Collector push events (staleness transitions) received.
+    push_events: int = 0
+    #: Live leases proactively migrated off degrading nodes.
+    migrations: int = 0
     #: Preempted-lease counts keyed by the victim's priority class
     #: (feeds ``repro_service_preemptions_total{class=...}``; not part
     #: of the flat snapshot schema).
@@ -182,6 +197,18 @@ class ServiceMetrics:
             "routed_cross": "Requests admitted across shards via the trunk.",
             "trunk_rejections": (
                 "Cross-shard requests refused for trunk capacity."
+            ),
+            "batches": "admit_batch calls (arrival batches admitted).",
+            "batch_requests": "Requests that arrived inside a batch.",
+            "batch_planned": (
+                "Batch requests placed by the greedy batch planner."
+            ),
+            "batch_fallbacks": (
+                "Batch requests that fell back to serial admission."
+            ),
+            "push_events": "Collector staleness push events received.",
+            "migrations": (
+                "Leases proactively migrated off degrading nodes."
             ),
         }
         for attr, help_text in help_by_name.items():
@@ -245,6 +272,12 @@ class ServiceMetrics:
             "routed_local": self.routed_local,
             "routed_cross": self.routed_cross,
             "trunk_rejections": self.trunk_rejections,
+            "batches": self.batches,
+            "batch_requests": self.batch_requests,
+            "batch_planned": self.batch_planned,
+            "batch_fallbacks": self.batch_fallbacks,
+            "push_events": self.push_events,
+            "migrations": self.migrations,
         }
         if queue is not None:
             out["queue_depth"] = len(queue)

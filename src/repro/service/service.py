@@ -34,22 +34,29 @@ rebuild path — kept as the benchmark's comparison arm
 
 from __future__ import annotations
 
+import heapq
 import logging
 import time
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from time import perf_counter
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..core.metrics import References
 from ..core.selector import NodeSelector
 from ..core.spec import ApplicationSpec
-from ..core.types import ExtrasKey, NoFeasibleSelection, Selection
+from ..core.types import (
+    ExtrasKey,
+    NoFeasibleSelection,
+    Selection,
+    node_is_selectable,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER
 from ..topology.graph import TopologyGraph
 from ..topology.residual import residual_graph
 from ..topology.routing import RoutingTable
 from .admission import AdmissionQueue, Decision, Priority, SelectionRequest
+from .api import BatchRequest, PlacementGrant, iter_batch
 from .cache import SnapshotCache
 from .ledger import (
     CAPACITY_RETURNING_KINDS,
@@ -87,23 +94,28 @@ def _copy_selection(selection: Selection) -> Selection:
     )
 
 
-@dataclass(frozen=True)
-class Grant:
-    """The service's answer (and later, the standing status) for one app."""
+#: Outcome status / metrics counter for each capacity-returning release
+#: kind (the :meth:`SelectionService.release` ``kind=`` vocabulary is the
+#: ledger's :data:`CAPACITY_RETURNING_KINDS`).
+_STATUS_BY_RELEASE_KIND = {
+    "release": Decision.RELEASED,
+    "expire": Decision.EXPIRED,
+    "evict": Decision.EVICTED,
+    "preempt": Decision.PREEMPTED,
+}
+_METRIC_BY_RELEASE_KIND = {
+    "release": "released",
+    "expire": "expired",
+    "evict": "evicted",
+    "preempt": "preempted",
+}
 
-    app_id: str
-    status: str  # a Decision value
-    selection: Optional[Selection] = None
-    reservation: Optional[Reservation] = None
-    reason: str = ""
-    #: Provenance (:class:`repro.obs.ExplainRecord`) when the request
-    #: asked for ``explain=True`` — set on admitted grants (why these
-    #: nodes) and on queued/rejected ones (why infeasible).
-    explain: Optional[object] = None
 
-    @property
-    def admitted(self) -> bool:
-        return self.status == Decision.ADMITTED
+#: The service's answer (and later, the standing status) for one app.
+#: Since the PlacementBackend redesign this *is* the unified
+#: :class:`~repro.service.api.PlacementGrant` — the name ``Grant`` is
+#: kept as the service-local alias every existing caller imports.
+Grant = PlacementGrant
 
 
 class _StaticProvider:
@@ -302,6 +314,16 @@ class SelectionService:
         #: the normal expiry path; :meth:`tick` labels the outcome
         #: PREEMPTED instead of EXPIRED.
         self._preempt_pending: dict[str, str] = {}
+        #: The spec each live lease was admitted with — proactive
+        #: migration re-runs selection with the original shape.  Entries
+        #: drop when the ledger returns the capacity.  (WAL-recovered
+        #: leases have no spec on file; migration falls back to a
+        #: same-size plain spec.)
+        self._live_specs: dict[str, ApplicationSpec] = {}
+        #: Collector push subscription (see :meth:`enable_push`).
+        self._push_unsub: Optional[Callable[[], None]] = None
+        self._advisor = None
+        self._migrate_on_degrade = False
         if state_dir is not None:
             # Durability first: the WAL sees every mutation before any
             # derived state (overlay, metrics) reacts to it.
@@ -542,6 +564,14 @@ class SelectionService:
             submitted_at=self.now,
             explain=explain,
         )
+        grant = self._admit_serial(req)
+        if grant is not None:
+            self._record_admit(req, grant)
+            return grant
+        return self._settle_failure(req, explain)
+
+    def _admit_serial(self, req: SelectionRequest) -> Optional[Grant]:
+        """The exact one-request admission attempt (+ gold preemption)."""
         grant = self._try_admit(req)
         if (
             grant is None
@@ -549,10 +579,21 @@ class SelectionService:
             and req.priority == Priority.GOLD
         ):
             grant = self._preempt_for(req)
-        if grant is not None:
-            self.metrics.admitted += 1
-            self.outcomes[app_id] = grant
-            return grant
+        return grant
+
+    def _record_admit(self, req: SelectionRequest, grant: Grant) -> None:
+        """Bookkeeping shared by every successful admission path."""
+        self.metrics.admitted += 1
+        self.outcomes[req.app_id] = grant
+        self._live_specs[req.app_id] = req.spec
+
+    def _settle_failure(self, req: SelectionRequest, explain: bool) -> Grant:
+        """Queue (or reject) a request admission could not place.
+
+        The shared failure tail of :meth:`request` and
+        :meth:`admit_batch`: offer the request to the bounded priority
+        queue, handling displacement, and record the standing outcome.
+        """
         # Recorded *after* the attempt: the attempt itself can advance the
         # epoch (a fresh snapshot rebuilds the view), and that newer epoch
         # is the one this failure was measured against.
@@ -560,7 +601,7 @@ class SelectionService:
         displaced = self.queue.offer(req)
         if displaced is req:
             grant = Grant(
-                app_id=app_id,
+                app_id=req.app_id,
                 status=Decision.REJECTED,
                 reason="infeasible on residual capacity and queue full",
                 explain=self._explain_failure(req) if explain else None,
@@ -576,13 +617,13 @@ class SelectionService:
                     reason="displaced from queue by higher priority",
                 )
             grant = Grant(
-                app_id=app_id,
+                app_id=req.app_id,
                 status=Decision.QUEUED,
                 reason="waiting for capacity",
                 explain=self._explain_failure(req) if explain else None,
             )
             self.metrics.queued += 1
-        self.outcomes[app_id] = grant
+        self.outcomes[req.app_id] = grant
         return grant
 
     def _explain_failure(self, req: SelectionRequest):
@@ -640,6 +681,7 @@ class SelectionService:
         if self._view is not None:
             self._view.apply_delta(reservation)
         if kind in CAPACITY_RETURNING_KINDS:
+            self._live_specs.pop(reservation.app_id, None)
             self._residual_epoch += 1
 
     def _residual(self, base: TopologyGraph) -> TopologyGraph:
@@ -873,6 +915,98 @@ class SelectionService:
         fits, _edges = self._verify_claims(req, residual, tuple(selection.nodes))
         return selection if fits else None
 
+    # -- batched admission --------------------------------------------------------
+    def _plannable(self, req: SelectionRequest) -> bool:
+        """Whether the greedy batch planner may place this request.
+
+        Mirrors :meth:`_effective_spec`'s plain-spec test: anything
+        carrying its own floors or structural constraints runs the exact
+        serial pipeline instead (the planner only understands claim
+        floors on plain fixed-size specs).
+        """
+        spec = req.spec
+        return (
+            self.incremental
+            and not req.explain
+            and spec.min_bandwidth_bps is None
+            and spec.min_cpu_fraction is None
+            and spec.max_latency_s is None
+            and not spec.account_simultaneous_streams
+            and not spec.groups
+            and spec.eligible is None
+            and spec.num_nodes_range is None
+        )
+
+    def admit_batch(self, requests: Sequence[BatchRequest]) -> list[Grant]:
+        """Admit a whole arrival batch; returns per-request grants in order.
+
+        Amortizes the admission pipeline across the batch: one
+        :meth:`tick`, one snapshot fetch, one residual view, and one peel
+        schedule serve every request.  The first request (and any
+        request the greedy planner cannot place — non-plain specs,
+        contended capacity) runs the exact serial pipeline; the rest are
+        packed by a claim-aware greedy planner reading the live residual
+        overlay, which the ledger updates in place after each commit.
+
+        A batch of one is **bit-identical** to :meth:`request`: it takes
+        the serial path with the same selector, memo, and ledger
+        arithmetic.
+
+        Validation is atomic — a duplicate ``app_id`` within the batch
+        or against a live lease/queue entry raises ``ValueError`` with
+        *nothing* admitted.  Admission is **not** atomic: each request
+        settles individually (admit / queue / reject), and an infeasible
+        tail never rolls back an already-admitted head (see DESIGN.md
+        §15 for the non-guarantees).
+        """
+        batch = list(iter_batch(requests))
+        if not batch:
+            return []
+        self.tick()
+        for b in batch:
+            if b.app_id in self.ledger.reservations or b.app_id in self.queue:
+                raise ValueError(
+                    f"application {b.app_id!r} already has a live request; "
+                    "release() it first (no request from this batch was "
+                    "admitted)"
+                )
+        self.metrics.requests += len(batch)
+        self.metrics.batches += 1
+        self.metrics.batch_requests += len(batch)
+        now = self.now
+        reqs = [
+            SelectionRequest(
+                app_id=b.app_id, spec=b.spec, cpu_fraction=b.cpu_fraction,
+                bw_bps=b.bw_bps, priority=b.priority, submitted_at=now,
+            )
+            for b in batch
+        ]
+        grants: list[Grant] = []
+        planner: Optional[_BatchPlanner] = None
+        for i, req in enumerate(reqs):
+            grant = None
+            if i > 0 and self._plannable(req):
+                if planner is None or planner.view is not self._view:
+                    # First planned request, or the view was rebuilt
+                    # mid-batch (a serial fallback swept a fresh
+                    # snapshot) — (re)build the candidate pool.
+                    planner = _BatchPlanner(self)
+                t0 = perf_counter()
+                grant = planner.try_admit(req)
+                self.metrics.observe_stage("batch_plan", perf_counter() - t0)
+                if grant is not None:
+                    self.metrics.batch_planned += 1
+                else:
+                    self.metrics.batch_fallbacks += 1
+            if grant is None:
+                grant = self._admit_serial(req)
+            if grant is not None:
+                self._record_admit(req, grant)
+                grants.append(grant)
+            else:
+                grants.append(self._settle_failure(req, explain=False))
+        return grants
+
     # -- priority preemption ------------------------------------------------------
     def _preempt_cost(self, r: Reservation) -> float:
         """Cheapness order for victims: how much capacity eviction frees.
@@ -1035,34 +1169,61 @@ class SelectionService:
         return grant
 
     # -- lease lifecycle ---------------------------------------------------------
-    def release(self, app_id: str) -> Grant:
-        """Give back ``app_id``'s capacity (or withdraw its queued request)."""
+    def release(self, app_id: str, *, kind: str = "release") -> Grant:
+        """Give back ``app_id``'s capacity (or withdraw its queued request).
+
+        ``kind`` labels the ledger record and the standing outcome — one
+        of :data:`~repro.service.CAPACITY_RETURNING_KINDS` (``release``,
+        ``expire``, ``evict``, ``preempt``); operators evicting on behalf
+        of a dead client pass ``kind="evict"`` so the WAL and metrics
+        say what actually happened.
+        """
+        status = _STATUS_BY_RELEASE_KIND.get(kind)
+        if status is None:
+            raise ValueError(
+                f"unknown release kind {kind!r}; expected one of "
+                f"{sorted(_STATUS_BY_RELEASE_KIND)}"
+            )
         if self.queue.remove(app_id) is not None:
             grant = Grant(app_id=app_id, status=Decision.RELEASED,
                           reason="withdrawn from queue")
+            self.metrics.released += 1
         else:
-            self.ledger.release(app_id)  # raises KeyError when unknown
-            grant = Grant(app_id=app_id, status=Decision.RELEASED)
+            self.ledger.release(app_id, kind=kind)  # KeyError when unknown
+            grant = Grant(app_id=app_id, status=status)
+            attr = _METRIC_BY_RELEASE_KIND[kind]
+            setattr(self.metrics, attr, getattr(self.metrics, attr) + 1)
         self._preempt_pending.pop(app_id, None)
-        self.metrics.released += 1
         self.outcomes[app_id] = grant
         self._drain_queue()
         return grant
 
-    def renew(self, app_id: str) -> Reservation:
-        """Extend ``app_id``'s lease by the service's lease duration.
+    def renew(self, app_id: str, *, extend: Optional[float] = None) -> Grant:
+        """Extend ``app_id``'s lease; returns the refreshed grant.
 
-        A lease winding down under preemption cannot renew its way out of
-        the grace deadline — renewal raises :class:`LedgerError`.
+        ``extend`` overrides the service's lease duration for this one
+        renewal (``None``: the configured ``lease_s``).  A lease winding
+        down under preemption cannot renew its way out of the grace
+        deadline — renewal raises :class:`LedgerError`.
         """
         if app_id in self._preempt_pending:
             raise LedgerError(
                 f"lease for {app_id!r} is being preempted for "
                 f"{self._preempt_pending[app_id]!r}; renewal refused"
             )
-        reservation = self.ledger.renew(app_id, self.now, self.lease_s)
+        lease = self.lease_s if extend is None else float(extend)
+        reservation = self.ledger.renew(app_id, self.now, lease)
         self.metrics.renewed += 1
-        return reservation
+        prev = self.outcomes.get(app_id)
+        grant = Grant(
+            app_id=app_id,
+            status=Decision.ADMITTED,
+            selection=prev.selection if prev is not None else None,
+            reservation=reservation,
+            reason="renewed",
+        )
+        self.outcomes[app_id] = grant
+        return grant
 
     def tick(self) -> list[str]:
         """Expire lapsed leases and retry the queue; returns expired apps.
@@ -1115,9 +1276,8 @@ class SelectionService:
                 req.last_failed_epoch = self._residual_epoch
                 continue  # keep waiting; smaller requests may still fit
             self.queue.remove(req.app_id)
-            self.metrics.admitted += 1
+            self._record_admit(req, grant)
             self.metrics.admitted_from_queue += 1
-            self.outcomes[req.app_id] = grant
 
     # -- fault integration ---------------------------------------------------------
     def attach_injector(self, injector) -> None:
@@ -1169,6 +1329,151 @@ class SelectionService:
 
         injector.subscribe(on_event)
 
+    def enable_push(
+        self,
+        collector,
+        *,
+        migrate_on_degrade: bool = True,
+        hysteresis: float = 0.2,
+    ) -> Callable[[], None]:
+        """Subscribe to a collector's staleness events (push pipeline).
+
+        Instead of discovering a degrading node at the next TTL sweep,
+        the service reacts the moment the
+        :class:`~repro.remos.Collector` marks it: every event
+        invalidates the snapshot cache; a recovery (``*-fresh``) drains
+        the admission queue against the returned capacity; a host going
+        stale (``host-stale``) triggers *proactive re-selection* — each
+        lease on the degrading host is re-evaluated through the
+        :class:`~repro.core.MigrationAdvisor` and moved to a fresh
+        placement while the host is still only degraded, instead of
+        waiting for the crash-eviction hammer in
+        :meth:`attach_injector`.
+
+        Returns the unsubscribe callable; calling it detaches the
+        pipeline.  Raises :class:`RuntimeError` if push is already
+        enabled (one collector per service).
+        """
+        if self._push_unsub is not None:
+            raise RuntimeError("push pipeline already enabled")
+        from ..core.migration import MigrationAdvisor
+
+        self._advisor = MigrationAdvisor(self.selector, hysteresis=hysteresis)
+        self._migrate_on_degrade = migrate_on_degrade
+
+        def on_push(_t: float, kind: str, target: object) -> None:
+            self.metrics.push_events += 1
+            self.cache.invalidate()
+            if kind in ("host-fresh", "channel-fresh"):
+                self._residual_epoch += 1  # capacity may be back
+                self._drain_queue()
+                return
+            if kind == "host-stale" and self._migrate_on_degrade:
+                for app_id in self.ledger.apps_on_node(str(target)):
+                    self._migrate_lease(app_id, str(target))
+
+        unsub = collector.subscribe(on_push)
+
+        def disable() -> None:
+            unsub()
+            self._push_unsub = None
+
+        self._push_unsub = disable
+        return disable
+
+    def _migrate_lease(self, app_id: str, node: str) -> bool:
+        """Move ``app_id``'s lease off degrading ``node`` (best effort).
+
+        Evaluates the advisor on a *trial* residual view with this
+        app's own claims credited back (the service-level analogue of
+        the paper's self-footprint correction — what a re-admission
+        would actually run against), then release-and-readmit pinned to
+        the advisor's candidate.  Any failure leaves the lease exactly
+        as it was: an unmovable lease simply waits for crash eviction.
+        """
+        r = self.ledger.reservations.get(app_id)
+        if r is None:
+            return False
+        spec = self._live_specs.get(app_id)
+        if spec is None:
+            spec = ApplicationSpec(num_nodes=len(r.nodes))
+        base = self.cache.topology()  # fresh: the event invalidated it
+        # Credit this app's claims back with release()'s exact
+        # arithmetic (see _plan_preemption) so advisor feasibility
+        # equals re-admission feasibility.
+        trial_nodes = dict(self.ledger._node_claims)
+        trial_edges = dict(self.ledger._edge_claims)
+        for name in r.nodes:
+            claimed = trial_nodes[name]
+            remaining = claimed - r.cpu_fraction
+            if remaining <= _slack(claimed):
+                del trial_nodes[name]
+            else:
+                trial_nodes[name] = remaining
+        for edge in r.edges:
+            claimed = trial_edges[edge]
+            remaining = claimed - r.bw_bps
+            if remaining <= _slack(claimed):
+                del trial_edges[edge]
+            else:
+                trial_edges[edge] = remaining
+        trial = residual_graph(base, trial_nodes, trial_edges)
+        for name in self._known_down:
+            if trial.has_node(name):
+                trial.node(name).attrs["down"] = True
+        from ..core.migration import SelfFootprint
+
+        try:
+            decision = self._advisor.evaluate(
+                spec, r.nodes, SelfFootprint(), graph=trial
+            )
+        except NoFeasibleSelection:
+            return False  # nowhere to go; leave it for eviction
+        if not decision.migrate:
+            return False
+        self.ledger.release(app_id, kind="release")
+        pinned = frozenset(decision.candidate.nodes)
+        req = SelectionRequest(
+            app_id=app_id,
+            spec=replace(
+                spec,
+                num_nodes=len(decision.candidate.nodes),
+                num_nodes_range=None,
+                eligible=lambda node, _p=pinned: node.name in _p,
+            ),
+            cpu_fraction=r.cpu_fraction,
+            bw_bps=r.bw_bps,
+            priority=r.priority,
+            submitted_at=self.now,
+        )
+        grant = self._try_admit(req)
+        if grant is None:
+            # Roll the original lease back; nothing changed.
+            lease = r.expires_at - self.now
+            if lease > 0:
+                self.ledger.reserve(
+                    app_id, r.nodes,
+                    cpu_fraction=r.cpu_fraction, bw_bps=r.bw_bps,
+                    graph=base, now=self.now, lease_s=lease,
+                    routing=self.routing, priority=r.priority,
+                    edges=r.edges,
+                )
+            return False
+        self.metrics.migrations += 1
+        self._live_specs[app_id] = spec  # the original, not the pinned one
+        self.outcomes[app_id] = replace(
+            grant, reason=f"migrated off degrading node {node!r}"
+        )
+        logger.warning(
+            "lease migrated: app=%r off=%r onto=%r reason=%s",
+            app_id, node, list(decision.candidate.nodes), decision.reason,
+        )
+        self.tracer.event(
+            "service.migrate", app=app_id, node=node,
+            onto=",".join(decision.candidate.nodes),
+        )
+        return True
+
     # -- introspection --------------------------------------------------------------
     def status(self, app_id: str) -> Grant:
         """The standing outcome for ``app_id`` (admitted apps stay admitted)."""
@@ -1214,4 +1519,127 @@ class SelectionService:
         return (
             f"<SelectionService {self.ledger.active} leases, "
             f"{len(self.queue)} queued, t={self.now:g}>"
+        )
+
+
+class _BatchPlanner:
+    """Claim-aware greedy packer for :meth:`SelectionService.admit_batch`.
+
+    One exact selection per batch is enough to validate the snapshot;
+    the remaining plain requests are placed by a lazy max-heap over
+    residual CPU availability, reading the *live* overlay the ledger
+    debits in place after each commit.  Per request: O(m log V) heap
+    pops with stale-entry re-ranking, one connectivity memo probe per
+    chosen node, and the same ledger ``reserve`` every serial admission
+    ends in — the planner only replaces the O(E log E) selection, never
+    the claim arithmetic, so its grants respect exactly the caps the
+    serial path would.
+
+    The planner is valid for one residual view; ``try_admit`` returns
+    ``None`` (serial fallback) whenever the service's view was rebuilt
+    underneath it, whenever no feasible placement exists, or when the
+    ledger refuses the claim — the caller then runs the exact pipeline,
+    which also produces the authoritative rejection reason.
+    """
+
+    def __init__(self, service: SelectionService) -> None:
+        base = service.cache.topology()
+        service._residual(base)  # ensure the overlay exists and is current
+        self.service = service
+        self.base = base
+        self.view = service._view
+        assert self.view is not None
+        self._heap = [
+            (-node.cpu, node.name)
+            for node in self.view.graph.nodes()
+            if node.is_compute and node_is_selectable(node)
+        ]
+        heapq.heapify(self._heap)
+
+    def try_admit(self, req: SelectionRequest) -> Optional[Grant]:
+        service = self.service
+        view = self.view
+        if service._view is not view:
+            return None  # view rebuilt mid-batch; caller rebuilds us
+        m = req.spec.num_nodes
+        need = req.cpu_fraction
+        caps = service.ledger._node_claims
+        cap = service.ledger.cpu_cap
+        graph = view.graph
+        heap = self._heap
+        chosen: list[str] = []
+        avails: list[float] = []
+        deferred: list[tuple[float, str]] = []
+        while heap and len(chosen) < m:
+            neg, name = heapq.heappop(heap)
+            if not graph.has_node(name):
+                continue  # snapshot lost the node; drop the entry
+            node = graph.node(name)
+            if not node_is_selectable(node):
+                continue  # went down this epoch; drop for good
+            avail = node.cpu
+            if avail < -neg - 1e-12:
+                # Stale entry (a commit debited this node since it was
+                # pushed) — re-rank it at its current availability.
+                heapq.heappush(heap, (-avail, name))
+                continue
+            if (
+                avail + _EPS < need
+                or caps.get(name, 0.0) + need > cap + _EPS
+                or (chosen and not view.routes.connected(chosen[0], name))
+            ):
+                # Infeasible *for this request only* — keep it around
+                # for the rest of the batch.
+                deferred.append((-avail, name))
+                continue
+            chosen.append(name)
+            avails.append(avail)
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+
+        def restore() -> None:
+            for name in chosen:
+                heapq.heappush(heap, (-graph.node(name).cpu, name))
+
+        if len(chosen) < m:
+            restore()
+            req.last_reason = "batch planner found no feasible placement"
+            return None
+        edges = None
+        if req.bw_bps > 0:
+            edges = view.routes.edges_for(chosen)
+            for key, dst in edges:
+                link = graph.link(*tuple(key))
+                if link.available_towards(dst) + _EPS < req.bw_bps:
+                    restore()
+                    req.last_reason = (
+                        "batch planner found no feasible placement"
+                    )
+                    return None
+        try:
+            reservation = service.ledger.reserve(
+                req.app_id, chosen,
+                cpu_fraction=req.cpu_fraction, bw_bps=req.bw_bps,
+                graph=self.base, now=service.now,
+                lease_s=service.lease_s, routing=service.routing,
+                priority=req.priority, edges=edges,
+            )
+        except LedgerError:
+            restore()
+            req.last_reason = "batch planner claim refused by ledger"
+            return None
+        # The ledger listener already debited the overlay in place;
+        # re-rank the chosen nodes at their post-commit availability.
+        restore()
+        selection = Selection(
+            nodes=list(chosen),
+            objective=min(avails),
+            min_cpu_fraction=min(avails),
+            algorithm="batch-greedy",
+        )
+        return Grant(
+            app_id=req.app_id,
+            status=Decision.ADMITTED,
+            selection=selection,
+            reservation=reservation,
         )

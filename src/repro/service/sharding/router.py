@@ -44,9 +44,9 @@ from __future__ import annotations
 import logging
 import math
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Optional
+from typing import Optional, Sequence
 
 from ...core.spec import ApplicationSpec
 from ...core.types import Selection
@@ -54,10 +54,13 @@ from ...obs.metrics import MetricsRegistry
 from ...obs.trace import NULL_TRACER
 from ...topology.graph import TopologyGraph
 from ..admission import Decision, Priority
+from ..api import BatchRequest, PlacementGrant, iter_batch
 from ..cache import RouteCache
 from ..ledger import LedgerError
 from ..metrics import ServiceMetrics
 from ..service import (
+    _METRIC_BY_RELEASE_KIND,
+    _STATUS_BY_RELEASE_KIND,
     SelectionService,
     _ManualClock,
     _resolve_clock,
@@ -78,29 +81,12 @@ class _CommitAbort(Exception):
     """A commit-phase admission diverged from its probe (defensive only)."""
 
 
-@dataclass(frozen=True)
-class ShardGrant:
-    """The router's composite answer (and standing status) for one app."""
-
-    app_id: str
-    status: str  # a Decision value
-    selection: Optional[Selection] = None
-    #: Shard indices hosting the placement (one element when local).
-    shards: tuple = ()
-    #: Shard index -> sub-grant id inside that shard's service.
-    parts: dict = field(default_factory=dict)
-    #: The trunk bandwidth reservation (``None`` when local or when the
-    #: request claimed no bandwidth).
-    trunk: Optional[object] = None
-    reason: str = ""
-
-    @property
-    def admitted(self) -> bool:
-        return self.status == Decision.ADMITTED
-
-    @property
-    def cross_shard(self) -> bool:
-        return len(self.shards) > 1
+#: Deprecated alias.  The router's composite grant merged into the
+#: unified :class:`~repro.service.api.PlacementGrant` with the
+#: PlacementBackend redesign (DESIGN.md §15) — same fields, same
+#: semantics (``shards``/``parts``/``trunk`` simply stay empty on the
+#: single-service backend).  Import :class:`PlacementGrant` instead.
+ShardGrant = PlacementGrant
 
 
 @dataclass(frozen=True)
@@ -211,9 +197,9 @@ class ShardRouter:
         self.routes = RouteCache(self._full)
         self.metrics = ServiceMetrics()
         #: Latest standing outcome per application.
-        self.outcomes: dict[str, ShardGrant] = {}
+        self.outcomes: dict[str, PlacementGrant] = {}
         #: Admitted composites still holding capacity.
-        self._active: dict[str, ShardGrant] = {}
+        self._active: dict[str, PlacementGrant] = {}
         #: Observed pairwise traffic (unordered node pairs -> weight),
         #: feeding the repartition trigger.
         self._pair_traffic: dict[tuple[str, str], float] = {}
@@ -276,7 +262,7 @@ class ShardRouter:
                 r = self.services[shard].ledger.reservations[parts[shard]]
                 nodes.extend(r.nodes)
                 latest = max(latest, r.granted_at)
-            grant = ShardGrant(
+            grant = PlacementGrant(
                 app_id=app_id,
                 status=Decision.ADMITTED,
                 selection=Selection(
@@ -392,7 +378,7 @@ class ShardRouter:
             if self.trunk.holds(app_id):
                 self.trunk.release(app_id, kind="expire")
             self.metrics.expired += 1
-            self.outcomes[app_id] = ShardGrant(
+            self.outcomes[app_id] = PlacementGrant(
                 app_id=app_id,
                 status=Decision.EXPIRED,
                 shards=grant.shards,
@@ -412,7 +398,7 @@ class ShardRouter:
         bw_bps: float = 0.0,
         priority: str = Priority.SILVER,
         spread: int = 1,
-    ) -> ShardGrant:
+    ) -> PlacementGrant:
         """Ask for a placement; returns an admitted/rejected composite.
 
         ``spread`` is the minimum number of shards (fault domains) the
@@ -468,7 +454,7 @@ class ShardRouter:
         bw_bps: float,
         priority: str,
         spread: int,
-    ) -> ShardGrant:
+    ) -> PlacementGrant:
         t0 = perf_counter()
         order = self._shard_order()
         if spread <= 1:
@@ -480,7 +466,7 @@ class ShardRouter:
                     priority=priority,
                 )
                 if g.admitted:
-                    grant = ShardGrant(
+                    grant = PlacementGrant(
                         app_id=app_id,
                         status=Decision.ADMITTED,
                         selection=g.selection,
@@ -505,7 +491,7 @@ class ShardRouter:
             self.outcomes[app_id] = grant
         return grant
 
-    def _commit(self, app_id: str, grant: ShardGrant) -> None:
+    def _commit(self, app_id: str, grant: PlacementGrant) -> None:
         self.metrics.admitted += 1
         self._active[app_id] = grant
         self.outcomes[app_id] = grant
@@ -516,6 +502,69 @@ class ShardRouter:
                 self._pair_traffic[pair] = (
                     self._pair_traffic.get(pair, 0.0) + 1.0
                 )
+
+    # -- batched admission -----------------------------------------------------
+    def admit_batch(
+        self, requests: Sequence[BatchRequest]
+    ) -> list[PlacementGrant]:
+        """Admit a whole arrival batch; returns per-request grants in order.
+
+        The batch is routed shard-by-shard in headroom order: each shard
+        receives the still-unplaced requests as *one*
+        :meth:`SelectionService.admit_batch` call (one snapshot fetch,
+        one peel schedule per shard, not per request).  Requests no
+        single shard admits fall back to the exact serial path, which
+        can split them across shards; requests nothing can host are
+        rejected.  Validation is atomic (duplicate ``app_id`` raises
+        ``ValueError`` with nothing admitted); admission is not — see
+        :meth:`SelectionService.admit_batch`.
+        """
+        batch = list(iter_batch(requests))
+        if not batch:
+            return []
+        self.tick()
+        for b in batch:
+            if b.app_id in self._active:
+                raise ValueError(
+                    f"application {b.app_id!r} already has a live request; "
+                    "release() it first (no request from this batch was "
+                    "admitted)"
+                )
+        self.metrics.requests += len(batch)
+        self.metrics.batches += 1
+        self.metrics.batch_requests += len(batch)
+        grants: dict[str, PlacementGrant] = {}
+        pending = list(batch)
+        for shard in self._shard_order():
+            if not pending:
+                break
+            sub_batch = [
+                replace(b, app_id=f"{b.app_id}@{shard}") for b in pending
+            ]
+            sub_grants = self.services[shard].admit_batch(sub_batch)
+            still_pending = []
+            for b, g in zip(pending, sub_grants):
+                if g.admitted:
+                    grant = PlacementGrant(
+                        app_id=b.app_id,
+                        status=Decision.ADMITTED,
+                        selection=g.selection,
+                        shards=(shard,),
+                        parts={shard: g.app_id},
+                    )
+                    self._commit(b.app_id, grant)
+                    self.metrics.routed_local += 1
+                    grants[b.app_id] = grant
+                else:
+                    still_pending.append(b)
+            pending = still_pending
+        for b in pending:
+            # No single shard could host it — the serial path can still
+            # split it across shards (or produce the rejection reason).
+            grants[b.app_id] = self._request_inner(
+                b.app_id, b.spec, b.cpu_fraction, b.bw_bps, b.priority, 1,
+            )
+        return [grants[b.app_id] for b in batch]
 
     @staticmethod
     def _splittable(spec: ApplicationSpec) -> bool:
@@ -583,10 +632,10 @@ class ShardRouter:
         priority: str,
         spread: int,
         order: list[int],
-    ) -> ShardGrant:
+    ) -> PlacementGrant:
         """Phase 1 (probe, read-only) + phase 2 (commit) of a split grant."""
         if not self._splittable(spec):
-            return ShardGrant(
+            return PlacementGrant(
                 app_id=app_id, status=Decision.REJECTED,
                 reason=(
                     "cross-shard split supports plain fixed-size specs "
@@ -595,7 +644,7 @@ class ShardRouter:
             )
         min_parts = max(2, spread)
         if spec.num_nodes < min_parts:
-            return ShardGrant(
+            return PlacementGrant(
                 app_id=app_id, status=Decision.REJECTED,
                 reason=(
                     f"cannot spread {spec.num_nodes} nodes across "
@@ -604,7 +653,7 @@ class ShardRouter:
             )
         split = self._plan_split(spec, cpu_fraction, bw_bps, order, min_parts)
         if split is None:
-            return ShardGrant(
+            return PlacementGrant(
                 app_id=app_id, status=Decision.REJECTED,
                 reason=(
                     "infeasible on every shard and no feasible "
@@ -627,7 +676,7 @@ class ShardRouter:
                 if headroom + _EPS * max(1.0, bw_bps) < bw_bps:
                     self.metrics.trunk_rejections += 1
                     u, v = sorted(channel[0])
-                    return ShardGrant(
+                    return PlacementGrant(
                         app_id=app_id, status=Decision.REJECTED,
                         reason=(
                             f"trunk channel {u}--{v} towards "
@@ -697,7 +746,7 @@ class ShardRouter:
                 "cross-shard commit for %r aborted after probe success "
                 "(%s); partial claims released", app_id, exc,
             )
-            return ShardGrant(
+            return PlacementGrant(
                 app_id=app_id, status=Decision.REJECTED,
                 reason=f"cross-shard commit aborted: {exc}",
             )
@@ -706,7 +755,7 @@ class ShardRouter:
             objective=min(s.objective for s in selections.values()),
             algorithm="sharded",
         )
-        return ShardGrant(
+        return PlacementGrant(
             app_id=app_id,
             status=Decision.ADMITTED,
             selection=selection,
@@ -716,33 +765,51 @@ class ShardRouter:
         )
 
     # -- lease lifecycle -------------------------------------------------------
-    def release(self, app_id: str) -> ShardGrant:
-        """Give back every sub-lease and the trunk claim for ``app_id``."""
+    def release(self, app_id: str, *, kind: str = "release") -> PlacementGrant:
+        """Give back every sub-lease and the trunk claim for ``app_id``.
+
+        ``kind`` labels the record in every shard WAL and the trunk WAL
+        (``release``/``expire``/``evict``/``preempt``), exactly as on
+        :meth:`SelectionService.release`.
+        """
+        status = _STATUS_BY_RELEASE_KIND.get(kind)
+        if status is None:
+            raise ValueError(
+                f"unknown release kind {kind!r}; expected one of "
+                f"{sorted(_STATUS_BY_RELEASE_KIND)}"
+            )
         grant = self._active.get(app_id)
         if grant is None:
             raise KeyError(f"no live grant for {app_id!r}")
         for shard, sub in grant.parts.items():
             if sub in self.services[shard].ledger.reservations:
-                self.services[shard].release(sub)
+                self.services[shard].release(sub, kind=kind)
         if self.trunk.holds(app_id):
-            self.trunk.release(app_id)
+            self.trunk.release(app_id, kind=kind)
         del self._active[app_id]
-        self.metrics.released += 1
-        out = ShardGrant(
-            app_id=app_id, status=Decision.RELEASED, shards=grant.shards,
+        attr = _METRIC_BY_RELEASE_KIND[kind]
+        setattr(self.metrics, attr, getattr(self.metrics, attr) + 1)
+        out = PlacementGrant(
+            app_id=app_id, status=status, shards=grant.shards,
         )
         self.outcomes[app_id] = out
         return out
 
-    def renew(self, app_id: str) -> ShardGrant:
-        """Extend every sub-lease (and the trunk claim) by ``lease_s``."""
+    def renew(
+        self, app_id: str, *, extend: Optional[float] = None
+    ) -> PlacementGrant:
+        """Extend every sub-lease (and the trunk claim).
+
+        ``extend`` overrides the router's ``lease_s`` for this renewal.
+        """
         grant = self._active.get(app_id)
         if grant is None:
             raise KeyError(f"no live grant for {app_id!r}")
+        lease = self.lease_s if extend is None else float(extend)
         for shard, sub in grant.parts.items():
-            self.services[shard].renew(sub)
+            self.services[shard].renew(sub, extend=lease)
         if self.trunk.holds(app_id):
-            self.trunk.renew(app_id, self.now, self.lease_s)
+            self.trunk.renew(app_id, self.now, lease)
         self.metrics.renewed += 1
         return grant
 
@@ -796,7 +863,7 @@ class ShardRouter:
         routed = self.metrics.routed_local + self.metrics.routed_cross
         return self.metrics.routed_cross / routed if routed else 0.0
 
-    def status(self, app_id: str) -> ShardGrant:
+    def status(self, app_id: str) -> PlacementGrant:
         """The standing outcome for ``app_id``."""
         try:
             return self.outcomes[app_id]

@@ -29,6 +29,7 @@ from ..obs import MetricsRegistry, Tracer
 from ..remos.api import RemosAPI
 from ..remos.collector import Collector
 from ..service.admission import Priority
+from ..service.api import PlacementBackend
 from ..service.service import Grant, SelectionService
 from ..service.sharding import ShardRouter
 from .cmu import cmu_testbed
@@ -121,6 +122,7 @@ def run_multi_tenant(
     preempt: bool = False,
     preempt_grace_s: float = 0.0,
     shards: int = 1,
+    reactive: bool = False,
 ) -> MultiTenantResult:
     """Run a multi-tenant stream against one simulated network.
 
@@ -145,11 +147,21 @@ def run_multi_tenant(
     across shards through the two-phase trunk grant.  The sharded arm
     never queues, and fault injection / preemption are single-service
     features — combining them raises ``ValueError``.
+
+    ``reactive=True`` enables the push-driven pipeline on the single
+    service: the collector's staleness events invalidate the snapshot
+    cache the moment they fire, and leases on a degrading host are
+    proactively migrated through the
+    :class:`~repro.core.MigrationAdvisor` before crash eviction.
+
+    Both arms are driven purely through the
+    :class:`~repro.service.PlacementBackend` protocol — anything
+    implementing it can stand in for the service here.
     """
-    if shards > 1 and (fault_plan or preempt):
+    if shards > 1 and (fault_plan or preempt or reactive):
         raise ValueError(
-            "shards > 1 does not compose with fault_plan or preempt; "
-            "run those arms against the single service"
+            "shards > 1 does not compose with fault_plan, preempt, or "
+            "reactive; run those arms against the single service"
         )
     sim = Simulator()
     tracer = Tracer() if trace_out else None
@@ -161,6 +173,7 @@ def run_multi_tenant(
     )
     api = RemosAPI(collector, tracer=tracer)
     injector = FaultInjector(cluster, collector, tracer=tracer)
+    service: PlacementBackend
     if shards > 1:
         service = ShardRouter(
             api,
@@ -182,6 +195,8 @@ def run_multi_tenant(
             preempt_grace_s=preempt_grace_s,
         )
         service.attach_injector(injector)
+        if reactive:
+            service.enable_push(collector)
     naive = NodeSelector(api)
     result = MultiTenantResult()
 

@@ -1,0 +1,162 @@
+"""Push subscriptions: collector staleness events, delivery order, safety.
+
+The collector's pull surface (``stale`` flags on :meth:`topology`) tells
+a caller a host degraded only when the caller next asks; the push
+surface delivers the *transition* — consecutive misses first reaching
+``stale_after``, and a stale resource answering again — at the end of
+the poll round that observed it.  These tests pin the event vocabulary,
+the once-per-crossing guarantee, subscription-order delivery, and
+unsubscribe-during-callback safety that the service's reactive pipeline
+(:meth:`SelectionService.enable_push`) builds on.
+"""
+
+from repro.des import Simulator
+from repro.faults import FaultInjector
+from repro.network import Cluster
+from repro.remos import Collector
+from repro.topology import star
+
+
+def make_rig(stale_after=2, nodes=3):
+    sim = Simulator()
+    cluster = Cluster(sim, star(nodes))
+    collector = Collector(
+        cluster, period=1.0, stale_after=stale_after, start=False,
+    )
+    injector = FaultInjector(cluster, collector)
+    return sim, cluster, collector, injector
+
+
+class TestStaleTransitions:
+    def test_host_stale_fires_once_at_threshold(self):
+        sim, cluster, collector, injector = make_rig(stale_after=2)
+        events = []
+        collector.subscribe(lambda t, kind, target: events.append(
+            (t, kind, target)
+        ))
+        injector.silence_agents("h0", duration=100.0)
+        for _ in range(5):
+            collector.poll_once()
+        stale = [e for e in events if e[1] == "host-stale"]
+        assert stale == [(0.0, "host-stale", "h0")]
+
+    def test_host_fresh_fires_on_recovery(self):
+        sim, cluster, collector, injector = make_rig(stale_after=2)
+        events = []
+        collector.subscribe(lambda t, kind, target: events.append(
+            (kind, target)
+        ))
+        injector.silence_agents("h0", duration=0.5)
+        collector.poll_once()  # t=0: one miss
+        sim.run(until=1.0)  # outage over
+        collector.poll_once()
+        # One miss then a success below the threshold: no transition.
+        assert [e for e in events if e[1] == "h0"] == []
+        injector.silence_agents("h0", duration=10.0)
+        collector.poll_once()
+        sim.run(until=2.0)
+        collector.poll_once()
+        assert ("host-stale", "h0") in events
+        sim.run(until=20.0)  # outage over
+        collector.poll_once()
+        assert events[-1] == ("host-fresh", "h0")
+
+    def test_channel_stale_when_all_reporters_dead(self):
+        sim, cluster, collector, injector = make_rig(stale_after=2)
+        kinds = set()
+        collector.subscribe(lambda t, kind, target: kinds.add(kind))
+        # Silence every device: all channel reporters are dead, so
+        # channels are charged alongside hosts.
+        for node in cluster.graph.nodes():
+            injector.silence_agents(node.name, duration=100.0)
+        collector.poll_once()
+        collector.poll_once()
+        assert "host-stale" in kinds
+        assert "channel-stale" in kinds
+
+    def test_no_events_without_subscribers_but_counter_still_zero(self):
+        sim, cluster, collector, injector = make_rig(stale_after=1)
+        injector.silence_agents("h0", duration=100.0)
+        collector.poll_once()
+        # Nothing subscribed: pending transitions are discarded unsent.
+        assert collector.events_emitted == 0
+
+    def test_events_emitted_counts_deliveries(self):
+        sim, cluster, collector, injector = make_rig(stale_after=1)
+        collector.subscribe(lambda t, kind, target: None)
+        injector.silence_agents("h0", duration=100.0)
+        collector.poll_once()
+        assert collector.events_emitted >= 1
+
+
+class TestDeliverySemantics:
+    def test_subscription_order(self):
+        sim, cluster, collector, injector = make_rig(stale_after=1)
+        order = []
+        collector.subscribe(lambda t, k, tg: order.append("first"))
+        collector.subscribe(lambda t, k, tg: order.append("second"))
+        injector.silence_agents("h0", duration=100.0)
+        collector.poll_once()
+        assert order[:2] == ["first", "second"]
+        # And strictly alternating across every event of the round.
+        assert order == ["first", "second"] * (len(order) // 2)
+
+    def test_unsubscribe_during_callback_skips_revoked(self):
+        sim, cluster, collector, injector = make_rig(stale_after=1)
+        seen = []
+        unsub_second = None
+
+        def first(t, kind, target):
+            seen.append("first")
+            unsub_second()  # revoke the later subscriber mid-delivery
+
+        def second(t, kind, target):
+            seen.append("second")
+
+        collector.subscribe(first)
+        unsub_second = collector.subscribe(second)
+        injector.silence_agents("h0", duration=100.0)
+        collector.poll_once()
+        # ``second`` never runs: it was revoked before its turn on the
+        # very first event, and stays revoked for the rest of the round.
+        assert "second" not in seen
+        assert seen.count("first") >= 1
+
+    def test_self_unsubscribe_during_callback(self):
+        sim, cluster, collector, injector = make_rig(stale_after=1)
+        calls = []
+        unsub = None
+
+        def once(t, kind, target):
+            calls.append((kind, target))
+            unsub()
+
+        unsub = collector.subscribe(once)
+        for node in cluster.graph.nodes():
+            injector.silence_agents(node.name, duration=100.0)
+        collector.poll_once()
+        assert len(calls) == 1  # delivered exactly once, then detached
+
+    def test_unsubscribe_is_idempotent(self):
+        sim, cluster, collector, injector = make_rig()
+        unsub = collector.subscribe(lambda t, k, tg: None)
+        unsub()
+        unsub()  # second call must not raise
+
+    def test_events_fire_from_the_running_poll_process(self):
+        sim = Simulator()
+        cluster = Cluster(sim, star(3))
+        collector = Collector(cluster, period=1.0, stale_after=2, start=True)
+        injector = FaultInjector(cluster, collector)
+        events = []
+        collector.subscribe(lambda t, kind, target: events.append(
+            (t, kind, target)
+        ))
+        injector.silence_agents("h0", duration=100.0)
+        sim.run(until=5.0)
+        stale = [e for e in events if e[1] == "host-stale"]
+        assert len(stale) == 1
+        t, _kind, target = stale[0]
+        assert target == "h0"
+        # Threshold crossed on the second missed round (period 1.0).
+        assert t >= 1.0

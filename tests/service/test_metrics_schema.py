@@ -32,6 +32,12 @@ COUNTER_KEYS = [
     "routed_local",
     "routed_cross",
     "trunk_rejections",
+    "batches",
+    "batch_requests",
+    "batch_planned",
+    "batch_fallbacks",
+    "push_events",
+    "migrations",
 ]
 
 #: Added when a queue / cache / ledger is passed to ``snapshot()``.
