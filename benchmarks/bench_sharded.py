@@ -19,10 +19,21 @@ microseconds per cross-shard grant.
 Emits machine-readable results to ``BENCH_sharded.json`` at the repo
 root (committed) and a table to ``benchmarks/out/sharded.txt``.
 
+The ``--parallel`` arm benchmarks the multi-core data plane instead:
+the same wave-of-batches workload through ``executor="inproc"`` vs a
+process worker pool (``executor="process"``, one worker per shard),
+with a probe fan-out on/off ablation, measuring aggregate requests/s.
+It always gates bit-identity (a 1-worker process router must produce
+exactly the in-process grants for an identical serial stream) and, on
+runners with >= 4 cores, gates the pool at >= 2x in-process throughput
+at the largest size; results go to ``BENCH_parallel_shards.json``.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_sharded.py          # full sweep
     PYTHONPATH=src python benchmarks/bench_sharded.py --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sharded.py --parallel
+    PYTHONPATH=src python benchmarks/bench_sharded.py --parallel --quick
 
 Acceptance gates (full mode):
 
@@ -41,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -52,18 +64,34 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis import format_table  # noqa: E402
 from repro.core import ApplicationSpec  # noqa: E402
-from repro.service import ShardRouter  # noqa: E402
+from repro.service import BatchRequest, ShardRouter  # noqa: E402
+from repro.service import partition_topology  # noqa: E402
 from repro.topology import random_tree  # noqa: E402
 from repro.units import Mbps  # noqa: E402
 
 JSON_PATH = REPO_ROOT / "BENCH_sharded.json"
+PARALLEL_JSON = REPO_ROOT / "BENCH_parallel_shards.json"
 HOTPATH_JSON = REPO_ROOT / "BENCH_service_hotpath.json"
+PARALLEL_REPORT = REPO_ROOT / "benchmarks" / "out" / "parallel_shards.txt"
 REPORT_PATH = REPO_ROOT / "benchmarks" / "out" / "sharded.txt"
 
 FULL_HOSTS = [1000, 4000, 10000]
 FULL_SHARDS = [1, 4, 16]
 QUICK_HOSTS = [1000]
 QUICK_SHARDS = [1, 4]
+
+#: The --parallel grid (inproc vs process pool, fan-out on/off).
+PAR_HOSTS = [1000, 4000, 10000]
+PAR_SHARDS = [4, 8, 16]
+PAR_QUICK_HOSTS = [1000]
+PAR_QUICK_SHARDS = [4]
+PAR_WAVES = 10
+PAR_QUICK_WAVES = 4
+#: Requests per admit_batch wave, per shard (so every worker has work).
+WAVE_PER_SHARD = 2
+#: Serial requests in the bit-identity gate stream.
+IDENTITY_REQUESTS = 48
+IDENTITY_QUICK_REQUESTS = 24
 
 #: The request mix: tenants of varying size (the size draw defeats the
 #: service's per-view selection memo, so every request pays a genuine
@@ -307,6 +335,274 @@ def run(hosts_list, shards_list, n_requests, seed: int) -> dict:
     return results
 
 
+# -- the --parallel arm: multi-core data plane ------------------------------
+
+def _router_for_arm(graph, shards: int, arm: str,
+                    plan=None) -> ShardRouter:
+    if arm == "inproc":
+        return ShardRouter(graph, shards=shards, plan=plan,
+                           snapshot_ttl=1e9, lease_s=1e9)
+    return ShardRouter(
+        graph, shards=shards, plan=plan, snapshot_ttl=1e9, lease_s=1e9,
+        executor="process", workers=shards,
+        probe_fanout=(arm != "process_nofanout"),
+    )
+
+
+def drive_waves(router: ShardRouter, shards: int, waves: int,
+                seed: int) -> dict:
+    """Admission in waves: one ``admit_batch`` + one spread=2 request
+    per wave, releasing the previous wave; returns throughput figures.
+
+    The batch scatter-gathers across all shard workers at once (the
+    parallel win being measured) and the cross-shard request exercises
+    the probe fan-out; the identical wave stream is derived from
+    ``seed`` alone so every arm faces the same work.
+    """
+    rng = np.random.default_rng(seed + 2)
+    wave_size = WAVE_PER_SHARD * shards
+    sizes = rng.integers(M_MIN, M_MAX + 1, size=(waves, wave_size))
+    # One untimed warm wave: first-touch costs (worker copy-on-write
+    # faults, lazy snapshot/route-cache builds) land here, not in the
+    # throughput figures.
+    warm = [
+        BatchRequest(app_id=f"warm-{i}",
+                     spec=ApplicationSpec(num_nodes=M_MIN),
+                     cpu_fraction=CPU_CLAIM)
+        for i in range(wave_size)
+    ]
+    for gnt in router.admit_batch(warm):
+        if gnt.admitted:
+            router.release(gnt.app_id)
+    if router.request("warm-cross", ApplicationSpec(num_nodes=M_MAX),
+                      cpu_fraction=CPU_CLAIM, bw_bps=BW_CROSS,
+                      spread=2).admitted:
+        router.release("warm-cross")
+    total = admitted = 0
+    prev: list[str] = []
+    t0 = time.perf_counter()
+    for w in range(waves):
+        batch = [
+            BatchRequest(
+                app_id=f"wave{w}-{i}",
+                spec=ApplicationSpec(num_nodes=int(sizes[w, i])),
+                cpu_fraction=CPU_CLAIM,
+            )
+            for i in range(wave_size)
+        ]
+        grants = router.admit_batch(batch)
+        cross = router.request(
+            f"wave{w}-cross", ApplicationSpec(num_nodes=M_MAX),
+            cpu_fraction=CPU_CLAIM, bw_bps=BW_CROSS, spread=2,
+        )
+        total += wave_size + 1
+        live = [g.app_id for g in grants if g.admitted]
+        if cross.admitted:
+            live.append("wave%d-cross" % w)
+        admitted += len(live)
+        for app in prev:
+            router.release(app)
+        prev = live
+    elapsed = time.perf_counter() - t0
+    for app in prev:
+        router.release(app)
+    router.check_invariants()
+    return {
+        "requests": total,
+        "admitted": admitted,
+        "rejected": total - admitted,
+        "elapsed_s": elapsed,
+        "req_per_s": total / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def grant_stream(router: ShardRouter, n_requests: int, seed: int) -> list:
+    """The serial bit-identity stream: every grant's full outcome."""
+    rng = np.random.default_rng(seed + 3)
+    sizes = rng.integers(M_MIN, M_MAX + 1, size=n_requests)
+    out = []
+    live: list[str] = []
+    for i in range(n_requests):
+        cross = i % CROSS_EVERY == CROSS_EVERY - 1
+        g = router.request(
+            f"id-{i}", ApplicationSpec(num_nodes=int(sizes[i])),
+            cpu_fraction=CPU_CLAIM,
+            bw_bps=BW_CROSS if cross else BW_LOCAL,
+            spread=2 if cross else 1,
+        )
+        out.append((
+            g.status,
+            tuple(g.selection.nodes) if g.selection else None,
+            g.shards,
+        ))
+        if g.admitted:
+            live.append(f"id-{i}")
+            if len(live) > LIVE_WINDOW:
+                router.release(live.pop(0))
+    router.check_invariants()
+    return out
+
+
+def bit_identity_gate(hosts: int, shards: int, n_requests: int,
+                      seed: int) -> dict:
+    """Assert the process executor reproduces in-process grants exactly."""
+    graph = build_graph(hosts, seed=seed)
+    streams = {}
+    for label, arm, workers, fanout in (
+        ("inproc", "inproc", None, True),
+        ("process-w1", "process", 1, True),
+        ("process-wK", "process", shards, True),
+        ("process-wK-nofanout", "process", shards, False),
+    ):
+        if arm == "inproc":
+            router = ShardRouter(graph, shards=shards,
+                                 snapshot_ttl=1e9, lease_s=1e9)
+        else:
+            router = ShardRouter(
+                graph, shards=shards, snapshot_ttl=1e9, lease_s=1e9,
+                executor="process", workers=workers, probe_fanout=fanout,
+            )
+        streams[label] = grant_stream(router, n_requests, seed)
+        router.close()
+    reference = streams["inproc"]
+    for label, stream in streams.items():
+        assert stream == reference, (
+            f"bit-identity gate failed: {label} diverged from inproc "
+            f"at request "
+            f"{next(i for i, (a, b) in enumerate(zip(stream, reference)) if a != b)}"
+        )
+    print(
+        f"bit-identity: {len(streams) - 1} process configs == inproc "
+        f"over {n_requests} requests at {hosts} hosts / {shards} shards "
+        "— ok"
+    )
+    return {
+        "hosts": hosts,
+        "shards": shards,
+        "requests": n_requests,
+        "configs": sorted(streams),
+        "identical": True,
+    }
+
+
+def run_parallel(hosts_list, shards_list, waves: int, seed: int) -> dict:
+    arms = ["inproc", "process", "process_nofanout"]
+    results: dict = {
+        "cpus": os.cpu_count(),
+        "hosts": hosts_list,
+        "shards": shards_list,
+        "waves": waves,
+        "wave_per_shard": WAVE_PER_SHARD,
+        "cpu_claim": CPU_CLAIM,
+        "cross_bw_mbps": BW_CROSS / Mbps,
+        "seed": seed,
+        "entries": [],
+    }
+    rows = []
+    for hosts in hosts_list:
+        graph = build_graph(hosts, seed=seed)
+        for shards in shards_list:
+            row = [hosts, shards]
+            plan = partition_topology(graph, shards)
+            for arm in arms:
+                router = _router_for_arm(graph, shards, arm, plan=plan)
+                figures = drive_waves(router, shards, waves, seed)
+                router.close()
+                entry = {
+                    "hosts": hosts,
+                    "shards": shards,
+                    "arm": arm,
+                    "workers": shards if arm != "inproc" else 0,
+                    **figures,
+                }
+                results["entries"].append(entry)
+                row.append(f"{figures['req_per_s']:.0f}")
+                print(
+                    f"hosts={hosts} shards={shards} arm={arm}: "
+                    f"{figures['req_per_s']:.0f} req/s "
+                    f"({figures['admitted']}/{figures['requests']} admitted)",
+                    flush=True,
+                )
+            rows.append(row)
+    results["table"] = format_table(
+        ["hosts", "shards", "inproc (req/s)", "process (req/s)",
+         "process, no fan-out (req/s)"],
+        rows,
+        title=(
+            f"Multi-core shard data plane throughput "
+            f"({waves} waves x {WAVE_PER_SHARD}/shard + cross, "
+            f"{os.cpu_count()} cpus)"
+        ),
+    )
+    return results
+
+
+def _throughput(results: dict, hosts: int, shards: int, arm: str) -> float:
+    for e in results["entries"]:
+        if (e["hosts"], e["shards"], e["arm"]) == (hosts, shards, arm):
+            return e["req_per_s"]
+    raise KeyError(f"no entry for hosts={hosts} shards={shards} arm={arm}")
+
+
+def main_parallel(args) -> int:
+    hosts_list = PAR_QUICK_HOSTS if args.quick else PAR_HOSTS
+    shards_list = PAR_QUICK_SHARDS if args.quick else PAR_SHARDS
+    waves = PAR_QUICK_WAVES if args.quick else PAR_WAVES
+    identity = bit_identity_gate(
+        min(hosts_list), min(shards_list),
+        IDENTITY_QUICK_REQUESTS if args.quick else IDENTITY_REQUESTS,
+        args.seed,
+    )
+    results = run_parallel(hosts_list, shards_list, waves, seed=args.seed)
+    results["bit_identity"] = identity
+    table = results.pop("table")
+    print(table)
+
+    cpus = os.cpu_count() or 1
+    biggest, widest = max(hosts_list), max(shards_list)
+    inproc_rps = _throughput(results, biggest, widest, "inproc")
+    pool_rps = _throughput(results, biggest, widest, "process")
+    speedup = pool_rps / inproc_rps if inproc_rps > 0 else 0.0
+    results["speedup_at_max"] = {
+        "hosts": biggest,
+        "shards": widest,
+        "cpus": cpus,
+        "inproc_req_per_s": inproc_rps,
+        "process_req_per_s": pool_rps,
+        "speedup": speedup,
+        "gated": cpus >= 4,
+    }
+    if cpus >= 4:
+        # The whole point of the pool — but only measurable when there
+        # are cores to spread across; single-core runners record the
+        # figure without gating (RPC overhead with no parallelism can
+        # only lose).
+        assert speedup >= 2.0, (
+            f"parallel gate failed at {biggest} hosts / {widest} shards: "
+            f"process pool {pool_rps:.0f} req/s vs inproc "
+            f"{inproc_rps:.0f} req/s — only {speedup:.2f}x (< 2x) "
+            f"on {cpus} cpus"
+        )
+        print(
+            f"throughput at {biggest}x{widest}: pool {pool_rps:.0f} req/s "
+            f"vs inproc {inproc_rps:.0f} req/s "
+            f"({speedup:.2f}x >= 2x on {cpus} cpus) — ok"
+        )
+    else:
+        print(
+            f"throughput at {biggest}x{widest}: pool {pool_rps:.0f} req/s "
+            f"vs inproc {inproc_rps:.0f} req/s ({speedup:.2f}x; 2x gate "
+            f"skipped on {cpus} cpu(s))"
+        )
+
+    PARALLEL_REPORT.parent.mkdir(exist_ok=True)
+    PARALLEL_REPORT.write_text(table + "\n")
+    if not args.quick:
+        PARALLEL_JSON.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {PARALLEL_JSON}")
+    return 0
+
+
 def _p99(results: dict, hosts: int, shards: int) -> float:
     for e in results["entries"]:
         if e["hosts"] == hosts and e["shards"] == shards:
@@ -327,7 +623,16 @@ def main(argv=None) -> int:
         help="RNG seed for topology loads/residuals (recorded in the "
              "BENCH JSON; default: 0, the committed-figure seed)",
     )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="benchmark the process worker pool against the in-process "
+             "router (bit-identity always gated; 2x throughput gated on "
+             ">= 4-core runners); writes BENCH_parallel_shards.json",
+    )
     args = parser.parse_args(argv)
+
+    if args.parallel:
+        return main_parallel(args)
 
     hosts_list = QUICK_HOSTS if args.quick else FULL_HOSTS
     shards_list = QUICK_SHARDS if args.quick else FULL_SHARDS

@@ -52,7 +52,9 @@ from .sharding import (
     ShardGrant,
     ShardPlan,
     ShardRouter,
+    ShardWorkerPool,
     TrunkLedger,
+    WorkerCrashError,
     partition_topology,
     repartition,
 )
@@ -81,10 +83,12 @@ __all__ = [
     "ShardGrant",
     "ShardPlan",
     "ShardRouter",
+    "ShardWorkerPool",
     "SnapshotCache",
     "StageTimer",
     "TrunkLedger",
     "WalCorruptError",
+    "WorkerCrashError",
     "WalError",
     "iter_batch",
     "partition_topology",

@@ -42,6 +42,12 @@ bandwidth accounted on the boundary (trunk) links.  Request ops may add
 domains).  Sharded mode never queues (what no shard or split can host is
 rejected) and does not support ``--preempt``; with ``--state-dir`` each
 shard logs under ``DIR/shard-i`` and the trunk under ``DIR/trunk``.
+
+``--workers N`` (requires ``--shards > 1``) moves the shard services
+into N ``multiprocessing`` worker processes behind the router: probes
+and admission batches fan out across cores, crashed workers are
+restarted and recovered from their shard WALs, and grants stay
+bit-identical to the in-process router for the same request stream.
 """
 
 from __future__ import annotations
@@ -141,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "cross-shard splits via 'spread' ops "
                              "(default: 1 — single service; sharded mode "
                              "never queues and cannot --preempt)")
+    parser.add_argument("--workers", type=int, metavar="N",
+                        help="run the K shard services in N worker "
+                             "processes (executor='process'): probes and "
+                             "batches fan out across cores; requires "
+                             "--shards > 1 (default: in-process shards)")
     parser.add_argument("--cpu-cap", type=float, default=1.0,
                         help="per-node cap on summed CPU claims (default: 1.0)")
     parser.add_argument("--state-dir", metavar="DIR",
@@ -427,6 +438,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         print("error: --preempt is not supported with --shards > 1",
               file=sys.stderr)
         return 2
+    if args.workers is not None and args.shards <= 1:
+        print("error: --workers requires --shards > 1",
+              file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1: {args.workers}",
+              file=sys.stderr)
+        return 2
     tracer = Tracer() if args.trace_out else None
     try:
         if args.shards > 1:
@@ -440,6 +459,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                 state_dir=args.state_dir,
                 wal_fsync=args.wal_fsync,
                 wal_snapshot_every=args.snapshot_every,
+                executor=("process" if args.workers is not None
+                          else "inproc"),
+                workers=args.workers,
             )
         else:
             service = SelectionService(

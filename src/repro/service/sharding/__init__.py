@@ -17,12 +17,16 @@ from .partition import (
 )
 from .router import ShardGrant, ShardRouter
 from .trunk import TrunkLedger
+from .workers import PinnedNodes, ShardWorkerPool, WorkerCrashError
 
 __all__ = [
+    "PinnedNodes",
     "ShardGrant",
     "ShardPlan",
     "ShardRouter",
+    "ShardWorkerPool",
     "TrunkLedger",
+    "WorkerCrashError",
     "cross_traffic_fraction",
     "graph_fingerprint",
     "partition_topology",

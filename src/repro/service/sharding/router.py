@@ -68,6 +68,13 @@ from ..service import (
 )
 from .partition import ShardPlan, partition_topology, repartition
 from .trunk import TrunkLedger
+from .workers import (
+    InprocShard,
+    PinnedNodes,
+    ProcessShard,
+    ShardWorkerPool,
+    WorkerCrashError,
+)
 
 __all__ = ["ShardGrant", "ShardRouter"]
 
@@ -136,6 +143,27 @@ class ShardRouter:
     repartition_threshold:
         Cross-shard traffic fraction beyond which
         :meth:`maybe_repartition` recuts the topology.
+    executor:
+        The shard data plane.  ``"inproc"`` (default) runs every shard's
+        service inside this process — bit-identical to the pre-executor
+        router.  ``"process"`` runs them in a
+        :class:`~repro.service.sharding.ShardWorkerPool` of
+        ``multiprocessing`` workers (``repro-serve --workers N``):
+        cross-shard probes fan out to all candidate workers
+        concurrently, and :meth:`admit_batch` scatter-gathers per-shard
+        sub-batches across the pool.  Requires a static
+        :class:`TopologyGraph` provider; grants for an identical serial
+        request stream are bit-identical to ``"inproc"`` regardless of
+        worker count.
+    workers:
+        Worker process count for the process executor (default: one per
+        shard, clamped to ``[1, shards]``); shard ``i`` runs in worker
+        ``i % workers``.
+    probe_fanout:
+        Process executor only: speculatively fan the cross-shard probe
+        plan out to every candidate worker in parallel before the exact
+        (and bit-identical) serial assembly consumes the results.
+        ``False`` probes serially — the benchmark ablation arm.
 
     Remaining keyword arguments mirror :class:`SelectionService`.  Shard
     services always run with ``queue_limit=0``: the router rejects what
@@ -161,10 +189,24 @@ class ShardRouter:
         wal_fsync: bool = False,
         wal_snapshot_every: int = 256,
         repartition_threshold: float = 0.25,
+        executor: str = "inproc",
+        workers: Optional[int] = None,
+        probe_fanout: bool = True,
     ) -> None:
+        if executor not in ("inproc", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; "
+                "expected 'inproc' or 'process'"
+            )
         self._manual_clock: Optional[_ManualClock] = None
         if isinstance(provider, TopologyGraph):
             provider = _StaticProvider(provider)
+        if executor == "process" and not isinstance(provider, _StaticProvider):
+            raise ValueError(
+                "executor='process' requires a static TopologyGraph "
+                "provider: worker clocks follow the router's envelope "
+                "timestamps, not a live simulator"
+            )
         if clock is None:
             if isinstance(provider, _StaticProvider):
                 self._manual_clock = _ManualClock()
@@ -180,6 +222,22 @@ class ShardRouter:
         self._state_dir = state_dir
         self._wal_fsync = bool(wal_fsync)
         self._wal_snapshot_every = int(wal_snapshot_every)
+        self.executor = executor
+        self.requested_workers = workers
+        self.probe_fanout = bool(probe_fanout)
+        #: The worker pool (process executor only).
+        self._pool: Optional[ShardWorkerPool] = None
+        #: Router-maintained live sub-grant count per shard (process
+        #: executor only — the in-process executor reads the ledgers
+        #: directly).  Kept exact by the commit/release/tick paths and
+        #: asserted against the workers in :meth:`check_invariants`.
+        self._sub_count: dict[int, int] = {}
+        #: Clock reading at the last worker-pool tick fan-out; a repeat
+        #: tick at the same instant cannot expire anything new, so the
+        #: per-request tick skips the RPC round entirely.
+        self._last_tick_now: Optional[float] = None
+        #: Last harvested per-shard stats, served after pool shutdown.
+        self._final_per_shard: Optional[dict] = None
         #: Per-shard SelectionService kwargs reused across repartitions.
         self._service_kwargs = dict(
             snapshot_ttl=snapshot_ttl,
@@ -212,29 +270,51 @@ class ShardRouter:
     # -- construction ----------------------------------------------------------
     def _build_shards(self) -> None:
         plan = self.plan
-        self.services: list[SelectionService] = []
-        self._shard_hosts: list[int] = []
-        for shard in range(plan.k):
-            sub_dir = (
-                os.path.join(self._state_dir, f"shard-{shard}")
-                if self._state_dir else None
-            )
-            service = SelectionService(
-                _ShardProvider(self.provider, plan.shards[shard]),
-                lease_s=self.lease_s,
-                queue_limit=0,
-                clock=self.clock,
-                tracer=self.tracer,
-                state_dir=sub_dir,
-                wal_fsync=self._wal_fsync,
-                wal_snapshot_every=self._wal_snapshot_every,
-                **self._service_kwargs,
-            )
-            self.services.append(service)
-            self._shard_hosts.append(sum(
+        self._shard_hosts: list[int] = [
+            sum(
                 1 for name in plan.shards[shard]
                 if self._full.node(name).is_compute
-            ))
+            )
+            for shard in range(plan.k)
+        ]
+        self._sub_count = {shard: 0 for shard in range(plan.k)}
+        if self.executor == "process":
+            self._services: Optional[list[SelectionService]] = None
+            self._pool = ShardWorkerPool(
+                plan,
+                workers=(
+                    self.requested_workers
+                    if self.requested_workers is not None else plan.k
+                ),
+                clock=self.clock,
+                lease_s=self.lease_s,
+                service_kwargs=self._service_kwargs,
+                state_dir=self._state_dir,
+                wal_fsync=self._wal_fsync,
+                wal_snapshot_every=self._wal_snapshot_every,
+            )
+            self._shards: list = [
+                ProcessShard(self._pool, shard) for shard in range(plan.k)
+            ]
+        else:
+            self._services = []
+            for shard in range(plan.k):
+                sub_dir = (
+                    os.path.join(self._state_dir, f"shard-{shard}")
+                    if self._state_dir else None
+                )
+                self._services.append(SelectionService(
+                    _ShardProvider(self.provider, plan.shards[shard]),
+                    lease_s=self.lease_s,
+                    queue_limit=0,
+                    clock=self.clock,
+                    tracer=self.tracer,
+                    state_dir=sub_dir,
+                    wal_fsync=self._wal_fsync,
+                    wal_snapshot_every=self._wal_snapshot_every,
+                    **self._service_kwargs,
+                ))
+            self._shards = [InprocShard(s) for s in self._services]
         trunk_dir = (
             os.path.join(self._state_dir, "trunk")
             if self._state_dir else None
@@ -246,22 +326,39 @@ class ShardRouter:
             wal_snapshot_every=self._wal_snapshot_every,
         )
 
+    @property
+    def services(self) -> list[SelectionService]:
+        """The in-process shard services (in-process executor only)."""
+        if self._services is None:
+            raise RuntimeError(
+                "shard services are remote with executor='process'; "
+                "go through the router API (or the worker pool)"
+            )
+        return self._services
+
+    @property
+    def pool(self) -> Optional[ShardWorkerPool]:
+        """The worker pool (``None`` with the in-process executor)."""
+        return self._pool
+
     def _recover_composites(self) -> None:
         """Rebuild composite grants from recovered shard + trunk leases."""
         if self._state_dir is None:
             return
+        reservation_maps = [h.reservation_map() for h in self._shards]
         parts_by_app: dict[str, dict[int, str]] = {}
-        for shard, service in enumerate(self.services):
-            for sub_id in service.ledger.reservations:
+        for shard, reservations in enumerate(reservation_maps):
+            self._sub_count[shard] = len(reservations)
+            for sub_id in reservations:
                 base = sub_id.rsplit("@", 1)[0]
                 parts_by_app.setdefault(base, {})[shard] = sub_id
         latest = 0.0
         for app_id, parts in sorted(parts_by_app.items()):
             nodes: list[str] = []
             for shard in sorted(parts):
-                r = self.services[shard].ledger.reservations[parts[shard]]
-                nodes.extend(r.nodes)
-                latest = max(latest, r.granted_at)
+                sub_nodes, granted_at = reservation_maps[shard][parts[shard]]
+                nodes.extend(sub_nodes)
+                latest = max(latest, granted_at)
             grant = PlacementGrant(
                 app_id=app_id,
                 status=Decision.ADMITTED,
@@ -281,7 +378,7 @@ class ShardRouter:
             # Never restart behind the recovered grants (mirrors the
             # single service's manual-clock fast-forward).
             self._manual_clock.now = latest
-        reports = [s.recovery for s in self.services] + [self.trunk.recovery]
+        reports = [h.recovery for h in self._shards] + [self.trunk.recovery]
         reports = [r for r in reports if r is not None]
         self.recovery = _RouterRecovery(
             leases=len(self._active),
@@ -298,8 +395,10 @@ class ShardRouter:
     def _bind_registry(self) -> None:
         """Export ``repro_shard_*`` instruments (callback-backed).
 
-        Per-shard callbacks read through ``self.services`` dynamically,
-        so a repartition (same k, fresh services) needs no rebinding.
+        Per-shard callbacks read through ``self._shards`` dynamically,
+        so a repartition (same k, fresh shard handles) needs no
+        rebinding; under the process executor each scrape issues one
+        RPC per shard (serialized by the pool's transport lock).
         """
         reg = self.registry
         reg.gauge("repro_shard_count", "Shards behind the router.",
@@ -322,17 +421,24 @@ class ShardRouter:
         reg.counter("repro_shard_trunk_rejections_total",
                     "Cross-shard requests refused for trunk capacity.",
                     fn=lambda: float(self.metrics.trunk_rejections))
+        if self._pool is not None:
+            reg.gauge("repro_shard_workers",
+                      "Worker processes behind the router.",
+                      fn=lambda: float(self._pool.workers))
+            reg.counter("repro_shard_worker_restarts_total",
+                        "Crashed shard workers restarted in place.",
+                        fn=lambda: float(self._pool.restarts))
         for shard in range(self.plan.k):
             labels = {"shard": str(shard)}
             reg.counter(
                 "repro_shard_requests_total",
                 "Sub-requests attempted per shard.", labels=labels,
-                fn=(lambda s=shard: float(self.services[s].metrics.requests)),
+                fn=(lambda s=shard: float(self._shards[s].requests_total())),
             )
             reg.gauge(
                 "repro_shard_active_leases",
                 "Live sub-grants per shard.", labels=labels,
-                fn=(lambda s=shard: float(self.services[s].ledger.active)),
+                fn=(lambda s=shard: float(self._shards[s].active)),
             )
             reg.gauge(
                 "repro_shard_hosts",
@@ -360,23 +466,69 @@ class ShardRouter:
     def tick(self) -> list[str]:
         """Expire lapsed leases in every shard + the trunk; returns the
         composite apps whose grants lapsed."""
-        for service in self.services:
-            service.tick()
-        self.trunk.expire(self.now)
+        restarted: frozenset[int] | set[int] = frozenset()
+        if self._pool is not None:
+            # Local liveness sweep first (waitpid, no RPCs): a worker
+            # that died since the last command is replaced *now*, so its
+            # lost (non-durable) leases are reaped this tick instead of
+            # whenever traffic next routes its way.
+            self._pool.reap_dead()
+            restarted = self._pool.take_restarted_shards()
+        if (
+            self._pool is not None
+            and not restarted
+            and self._last_tick_now == self.now
+        ):
+            # Static clock hasn't moved and no worker was replaced since
+            # the last tick: the per-shard expiry fan-out is a no-op, so
+            # skip the k round-trips that dominate hot-path latency.
+            self.trunk.expire(self.now)
+            return []
+        now = self.now
+        dead_subs: set[str] = set()
+        if self._pool is not None:
+            replies = self._pool.call_many(
+                [(shard, "tick", (), {}) for shard in range(self.plan.k)]
+            )
+            for shard, (kind, payload) in enumerate(replies):
+                if kind == "ok":
+                    dead_subs.update(payload)
+                else:
+                    # Worker died mid-tick and was restarted from its WAL
+                    # (or empty, if non-durable); the holds() resync below
+                    # reaps anything the restart lost.
+                    restarted = restarted | {shard}
+        else:
+            for handle in self._shards:
+                dead_subs.update(handle.tick())
+        self._last_tick_now = now
+        self.trunk.expire(now)
         expired = []
         for app_id, grant in list(self._active.items()):
-            alive = [
-                shard for shard, sub in grant.parts.items()
-                if sub in self.services[shard].ledger.reservations
-            ]
+            alive = []
+            for shard, sub in grant.parts.items():
+                if sub in dead_subs:
+                    continue
+                if shard in restarted and not self._shards[shard].holds(sub):
+                    continue
+                alive.append(shard)
             if len(alive) == len(grant.parts):
                 continue
             # Sub-leases share one deadline; a partial lapse means this
             # tick caught the composite mid-expiry — reclaim the rest.
             for shard in alive:
-                self.services[shard].release(grant.parts[shard])
+                self._release_sub(shard, grant.parts[shard], "expire")
+                self._sub_count[shard] = max(0, self._sub_count[shard] - 1)
             if self.trunk.holds(app_id):
                 self.trunk.release(app_id, kind="expire")
+            for shard, sub in grant.parts.items():
+                if shard not in alive and sub not in dead_subs:
+                    # Lost to a worker restart, not a lease expiry; the
+                    # shard never logged it dead, so only the composite
+                    # bookkeeping needs adjusting.
+                    self._sub_count[shard] = max(
+                        0, self._sub_count[shard] - 1
+                    )
             self.metrics.expired += 1
             self.outcomes[app_id] = PlacementGrant(
                 app_id=app_id,
@@ -386,6 +538,9 @@ class ShardRouter:
             )
             del self._active[app_id]
             expired.append(app_id)
+        for sub in dead_subs:
+            shard = int(sub.rsplit("@", 1)[1])
+            self._sub_count[shard] = max(0, self._sub_count[shard] - 1)
         return sorted(expired)
 
     # -- the request path ------------------------------------------------------
@@ -436,12 +591,27 @@ class ShardRouter:
             return grant
 
     def _shard_order(self) -> list[int]:
-        """Shards by load headroom: least-loaded (per host) first."""
+        """Shards by load headroom: least-loaded (per host) first.
+
+        Under the process executor the per-shard live count comes from
+        the router's own ``_sub_count`` mirror instead of a k-way RPC
+        fan-out per request; shard services never admit, expire, or
+        migrate anything on their own (the static clock only advances
+        inside router-issued commands), so the mirror is exact — and
+        :meth:`check_invariants` asserts it.
+        """
+        if self._pool is not None:
+            return sorted(
+                range(self.plan.k),
+                key=lambda s: (
+                    self._sub_count[s] / max(1, self._shard_hosts[s]),
+                    s,
+                ),
+            )
         return sorted(
             range(self.plan.k),
             key=lambda s: (
-                self.services[s].ledger.active
-                / max(1, self._shard_hosts[s]),
+                self._shards[s].active / max(1, self._shard_hosts[s]),
                 s,
             ),
         )
@@ -460,11 +630,20 @@ class ShardRouter:
         if spread <= 1:
             for shard in order:
                 sub = f"{app_id}@{shard}"
-                g = self.services[shard].request(
-                    sub, spec,
-                    cpu_fraction=cpu_fraction, bw_bps=bw_bps,
-                    priority=priority,
-                )
+                try:
+                    g = self._shards[shard].request(
+                        sub, spec,
+                        cpu_fraction=cpu_fraction, bw_bps=bw_bps,
+                        priority=priority,
+                    )
+                except WorkerCrashError as exc:
+                    self.metrics.rejected += 1
+                    grant = PlacementGrant(
+                        app_id=app_id, status=Decision.REJECTED,
+                        reason=f"shard worker crashed mid-request: {exc}",
+                    )
+                    self.outcomes[app_id] = grant
+                    return grant
                 if g.admitted:
                     grant = PlacementGrant(
                         app_id=app_id,
@@ -495,6 +674,8 @@ class ShardRouter:
         self.metrics.admitted += 1
         self._active[app_id] = grant
         self.outcomes[app_id] = grant
+        for shard in grant.parts:
+            self._sub_count[shard] += 1
         nodes = grant.selection.nodes
         for i, a in enumerate(nodes):
             for b in nodes[i + 1:]:
@@ -518,6 +699,14 @@ class ShardRouter:
         rejected.  Validation is atomic (duplicate ``app_id`` raises
         ``ValueError`` with nothing admitted); admission is not — see
         :meth:`SelectionService.admit_batch`.
+
+        Under the process executor the batch is instead scattered
+        round-robin across shards in headroom order and each sub-batch
+        admitted concurrently by its worker; anything a worker refuses
+        (or loses to a crash) falls back to the exact serial path.  The
+        partitions differ from the waterfall's, so per-request outcomes
+        may legitimately differ between executors here — the
+        bit-identity guarantee covers the serial :meth:`request` path.
         """
         batch = list(iter_batch(requests))
         if not batch:
@@ -534,16 +723,83 @@ class ShardRouter:
         self.metrics.batches += 1
         self.metrics.batch_requests += len(batch)
         grants: dict[str, PlacementGrant] = {}
-        pending = list(batch)
-        for shard in self._shard_order():
-            if not pending:
-                break
+        if self._pool is not None:
+            pending = self._admit_batch_scatter(batch, grants)
+        else:
+            pending = list(batch)
+            for shard in self._shard_order():
+                if not pending:
+                    break
+                sub_batch = [
+                    replace(b, app_id=f"{b.app_id}@{shard}")
+                    for b in pending
+                ]
+                sub_grants = self._shards[shard].admit_batch(sub_batch)
+                still_pending = []
+                for b, g in zip(pending, sub_grants):
+                    if g.admitted:
+                        grant = PlacementGrant(
+                            app_id=b.app_id,
+                            status=Decision.ADMITTED,
+                            selection=g.selection,
+                            shards=(shard,),
+                            parts={shard: g.app_id},
+                        )
+                        self._commit(b.app_id, grant)
+                        self.metrics.routed_local += 1
+                        grants[b.app_id] = grant
+                    else:
+                        still_pending.append(b)
+                pending = still_pending
+        for b in pending:
+            # No single shard could host it — the serial path can still
+            # split it across shards (or produce the rejection reason).
+            grants[b.app_id] = self._request_inner(
+                b.app_id, b.spec, b.cpu_fraction, b.bw_bps, b.priority, 1,
+            )
+        return [grants[b.app_id] for b in batch]
+
+    def _admit_batch_scatter(
+        self,
+        batch: list[BatchRequest],
+        grants: dict[str, PlacementGrant],
+    ) -> list[BatchRequest]:
+        """Scatter ``batch`` round-robin over shards and gather grants.
+
+        One concurrent :meth:`SelectionService.admit_batch` RPC per
+        shard (workers on different cores admit their sub-batches in
+        parallel).  Admitted requests are committed into ``grants``;
+        the remainder — refused, or lost to a worker crash — is
+        returned in arrival order for the serial fallback.
+        """
+        order = self._shard_order()
+        buckets: dict[int, list[BatchRequest]] = {s: [] for s in order}
+        for i, b in enumerate(batch):
+            buckets[order[i % len(order)]].append(b)
+        calls = []
+        call_shards = []
+        for shard in order:
+            if not buckets[shard]:
+                continue
             sub_batch = [
-                replace(b, app_id=f"{b.app_id}@{shard}") for b in pending
+                replace(b, app_id=f"{b.app_id}@{shard}")
+                for b in buckets[shard]
             ]
-            sub_grants = self.services[shard].admit_batch(sub_batch)
-            still_pending = []
-            for b, g in zip(pending, sub_grants):
+            calls.append((shard, "admit_batch", (sub_batch,), {}))
+            call_shards.append(shard)
+        replies = self._pool.call_many(calls)
+        pending: list[BatchRequest] = []
+        for shard, (kind, payload) in zip(call_shards, replies):
+            if kind != "ok":
+                # The worker died mid-batch and was replaced.  A durable
+                # replacement may have recovered sub-leases committed
+                # before the crash — evict them so the serial retry
+                # starts clean (a fresh replacement simply holds none).
+                for b in buckets[shard]:
+                    self._release_sub(shard, f"{b.app_id}@{shard}", "evict")
+                pending.extend(buckets[shard])
+                continue
+            for b, g in zip(buckets[shard], payload):
                 if g.admitted:
                     grant = PlacementGrant(
                         app_id=b.app_id,
@@ -556,15 +812,10 @@ class ShardRouter:
                     self.metrics.routed_local += 1
                     grants[b.app_id] = grant
                 else:
-                    still_pending.append(b)
-            pending = still_pending
-        for b in pending:
-            # No single shard could host it — the serial path can still
-            # split it across shards (or produce the rejection reason).
-            grants[b.app_id] = self._request_inner(
-                b.app_id, b.spec, b.cpu_fraction, b.bw_bps, b.priority, 1,
-            )
-        return [grants[b.app_id] for b in batch]
+                    pending.append(b)
+        index = {b.app_id: i for i, b in enumerate(batch)}
+        pending.sort(key=lambda b: index[b.app_id])
+        return pending
 
     @staticmethod
     def _splittable(spec: ApplicationSpec) -> bool:
@@ -600,6 +851,9 @@ class ShardRouter:
         """
         m = spec.num_nodes
         cap = math.ceil(m / min_parts)
+        probed = self._prewarm_probes(
+            spec, cpu_fraction, bw_bps, order, min_parts, cap
+        )
         remaining = m
         split: list[tuple[int, int, Selection]] = []
         for shard in order:
@@ -610,10 +864,13 @@ class ShardRouter:
             size = min(cap, remaining - still_needed,
                        self._shard_hosts[shard])
             while size >= 1:
-                sub_spec = replace(spec, num_nodes=size)
-                selection = self.services[shard].probe(
-                    sub_spec, cpu_fraction=cpu_fraction, bw_bps=bw_bps
-                )
+                if (shard, size) in probed:
+                    selection = probed[shard, size]
+                else:
+                    sub_spec = replace(spec, num_nodes=size)
+                    selection = self._shards[shard].probe(
+                        sub_spec, cpu_fraction=cpu_fraction, bw_bps=bw_bps
+                    )
                 if selection is not None:
                     split.append((shard, size, selection))
                     remaining -= size
@@ -622,6 +879,56 @@ class ShardRouter:
         if remaining > 0 or len(split) < min_parts:
             return None
         return split
+
+    def _prewarm_probes(
+        self,
+        spec: ApplicationSpec,
+        cpu_fraction: float,
+        bw_bps: float,
+        order: list[int],
+        min_parts: int,
+        cap: int,
+    ) -> dict[tuple[int, int], Optional[Selection]]:
+        """Concurrent pre-warm of the split loop's first probe per shard.
+
+        Replays the greedy size schedule assuming every probe succeeds
+        (the common case) and issues those probes to all candidate
+        workers at once via :meth:`ShardWorkerPool.call_many`.  Probes
+        are read-only and deterministic, so the serial loop consuming
+        this cache reproduces the unfanned walk bit-for-bit; any probe
+        that fails (or any worker that crashes) just drops the
+        speculation and the loop falls back to its own serial RPCs.
+        Returns ``{}`` under the in-process executor or when fan-out
+        is disabled.
+        """
+        if self._pool is None or not self.probe_fanout:
+            return {}
+        sizes: list[tuple[int, int]] = []
+        remaining = spec.num_nodes
+        for shard in order:
+            if remaining <= 0:
+                break
+            still_needed = max(0, min_parts - len(sizes) - 1)
+            size = min(cap, remaining - still_needed,
+                       self._shard_hosts[shard])
+            if size < 1:
+                continue
+            sizes.append((shard, size))
+            remaining -= size
+        if not sizes:
+            return {}
+        replies = self._pool.call_many([
+            (
+                shard, "probe", (replace(spec, num_nodes=size),),
+                {"cpu_fraction": cpu_fraction, "bw_bps": bw_bps},
+            )
+            for shard, size in sizes
+        ])
+        cache: dict[tuple[int, int], Optional[Selection]] = {}
+        for (shard, size), (kind, payload) in zip(sizes, replies):
+            if kind == "ok":
+                cache[shard, size] = payload
+        return cache
 
     def _cross_shard(
         self,
@@ -695,12 +1002,11 @@ class ShardRouter:
         try:
             for shard, size, probed in split:
                 sub = f"{app_id}@{shard}"
-                pinned = frozenset(probed.nodes)
-                g = self.services[shard].request(
+                g = self._shards[shard].request(
                     sub,
                     replace(
                         spec, num_nodes=size,
-                        eligible=lambda node, _p=pinned: node.name in _p,
+                        eligible=PinnedNodes(frozenset(probed.nodes)),
                     ),
                     cpu_fraction=cpu_fraction, bw_bps=bw_bps,
                     priority=priority,
@@ -737,11 +1043,12 @@ class ShardRouter:
                 self.metrics.observe_stage(
                     "trunk_reserve", perf_counter() - t_trunk
                 )
-        except (_CommitAbort, LedgerError) as exc:  # pragma: no cover -
-            # unreachable when probes are sound; kept so a bug can never
+        except (_CommitAbort, LedgerError, WorkerCrashError) as exc:
+            # Unreachable when probes are sound and workers stay up;
+            # kept so neither a bug nor a mid-commit crash can ever
             # leak partial claims.
             for shard, sub in committed:
-                self.services[shard].release(sub)
+                self._release_sub(shard, sub, "release")
             logger.error(
                 "cross-shard commit for %r aborted after probe success "
                 "(%s); partial claims released", app_id, exc,
@@ -765,6 +1072,25 @@ class ShardRouter:
         )
 
     # -- lease lifecycle -------------------------------------------------------
+    def _release_sub(self, shard: int, sub: str, kind: str) -> bool:
+        """Release one sub-lease if the shard still holds it.
+
+        Tolerates one worker crash: the restarted worker either
+        recovered the lease from its WAL (released on retry) or lost
+        it (nothing left to release).  Returns whether a lease was
+        actually released.  Does not touch ``_sub_count`` — callers
+        own the composite bookkeeping.
+        """
+        for _attempt in range(2):
+            try:
+                if not self._shards[shard].holds(sub):
+                    return False
+                self._shards[shard].release(sub, kind=kind)
+                return True
+            except WorkerCrashError:
+                continue
+        return False
+
     def release(self, app_id: str, *, kind: str = "release") -> PlacementGrant:
         """Give back every sub-lease and the trunk claim for ``app_id``.
 
@@ -782,8 +1108,8 @@ class ShardRouter:
         if grant is None:
             raise KeyError(f"no live grant for {app_id!r}")
         for shard, sub in grant.parts.items():
-            if sub in self.services[shard].ledger.reservations:
-                self.services[shard].release(sub, kind=kind)
+            self._release_sub(shard, sub, kind)
+            self._sub_count[shard] = max(0, self._sub_count[shard] - 1)
         if self.trunk.holds(app_id):
             self.trunk.release(app_id, kind=kind)
         del self._active[app_id]
@@ -807,7 +1133,15 @@ class ShardRouter:
             raise KeyError(f"no live grant for {app_id!r}")
         lease = self.lease_s if extend is None else float(extend)
         for shard, sub in grant.parts.items():
-            self.services[shard].renew(sub, extend=lease)
+            try:
+                self._shards[shard].renew(sub, extend=lease)
+            except WorkerCrashError:
+                if not self._shards[shard].holds(sub):
+                    raise KeyError(
+                        f"sub-lease {sub!r} for {app_id!r} was lost to a "
+                        "worker crash; the next tick() reaps the composite"
+                    ) from None
+                self._shards[shard].renew(sub, extend=lease)
         if self.trunk.holds(app_id):
             self.trunk.renew(app_id, self.now, lease)
         self.metrics.renewed += 1
@@ -823,8 +1157,14 @@ class ShardRouter:
         instead (the on-disk WALs are keyed to the old shard layout).
         Returns ``True`` when the plan changed.
         """
+        if self._pool is not None:
+            raise RuntimeError(
+                "repartition is not supported under the process "
+                "executor; drain and restart (worker state dirs are "
+                "keyed to the old shard layout)"
+            )
         if self._active or self.trunk.active or any(
-            s.ledger.active for s in self.services
+            h.active for h in self._shards
         ):
             raise RuntimeError(
                 "repartition requires every grant released first"
@@ -840,8 +1180,8 @@ class ShardRouter:
         )
         if new_plan is self.plan:
             return False
-        for service in self.services:
-            service.close()
+        for handle in self._shards:
+            handle.close()
         old_trunk = len(self.plan.trunk_keys)
         self.plan = new_plan
         self._build_shards()
@@ -877,12 +1217,18 @@ class ShardRouter:
         """Every shard's ledger + overlay invariants, trunk caps, and the
         intra/trunk claim partition (no shard ever claims a trunk
         channel; the trunk never claims an intra-shard channel)."""
-        for shard, service in enumerate(self.services):
-            service.check_invariants()
-            for key, dst in service.ledger.edge_claims():
+        for shard, handle in enumerate(self._shards):
+            handle.check_invariants()
+            for key, dst in handle.edge_claims():
                 assert key not in self.plan.trunk_keys, (
                     f"shard {shard} claimed trunk channel "
                     f"{sorted(key)} towards {dst!r}"
+                )
+            if self._pool is not None:
+                live = handle.active
+                assert self._sub_count[shard] == live, (
+                    f"router sub-lease mirror for shard {shard} drifted: "
+                    f"{self._sub_count[shard]} counted, {live} live"
                 )
         self.trunk.check_invariants()
 
@@ -894,17 +1240,35 @@ class ShardRouter:
         self.metrics.extras["trunk_channels_claimed"] = (
             len(self.trunk.edge_claims())
         )
+        if self._pool is not None:
+            self.metrics.extras["workers"] = self._pool.workers
+            self.metrics.extras["worker_restarts"] = self._pool.restarts
         out = self.metrics.snapshot()
-        out["per_shard"] = {
-            str(shard): {
-                "requests": service.metrics.requests,
-                "admitted": service.metrics.admitted,
-                "rejected": service.metrics.rejected,
-                "active_leases": service.ledger.active,
-                "hosts": self._shard_hosts[shard],
-            }
-            for shard, service in enumerate(self.services)
-        }
+        per_shard = {}
+        if self._pool is not None:
+            if self._pool.closed:
+                # Final stats were harvested by close(); serve those so
+                # post-shutdown reporting (the CLI summary) still works.
+                out["per_shard"] = self._final_per_shard or {}
+                return out
+            replies = self._pool.call_many(
+                [(shard, "stats", (), {}) for shard in range(self.plan.k)]
+            )
+            for shard, (kind, payload) in enumerate(replies):
+                stats = payload if kind == "ok" else {
+                    "requests": 0, "admitted": 0, "rejected": 0,
+                    "active_leases": 0, "stages": {},
+                }
+                stats["hosts"] = self._shard_hosts[shard]
+                stats["worker"] = self._pool.worker_of(shard)
+                per_shard[str(shard)] = stats
+            self._final_per_shard = per_shard
+        else:
+            for shard, handle in enumerate(self._shards):
+                stats = handle.stats()
+                stats["hosts"] = self._shard_hosts[shard]
+                per_shard[str(shard)] = stats
+        out["per_shard"] = per_shard
         return out
 
     # -- durability ------------------------------------------------------------
@@ -917,14 +1281,25 @@ class ShardRouter:
 
     def flush_state(self) -> None:
         """Compacted snapshots for every shard WAL + the trunk WAL."""
-        for service in self.services:
-            service.flush_state()
+        for handle in self._shards:
+            handle.flush_state()
         self.trunk.flush_state()
 
     def close(self) -> None:
-        """Flush final snapshots and detach every WAL (idempotent)."""
-        for service in self.services:
-            service.close()
+        """Flush final snapshots and detach every WAL (idempotent);
+        under the process executor this also shuts the worker pool
+        down (flush + join), harvesting final per-shard stats first so
+        :meth:`metrics_snapshot` keeps answering afterwards."""
+        if self._pool is not None:
+            if not self._pool.closed:
+                try:
+                    self.metrics_snapshot()
+                except RuntimeError:  # pragma: no cover - race with close
+                    pass
+            self._pool.close()
+        else:
+            for handle in self._shards:
+                handle.close()
         self.trunk.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,717 @@
+"""Process-parallel shard workers: every shard's service on its own core.
+
+The :class:`~repro.service.sharding.ShardRouter` runs one
+:class:`~repro.service.SelectionService` per shard, but the in-process
+executor runs them all on a single core — sharding buys latency
+isolation and zero aggregate throughput.  This module supplies the
+``executor="process"`` data plane: a :class:`ShardWorkerPool` of
+``multiprocessing`` workers, each owning a set of shard services, driven
+by a small pickled command protocol mapped 1:1 onto the
+:class:`~repro.service.api.PlacementBackend` surface (``request`` /
+``admit_batch`` / ``release`` / ``renew`` / ``tick`` / ``status`` /
+``metrics_snapshot`` / ``flush_state``, plus the pool-internal ops the
+router's scatter-gather needs: ``probe``, ``holds``,
+``reservation_map``, ``edge_claims``, ``stats``, ``ping``, …).
+
+Design points:
+
+* **Transport** — one duplex :func:`multiprocessing.Pipe` per worker,
+  strict request/reply with per-worker sequence numbers.  A worker
+  executes its commands serially in arrival order; *different* workers
+  run concurrently, which is where fan-out probes and scatter-gathered
+  batches get their parallelism.  A :class:`threading.Lock` serializes
+  pool access so a metrics-scrape thread can never interleave frames
+  with the request path.
+* **Clock** — every command envelope carries the router's ``now``; the
+  worker fast-forwards its shared manual clock before dispatching, so
+  lease expiry inside a worker agrees exactly with the router's
+  timeline.  The process executor therefore requires a *static*
+  topology provider (the restriction is enforced by the router).
+* **Determinism** — a worker's shard service is the same state machine
+  as the in-process executor's, receiving the identical command
+  sequence, so grants are bit-identical to ``executor="inproc"``
+  regardless of worker count (gated by the parallel benchmark arm).
+* **Crash recovery** — workers answer health pings, and a dead worker
+  (detected by a broken pipe or a failed liveness check before send) is
+  restarted in place.  With a ``state_dir``, each shard's service
+  recovers its ledger from its own WAL directory
+  (``state_dir/shard-i``) through the existing ``recover_ledger`` path,
+  so no *committed* lease is lost; the call that was in flight when the
+  worker died raises :class:`WorkerCrashError` and the router settles
+  it as a rejection.  Without a ``state_dir`` a restarted worker comes
+  back empty and the router's next tick reaps the orphaned composites.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import threading
+from typing import Any, Optional, Sequence
+
+from ...core.spec import ApplicationSpec
+from ...core.types import Selection
+from ..api import BatchRequest, PlacementGrant
+from ..service import SelectionService, _ManualClock
+
+__all__ = [
+    "InprocShard",
+    "PinnedNodes",
+    "ProcessShard",
+    "ShardWorkerPool",
+    "WorkerCrashError",
+]
+
+logger = logging.getLogger("repro.service.sharding")
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_S = 0.2
+
+#: The command vocabulary — the PlacementBackend surface plus the
+#: pool-internal introspection ops the router's routing/recovery needs.
+_OPS = frozenset({
+    "request", "probe", "admit_batch", "release", "renew", "tick",
+    "status", "metrics_snapshot", "flush_state", "holds",
+    "reservation_map", "edge_claims", "active", "stats",
+    "check_invariants", "ping",
+})
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker died while (or before) serving a command.
+
+    The pool has already restarted the worker (recovering its WAL state
+    when durable) by the time this propagates; only the in-flight
+    command is lost.
+    """
+
+
+class PinnedNodes:
+    """A picklable eligibility pin: ``node.name in names``.
+
+    The router's commit phase pins each cross-shard sub-request to the
+    node set its probe already proved feasible.  A lambda closure cannot
+    cross a process boundary; this tiny callable can, and both executors
+    use it so the commit path is literally the same object shape.
+    """
+
+    __slots__ = ("names",)
+
+    def __init__(self, names) -> None:
+        self.names = frozenset(names)
+
+    def __call__(self, node) -> bool:
+        return node.name in self.names
+
+    def __repr__(self) -> str:  # stable across processes (selection memo)
+        return f"PinnedNodes({sorted(self.names)!r})"
+
+
+# -- the worker side ---------------------------------------------------------
+
+def _dispatch(service: SelectionService, op: str, args: tuple, kwargs: dict):
+    """Apply one command to one shard's service; returns the payload."""
+    if op == "request":
+        return service.request(*args, **kwargs)
+    if op == "probe":
+        return service.probe(*args, **kwargs)
+    if op == "admit_batch":
+        return service.admit_batch(args[0])
+    if op == "release":
+        return service.release(*args, **kwargs)
+    if op == "renew":
+        return service.renew(*args, **kwargs)
+    if op == "tick":
+        return service.tick()
+    if op == "status":
+        return service.status(*args)
+    if op == "metrics_snapshot":
+        return service.metrics_snapshot()
+    if op == "flush_state":
+        return service.flush_state()
+    if op == "holds":
+        return args[0] in service.ledger.reservations
+    if op == "reservation_map":
+        return {
+            app_id: (list(r.nodes), r.granted_at)
+            for app_id, r in service.ledger.reservations.items()
+        }
+    if op == "edge_claims":
+        return list(service.ledger.edge_claims())
+    if op == "active":
+        return service.ledger.active
+    if op == "stats":
+        return {
+            "requests": service.metrics.requests,
+            "admitted": service.metrics.admitted,
+            "rejected": service.metrics.rejected,
+            "active_leases": service.ledger.active,
+            "stages": service.metrics.stage_summaries(),
+        }
+    if op == "check_invariants":
+        return service.check_invariants()
+    if op == "ping":
+        return os.getpid()
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+def _worker_main(
+    conn,
+    worker_id: int,
+    shard_ids: Sequence[int],
+    graphs: dict,
+    service_kwargs: dict,
+    lease_s: float,
+    state_dirs: dict,
+    start_now: float,
+) -> None:
+    """One worker process: build the shard services, serve commands.
+
+    ``graphs`` maps shard id -> that shard's induced subgraph (inherited
+    for free under ``fork``, pickled once under ``spawn``).  Durable
+    shards recover their ledgers from ``state_dirs[shard]`` exactly as a
+    restarted single service would; the shared manual clock starts at
+    ``start_now`` and never runs behind a recovered grant.
+    """
+    clock = _ManualClock()
+    clock.now = start_now
+    services: dict[int, SelectionService] = {}
+    try:
+        for shard in shard_ids:
+            services[shard] = SelectionService(
+                graphs[shard],
+                lease_s=lease_s,
+                queue_limit=0,
+                clock=clock,
+                state_dir=state_dirs.get(shard),
+                **service_kwargs,
+            )
+        recovered = [
+            r.granted_at
+            for service in services.values()
+            for r in service.ledger.reservations.values()
+        ]
+        if recovered:
+            clock.now = max(clock.now, max(recovered))
+        conn.send(
+            ("hello", {s: services[s].recovery for s in shard_ids},
+             os.getpid())
+        )
+    except Exception as exc:  # construction failed: report, don't hang
+        try:
+            conn.send(("fail", repr(exc), os.getpid()))
+        finally:
+            return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg is None:  # shutdown sentinel
+            break
+        seq, now, shard, op, args, kwargs = msg
+        if now > clock.now:
+            clock.now = now
+        if op == "close":
+            for service in services.values():
+                service.close()
+            conn.send((seq, "ok", None))
+            return
+        try:
+            payload = _dispatch(services[shard], op, args, kwargs)
+            reply = (seq, "ok", payload)
+        except Exception as exc:
+            reply = (seq, "err", exc)
+        try:
+            conn.send(reply)
+        except Exception:
+            # The payload (or exception) didn't pickle — degrade to a
+            # transportable error instead of killing the worker.
+            conn.send((seq, "err", RuntimeError(
+                f"unpicklable worker reply for op {op!r}"
+            )))
+    for service in services.values():
+        try:
+            service.close()
+        except Exception:  # pragma: no cover - best-effort shutdown
+            pass
+
+
+# -- the router side ---------------------------------------------------------
+
+class _WorkerProc:
+    """Bookkeeping for one live worker process (pool-internal)."""
+
+    def __init__(self, worker_id: int, shards: tuple) -> None:
+        self.worker_id = worker_id
+        self.shards = shards
+        self.proc = None
+        self.conn = None
+        self.seq = 0
+        self.pid: Optional[int] = None
+
+
+class ShardWorkerPool:
+    """The process executor: shard services spread across N workers.
+
+    Parameters
+    ----------
+    plan:
+        The router's :class:`~repro.service.sharding.ShardPlan`; shard
+        ``i`` runs in worker ``i % workers``.
+    workers:
+        Worker process count (clamped to ``[1, plan.k]``).
+    clock:
+        The router's clock callable — stamped into every command
+        envelope so worker-side lease expiry agrees with the router.
+    service_kwargs:
+        Per-shard :class:`SelectionService` keyword arguments
+        (``snapshot_ttl``, ``cpu_cap``, ``exclude_unhealthy``,
+        ``incremental``).
+    state_dir:
+        Durability root; shard ``i`` logs under ``state_dir/shard-i``.
+        Restarted workers recover from these directories.
+    """
+
+    def __init__(
+        self,
+        plan,
+        *,
+        workers: int,
+        clock,
+        lease_s: float,
+        service_kwargs: dict,
+        state_dir: Optional[str] = None,
+        wal_fsync: bool = False,
+        wal_snapshot_every: int = 256,
+    ) -> None:
+        self.plan = plan
+        self.workers = max(1, min(int(workers), plan.k))
+        self._clock = clock
+        self._lease_s = float(lease_s)
+        self._service_kwargs = dict(service_kwargs)
+        self._service_kwargs["wal_fsync"] = bool(wal_fsync)
+        self._service_kwargs["wal_snapshot_every"] = int(wal_snapshot_every)
+        self._state_dirs = {
+            shard: (
+                os.path.join(state_dir, f"shard-{shard}")
+                if state_dir else None
+            )
+            for shard in range(plan.k)
+        }
+        #: Shard subgraphs, computed once (forked workers inherit them;
+        #: spawned workers get them pickled at startup).
+        self._graphs = {
+            shard: plan.subgraph(shard) for shard in range(plan.k)
+        }
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._lock = threading.RLock()
+        self.restarts = 0
+        #: Shards whose worker restarted since the router last synced
+        #: (drained by :meth:`take_restarted_shards`).
+        self._restarted_shards: set[int] = set()
+        #: Per-shard recovery reports from the initial spawn handshake.
+        self.recoveries: dict[int, Any] = {}
+        self._closed = False
+        self._procs: list[_WorkerProc] = []
+        for worker_id in range(self.workers):
+            shards = tuple(
+                s for s in range(plan.k) if s % self.workers == worker_id
+            )
+            w = _WorkerProc(worker_id, shards)
+            self._procs.append(w)
+            self._spawn(w, initial=True)
+        self._by_shard = {
+            shard: w for w in self._procs for shard in w.shards
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+    def _spawn(self, w: _WorkerProc, *, initial: bool) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child, w.worker_id, w.shards,
+                {s: self._graphs[s] for s in w.shards},
+                self._service_kwargs, self._lease_s,
+                {s: self._state_dirs[s] for s in w.shards},
+                float(self._clock()),
+            ),
+            name=f"repro-shard-worker-{w.worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        w.proc, w.conn, w.seq = proc, parent, 0
+        while not parent.poll(_POLL_S):
+            if not proc.is_alive():
+                raise RuntimeError(
+                    f"shard worker {w.worker_id} died during startup "
+                    f"(exit code {proc.exitcode})"
+                )
+        kind, payload, pid = parent.recv()
+        if kind != "hello":
+            proc.join(timeout=5.0)
+            raise RuntimeError(
+                f"shard worker {w.worker_id} failed to start: {payload}"
+            )
+        w.pid = pid
+        if initial:
+            self.recoveries.update(payload)
+
+    def _restart(self, w: _WorkerProc, why: str) -> None:
+        """Replace a dead worker; durable shards recover from their WALs."""
+        try:
+            w.conn.close()
+        except Exception:
+            pass
+        if w.proc.is_alive():  # wedged rather than dead: reap it
+            w.proc.terminate()
+        w.proc.join(timeout=10.0)
+        if self._closed:  # shutting down: reap, don't respawn
+            return
+        self._spawn(w, initial=False)
+        self.restarts += 1
+        self._restarted_shards.update(w.shards)
+        logger.warning(
+            "shard worker %d (%s) restarted: shards %s recovered%s",
+            w.worker_id, why, list(w.shards),
+            "" if self._state_dirs[w.shards[0]] else " (no WAL: empty)",
+        )
+
+    def take_restarted_shards(self) -> set[int]:
+        """Shards restarted since the last call (router resync hook)."""
+        out, self._restarted_shards = self._restarted_shards, set()
+        return out
+
+    def reap_dead(self) -> None:
+        """Restart any worker found dead right now.
+
+        A pure local liveness sweep (``waitpid``, no RPC round-trips) —
+        cheap enough for the router to run on every :meth:`tick`, so a
+        crashed worker is replaced (and its durable shards recovered)
+        even when no request happens to route to it.  Replaced shards
+        surface through :meth:`take_restarted_shards` as usual.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            for w in self._procs:
+                if not w.proc.is_alive():
+                    self._restart(w, "found dead in liveness sweep")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pids(self) -> dict[int, int]:
+        """Live worker pids by worker id (for health checks and tests)."""
+        return {w.worker_id: w.pid for w in self._procs}
+
+    def worker_of(self, shard: int) -> int:
+        return self._by_shard[shard].worker_id
+
+    def ping(self) -> dict[int, bool]:
+        """Health-check every worker with a round-trip echo.
+
+        A dead worker is restarted (recovering durable state) and still
+        reported ``False`` for the probe that found it dead.
+        """
+        out = {}
+        for w in self._procs:
+            alive_before = w.proc.is_alive()
+            try:
+                ok = self.call(w.shards[0], "ping") == w.pid
+            except WorkerCrashError:
+                ok = False
+            out[w.worker_id] = alive_before and ok
+        return out
+
+    def close(self) -> None:
+        """Flush and stop every worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for w in self._procs:
+                try:
+                    w.seq += 1
+                    w.conn.send((w.seq, float(self._clock()), w.shards[0],
+                                 "close", (), {}))
+                    self._recv(w, w.seq)
+                except (WorkerCrashError, OSError):
+                    pass
+                try:
+                    w.conn.close()
+                except Exception:
+                    pass
+                w.proc.join(timeout=10.0)
+                if w.proc.is_alive():  # pragma: no cover - stuck worker
+                    w.proc.terminate()
+                    w.proc.join(timeout=5.0)
+
+    # -- transport ------------------------------------------------------------
+    def _send(self, w: _WorkerProc, shard: int, op: str,
+              args: tuple, kwargs: dict) -> int:
+        if not w.proc.is_alive():
+            # Died between calls: restart *before* sending, so the call
+            # itself proceeds against the recovered worker.
+            self._restart(w, "found dead before send")
+        w.seq += 1
+        try:
+            w.conn.send((w.seq, float(self._clock()), shard, op,
+                         args, kwargs))
+        except (BrokenPipeError, OSError) as exc:
+            self._restart(w, f"send failed ({exc})")
+            raise WorkerCrashError(
+                f"worker {w.worker_id} died before accepting "
+                f"{op!r} for shard {shard}"
+            ) from exc
+        return w.seq
+
+    def _recv(self, w: _WorkerProc, seq: int):
+        while True:
+            try:
+                if w.conn.poll(_POLL_S):
+                    reply_seq, status, payload = w.conn.recv()
+                    break
+            except (EOFError, OSError) as exc:
+                self._restart(w, f"recv failed ({exc})")
+                raise WorkerCrashError(
+                    f"worker {w.worker_id} died mid-command"
+                ) from exc
+            if not w.proc.is_alive():
+                # SIGKILL with forked siblings holding the pipe ends
+                # never delivers EOF; the liveness check catches it.
+                if w.conn.poll(0):
+                    continue
+                self._restart(w, "found dead awaiting reply")
+                raise WorkerCrashError(
+                    f"worker {w.worker_id} died mid-command"
+                )
+        assert reply_seq == seq, (
+            f"worker {w.worker_id} protocol desync: "
+            f"reply {reply_seq} != expected {seq}"
+        )
+        if status == "err":
+            raise payload
+        return payload
+
+    def call(self, shard: int, op: str, *args, **kwargs):
+        """One synchronous command against ``shard``'s service."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        with self._lock:
+            w = self._by_shard[shard]
+            seq = self._send(w, shard, op, args, kwargs)
+            return self._recv(w, seq)
+
+    def call_many(
+        self, calls: Sequence[tuple]
+    ) -> list[tuple[str, Any]]:
+        """Fan a batch of commands out across the workers concurrently.
+
+        ``calls`` is ``[(shard, op, args, kwargs), ...]``.  Commands are
+        sent to every addressed worker before any reply is awaited, so
+        commands on *different* workers execute in parallel (commands on
+        the same worker queue in order).  Returns, per call and in
+        order, ``("ok", payload)`` or ``("err", exception)`` — a crashed
+        worker yields ``WorkerCrashError`` entries for its pending calls
+        rather than failing the whole fan-out.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        with self._lock:
+            results: list[Optional[tuple[str, Any]]] = [None] * len(calls)
+            sent: dict[int, list[tuple[int, int]]] = {}  # wid -> [(i, seq)]
+            for i, (shard, op, args, kwargs) in enumerate(calls):
+                w = self._by_shard[shard]
+                try:
+                    seq = self._send(w, shard, op, args, kwargs)
+                except WorkerCrashError as exc:
+                    results[i] = ("err", exc)
+                    continue
+                sent.setdefault(w.worker_id, []).append((i, seq))
+            by_id = {w.worker_id: w for w in self._procs}
+            for worker_id, pending in sent.items():
+                w = by_id[worker_id]
+                crashed: Optional[WorkerCrashError] = None
+                for i, seq in pending:
+                    if crashed is not None:
+                        results[i] = ("err", crashed)
+                        continue
+                    try:
+                        results[i] = ("ok", self._recv(w, seq))
+                    except WorkerCrashError as exc:
+                        crashed = exc
+                        results[i] = ("err", exc)
+                    except Exception as exc:  # worker-side op error
+                        results[i] = ("err", exc)
+            # Every slot is filled: send failures above, replies here.
+            return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardWorkerPool workers={self.workers} "
+            f"shards={self.plan.k} restarts={self.restarts}>"
+        )
+
+
+# -- shard handles -----------------------------------------------------------
+#
+# The router talks to its shards through these two interchangeable
+# handle types — the same narrow surface whether the shard's service is
+# an object in this process or a worker on another core.
+
+class InprocShard:
+    """The in-process executor's handle: direct calls, zero overhead."""
+
+    def __init__(self, service: SelectionService) -> None:
+        self.service = service
+
+    @property
+    def recovery(self):
+        return self.service.recovery
+
+    @property
+    def active(self) -> int:
+        return self.service.ledger.active
+
+    def request(self, app_id: str, spec: ApplicationSpec, **kwargs
+                ) -> PlacementGrant:
+        return self.service.request(app_id, spec, **kwargs)
+
+    def probe(self, spec: ApplicationSpec, *, cpu_fraction: float = 0.0,
+              bw_bps: float = 0.0) -> Optional[Selection]:
+        return self.service.probe(
+            spec, cpu_fraction=cpu_fraction, bw_bps=bw_bps
+        )
+
+    def admit_batch(self, batch: Sequence[BatchRequest]
+                    ) -> list[PlacementGrant]:
+        return self.service.admit_batch(batch)
+
+    def release(self, app_id: str, *, kind: str = "release"
+                ) -> PlacementGrant:
+        return self.service.release(app_id, kind=kind)
+
+    def renew(self, app_id: str, *, extend: Optional[float] = None
+              ) -> PlacementGrant:
+        return self.service.renew(app_id, extend=extend)
+
+    def tick(self) -> list[str]:
+        return self.service.tick()
+
+    def status(self, app_id: str) -> PlacementGrant:
+        return self.service.status(app_id)
+
+    def holds(self, app_id: str) -> bool:
+        return app_id in self.service.ledger.reservations
+
+    def reservation_map(self) -> dict[str, tuple[list[str], float]]:
+        return {
+            app_id: (list(r.nodes), r.granted_at)
+            for app_id, r in self.service.ledger.reservations.items()
+        }
+
+    def edge_claims(self) -> list:
+        return list(self.service.ledger.edge_claims())
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.service.metrics.requests,
+            "admitted": self.service.metrics.admitted,
+            "rejected": self.service.metrics.rejected,
+            "active_leases": self.service.ledger.active,
+        }
+
+    def requests_total(self) -> int:
+        return self.service.metrics.requests
+
+    def metrics_snapshot(self) -> dict:
+        return self.service.metrics_snapshot()
+
+    def check_invariants(self) -> None:
+        self.service.check_invariants()
+
+    def flush_state(self) -> None:
+        self.service.flush_state()
+
+    def close(self) -> None:
+        self.service.close()
+
+
+class ProcessShard:
+    """The process executor's handle: the same surface over the pool."""
+
+    def __init__(self, pool: ShardWorkerPool, shard: int) -> None:
+        self.pool = pool
+        self.shard = shard
+
+    @property
+    def recovery(self):
+        return self.pool.recoveries.get(self.shard)
+
+    @property
+    def active(self) -> int:
+        return self.pool.call(self.shard, "active")
+
+    def request(self, app_id: str, spec: ApplicationSpec, **kwargs
+                ) -> PlacementGrant:
+        return self.pool.call(self.shard, "request", app_id, spec, **kwargs)
+
+    def probe(self, spec: ApplicationSpec, *, cpu_fraction: float = 0.0,
+              bw_bps: float = 0.0) -> Optional[Selection]:
+        return self.pool.call(
+            self.shard, "probe", spec,
+            cpu_fraction=cpu_fraction, bw_bps=bw_bps,
+        )
+
+    def admit_batch(self, batch: Sequence[BatchRequest]
+                    ) -> list[PlacementGrant]:
+        return self.pool.call(self.shard, "admit_batch", list(batch))
+
+    def release(self, app_id: str, *, kind: str = "release"
+                ) -> PlacementGrant:
+        return self.pool.call(self.shard, "release", app_id, kind=kind)
+
+    def renew(self, app_id: str, *, extend: Optional[float] = None
+              ) -> PlacementGrant:
+        return self.pool.call(self.shard, "renew", app_id, extend=extend)
+
+    def tick(self) -> list[str]:
+        return self.pool.call(self.shard, "tick")
+
+    def status(self, app_id: str) -> PlacementGrant:
+        return self.pool.call(self.shard, "status", app_id)
+
+    def holds(self, app_id: str) -> bool:
+        return self.pool.call(self.shard, "holds", app_id)
+
+    def reservation_map(self) -> dict[str, tuple[list[str], float]]:
+        return self.pool.call(self.shard, "reservation_map")
+
+    def edge_claims(self) -> list:
+        return self.pool.call(self.shard, "edge_claims")
+
+    def stats(self) -> dict:
+        return self.pool.call(self.shard, "stats")
+
+    def requests_total(self) -> int:
+        return self.pool.call(self.shard, "stats")["requests"]
+
+    def metrics_snapshot(self) -> dict:
+        return self.pool.call(self.shard, "metrics_snapshot")
+
+    def check_invariants(self) -> None:
+        self.pool.call(self.shard, "check_invariants")
+
+    def flush_state(self) -> None:
+        self.pool.call(self.shard, "flush_state")
+
+    def close(self) -> None:
+        """No-op: the pool owns worker shutdown (see ``pool.close()``)."""

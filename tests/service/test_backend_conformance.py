@@ -1,0 +1,194 @@
+"""PlacementBackend conformance: one suite, every backend.
+
+The :class:`~repro.service.PlacementBackend` protocol promises that the
+single service, the in-process shard router, and the process-worker
+router are interchangeable behind the testbed/CLI.  This suite runs the
+same grant/release/renew/expiry/error scenarios against all three and
+pins the shared behavior — so a new backend (or a regression in an old
+one) fails loudly in one place.
+"""
+
+import pytest
+
+from repro.core.spec import ApplicationSpec
+from repro.service import (
+    BatchRequest,
+    Decision,
+    PlacementGrant,
+    SelectionService,
+    ShardRouter,
+)
+from repro.topology import two_campus
+
+
+def _graph():
+    return two_campus(fast_hosts=6, slow_hosts=6)
+
+
+def _service(**kwargs):
+    # queue_limit=0 matches the routers' no-queue admission contract.
+    return SelectionService(_graph(), queue_limit=0, lease_s=10.0, **kwargs)
+
+
+def _inproc_router(**kwargs):
+    return ShardRouter(_graph(), shards=2, lease_s=10.0, **kwargs)
+
+
+def _process_router(**kwargs):
+    return ShardRouter(_graph(), shards=2, lease_s=10.0,
+                       executor="process", workers=2, **kwargs)
+
+
+BACKENDS = {
+    "service": _service,
+    "router-inproc": _inproc_router,
+    "router-process": _process_router,
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS), ids=sorted(BACKENDS))
+def backend(request):
+    b = BACKENDS[request.param]()
+    yield b
+    b.close()
+
+
+class TestGrantLifecycle:
+    def test_admit_is_a_placement_grant(self, backend):
+        g = backend.request("a", ApplicationSpec(num_nodes=3),
+                            cpu_fraction=0.2)
+        assert isinstance(g, PlacementGrant)
+        assert g.admitted and g.status == Decision.ADMITTED
+        assert g.app_id == "a"
+        assert len(g.selection.nodes) == 3
+        assert backend.active_apps() == ["a"]
+        assert backend.status("a") is g or backend.status("a") == g
+
+    def test_duplicate_live_app_raises(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        with pytest.raises(ValueError, match="live"):
+            backend.request("a", ApplicationSpec(num_nodes=2))
+
+    def test_infeasible_is_rejected_with_reason(self, backend):
+        g = backend.request("big", ApplicationSpec(num_nodes=99))
+        assert not g.admitted and g.status == Decision.REJECTED
+        assert g.reason
+        assert backend.active_apps() == []
+        assert backend.status("big").status == Decision.REJECTED
+
+    def test_release_frees_and_records_outcome(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2), cpu_fraction=0.3)
+        out = backend.release("a")
+        assert out.status == Decision.RELEASED
+        assert backend.active_apps() == []
+        assert backend.status("a").status == Decision.RELEASED
+        # Capacity actually returns: the same claim fits again.
+        assert backend.request("b", ApplicationSpec(num_nodes=2),
+                               cpu_fraction=0.3).admitted
+
+    def test_release_kinds(self, backend):
+        for kind, status in (("release", Decision.RELEASED),
+                             ("evict", Decision.EVICTED)):
+            backend.request("a", ApplicationSpec(num_nodes=2))
+            assert backend.release("a", kind=kind).status == status
+
+    def test_release_unknown_kind_raises(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        with pytest.raises(ValueError, match="kind"):
+            backend.release("a", kind="vanish")
+
+    def test_release_unknown_app_raises(self, backend):
+        with pytest.raises(KeyError):
+            backend.release("ghost")
+
+    def test_status_unknown_app_raises(self, backend):
+        with pytest.raises(KeyError, match="ghost"):
+            backend.status("ghost")
+
+
+class TestLeaseClock:
+    def test_expiry_after_lease_lapse(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        backend.advance(11.0)  # lease_s=10
+        assert backend.active_apps() == []
+        assert backend.status("a").status == Decision.EXPIRED
+
+    def test_renew_extends_the_lease(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        backend.advance(8.0)
+        backend.renew("a")
+        backend.advance(8.0)  # 16s total, but renewed at t=8
+        assert backend.active_apps() == ["a"]
+        backend.advance(3.0)
+        assert backend.active_apps() == []
+
+    def test_renew_with_explicit_extend(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        backend.renew("a", extend=100.0)
+        backend.advance(50.0)
+        assert backend.active_apps() == ["a"]
+
+    def test_renew_unknown_app_raises(self, backend):
+        with pytest.raises(KeyError):
+            backend.renew("ghost")
+
+    def test_tick_returns_expired_app_ids(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        if hasattr(backend, "_manual_clock") and backend._manual_clock:
+            backend._manual_clock.now += 11.0
+        else:
+            backend.clock.now += 11.0
+        assert backend.tick() == ["a"]
+
+
+class TestBatch:
+    def test_order_preserved_and_all_admitted(self, backend):
+        batch = [
+            BatchRequest(app_id=f"b{i}", spec=ApplicationSpec(num_nodes=2),
+                         cpu_fraction=0.1)
+            for i in range(4)
+        ]
+        grants = backend.admit_batch(batch)
+        assert [g.app_id for g in grants] == [b.app_id for b in batch]
+        assert all(g.admitted for g in grants)
+        assert backend.active_apps() == sorted(b.app_id for b in batch)
+
+    def test_duplicate_in_batch_admits_nothing(self, backend):
+        batch = [
+            BatchRequest(app_id="dup", spec=ApplicationSpec(num_nodes=2)),
+            BatchRequest(app_id="dup", spec=ApplicationSpec(num_nodes=2)),
+        ]
+        with pytest.raises(ValueError, match="dup"):
+            backend.admit_batch(batch)
+        assert backend.active_apps() == []
+
+    def test_already_live_app_admits_nothing(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        with pytest.raises(ValueError, match="live"):
+            backend.admit_batch(
+                [BatchRequest(app_id="a", spec=ApplicationSpec(num_nodes=2))]
+            )
+        assert backend.active_apps() == ["a"]
+
+    def test_empty_batch(self, backend):
+        assert backend.admit_batch([]) == []
+
+
+class TestIntrospection:
+    def test_metrics_snapshot_flat_schema(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        backend.request("big", ApplicationSpec(num_nodes=99))
+        snap = backend.metrics_snapshot()
+        assert snap["requests"] == 2
+        assert snap["admitted"] == 1
+        assert snap["rejected"] == 1
+
+    def test_flush_state_is_safe_when_not_durable(self, backend):
+        backend.request("a", ApplicationSpec(num_nodes=2))
+        backend.flush_state()
+        assert backend.active_apps() == ["a"]
+
+    def test_now_advances(self, backend):
+        t0 = backend.now
+        backend.advance(2.5)
+        assert backend.now == pytest.approx(t0 + 2.5)

@@ -1,0 +1,283 @@
+"""Tests for the process worker pool (service.sharding.workers).
+
+The executor contract: ``executor="process"`` is a drop-in data plane —
+bit-identical grants for a serial stream at any worker count, durable
+crash recovery through the per-shard WALs, and clean reaping of leases
+a non-durable crash genuinely lost.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.spec import ApplicationSpec
+from repro.service import (
+    BatchRequest,
+    Decision,
+    ShardRouter,
+    WorkerCrashError,
+)
+from repro.service.sharding.workers import PinnedNodes
+from repro.topology import two_campus
+from repro.units import Mbps
+
+
+def _graph():
+    return two_campus(fast_hosts=6, slow_hosts=6)
+
+
+def _router(**kwargs):
+    kwargs.setdefault("shards", 2)
+    return ShardRouter(_graph(), **kwargs)
+
+
+def _pool_router(**kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("executor", "process")
+    return ShardRouter(_graph(), **kwargs)
+
+
+def _outcome(grant):
+    return (
+        grant.status,
+        tuple(grant.selection.nodes) if grant.selection else None,
+        grant.shards,
+    )
+
+
+def _drive(router, n=20):
+    """A deterministic mixed stream; returns every grant's outcome."""
+    out = []
+    for i in range(n):
+        spread = 2 if i % 5 == 4 else 1
+        g = router.request(
+            f"app{i}", ApplicationSpec(num_nodes=2 + i % 3),
+            cpu_fraction=0.15,
+            bw_bps=(2 * Mbps if spread == 2 else 0.0),
+            spread=spread,
+        )
+        out.append(_outcome(g))
+        if i % 4 == 3 and g.admitted:
+            out.append(_outcome(router.release(f"app{i}")))
+        router.advance(1.0)
+    router.check_invariants()
+    return out
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_process_matches_inproc(self, workers):
+        r_in = _router()
+        expected = _drive(r_in)
+        r_in.close()
+        r_pool = _pool_router(workers=workers)
+        assert _drive(r_pool) == expected
+        r_pool.close()
+
+    def test_fanout_ablation_identical(self):
+        r_on = _pool_router(probe_fanout=True)
+        r_off = _pool_router(probe_fanout=False)
+        assert _drive(r_on) == _drive(r_off)
+        r_on.close()
+        r_off.close()
+
+    def test_admit_batch_scatter_all_admitted(self):
+        r_in = _router()
+        r_pool = _pool_router()
+        batch = [
+            BatchRequest(app_id=f"b{i}", spec=ApplicationSpec(num_nodes=2),
+                         cpu_fraction=0.1)
+            for i in range(6)
+        ]
+        in_grants = r_in.admit_batch(batch)
+        pool_grants = r_pool.admit_batch(batch)
+        # The scatter partitions differently from the waterfall, so only
+        # the outcome set is pinned: same admissions, valid placements.
+        assert [g.admitted for g in in_grants] == [True] * 6
+        assert [g.admitted for g in pool_grants] == [True] * 6
+        for g in pool_grants:
+            shard = g.shards[0]
+            assert set(g.selection.nodes) <= r_pool.plan.shards[shard]
+        r_in.check_invariants()
+        r_pool.check_invariants()
+        r_in.close()
+        r_pool.close()
+
+
+class TestValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            _router(executor="threads")
+
+    def test_process_requires_static_provider(self):
+        class LiveProvider:
+            def topology(self):
+                return _graph()
+
+        with pytest.raises(ValueError, match="static TopologyGraph"):
+            ShardRouter(LiveProvider(), shards=2, executor="process")
+
+    def test_services_property_guarded(self):
+        r = _pool_router()
+        with pytest.raises(RuntimeError, match="remote"):
+            r.services
+        r.close()
+
+    def test_repartition_refused(self):
+        r = _pool_router()
+        with pytest.raises(RuntimeError, match="repartition"):
+            r.maybe_repartition()
+        r.close()
+
+    def test_workers_clamped_to_shard_count(self):
+        r = _pool_router(workers=64)
+        assert r.pool.workers == 2
+        r.close()
+
+
+class TestPool:
+    def test_ping_and_pids(self):
+        r = _pool_router(workers=2)
+        assert r.pool.ping() == {0: True, 1: True}
+        pids = r.pool.pids()
+        assert len(set(pids.values())) == 2
+        assert all(pid != os.getpid() for pid in pids.values())
+        r.close()
+
+    def test_ping_reports_killed_worker_then_recovers(self):
+        r = _pool_router(workers=2)
+        victim = r.pool.worker_of(0)
+        os.kill(r.pool.pids()[victim], signal.SIGKILL)
+        time.sleep(0.1)
+        health = r.pool.ping()
+        assert health[victim] is False
+        assert r.pool.ping()[victim] is True  # restarted in place
+        assert r.pool.restarts == 1
+        r.close()
+
+    def test_close_idempotent_and_call_after_close_raises(self):
+        r = _pool_router()
+        pool = r.pool
+        r.close()
+        r.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.call(0, "ping")
+
+    def test_worker_error_propagates_without_crash(self):
+        r = _pool_router()
+        with pytest.raises(KeyError, match="unknown application"):
+            r.status("ghost")
+        # Shard-service errors cross the pipe as exceptions, not crashes.
+        assert r.pool.restarts == 0
+        r.close()
+
+    def test_metrics_snapshot_merges_worker_stats(self):
+        r = _pool_router(workers=2)
+        g = r.request("a", ApplicationSpec(num_nodes=2), cpu_fraction=0.1)
+        assert g.admitted
+        snap = r.metrics_snapshot()
+        assert snap["workers"] == 2
+        assert snap["worker_restarts"] == 0
+        per_shard = snap["per_shard"]
+        assert set(per_shard) == {"0", "1"}
+        assert sum(s["active_leases"] for s in per_shard.values()) == 1
+        assert all("stages" in s and "worker" in s
+                   for s in per_shard.values())
+        r.close()
+        # Post-shutdown snapshots serve the harvested figures.
+        assert r.metrics_snapshot()["per_shard"] == per_shard
+
+    def test_registry_exports_pool_gauges(self):
+        r = _pool_router()
+        text = r.registry.expose_text()
+        assert "repro_shard_workers 2" in text
+        assert "repro_shard_worker_restarts_total 0" in text
+        r.close()
+
+
+class TestCrashRecovery:
+    def test_durable_worker_kill_loses_no_committed_lease(self, tmp_path):
+        r = _pool_router(shards=2, workers=2, state_dir=str(tmp_path))
+        for i in range(6):
+            g = r.request(f"app{i}", ApplicationSpec(num_nodes=2),
+                          cpu_fraction=0.1,
+                          spread=2 if i % 3 == 0 else 1,
+                          bw_bps=2 * Mbps if i % 3 == 0 else 0.0)
+            assert g.admitted
+        before = set(r.active_apps())
+        os.kill(r.pool.pids()[r.pool.worker_of(1)], signal.SIGKILL)
+        time.sleep(0.1)
+        # Mid-stream: traffic keeps flowing, the dead worker restarts
+        # and recovers from its WAL on first contact.
+        g = r.request("after", ApplicationSpec(num_nodes=2),
+                      cpu_fraction=0.1)
+        assert g.admitted
+        r.tick()
+        assert before <= set(r.active_apps())
+        assert r.pool.restarts == 1
+        r.check_invariants()
+        # Recovered leases still release cleanly.
+        for app in sorted(before):
+            r.release(app)
+        r.check_invariants()
+        r.close()
+
+    def test_nondurable_worker_kill_reaps_lost_composites(self):
+        r = _pool_router(shards=2, workers=2)
+        for i in range(4):
+            g = r.request(f"app{i}", ApplicationSpec(num_nodes=4),
+                          cpu_fraction=0.1, spread=2, bw_bps=Mbps)
+            assert g.admitted
+        os.kill(r.pool.pids()[r.pool.worker_of(0)], signal.SIGKILL)
+        time.sleep(0.1)
+        expired = r.tick()
+        # Every composite touched shard 0; without a WAL those leases
+        # are genuinely gone, so the composites expire rather than
+        # dangle half-alive.
+        assert expired == [f"app{i}" for i in range(4)]
+        for app in expired:
+            assert r.status(app).status == Decision.EXPIRED
+        assert r.trunk.active == 0
+        r.check_invariants()
+        # The router keeps serving on the replacement worker.
+        g = r.request("fresh", ApplicationSpec(num_nodes=2),
+                      cpu_fraction=0.1)
+        assert g.admitted
+        r.close()
+
+    def test_router_restart_recovers_from_worker_wals(self, tmp_path):
+        r = _pool_router(shards=2, workers=2, state_dir=str(tmp_path))
+        for i in range(4):
+            assert r.request(f"app{i}", ApplicationSpec(num_nodes=2),
+                             cpu_fraction=0.1).admitted
+        r.release("app0")
+        active = set(r.active_apps())
+        r.close()
+        r2 = _pool_router(shards=2, workers=1, state_dir=str(tmp_path))
+        assert set(r2.active_apps()) == active
+        assert r2.recovery is not None and r2.recovery.leases == 3
+        r2.check_invariants()
+        r2.release("app1")
+        r2.check_invariants()
+        r2.close()
+
+
+class TestPinnedNodes:
+    def test_predicate_and_repr(self):
+        pin = PinnedNodes(frozenset({"b", "a"}))
+
+        class N:
+            def __init__(self, name):
+                self.name = name
+
+        assert pin(N("a")) and not pin(N("c"))
+        assert repr(pin) == "PinnedNodes(['a', 'b'])"
+
+    def test_picklable(self):
+        import pickle
+
+        pin = PinnedNodes(frozenset({"x"}))
+        again = pickle.loads(pickle.dumps(pin))
+        assert again.names == frozenset({"x"})
