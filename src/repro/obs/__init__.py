@@ -6,8 +6,12 @@ Three dependency-free pillars wired through the selection stack:
   propagation (``Tracer``), a zero-cost disabled path (``NULL_TRACER``),
   JSONL export, and the ``repro-trace`` CLI (:mod:`repro.obs.tracecli`);
 - :mod:`repro.obs.metrics` — a counter/gauge/histogram registry
-  (``MetricsRegistry``) with Prometheus text exposition, validated by
+  (``MetricsRegistry``) with Prometheus text exposition, cross-process
+  federation (``MetricsFederation``), validated by
   :mod:`repro.obs.promtext`;
+- :mod:`repro.obs.slo` — rolling-window SLO objectives with
+  multi-window burn-rate evaluation (``SloMonitor``) and the
+  ``repro-top`` live status CLI (:mod:`repro.obs.topcli`);
 - :mod:`repro.obs.explain` — ``ExplainRecord`` provenance for selection
   decisions (peel sequence, bottleneck edge, per-node CPU, snapshot
   staleness, rejection reasons).
@@ -27,23 +31,29 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsFederation,
     MetricsRegistry,
 )
 from .promtext import validate as validate_exposition
+from .slo import DEFAULT_WINDOWS, SloMonitor, SloObjective
 from .trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "BottleneckEdge",
     "Counter",
+    "DEFAULT_WINDOWS",
     "DURATION_BUCKETS",
     "ExplainRecord",
     "Gauge",
     "Histogram",
+    "MetricsFederation",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PeelStep",
     "REGISTRY",
+    "SloMonitor",
+    "SloObjective",
     "Span",
     "Tracer",
     "bottleneck_edge",

@@ -28,6 +28,7 @@ itself.  This module is dependency-free (stdlib only).
 
 from __future__ import annotations
 
+import logging
 import re
 import threading
 from bisect import bisect_left
@@ -38,9 +39,12 @@ __all__ = [
     "DURATION_BUCKETS",
     "Gauge",
     "Histogram",
+    "MetricsFederation",
     "MetricsRegistry",
     "REGISTRY",
 ]
+
+logger = logging.getLogger("repro.obs.metrics")
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -207,6 +211,29 @@ class MetricsRegistry:
         self._instruments: dict[tuple, _Instrument] = {}
         self._families: dict[str, tuple[str, str]] = {}  # name -> kind, help
         self._lock = threading.Lock()
+        #: Callables invoked at the top of every scrape (see
+        #: :meth:`add_collect_hook`).
+        self._collect_hooks: list[Callable[[], None]] = []
+
+    # -- collection hooks --------------------------------------------------------
+    def add_collect_hook(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at the start of every :meth:`expose_text` /
+        :meth:`dump` scrape, *before* the registry lock is taken.
+
+        The federation hook: a router registers a harvest here so worker
+        registries are pulled and merged on every scrape — metrics stay
+        fresh without a polling thread, and the hook is free to create or
+        update instruments (it runs outside the lock).  Hook failures are
+        logged and swallowed; a dead worker must not break the scrape.
+        """
+        self._collect_hooks.append(fn)
+
+    def _run_collect_hooks(self) -> None:
+        for fn in list(self._collect_hooks):
+            try:
+                fn()
+            except Exception:  # scrape must survive a harvest failure
+                logger.exception("metrics collect hook failed")
 
     # -- creation ----------------------------------------------------------------
     def _check(self, name: str, kind: str, help_text: str,
@@ -293,6 +320,7 @@ class MetricsRegistry:
     def dump(self) -> dict[str, float]:
         """Flat ``{name{labels}: value}`` snapshot (histograms summarized
         as ``_sum``/``_count``)."""
+        self._run_collect_hooks()
         out: dict[str, float] = {}
         for inst in self._instruments.values():
             label_part = _format_labels(inst.labels)
@@ -303,9 +331,47 @@ class MetricsRegistry:
                 out[f"{inst.name}{label_part}"] = inst.read()
         return out
 
+    def dump_state(self) -> list[dict]:
+        """The registry's full state as picklable/JSON-safe dicts.
+
+        One entry per instrument: ``{name, kind, help, labels, value}``
+        for counters and gauges (callback-backed instruments are read
+        now), plus ``{buckets, counts, sum, count}`` for histograms.
+        This is the *producer* side of metrics federation — a worker
+        process dumps its registry here and ships it over the pool pipe;
+        the router's :class:`MetricsFederation` ingests it under a
+        ``shard`` label.  Collect hooks do **not** run (the dump is
+        itself what a hook harvests).
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+            families = dict(self._families)
+        out: list[dict] = []
+        for inst in instruments:
+            kind, help_text = families[inst.name]
+            item: dict = {
+                "name": inst.name,
+                "kind": kind,
+                "help": help_text,
+                "labels": dict(inst.labels),
+            }
+            if isinstance(inst, Histogram):
+                item["buckets"] = list(inst.buckets)
+                item["counts"] = list(inst._counts)
+                item["sum"] = inst._sum
+                item["count"] = inst._count
+            else:
+                try:
+                    item["value"] = float(inst.read())
+                except Exception:  # a callback over torn-down state
+                    continue
+            out.append(item)
+        return out
+
     # -- exposition --------------------------------------------------------------
     def expose_text(self) -> str:
         """The registry in Prometheus text exposition format (v0.0.4)."""
+        self._run_collect_hooks()
         by_family: dict[str, list[_Instrument]] = {}
         with self._lock:
             instruments = list(self._instruments.values())
@@ -343,6 +409,100 @@ class MetricsRegistry:
             f"<MetricsRegistry {len(self._instruments)} instruments, "
             f"{len(self._families)} families>"
         )
+
+
+class MetricsFederation:
+    """Merge remote registry dumps into one registry under an added label.
+
+    The consumer side of cross-process metrics federation: each call to
+    :meth:`ingest` takes a source id (e.g. a shard number) and a
+    :meth:`MetricsRegistry.dump_state` payload, and materializes every
+    instrument in the target registry with ``{label: source}`` appended
+    to its labels — so a scrape of the router registry carries
+    ``repro_service_requests_total{shard="3"}`` next to the router's own
+    unlabeled series.
+
+    **Monotonicity across restarts**: a restarted worker's counters
+    restart from their recovered (usually zero) values.  The federation
+    keeps a per-series baseline — when an ingested counter (or histogram
+    count) goes *backwards*, the previous raw value is folded into a
+    standing offset, so the exported series never decreases.  This is
+    the PR 5 harvest invariant (``_view_totals``) extended across the
+    process boundary.  Gauges are point-in-time and overwrite.
+    """
+
+    def __init__(self, registry: MetricsRegistry, label: str = "shard"
+                 ) -> None:
+        self.registry = registry
+        self.label = label
+        self._baselines: dict[tuple, dict] = {}
+
+    def ingest(self, source, state: list[dict]) -> None:
+        """Merge one source's ``dump_state()`` payload (see above)."""
+        for item in state:
+            labels = dict(item.get("labels") or {})
+            labels[self.label] = str(source)
+            name = item["name"]
+            kind = item["kind"]
+            key = (name, tuple(sorted(labels.items())))
+            try:
+                if kind == "histogram":
+                    self._ingest_histogram(key, name, item, labels)
+                elif kind == "counter":
+                    self._ingest_counter(key, name, item, labels)
+                else:
+                    inst = self.registry.gauge(
+                        name, item.get("help", ""), labels=labels
+                    )
+                    inst._fn = None
+                    inst._value = float(item["value"])
+            except ValueError:
+                # Kind conflict with a locally-registered family; skip
+                # the series rather than poisoning the scrape.
+                logger.warning(
+                    "federation skipped %s{%s=%s}: kind conflict",
+                    name, self.label, source,
+                )
+
+    def _ingest_counter(self, key: tuple, name: str, item: dict,
+                        labels: dict) -> None:
+        inst = self.registry.counter(
+            name, item.get("help", ""), labels=labels
+        )
+        base = self._baselines.setdefault(key, {"offset": 0.0, "last": 0.0})
+        raw = float(item["value"])
+        if raw < base["last"]:  # source restarted: fold in the old total
+            base["offset"] += base["last"]
+        base["last"] = raw
+        inst._fn = None
+        inst._value = base["offset"] + raw
+
+    def _ingest_histogram(self, key: tuple, name: str, item: dict,
+                          labels: dict) -> None:
+        inst = self.registry.histogram(
+            name, item.get("help", ""),
+            buckets=item["buckets"], labels=labels,
+        )
+        counts = list(item["counts"])
+        if len(counts) != len(inst._counts):  # bucket layout drifted
+            return
+        base = self._baselines.setdefault(key, {
+            "counts": [0] * len(counts), "sum": 0.0, "count": 0,
+            "last_counts": [0] * len(counts), "last_sum": 0.0,
+            "last_count": 0,
+        })
+        if item["count"] < base["last_count"]:  # source restarted
+            base["counts"] = [
+                b + lc for b, lc in zip(base["counts"], base["last_counts"])
+            ]
+            base["sum"] += base["last_sum"]
+            base["count"] += base["last_count"]
+        base["last_counts"] = counts
+        base["last_sum"] = float(item["sum"])
+        base["last_count"] = int(item["count"])
+        inst._counts = [b + c for b, c in zip(base["counts"], counts)]
+        inst._sum = base["sum"] + float(item["sum"])
+        inst._count = base["count"] + int(item["count"])
 
 
 #: A process-wide default registry for callers that want one shared

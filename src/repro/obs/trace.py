@@ -26,6 +26,17 @@ Spans serialize to JSONL (one JSON object per line, see
 (:mod:`repro.obs.tracecli`) pretty-prints and filters the result.  This
 module is dependency-free — nothing here imports the rest of the
 package, so any layer (collector, faults, service) can emit spans.
+
+**Cross-process propagation** (DESIGN.md §17): a caller ships
+:meth:`Tracer.context` — ``(trace id, parent span id)`` — inside its RPC
+envelope; the remote side records spans into its own buffered tracer and
+returns the finished dicts (:meth:`Tracer.drain`, or a per-call slice of
+:attr:`Tracer.spans`).  The caller stitches them into its tree with
+:meth:`Tracer.adopt`, which re-allocates span ids from the local
+sequence, re-parents the batch's roots under the propagated context, and
+stamps attribution attributes (``shard=``, ``pid=``) on every adopted
+span — so one request becomes one tree even when its stages ran in
+worker processes.
 """
 
 from __future__ import annotations
@@ -187,6 +198,96 @@ class Tracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    def context(self) -> Optional[tuple[int, int]]:
+        """``(trace id, span id)`` of the innermost open span, or ``None``.
+
+        The propagation handle a caller ships inside an RPC envelope; the
+        matching :meth:`adopt` on the reply re-parents the remote spans
+        under exactly this context.
+        """
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return (top.trace_id, top.span_id)
+
+    def drain(self) -> list[dict]:
+        """Take (and clear) the finished-span buffer.
+
+        Used by remote-side tracers: spans recorded since the last drain
+        travel back inside the reply envelope and are :meth:`adopt`-ed by
+        the caller.  The context stack is untouched — open spans finish
+        into the fresh buffer.
+        """
+        out, self.spans = self.spans, []
+        return out
+
+    def adopt(
+        self,
+        spans: list[dict],
+        *,
+        parent: Optional[tuple[int, int]] = None,
+        base_s: Optional[float] = None,
+        **attrs: Any,
+    ) -> None:
+        """Stitch a batch of remote span dicts into this tracer's stream.
+
+        Every span gets a fresh span id from the local sequence (remote
+        ids are only unique within their own tracer).  Parent links
+        *inside* the batch are remapped; batch roots re-parent under
+        ``parent`` — the ``(trace id, span id)`` context shipped with the
+        original request — or become fresh root traces when no context
+        was propagated (one fresh trace id per remote trace).  ``base_s``
+        rebases the batch's earliest start onto this tracer's timeline
+        (remote ``perf_counter`` epochs are not comparable across
+        processes; durations are exact either way).  ``attrs`` — e.g.
+        ``shard=`` / ``pid=`` — are stamped on every adopted span.
+        """
+        if not spans:
+            return
+        mapping: dict[int, int] = {}
+        for s in spans:
+            mapping[s["span"]] = self._next_span
+            self._next_span += 1
+        shift_us = 0.0
+        if base_s is not None:
+            shift_us = base_s * 1e6 - min(
+                s.get("start_us", 0.0) for s in spans
+            )
+        trace_map: dict[int, int] = {}
+        for s in spans:
+            ns = dict(s)
+            ns["span"] = mapping[s["span"]]
+            old_parent = s.get("parent")
+            in_batch = old_parent in mapping
+            if parent is not None:
+                ns["trace"] = parent[0]
+                ns["parent"] = mapping[old_parent] if in_batch else parent[1]
+            else:
+                old_trace = s.get("trace", 0)
+                if old_trace not in trace_map:
+                    trace_map[old_trace] = self._next_trace
+                    self._next_trace += 1
+                ns["trace"] = trace_map[old_trace]
+                ns["parent"] = mapping[old_parent] if in_batch else None
+            if shift_us:
+                ns["start_us"] = round(
+                    s.get("start_us", 0.0) + shift_us, 1
+                )
+                if "events" in s:
+                    ns["events"] = [
+                        {**e, "at_us": round(
+                            e.get("at_us", 0.0) + shift_us, 1
+                        )}
+                        for e in s["events"]
+                    ]
+            if attrs:
+                merged = dict(ns.get("attrs") or {})
+                merged.update(attrs)
+                ns["attrs"] = merged
+            self.spans.append(ns)
+            if self._sink is not None:
+                self._sink(ns)
+
     def span(self, name: str, **attrs: Any) -> Span:
         """A new span; enter it (``with``) to start the clock and nest."""
         return Span(self, name, attrs)
@@ -297,6 +398,15 @@ class NullTracer:
     @property
     def current(self) -> None:
         return None
+
+    def context(self) -> None:
+        return None
+
+    def drain(self) -> list:
+        return []
+
+    def adopt(self, _spans: list, **_kw: Any) -> None:
+        pass
 
     def to_jsonl(self) -> str:
         return ""

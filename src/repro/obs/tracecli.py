@@ -148,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="flat listing of spans with this status",
     )
     parser.add_argument(
+        "--shard", type=int, default=None, metavar="S",
+        help="flat listing of spans whose shard= attribute is S "
+        "(worker-side spans adopted across the process boundary)",
+    )
+    parser.add_argument(
         "--min-us", type=float, default=None, metavar="US",
         help="flat listing of spans at least US microseconds long",
     )
@@ -193,6 +198,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.name is not None
         or args.status is not None
         or args.min_us is not None
+        or args.shard is not None
     )
     if flat:
         selected = [
@@ -201,6 +207,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             and (args.status is None or s.get("status") == args.status)
             and (args.min_us is None
                  or s.get("duration_us", 0.0) >= args.min_us)
+            and (args.shard is None
+                 or (s.get("attrs") or {}).get("shard") == args.shard)
         ]
         selected.sort(key=lambda s: -s.get("duration_us", 0.0))
         if args.limit is not None:

@@ -202,7 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(inspect with repro-trace)")
     parser.add_argument("--metrics-port", type=int, metavar="PORT",
                         help="serve Prometheus text exposition on "
-                             "127.0.0.1:PORT/metrics while the workload runs")
+                             "127.0.0.1:PORT/metrics while the workload runs "
+                             "(under --shards/--workers this is the merged "
+                             "router view: shard-labeled worker series are "
+                             "re-harvested on every scrape)")
     parser.add_argument("--dump-metrics", metavar="FILE",
                         help="write the final Prometheus exposition to FILE "
                              "('-' for stdout) on exit")
@@ -609,6 +612,17 @@ def main(argv: Optional[list[str]] = None) -> int:
                 cache=service.cache, ledger=service.ledger,
                 queue=service.queue, include_stages=args.profile,
             ))
+        slo = metrics.get("slo")
+        if slo:
+            print(
+                f"slo: {slo['status']} "
+                f"(p99 admit latency {slo['latency_p99_s'] * 1e3:.3f} ms; "
+                + ", ".join(
+                    f"{name} {obj['status']}"
+                    for name, obj in slo["objectives"].items()
+                )
+                + ")"
+            )
     return 0
 
 

@@ -250,9 +250,12 @@ class ServiceMetrics:
         ordered += sorted(set(self.stages) - set(STAGES))
         return {name: self.stages[name].summary() for name in ordered}
 
-    def snapshot(self, cache=None, ledger=None, queue=None) -> dict:
+    def snapshot(self, cache=None, ledger=None, queue=None,
+                 slo=None) -> dict:
         """All counters plus live cache/ledger/queue gauges, one flat dict
-        (stage-timer histograms nested under ``"stages"``)."""
+        (stage-timer histograms nested under ``"stages"``; an SLO
+        evaluation — :meth:`repro.obs.slo.SloMonitor.evaluate` — nests
+        under ``"slo"`` when the caller passes one)."""
         out = {
             "requests": self.requests,
             "admitted": self.admitted,
@@ -290,6 +293,8 @@ class ServiceMetrics:
         if ledger is not None:
             out.update(ledger.utilization())
         out.update(self.extras)
+        if slo is not None:
+            out["slo"] = slo
         if self.stages:
             out["stages"] = self.stage_summaries()
         return out

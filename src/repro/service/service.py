@@ -51,6 +51,7 @@ from ..core.types import (
     node_is_selectable,
 )
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SloMonitor
 from ..obs.trace import NULL_TRACER
 from ..topology.graph import TopologyGraph
 from ..topology.residual import residual_graph
@@ -279,6 +280,9 @@ class SelectionService:
         )
         self.queue = AdmissionQueue(queue_limit)
         self.metrics = ServiceMetrics()
+        #: Rolling-window health objectives (admit latency,
+        #: availability); evaluated into ``metrics_snapshot()["slo"]``.
+        self.slo = SloMonitor(clock=clock)
         #: Latest standing outcome per application (poll with :meth:`status`).
         self.outcomes: dict[str, Grant] = {}
         #: Nodes an attached injector reported crashed and not yet
@@ -359,6 +363,7 @@ class SelectionService:
         self.ledger.subscribe(self._on_ledger_event)
         self.metrics.bind(self.registry)
         self._bind_registry()
+        self.slo.bind(self.registry)
 
     # -- metrics registry ------------------------------------------------------
     def _kernel_stat(self, key: str, live) -> float:
@@ -525,19 +530,25 @@ class SelectionService:
         for queued/rejected requests, the failing pipeline stage.
         """
         tracer = self.tracer
+        t0 = perf_counter()
         if not tracer.enabled:
-            return self._request_inner(
-                app_id, spec, cpu_fraction, bw_bps, priority, explain
-            )
-        with tracer.span(
-            "service.request", app=app_id, m=spec.num_nodes,
-            priority=priority,
-        ) as span:
             grant = self._request_inner(
                 app_id, spec, cpu_fraction, bw_bps, priority, explain
             )
-            span.set(outcome=grant.status)
-            return grant
+        else:
+            with tracer.span(
+                "service.request", app=app_id, m=spec.num_nodes,
+                priority=priority,
+            ) as span:
+                grant = self._request_inner(
+                    app_id, spec, cpu_fraction, bw_bps, priority, explain
+                )
+                span.set(outcome=grant.status)
+        # Queued counts as available: the request is parked, not refused.
+        self.slo.observe_request(
+            perf_counter() - t0, ok=grant.status != Decision.REJECTED,
+        )
+        return grant
 
     def _request_inner(
         self,
@@ -1497,10 +1508,11 @@ class SelectionService:
         return self._view
 
     def metrics_snapshot(self) -> dict:
-        """Counters plus live cache/ledger/queue gauges."""
+        """Counters plus live cache/ledger/queue gauges and SLO burn."""
         self.metrics.extras["known_down_nodes"] = len(self._known_down)
         return self.metrics.snapshot(
-            cache=self.cache, ledger=self.ledger, queue=self.queue
+            cache=self.cache, ledger=self.ledger, queue=self.queue,
+            slo=self.slo.evaluate(),
         )
 
     # -- durability -----------------------------------------------------------------

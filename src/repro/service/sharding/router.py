@@ -50,7 +50,8 @@ from typing import Optional, Sequence
 
 from ...core.spec import ApplicationSpec
 from ...core.types import Selection
-from ...obs.metrics import MetricsRegistry
+from ...obs.metrics import MetricsFederation, MetricsRegistry
+from ...obs.slo import SloMonitor
 from ...obs.trace import NULL_TRACER
 from ...topology.graph import TopologyGraph
 from ..admission import Decision, Priority
@@ -218,6 +219,18 @@ class ShardRouter:
         self.lease_s = float(lease_s)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Merges worker/shard registries into :attr:`registry` under a
+        #: ``shard=`` label, keeping counters monotone across worker
+        #: restarts (DESIGN.md §17).
+        self._federation = MetricsFederation(self.registry)
+        #: Rolling-window health objectives; fed by the request path and
+        #: worker-restart sweeps, surfaced via ``metrics_snapshot()``.
+        self.slo = SloMonitor(clock=self.clock)
+        self._slo_restarts_seen = 0
+        #: ``shard -> [offset, last]`` for the per-shard request counter:
+        #: a restarted worker reports from zero again, so the exposition
+        #: folds the last-seen value into an offset to stay monotone.
+        self._shard_requests_base: dict[int, list[float]] = {}
         self.repartition_threshold = float(repartition_threshold)
         self._state_dir = state_dir
         self._wal_fsync = bool(wal_fsync)
@@ -266,6 +279,12 @@ class ShardRouter:
         self._recover_composites()
         self.metrics.bind(self.registry)
         self._bind_registry()
+        self.slo.bind(self.registry)
+        # Every scrape/dump re-harvests the shard registries first, so
+        # the merged exposition is always fresh (satellite of §17); the
+        # pool's transport lock makes the harvest race-safe against the
+        # request path.
+        self.registry.add_collect_hook(self._harvest_shard_metrics)
 
     # -- construction ----------------------------------------------------------
     def _build_shards(self) -> None:
@@ -292,6 +311,7 @@ class ShardRouter:
                 state_dir=self._state_dir,
                 wal_fsync=self._wal_fsync,
                 wal_snapshot_every=self._wal_snapshot_every,
+                tracer=self.tracer if self.tracer.enabled else None,
             )
             self._shards: list = [
                 ProcessShard(self._pool, shard) for shard in range(plan.k)
@@ -412,6 +432,14 @@ class ShardRouter:
         reg.gauge("repro_shard_cross_fraction",
                   "Fraction of routed admissions that spanned shards.",
                   fn=lambda: self.cross_fraction)
+        reg.gauge("repro_shard_trunk_active_reservations",
+                  "Live cross-shard bandwidth reservations in the trunk "
+                  "ledger.",
+                  fn=lambda: float(self.trunk.active))
+        reg.gauge("repro_shard_trunk_min_headroom_fraction",
+                  "Worst-case remaining headroom fraction across claimed "
+                  "trunk channels (1.0 when none are claimed).",
+                  fn=self._trunk_min_headroom)
         reg.counter("repro_shard_routed_local_total",
                     "Admissions hosted by a single shard.",
                     fn=lambda: float(self.metrics.routed_local))
@@ -433,7 +461,7 @@ class ShardRouter:
             reg.counter(
                 "repro_shard_requests_total",
                 "Sub-requests attempted per shard.", labels=labels,
-                fn=(lambda s=shard: float(self._shards[s].requests_total())),
+                fn=(lambda s=shard: self._monotone_shard_requests(s)),
             )
             reg.gauge(
                 "repro_shard_active_leases",
@@ -445,6 +473,58 @@ class ShardRouter:
                 "Compute nodes per shard.", labels=labels,
                 fn=(lambda s=shard: float(self._shard_hosts[s])),
             )
+
+    def _monotone_shard_requests(self, shard: int) -> float:
+        """Per-shard request counter that survives worker restarts.
+
+        A killed worker comes back with fresh in-memory stats; folding
+        the last-seen value into an offset keeps the exported counter
+        monotone, matching the federation's restart semantics.
+        """
+        raw = float(self._shards[shard].requests_total())
+        base = self._shard_requests_base.setdefault(shard, [0.0, 0.0])
+        if raw < base[1]:
+            base[0] += base[1]
+        base[1] = raw
+        return base[0] + raw
+
+    def _trunk_min_headroom(self) -> float:
+        """Worst remaining-capacity fraction over claimed trunk channels."""
+        claimed = self.trunk.edge_claims()
+        if not claimed:
+            return 1.0
+        worst = 1.0
+        for channel in claimed:
+            key, dst = channel
+            capacity = self._full.link(*tuple(key)).available_towards(dst)
+            if capacity <= 0.0:
+                return 0.0
+            worst = min(
+                worst, self.trunk.headroom(channel, self._full) / capacity
+            )
+        return max(0.0, worst)
+
+    def _harvest_shard_metrics(self) -> None:
+        """Merge every shard registry into the router's (collect hook).
+
+        Runs before each ``expose_text()``/``dump()`` of the router
+        registry, so a scrape always sees fresh worker-side kernel and
+        stage counters — labeled ``shard=`` and kept monotone across
+        worker restarts by the federation baselines.
+        """
+        if self._pool is not None:
+            if self._pool.closed:
+                return  # close() already did the final harvest
+            replies = self._pool.call_many([
+                (shard, "metrics_state", (), {})
+                for shard in range(self.plan.k)
+            ])
+            for shard, (kind, payload) in enumerate(replies):
+                if kind == "ok":
+                    self._federation.ingest(shard, payload)
+        else:
+            for shard, handle in enumerate(self._shards):
+                self._federation.ingest(shard, handle.metrics_state())
 
     # -- time ------------------------------------------------------------------
     @property
@@ -474,6 +554,11 @@ class ShardRouter:
             # whenever traffic next routes its way.
             self._pool.reap_dead()
             restarted = self._pool.take_restarted_shards()
+            if self._pool.restarts > self._slo_restarts_seen:
+                self.slo.observe_restart(
+                    self._pool.restarts - self._slo_restarts_seen
+                )
+                self._slo_restarts_seen = self._pool.restarts
         if (
             self._pool is not None
             and not restarted
@@ -501,6 +586,10 @@ class ShardRouter:
         else:
             for handle in self._shards:
                 dead_subs.update(handle.tick())
+        if self._pool is not None and self._pool.tracer is not None:
+            # Bring home spans buffered by untraced worker ops since the
+            # last clock movement (metrics scrapes, pings).
+            self._pool.drain_spans()
         self._last_tick_now = now
         self.trunk.expire(now)
         expired = []
@@ -573,22 +662,25 @@ class ShardRouter:
             )
         spread = min(int(spread), self.plan.k)
         tracer = self.tracer
+        t0 = perf_counter()
         if not tracer.enabled:
-            return self._request_inner(
-                app_id, spec, cpu_fraction, bw_bps, priority, spread
-            )
-        with tracer.span(
-            "router.request", app=app_id, m=spec.num_nodes,
-            priority=priority, spread=spread,
-        ) as span:
             grant = self._request_inner(
                 app_id, spec, cpu_fraction, bw_bps, priority, spread
             )
-            span.set(
-                outcome=grant.status,
-                shards=",".join(str(s) for s in grant.shards),
-            )
-            return grant
+        else:
+            with tracer.span(
+                "router.request", app=app_id, m=spec.num_nodes,
+                priority=priority, spread=spread,
+            ) as span:
+                grant = self._request_inner(
+                    app_id, spec, cpu_fraction, bw_bps, priority, spread
+                )
+                span.set(
+                    outcome=grant.status,
+                    shards=",".join(str(s) for s in grant.shards),
+                )
+        self.slo.observe_request(perf_counter() - t0, ok=grant.admitted)
+        return grant
 
     def _shard_order(self) -> list[int]:
         """Shards by load headroom: least-loaded (per host) first.
@@ -1243,7 +1335,7 @@ class ShardRouter:
         if self._pool is not None:
             self.metrics.extras["workers"] = self._pool.workers
             self.metrics.extras["worker_restarts"] = self._pool.restarts
-        out = self.metrics.snapshot()
+        out = self.metrics.snapshot(slo=self.slo.evaluate(self.now))
         per_shard = {}
         if self._pool is not None:
             if self._pool.closed:
@@ -1294,6 +1386,15 @@ class ShardRouter:
             if not self._pool.closed:
                 try:
                     self.metrics_snapshot()
+                    # Final federation pass: post-close scrapes (e.g.
+                    # --dump-metrics after shutdown) serve the last
+                    # harvested worker series.
+                    self._harvest_shard_metrics()
+                    # Refresh the per-shard gauge caches too, so the
+                    # callback instruments report final figures.
+                    for shard in range(self.plan.k):
+                        self._monotone_shard_requests(shard)
+                        _ = self._shards[shard].active
                 except RuntimeError:  # pragma: no cover - race with close
                     pass
             self._pool.close()

@@ -31,6 +31,20 @@ Design points:
   as the in-process executor's, receiving the identical command
   sequence, so grants are bit-identical to ``executor="inproc"``
   regardless of worker count (gated by the parallel benchmark arm).
+* **Observability** (DESIGN.md §17) — when the router traces, each
+  command envelope carries a seventh field: the caller's
+  ``(trace id, parent span id)`` context (or ``None``).  The worker
+  records spans into a buffered in-process :class:`Tracer` — a
+  ``worker.<op>`` envelope span around the dispatch plus whatever the
+  shard service records inside — and ships the finished span dicts back
+  as a fourth reply field.  The pool stitches them into the router's
+  tree (:meth:`Tracer.adopt`) with ``shard=``/``pid=`` attribution.
+  Ops that run off the request path (metrics scrapes, pings) are never
+  traced (``_UNTRACED_OPS``); spans they buffer anyway drift home via
+  the ``drain_spans`` op on ``tick()`` and on close.  Worker metrics
+  federate the same way: the ``metrics_state`` op dumps the shard
+  services' registries for the router-side
+  :class:`~repro.obs.metrics.MetricsFederation`.
 * **Crash recovery** — workers answer health pings, and a dead worker
   (detected by a broken pipe or a failed liveness check before send) is
   restarted in place.  With a ``state_dir``, each shard's service
@@ -52,6 +66,7 @@ from typing import Any, Optional, Sequence
 
 from ...core.spec import ApplicationSpec
 from ...core.types import Selection
+from ...obs.trace import Tracer
 from ..api import BatchRequest, PlacementGrant
 from ..service import SelectionService, _ManualClock
 
@@ -74,7 +89,17 @@ _OPS = frozenset({
     "request", "probe", "admit_batch", "release", "renew", "tick",
     "status", "metrics_snapshot", "flush_state", "holds",
     "reservation_map", "edge_claims", "active", "stats",
-    "check_invariants", "ping",
+    "check_invariants", "ping", "metrics_state", "drain_spans",
+})
+
+#: Ops that must never carry trace context.  These run from metrics
+#: scrape threads or maintenance sweeps — the main thread's span stack
+#: (``Tracer.context``) is the *request*'s context, and attaching a
+#: scrape's worker span under an unrelated in-flight request would
+#: corrupt its tree.  Their spans (if any) come home via ``drain_spans``.
+_UNTRACED_OPS = frozenset({
+    "stats", "metrics_state", "metrics_snapshot", "ping", "drain_spans",
+    "check_invariants",
 })
 
 
@@ -153,6 +178,8 @@ def _dispatch(service: SelectionService, op: str, args: tuple, kwargs: dict):
         return service.check_invariants()
     if op == "ping":
         return os.getpid()
+    if op == "metrics_state":
+        return service.registry.dump_state()
     raise ValueError(f"unknown worker op {op!r}")
 
 
@@ -165,6 +192,7 @@ def _worker_main(
     lease_s: float,
     state_dirs: dict,
     start_now: float,
+    trace_enabled: bool = False,
 ) -> None:
     """One worker process: build the shard services, serve commands.
 
@@ -173,9 +201,17 @@ def _worker_main(
     shards recover their ledgers from ``state_dirs[shard]`` exactly as a
     restarted single service would; the shared manual clock starts at
     ``start_now`` and never runs behind a recovered grant.
+
+    With ``trace_enabled``, a single buffered :class:`Tracer` is shared
+    by every shard service (commands are serial, so spans never
+    interleave).  Each traced command ships exactly the spans it
+    produced — a slice of the buffer bracketing the dispatch — in its
+    reply; untraced-op leftovers accumulate until a ``drain_spans`` or
+    the close envelope flushes them.
     """
     clock = _ManualClock()
     clock.now = start_now
+    tracer = Tracer() if trace_enabled else None
     services: dict[int, SelectionService] = {}
     try:
         for shard in shard_ids:
@@ -185,6 +221,7 @@ def _worker_main(
                 queue_limit=0,
                 clock=clock,
                 state_dir=state_dirs.get(shard),
+                tracer=tracer,
                 **service_kwargs,
             )
         recovered = [
@@ -210,19 +247,38 @@ def _worker_main(
             break
         if msg is None:  # shutdown sentinel
             break
-        seq, now, shard, op, args, kwargs = msg
+        seq, now, shard, op, args, kwargs, ctx = msg
         if now > clock.now:
             clock.now = now
         if op == "close":
             for service in services.values():
                 service.close()
-            conn.send((seq, "ok", None))
+            conn.send((seq, "ok", None,
+                       tracer.drain() if tracer is not None else []))
             return
+        if op == "drain_spans":
+            spans = tracer.drain() if tracer is not None else []
+            conn.send((seq, "ok", len(spans), spans))
+            continue
+        spans = []
         try:
-            payload = _dispatch(services[shard], op, args, kwargs)
-            reply = (seq, "ok", payload)
+            if tracer is not None and ctx is not None:
+                # Bracket the dispatch in an envelope span, then ship
+                # exactly the spans this command produced: everything
+                # appended past the pre-dispatch high-water mark.
+                mark = len(tracer.spans)
+                try:
+                    with tracer.span(f"worker.{op}", shard=shard):
+                        payload = _dispatch(services[shard], op,
+                                            args, kwargs)
+                finally:
+                    spans = tracer.spans[mark:]
+                    del tracer.spans[mark:]
+            else:
+                payload = _dispatch(services[shard], op, args, kwargs)
+            reply = (seq, "ok", payload, spans)
         except Exception as exc:
-            reply = (seq, "err", exc)
+            reply = (seq, "err", exc, spans)
         try:
             conn.send(reply)
         except Exception:
@@ -230,7 +286,7 @@ def _worker_main(
             # transportable error instead of killing the worker.
             conn.send((seq, "err", RuntimeError(
                 f"unpicklable worker reply for op {op!r}"
-            )))
+            ), spans))
     for service in services.values():
         try:
             service.close()
@@ -250,6 +306,11 @@ class _WorkerProc:
         self.conn = None
         self.seq = 0
         self.pid: Optional[int] = None
+        #: seq -> (trace ctx, send time on the router tracer's timeline,
+        #: shard) for in-flight commands; ``call_many`` pipelines several
+        #: commands to one worker before reading any reply, so the
+        #: stitching metadata must be per-seq, not per-worker.
+        self.inflight: dict[int, tuple] = {}
 
 
 class ShardWorkerPool:
@@ -272,6 +333,13 @@ class ShardWorkerPool:
     state_dir:
         Durability root; shard ``i`` logs under ``state_dir/shard-i``.
         Restarted workers recover from these directories.
+    tracer:
+        The router's :class:`~repro.obs.trace.Tracer`, or ``None`` when
+        tracing is off.  When set, workers run buffered tracers, traced
+        envelopes carry the caller's span context, and every reply's
+        span batch is stitched into this tracer with ``shard``/``pid``
+        attribution.  The disabled path ships no context and touches no
+        per-seq metadata.
     """
 
     def __init__(
@@ -285,10 +353,12 @@ class ShardWorkerPool:
         state_dir: Optional[str] = None,
         wal_fsync: bool = False,
         wal_snapshot_every: int = 256,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.plan = plan
         self.workers = max(1, min(int(workers), plan.k))
         self._clock = clock
+        self.tracer = tracer
         self._lease_s = float(lease_s)
         self._service_kwargs = dict(service_kwargs)
         self._service_kwargs["wal_fsync"] = bool(wal_fsync)
@@ -340,6 +410,7 @@ class ShardWorkerPool:
                 self._service_kwargs, self._lease_s,
                 {s: self._state_dirs[s] for s in w.shards},
                 float(self._clock()),
+                self.tracer is not None,
             ),
             name=f"repro-shard-worker-{w.worker_id}",
             daemon=True,
@@ -347,6 +418,7 @@ class ShardWorkerPool:
         proc.start()
         child.close()
         w.proc, w.conn, w.seq = proc, parent, 0
+        w.inflight.clear()  # replies for the old incarnation never come
         while not parent.poll(_POLL_S):
             if not proc.is_alive():
                 raise RuntimeError(
@@ -441,7 +513,7 @@ class ShardWorkerPool:
                 try:
                     w.seq += 1
                     w.conn.send((w.seq, float(self._clock()), w.shards[0],
-                                 "close", (), {}))
+                                 "close", (), {}, None))
                     self._recv(w, w.seq)
                 except (WorkerCrashError, OSError):
                     pass
@@ -462,22 +534,27 @@ class ShardWorkerPool:
             # itself proceeds against the recovered worker.
             self._restart(w, "found dead before send")
         w.seq += 1
+        ctx = None
+        if self.tracer is not None and op not in _UNTRACED_OPS:
+            ctx = self.tracer.context()
         try:
             w.conn.send((w.seq, float(self._clock()), shard, op,
-                         args, kwargs))
+                         args, kwargs, ctx))
         except (BrokenPipeError, OSError) as exc:
             self._restart(w, f"send failed ({exc})")
             raise WorkerCrashError(
                 f"worker {w.worker_id} died before accepting "
                 f"{op!r} for shard {shard}"
             ) from exc
+        if self.tracer is not None:
+            w.inflight[w.seq] = (ctx, self.tracer._now(), shard)
         return w.seq
 
     def _recv(self, w: _WorkerProc, seq: int):
         while True:
             try:
                 if w.conn.poll(_POLL_S):
-                    reply_seq, status, payload = w.conn.recv()
+                    reply_seq, status, payload, spans = w.conn.recv()
                     break
             except (EOFError, OSError) as exc:
                 self._restart(w, f"recv failed ({exc})")
@@ -497,6 +574,17 @@ class ShardWorkerPool:
             f"worker {w.worker_id} protocol desync: "
             f"reply {reply_seq} != expected {seq}"
         )
+        if self.tracer is not None:
+            ctx, sent_at, shard = w.inflight.pop(seq, (None, None, None))
+            if spans:
+                extra = {"pid": w.pid}
+                if ctx is not None:
+                    # Only a traced envelope pins a shard; an untraced
+                    # drain batch may mix spans from several shards.
+                    extra["shard"] = shard
+                self.tracer.adopt(
+                    spans, parent=ctx, base_s=sent_at, **extra,
+                )
         if status == "err":
             raise payload
         return payload
@@ -509,6 +597,22 @@ class ShardWorkerPool:
             w = self._by_shard[shard]
             seq = self._send(w, shard, op, args, kwargs)
             return self._recv(w, seq)
+
+    def drain_spans(self) -> int:
+        """Collect leftover worker spans (untraced-op residue) from
+        every worker; returns the number of spans adopted.  A no-op when
+        tracing is off — the op never even crosses the pipe.
+        """
+        if self.tracer is None or self._closed:
+            return 0
+        total = 0
+        with self._lock:
+            for w in self._procs:
+                try:
+                    total += self.call(w.shards[0], "drain_spans")
+                except WorkerCrashError:
+                    continue  # restarted: its buffer died with it
+        return total
 
     def call_many(
         self, calls: Sequence[tuple]
@@ -635,6 +739,9 @@ class InprocShard:
     def metrics_snapshot(self) -> dict:
         return self.service.metrics_snapshot()
 
+    def metrics_state(self) -> list[dict]:
+        return self.service.registry.dump_state()
+
     def check_invariants(self) -> None:
         self.service.check_invariants()
 
@@ -651,6 +758,10 @@ class ProcessShard:
     def __init__(self, pool: ShardWorkerPool, shard: int) -> None:
         self.pool = pool
         self.shard = shard
+        # Last-seen figures so registry callback gauges stay readable
+        # after close() (post-shutdown --dump-metrics / scrapes).
+        self._last_active = 0
+        self._last_requests = 0
 
     @property
     def recovery(self):
@@ -658,7 +769,9 @@ class ProcessShard:
 
     @property
     def active(self) -> int:
-        return self.pool.call(self.shard, "active")
+        if not self.pool.closed:
+            self._last_active = self.pool.call(self.shard, "active")
+        return self._last_active
 
     def request(self, app_id: str, spec: ApplicationSpec, **kwargs
                 ) -> PlacementGrant:
@@ -702,10 +815,16 @@ class ProcessShard:
         return self.pool.call(self.shard, "stats")
 
     def requests_total(self) -> int:
-        return self.pool.call(self.shard, "stats")["requests"]
+        if not self.pool.closed:
+            self._last_requests = self.pool.call(
+                self.shard, "stats")["requests"]
+        return self._last_requests
 
     def metrics_snapshot(self) -> dict:
         return self.pool.call(self.shard, "metrics_snapshot")
+
+    def metrics_state(self) -> list[dict]:
+        return self.pool.call(self.shard, "metrics_state")
 
     def check_invariants(self) -> None:
         self.pool.call(self.shard, "check_invariants")

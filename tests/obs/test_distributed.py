@@ -1,0 +1,182 @@
+"""Unit tests for the cross-process observability primitives.
+
+Covers the two pure pieces of the distributed plane in isolation:
+
+- ``Tracer.context()`` / ``drain()`` / ``adopt()`` — the span batch
+  protocol the worker pool rides on (DESIGN.md §17);
+- ``MetricsFederation`` — merging worker ``dump_state()`` payloads into
+  a shard-labeled registry with restart-monotone counters.
+
+The end-to-end path (router + real worker processes) is exercised by
+``tests/service/test_distributed_obs.py``.
+"""
+
+import pytest
+
+from repro.obs import NULL_TRACER, MetricsFederation, Tracer
+from repro.obs.metrics import MetricsRegistry
+
+
+def remote_batch():
+    """A two-span batch as a worker would ship it: child under root."""
+    remote = Tracer()
+    with remote.span("worker.request", shard=1):
+        with remote.span("service.admit"):
+            pass
+    return remote.drain()
+
+
+class TestTracerContext:
+    def test_context_is_none_outside_spans(self):
+        assert Tracer().context() is None
+        assert NULL_TRACER.context() is None
+
+    def test_context_names_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("router.request"):
+            ctx = tracer.context()
+        (record,) = tracer.spans
+        assert ctx == (record["trace"], record["span"])
+
+    def test_drain_swaps_the_buffer(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        batch = tracer.drain()
+        assert [s["name"] for s in batch] == ["a"]
+        assert tracer.spans == []
+        assert tracer.drain() == []
+
+
+class TestAdopt:
+    def test_reparents_batch_under_given_context(self):
+        local = Tracer()
+        with local.span("router.request"):
+            ctx = local.context()
+        local.adopt(remote_batch(), parent=ctx, pid=1234)
+        by_name = {s["name"]: s for s in local.spans}
+        root = by_name["router.request"]
+        worker = by_name["worker.request"]
+        admit = by_name["service.admit"]
+        # One stitched tree: every span shares the local trace id, the
+        # batch root hangs off the caller span, in-batch links survive.
+        assert worker["trace"] == admit["trace"] == root["trace"]
+        assert worker["parent"] == root["span"]
+        assert admit["parent"] == worker["span"]
+
+    def test_reallocates_span_ids(self):
+        # Two workers allocate ids independently; adopting both batches
+        # must never collide in the local id space.
+        local = Tracer()
+        with local.span("root"):
+            ctx = local.context()
+        local.adopt(remote_batch(), parent=ctx)
+        local.adopt(remote_batch(), parent=ctx)
+        ids = [s["span"] for s in local.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_orphan_batch_keeps_fresh_trace(self):
+        # No parent (untraced drain): batch becomes its own local trace
+        # with the root unparented.
+        local = Tracer()
+        local.adopt(remote_batch(), pid=99)
+        by_name = {s["name"]: s for s in local.spans}
+        assert by_name["worker.request"]["parent"] is None
+        assert (by_name["service.admit"]["parent"]
+                == by_name["worker.request"]["span"])
+
+    def test_attrs_stamped_on_every_span(self):
+        local = Tracer()
+        local.adopt(remote_batch(), pid=4321, shard=1)
+        for span in local.spans:
+            assert span["attrs"]["pid"] == 4321
+            assert span["attrs"]["shard"] == 1
+
+    def test_base_s_rebases_batch_onto_local_timeline(self):
+        local = Tracer()
+        sent_at = local._now()
+        local.adopt(remote_batch(), base_s=sent_at)
+        # The earliest adopted span starts at the send time (in local
+        # epoch microseconds), not at the worker's private epoch.
+        starts = [s["start_us"] for s in local.spans]
+        assert min(starts) == pytest.approx(sent_at * 1e6, abs=1.0)
+
+    def test_adopt_empty_batch_is_noop(self):
+        local = Tracer()
+        local.adopt([])
+        assert local.spans == []
+        NULL_TRACER.adopt(remote_batch())  # inert, no error
+
+
+class TestMetricsFederation:
+    def _state(self, value, *, name="repro_service_requests_total",
+               kind="counter"):
+        return [{"name": name, "kind": kind, "help": "h", "labels": {},
+                 "value": value}]
+
+    def test_counter_gets_source_label(self):
+        registry = MetricsRegistry()
+        fed = MetricsFederation(registry)
+        fed.ingest(0, self._state(5.0))
+        fed.ingest(1, self._state(7.0))
+        text = registry.expose_text()
+        assert 'repro_service_requests_total{shard="0"} 5' in text
+        assert 'repro_service_requests_total{shard="1"} 7' in text
+
+    def test_counter_monotone_across_restart(self):
+        # A worker restart resets its in-process counter to zero; the
+        # federated series must keep climbing from the last-seen value.
+        registry = MetricsRegistry()
+        fed = MetricsFederation(registry)
+        fed.ingest(0, self._state(10.0))
+        fed.ingest(0, self._state(2.0))  # restarted worker, fresh registry
+        text = registry.expose_text()
+        assert 'repro_service_requests_total{shard="0"} 12' in text
+        fed.ingest(0, self._state(3.0))
+        assert ('repro_service_requests_total{shard="0"} 13'
+                in registry.expose_text())
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        fed = MetricsFederation(registry)
+        state = [{"name": "repro_ledger_active_reservations",
+                  "kind": "gauge", "help": "h", "labels": {}, "value": 4.0}]
+        fed.ingest(2, state)
+        state[0]["value"] = 1.0
+        fed.ingest(2, state)
+        assert ('repro_ledger_active_reservations{shard="2"} 1'
+                in registry.expose_text())
+
+    def test_histogram_restart_folds_baseline(self):
+        registry = MetricsRegistry()
+        fed = MetricsFederation(registry)
+        hist = {"name": "repro_service_stage_duration_seconds",
+                "kind": "histogram", "help": "h", "labels": {},
+                "buckets": [0.001, 0.01], "counts": [3, 1, 0],
+                "sum": 0.004, "count": 4}
+        fed.ingest(0, [dict(hist)])
+        fed.ingest(0, [dict(hist, counts=[1, 0, 0], sum=0.001, count=1)])
+        text = registry.expose_text()
+        # count < last count -> restart: 4 (baseline) + 1 (fresh).
+        assert ('repro_service_stage_duration_seconds_count{shard="0"} 5'
+                in text)
+
+    def test_existing_labels_are_preserved(self):
+        registry = MetricsRegistry()
+        fed = MetricsFederation(registry)
+        state = [{"name": "repro_service_stage_requests_total",
+                  "kind": "counter", "help": "h",
+                  "labels": {"stage": "select"}, "value": 2.0}]
+        fed.ingest(3, state)
+        text = registry.expose_text()
+        assert ('repro_service_stage_requests_total'
+                '{shard="3",stage="select"} 2') in text
+
+    def test_kind_conflict_is_skipped_not_fatal(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_clash_total", "h", labels={"shard": "0"})
+        fed = MetricsFederation(registry)
+        fed.ingest(0, [{"name": "repro_clash_total", "kind": "gauge",
+                        "help": "h", "labels": {}, "value": 1.0}])
+        # The pre-existing counter is untouched and nothing raised.
+        assert "repro_clash_total" in registry.expose_text()

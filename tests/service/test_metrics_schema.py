@@ -8,9 +8,9 @@ or removing keys is a breaking change and should fail this test loudly.
 """
 
 from repro.core import ApplicationSpec
-from repro.service import SelectionService
+from repro.service import SelectionService, ShardRouter
 from repro.service.metrics import STAGES, ServiceMetrics, StageTimer
-from repro.topology import dumbbell
+from repro.topology import dumbbell, two_campus
 
 #: Counter keys always present, in the frozen order.
 COUNTER_KEYS = [
@@ -63,6 +63,10 @@ SERVICE_EXTRA_KEYS = ["known_down_nodes"]
 #: Per-stage summary keys inside the nested ``stages`` table.
 STAGE_SUMMARY_KEYS = ["count", "mean_us", "p50_us", "p95_us", "p99_us"]
 
+#: Keys inside the nested ``slo`` section (SloMonitor.evaluate()).
+SLO_KEYS = ["status", "latency_p99_s", "objectives"]
+SLO_OBJECTIVES = ["admit_latency", "availability", "worker_restarts"]
+
 
 class TestBareSnapshot:
     def test_counters_only(self):
@@ -104,9 +108,27 @@ class TestLiveServiceSnapshot:
         snap = service.metrics_snapshot()
         expected = (
             COUNTER_KEYS + QUEUE_KEYS + CACHE_KEYS + LEDGER_KEYS
-            + SERVICE_EXTRA_KEYS + ["stages"]
+            + SERVICE_EXTRA_KEYS + ["slo", "stages"]
         )
         assert list(snap) == expected
+
+    def test_slo_section_schema(self):
+        service = SelectionService(dumbbell(4, 4), queue_limit=4)
+        service.request("app", ApplicationSpec(num_nodes=2), cpu_fraction=0.2)
+        slo = service.metrics_snapshot()["slo"]
+        assert list(slo) == SLO_KEYS
+        assert list(slo["objectives"]) == SLO_OBJECTIVES
+        assert slo["status"] in ("ok", "burning", "paging")
+        for objective in slo["objectives"].values():
+            assert objective["status"] in ("ok", "burning", "paging")
+            assert [w["window_s"] for w in objective["windows"]] == [
+                300.0, 3600.0,
+            ]
+
+    def test_bare_snapshot_has_no_slo_key(self):
+        # ``slo`` only appears when a live evaluation is passed in; the
+        # bare dataclass snapshot (benchmarks, unit fixtures) stays flat.
+        assert "slo" not in ServiceMetrics().snapshot()
 
     def test_stage_keys_on_admitted_path(self):
         service = SelectionService(dumbbell(4, 4), queue_limit=4)
@@ -115,3 +137,34 @@ class TestLiveServiceSnapshot:
         assert list(stages) == list(STAGES)
         for summary in stages.values():
             assert list(summary) == STAGE_SUMMARY_KEYS
+
+
+class TestRouterSnapshotAndExposition:
+    def test_router_snapshot_nests_slo_before_stages(self):
+        router = ShardRouter(two_campus(fast_hosts=4, slow_hosts=4), shards=2)
+        router.request("app", ApplicationSpec(num_nodes=2), cpu_fraction=0.2)
+        snap = router.metrics_snapshot()
+        keys = list(snap)
+        assert keys.index("slo") < keys.index("stages") < keys.index(
+            "per_shard"
+        )
+        assert list(snap["slo"]["objectives"]) == SLO_OBJECTIVES
+        router.close()
+
+    def test_exposition_carries_shard_labeled_instruments(self):
+        # The router registry federates every shard service's registry
+        # under a ``shard=`` label on each scrape, alongside its own
+        # router-level and SLO series.
+        router = ShardRouter(two_campus(fast_hosts=4, slow_hosts=4), shards=2)
+        router.request("app", ApplicationSpec(num_nodes=2), cpu_fraction=0.2)
+        text = router.registry.expose_text()
+        for shard in ("0", "1"):
+            assert f'repro_shard_requests_total{{shard="{shard}"}}' in text
+            assert f'repro_service_requests_total{{shard="{shard}"}}' in text
+            assert (
+                f'repro_kernel_peel_schedule_builds_total{{shard="{shard}"}}'
+                in text
+            )
+        assert 'repro_slo_status{objective="admit_latency"}' in text
+        assert "repro_shard_trunk_min_headroom_fraction" in text
+        router.close()
